@@ -1,0 +1,75 @@
+//! Engine benchmarks: raw discrete-event throughput, serial vs parallel
+//! ranks, and the cost of the conservative synchronization protocol.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sst_bench::ring;
+use sst_core::prelude::*;
+use sst_sim::experiments::pdes;
+
+fn serial_event_throughput(c: &mut Criterion) {
+    let hops = 50_000u64;
+    let mut g = c.benchmark_group("engine/serial");
+    g.throughput(Throughput::Elements(hops));
+    g.bench_function("ring_token", |b| {
+        b.iter(|| {
+            let report = Engine::new(ring(64, hops)).run(RunLimit::Exhaust);
+            assert_eq!(report.events, hops + 1);
+            report.events
+        })
+    });
+    g.finish();
+}
+
+fn parallel_rank_scaling(c: &mut Criterion) {
+    // Dense token traffic on a torus — the E11 workload at bench scale.
+    let params = pdes::Params {
+        side: 12,
+        tokens_per_node: 6,
+        ttl: 80,
+        rank_counts: vec![],
+    };
+    let mut g = c.benchmark_group("engine/parallel");
+    g.sample_size(10);
+    for ranks in [1u32, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("torus_traffic", ranks), &ranks, |b, &r| {
+            b.iter(|| {
+                let report = ParallelEngine::new(pdes::build(&params), r).run(RunLimit::Exhaust);
+                report.events
+            })
+        });
+    }
+    g.finish();
+}
+
+fn event_queue_ops(c: &mut Criterion) {
+    use sst_core::event::{ComponentId, EventClass, EventKind, PortId, ScheduledEvent, TieBreak};
+    use sst_core::queue::EventQueue;
+    c.bench_function("engine/queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.push(ScheduledEvent {
+                    time: SimTime::ps(i.wrapping_mul(0x9E37) % 10_000),
+                    class: EventClass::Message,
+                    tie: TieBreak {
+                        src: ComponentId((i % 64) as u32),
+                        seq: i,
+                    },
+                    target: ComponentId(0),
+                    kind: EventKind::Message {
+                        port: PortId(0),
+                        payload: Box::new(()),
+                    },
+                });
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+}
+
+criterion_group!(benches, serial_event_throughput, parallel_rank_scaling, event_queue_ops);
+criterion_main!(benches);

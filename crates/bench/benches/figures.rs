@@ -1,0 +1,131 @@
+//! One benchmark per reproduced figure: each bench runs the experiment at
+//! a reduced ("quick-") scale and reports its turnaround time, so
+//! `cargo bench` regenerates every result and tracks harness performance.
+//! (Full-scale tables come from `sst experiment <id>`.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sst_sim::experiments::{dse, fig02, fig03, fig04, fig05, fig08, fig09, pdes, validate};
+
+fn bench_fig02(c: &mut Criterion) {
+    let p = fig02::Params {
+        core_counts: vec![1, 4],
+        nx: 8,
+        solver_iters: 2,
+    };
+    c.benchmark_group("figures")
+        .sample_size(10)
+        .bench_function("fig02_cores_per_node", |b| b.iter(|| fig02::run(&p).rows.len()));
+}
+
+fn bench_fig03(c: &mut Criterion) {
+    let p = fig03::Params {
+        speeds_mts: vec![800.0, 1333.0],
+        channels: 2,
+        cores: 2,
+        nx: 8,
+        solver_iters: 2,
+    };
+    c.benchmark_group("figures")
+        .sample_size(10)
+        .bench_function("fig03_memory_speed", |b| b.iter(|| fig03::run(&p).rows.len()));
+}
+
+fn bench_fig04(c: &mut Criterion) {
+    let p = fig04::Params {
+        nx: 16,
+        solver_iters: 1,
+    };
+    c.benchmark_group("figures")
+        .sample_size(10)
+        .bench_function("fig04_cache_behavior", |b| b.iter(|| fig04::run(&p).rows.len()));
+}
+
+fn bench_fig05(c: &mut Criterion) {
+    let p = fig05::Params {
+        rank_counts: vec![8, 64],
+        iters: 2,
+        ..fig05::Params::quick()
+    };
+    c.benchmark_group("figures")
+        .sample_size(10)
+        .bench_function("fig05_weak_scaling", |b| b.iter(|| fig05::run(&p).rows.len()));
+}
+
+fn bench_fig08(c: &mut Criterion) {
+    let p = fig08::Params {
+        nx_per_core: 8,
+        cpu_cores: 2,
+        solver_iters: 1,
+    };
+    c.benchmark_group("figures")
+        .sample_size(10)
+        .bench_function("fig08_gpu_miniapp", |b| b.iter(|| fig08::run(&p).rows.len()));
+}
+
+fn bench_fig09(c: &mut Criterion) {
+    let p = fig09::Params {
+        bw_factors: vec![1.0, 0.125],
+        ranks: 27,
+        xnobel_ranks: vec![27],
+        steps: 1,
+        ranks_per_node: 4,
+    };
+    c.benchmark_group("figures")
+        .sample_size(10)
+        .bench_function("fig09_injection_bw", |b| b.iter(|| fig09::run(&p).rows.len()));
+}
+
+fn bench_fig10_11_12(c: &mut Criterion) {
+    // One sweep feeds all three figures.
+    let p = dse::Params {
+        widths: vec![1, 8],
+        nx: 8,
+        nx_lulesh: 12,
+        hpccg_iters: 2,
+        lulesh_steps: 1,
+    };
+    c.benchmark_group("figures")
+        .sample_size(10)
+        .bench_function("fig10_11_12_design_space", |b| {
+            b.iter(|| {
+                let pts = dse::sweep(&p);
+                dse::fig10(&pts, &p).rows.len()
+                    + dse::fig11(&pts, &p).rows.len()
+                    + dse::fig12(&pts, &p).rows.len()
+            })
+        });
+}
+
+fn bench_pdes(c: &mut Criterion) {
+    let p = pdes::Params {
+        side: 8,
+        tokens_per_node: 4,
+        ttl: 40,
+        rank_counts: vec![2],
+    };
+    c.benchmark_group("figures")
+        .sample_size(10)
+        .bench_function("pdes_parallel_engine", |b| b.iter(|| pdes::run(&p).rows.len()));
+}
+
+fn bench_validate(c: &mut Criterion) {
+    c.benchmark_group("figures")
+        .sample_size(10)
+        .bench_function("validation_study_quick", |b| {
+            b.iter(|| validate::run(&validate::Params { quick: true }).rows.len())
+        });
+}
+
+criterion_group!(
+    benches,
+    bench_fig02,
+    bench_fig03,
+    bench_fig04,
+    bench_fig05,
+    bench_fig08,
+    bench_fig09,
+    bench_fig10_11_12,
+    bench_pdes,
+    bench_validate
+);
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! Model microbenchmarks: how fast the substrate state machines run —
+//! cache accesses, DRAM service, coherence ops, network sends, and
+//! node-level simulated instructions per second.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sst_core::time::{Frequency, SimTime};
+use sst_cpu::core::CoreConfig;
+use sst_cpu::node::{Node, NodeConfig};
+use sst_mem::cache::{Access, Cache, CacheConfig};
+use sst_mem::dram::{DramConfig, DramSystem};
+use sst_mem::hierarchy::MemHierarchyConfig;
+use sst_mem::mesi::SnoopBus;
+use sst_net::network::{NetConfig, Network};
+use sst_net::topology::Torus3D;
+use sst_workloads::Problem;
+
+fn cache_access(c: &mut Criterion) {
+    let n = 100_000u64;
+    let mut g = c.benchmark_group("models/cache");
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("streaming_access", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(CacheConfig::l1d_32k());
+            let mut hits = 0u64;
+            for i in 0..n {
+                if cache.access((i * 8) % (1 << 20), Access::Read).is_hit() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    g.finish();
+}
+
+fn dram_service(c: &mut Criterion) {
+    let n = 50_000u64;
+    let mut g = c.benchmark_group("models/dram");
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("mixed_service", |b| {
+        b.iter(|| {
+            let mut d = DramSystem::new(DramConfig::ddr3_1333(2));
+            let mut t = SimTime::ZERO;
+            let mut x = 0x1234_5678u64;
+            for i in 0..n {
+                x ^= x << 13;
+                x ^= x >> 7;
+                let addr = if i % 3 == 0 { x % (1 << 28) } else { i * 64 };
+                let (done, _) = d.service(addr & !63, i % 4 == 0, t);
+                t = t.max(done.saturating_sub(SimTime::ns(40)));
+            }
+            d.stats.accesses()
+        })
+    });
+    g.finish();
+}
+
+fn mesi_ops(c: &mut Criterion) {
+    let n = 100_000u64;
+    let mut g = c.benchmark_group("models/mesi");
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("random_ops", |b| {
+        b.iter(|| {
+            let mut bus = SnoopBus::new(8);
+            let mut x = 0xDEADu64;
+            for _ in 0..n {
+                x ^= x << 13;
+                x ^= x >> 7;
+                let core = (x % 8) as usize;
+                let line = (x >> 8) % 4096 * 64;
+                if x & 0x10000 == 0 {
+                    bus.read(core, line);
+                } else {
+                    bus.write(core, line);
+                }
+            }
+            bus.stats.memory_fetches
+        })
+    });
+    g.finish();
+}
+
+fn network_send(c: &mut Criterion) {
+    let n = 20_000u64;
+    let mut g = c.benchmark_group("models/network");
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("torus_sends", |b| {
+        b.iter(|| {
+            let mut net = Network::new(Box::new(Torus3D::new(8, 8, 8)), NetConfig::xt5());
+            let mut t = SimTime::ZERO;
+            for i in 0..n {
+                let src = (i * 7) as u32 % 512;
+                let dst = (i * 13 + 5) as u32 % 512;
+                net.send(src, dst, 4096, t);
+                t += SimTime::ns(100);
+            }
+            net.stats.messages
+        })
+    });
+    g.finish();
+}
+
+fn node_simulation_rate(c: &mut Criterion) {
+    // Simulated instructions per wall-second of the node model — the number
+    // that determines experiment turnaround.
+    let mut g = c.benchmark_group("models/node");
+    g.sample_size(10);
+    let instrs = {
+        let mut node = small_node();
+        node.run_phase("probe", vec![sst_workloads::hpccg::solver(0, Problem::new(10), 2)])
+            .instrs
+    };
+    g.throughput(Throughput::Elements(instrs));
+    g.bench_function("hpccg_cg_iteration", |b| {
+        b.iter(|| {
+            let mut node = small_node();
+            node.run_phase("cg", vec![sst_workloads::hpccg::solver(0, Problem::new(10), 2)])
+                .instrs
+        })
+    });
+    g.finish();
+}
+
+fn small_node() -> Node {
+    Node::new(NodeConfig {
+        core: CoreConfig::with_width(4, Frequency::ghz(2.0)),
+        cores: 1,
+        mem: MemHierarchyConfig::typical(DramConfig::ddr3_1333(2)),
+    })
+}
+
+criterion_group!(
+    benches,
+    cache_access,
+    dram_service,
+    mesi_ops,
+    network_send,
+    node_simulation_rate
+);
+criterion_main!(benches);

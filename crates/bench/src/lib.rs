@@ -1,0 +1,62 @@
+//! Shared builders for the sst-rs benchmark suite (see `benches/`).
+
+use sst_core::prelude::*;
+
+/// A minimal self-propelled component for event-throughput benchmarks:
+/// bounces a token to the next node in a ring.
+pub struct RingNode {
+    pub hops_left: u64,
+    pub start: bool,
+}
+
+#[derive(Debug)]
+pub struct Tok(pub u64);
+
+impl Component for RingNode {
+    fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+        if self.start {
+            ctx.send(PortId(1), Box::new(Tok(self.hops_left)));
+        }
+    }
+    fn on_event(&mut self, _p: PortId, ev: Box<dyn Payload>, ctx: &mut SimCtx<'_>) {
+        let t = downcast::<Tok>(ev);
+        if t.0 > 0 {
+            ctx.send(PortId(1), Box::new(Tok(t.0 - 1)));
+        }
+    }
+}
+
+/// Build a ring of `n` nodes carrying one token for `hops` hops.
+pub fn ring(n: u32, hops: u64) -> SystemBuilder {
+    let mut b = SystemBuilder::new();
+    let ids: Vec<_> = (0..n)
+        .map(|i| {
+            b.add(
+                format!("n{i}"),
+                RingNode {
+                    hops_left: hops,
+                    start: i == 0,
+                },
+            )
+        })
+        .collect();
+    for i in 0..n as usize {
+        b.link(
+            (ids[i], PortId(1)),
+            (ids[(i + 1) % n as usize], PortId(0)),
+            SimTime::ns(10),
+        );
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_runs() {
+        let report = Engine::new(ring(8, 100)).run(RunLimit::Exhaust);
+        assert_eq!(report.events, 101);
+    }
+}

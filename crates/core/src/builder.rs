@@ -1,0 +1,262 @@
+//! System construction.
+//!
+//! A [`SystemBuilder`] accumulates components, links, and clocks, then builds
+//! either a serial [`Engine`](crate::engine::Engine) or a
+//! [`ParallelEngine`](crate::parallel::ParallelEngine) over `n` ranks.
+//!
+//! Links must have non-zero latency: that latency is the *lookahead* that
+//! makes conservative parallel simulation possible (events can never affect
+//! the far side of a link sooner than the link latency).
+
+use crate::component::Component;
+use crate::event::{ClockId, ComponentId, PortId};
+use crate::time::{Frequency, SimTime};
+
+/// Rank value meaning "let the builder choose".
+pub const AUTO_RANK: u32 = u32::MAX;
+
+pub(crate) struct CompSpec {
+    pub name: String,
+    pub comp: Box<dyn Component>,
+    pub rank: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LinkSpec {
+    pub a: (ComponentId, PortId),
+    pub b: (ComponentId, PortId),
+    pub latency: SimTime,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ClockSpec {
+    pub comp: ComponentId,
+    pub period: SimTime,
+}
+
+/// Builder for a simulated system.
+pub struct SystemBuilder {
+    pub(crate) comps: Vec<CompSpec>,
+    pub(crate) links: Vec<LinkSpec>,
+    pub(crate) clocks: Vec<ClockSpec>,
+    pub(crate) seed: u64,
+}
+
+impl Default for SystemBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SystemBuilder {
+    pub fn new() -> Self {
+        SystemBuilder {
+            comps: Vec::new(),
+            links: Vec::new(),
+            clocks: Vec::new(),
+            seed: 0xC0DE_5EED,
+        }
+    }
+
+    /// Set the global RNG seed (default is a fixed constant, so unseeded
+    /// simulations are still reproducible).
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Add a component with automatic rank placement.
+    pub fn add(&mut self, name: impl Into<String>, comp: impl Component + 'static) -> ComponentId {
+        self.add_on_rank(name, comp, AUTO_RANK)
+    }
+
+    /// Add a component pinned to a specific parallel rank. (Serial builds
+    /// ignore the pin.)
+    pub fn add_on_rank(
+        &mut self,
+        name: impl Into<String>,
+        comp: impl Component + 'static,
+        rank: u32,
+    ) -> ComponentId {
+        let id = ComponentId(self.comps.len() as u32);
+        let name = name.into();
+        assert!(
+            !self.comps.iter().any(|c| c.name == name),
+            "duplicate component name `{name}`"
+        );
+        self.comps.push(CompSpec {
+            name,
+            comp: Box::new(comp),
+            rank,
+        });
+        id
+    }
+
+    /// Connect two ports with a bidirectional link of the given latency.
+    /// Panics on zero latency, dangling component ids, or double-linked
+    /// ports — all wiring bugs that must fail fast.
+    pub fn link(
+        &mut self,
+        a: (ComponentId, PortId),
+        b: (ComponentId, PortId),
+        latency: SimTime,
+    ) -> &mut Self {
+        assert!(
+            latency > SimTime::ZERO,
+            "link latency must be non-zero (it provides the parallel lookahead)"
+        );
+        for &(c, p) in [&a, &b] {
+            assert!(
+                (c.0 as usize) < self.comps.len(),
+                "link references unknown component {c}"
+            );
+            assert!(
+                !self
+                    .links
+                    .iter()
+                    .any(|l| l.a == (c, p) || l.b == (c, p)),
+                "port {p:?} of {c} is already linked"
+            );
+        }
+        assert!(a.0 != b.0 || a.1 != b.1, "cannot link a port to itself");
+        self.links.push(LinkSpec { a, b, latency });
+        self
+    }
+
+    /// Register a clock on a component. Returns the `ClockId` the component
+    /// will see in `on_clock` and may pass to `resume_clock`.
+    pub fn clock(&mut self, comp: ComponentId, freq: Frequency) -> ClockId {
+        assert!((comp.0 as usize) < self.comps.len());
+        let id = ClockId(self.clocks.len() as u32);
+        self.clocks.push(ClockSpec {
+            comp,
+            period: freq.period(),
+        });
+        id
+    }
+
+    /// Register a clock by explicit period.
+    pub fn clock_period(&mut self, comp: ComponentId, period: SimTime) -> ClockId {
+        assert!((comp.0 as usize) < self.comps.len());
+        assert!(period > SimTime::ZERO);
+        let id = ClockId(self.clocks.len() as u32);
+        self.clocks.push(ClockSpec { comp, period });
+        id
+    }
+
+    pub fn component_count(&self) -> usize {
+        self.comps.len()
+    }
+
+    /// Resolve final rank assignments for `n_ranks` partitions: pinned
+    /// components keep their rank (mod n_ranks); auto components are placed
+    /// in contiguous blocks, which keeps locally-wired chains co-resident.
+    pub(crate) fn resolve_ranks(&self, n_ranks: u32) -> Vec<u32> {
+        let n = self.comps.len();
+        let auto_total = self.comps.iter().filter(|c| c.rank == AUTO_RANK).count();
+        let per = auto_total.div_ceil(n_ranks as usize).max(1);
+        let mut auto_idx = 0usize;
+        let mut out = Vec::with_capacity(n);
+        for c in &self.comps {
+            if c.rank == AUTO_RANK {
+                out.push(((auto_idx / per) as u32).min(n_ranks - 1));
+                auto_idx += 1;
+            } else {
+                out.push(c.rank % n_ranks);
+            }
+        }
+        out
+    }
+
+    /// Minimum latency over links that cross ranks; `None` if no link
+    /// crosses (ranks are then fully independent).
+    pub(crate) fn lookahead(&self, ranks: &[u32]) -> Option<SimTime> {
+        self.links
+            .iter()
+            .filter(|l| ranks[l.a.0 .0 as usize] != ranks[l.b.0 .0 as usize])
+            .map(|l| l.latency)
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{Component, SimCtx};
+    use crate::event::Payload;
+
+    struct Dummy;
+    impl Component for Dummy {
+        fn on_event(&mut self, _p: PortId, _e: Box<dyn Payload>, _c: &mut SimCtx<'_>) {}
+    }
+
+    #[test]
+    fn add_and_link() {
+        let mut b = SystemBuilder::new();
+        let a = b.add("a", Dummy);
+        let c = b.add("c", Dummy);
+        b.link((a, PortId(0)), (c, PortId(0)), SimTime::ns(1));
+        assert_eq!(b.component_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate component name")]
+    fn duplicate_name_panics() {
+        let mut b = SystemBuilder::new();
+        b.add("x", Dummy);
+        b.add("x", Dummy);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_latency_panics() {
+        let mut b = SystemBuilder::new();
+        let a = b.add("a", Dummy);
+        let c = b.add("c", Dummy);
+        b.link((a, PortId(0)), (c, PortId(0)), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "already linked")]
+    fn double_link_panics() {
+        let mut b = SystemBuilder::new();
+        let a = b.add("a", Dummy);
+        let c = b.add("c", Dummy);
+        let d = b.add("d", Dummy);
+        b.link((a, PortId(0)), (c, PortId(0)), SimTime::ns(1));
+        b.link((a, PortId(0)), (d, PortId(0)), SimTime::ns(1));
+    }
+
+    #[test]
+    fn rank_resolution_contiguous() {
+        let mut b = SystemBuilder::new();
+        for i in 0..8 {
+            b.add(format!("c{i}"), Dummy);
+        }
+        let ranks = b.resolve_ranks(4);
+        assert_eq!(ranks, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn pinned_ranks_respected() {
+        let mut b = SystemBuilder::new();
+        b.add_on_rank("a", Dummy, 3);
+        b.add("b", Dummy);
+        let ranks = b.resolve_ranks(2);
+        assert_eq!(ranks[0], 1); // 3 % 2
+        assert_eq!(ranks[1], 0);
+    }
+
+    #[test]
+    fn lookahead_is_min_cross_rank_latency() {
+        let mut b = SystemBuilder::new();
+        let a = b.add_on_rank("a", Dummy, 0);
+        let c = b.add_on_rank("c", Dummy, 0);
+        let d = b.add_on_rank("d", Dummy, 1);
+        b.link((a, PortId(0)), (c, PortId(0)), SimTime::ns(1)); // same rank
+        b.link((a, PortId(1)), (d, PortId(0)), SimTime::ns(5)); // cross
+        b.link((c, PortId(1)), (d, PortId(1)), SimTime::ns(3)); // cross
+        let ranks = b.resolve_ranks(2);
+        assert_eq!(b.lookahead(&ranks), Some(SimTime::ns(3)));
+    }
+}

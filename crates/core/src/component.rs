@@ -1,0 +1,226 @@
+//! The component model.
+//!
+//! A [`Component`] is a state machine that reacts to delivered events and
+//! clock ticks. It interacts with the rest of the simulated system *only*
+//! through its [`SimCtx`]: sending events over ports, scheduling self events,
+//! resuming clocks, recording statistics, and drawing deterministic random
+//! numbers. This is the SST structural model: components never call each
+//! other directly, which is what makes partitioned parallel simulation
+//! possible.
+
+use crate::event::{
+    ClockId, ComponentId, EventClass, EventKind, Payload, PortId, ScheduledEvent, TieBreak,
+    SELF_PORT,
+};
+use crate::stats::{StatId, StatsRegistry};
+use crate::time::SimTime;
+use rand::rngs::SmallRng;
+
+/// What a clock handler wants done after a tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockAction {
+    /// Keep ticking every cycle.
+    Continue,
+    /// Stop ticking; the component will call [`SimCtx::resume_clock`] when it
+    /// has work again. Idle components therefore cost zero events.
+    Suspend,
+}
+
+/// A simulated hardware/software component.
+pub trait Component: Send {
+    /// Called once at time zero, before any events. Register statistics and
+    /// send initial events here.
+    fn setup(&mut self, _ctx: &mut SimCtx<'_>) {}
+
+    /// An event arrived on `port`.
+    fn on_event(&mut self, port: PortId, payload: Box<dyn Payload>, ctx: &mut SimCtx<'_>);
+
+    /// A registered clock ticked. `cycle` is the absolute cycle index
+    /// (time / period).
+    fn on_clock(&mut self, _clock: ClockId, _cycle: u64, _ctx: &mut SimCtx<'_>) -> ClockAction {
+        ClockAction::Suspend
+    }
+
+    /// Called once after the run completes.
+    fn finish(&mut self, _ctx: &mut SimCtx<'_>) {}
+
+    /// Port-name table: index = `PortId`. Used by the JSON config wiring.
+    fn ports(&self) -> &'static [&'static str] {
+        &[]
+    }
+}
+
+/// The far end of a link, as seen from one port.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkEnd {
+    pub target: ComponentId,
+    pub port: PortId,
+    pub latency: SimTime,
+    /// Partition (rank) of the target component; used by the parallel engine
+    /// to route the event to the right queue.
+    pub rank: u32,
+}
+
+/// Where freshly sent events go. The serial engine pushes straight into its
+/// heap; the parallel engine routes by rank.
+pub(crate) trait EventSink {
+    fn push(&mut self, ev: ScheduledEvent, target_rank: u32);
+}
+
+/// Everything owned by the engine on behalf of one component.
+pub(crate) struct Slot {
+    pub name: String,
+    pub comp: Option<Box<dyn Component>>,
+    pub rng: SmallRng,
+    pub send_seq: u64,
+    /// Per-port link table; `None` = unconnected port.
+    pub links: Vec<Option<LinkEnd>>,
+    pub rank: u32,
+}
+
+/// The component's window into the simulation, passed to every handler.
+pub struct SimCtx<'a> {
+    pub(crate) now: SimTime,
+    pub(crate) me: ComponentId,
+    pub(crate) me_rank: u32,
+    pub(crate) name: &'a str,
+    pub(crate) links: &'a [Option<LinkEnd>],
+    pub(crate) rng: &'a mut SmallRng,
+    pub(crate) send_seq: &'a mut u64,
+    pub(crate) stats: &'a mut StatsRegistry,
+    pub(crate) sink: &'a mut dyn EventSink,
+    pub(crate) clock_resumes: &'a mut Vec<ClockId>,
+}
+
+impl<'a> SimCtx<'a> {
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This component's id.
+    #[inline]
+    pub fn me(&self) -> ComponentId {
+        self.me
+    }
+
+    /// This component's instance name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        self.name
+    }
+
+    /// Deterministic per-component RNG.
+    #[inline]
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Is `port` connected to a link?
+    pub fn port_connected(&self, port: PortId) -> bool {
+        self.links
+            .get(port.0 as usize)
+            .is_some_and(|l| l.is_some())
+    }
+
+    /// Latency of the link on `port`, if connected.
+    pub fn link_latency(&self, port: PortId) -> Option<SimTime> {
+        self.links
+            .get(port.0 as usize)
+            .and_then(|l| l.as_ref())
+            .map(|l| l.latency)
+    }
+
+    fn next_tie(&mut self) -> TieBreak {
+        let seq = *self.send_seq;
+        *self.send_seq += 1;
+        TieBreak { src: self.me, seq }
+    }
+
+    /// Send `payload` over the link on `port`. Delivery happens after the
+    /// link latency. Panics if the port is unconnected (a wiring bug).
+    pub fn send(&mut self, port: PortId, payload: Box<dyn Payload>) {
+        self.send_delayed(port, payload, SimTime::ZERO)
+    }
+
+    /// Send with an additional delay on top of the link latency (e.g. output
+    /// serialization time).
+    pub fn send_delayed(&mut self, port: PortId, payload: Box<dyn Payload>, extra: SimTime) {
+        let link = self
+            .links
+            .get(port.0 as usize)
+            .and_then(|l| l.as_ref())
+            .unwrap_or_else(|| {
+                panic!(
+                    "component `{}` sent on unconnected port {:?}",
+                    self.name, port
+                )
+            });
+        let ev = ScheduledEvent {
+            time: self.now + link.latency + extra,
+            class: EventClass::Message,
+            tie: self.next_tie(),
+            target: link.target,
+            kind: EventKind::Message {
+                port: link.port,
+                payload,
+            },
+        };
+        self.sink.push(ev, link.rank);
+    }
+
+    /// Schedule an event back to this component after `delay` (may be zero;
+    /// zero-delay self events run after currently queued same-time events).
+    pub fn schedule_self(&mut self, delay: SimTime, payload: Box<dyn Payload>) {
+        let ev = ScheduledEvent {
+            time: self.now + delay,
+            class: EventClass::Message,
+            tie: self.next_tie(),
+            target: self.me,
+            kind: EventKind::Message {
+                port: SELF_PORT,
+                payload,
+            },
+        };
+        let rank = self.me_rank;
+        self.sink.push(ev, rank);
+    }
+
+    /// Ask the engine to restart a suspended clock. The first tick lands on
+    /// the next period boundary strictly after `now`. Idempotent for already
+    /// running clocks.
+    pub fn resume_clock(&mut self, clock: ClockId) {
+        self.clock_resumes.push(clock);
+    }
+
+    // --- statistics -------------------------------------------------------
+
+    /// Register a counter owned by this component.
+    pub fn stat_counter(&mut self, name: &str) -> StatId {
+        self.stats.counter(self.name, name)
+    }
+    /// Register a scalar accumulator owned by this component.
+    pub fn stat_accumulator(&mut self, name: &str) -> StatId {
+        self.stats.accumulator(self.name, name)
+    }
+    /// Register a log2 histogram owned by this component.
+    pub fn stat_histogram(&mut self, name: &str) -> StatId {
+        self.stats.histogram(self.name, name)
+    }
+    /// Increment a counter.
+    #[inline]
+    pub fn add_stat(&mut self, id: StatId, n: u64) {
+        self.stats.add(id, n);
+    }
+    /// Record an accumulator sample.
+    #[inline]
+    pub fn record_stat(&mut self, id: StatId, v: f64) {
+        self.stats.record(id, v);
+    }
+    /// Record a histogram sample.
+    #[inline]
+    pub fn sample_stat(&mut self, id: StatId, v: u64) {
+        self.stats.sample(id, v);
+    }
+}

@@ -1,0 +1,353 @@
+//! JSON system configuration.
+//!
+//! SST instantiates simulations from machine-parsable configuration files
+//! naming registered component types. This module provides the equivalent:
+//! a [`ComponentRegistry`] of named factories and a [`SystemConfig`] schema
+//! that wires instances together by component/port *names*, resolved through
+//! each component's [`Component::ports`](crate::component::Component::ports)
+//! table.
+
+use crate::builder::SystemBuilder;
+use crate::component::Component;
+use crate::event::PortId;
+use crate::params::Params;
+use crate::time::{Frequency, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Factory signature: build a component from parameters.
+pub type Factory =
+    Box<dyn Fn(&Params) -> Result<Box<dyn Component>, ConfigError> + Send + Sync>;
+
+/// Errors raised while interpreting a configuration.
+#[derive(Debug)]
+pub enum ConfigError {
+    UnknownType(String),
+    UnknownComponent(String),
+    UnknownPort { component: String, port: String },
+    BadParam(crate::params::ParamError),
+    BadFormat(String),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::UnknownType(t) => write!(f, "unknown component type `{t}`"),
+            ConfigError::UnknownComponent(c) => write!(f, "unknown component `{c}`"),
+            ConfigError::UnknownPort { component, port } => {
+                write!(f, "component `{component}` has no port named `{port}`")
+            }
+            ConfigError::BadParam(e) => write!(f, "{e}"),
+            ConfigError::BadFormat(m) => write!(f, "bad config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<crate::params::ParamError> for ConfigError {
+    fn from(e: crate::params::ParamError) -> Self {
+        ConfigError::BadParam(e)
+    }
+}
+
+/// A registry of component factories keyed by type name.
+#[derive(Default)]
+pub struct ComponentRegistry {
+    factories: HashMap<String, (Factory, String)>,
+}
+
+impl ComponentRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a component type with a one-line description.
+    pub fn register<F>(&mut self, type_name: &str, description: &str, factory: F)
+    where
+        F: Fn(&Params) -> Result<Box<dyn Component>, ConfigError> + Send + Sync + 'static,
+    {
+        self.factories.insert(
+            type_name.to_string(),
+            (Box::new(factory), description.to_string()),
+        );
+    }
+
+    pub fn create(&self, type_name: &str, params: &Params) -> Result<Box<dyn Component>, ConfigError> {
+        match self.factories.get(type_name) {
+            Some((f, _)) => f(params),
+            None => Err(ConfigError::UnknownType(type_name.to_string())),
+        }
+    }
+
+    pub fn contains(&self, type_name: &str) -> bool {
+        self.factories.contains_key(type_name)
+    }
+
+    /// All registered `(type, description)` pairs, sorted by type name.
+    pub fn list(&self) -> Vec<(String, String)> {
+        let mut v: Vec<_> = self
+            .factories
+            .iter()
+            .map(|(k, (_, d))| (k.clone(), d.clone()))
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+/// One component instance in a config file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComponentConfig {
+    pub name: String,
+    #[serde(rename = "type")]
+    pub type_name: String,
+    /// Optional parallel rank pin.
+    #[serde(default)]
+    pub rank: Option<u32>,
+    #[serde(default)]
+    pub params: serde_json::Value,
+}
+
+/// One link: endpoints as `"component.port"` strings.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinkConfig {
+    pub from: String,
+    pub to: String,
+    pub latency_ns: f64,
+}
+
+/// One clock registration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClockConfig {
+    pub component: String,
+    pub ghz: f64,
+}
+
+/// A whole simulated system.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SystemConfig {
+    #[serde(default)]
+    pub seed: Option<u64>,
+    pub components: Vec<ComponentConfig>,
+    #[serde(default)]
+    pub links: Vec<LinkConfig>,
+    #[serde(default)]
+    pub clocks: Vec<ClockConfig>,
+}
+
+impl SystemConfig {
+    pub fn from_json(text: &str) -> Result<SystemConfig, ConfigError> {
+        serde_json::from_str(text).map_err(|e| ConfigError::BadFormat(e.to_string()))
+    }
+
+    /// Instantiate every component and wire the links/clocks, producing a
+    /// ready-to-run [`SystemBuilder`].
+    pub fn build(&self, registry: &ComponentRegistry) -> Result<SystemBuilder, ConfigError> {
+        let mut b = SystemBuilder::new();
+        if let Some(seed) = self.seed {
+            b.seed(seed);
+        }
+        let mut ids = HashMap::new();
+        let mut port_tables: HashMap<String, &'static [&'static str]> = HashMap::new();
+        for cc in &self.components {
+            let params = Params::from_json(&cc.params);
+            let comp = registry.create(&cc.type_name, &params)?;
+            port_tables.insert(cc.name.clone(), comp.ports());
+            let id = match cc.rank {
+                Some(r) => b.add_on_rank(cc.name.clone(), BoxedComponent(comp), r),
+                None => b.add(cc.name.clone(), BoxedComponent(comp)),
+            };
+            ids.insert(cc.name.clone(), id);
+        }
+        for lc in &self.links {
+            let a = resolve_endpoint(&lc.from, &ids, &port_tables)?;
+            let bb = resolve_endpoint(&lc.to, &ids, &port_tables)?;
+            b.link(a, bb, SimTime::ns_f64(lc.latency_ns));
+        }
+        for clk in &self.clocks {
+            let id = *ids
+                .get(&clk.component)
+                .ok_or_else(|| ConfigError::UnknownComponent(clk.component.clone()))?;
+            b.clock(id, Frequency::ghz(clk.ghz));
+        }
+        Ok(b)
+    }
+}
+
+/// Wrapper so a `Box<dyn Component>` can be added to a builder that expects
+/// `impl Component` by value.
+struct BoxedComponent(Box<dyn Component>);
+impl Component for BoxedComponent {
+    fn setup(&mut self, ctx: &mut crate::component::SimCtx<'_>) {
+        self.0.setup(ctx)
+    }
+    fn on_event(
+        &mut self,
+        port: PortId,
+        payload: Box<dyn crate::event::Payload>,
+        ctx: &mut crate::component::SimCtx<'_>,
+    ) {
+        self.0.on_event(port, payload, ctx)
+    }
+    fn on_clock(
+        &mut self,
+        clock: crate::event::ClockId,
+        cycle: u64,
+        ctx: &mut crate::component::SimCtx<'_>,
+    ) -> crate::component::ClockAction {
+        self.0.on_clock(clock, cycle, ctx)
+    }
+    fn finish(&mut self, ctx: &mut crate::component::SimCtx<'_>) {
+        self.0.finish(ctx)
+    }
+    fn ports(&self) -> &'static [&'static str] {
+        self.0.ports()
+    }
+}
+
+fn resolve_endpoint(
+    spec: &str,
+    ids: &HashMap<String, crate::event::ComponentId>,
+    port_tables: &HashMap<String, &'static [&'static str]>,
+) -> Result<(crate::event::ComponentId, PortId), ConfigError> {
+    let (comp, port) = spec
+        .rsplit_once('.')
+        .ok_or_else(|| ConfigError::BadFormat(format!("endpoint `{spec}` is not `component.port`")))?;
+    let id = *ids
+        .get(comp)
+        .ok_or_else(|| ConfigError::UnknownComponent(comp.to_string()))?;
+    let table = port_tables.get(comp).copied().unwrap_or(&[]);
+    let pidx = table
+        .iter()
+        .position(|p| *p == port)
+        .ok_or_else(|| ConfigError::UnknownPort {
+            component: comp.to_string(),
+            port: port.to_string(),
+        })?;
+    Ok((id, PortId(pidx as u16)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::SimCtx;
+    use crate::engine::{Engine, RunLimit};
+    use crate::event::{downcast, Payload};
+    use crate::stats::StatId;
+
+    #[derive(Debug)]
+    struct Msg(u64);
+
+    struct Echo {
+        copies: u64,
+        stat: Option<StatId>,
+        initiate: bool,
+    }
+    impl Component for Echo {
+        fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+            self.stat = Some(ctx.stat_counter("echoes"));
+            if self.initiate {
+                ctx.send(PortId(0), Box::new(Msg(0)));
+            }
+        }
+        fn on_event(&mut self, _port: PortId, payload: Box<dyn Payload>, ctx: &mut SimCtx<'_>) {
+            let m = downcast::<Msg>(payload);
+            ctx.add_stat(self.stat.unwrap(), 1);
+            if m.0 + 1 < self.copies {
+                ctx.send(PortId(0), Box::new(Msg(m.0 + 1)));
+            }
+        }
+        fn ports(&self) -> &'static [&'static str] {
+            &["io"]
+        }
+    }
+
+    fn registry() -> ComponentRegistry {
+        let mut r = ComponentRegistry::new();
+        r.register("echo", "bounces messages", |p| {
+            Ok(Box::new(Echo {
+                copies: p.u64_or("copies", 4),
+                stat: None,
+                initiate: p.bool_or("initiate", false),
+            }))
+        });
+        r
+    }
+
+    const CONFIG: &str = r#"{
+        "seed": 7,
+        "components": [
+            {"name": "left",  "type": "echo", "params": {"copies": 6, "initiate": true}},
+            {"name": "right", "type": "echo", "params": {"copies": 6}}
+        ],
+        "links": [{"from": "left.io", "to": "right.io", "latency_ns": 2.5}]
+    }"#;
+
+    #[test]
+    fn config_roundtrip_builds_and_runs() {
+        let cfg = SystemConfig::from_json(CONFIG).unwrap();
+        let b = cfg.build(&registry()).unwrap();
+        let report = Engine::new(b).run(RunLimit::Exhaust);
+        assert_eq!(report.events, 6);
+        assert_eq!(report.stats.counter("right", "echoes"), 3);
+        assert_eq!(report.stats.counter("left", "echoes"), 3);
+        assert_eq!(report.end_time, SimTime::ps(6 * 2_500));
+    }
+
+    #[test]
+    fn unknown_type_is_reported() {
+        let cfg = SystemConfig::from_json(
+            r#"{"components": [{"name": "x", "type": "nope", "params": {}}]}"#,
+        )
+        .unwrap();
+        let Err(err) = cfg.build(&registry()) else {
+            panic!("expected error")
+        };
+        assert!(matches!(err, ConfigError::UnknownType(t) if t == "nope"));
+    }
+
+    #[test]
+    fn unknown_port_is_reported() {
+        let cfg = SystemConfig::from_json(
+            r#"{
+            "components": [
+                {"name": "a", "type": "echo", "params": {}},
+                {"name": "b", "type": "echo", "params": {}}
+            ],
+            "links": [{"from": "a.bogus", "to": "b.io", "latency_ns": 1}]
+        }"#,
+        )
+        .unwrap();
+        let Err(err) = cfg.build(&registry()) else {
+            panic!("expected error")
+        };
+        assert!(matches!(err, ConfigError::UnknownPort { port, .. } if port == "bogus"));
+    }
+
+    #[test]
+    fn bad_endpoint_format() {
+        let cfg = SystemConfig::from_json(
+            r#"{
+            "components": [{"name": "a", "type": "echo", "params": {}}],
+            "links": [{"from": "a", "to": "a.io", "latency_ns": 1}]
+        }"#,
+        )
+        .unwrap();
+        let Err(err) = cfg.build(&registry()) else {
+            panic!("expected error")
+        };
+        assert!(matches!(err, ConfigError::BadFormat(_)));
+    }
+
+    #[test]
+    fn registry_lists_types() {
+        let r = registry();
+        let l = r.list();
+        assert_eq!(l.len(), 1);
+        assert_eq!(l[0].0, "echo");
+        assert!(r.contains("echo"));
+        assert!(!r.contains("missing"));
+    }
+}

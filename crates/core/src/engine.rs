@@ -1,0 +1,555 @@
+//! The simulation kernel and the serial engine.
+//!
+//! [`Kernel`] owns component state and implements event delivery; it is
+//! shared by the serial [`Engine`] and the per-rank workers of the parallel
+//! engine. The serial engine is simply a kernel plus one event queue.
+
+use crate::builder::SystemBuilder;
+use crate::component::{EventSink, LinkEnd, SimCtx, Slot};
+use crate::event::{
+    ClockId, ComponentId, EventClass, EventKind, ScheduledEvent, TieBreak,
+};
+use crate::queue::EventQueue;
+use crate::rng::component_rng;
+use crate::stats::{StatsRegistry, StatsSnapshot};
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// How long to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunLimit {
+    /// Process every event with `time <= t`, then stop at `t`.
+    Until(SimTime),
+    /// Run until no events remain. (A system with a free-running clock never
+    /// exhausts; such components must suspend their clocks when idle.)
+    Exhaust,
+}
+
+impl RunLimit {
+    #[inline]
+    pub fn bound(self) -> SimTime {
+        match self {
+            RunLimit::Until(t) => t,
+            RunLimit::Exhaust => SimTime::MAX,
+        }
+    }
+}
+
+/// End-of-run summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Final simulated time (the limit, or the last processed event's time).
+    pub end_time: SimTime,
+    /// Message events delivered.
+    pub events: u64,
+    /// Clock ticks fired.
+    pub clock_ticks: u64,
+    /// Wall-clock run duration in seconds.
+    pub wall_seconds: f64,
+    /// Number of parallel ranks used (1 for the serial engine).
+    pub ranks: u32,
+    /// Conservative-sync epochs executed (0 for the serial engine).
+    pub epochs: u64,
+    /// Final statistics table.
+    pub stats: StatsSnapshot,
+}
+
+impl SimReport {
+    /// Delivered events (messages + clock ticks) per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            (self.events + self.clock_ticks) as f64 / self.wall_seconds
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+pub(crate) struct ClockState {
+    pub comp: ComponentId,
+    pub period: SimTime,
+    pub active: bool,
+}
+
+/// Component state container plus the delivery state machine.
+pub(crate) struct Kernel {
+    /// Sparse by `ComponentId`: `None` for components owned by other ranks.
+    pub slots: Vec<Option<Slot>>,
+    pub stats: StatsRegistry,
+    pub clocks: Vec<ClockState>,
+    pub now: SimTime,
+    pub events: u64,
+    pub clock_ticks: u64,
+    resume_buf: Vec<ClockId>,
+}
+
+impl Kernel {
+    /// Build the kernel for `my_rank`, keeping only locally owned components.
+    /// (`my_rank = 0` with `ranks` all zero builds the serial kernel.)
+    pub fn from_builder(builder: SystemBuilder, ranks: &[u32], my_rank: u32) -> Kernel {
+        let n = builder.comps.len();
+        // Per-component port link tables.
+        let mut link_tables: Vec<Vec<Option<LinkEnd>>> = vec![Vec::new(); n];
+        let mut set_end = |from: (ComponentId, crate::event::PortId),
+                           to: (ComponentId, crate::event::PortId),
+                           latency: SimTime| {
+            let table = &mut link_tables[from.0 .0 as usize];
+            let idx = from.1 .0 as usize;
+            if table.len() <= idx {
+                table.resize(idx + 1, None);
+            }
+            table[idx] = Some(LinkEnd {
+                target: to.0,
+                port: to.1,
+                latency,
+                rank: ranks[to.0 .0 as usize],
+            });
+        };
+        for l in &builder.links {
+            set_end(l.a, l.b, l.latency);
+            set_end(l.b, l.a, l.latency);
+        }
+
+        let seed = builder.seed;
+        let mut slots: Vec<Option<Slot>> = Vec::with_capacity(n);
+        for (i, (spec, table)) in builder
+            .comps
+            .into_iter()
+            .zip(link_tables.into_iter())
+            .enumerate()
+        {
+            if ranks[i] == my_rank {
+                slots.push(Some(Slot {
+                    name: spec.name,
+                    comp: Some(spec.comp),
+                    rng: component_rng(seed, i as u32),
+                    send_seq: 0,
+                    links: table,
+                    rank: my_rank,
+                }));
+            } else {
+                slots.push(None);
+            }
+        }
+
+        let clocks = builder
+            .clocks
+            .iter()
+            .map(|c| ClockState {
+                comp: c.comp,
+                period: c.period,
+                active: false,
+            })
+            .collect();
+
+        Kernel {
+            slots,
+            stats: StatsRegistry::new(),
+            clocks,
+            now: SimTime::ZERO,
+            events: 0,
+            clock_ticks: 0,
+            resume_buf: Vec::new(),
+        }
+    }
+
+    fn is_local(&self, c: ComponentId) -> bool {
+        self.slots
+            .get(c.0 as usize)
+            .is_some_and(|s| s.is_some())
+    }
+
+    /// Schedule the first tick of every local clock.
+    pub fn start_clocks(&mut self, sink: &mut dyn EventSink) {
+        for (i, clk) in self.clocks.iter_mut().enumerate() {
+            if self
+                .slots
+                .get(clk.comp.0 as usize)
+                .is_some_and(|s| s.is_some())
+            {
+                clk.active = true;
+                sink.push(clock_tick(clk, ClockId(i as u32), clk.period), u32::MAX);
+            }
+        }
+    }
+
+    /// Run `setup` on every local component (at time zero).
+    pub fn setup_all(&mut self, sink: &mut dyn EventSink) {
+        for i in 0..self.slots.len() {
+            if self.slots[i].is_some() {
+                self.with_ctx(ComponentId(i as u32), sink, |comp, ctx| comp.setup(ctx));
+            }
+        }
+    }
+
+    /// Run `finish` on every local component.
+    pub fn finish_all(&mut self, sink: &mut dyn EventSink) {
+        for i in 0..self.slots.len() {
+            if self.slots[i].is_some() {
+                self.with_ctx(ComponentId(i as u32), sink, |comp, ctx| comp.finish(ctx));
+            }
+        }
+    }
+
+    /// Deliver one scheduled event (message or clock tick) to its local
+    /// target, advancing kernel time to the event time.
+    pub fn deliver(&mut self, ev: ScheduledEvent, sink: &mut dyn EventSink) {
+        debug_assert!(ev.time >= self.now, "event in the past: {ev:?}");
+        debug_assert!(self.is_local(ev.target), "event for non-local component");
+        self.now = ev.time;
+        match ev.kind {
+            EventKind::Message { port, payload } => {
+                self.events += 1;
+                self.with_ctx(ev.target, sink, |comp, ctx| {
+                    comp.on_event(port, payload, ctx)
+                });
+            }
+            EventKind::ClockTick { clock, cycle } => {
+                self.clock_ticks += 1;
+                let action = self.with_ctx(ev.target, sink, |comp, ctx| {
+                    comp.on_clock(clock, cycle, ctx)
+                });
+                let clk = &mut self.clocks[clock.0 as usize];
+                match action {
+                    crate::component::ClockAction::Continue => {
+                        sink.push(clock_tick(clk, clock, ev.time + clk.period), u32::MAX);
+                    }
+                    crate::component::ClockAction::Suspend => clk.active = false,
+                }
+            }
+        }
+    }
+
+    /// Borrow-split helper: take the component out of its slot, build a
+    /// context over the remaining kernel state, run `f`, put it back, then
+    /// apply any clock-resume requests.
+    fn with_ctx<R>(
+        &mut self,
+        id: ComponentId,
+        sink: &mut dyn EventSink,
+        f: impl FnOnce(&mut dyn crate::component::Component, &mut SimCtx<'_>) -> R,
+    ) -> R {
+        let idx = id.0 as usize;
+        let slot = self.slots[idx]
+            .as_mut()
+            .unwrap_or_else(|| panic!("component {id} is not local"));
+        let mut comp = slot.comp.take().expect("re-entrant component delivery");
+        let r = {
+            let mut ctx = SimCtx {
+                now: self.now,
+                me: id,
+                me_rank: slot.rank,
+                name: &slot.name,
+                links: &slot.links,
+                rng: &mut slot.rng,
+                send_seq: &mut slot.send_seq,
+                stats: &mut self.stats,
+                sink,
+                clock_resumes: &mut self.resume_buf,
+            };
+            f(comp.as_mut(), &mut ctx)
+        };
+        self.slots[idx].as_mut().unwrap().comp = Some(comp);
+
+        // Apply clock resumes outside the ctx borrow.
+        while let Some(cid) = self.resume_buf.pop() {
+            let clk = &mut self.clocks[cid.0 as usize];
+            if !clk.active {
+                clk.active = true;
+                // First tick strictly after `now`, on the period grid.
+                let next = (self.now / clk.period + 1) * clk.period.as_ps();
+                sink.push(clock_tick(clk, cid, SimTime::ps(next)), u32::MAX);
+            }
+        }
+        r
+    }
+}
+
+fn clock_tick(clk: &ClockState, id: ClockId, time: SimTime) -> ScheduledEvent {
+    ScheduledEvent {
+        time,
+        class: EventClass::Clock,
+        tie: TieBreak {
+            src: clk.comp,
+            seq: id.0 as u64,
+        },
+        target: clk.comp,
+        kind: EventKind::ClockTick {
+            clock: id,
+            cycle: time / clk.period,
+        },
+    }
+}
+
+impl EventSink for EventQueue {
+    #[inline]
+    fn push(&mut self, ev: ScheduledEvent, _target_rank: u32) {
+        EventQueue::push(self, ev);
+    }
+}
+
+/// The serial discrete-event engine.
+pub struct Engine {
+    kernel: Kernel,
+    queue: EventQueue,
+    started: bool,
+}
+
+impl Engine {
+    /// Build a serial engine from a system description.
+    pub fn new(builder: SystemBuilder) -> Engine {
+        let ranks = vec![0u32; builder.comps.len()];
+        Engine {
+            kernel: Kernel::from_builder(builder, &ranks, 0),
+            queue: EventQueue::new(),
+            started: false,
+        }
+    }
+
+    fn start(&mut self) {
+        if !self.started {
+            self.started = true;
+            self.kernel.setup_all(&mut self.queue);
+            self.kernel.start_clocks(&mut self.queue);
+        }
+    }
+
+    /// Advance the simulation, processing every event with time `<= limit`
+    /// (or all events, for `Exhaust`). May be called repeatedly with
+    /// increasing limits.
+    pub fn step(&mut self, limit: RunLimit) {
+        self.start();
+        let bound = limit.bound();
+        while let Some(ev) = self.queue.pop_until(bound) {
+            self.kernel.deliver(ev, &mut self.queue);
+        }
+        if let RunLimit::Until(t) = limit {
+            self.kernel.now = self.kernel.now.max(t);
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.now
+    }
+
+    /// Pending event count (diagnostics).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Run to the limit, finalize components, and report.
+    pub fn run(mut self, limit: RunLimit) -> SimReport {
+        let t0 = std::time::Instant::now();
+        self.step(limit);
+        self.kernel.finish_all(&mut self.queue);
+        SimReport {
+            end_time: self.kernel.now,
+            events: self.kernel.events,
+            clock_ticks: self.kernel.clock_ticks,
+            wall_seconds: t0.elapsed().as_secs_f64(),
+            ranks: 1,
+            epochs: 0,
+            stats: self.kernel.stats.snapshot(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{ClockAction, Component, SimCtx};
+    use crate::event::{downcast, Payload, PortId, SELF_PORT};
+    use crate::stats::StatId;
+    use crate::time::Frequency;
+
+    #[derive(Debug)]
+    struct Ball(u32);
+
+    /// Bounces a counter back and forth `max` times.
+    struct PingPong {
+        max: u32,
+        seen: Option<StatId>,
+        start: bool,
+    }
+    impl PingPong {
+        const PORT: PortId = PortId(0);
+    }
+    impl Component for PingPong {
+        fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+            self.seen = Some(ctx.stat_counter("bounces"));
+            if self.start {
+                ctx.send(Self::PORT, Box::new(Ball(0)));
+            }
+        }
+        fn on_event(&mut self, port: PortId, payload: Box<dyn Payload>, ctx: &mut SimCtx<'_>) {
+            assert_eq!(port, Self::PORT);
+            let ball = downcast::<Ball>(payload);
+            ctx.add_stat(self.seen.unwrap(), 1);
+            if ball.0 < self.max {
+                ctx.send(Self::PORT, Box::new(Ball(ball.0 + 1)));
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_exhaust() {
+        let mut b = SystemBuilder::new();
+        let a = b.add(
+            "ping",
+            PingPong {
+                max: 9,
+                seen: None,
+                start: true,
+            },
+        );
+        let c = b.add(
+            "pong",
+            PingPong {
+                max: 9,
+                seen: None,
+                start: false,
+            },
+        );
+        b.link((a, PingPong::PORT), (c, PingPong::PORT), SimTime::ns(5));
+        let report = Engine::new(b).run(RunLimit::Exhaust);
+        // Balls 0..=9 delivered: 10 deliveries alternating pong/ping.
+        assert_eq!(report.events, 10);
+        assert_eq!(report.stats.counter("pong", "bounces"), 5);
+        assert_eq!(report.stats.counter("ping", "bounces"), 5);
+        // Last delivery at 10 * 5ns.
+        assert_eq!(report.end_time, SimTime::ns(50));
+    }
+
+    #[test]
+    fn run_until_stops_at_limit() {
+        let mut b = SystemBuilder::new();
+        let a = b.add(
+            "ping",
+            PingPong {
+                max: 1000,
+                seen: None,
+                start: true,
+            },
+        );
+        let c = b.add(
+            "pong",
+            PingPong {
+                max: 1000,
+                seen: None,
+                start: false,
+            },
+        );
+        b.link((a, PingPong::PORT), (c, PingPong::PORT), SimTime::ns(10));
+        let report = Engine::new(b).run(RunLimit::Until(SimTime::ns(100)));
+        assert_eq!(report.end_time, SimTime::ns(100));
+        // Deliveries at 10,20,...,100 ns inclusive.
+        assert_eq!(report.events, 10);
+    }
+
+    /// Counts its own clock ticks; suspends after 5 and resumes via a
+    /// delayed self event.
+    struct Ticker {
+        ticks: u64,
+        resumed: bool,
+        clock: crate::event::ClockId,
+        stat: Option<StatId>,
+    }
+    #[derive(Debug)]
+    struct WakeUp;
+    impl Component for Ticker {
+        fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+            self.stat = Some(ctx.stat_counter("ticks"));
+        }
+        fn on_event(&mut self, port: PortId, _p: Box<dyn Payload>, ctx: &mut SimCtx<'_>) {
+            assert_eq!(port, SELF_PORT);
+            self.resumed = true;
+            ctx.resume_clock(self.clock);
+        }
+        fn on_clock(&mut self, _c: crate::event::ClockId, _cycle: u64, ctx: &mut SimCtx<'_>) -> ClockAction {
+            self.ticks += 1;
+            ctx.add_stat(self.stat.unwrap(), 1);
+            if self.ticks == 5 && !self.resumed {
+                ctx.schedule_self(SimTime::ns(100), Box::new(WakeUp));
+                ClockAction::Suspend
+            } else if self.ticks >= 8 {
+                ClockAction::Suspend
+            } else {
+                ClockAction::Continue
+            }
+        }
+    }
+
+    #[test]
+    fn clock_suspend_resume() {
+        let mut b = SystemBuilder::new();
+        let t = b.add(
+            "ticker",
+            Ticker {
+                ticks: 0,
+                resumed: false,
+                clock: crate::event::ClockId(0),
+                stat: None,
+            },
+        );
+        let clk = b.clock(t, Frequency::ghz(1.0));
+        assert_eq!(clk.0, 0);
+        let report = Engine::new(b).run(RunLimit::Exhaust);
+        // 5 ticks at 1..=5 ns, wake at ~105 ns, 3 more ticks, suspend at 8.
+        assert_eq!(report.stats.counter("ticker", "ticks"), 8);
+        assert_eq!(report.events, 1); // the WakeUp self event
+        assert_eq!(report.clock_ticks, 8);
+        // Resume aligns to the period grid after 105 ns: ticks at 106,107,108.
+        assert_eq!(report.end_time, SimTime::ns(108));
+    }
+
+    #[test]
+    fn clock_cycle_numbers_match_time() {
+        struct CycleCheck;
+        impl Component for CycleCheck {
+            fn on_event(&mut self, _p: PortId, _e: Box<dyn Payload>, _c: &mut SimCtx<'_>) {}
+            fn on_clock(
+                &mut self,
+                _c: crate::event::ClockId,
+                cycle: u64,
+                ctx: &mut SimCtx<'_>,
+            ) -> ClockAction {
+                assert_eq!(ctx.now().as_ps() / 500, cycle);
+                if cycle < 10 {
+                    ClockAction::Continue
+                } else {
+                    ClockAction::Suspend
+                }
+            }
+        }
+        let mut b = SystemBuilder::new();
+        let c = b.add("cc", CycleCheck);
+        b.clock(c, Frequency::ghz(2.0)); // 500 ps period
+        let report = Engine::new(b).run(RunLimit::Exhaust);
+        assert_eq!(report.clock_ticks, 10);
+    }
+
+    #[test]
+    fn report_events_per_sec_finite() {
+        let mut b = SystemBuilder::new();
+        let a = b.add(
+            "ping",
+            PingPong {
+                max: 100,
+                seen: None,
+                start: true,
+            },
+        );
+        let c = b.add(
+            "pong",
+            PingPong {
+                max: 100,
+                seen: None,
+                start: false,
+            },
+        );
+        b.link((a, PingPong::PORT), (c, PingPong::PORT), SimTime::ns(1));
+        let report = Engine::new(b).run(RunLimit::Exhaust);
+        assert!(report.events_per_sec() > 0.0);
+    }
+}

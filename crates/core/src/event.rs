@@ -1,0 +1,171 @@
+//! Events and identifiers.
+//!
+//! Everything that flows between components is an [`Event`]: a boxed,
+//! type-erased payload plus routing/ordering metadata managed by the engine.
+//! Components downcast payloads on receipt, which keeps the engine fully
+//! generic over component types (the SST "port/event" model).
+
+use crate::time::SimTime;
+use std::any::Any;
+use std::fmt;
+
+/// Identifies a component instance within a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(pub u32);
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Identifies a port on a component. Port numbering is a per-component-type
+/// convention (components expose `pub const` port ids and a name table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId(pub u16);
+
+/// The pseudo-port used for self-scheduled events ([`SimCtx::schedule_self`]).
+pub const SELF_PORT: PortId = PortId(u16::MAX);
+
+/// Identifies a registered clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClockId(pub u32);
+
+/// A type-erased event payload.
+///
+/// Blanket-implemented for every `'static + Send + Debug` type, so any plain
+/// struct can be sent over a link without ceremony.
+pub trait Payload: Any + Send + fmt::Debug {
+    fn as_any(&self) -> &dyn Any;
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+impl<T: Any + Send + fmt::Debug> Payload for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// Downcast a boxed payload to a concrete type, panicking with a helpful
+/// message on mismatch. Components use this in `on_event`.
+pub fn downcast<T: Payload>(payload: Box<dyn Payload>) -> Box<T> {
+    let dbg = format!("{:?}", payload);
+    payload.into_any().downcast::<T>().unwrap_or_else(|_| {
+        panic!(
+            "event payload type mismatch: expected {}, got {dbg}",
+            std::any::type_name::<T>()
+        )
+    })
+}
+
+/// Deterministic tie-breaker for simultaneous events.
+///
+/// Two events with equal delivery time and priority are ordered by
+/// `(src_component, per-component send sequence)`. Both fields are functions
+/// of the *sender's* deterministic execution, so serial and parallel engines
+/// produce identical delivery orders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TieBreak {
+    pub src: ComponentId,
+    pub seq: u64,
+}
+
+/// Engine-internal ordering priority. Lower runs first at equal times.
+/// Clocks fire before events at the same instant (the SST convention), so a
+/// component's clock handler observes state *before* same-cycle deliveries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventClass {
+    Clock = 0,
+    Message = 1,
+}
+
+/// A scheduled occurrence: either a clock tick or a message delivery.
+pub struct ScheduledEvent {
+    pub time: SimTime,
+    pub class: EventClass,
+    pub tie: TieBreak,
+    pub target: ComponentId,
+    pub kind: EventKind,
+}
+
+pub enum EventKind {
+    /// Deliver `payload` to `port` of the target component.
+    Message {
+        port: PortId,
+        payload: Box<dyn Payload>,
+    },
+    /// Fire the target component's clock handler.
+    ClockTick { clock: ClockId, cycle: u64 },
+}
+
+impl ScheduledEvent {
+    /// The total-order key. Payloads never participate in ordering.
+    #[inline]
+    pub fn key(&self) -> (SimTime, EventClass, TieBreak) {
+        (self.time, self.class, self.tie)
+    }
+}
+
+impl fmt::Debug for ScheduledEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            EventKind::Message { port, payload } => write!(
+                f,
+                "Event@{} -> {}:{:?} {:?}",
+                self.time, self.target, port, payload
+            ),
+            EventKind::ClockTick { clock, cycle } => write!(
+                f,
+                "Clock@{} -> {} clk{:?} cycle {}",
+                self.time, self.target, clock, cycle
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Ping(u32);
+
+    #[test]
+    fn downcast_roundtrip() {
+        let b: Box<dyn Payload> = Box::new(Ping(7));
+        let p = downcast::<Ping>(b);
+        assert_eq!(*p, Ping(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "payload type mismatch")]
+    fn downcast_mismatch_panics() {
+        let b: Box<dyn Payload> = Box::new(Ping(7));
+        let _ = downcast::<String>(b);
+    }
+
+    #[test]
+    fn clock_orders_before_message() {
+        assert!(EventClass::Clock < EventClass::Message);
+    }
+
+    #[test]
+    fn tiebreak_order() {
+        let a = TieBreak {
+            src: ComponentId(1),
+            seq: 5,
+        };
+        let b = TieBreak {
+            src: ComponentId(1),
+            seq: 6,
+        };
+        let c = TieBreak {
+            src: ComponentId(2),
+            seq: 0,
+        };
+        assert!(a < b && b < c);
+    }
+}

@@ -1,0 +1,78 @@
+//! # sst-core — The Structural Simulation Toolkit core engine
+//!
+//! A Rust reproduction of the core of the **Structural Simulation Toolkit**
+//! (Rodrigues, Murphy, Kogge, Underwood — SC'06): a *parallel*, *modular*,
+//! component-based discrete-event simulator for exploring novel
+//! high-performance-computing architectures.
+//!
+//! The model:
+//!
+//! * A simulated system is a graph of [`Component`]s connected by **links**
+//!   with non-zero latency. Components interact only by exchanging events
+//!   over links — never by direct calls.
+//! * Components may also register **clocks** and receive periodic ticks;
+//!   idle components suspend their clocks so they cost nothing.
+//! * The non-zero link latency is the **lookahead** that lets the
+//!   [`ParallelEngine`] partition the graph over ranks and run a
+//!   conservative (no-rollback) parallel simulation that is *bit-identical*
+//!   to the serial run.
+//!
+//! ```
+//! use sst_core::prelude::*;
+//!
+//! #[derive(Debug)]
+//! struct Ping(u32);
+//!
+//! struct Bouncer { limit: u32 }
+//! impl Component for Bouncer {
+//!     fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+//!         if ctx.name() == "a" { ctx.send(PortId(0), Box::new(Ping(0))); }
+//!     }
+//!     fn on_event(&mut self, _p: PortId, ev: Box<dyn Payload>, ctx: &mut SimCtx<'_>) {
+//!         let ping = downcast::<Ping>(ev);
+//!         if ping.0 < self.limit { ctx.send(PortId(0), Box::new(Ping(ping.0 + 1))); }
+//!     }
+//! }
+//!
+//! let mut b = SystemBuilder::new();
+//! let a = b.add("a", Bouncer { limit: 10 });
+//! let c = b.add("b", Bouncer { limit: 10 });
+//! b.link((a, PortId(0)), (c, PortId(0)), SimTime::ns(5));
+//! let report = Engine::new(b).run(RunLimit::Exhaust);
+//! assert_eq!(report.events, 11);
+//! ```
+
+pub mod builder;
+pub mod component;
+pub mod config;
+pub mod engine;
+pub mod event;
+pub mod params;
+pub mod parallel;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use builder::SystemBuilder;
+pub use component::{ClockAction, Component, SimCtx};
+pub use config::{ComponentRegistry, ConfigError, SystemConfig};
+pub use engine::{Engine, RunLimit, SimReport};
+pub use event::{downcast, ClockId, ComponentId, Payload, PortId, SELF_PORT};
+pub use params::{ParamError, Params};
+pub use parallel::ParallelEngine;
+pub use stats::{StatId, StatKind, StatsRegistry, StatsSnapshot};
+pub use time::{Frequency, SimTime};
+
+/// One-line import for component authors and simulation drivers.
+pub mod prelude {
+    pub use crate::builder::SystemBuilder;
+    pub use crate::component::{ClockAction, Component, SimCtx};
+    pub use crate::config::{ComponentRegistry, SystemConfig};
+    pub use crate::engine::{Engine, RunLimit, SimReport};
+    pub use crate::event::{downcast, ClockId, ComponentId, Payload, PortId, SELF_PORT};
+    pub use crate::params::Params;
+    pub use crate::parallel::ParallelEngine;
+    pub use crate::stats::StatId;
+    pub use crate::time::{Frequency, SimTime};
+}

@@ -1,0 +1,455 @@
+//! Conservative parallel discrete-event engine.
+//!
+//! The component graph is partitioned across `n` ranks (worker threads —
+//! standing in for the MPI ranks of the original SST; see DESIGN.md). Because
+//! every link has non-zero latency, an event sent at time `t` over a
+//! cross-rank link cannot arrive before `t + L`, where `L` is the minimum
+//! cross-rank link latency (the *lookahead*). Each epoch therefore processes
+//! the window `[T, T + L)` where `T` is the global minimum pending event
+//! time, exchanges cross-rank events at a barrier, and repeats. No rank can
+//! ever receive an event in its past, so no rollback is needed.
+//!
+//! Determinism: event ordering uses the same `(time, class, tie)` total order
+//! as the serial engine, and tie-breakers are derived from sender state only,
+//! so a parallel run produces *bit-identical* statistics to the serial run of
+//! the same system. Integration tests assert this.
+
+use crate::builder::SystemBuilder;
+use crate::component::EventSink;
+use crate::engine::{Kernel, RunLimit, SimReport};
+use crate::event::ScheduledEvent;
+use crate::queue::EventQueue;
+use crate::stats::StatsRegistry;
+use crate::time::SimTime;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+/// Routes pushed events: local ones into a staging buffer (drained into the
+/// rank's queue after each handler, since the queue is being popped at the
+/// same time), remote ones into per-destination buffers flushed at the next
+/// barrier.
+struct RankSink<'a> {
+    my_rank: u32,
+    local: &'a mut Vec<ScheduledEvent>,
+    outbound: &'a mut [Vec<ScheduledEvent>],
+}
+
+impl EventSink for RankSink<'_> {
+    #[inline]
+    fn push(&mut self, ev: ScheduledEvent, target_rank: u32) {
+        // `u32::MAX` marks engine-internal events (clock ticks), which are
+        // always local.
+        if target_rank == self.my_rank || target_rank == u32::MAX {
+            self.local.push(ev);
+        } else {
+            self.outbound[target_rank as usize].push(ev);
+        }
+    }
+}
+
+/// The parallel engine: one [`Kernel`] per rank plus shared synchronization
+/// state.
+pub struct ParallelEngine {
+    kernels: Vec<Kernel>,
+    lookahead: SimTime,
+    n_ranks: u32,
+}
+
+impl ParallelEngine {
+    /// Partition the system over `n_ranks` ranks. Panics if `n_ranks == 0`.
+    /// Systems with no cross-rank links use an unbounded lookahead (the ranks
+    /// are independent).
+    pub fn new(builder: SystemBuilder, n_ranks: u32) -> ParallelEngine {
+        assert!(n_ranks > 0, "need at least one rank");
+        let ranks = builder.resolve_ranks(n_ranks);
+        let lookahead = builder.lookahead(&ranks).unwrap_or(SimTime::MAX);
+        // Kernel::from_builder consumes the builder, so clone-free
+        // construction needs one pass per rank over a shared spec. Instead we
+        // split the builder once: move each component into its rank's kernel.
+        let kernels = split_builder(builder, &ranks, n_ranks);
+        ParallelEngine {
+            kernels,
+            lookahead,
+            n_ranks,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> u32 {
+        self.n_ranks
+    }
+
+    /// The conservative lookahead window.
+    pub fn lookahead(&self) -> SimTime {
+        self.lookahead
+    }
+
+    /// Run the simulation to `limit` and report. Statistics from all ranks
+    /// are merged (rank order) into one snapshot.
+    pub fn run(self, limit: RunLimit) -> SimReport {
+        let t0 = std::time::Instant::now();
+        let n = self.n_ranks as usize;
+        let bound = limit.bound();
+        let lookahead = self.lookahead;
+
+        let barrier = Barrier::new(n);
+        let mailboxes: Vec<Mutex<Vec<ScheduledEvent>>> =
+            (0..n).map(|_| Mutex::new(Vec::new())).collect();
+        let next_times: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
+        let epochs = AtomicU64::new(0);
+
+        let mut results: Vec<Option<(Kernel, u64)>> = (0..n).map(|_| None).collect();
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (rank, kernel) in self.kernels.into_iter().enumerate() {
+                let barrier = &barrier;
+                let mailboxes = &mailboxes;
+                let next_times = &next_times;
+                let epochs = &epochs;
+                handles.push(scope.spawn(move || {
+                    run_rank(
+                        kernel, rank as u32, n, bound, lookahead, barrier, mailboxes, next_times,
+                        epochs,
+                    )
+                }));
+            }
+            for (rank, h) in handles.into_iter().enumerate() {
+                results[rank] = Some(h.join().expect("rank thread panicked"));
+            }
+        });
+
+        let mut stats = StatsRegistry::new();
+        let mut events = 0u64;
+        let mut clock_ticks = 0u64;
+        let mut end_time = SimTime::ZERO;
+        let mut local_epochs = 0u64;
+        for r in results.into_iter().flatten() {
+            let (kernel, eps) = r;
+            events += kernel.events;
+            clock_ticks += kernel.clock_ticks;
+            end_time = end_time.max(kernel.now);
+            stats.absorb(kernel.stats);
+            local_epochs = local_epochs.max(eps);
+        }
+        if let RunLimit::Until(t) = limit {
+            end_time = end_time.max(t);
+        }
+        SimReport {
+            end_time,
+            events,
+            clock_ticks,
+            wall_seconds: t0.elapsed().as_secs_f64(),
+            ranks: self.n_ranks,
+            epochs: local_epochs,
+            stats: stats.snapshot(),
+        }
+    }
+}
+
+/// Move each component of `builder` into the kernel of its rank.
+fn split_builder(builder: SystemBuilder, ranks: &[u32], n_ranks: u32) -> Vec<Kernel> {
+    // Rebuild per-rank builders is wasteful; instead construct one kernel per
+    // rank directly from shared link/clock tables and move the boxed
+    // components to their owners.
+    use crate::builder::{ClockSpec, CompSpec, LinkSpec};
+    let SystemBuilder {
+        comps,
+        links,
+        clocks,
+        seed,
+    } = builder;
+
+    let mut per_rank_specs: Vec<Vec<(usize, CompSpec)>> = (0..n_ranks).map(|_| Vec::new()).collect();
+    for (i, spec) in comps.into_iter().enumerate() {
+        per_rank_specs[ranks[i] as usize].push((i, spec));
+    }
+
+    let links: Vec<LinkSpec> = links;
+    let clocks: Vec<ClockSpec> = clocks;
+    let total = ranks.len();
+
+    per_rank_specs
+        .into_iter()
+        .enumerate()
+        .map(|(rank, specs)| {
+            // Reassemble a builder view holding only this rank's components
+            // but the full id space, then reuse Kernel::from_builder.
+            let mut b = SystemBuilder::new();
+            b.seed(seed);
+            // Fill with placeholders to preserve ids; real components where
+            // owned. Kernel::from_builder skips non-local ids entirely, so
+            // the placeholder is never touched.
+            let mut slot_specs: Vec<Option<CompSpec>> = (0..total).map(|_| None).collect();
+            for (i, spec) in specs {
+                slot_specs[i] = Some(spec);
+            }
+            b.comps = slot_specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    s.unwrap_or(CompSpec {
+                        name: format!("__remote{i}"),
+                        comp: Box::new(RemotePlaceholder),
+                        rank: ranks[i],
+                    })
+                })
+                .collect();
+            b.links = links.clone();
+            b.clocks = clocks.clone();
+            Kernel::from_builder(b, ranks, rank as u32)
+        })
+        .collect()
+}
+
+/// Stand-in for components owned by other ranks; never invoked.
+struct RemotePlaceholder;
+impl crate::component::Component for RemotePlaceholder {
+    fn on_event(
+        &mut self,
+        _port: crate::event::PortId,
+        _payload: Box<dyn crate::event::Payload>,
+        _ctx: &mut crate::component::SimCtx<'_>,
+    ) {
+        unreachable!("remote placeholder received an event");
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_rank(
+    mut kernel: Kernel,
+    my_rank: u32,
+    n: usize,
+    bound: SimTime,
+    lookahead: SimTime,
+    barrier: &Barrier,
+    mailboxes: &[Mutex<Vec<ScheduledEvent>>],
+    next_times: &[AtomicU64],
+    epochs: &AtomicU64,
+) -> (Kernel, u64) {
+    let mut queue = EventQueue::new();
+    let mut staging: Vec<ScheduledEvent> = Vec::new();
+    let mut outbound: Vec<Vec<ScheduledEvent>> = (0..n).map(|_| Vec::new()).collect();
+    let mut my_epochs = 0u64;
+
+    // Time-zero setup: run setup handlers and start clocks, then publish any
+    // cross-rank sends before the first window.
+    {
+        let mut sink = RankSink {
+            my_rank,
+            local: &mut staging,
+            outbound: &mut outbound,
+        };
+        kernel.setup_all(&mut sink);
+        kernel.start_clocks(&mut sink);
+    }
+    for ev in staging.drain(..) {
+        queue.push(ev);
+    }
+    flush_outbound(&mut outbound, mailboxes);
+    barrier.wait();
+
+    loop {
+        // 1. Drain events other ranks deposited for us.
+        {
+            let mut mb = mailboxes[my_rank as usize].lock();
+            for ev in mb.drain(..) {
+                queue.push(ev);
+            }
+        }
+
+        // 2. Publish my earliest pending time; agree on the global minimum.
+        let my_next = queue.next_time().map_or(u64::MAX, |t| t.as_ps());
+        next_times[my_rank as usize].store(my_next, Ordering::Relaxed);
+        barrier.wait();
+        let global_min = next_times
+            .iter()
+            .map(|t| t.load(Ordering::Relaxed))
+            .min()
+            .unwrap_or(u64::MAX);
+
+        // 3. Terminate when idle everywhere or past the bound. Every rank
+        //    computes the same value, so all exit together.
+        if global_min == u64::MAX || SimTime::ps(global_min) > bound {
+            barrier.wait(); // release ranks still inside step 2's read phase
+            break;
+        }
+
+        // 4. Process the conservative window [global_min, global_min + L).
+        //    Events at exactly `bound` are included (RunLimit::Until is
+        //    inclusive, matching the serial engine).
+        let window_end = SimTime::ps(global_min.saturating_add(lookahead.as_ps()));
+        let hard_end = SimTime::ps(bound.as_ps().saturating_add(1));
+        let end = window_end.min(hard_end);
+        while let Some(ev) = queue.pop_before(end) {
+            let mut sink = RankSink {
+                my_rank,
+                local: &mut staging,
+                outbound: &mut outbound,
+            };
+            kernel.deliver(ev, &mut sink);
+            for ev in staging.drain(..) {
+                queue.push(ev);
+            }
+        }
+
+        // 5. Publish cross-rank events; barrier ends the epoch (and protects
+        //    the next_times array for the next epoch's writes).
+        flush_outbound(&mut outbound, mailboxes);
+        my_epochs += 1;
+        epochs.fetch_max(my_epochs, Ordering::Relaxed);
+        barrier.wait();
+    }
+
+    // Finalize. `finish` must not send events; anything pushed here is
+    // simply dropped with the staging buffer.
+    {
+        let mut sink = RankSink {
+            my_rank,
+            local: &mut staging,
+            outbound: &mut outbound,
+        };
+        kernel.finish_all(&mut sink);
+    }
+    if bound != SimTime::MAX {
+        kernel.now = kernel.now.max(bound);
+    }
+    (kernel, my_epochs)
+}
+
+fn flush_outbound(outbound: &mut [Vec<ScheduledEvent>], mailboxes: &[Mutex<Vec<ScheduledEvent>>]) {
+    for (rank, buf) in outbound.iter_mut().enumerate() {
+        if !buf.is_empty() {
+            mailboxes[rank].lock().append(buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{Component, SimCtx};
+    use crate::event::{downcast, Payload, PortId};
+    use crate::stats::StatId;
+
+    #[derive(Debug)]
+    struct Token(u64);
+
+    /// Forwards a token around a ring `laps` times, counting visits.
+    struct RingNode {
+        laps: u64,
+        start: bool,
+        visits: Option<StatId>,
+    }
+    impl RingNode {
+        const IN: PortId = PortId(0);
+        const OUT: PortId = PortId(1);
+    }
+    impl Component for RingNode {
+        fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+            self.visits = Some(ctx.stat_counter("visits"));
+            if self.start {
+                ctx.send(Self::OUT, Box::new(Token(0)));
+            }
+        }
+        fn on_event(&mut self, port: PortId, payload: Box<dyn Payload>, ctx: &mut SimCtx<'_>) {
+            assert_eq!(port, Self::IN);
+            let tok = downcast::<Token>(payload);
+            ctx.add_stat(self.visits.unwrap(), 1);
+            if tok.0 < self.laps {
+                ctx.send(Self::OUT, Box::new(Token(tok.0 + if self.start { 1 } else { 0 })));
+            }
+        }
+    }
+
+    fn build_ring(nodes: u32, laps: u64) -> SystemBuilder {
+        let mut b = SystemBuilder::new();
+        let ids: Vec<_> = (0..nodes)
+            .map(|i| {
+                b.add(
+                    format!("node{i}"),
+                    RingNode {
+                        laps,
+                        start: i == 0,
+                        visits: None,
+                    },
+                )
+            })
+            .collect();
+        for i in 0..nodes as usize {
+            let next = (i + 1) % nodes as usize;
+            b.link(
+                (ids[i], RingNode::OUT),
+                (ids[next], RingNode::IN),
+                SimTime::ns(7),
+            );
+        }
+        b
+    }
+
+    #[test]
+    fn ring_parallel_matches_serial() {
+        let serial = crate::engine::Engine::new(build_ring(8, 10)).run(RunLimit::Exhaust);
+        for ranks in [1u32, 2, 3, 4] {
+            let par = ParallelEngine::new(build_ring(8, 10), ranks).run(RunLimit::Exhaust);
+            assert_eq!(par.events, serial.events, "ranks={ranks}");
+            assert_eq!(par.end_time, serial.end_time, "ranks={ranks}");
+            for i in 0..8 {
+                let name = format!("node{i}");
+                assert_eq!(
+                    par.stats.counter(&name, "visits"),
+                    serial.stats.counter(&name, "visits"),
+                    "ranks={ranks} node={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_until_parallel_matches_serial() {
+        let limit = RunLimit::Until(SimTime::ns(200));
+        let serial = crate::engine::Engine::new(build_ring(6, 1_000_000)).run(limit);
+        let par = ParallelEngine::new(build_ring(6, 1_000_000), 3).run(limit);
+        assert_eq!(par.events, serial.events);
+        assert_eq!(par.end_time, serial.end_time);
+    }
+
+    #[test]
+    fn independent_ranks_no_cross_links() {
+        // Two disjoint rings: lookahead is unbounded; both must still finish.
+        let mut b = SystemBuilder::new();
+        for r in 0..2 {
+            let ids: Vec<_> = (0..4)
+                .map(|i| {
+                    b.add_on_rank(
+                        format!("r{r}n{i}"),
+                        RingNode {
+                            laps: 5,
+                            start: i == 0,
+                            visits: None,
+                        },
+                        r,
+                    )
+                })
+                .collect();
+            for i in 0..4usize {
+                b.link(
+                    (ids[i], RingNode::OUT),
+                    (ids[(i + 1) % 4], RingNode::IN),
+                    SimTime::ns(3),
+                );
+            }
+        }
+        let report = ParallelEngine::new(b, 2).run(RunLimit::Exhaust);
+        assert_eq!(report.stats.sum_counters("visits"), 2 * (5 * 4 + 1));
+    }
+
+    #[test]
+    fn single_rank_parallel_equals_serial() {
+        let serial = crate::engine::Engine::new(build_ring(4, 3)).run(RunLimit::Exhaust);
+        let par = ParallelEngine::new(build_ring(4, 3), 1).run(RunLimit::Exhaust);
+        assert_eq!(par.events, serial.events);
+        assert_eq!(par.end_time, serial.end_time);
+    }
+}

@@ -1,0 +1,230 @@
+//! Typed component parameters.
+//!
+//! SST components are constructed from key/value parameter sets supplied by a
+//! configuration file. [`Params`] wraps a JSON object with typed accessors,
+//! defaulting, scoped prefixes (`"l1.size"` → scope `"l1"` key `"size"`),
+//! and error messages that name the offending key.
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error produced by parameter lookup/conversion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamError {
+    pub key: String,
+    pub message: String,
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parameter `{}`: {}", self.key, self.message)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// An ordered string-keyed parameter map.
+#[derive(Debug, Clone, Default)]
+pub struct Params {
+    values: BTreeMap<String, Value>,
+}
+
+impl Params {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from a JSON object value. Non-objects become empty params.
+    pub fn from_json(v: &Value) -> Self {
+        let mut p = Params::new();
+        if let Value::Object(map) = v {
+            for (k, v) in map {
+                p.values.insert(k.clone(), v.clone());
+            }
+        }
+        p
+    }
+
+    /// Insert/overwrite a value (builder style).
+    pub fn set(mut self, key: &str, v: impl Into<Value>) -> Self {
+        self.values.insert(key.to_string(), v.into());
+        self
+    }
+
+    pub fn insert(&mut self, key: &str, v: impl Into<Value>) {
+        self.values.insert(key.to_string(), v.into());
+    }
+
+    pub fn contains(&self, key: &str) -> bool {
+        self.values.contains_key(key)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.values.keys().map(|s| s.as_str())
+    }
+
+    fn err(key: &str, message: impl Into<String>) -> ParamError {
+        ParamError {
+            key: key.to_string(),
+            message: message.into(),
+        }
+    }
+
+    /// Required u64.
+    pub fn u64(&self, key: &str) -> Result<u64, ParamError> {
+        match self.values.get(key) {
+            Some(Value::Number(n)) => n
+                .as_u64()
+                .ok_or_else(|| Self::err(key, format!("expected unsigned integer, got {n}"))),
+            Some(other) => Err(Self::err(key, format!("expected integer, got {other}"))),
+            None => Err(Self::err(key, "missing required parameter")),
+        }
+    }
+
+    /// u64 with default.
+    pub fn u64_or(&self, key: &str, default: u64) -> u64 {
+        if self.contains(key) {
+            self.u64(key).unwrap_or(default)
+        } else {
+            default
+        }
+    }
+
+    /// Required f64 (accepts integers too).
+    pub fn f64(&self, key: &str) -> Result<f64, ParamError> {
+        match self.values.get(key) {
+            Some(Value::Number(n)) => n
+                .as_f64()
+                .ok_or_else(|| Self::err(key, format!("expected number, got {n}"))),
+            Some(other) => Err(Self::err(key, format!("expected number, got {other}"))),
+            None => Err(Self::err(key, "missing required parameter")),
+        }
+    }
+
+    pub fn f64_or(&self, key: &str, default: f64) -> f64 {
+        if self.contains(key) {
+            self.f64(key).unwrap_or(default)
+        } else {
+            default
+        }
+    }
+
+    /// Required string.
+    pub fn str(&self, key: &str) -> Result<&str, ParamError> {
+        match self.values.get(key) {
+            Some(Value::String(s)) => Ok(s.as_str()),
+            Some(other) => Err(Self::err(key, format!("expected string, got {other}"))),
+            None => Err(Self::err(key, "missing required parameter")),
+        }
+    }
+
+    pub fn str_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        match self.values.get(key) {
+            Some(Value::String(s)) => s.as_str(),
+            _ => default,
+        }
+    }
+
+    pub fn bool_or(&self, key: &str, default: bool) -> bool {
+        match self.values.get(key) {
+            Some(Value::Bool(b)) => *b,
+            _ => default,
+        }
+    }
+
+    /// Extract the sub-params under `prefix.`: keys `"l1.size"`, `"l1.assoc"`
+    /// become `"size"`, `"assoc"` in the returned scope.
+    pub fn scope(&self, prefix: &str) -> Params {
+        let mut p = Params::new();
+        let pat = format!("{prefix}.");
+        for (k, v) in &self.values {
+            if let Some(rest) = k.strip_prefix(&pat) {
+                p.values.insert(rest.to_string(), v.clone());
+            }
+        }
+        p
+    }
+
+    /// Merge `other` over `self` (other wins on conflicts).
+    pub fn merged(mut self, other: &Params) -> Params {
+        for (k, v) in &other.values {
+            self.values.insert(k.clone(), v.clone());
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn typed_accessors() {
+        let p = Params::new()
+            .set("size", 65536u64)
+            .set("ratio", 0.75)
+            .set("policy", "lru")
+            .set("enabled", true);
+        assert_eq!(p.u64("size").unwrap(), 65536);
+        assert_eq!(p.f64("ratio").unwrap(), 0.75);
+        assert_eq!(p.f64("size").unwrap(), 65536.0);
+        assert_eq!(p.str("policy").unwrap(), "lru");
+        assert!(p.bool_or("enabled", false));
+        assert!(!p.bool_or("missing", false));
+    }
+
+    #[test]
+    fn defaults() {
+        let p = Params::new().set("a", 1u64);
+        assert_eq!(p.u64_or("a", 9), 1);
+        assert_eq!(p.u64_or("b", 9), 9);
+        assert_eq!(p.f64_or("b", 0.5), 0.5);
+        assert_eq!(p.str_or("b", "x"), "x");
+    }
+
+    #[test]
+    fn errors_name_key() {
+        let p = Params::new().set("policy", "lru");
+        let e = p.u64("missing").unwrap_err();
+        assert_eq!(e.key, "missing");
+        assert!(e.message.contains("missing"));
+        let e = p.u64("policy").unwrap_err();
+        assert!(e.message.contains("expected integer"));
+    }
+
+    #[test]
+    fn scoping() {
+        let p = Params::new()
+            .set("l1.size", 32768u64)
+            .set("l1.assoc", 8u64)
+            .set("l2.size", 262144u64);
+        let l1 = p.scope("l1");
+        assert_eq!(l1.u64("size").unwrap(), 32768);
+        assert_eq!(l1.u64("assoc").unwrap(), 8);
+        assert!(!l1.contains("l2.size"));
+        assert!(!l1.contains("size.x"));
+    }
+
+    #[test]
+    fn from_json_and_merge() {
+        let p = Params::from_json(&json!({"a": 1, "b": "two"}));
+        assert_eq!(p.u64("a").unwrap(), 1);
+        let q = Params::new().set("a", 10u64).set("c", 3u64);
+        let m = p.merged(&q);
+        assert_eq!(m.u64("a").unwrap(), 10);
+        assert_eq!(m.str("b").unwrap(), "two");
+        assert_eq!(m.u64("c").unwrap(), 3);
+    }
+
+    #[test]
+    fn non_object_json_is_empty() {
+        let p = Params::from_json(&json!([1, 2, 3]));
+        assert!(p.is_empty());
+    }
+}

@@ -1,0 +1,165 @@
+//! The pending-event set: a min-heap over the deterministic total order
+//! `(time, class, tie)` defined in [`crate::event`].
+
+use crate::event::{EventClass, ScheduledEvent, TieBreak};
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct HeapEntry(ScheduledEvent);
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.key() == other.0.key()
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need min-first.
+        other.0.key().cmp(&self.0.key())
+    }
+}
+
+/// A deterministic min-priority event queue.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn push(&mut self, ev: ScheduledEvent) {
+        self.heap.push(HeapEntry(ev));
+    }
+
+    /// Earliest pending event time, if any.
+    #[inline]
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.0.time)
+    }
+
+    /// Pop the earliest event if its time is `<= limit`.
+    #[inline]
+    pub fn pop_until(&mut self, limit: SimTime) -> Option<ScheduledEvent> {
+        if self.heap.peek().is_some_and(|e| e.0.time <= limit) {
+            self.heap.pop().map(|e| e.0)
+        } else {
+            None
+        }
+    }
+
+    /// Pop the earliest event if its time is strictly `< limit`.
+    #[inline]
+    pub fn pop_before(&mut self, limit: SimTime) -> Option<ScheduledEvent> {
+        if self.heap.peek().is_some_and(|e| e.0.time < limit) {
+            self.heap.pop().map(|e| e.0)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    pub fn pop(&mut self) -> Option<ScheduledEvent> {
+        self.heap.pop().map(|e| e.0)
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Convenience for tests: order keys only.
+pub fn key_order(a: (SimTime, EventClass, TieBreak), b: (SimTime, EventClass, TieBreak)) -> Ordering {
+    a.cmp(&b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ComponentId, EventKind, PortId};
+
+    fn ev(t: u64, class: EventClass, src: u32, seq: u64) -> ScheduledEvent {
+        ScheduledEvent {
+            time: SimTime::ps(t),
+            class,
+            tie: TieBreak {
+                src: ComponentId(src),
+                seq,
+            },
+            target: ComponentId(0),
+            kind: EventKind::Message {
+                port: PortId(0),
+                payload: Box::new(()),
+            },
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(ev(30, EventClass::Message, 0, 0));
+        q.push(ev(10, EventClass::Message, 0, 1));
+        q.push(ev(20, EventClass::Message, 0, 2));
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.as_ps())
+            .collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn clock_before_message_at_same_time() {
+        let mut q = EventQueue::new();
+        q.push(ev(10, EventClass::Message, 0, 0));
+        q.push(ev(10, EventClass::Clock, 5, 9));
+        assert_eq!(q.pop().unwrap().class, EventClass::Clock);
+        assert_eq!(q.pop().unwrap().class, EventClass::Message);
+    }
+
+    #[test]
+    fn tiebreak_by_src_then_seq() {
+        let mut q = EventQueue::new();
+        q.push(ev(10, EventClass::Message, 2, 0));
+        q.push(ev(10, EventClass::Message, 1, 7));
+        q.push(ev(10, EventClass::Message, 1, 3));
+        let ties: Vec<(u32, u64)> = std::iter::from_fn(|| q.pop())
+            .map(|e| (e.tie.src.0, e.tie.seq))
+            .collect();
+        assert_eq!(ties, vec![(1, 3), (1, 7), (2, 0)]);
+    }
+
+    #[test]
+    fn pop_until_respects_limit() {
+        let mut q = EventQueue::new();
+        q.push(ev(10, EventClass::Message, 0, 0));
+        q.push(ev(20, EventClass::Message, 0, 1));
+        assert!(q.pop_until(SimTime::ps(10)).is_some());
+        assert!(q.pop_until(SimTime::ps(10)).is_none());
+        assert!(q.pop_before(SimTime::ps(20)).is_none());
+        assert!(q.pop_before(SimTime::ps(21)).is_some());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn next_time_peeks() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_time(), None);
+        q.push(ev(42, EventClass::Message, 0, 0));
+        assert_eq!(q.next_time(), Some(SimTime::ps(42)));
+        assert_eq!(q.len(), 1);
+    }
+}

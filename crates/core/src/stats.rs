@@ -1,0 +1,422 @@
+//! Statistics framework.
+//!
+//! Components register named statistics at setup time and update them through
+//! cheap integer handles during simulation. At the end of a run the engine
+//! produces a [`StatsSnapshot`] — a flat, serializable table — which the
+//! experiment harnesses consume. This mirrors SST's statistics subsystem
+//! (accumulators / counters / histograms with CSV-style output).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Handle to a registered statistic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StatId(pub u32);
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum StatKind {
+    /// Monotonic event count.
+    Counter { count: u64 },
+    /// Scalar sample accumulator: count/sum/min/max plus Welford M2 for
+    /// variance.
+    Accumulator {
+        count: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+        mean: f64,
+        m2: f64,
+    },
+    /// Power-of-two bucketed histogram of `u64` samples. Bucket `i` counts
+    /// samples in `(2^(i-1), 2^i]`; bucket 0 counts zeros and ones.
+    Histogram { buckets: Vec<u64>, count: u64 },
+}
+
+impl StatKind {
+    fn counter() -> Self {
+        StatKind::Counter { count: 0 }
+    }
+    fn accumulator() -> Self {
+        StatKind::Accumulator {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            mean: 0.0,
+            m2: 0.0,
+        }
+    }
+    fn histogram() -> Self {
+        StatKind::Histogram {
+            buckets: vec![0; 64],
+            count: 0,
+        }
+    }
+}
+
+/// One registered statistic: owning component name + stat name + state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Stat {
+    pub owner: String,
+    pub name: String,
+    pub kind: StatKind,
+}
+
+/// Registry of all statistics in a simulation. Owned by the engine; mutated
+/// through `StatId` handles.
+#[derive(Debug, Default, Clone)]
+pub struct StatsRegistry {
+    stats: Vec<Stat>,
+}
+
+impl StatsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(&mut self, owner: &str, name: &str, kind: StatKind) -> StatId {
+        let id = StatId(self.stats.len() as u32);
+        self.stats.push(Stat {
+            owner: owner.to_string(),
+            name: name.to_string(),
+            kind,
+        });
+        id
+    }
+
+    pub fn counter(&mut self, owner: &str, name: &str) -> StatId {
+        self.register(owner, name, StatKind::counter())
+    }
+    pub fn accumulator(&mut self, owner: &str, name: &str) -> StatId {
+        self.register(owner, name, StatKind::accumulator())
+    }
+    pub fn histogram(&mut self, owner: &str, name: &str) -> StatId {
+        self.register(owner, name, StatKind::histogram())
+    }
+
+    /// Increment a counter by `n`.
+    #[inline]
+    pub fn add(&mut self, id: StatId, n: u64) {
+        match &mut self.stats[id.0 as usize].kind {
+            StatKind::Counter { count } => *count += n,
+            other => panic!("stat {id:?} is not a Counter: {other:?}"),
+        }
+    }
+
+    /// Record a scalar sample into an accumulator.
+    #[inline]
+    pub fn record(&mut self, id: StatId, v: f64) {
+        match &mut self.stats[id.0 as usize].kind {
+            StatKind::Accumulator {
+                count,
+                sum,
+                min,
+                max,
+                mean,
+                m2,
+            } => {
+                *count += 1;
+                *sum += v;
+                if v < *min {
+                    *min = v;
+                }
+                if v > *max {
+                    *max = v;
+                }
+                // Welford's online update.
+                let delta = v - *mean;
+                *mean += delta / *count as f64;
+                *m2 += delta * (v - *mean);
+            }
+            other => panic!("stat {id:?} is not an Accumulator: {other:?}"),
+        }
+    }
+
+    /// Record a sample into a log2 histogram.
+    #[inline]
+    pub fn sample(&mut self, id: StatId, v: u64) {
+        match &mut self.stats[id.0 as usize].kind {
+            StatKind::Histogram { buckets, count } => {
+                let b = if v <= 1 { 0 } else { 64 - (v - 1).leading_zeros() as usize };
+                buckets[b.min(63)] += 1;
+                *count += 1;
+            }
+            other => panic!("stat {id:?} is not a Histogram: {other:?}"),
+        }
+    }
+
+    /// Current value of a counter.
+    pub fn counter_value(&self, id: StatId) -> u64 {
+        match &self.stats[id.0 as usize].kind {
+            StatKind::Counter { count } => *count,
+            other => panic!("stat {id:?} is not a Counter: {other:?}"),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.stats.len()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.stats.is_empty()
+    }
+
+    /// Freeze into a snapshot table.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Merge another registry's stats into this one (used by the parallel
+    /// engine to combine per-rank registries; entries are concatenated, and
+    /// lookups by name see the union).
+    pub fn absorb(&mut self, other: StatsRegistry) {
+        self.stats.extend(other.stats);
+    }
+}
+
+/// An immutable, serializable table of end-of-run statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    pub stats: Vec<Stat>,
+}
+
+impl StatsSnapshot {
+    /// Look up a stat by exact `(owner, name)`.
+    pub fn get(&self, owner: &str, name: &str) -> Option<&Stat> {
+        self.stats
+            .iter()
+            .find(|s| s.owner == owner && s.name == name)
+    }
+
+    /// Value of a counter by exact `(owner, name)`; 0 if absent.
+    pub fn counter(&self, owner: &str, name: &str) -> u64 {
+        match self.get(owner, name).map(|s| &s.kind) {
+            Some(StatKind::Counter { count }) => *count,
+            _ => 0,
+        }
+    }
+
+    /// Mean of an accumulator by exact `(owner, name)`.
+    pub fn mean(&self, owner: &str, name: &str) -> Option<f64> {
+        match self.get(owner, name).map(|s| &s.kind) {
+            Some(StatKind::Accumulator { count, mean, .. }) if *count > 0 => Some(*mean),
+            _ => None,
+        }
+    }
+
+    /// Sum every counter named `name` across all owners (e.g. total cache
+    /// hits over all L1s).
+    pub fn sum_counters(&self, name: &str) -> u64 {
+        self.stats
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| match &s.kind {
+                StatKind::Counter { count } => *count,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Sum every counter whose name matches `pred` across all owners.
+    pub fn sum_counters_by(&self, pred: impl Fn(&str) -> bool) -> u64 {
+        self.stats
+            .iter()
+            .filter(|s| pred(&s.name))
+            .map(|s| match &s.kind {
+                StatKind::Counter { count } => *count,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// All stats grouped by owner, for display.
+    pub fn by_owner(&self) -> BTreeMap<&str, Vec<&Stat>> {
+        let mut m: BTreeMap<&str, Vec<&Stat>> = BTreeMap::new();
+        for s in &self.stats {
+            m.entry(s.owner.as_str()).or_default().push(s);
+        }
+        m
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (owner, stats) in self.by_owner() {
+            writeln!(f, "[{owner}]")?;
+            for s in stats {
+                match &s.kind {
+                    StatKind::Counter { count } => writeln!(f, "  {:<32} {}", s.name, count)?,
+                    StatKind::Accumulator {
+                        count,
+                        sum,
+                        min,
+                        max,
+                        mean,
+                        ..
+                    } => {
+                        if *count == 0 {
+                            writeln!(f, "  {:<32} (no samples)", s.name)?;
+                        } else {
+                            writeln!(
+                                f,
+                                "  {:<32} n={} sum={:.4} mean={:.4} min={:.4} max={:.4}",
+                                s.name, count, sum, mean, min, max
+                            )?;
+                        }
+                    }
+                    StatKind::Histogram { buckets, count } => {
+                        writeln!(f, "  {:<32} n={}", s.name, count)?;
+                        for (i, b) in buckets.iter().enumerate() {
+                            if *b > 0 {
+                                let lo: u64 = if i == 0 { 0 } else { (1u64 << (i - 1)) + 1 };
+                                let hi: u64 = 1u64 << i;
+                                writeln!(f, "    [{lo}, {hi}]: {b}")?;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Sample standard deviation of an accumulator stat.
+pub fn stddev(kind: &StatKind) -> Option<f64> {
+    match kind {
+        StatKind::Accumulator { count, m2, .. } if *count > 1 => {
+            Some((m2 / (*count as f64 - 1.0)).sqrt())
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut r = StatsRegistry::new();
+        let c = r.counter("comp", "hits");
+        r.add(c, 3);
+        r.add(c, 4);
+        assert_eq!(r.counter_value(c), 7);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("comp", "hits"), 7);
+        assert_eq!(snap.counter("comp", "nonexistent"), 0);
+    }
+
+    #[test]
+    fn accumulator_moments() {
+        let mut r = StatsRegistry::new();
+        let a = r.accumulator("comp", "latency");
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            r.record(a, v);
+        }
+        let snap = r.snapshot();
+        let s = snap.get("comp", "latency").unwrap();
+        if let StatKind::Accumulator {
+            count,
+            sum,
+            min,
+            max,
+            mean,
+            ..
+        } = &s.kind
+        {
+            assert_eq!(*count, 8);
+            assert_eq!(*sum, 40.0);
+            assert_eq!(*min, 2.0);
+            assert_eq!(*max, 9.0);
+            assert!((mean - 5.0).abs() < 1e-12);
+            // population stddev of this classic dataset is 2; sample ≈ 2.138
+            let sd = stddev(&s.kind).unwrap();
+            assert!((sd - 2.13809).abs() < 1e-4, "sd={sd}");
+        } else {
+            panic!("wrong kind");
+        }
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut r = StatsRegistry::new();
+        let h = r.histogram("comp", "sizes");
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1024] {
+            r.sample(h, v);
+        }
+        let snap = r.snapshot();
+        if let StatKind::Histogram { buckets, count } = &snap.get("comp", "sizes").unwrap().kind {
+            assert_eq!(*count, 8);
+            assert_eq!(buckets[0], 2); // 0, 1
+            assert_eq!(buckets[1], 1); // 2
+            assert_eq!(buckets[2], 2); // 3, 4
+            assert_eq!(buckets[3], 2); // 7, 8
+            assert_eq!(buckets[10], 1); // 1024
+        } else {
+            panic!("wrong kind");
+        }
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // bucket(v) = 0 for v<=1 else 64 - leading_zeros(v-1):
+        // v=2 -> b=1 ([1,2] upper-exclusive style: (1,2])
+        // v=3,4 -> b=2; v=5..8 -> b=3; v=9..16 -> b=4
+        let mut r = StatsRegistry::new();
+        let h = r.histogram("c", "x");
+        r.sample(h, 2);
+        r.sample(h, 4);
+        r.sample(h, 8);
+        r.sample(h, 16);
+        let snap = r.snapshot();
+        if let StatKind::Histogram { buckets, .. } = &snap.get("c", "x").unwrap().kind {
+            assert_eq!(buckets[1], 1);
+            assert_eq!(buckets[2], 1);
+            assert_eq!(buckets[3], 1);
+            assert_eq!(buckets[4], 1);
+        } else {
+            panic!()
+        }
+    }
+
+    #[test]
+    fn sum_counters_across_owners() {
+        let mut r = StatsRegistry::new();
+        let a = r.counter("l1.0", "hits");
+        let b = r.counter("l1.1", "hits");
+        let c = r.counter("l1.0", "misses");
+        r.add(a, 10);
+        r.add(b, 20);
+        r.add(c, 5);
+        let snap = r.snapshot();
+        assert_eq!(snap.sum_counters("hits"), 30);
+        assert_eq!(snap.sum_counters_by(|n| n.ends_with("es")), 5);
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut r1 = StatsRegistry::new();
+        let a = r1.counter("x", "n");
+        r1.add(a, 1);
+        let mut r2 = StatsRegistry::new();
+        let b = r2.counter("y", "n");
+        r2.add(b, 2);
+        r1.absorb(r2);
+        let snap = r1.snapshot();
+        assert_eq!(snap.sum_counters("n"), 3);
+    }
+
+    #[test]
+    fn snapshot_display_smoke() {
+        let mut r = StatsRegistry::new();
+        let c = r.counter("comp", "events");
+        r.add(c, 42);
+        let text = r.snapshot().to_string();
+        assert!(text.contains("comp"));
+        assert!(text.contains("events"));
+        assert!(text.contains("42"));
+    }
+}

@@ -1,0 +1,299 @@
+//! Simulated time.
+//!
+//! SST keeps all simulated time as an integer count of a very fine base unit
+//! so that event ordering is bit-exact and independent of floating-point
+//! rounding. We use **picoseconds** stored in a `u64`, which covers ~213 days
+//! of simulated time — far beyond any architectural simulation horizon.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// A point in (or span of) simulated time, in integer picoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable time; used as "never".
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from picoseconds.
+    #[inline]
+    pub const fn ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn ns(ns: u64) -> Self {
+        SimTime(ns * 1_000)
+    }
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn us(us: u64) -> Self {
+        SimTime(us * 1_000_000)
+    }
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000_000)
+    }
+    /// Construct from seconds.
+    #[inline]
+    pub const fn s(s: u64) -> Self {
+        SimTime(s * 1_000_000_000_000)
+    }
+
+    /// Construct from a fractional nanosecond count (rounded to the nearest
+    /// picosecond). Useful for configs expressed in ns.
+    #[inline]
+    pub fn ns_f64(ns: f64) -> Self {
+        SimTime((ns * 1_000.0).round() as u64)
+    }
+
+    /// Raw picosecond count.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+    /// Time in (fractional) nanoseconds.
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+    /// Time in (fractional) microseconds.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+    /// Time in (fractional) milliseconds.
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+    /// Time in (fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000_000.0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, rhs: SimTime) -> Option<SimTime> {
+        self.0.checked_add(rhs.0).map(SimTime)
+    }
+
+    /// Multiply a span by an integer count.
+    #[inline]
+    pub fn times(self, n: u64) -> SimTime {
+        SimTime(self.0 * n)
+    }
+
+    /// Round this time *up* to the next multiple of `quantum`.
+    /// `quantum` must be non-zero.
+    #[inline]
+    pub fn round_up(self, quantum: SimTime) -> SimTime {
+        debug_assert!(quantum.0 > 0);
+        let q = quantum.0;
+        SimTime(self.0.div_ceil(q) * q)
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 -= rhs.0;
+    }
+}
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+impl Div<SimTime> for SimTime {
+    type Output = u64;
+    #[inline]
+    fn div(self, rhs: SimTime) -> u64 {
+        self.0 / rhs.0
+    }
+}
+impl Rem<SimTime> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn rem(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 % rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps == 0 {
+            write!(f, "0s")
+        } else if ps % 1_000_000_000_000 == 0 {
+            write!(f, "{}s", ps / 1_000_000_000_000)
+        } else if ps % 1_000_000_000 == 0 {
+            write!(f, "{}ms", ps / 1_000_000_000)
+        } else if ps % 1_000_000 == 0 {
+            write!(f, "{}us", ps / 1_000_000)
+        } else if ps % 1_000 == 0 {
+            write!(f, "{}ns", ps / 1_000)
+        } else {
+            write!(f, "{}ps", ps)
+        }
+    }
+}
+
+/// A clock frequency. Stored in Hz; converts to an integer-picosecond period.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Frequency {
+    hz: f64,
+}
+
+impl Frequency {
+    #[inline]
+    pub fn hz(hz: f64) -> Self {
+        assert!(hz > 0.0, "frequency must be positive");
+        Frequency { hz }
+    }
+    #[inline]
+    pub fn khz(khz: f64) -> Self {
+        Self::hz(khz * 1e3)
+    }
+    #[inline]
+    pub fn mhz(mhz: f64) -> Self {
+        Self::hz(mhz * 1e6)
+    }
+    #[inline]
+    pub fn ghz(ghz: f64) -> Self {
+        Self::hz(ghz * 1e9)
+    }
+
+    #[inline]
+    pub fn as_hz(self) -> f64 {
+        self.hz
+    }
+    #[inline]
+    pub fn as_ghz(self) -> f64 {
+        self.hz / 1e9
+    }
+
+    /// The clock period, rounded to the nearest picosecond (min 1 ps).
+    #[inline]
+    pub fn period(self) -> SimTime {
+        let ps = (1e12 / self.hz).round() as u64;
+        SimTime(ps.max(1))
+    }
+
+    /// Number of whole cycles elapsed in `span` at this frequency.
+    #[inline]
+    pub fn cycles_in(self, span: SimTime) -> u64 {
+        span.0 / self.period().0
+    }
+
+    /// The duration of `cycles` clock cycles.
+    #[inline]
+    pub fn cycles(self, cycles: u64) -> SimTime {
+        self.period() * cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::ns(1), SimTime::ps(1_000));
+        assert_eq!(SimTime::us(1), SimTime::ns(1_000));
+        assert_eq!(SimTime::ms(1), SimTime::us(1_000));
+        assert_eq!(SimTime::s(1), SimTime::ms(1_000));
+        assert_eq!(SimTime::ns_f64(2.5), SimTime::ps(2_500));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::ns(10);
+        let b = SimTime::ns(4);
+        assert_eq!(a + b, SimTime::ns(14));
+        assert_eq!(a - b, SimTime::ns(6));
+        assert_eq!(a * 3, SimTime::ns(30));
+        assert_eq!(a / 2, SimTime::ns(5));
+        assert_eq!(a / b, 2);
+        assert_eq!(a % b, SimTime::ns(2));
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+    }
+
+    #[test]
+    fn round_up() {
+        let q = SimTime::ns(10);
+        assert_eq!(SimTime::ZERO.round_up(q), SimTime::ZERO);
+        assert_eq!(SimTime::ns(1).round_up(q), SimTime::ns(10));
+        assert_eq!(SimTime::ns(10).round_up(q), SimTime::ns(10));
+        assert_eq!(SimTime::ns(11).round_up(q), SimTime::ns(20));
+    }
+
+    #[test]
+    fn frequency_period() {
+        assert_eq!(Frequency::ghz(1.0).period(), SimTime::ns(1));
+        assert_eq!(Frequency::ghz(2.0).period(), SimTime::ps(500));
+        assert_eq!(Frequency::mhz(100.0).period(), SimTime::ns(10));
+        // Sub-picosecond frequencies clamp to 1 ps.
+        assert_eq!(Frequency::hz(2e12).period(), SimTime::ps(1));
+    }
+
+    #[test]
+    fn frequency_cycles() {
+        let f = Frequency::ghz(2.0); // 500 ps period
+        assert_eq!(f.cycles(4), SimTime::ns(2));
+        assert_eq!(f.cycles_in(SimTime::ns(2)), 4);
+        assert_eq!(f.cycles_in(SimTime::ps(499)), 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::ZERO.to_string(), "0s");
+        assert_eq!(SimTime::ps(5).to_string(), "5ps");
+        assert_eq!(SimTime::ns(5).to_string(), "5ns");
+        assert_eq!(SimTime::us(5).to_string(), "5us");
+        assert_eq!(SimTime::s(2).to_string(), "2s");
+    }
+}

@@ -1,0 +1,254 @@
+//! Discrete-event processor component.
+//!
+//! [`CoreComponent`] is a stream-driven processor endpoint for full-system
+//! DES simulations: it issues its instruction stream, sending `Load`/`Store`
+//! requests over its `"mem"` port (toward an `sst-mem` cache chain) and
+//! blocking on outstanding-miss limits exactly like the immediate-mode core.
+//! Non-memory instructions are batched between memory operations, so the
+//! event count stays proportional to memory traffic, not instruction count
+//! (SST's abstract-processor trick for simulating big systems).
+
+use crate::isa::{InstrStream, Op};
+use sst_core::config::ConfigError;
+use sst_core::prelude::*;
+use sst_mem::components::{MemReq, MemResp};
+use std::collections::VecDeque;
+
+/// A trace/stream-driven processor endpoint.
+pub struct CoreComponent {
+    stream: Box<dyn InstrStream>,
+    freq: Frequency,
+    issue_width: u32,
+    max_outstanding: u32,
+    outstanding: u32,
+    next_req_id: u64,
+    /// Memory ops discovered while batching non-memory work.
+    queued_mem: VecDeque<(u64, bool)>,
+    stream_done: bool,
+    instrs: Option<StatId>,
+    mem_ops: Option<StatId>,
+    done_at: Option<StatId>,
+}
+
+/// Self-scheduled "continue issuing" marker.
+#[derive(Debug)]
+struct Resume;
+
+impl CoreComponent {
+    pub const MEM: PortId = PortId(0);
+
+    pub fn new(stream: Box<dyn InstrStream>, freq: Frequency, issue_width: u32) -> CoreComponent {
+        CoreComponent {
+            stream,
+            freq,
+            issue_width: issue_width.max(1),
+            max_outstanding: 8,
+            outstanding: 0,
+            next_req_id: 0,
+            queued_mem: VecDeque::new(),
+            stream_done: false,
+            instrs: None,
+            mem_ops: None,
+            done_at: None,
+        }
+    }
+
+    /// Pull from the stream until the next memory op, charging issue
+    /// cycles for the skipped compute. Returns the compute delay consumed.
+    fn advance(&mut self) -> (SimTime, u64) {
+        let mut non_mem = 0u64;
+        loop {
+            match self.stream.next_instr() {
+                None => {
+                    self.stream_done = true;
+                    break;
+                }
+                Some(i) if i.op.is_mem() => {
+                    self.queued_mem.push_back((i.addr, i.op == Op::Store));
+                    break;
+                }
+                Some(_) => non_mem += 1,
+            }
+        }
+        let cycles = non_mem.div_ceil(self.issue_width as u64);
+        (self.freq.cycles(cycles), non_mem)
+    }
+
+    fn issue(&mut self, ctx: &mut SimCtx<'_>) {
+        let mut delay = SimTime::ZERO;
+        let mut batch = 0u64;
+        while self.outstanding < self.max_outstanding {
+            if self.queued_mem.is_empty() && !self.stream_done {
+                let (d, n) = self.advance();
+                delay += d;
+                batch += n;
+            }
+            let Some((addr, write)) = self.queued_mem.pop_front() else {
+                break;
+            };
+            let id = self.next_req_id;
+            self.next_req_id += 1;
+            self.outstanding += 1;
+            ctx.add_stat(self.mem_ops.unwrap(), 1);
+            ctx.send_delayed(Self::MEM, Box::new(MemReq { id, addr, write }), delay);
+        }
+        if batch > 0 {
+            ctx.add_stat(self.instrs.unwrap(), batch);
+        }
+        if self.stream_done && self.outstanding == 0 && self.queued_mem.is_empty() {
+            ctx.record_stat(self.done_at.unwrap(), (ctx.now() + delay).as_ns_f64());
+        }
+    }
+}
+
+impl Component for CoreComponent {
+    fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+        self.instrs = Some(ctx.stat_counter("instrs"));
+        self.mem_ops = Some(ctx.stat_counter("mem_ops"));
+        self.done_at = Some(ctx.stat_accumulator("done_at_ns"));
+        // Kick off issue after one cycle.
+        ctx.schedule_self(self.freq.period(), Box::new(Resume));
+    }
+
+    fn on_event(&mut self, port: PortId, payload: Box<dyn Payload>, ctx: &mut SimCtx<'_>) {
+        match port {
+            SELF_PORT => {
+                let _ = downcast::<Resume>(payload);
+                self.issue(ctx);
+            }
+            Self::MEM => {
+                let _ = downcast::<MemResp>(payload);
+                self.outstanding -= 1;
+                self.issue(ctx);
+            }
+            other => panic!("core got event on unexpected port {other:?}"),
+        }
+    }
+
+    fn ports(&self) -> &'static [&'static str] {
+        &["mem"]
+    }
+}
+
+/// Register processor components for JSON-config simulations.
+pub fn register(registry: &mut ComponentRegistry) {
+    registry.register(
+        "cpu.stream_core",
+        "stream-driven core endpoint (port: mem); params: ghz, issue_width, kernel iters/loads/stores/flops",
+        |p| {
+            let spec = crate::isa::KernelSpec {
+                label: p.str_or("label", "kernel").to_string(),
+                iters: p.u64_or("iters", 1000),
+                loads: p.u64_or("loads", 2) as u32,
+                stores: p.u64_or("stores", 1) as u32,
+                flops: p.u64_or("flops", 2) as u32,
+                ialu: p.u64_or("ialu", 1) as u32,
+                flop_dep: p.u64_or("flop_dep", 0) as u16,
+                load_pattern: crate::isa::AddrPattern::Stream {
+                    base: p.u64_or("base", 0),
+                    stride: p.u64_or("stride", 8),
+                    span: p.u64_or("span", 1 << 24),
+                },
+                store_pattern: crate::isa::AddrPattern::Stream {
+                    base: p.u64_or("base", 0) + (1 << 30),
+                    stride: p.u64_or("stride", 8),
+                    span: p.u64_or("span", 1 << 24),
+                },
+                mispredict_every: 0,
+                seed: p.u64_or("seed", 1),
+            };
+            if spec.iters == 0 {
+                return Err(ConfigError::BadFormat("iters must be > 0".into()));
+            }
+            Ok(Box::new(CoreComponent::new(
+                Box::new(spec.stream()),
+                Frequency::ghz(p.f64_or("ghz", 2.0)),
+                p.u64_or("issue_width", 2) as u32,
+            )))
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{AddrPattern, KernelSpec};
+    use sst_mem::components::{CacheComponent, MemoryComponent};
+    use sst_mem::{CacheConfig, DramConfig};
+
+    fn system(iters: u64, span: u64) -> SimReport {
+        let spec = KernelSpec {
+            label: "k".into(),
+            iters,
+            loads: 2,
+            stores: 1,
+            flops: 4,
+            ialu: 2,
+            flop_dep: 0,
+            load_pattern: AddrPattern::Stream {
+                base: 0,
+                stride: 64,
+                span,
+            },
+            store_pattern: AddrPattern::Stream {
+                base: 1 << 30,
+                stride: 64,
+                span,
+            },
+            mispredict_every: 0,
+            seed: 5,
+        };
+        let mut b = SystemBuilder::new();
+        let cpu = b.add(
+            "cpu0",
+            CoreComponent::new(Box::new(spec.stream()), Frequency::ghz(2.0), 4),
+        );
+        let l1 = b.add(
+            "l1",
+            CacheComponent::new(CacheConfig::l1d_32k(), SimTime::ns(1)),
+        );
+        let mem = b.add("mem", MemoryComponent::new(DramConfig::ddr3_1333(2)));
+        b.link((cpu, CoreComponent::MEM), (l1, CacheComponent::CPU), SimTime::ns(1));
+        b.link(
+            (l1, CacheComponent::MEM),
+            (mem, MemoryComponent::BUS),
+            SimTime::ns(4),
+        );
+        Engine::new(b).run(RunLimit::Exhaust)
+    }
+
+    #[test]
+    fn full_chain_executes_all_memory_ops() {
+        let report = system(500, 16 << 10);
+        assert_eq!(report.stats.counter("cpu0", "mem_ops"), 500 * 3);
+        // All requests got responses: l1 hits + misses == mem_ops (plus the
+        // fills that came back).
+        let hits = report.stats.counter("l1", "hits");
+        let misses = report.stats.counter("l1", "misses");
+        assert_eq!(hits + misses, 1500);
+        assert!(report.stats.mean("cpu0", "done_at_ns").is_some());
+    }
+
+    #[test]
+    fn small_working_set_finishes_faster() {
+        let hot = system(500, 8 << 10); // fits in L1
+        let cold = system(500, 64 << 20); // streams from DRAM
+        assert!(hot.end_time < cold.end_time);
+        assert!(
+            hot.stats.counter("l1", "hits") > cold.stats.counter("l1", "hits")
+        );
+    }
+
+    #[test]
+    fn registry_round_trip() {
+        let mut reg = ComponentRegistry::new();
+        register(&mut reg);
+        let c = reg
+            .create("cpu.stream_core", &Params::new().set("iters", 10u64))
+            .unwrap();
+        assert_eq!(c.ports(), &["mem"]);
+        assert!(reg
+            .create("cpu.stream_core", &Params::new().set("iters", 0u64))
+            .is_err());
+    }
+}

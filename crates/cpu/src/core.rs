@@ -1,0 +1,514 @@
+//! Cycle-level superscalar core timing model.
+//!
+//! An in-order-issue, out-of-order-completion, non-blocking-memory core with
+//! a configurable issue width — the knob swept by the paper's design-space
+//! study. Issue stalls on: unavailable producers (ILP limit), functional
+//! units (structural limit), memory ports, and outstanding-miss slots
+//! (memory-level-parallelism limit). Mispredicted branches flush the front
+//! end for a fixed penalty.
+//!
+//! The model is deliberately memory-interface-shaped: every `Load`/`Store`
+//! calls back into a [`MemPort`] (the node's shared hierarchy), so cache and
+//! DRAM contention feed straight into issue stalls.
+
+use crate::isa::{Instr, InstrStream, Op};
+use serde::{Deserialize, Serialize};
+use sst_core::time::{Frequency, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Completion-time window size (covers dependency lookback).
+const RING: usize = 256;
+
+/// Core microarchitecture parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    pub freq: Frequency,
+    /// Instructions issued per cycle (1, 2, 4, 8 in the paper's sweep).
+    pub issue_width: u32,
+    /// Integer/branch pipes.
+    pub int_units: u32,
+    /// FP pipes.
+    pub fp_units: u32,
+    /// Load/store ports.
+    pub mem_ports: u32,
+    /// Maximum in-flight loads (MSHRs / memory-level parallelism).
+    pub max_outstanding: u32,
+    pub lat_ialu: u32,
+    pub lat_imul: u32,
+    pub lat_fadd: u32,
+    pub lat_fmul: u32,
+    pub lat_fdiv: u32,
+    pub mispredict_penalty: u32,
+}
+
+impl CoreConfig {
+    /// A core scaled for `issue_width`, with secondary resources growing the
+    /// way real designs grow them (FP/mem ports at about half the width,
+    /// MSHRs with width).
+    pub fn with_width(issue_width: u32, freq: Frequency) -> CoreConfig {
+        assert!(issue_width >= 1);
+        CoreConfig {
+            freq,
+            issue_width,
+            int_units: issue_width,
+            fp_units: issue_width.div_ceil(2),
+            mem_ports: issue_width.div_ceil(2),
+            max_outstanding: 2 + 2 * issue_width,
+            lat_ialu: 1,
+            lat_imul: 3,
+            lat_fadd: 3,
+            lat_fmul: 4,
+            lat_fdiv: 20,
+            mispredict_penalty: 12,
+        }
+    }
+
+    fn latency(&self, op: Op) -> u64 {
+        (match op {
+            Op::IAlu => self.lat_ialu,
+            Op::IMul => self.lat_imul,
+            Op::FAdd => self.lat_fadd,
+            Op::FMul => self.lat_fmul,
+            Op::FDiv => self.lat_fdiv,
+            Op::Branch | Op::BranchMiss => 1,
+            Op::Load | Op::Store => unreachable!("memory latency comes from MemPort"),
+        }) as u64
+    }
+}
+
+/// The core's window into the memory system.
+pub trait MemPort {
+    /// Perform an access issued at `now`; return the completion time.
+    fn access(&mut self, core: usize, addr: u64, write: bool, now: SimTime) -> SimTime;
+}
+
+/// Fixed-latency memory, for standalone core tests.
+pub struct FlatMem(pub SimTime);
+impl MemPort for FlatMem {
+    fn access(&mut self, _core: usize, _addr: u64, _write: bool, now: SimTime) -> SimTime {
+        now + self.0
+    }
+}
+
+/// Per-core execution counters.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct CoreStats {
+    pub instrs: u64,
+    pub flops: u64,
+    pub loads: u64,
+    pub stores: u64,
+    pub branches: u64,
+    pub mispredicts: u64,
+    /// Cycles in which nothing issued because of a register dependency.
+    pub stall_dep: u64,
+    /// Cycles blocked on outstanding-miss slots.
+    pub stall_mem: u64,
+    /// Cycles lost to front-end flushes.
+    pub stall_frontend: u64,
+    /// Cycle at which this core retired its last instruction.
+    pub finish_cycle: u64,
+}
+
+impl CoreStats {
+    pub fn ipc(&self, cycles: u64) -> f64 {
+        if cycles == 0 {
+            0.0
+        } else {
+            self.instrs as f64 / cycles as f64
+        }
+    }
+}
+
+/// What a call to [`Core::tick`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tick {
+    /// Instructions issued this cycle (may be 0); if 0, `wake` is the
+    /// earliest cycle at which issue could resume.
+    Issued { n: u32, wake: u64 },
+    /// The stream is exhausted and all work has drained.
+    Done,
+}
+
+/// One core's issue state machine.
+pub struct Core {
+    cfg: CoreConfig,
+    period_ps: u64,
+    /// Completion cycles of the last `RING` instructions.
+    ring: [u64; RING],
+    issued_total: u64,
+    pending: Option<Instr>,
+    outstanding: BinaryHeap<Reverse<u64>>,
+    frontend_stall_until: u64,
+    stream_done: bool,
+    pub stats: CoreStats,
+}
+
+impl Core {
+    pub fn new(cfg: CoreConfig) -> Core {
+        Core {
+            period_ps: cfg.freq.period().as_ps(),
+            cfg,
+            ring: [0; RING],
+            issued_total: 0,
+            pending: None,
+            outstanding: BinaryHeap::new(),
+            frontend_stall_until: 0,
+            stream_done: false,
+            stats: CoreStats::default(),
+        }
+    }
+
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn to_cycle(&self, t: SimTime) -> u64 {
+        t.as_ps().div_ceil(self.period_ps)
+    }
+
+    #[inline]
+    fn to_time(&self, cycle: u64) -> SimTime {
+        SimTime::ps(cycle * self.period_ps)
+    }
+
+    /// Has every issued instruction (including in-flight loads) completed by
+    /// `cycle`?
+    pub fn drained(&self, cycle: u64) -> bool {
+        self.stream_done && self.outstanding.peek().is_none_or(|Reverse(c)| *c <= cycle)
+    }
+
+    /// Attempt one cycle of issue at `cycle`, pulling from `stream` and
+    /// resolving memory through `mem`.
+    pub fn tick(
+        &mut self,
+        core_id: usize,
+        cycle: u64,
+        stream: &mut dyn InstrStream,
+        mem: &mut dyn MemPort,
+    ) -> Tick {
+        if self.stream_done {
+            return if self.drained(cycle) {
+                Tick::Done
+            } else {
+                let wake = self.outstanding.peek().map(|Reverse(c)| *c).unwrap_or(cycle);
+                Tick::Issued { n: 0, wake }
+            };
+        }
+        if cycle < self.frontend_stall_until {
+            self.stats.stall_frontend += 1;
+            return Tick::Issued {
+                n: 0,
+                wake: self.frontend_stall_until,
+            };
+        }
+
+        // Retire completed misses.
+        while self
+            .outstanding
+            .peek()
+            .is_some_and(|Reverse(c)| *c <= cycle)
+        {
+            self.outstanding.pop();
+        }
+
+        let mut int_used = 0u32;
+        let mut fp_used = 0u32;
+        let mut mem_used = 0u32;
+        let mut issued = 0u32;
+        let mut wake = cycle + 1;
+
+        while issued < self.cfg.issue_width {
+            let instr = match self.pending.take().or_else(|| stream.next_instr()) {
+                Some(i) => i,
+                None => {
+                    self.stream_done = true;
+                    self.stats.finish_cycle = self
+                        .stats
+                        .finish_cycle
+                        .max(self.outstanding.iter().map(|Reverse(c)| *c).max().unwrap_or(cycle));
+                    break;
+                }
+            };
+
+            // Register dependency: producer must have completed.
+            if instr.dep_dist > 0 {
+                let d = (instr.dep_dist as u64).min(RING as u64 - 1);
+                if d <= self.issued_total {
+                    let ready = self.ring[((self.issued_total - d) % RING as u64) as usize];
+                    if ready > cycle {
+                        self.pending = Some(instr);
+                        if issued == 0 {
+                            self.stats.stall_dep += 1;
+                            wake = ready;
+                        }
+                        break;
+                    }
+                }
+            }
+
+            // Structural hazards.
+            let fu_ok = match instr.op {
+                Op::IAlu | Op::IMul | Op::Branch | Op::BranchMiss => {
+                    if int_used < self.cfg.int_units {
+                        int_used += 1;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                Op::FAdd | Op::FMul | Op::FDiv => {
+                    if fp_used < self.cfg.fp_units {
+                        fp_used += 1;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                Op::Load | Op::Store => {
+                    if mem_used >= self.cfg.mem_ports {
+                        false
+                    } else if self.outstanding.len() >= self.cfg.max_outstanding as usize {
+                        self.pending = Some(instr);
+                        if issued == 0 {
+                            self.stats.stall_mem += 1;
+                            wake = self
+                                .outstanding
+                                .peek()
+                                .map(|Reverse(c)| *c)
+                                .unwrap_or(cycle + 1);
+                        }
+                        break;
+                    } else {
+                        mem_used += 1;
+                        true
+                    }
+                }
+            };
+            if !fu_ok {
+                self.pending = Some(instr);
+                break; // wake stays cycle+1: units free next cycle
+            }
+
+            // Issue.
+            let completion = match instr.op {
+                Op::Load => {
+                    self.stats.loads += 1;
+                    let done = mem.access(core_id, instr.addr, false, self.to_time(cycle));
+                    let c = self.to_cycle(done).max(cycle + 1);
+                    self.outstanding.push(Reverse(c));
+                    c
+                }
+                Op::Store => {
+                    self.stats.stores += 1;
+                    // Store buffer hides latency from the pipeline; the
+                    // hierarchy still sees the bandwidth.
+                    mem.access(core_id, instr.addr, true, self.to_time(cycle));
+                    cycle + 1
+                }
+                Op::BranchMiss => {
+                    self.stats.branches += 1;
+                    self.stats.mispredicts += 1;
+                    self.frontend_stall_until = cycle + 1 + self.cfg.mispredict_penalty as u64;
+                    cycle + 1
+                }
+                op => {
+                    if op.is_flop() {
+                        self.stats.flops += 1;
+                    }
+                    if op == Op::Branch {
+                        self.stats.branches += 1;
+                    }
+                    cycle + self.cfg.latency(op)
+                }
+            };
+
+            self.ring[(self.issued_total % RING as u64) as usize] = completion;
+            self.issued_total += 1;
+            self.stats.instrs += 1;
+            self.stats.finish_cycle = self.stats.finish_cycle.max(completion);
+            issued += 1;
+
+            if instr.op == Op::BranchMiss {
+                break; // flush
+            }
+        }
+
+        if self.stream_done && self.drained(cycle) {
+            Tick::Done
+        } else {
+            Tick::Issued { n: issued, wake }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{KernelSpec, TraceStream};
+
+    fn run_core(cfg: CoreConfig, mut stream: impl InstrStream, mem: &mut dyn MemPort) -> (u64, CoreStats) {
+        let mut core = Core::new(cfg);
+        let mut cycle = 0u64;
+        loop {
+            match core.tick(0, cycle, &mut stream, mem) {
+                Tick::Done => break,
+                Tick::Issued { n, wake } => {
+                    cycle = if n > 0 { cycle + 1 } else { wake.max(cycle + 1) };
+                }
+            }
+            assert!(cycle < 100_000_000, "runaway simulation");
+        }
+        (core.stats.finish_cycle.max(cycle), core.stats)
+    }
+
+    fn ghz1() -> Frequency {
+        Frequency::ghz(1.0)
+    }
+
+    #[test]
+    fn independent_alu_ops_reach_issue_width() {
+        for width in [1u32, 2, 4, 8] {
+            let cfg = CoreConfig::with_width(width, ghz1());
+            let instrs = vec![Instr::alu(); 10_000];
+            let (cycles, stats) = run_core(cfg, TraceStream::new("alu", instrs), &mut FlatMem(SimTime::ns(1)));
+            let ipc = stats.ipc(cycles);
+            let rel_err = (ipc - width as f64).abs() / f64::from(width);
+            assert!(rel_err < 0.05, "width {width}: ipc {ipc}");
+        }
+    }
+
+    #[test]
+    fn dependent_chain_limits_ilp() {
+        // Every FAdd depends on the previous one: IPC ~= 1/lat_fadd
+        // regardless of width.
+        let mk = |n: usize| {
+            TraceStream::new("chain", (0..n).map(|_| Instr::fadd(1)).collect())
+        };
+        let (c1, s1) = run_core(CoreConfig::with_width(1, ghz1()), mk(2000), &mut FlatMem(SimTime::ns(1)));
+        let (c8, s8) = run_core(CoreConfig::with_width(8, ghz1()), mk(2000), &mut FlatMem(SimTime::ns(1)));
+        let ipc1 = s1.ipc(c1);
+        let ipc8 = s8.ipc(c8);
+        assert!((ipc1 - ipc8).abs() < 0.05, "ipc1={ipc1} ipc8={ipc8}");
+        assert!((ipc1 - 1.0 / 3.0).abs() < 0.05, "ipc1={ipc1}");
+        assert!(s8.stall_dep > 0);
+    }
+
+    #[test]
+    fn wider_helps_mixed_ilp() {
+        let spec = KernelSpec {
+            label: "mixed".into(),
+            iters: 3000,
+            loads: 2,
+            stores: 1,
+            flops: 6,
+            ialu: 3,
+            flop_dep: 0,
+            load_pattern: crate::isa::AddrPattern::Stream {
+                base: 0,
+                stride: 64,
+                span: 1 << 16,
+            },
+            store_pattern: crate::isa::AddrPattern::Stream {
+                base: 1 << 30,
+                stride: 64,
+                span: 1 << 16,
+            },
+            mispredict_every: 0,
+            seed: 3,
+        };
+        let lat = SimTime::ns(2);
+        let (c1, s1) = run_core(CoreConfig::with_width(1, ghz1()), spec.stream(), &mut FlatMem(lat));
+        let (c4, s4) = run_core(CoreConfig::with_width(4, ghz1()), spec.stream(), &mut FlatMem(lat));
+        let (c8, s8) = run_core(CoreConfig::with_width(8, ghz1()), spec.stream(), &mut FlatMem(lat));
+        assert_eq!(s1.instrs, s4.instrs);
+        assert!(c4 * 2 < c1, "4-wide ({c4}) should be >2x faster than 1-wide ({c1})");
+        assert!(c8 <= c4);
+        assert!(c8 * 6 > c1, "8-wide speedup must stay sublinear (c1={c1}, c8={c8})");
+        let _ = s8;
+    }
+
+    #[test]
+    fn memory_latency_hurts_dependent_loads() {
+        // load -> use chains: runtime tracks memory latency.
+        let mk = |n: usize| {
+            let mut v = Vec::with_capacity(2 * n);
+            for i in 0..n {
+                v.push(Instr::load(64 * i as u64, 0));
+                v.push(Instr::fadd(1)); // consumes the load
+            }
+            TraceStream::new("ld-use", v)
+        };
+        let (fast, _) = run_core(CoreConfig::with_width(2, ghz1()), mk(500), &mut FlatMem(SimTime::ns(2)));
+        let (slow, _) = run_core(CoreConfig::with_width(2, ghz1()), mk(500), &mut FlatMem(SimTime::ns(50)));
+        assert!(
+            slow > fast * 10,
+            "50ns mem ({slow}) should dwarf 2ns mem ({fast})"
+        );
+    }
+
+    #[test]
+    fn mlp_limit_caps_overlapped_misses() {
+        // Independent loads with huge latency: completion time scales with
+        // n / max_outstanding.
+        let mk = |n: usize| {
+            TraceStream::new(
+                "mlp",
+                (0..n).map(|i| Instr::load(64 * i as u64, 0)).collect(),
+            )
+        };
+        let mut cfg = CoreConfig::with_width(4, ghz1());
+        cfg.max_outstanding = 4;
+        let (t4, s) = run_core(cfg, mk(400), &mut FlatMem(SimTime::ns(100)));
+        assert!(s.stall_mem > 0);
+        // 400 loads / 4 outstanding * 100 cycles ~= 10_000 cycles minimum.
+        assert!(t4 >= 9_000, "t4={t4}");
+        let mut cfg16 = CoreConfig::with_width(4, ghz1());
+        cfg16.max_outstanding = 16;
+        let (t16, _) = run_core(cfg16, mk(400), &mut FlatMem(SimTime::ns(100)));
+        assert!(t16 * 3 < t4, "4x MLP should be ~4x faster: t4={t4} t16={t16}");
+    }
+
+    #[test]
+    fn mispredicts_cost_frontend_cycles() {
+        let mut with = KernelSpec {
+            label: "br".into(),
+            iters: 1000,
+            loads: 0,
+            stores: 0,
+            flops: 0,
+            ialu: 3,
+            flop_dep: 0,
+            load_pattern: crate::isa::AddrPattern::Stream { base: 0, stride: 8, span: 64 },
+            store_pattern: crate::isa::AddrPattern::Stream { base: 0, stride: 8, span: 64 },
+            mispredict_every: 0,
+            seed: 0,
+        };
+        let (t_clean, _) = run_core(CoreConfig::with_width(2, ghz1()), with.stream(), &mut FlatMem(SimTime::ns(1)));
+        with.mispredict_every = 4;
+        let (t_missy, s) = run_core(CoreConfig::with_width(2, ghz1()), with.stream(), &mut FlatMem(SimTime::ns(1)));
+        assert_eq!(s.mispredicts, 250);
+        assert!(t_missy > t_clean + 200 * 12);
+    }
+
+    #[test]
+    fn stats_count_op_classes() {
+        let v = vec![
+            Instr::alu(),
+            Instr::fadd(0),
+            Instr::fmul(0),
+            Instr::load(0, 0),
+            Instr::store(64),
+        ];
+        let (_, s) = run_core(
+            CoreConfig::with_width(4, ghz1()),
+            TraceStream::new("mix", v),
+            &mut FlatMem(SimTime::ns(1)),
+        );
+        assert_eq!(s.instrs, 5);
+        assert_eq!(s.flops, 2);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.stores, 1);
+    }
+}

@@ -1,0 +1,337 @@
+//! SIMT GPU model (Fermi-class) with register spilling and occupancy.
+//!
+//! An abstract-machine-model-style throughput model of an NVIDIA-Fermi-like
+//! accelerator, built for the GPU mini-app study: kernels are described by
+//! per-thread resource demands (registers, live state, shared memory) and
+//! work (FLOPs, global traffic). The model computes
+//!
+//! * **occupancy** — resident threads per SM limited by the register file,
+//!   shared memory, and the hardware thread cap;
+//! * **register spilling** — demand above the per-thread architectural
+//!   register cap spills; spill traffic lands in L1 if the per-thread slice
+//!   of L1 can hold it, else it goes to device memory and the kernel becomes
+//!   bandwidth-bound (the paper's central finding for the FEA kernel);
+//! * **kernel time** — max of compute and memory time, degraded when
+//!   occupancy is too low to hide DRAM latency.
+//!
+//! A PCIe link model covers host↔device transfers (the reason the paper's
+//! matrix-structure-generation phase *slows down* on the GPU).
+
+use serde::{Deserialize, Serialize};
+use sst_core::time::SimTime;
+
+/// GPU device description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GpuConfig {
+    pub name: String,
+    /// Streaming multiprocessors.
+    pub sms: u32,
+    /// Thread processors per SM.
+    pub cores_per_sm: u32,
+    /// Shader clock (GHz).
+    pub clock_ghz: f64,
+    /// Architectural cap on registers per thread (63 on Fermi).
+    pub max_regs_per_thread: u32,
+    /// 32-bit registers per SM.
+    pub regfile_regs_per_sm: u32,
+    /// Hardware-resident thread cap per SM.
+    pub max_threads_per_sm: u32,
+    /// Shared memory per SM (bytes) when the large-shared split is chosen.
+    pub shared_mem_per_sm: u32,
+    /// L1 size options (bytes): (small, large). Fermi: 16 KiB / 48 KiB.
+    pub l1_bytes_options: (u32, u32),
+    pub l2_bytes: u32,
+    /// Device memory peak bandwidth (GB/s).
+    pub mem_bw_gbs: f64,
+    /// Fraction of peak bandwidth achievable by well-coalesced kernels.
+    pub mem_efficiency: f64,
+    /// Occupancy needed to fully hide device-memory latency.
+    pub occupancy_knee: f64,
+    /// PCIe bandwidth (GB/s, one direction).
+    pub pcie_gbs: f64,
+    /// PCIe transfer setup latency.
+    pub pcie_latency: SimTime,
+    /// Board power (W), for energy roll-ups.
+    pub board_power_w: f64,
+}
+
+impl GpuConfig {
+    /// An NVIDIA Tesla M2090-like device (Fermi, 16 SMs, 177 GB/s GDDR5).
+    pub fn fermi_m2090() -> GpuConfig {
+        GpuConfig {
+            name: "Fermi-M2090".into(),
+            sms: 16,
+            cores_per_sm: 32,
+            clock_ghz: 1.3,
+            max_regs_per_thread: 63,
+            regfile_regs_per_sm: 32 << 10,
+            max_threads_per_sm: 1536,
+            shared_mem_per_sm: 48 << 10,
+            l1_bytes_options: (16 << 10, 48 << 10),
+            l2_bytes: 768 << 10,
+            mem_bw_gbs: 177.0,
+            mem_efficiency: 0.80,
+            occupancy_knee: 0.35,
+            pcie_gbs: 6.0,
+            pcie_latency: SimTime::us(10),
+            board_power_w: 225.0,
+        }
+    }
+
+    /// A Kepler-like successor: more registers per thread and bigger
+    /// caches — the "expected hardware modification" the paper predicts
+    /// will lift the spilling bottleneck.
+    pub fn kepler_like() -> GpuConfig {
+        GpuConfig {
+            name: "Kepler-like".into(),
+            max_regs_per_thread: 255,
+            regfile_regs_per_sm: 64 << 10,
+            l1_bytes_options: (16 << 10, 48 << 10),
+            l2_bytes: 1536 << 10,
+            mem_bw_gbs: 250.0,
+            ..Self::fermi_m2090()
+        }
+    }
+
+    /// Peak single-precision-equivalent FLOP rate (1 FLOP/core/cycle).
+    pub fn peak_flops(&self) -> f64 {
+        self.sms as f64 * self.cores_per_sm as f64 * self.clock_ghz * 1e9
+    }
+
+    /// Host↔device transfer time over PCIe.
+    pub fn pcie_time(&self, bytes: u64) -> SimTime {
+        self.pcie_latency + SimTime::ps((bytes as f64 / (self.pcie_gbs * 1e9) * 1e12) as u64)
+    }
+}
+
+/// Per-thread description of a CUDA-style kernel.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GpuKernel {
+    pub name: String,
+    /// Total threads launched.
+    pub threads: u64,
+    pub threads_per_block: u32,
+    /// Registers the compiler *wants* per thread; demand above the
+    /// architectural cap spills.
+    pub regs_demand_per_thread: u32,
+    /// Shared memory per thread (bytes).
+    pub shared_bytes_per_thread: u32,
+    pub flops_per_thread: u64,
+    /// Global memory traffic per thread, assuming perfect caching of
+    /// spills (bytes).
+    pub global_bytes_per_thread: u64,
+    /// Coalescing efficiency in (0, 1]: effective traffic is
+    /// `global_bytes / coalescing`.
+    pub coalescing: f64,
+    /// How many times each spilled register round-trips per thread.
+    pub spill_reuse: u32,
+    /// Use the large-L1 configuration (paper: best FEA performance came
+    /// from a larger L1).
+    pub prefer_large_l1: bool,
+}
+
+/// Why the kernel ran as fast (slow) as it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Limiter {
+    Compute,
+    Memory,
+}
+
+/// Model output for one kernel launch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GpuKernelResult {
+    pub time: SimTime,
+    pub occupancy: f64,
+    pub spilled_regs_per_thread: u32,
+    /// Spill bytes per thread that fit in the L1 slice (cheap).
+    pub spill_in_l1_bytes: u32,
+    /// Spill bytes per thread that overflow to device memory (expensive).
+    pub spill_to_mem_bytes: u32,
+    /// Total effective device-memory traffic (bytes).
+    pub mem_traffic_bytes: u64,
+    pub limiter: Limiter,
+    pub compute_time: SimTime,
+    pub memory_time: SimTime,
+}
+
+/// Execute (analytically) one kernel on the device.
+pub fn run_kernel(gpu: &GpuConfig, k: &GpuKernel) -> GpuKernelResult {
+    assert!(k.coalescing > 0.0 && k.coalescing <= 1.0);
+    // --- register allocation & spilling ---
+    let regs_alloc = k.regs_demand_per_thread.min(gpu.max_regs_per_thread);
+    let spilled = k.regs_demand_per_thread - regs_alloc;
+    let spill_bytes = spilled * 4;
+
+    // --- occupancy ---
+    let by_regs = gpu.regfile_regs_per_sm / regs_alloc.max(1);
+    let by_threads = gpu.max_threads_per_sm;
+    let by_shared = if k.shared_bytes_per_thread > 0 {
+        gpu.shared_mem_per_sm / k.shared_bytes_per_thread
+    } else {
+        u32::MAX
+    };
+    // Round resident threads down to whole blocks.
+    let raw = by_regs.min(by_threads).min(by_shared);
+    let resident = (raw / k.threads_per_block).max(1) * k.threads_per_block;
+    let resident = resident.min(by_threads);
+    let occupancy = resident as f64 / gpu.max_threads_per_sm as f64;
+
+    // --- where do spills live? ---
+    let l1_bytes = if k.prefer_large_l1 {
+        gpu.l1_bytes_options.1
+    } else {
+        gpu.l1_bytes_options.0
+    };
+    let l1_per_thread = l1_bytes / resident.max(1);
+    let spill_in_l1 = spill_bytes.min(l1_per_thread);
+    let spill_to_mem = spill_bytes - spill_in_l1;
+
+    // --- time ---
+    let compute_s = k.threads as f64 * k.flops_per_thread as f64 / gpu.peak_flops();
+    let demand_bytes = (k.threads as f64 * k.global_bytes_per_thread as f64) / k.coalescing;
+    let spill_traffic =
+        k.threads as f64 * spill_to_mem as f64 * 2.0 * k.spill_reuse.max(1) as f64;
+    let mem_bytes = demand_bytes + spill_traffic;
+    let mem_s = mem_bytes / (gpu.mem_bw_gbs * 1e9 * gpu.mem_efficiency);
+
+    // Low occupancy exposes memory latency: degrade throughput below the
+    // knee.
+    let hide = (occupancy / gpu.occupancy_knee).min(1.0).max(0.05);
+    let total_s = compute_s.max(mem_s) / hide;
+    let (limiter, _) = if mem_s > compute_s {
+        (Limiter::Memory, mem_s)
+    } else {
+        (Limiter::Compute, compute_s)
+    };
+
+    GpuKernelResult {
+        time: SimTime::ps((total_s * 1e12) as u64),
+        occupancy,
+        spilled_regs_per_thread: spilled,
+        spill_in_l1_bytes: spill_in_l1,
+        spill_to_mem_bytes: spill_to_mem,
+        mem_traffic_bytes: mem_bytes as u64,
+        limiter,
+        compute_time: SimTime::ps((compute_s * 1e12) as u64),
+        memory_time: SimTime::ps((mem_s * 1e12) as u64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_kernel() -> GpuKernel {
+        GpuKernel {
+            name: "k".into(),
+            threads: 1 << 20,
+            threads_per_block: 256,
+            regs_demand_per_thread: 32,
+            shared_bytes_per_thread: 0,
+            flops_per_thread: 200,
+            global_bytes_per_thread: 64,
+            coalescing: 1.0,
+            spill_reuse: 1,
+            prefer_large_l1: true,
+        }
+    }
+
+    #[test]
+    fn no_spill_below_cap() {
+        let r = run_kernel(&GpuConfig::fermi_m2090(), &base_kernel());
+        assert_eq!(r.spilled_regs_per_thread, 0);
+        assert_eq!(r.spill_to_mem_bytes, 0);
+    }
+
+    #[test]
+    fn high_register_demand_spills_and_slows() {
+        let gpu = GpuConfig::fermi_m2090();
+        let mut k = base_kernel();
+        let fast = run_kernel(&gpu, &k);
+        // FEA-like state: ~700B of live state per thread => huge spill.
+        k.regs_demand_per_thread = 180;
+        let slow = run_kernel(&gpu, &k);
+        assert_eq!(slow.spilled_regs_per_thread, 180 - 63);
+        assert!(slow.spill_to_mem_bytes > 0, "L1 slice cannot hold the state");
+        assert!(slow.time > fast.time * 2, "spilling must be costly");
+        assert_eq!(slow.limiter, Limiter::Memory);
+        let _ = fast;
+    }
+
+    #[test]
+    fn occupancy_limited_by_registers() {
+        let gpu = GpuConfig::fermi_m2090();
+        let mut k = base_kernel();
+        k.regs_demand_per_thread = 63;
+        let r = run_kernel(&gpu, &k);
+        // 32768 regs / 63 = 520 threads -> 2 blocks of 256.
+        assert!((r.occupancy - 512.0 / 1536.0).abs() < 1e-9, "occ={}", r.occupancy);
+    }
+
+    #[test]
+    fn occupancy_limited_by_shared_memory() {
+        let gpu = GpuConfig::fermi_m2090();
+        let mut k = base_kernel();
+        k.shared_bytes_per_thread = 96; // 48K / 96 = 512 threads
+        let r = run_kernel(&gpu, &k);
+        assert!((r.occupancy - 512.0 / 1536.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn larger_l1_absorbs_more_spill() {
+        let gpu = GpuConfig::fermi_m2090();
+        let mut k = base_kernel();
+        k.regs_demand_per_thread = 100;
+        k.prefer_large_l1 = false;
+        let small = run_kernel(&gpu, &k);
+        k.prefer_large_l1 = true;
+        let large = run_kernel(&gpu, &k);
+        assert!(large.spill_in_l1_bytes >= small.spill_in_l1_bytes);
+        assert!(large.time <= small.time);
+    }
+
+    #[test]
+    fn poor_coalescing_multiplies_traffic() {
+        let gpu = GpuConfig::fermi_m2090();
+        let mut k = base_kernel();
+        k.flops_per_thread = 10; // memory bound
+        let good = run_kernel(&gpu, &k);
+        k.coalescing = 0.25;
+        let bad = run_kernel(&gpu, &k);
+        assert!(bad.mem_traffic_bytes > 3 * good.mem_traffic_bytes);
+        assert!(bad.time.as_ps() as f64 > 3.0 * good.time.as_ps() as f64);
+    }
+
+    #[test]
+    fn kepler_fixes_the_spill() {
+        let mut k = base_kernel();
+        k.regs_demand_per_thread = 180;
+        k.flops_per_thread = 500;
+        let fermi = run_kernel(&GpuConfig::fermi_m2090(), &k);
+        let kepler = run_kernel(&GpuConfig::kepler_like(), &k);
+        assert!(fermi.spill_to_mem_bytes > 0);
+        assert_eq!(kepler.spilled_regs_per_thread, 0);
+        assert!(kepler.time * 2 < fermi.time);
+    }
+
+    #[test]
+    fn pcie_transfer_time() {
+        let gpu = GpuConfig::fermi_m2090();
+        let t = gpu.pcie_time(6_000_000_000);
+        // 6 GB at 6 GB/s = 1 s (+10us latency).
+        assert!((t.as_secs_f64() - 1.0).abs() < 0.01);
+        assert!(gpu.pcie_time(0) == gpu.pcie_latency);
+    }
+
+    #[test]
+    fn compute_bound_kernel_tracks_peak_flops() {
+        let gpu = GpuConfig::fermi_m2090();
+        let mut k = base_kernel();
+        k.flops_per_thread = 10_000;
+        k.global_bytes_per_thread = 8;
+        let r = run_kernel(&gpu, &k);
+        assert_eq!(r.limiter, Limiter::Compute);
+        let expected = (k.threads * k.flops_per_thread) as f64 / gpu.peak_flops();
+        assert!((r.time.as_secs_f64() - expected).abs() / expected < 0.05);
+    }
+}

@@ -1,0 +1,394 @@
+//! The mini-ISA and instruction streams.
+//!
+//! The processor models are *stream-driven* (the SST trace-frontend idiom):
+//! a workload is an iterator of [`Instr`]s carrying an operation class, an
+//! optional memory address, and a dependency distance. Mini-app proxies in
+//! `sst-workloads` generate these streams with calibrated op mixes, working
+//! sets, and ILP structure; this module provides the vocabulary plus generic
+//! synthetic generators used by tests and microbenchmarks.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Operation classes the timing model distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Integer ALU op (1 cycle).
+    IAlu,
+    /// Integer multiply.
+    IMul,
+    /// Floating add/sub.
+    FAdd,
+    /// Floating multiply.
+    FMul,
+    /// Floating divide / sqrt (long latency, unpipelined).
+    FDiv,
+    /// Memory load (address in `Instr::addr`).
+    Load,
+    /// Memory store.
+    Store,
+    /// Correctly predicted branch (costs an issue slot).
+    Branch,
+    /// Mispredicted branch: flushes the front end for the configured
+    /// penalty.
+    BranchMiss,
+}
+
+impl Op {
+    /// Is this op handled by the memory ports?
+    #[inline]
+    pub fn is_mem(self) -> bool {
+        matches!(self, Op::Load | Op::Store)
+    }
+    /// Is this op handled by the FP units?
+    #[inline]
+    pub fn is_fp(self) -> bool {
+        matches!(self, Op::FAdd | Op::FMul | Op::FDiv)
+    }
+    /// Does this op count as a floating-point operation for FLOP rates?
+    #[inline]
+    pub fn is_flop(self) -> bool {
+        self.is_fp()
+    }
+}
+
+/// One dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instr {
+    pub op: Op,
+    /// Byte address for `Load`/`Store`; ignored otherwise.
+    pub addr: u64,
+    /// Distance (in dynamic instructions) back to the producer of this
+    /// instruction's input; `0` = no register dependency. The core stalls
+    /// issue until the producer has completed — this is what bounds ILP.
+    pub dep_dist: u16,
+}
+
+impl Instr {
+    #[inline]
+    pub fn alu() -> Self {
+        Instr {
+            op: Op::IAlu,
+            addr: 0,
+            dep_dist: 0,
+        }
+    }
+    #[inline]
+    pub fn fadd(dep: u16) -> Self {
+        Instr {
+            op: Op::FAdd,
+            addr: 0,
+            dep_dist: dep,
+        }
+    }
+    #[inline]
+    pub fn fmul(dep: u16) -> Self {
+        Instr {
+            op: Op::FMul,
+            addr: 0,
+            dep_dist: dep,
+        }
+    }
+    #[inline]
+    pub fn load(addr: u64, dep: u16) -> Self {
+        Instr {
+            op: Op::Load,
+            addr,
+            dep_dist: dep,
+        }
+    }
+    #[inline]
+    pub fn store(addr: u64) -> Self {
+        Instr {
+            op: Op::Store,
+            addr,
+            dep_dist: 0,
+        }
+    }
+}
+
+/// A resumable dynamic instruction stream.
+pub trait InstrStream: Send {
+    /// Produce the next instruction, or `None` when the stream ends.
+    fn next_instr(&mut self) -> Option<Instr>;
+
+    /// A short label for reports.
+    fn label(&self) -> &str {
+        "stream"
+    }
+}
+
+impl InstrStream for Box<dyn InstrStream> {
+    fn next_instr(&mut self) -> Option<Instr> {
+        (**self).next_instr()
+    }
+    fn label(&self) -> &str {
+        (**self).label()
+    }
+}
+
+/// A stream backed by a fixed instruction vector (for tests and traces).
+pub struct TraceStream {
+    instrs: Vec<Instr>,
+    pos: usize,
+    label: String,
+}
+
+impl TraceStream {
+    pub fn new(label: impl Into<String>, instrs: Vec<Instr>) -> Self {
+        TraceStream {
+            instrs,
+            pos: 0,
+            label: label.into(),
+        }
+    }
+}
+
+impl InstrStream for TraceStream {
+    fn next_instr(&mut self) -> Option<Instr> {
+        let i = self.instrs.get(self.pos).copied();
+        self.pos += 1;
+        i
+    }
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Address generation patterns for synthetic kernels.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum AddrPattern {
+    /// Sequential walk: `base + k*stride`, wrapping at `span` bytes.
+    Stream { base: u64, stride: u64, span: u64 },
+    /// Uniform random within `[base, base + span)`, 8-byte aligned.
+    Random { base: u64, span: u64 },
+}
+
+impl AddrPattern {
+    fn next(&self, k: u64, rng: &mut SmallRng) -> u64 {
+        match *self {
+            AddrPattern::Stream { base, stride, span } => base + (k * stride) % span.max(1),
+            AddrPattern::Random { base, span } => base + ((rng.gen::<u64>() % span.max(8)) & !7),
+        }
+    }
+}
+
+/// Specification of a synthetic instruction mix.
+///
+/// Each "iteration" emits `loads` loads, `flops` floating ops (alternating
+/// add/mul) that depend on the loads, `ialu` integer ops (address math), and
+/// `stores` stores, mimicking the skeleton of an inner loop.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelSpec {
+    pub label: String,
+    /// Number of loop iterations to emit.
+    pub iters: u64,
+    pub loads: u32,
+    pub stores: u32,
+    pub flops: u32,
+    pub ialu: u32,
+    /// Dependency distance for the FP ops; small = serial chain (low ILP),
+    /// large/0 = independent (high ILP).
+    pub flop_dep: u16,
+    pub load_pattern: AddrPattern,
+    pub store_pattern: AddrPattern,
+    /// One mispredicted branch every `mispredict_every` iterations
+    /// (0 = never).
+    pub mispredict_every: u64,
+    pub seed: u64,
+}
+
+impl KernelSpec {
+    pub fn stream(&self) -> SyntheticStream {
+        SyntheticStream {
+            spec: self.clone(),
+            iter: 0,
+            slot: 0,
+            load_k: 0,
+            store_k: 0,
+            rng: SmallRng::seed_from_u64(self.seed),
+        }
+    }
+
+    /// Instructions emitted per iteration.
+    pub fn instrs_per_iter(&self) -> u64 {
+        (self.loads + self.stores + self.flops + self.ialu + 1) as u64
+    }
+}
+
+/// Generator over a [`KernelSpec`].
+pub struct SyntheticStream {
+    spec: KernelSpec,
+    iter: u64,
+    slot: u32,
+    load_k: u64,
+    store_k: u64,
+    rng: SmallRng,
+}
+
+impl InstrStream for SyntheticStream {
+    fn next_instr(&mut self) -> Option<Instr> {
+        let s = &self.spec;
+        if self.iter >= s.iters {
+            return None;
+        }
+        let per = s.loads + s.flops + s.ialu + s.stores + 1; // +1 loop branch
+        let slot = self.slot;
+        self.slot += 1;
+        if self.slot >= per {
+            self.slot = 0;
+            self.iter += 1;
+        }
+
+        let instr = if slot < s.loads {
+            let addr = s.load_pattern.next(self.load_k, &mut self.rng);
+            self.load_k += 1;
+            // Loads depend lightly on address math from the previous iter.
+            Instr::load(addr, 0)
+        } else if slot < s.loads + s.flops {
+            // FP ops consume the loads: first FP op depends on the first
+            // load of this iteration; later ones chain at `flop_dep`.
+            let fp_idx = slot - s.loads;
+            let dep = if fp_idx == 0 {
+                (s.flops + s.ialu + s.stores).min(u16::MAX as u32) as u16 // reach back to a load
+            } else {
+                s.flop_dep
+            };
+            if fp_idx % 2 == 0 {
+                Instr::fadd(dep)
+            } else {
+                Instr::fmul(dep)
+            }
+        } else if slot < s.loads + s.flops + s.ialu {
+            Instr::alu()
+        } else if slot < s.loads + s.flops + s.ialu + s.stores {
+            let addr = s.store_pattern.next(self.store_k, &mut self.rng);
+            self.store_k += 1;
+            Instr::store(addr)
+        } else {
+            // Loop branch.
+            let miss = s.mispredict_every > 0 && self.iter % s.mispredict_every == 0;
+            Instr {
+                op: if miss { Op::BranchMiss } else { Op::Branch },
+                addr: 0,
+                dep_dist: 0,
+            }
+        };
+        Some(instr)
+    }
+
+    fn label(&self) -> &str {
+        &self.spec.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> KernelSpec {
+        KernelSpec {
+            label: "test".into(),
+            iters: 10,
+            loads: 2,
+            stores: 1,
+            flops: 4,
+            ialu: 1,
+            flop_dep: 1,
+            load_pattern: AddrPattern::Stream {
+                base: 0,
+                stride: 8,
+                span: 1 << 20,
+            },
+            store_pattern: AddrPattern::Stream {
+                base: 1 << 30,
+                stride: 8,
+                span: 1 << 20,
+            },
+            mispredict_every: 0,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn emits_expected_count_and_mix() {
+        let s = spec();
+        let all: Vec<Instr> = std::iter::from_fn({
+            let mut st = s.stream();
+            move || st.next_instr()
+        })
+        .collect();
+        assert_eq!(all.len() as u64, s.iters * s.instrs_per_iter());
+        let loads = all.iter().filter(|i| i.op == Op::Load).count() as u64;
+        let stores = all.iter().filter(|i| i.op == Op::Store).count() as u64;
+        let flops = all.iter().filter(|i| i.op.is_flop()).count() as u64;
+        assert_eq!(loads, 20);
+        assert_eq!(stores, 10);
+        assert_eq!(flops, 40);
+    }
+
+    #[test]
+    fn stream_addresses_stride_and_wrap() {
+        let p = AddrPattern::Stream {
+            base: 100,
+            stride: 8,
+            span: 32,
+        };
+        let mut rng = SmallRng::seed_from_u64(0);
+        let addrs: Vec<u64> = (0..6).map(|k| p.next(k, &mut rng)).collect();
+        assert_eq!(addrs, vec![100, 108, 116, 124, 100, 108]);
+    }
+
+    #[test]
+    fn random_addresses_in_range() {
+        let p = AddrPattern::Random {
+            base: 4096,
+            span: 1024,
+        };
+        let mut rng = SmallRng::seed_from_u64(7);
+        for k in 0..100 {
+            let a = p.next(k, &mut rng);
+            assert!(a >= 4096 && a < 4096 + 1024);
+            assert_eq!(a % 8, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = spec();
+        let v1: Vec<Instr> = std::iter::from_fn({
+            let mut st = s.stream();
+            move || st.next_instr()
+        })
+        .collect();
+        let v2: Vec<Instr> = std::iter::from_fn({
+            let mut st = s.stream();
+            move || st.next_instr()
+        })
+        .collect();
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn mispredicts_inserted() {
+        let mut s = spec();
+        s.mispredict_every = 2;
+        let misses = std::iter::from_fn({
+            let mut st = s.stream();
+            move || st.next_instr()
+        })
+        .filter(|i| i.op == Op::BranchMiss)
+        .count();
+        assert_eq!(misses, 5);
+    }
+
+    #[test]
+    fn trace_stream_replays() {
+        let mut t = TraceStream::new("t", vec![Instr::alu(), Instr::store(8)]);
+        assert_eq!(t.next_instr().unwrap().op, Op::IAlu);
+        assert_eq!(t.next_instr().unwrap().op, Op::Store);
+        assert!(t.next_instr().is_none());
+        assert!(t.next_instr().is_none());
+    }
+}

@@ -1,0 +1,26 @@
+//! # sst-cpu — processor models
+//!
+//! Processor substrate of the SST reproduction (the gem5-frontend analog):
+//!
+//! * [`isa`] — the mini-ISA, the [`isa::InstrStream`] trait, and synthetic
+//!   kernel generators.
+//! * [`core`] — a cycle-level superscalar core with configurable issue
+//!   width, functional units, and memory-level parallelism.
+//! * [`node`] — a multicore node: N cores in lockstep against one shared
+//!   `sst-mem` hierarchy.
+//! * [`gpu`] — a Fermi-class SIMT throughput model with occupancy and
+//!   register-spilling behavior, plus a PCIe transfer model.
+//! * [`components`] — a stream-driven DES processor endpoint for
+//!   full-system simulations.
+
+pub mod components;
+pub mod core;
+pub mod gpu;
+pub mod isa;
+pub mod node;
+
+pub use crate::core::{Core, CoreConfig, CoreStats, FlatMem, MemPort, Tick};
+pub use components::CoreComponent;
+pub use gpu::{run_kernel, GpuConfig, GpuKernel, GpuKernelResult, Limiter};
+pub use isa::{AddrPattern, Instr, InstrStream, KernelSpec, Op, SyntheticStream, TraceStream};
+pub use node::{Node, NodeConfig, PhaseResult};

@@ -1,0 +1,423 @@
+//! Set-associative cache model.
+//!
+//! A pure state machine: no timing, no events — just tags, LRU replacement,
+//! and dirty bits. Timing is layered on top by
+//! [`hierarchy`](crate::hierarchy) (immediate mode) and
+//! [`components`](crate::components) (discrete-event mode), both of which
+//! share this implementation — the SST "one model, multiple fidelities"
+//! idiom.
+
+use serde::{Deserialize, Serialize};
+
+/// Static cache geometry and policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Ways per set.
+    pub assoc: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Access latency in CPU cycles (used by the timing layers).
+    pub latency_cycles: u32,
+    /// Write-back (true) or write-through (false).
+    pub write_back: bool,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (self.line_bytes * self.assoc as u64)
+    }
+
+    /// Validate geometry invariants; panics on nonsense configs.
+    pub fn validate(&self) {
+        assert!(self.line_bytes.is_power_of_two(), "line size must be 2^k");
+        assert!(self.assoc >= 1);
+        assert!(
+            self.size_bytes % (self.line_bytes * self.assoc as u64) == 0,
+            "capacity must be sets * assoc * line"
+        );
+        assert!(self.sets() >= 1);
+    }
+
+    /// A typical 32 KiB, 8-way, 64 B L1 data cache (4-cycle).
+    pub fn l1d_32k() -> Self {
+        CacheConfig {
+            size_bytes: 32 << 10,
+            assoc: 8,
+            line_bytes: 64,
+            latency_cycles: 4,
+            write_back: true,
+        }
+    }
+
+    /// A typical 256 KiB, 8-way, 64 B private L2 (12-cycle).
+    pub fn l2_256k() -> Self {
+        CacheConfig {
+            size_bytes: 256 << 10,
+            assoc: 8,
+            line_bytes: 64,
+            latency_cycles: 12,
+            write_back: true,
+        }
+    }
+
+    /// A shared 8 MiB, 16-way, 64 B L3 (36-cycle).
+    pub fn l3_8m() -> Self {
+        CacheConfig {
+            size_bytes: 8 << 20,
+            assoc: 16,
+            line_bytes: 64,
+            latency_cycles: 36,
+            write_back: true,
+        }
+    }
+}
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Access {
+    Read,
+    Write,
+}
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    Hit,
+    /// Line was not present; it has been filled. If the victim was dirty,
+    /// its *line address* is returned so the caller can write it back.
+    Miss { writeback: Option<u64> },
+}
+
+impl Outcome {
+    pub fn is_hit(&self) -> bool {
+        matches!(self, Outcome::Hit)
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU stamp; larger = more recently used.
+    stamp: u64,
+}
+
+/// Hit/miss/traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    pub read_hits: u64,
+    pub read_misses: u64,
+    pub write_hits: u64,
+    pub write_misses: u64,
+    pub writebacks: u64,
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    pub fn hits(&self) -> u64 {
+        self.read_hits + self.write_hits
+    }
+    pub fn misses(&self) -> u64 {
+        self.read_misses + self.write_misses
+    }
+    pub fn accesses(&self) -> u64 {
+        self.hits() + self.misses()
+    }
+    /// Hit rate in [0, 1]; 0 if no accesses.
+    pub fn hit_rate(&self) -> f64 {
+        let a = self.accesses();
+        if a == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / a as f64
+        }
+    }
+}
+
+/// A set-associative, LRU, write-allocate cache.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    lines: Vec<Line>,
+    sets: u64,
+    line_shift: u32,
+    set_mask: u64,
+    next_stamp: u64,
+    pub stats: CacheStats,
+}
+
+impl Cache {
+    pub fn new(config: CacheConfig) -> Cache {
+        config.validate();
+        let sets = config.sets();
+        Cache {
+            config,
+            lines: vec![Line::default(); (sets * config.assoc as u64) as usize],
+            sets,
+            line_shift: config.line_bytes.trailing_zeros(),
+            set_mask: sets - 1,
+            next_stamp: 1,
+            stats: CacheStats::default(),
+        }
+    }
+
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// The line-aligned address containing `addr`.
+    #[inline]
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr >> self.line_shift << self.line_shift
+    }
+
+    #[inline]
+    fn index(&self, addr: u64) -> (u64, u64) {
+        let line = addr >> self.line_shift;
+        let set = if self.sets.is_power_of_two() {
+            line & self.set_mask
+        } else {
+            line % self.sets
+        };
+        let tag = line;
+        (set, tag)
+    }
+
+    /// Access `addr`; fills on miss (write-allocate), returning any dirty
+    /// victim line address for write-back.
+    pub fn access(&mut self, addr: u64, kind: Access) -> Outcome {
+        let (set, tag) = self.index(addr);
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        let write_back = self.config.write_back;
+        let line_shift = self.line_shift;
+        let a = (set * self.config.assoc as u64) as usize;
+        let ways = &mut self.lines[a..a + self.config.assoc as usize];
+
+        // Probe.
+        for l in ways.iter_mut() {
+            if l.valid && l.tag == tag {
+                l.stamp = stamp;
+                if kind == Access::Write && write_back {
+                    l.dirty = true;
+                }
+                match kind {
+                    Access::Read => self.stats.read_hits += 1,
+                    Access::Write => self.stats.write_hits += 1,
+                }
+                return Outcome::Hit;
+            }
+        }
+
+        // Miss: pick victim — invalid way first, else true LRU.
+        let victim = ways
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| if l.valid { l.stamp } else { 0 })
+            .map(|(i, _)| i)
+            .expect("assoc >= 1");
+        let v = &mut ways[victim];
+        let writeback = if v.valid && v.dirty {
+            Some(v.tag << line_shift)
+        } else {
+            None
+        };
+        *v = Line {
+            tag,
+            valid: true,
+            dirty: kind == Access::Write && write_back,
+            stamp,
+        };
+        match kind {
+            Access::Read => self.stats.read_misses += 1,
+            Access::Write => self.stats.write_misses += 1,
+        }
+        if writeback.is_some() {
+            self.stats.writebacks += 1;
+        }
+        Outcome::Miss { writeback }
+    }
+
+    /// Non-mutating presence check (no LRU update, no stats).
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set, tag) = self.index(addr);
+        let a = (set * self.config.assoc as u64) as usize;
+        self.lines[a..a + self.config.assoc as usize]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidate the line containing `addr` (coherence). Returns the dirty
+    /// line address if a write-back is needed.
+    pub fn invalidate(&mut self, addr: u64) -> Option<u64> {
+        let (set, tag) = self.index(addr);
+        let line_shift = self.line_shift;
+        let a = (set * self.config.assoc as u64) as usize;
+        let ways = &mut self.lines[a..a + self.config.assoc as usize];
+        for l in ways.iter_mut() {
+            if l.valid && l.tag == tag {
+                l.valid = false;
+                self.stats.invalidations += 1;
+                if l.dirty {
+                    l.dirty = false;
+                    return Some(tag << line_shift);
+                }
+                return None;
+            }
+        }
+        None
+    }
+
+    /// Number of currently valid lines (diagnostics / invariants).
+    pub fn valid_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    /// Total lines the cache can hold.
+    pub fn capacity_lines(&self) -> usize {
+        self.lines.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64B = 512B.
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            assoc: 2,
+            line_bytes: 64,
+            latency_cycles: 1,
+            write_back: true,
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x1000, Access::Read).is_hit());
+        assert!(c.access(0x1000, Access::Read).is_hit());
+        assert!(c.access(0x103F, Access::Read).is_hit()); // same line
+        assert!(!c.access(0x1040, Access::Read).is_hit()); // next line
+        assert_eq!(c.stats.read_hits, 2);
+        assert_eq!(c.stats.read_misses, 2);
+    }
+
+    #[test]
+    fn lru_replacement() {
+        let mut c = tiny();
+        // Three lines mapping to the same set (set stride = 4 sets * 64B = 256B).
+        let (a, b, d) = (0x0000u64, 0x0100, 0x0200);
+        c.access(a, Access::Read);
+        c.access(b, Access::Read);
+        c.access(a, Access::Read); // a most recent; b is LRU
+        c.access(d, Access::Read); // evicts b
+        assert!(c.probe(a));
+        assert!(!c.probe(b));
+        assert!(c.probe(d));
+    }
+
+    #[test]
+    fn dirty_eviction_yields_writeback() {
+        let mut c = tiny();
+        let (a, b, d) = (0x0000u64, 0x0100, 0x0200);
+        c.access(a, Access::Write);
+        c.access(b, Access::Read);
+        // Evict a (LRU after touching b? a is LRU since b is newer).
+        c.access(b, Access::Read);
+        match c.access(d, Access::Read) {
+            Outcome::Miss { writeback: Some(wb) } => assert_eq!(wb, a),
+            other => panic!("expected dirty eviction, got {other:?}"),
+        }
+        assert_eq!(c.stats.writebacks, 1);
+    }
+
+    #[test]
+    fn write_through_never_dirty() {
+        let mut c = Cache::new(CacheConfig {
+            write_back: false,
+            ..*tiny().config()
+        });
+        let (a, b, d) = (0x0000u64, 0x0100, 0x0200);
+        c.access(a, Access::Write);
+        c.access(b, Access::Read);
+        c.access(b, Access::Read);
+        match c.access(d, Access::Read) {
+            Outcome::Miss { writeback: None } => {}
+            other => panic!("write-through must not write back, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalidate_removes_and_reports_dirty() {
+        let mut c = tiny();
+        c.access(0x40, Access::Write);
+        assert_eq!(c.invalidate(0x40), Some(0x40));
+        assert!(!c.probe(0x40));
+        assert_eq!(c.invalidate(0x40), None); // already gone
+        c.access(0x80, Access::Read);
+        assert_eq!(c.invalidate(0x80), None); // clean
+        assert_eq!(c.stats.invalidations, 2);
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let mut c = tiny();
+        c.access(0x0, Access::Read); // miss
+        c.access(0x0, Access::Read); // hit
+        c.access(0x0, Access::Write); // hit
+        c.access(0x1000, Access::Write); // miss
+        assert_eq!(c.stats.accesses(), 4);
+        assert_eq!(c.stats.hits(), 2);
+        assert!((c.stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_bounded() {
+        let mut c = tiny();
+        for i in 0..1000u64 {
+            c.access(i * 64, Access::Read);
+        }
+        assert_eq!(c.valid_lines(), c.capacity_lines());
+    }
+
+    #[test]
+    fn full_associativity_within_set() {
+        // 1 set, 4 ways.
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 256,
+            assoc: 4,
+            line_bytes: 64,
+            latency_cycles: 1,
+            write_back: true,
+        });
+        for i in 0..4u64 {
+            c.access(i * 64, Access::Read);
+        }
+        for i in 0..4u64 {
+            assert!(c.access(i * 64, Access::Read).is_hit());
+        }
+        c.access(4 * 64, Access::Read); // evicts line 0 (LRU)
+        assert!(!c.probe(0));
+        assert!(c.probe(64));
+    }
+
+    #[test]
+    fn presets_validate() {
+        for cfg in [
+            CacheConfig::l1d_32k(),
+            CacheConfig::l2_256k(),
+            CacheConfig::l3_8m(),
+        ] {
+            cfg.validate();
+            let _ = Cache::new(cfg);
+        }
+        assert_eq!(CacheConfig::l1d_32k().sets(), 64);
+    }
+}

@@ -1,0 +1,365 @@
+//! Discrete-event component wrappers for the memory models.
+//!
+//! These speak a simple split-transaction protocol ([`MemReq`] / [`MemResp`])
+//! over sst-core links, so full-system simulations can assemble
+//! `cpu → cache → cache → memory` chains from the same underlying
+//! state machines used by the immediate-mode facade.
+
+use crate::cache::{Access, Cache, CacheConfig};
+use crate::dram::{DramConfig, DramSystem};
+use sst_core::config::ConfigError;
+use sst_core::prelude::*;
+use std::collections::HashMap;
+
+/// A memory request traveling toward memory.
+#[derive(Debug, Clone)]
+pub struct MemReq {
+    /// Requester-chosen id, echoed in the response.
+    pub id: u64,
+    pub addr: u64,
+    pub write: bool,
+}
+
+/// A completed request traveling back toward the CPU.
+#[derive(Debug, Clone)]
+pub struct MemResp {
+    pub id: u64,
+    pub addr: u64,
+}
+
+/// A single cache level as a DES component.
+///
+/// Ports: `"cpu"` (requests in / responses out) and `"mem"` (misses out /
+/// fills in). Hits respond after the configured latency; misses forward a
+/// line-granular request downstream and register in an MSHR so that
+/// concurrent misses to one line coalesce into a single downstream fetch.
+pub struct CacheComponent {
+    cache: Cache,
+    latency: SimTime,
+    /// line addr -> waiting original requests.
+    mshrs: HashMap<u64, Vec<MemReq>>,
+    next_downstream_id: u64,
+    hits: Option<StatId>,
+    misses: Option<StatId>,
+    coalesced: Option<StatId>,
+}
+
+impl CacheComponent {
+    pub const CPU: PortId = PortId(0);
+    pub const MEM: PortId = PortId(1);
+
+    pub fn new(config: CacheConfig, latency: SimTime) -> CacheComponent {
+        CacheComponent {
+            cache: Cache::new(config),
+            latency,
+            mshrs: HashMap::new(),
+            next_downstream_id: 0,
+            hits: None,
+            misses: None,
+            coalesced: None,
+        }
+    }
+
+    /// Outstanding MSHR entries (diagnostics).
+    pub fn outstanding(&self) -> usize {
+        self.mshrs.len()
+    }
+}
+
+impl Component for CacheComponent {
+    fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+        self.hits = Some(ctx.stat_counter("hits"));
+        self.misses = Some(ctx.stat_counter("misses"));
+        self.coalesced = Some(ctx.stat_counter("coalesced_misses"));
+    }
+
+    fn on_event(&mut self, port: PortId, payload: Box<dyn Payload>, ctx: &mut SimCtx<'_>) {
+        match port {
+            Self::CPU => {
+                let req = downcast::<MemReq>(payload);
+                let kind = if req.write { Access::Write } else { Access::Read };
+                let line = self.cache.line_addr(req.addr);
+                let outcome = self.cache.access(req.addr, kind);
+                if outcome.is_hit() {
+                    ctx.add_stat(self.hits.unwrap(), 1);
+                    ctx.send_delayed(
+                        Self::CPU,
+                        Box::new(MemResp {
+                            id: req.id,
+                            addr: req.addr,
+                        }),
+                        self.latency,
+                    );
+                } else {
+                    ctx.add_stat(self.misses.unwrap(), 1);
+                    // The state machine already filled the line and reported
+                    // any dirty victim; send that victim downstream as a
+                    // fire-and-forget write (its response, if any, matches
+                    // no MSHR and is dropped).
+                    if let crate::cache::Outcome::Miss {
+                        writeback: Some(victim),
+                    } = outcome
+                    {
+                        let id = self.next_downstream_id;
+                        self.next_downstream_id += 1;
+                        ctx.send_delayed(
+                            Self::MEM,
+                            Box::new(MemReq {
+                                id,
+                                addr: victim,
+                                write: true,
+                            }),
+                            self.latency,
+                        );
+                    }
+                    let entry = self.mshrs.entry(line).or_default();
+                    let first = entry.is_empty();
+                    entry.push(*req);
+                    if first {
+                        let id = self.next_downstream_id;
+                        self.next_downstream_id += 1;
+                        ctx.send_delayed(
+                            Self::MEM,
+                            Box::new(MemReq {
+                                id,
+                                addr: line,
+                                write: false,
+                            }),
+                            self.latency,
+                        );
+                    } else {
+                        ctx.add_stat(self.coalesced.unwrap(), 1);
+                    }
+                }
+            }
+            Self::MEM => {
+                let resp = downcast::<MemResp>(payload);
+                let line = self.cache.line_addr(resp.addr);
+                if let Some(waiters) = self.mshrs.remove(&line) {
+                    for w in waiters {
+                        ctx.send(
+                            Self::CPU,
+                            Box::new(MemResp {
+                                id: w.id,
+                                addr: w.addr,
+                            }),
+                        );
+                    }
+                }
+            }
+            other => panic!("cache got event on unexpected port {other:?}"),
+        }
+    }
+
+    fn ports(&self) -> &'static [&'static str] {
+        &["cpu", "mem"]
+    }
+}
+
+/// A DRAM memory controller as a DES component.
+///
+/// Port: `"bus"`. Each request is serviced through the [`DramSystem`] timing
+/// model; the response is delivered when the burst completes.
+pub struct MemoryComponent {
+    dram: DramSystem,
+    reads: Option<StatId>,
+    writes: Option<StatId>,
+    latency_stat: Option<StatId>,
+}
+
+impl MemoryComponent {
+    pub const BUS: PortId = PortId(0);
+
+    pub fn new(config: DramConfig) -> MemoryComponent {
+        MemoryComponent {
+            dram: DramSystem::new(config),
+            reads: None,
+            writes: None,
+            latency_stat: None,
+        }
+    }
+}
+
+impl Component for MemoryComponent {
+    fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+        self.reads = Some(ctx.stat_counter("reads"));
+        self.writes = Some(ctx.stat_counter("writes"));
+        self.latency_stat = Some(ctx.stat_accumulator("latency_ns"));
+    }
+
+    fn on_event(&mut self, port: PortId, payload: Box<dyn Payload>, ctx: &mut SimCtx<'_>) {
+        assert_eq!(port, Self::BUS);
+        let req = downcast::<MemReq>(payload);
+        let now = ctx.now();
+        let (done, _) = self.dram.service(req.addr, req.write, now);
+        ctx.add_stat(
+            if req.write {
+                self.writes.unwrap()
+            } else {
+                self.reads.unwrap()
+            },
+            1,
+        );
+        ctx.record_stat(self.latency_stat.unwrap(), (done - now).as_ns_f64());
+        ctx.send_delayed(
+            Self::BUS,
+            Box::new(MemResp {
+                id: req.id,
+                addr: req.addr,
+            }),
+            done - now,
+        );
+    }
+
+    fn ports(&self) -> &'static [&'static str] {
+        &["bus"]
+    }
+}
+
+/// Register the memory components in a [`ComponentRegistry`] for JSON
+/// config-driven simulations.
+pub fn register(registry: &mut ComponentRegistry) {
+    registry.register(
+        "mem.cache",
+        "set-associative cache level (ports: cpu, mem)",
+        |p| {
+            let cfg = CacheConfig {
+                size_bytes: p.u64_or("size_bytes", 32 << 10),
+                assoc: p.u64_or("assoc", 8) as u32,
+                line_bytes: p.u64_or("line_bytes", 64),
+                latency_cycles: p.u64_or("latency_cycles", 4) as u32,
+                write_back: p.bool_or("write_back", true),
+            };
+            let latency = SimTime::ns_f64(p.f64_or("latency_ns", 1.0));
+            Ok(Box::new(CacheComponent::new(cfg, latency)))
+        },
+    );
+    registry.register(
+        "mem.dram",
+        "DRAM controller + channels (port: bus); preset = ddr2_800|ddr3_1066|ddr3_1333|ddr3_1600|gddr5",
+        |p| {
+            let channels = p.u64_or("channels", 2) as u32;
+            let cfg = match p.str_or("preset", "ddr3_1333") {
+                "ddr2_800" => DramConfig::ddr2_800(channels),
+                "ddr3_1066" => DramConfig::ddr3_1066(channels),
+                "ddr3_1333" => DramConfig::ddr3_1333(channels),
+                "ddr3_1600" => DramConfig::ddr3_1600(channels),
+                "gddr5" => DramConfig::gddr5(channels),
+                other => {
+                    return Err(ConfigError::BadFormat(format!(
+                        "unknown DRAM preset `{other}`"
+                    )))
+                }
+            };
+            Ok(Box::new(MemoryComponent::new(cfg)))
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives a fixed address trace through the cache and checks responses.
+    struct Driver {
+        trace: Vec<u64>,
+        next: usize,
+        inflight: u64,
+        responses: Option<StatId>,
+    }
+    impl Driver {
+        const MEM: PortId = PortId(0);
+    }
+    impl Component for Driver {
+        fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+            self.responses = Some(ctx.stat_counter("responses"));
+            // Issue the first request.
+            let addr = self.trace[0];
+            self.next = 1;
+            self.inflight = 100;
+            ctx.send(
+                Self::MEM,
+                Box::new(MemReq {
+                    id: 100,
+                    addr,
+                    write: false,
+                }),
+            );
+        }
+        fn on_event(&mut self, _port: PortId, payload: Box<dyn Payload>, ctx: &mut SimCtx<'_>) {
+            let resp = downcast::<MemResp>(payload);
+            assert_eq!(resp.id, self.inflight);
+            ctx.add_stat(self.responses.unwrap(), 1);
+            if self.next < self.trace.len() {
+                let addr = self.trace[self.next];
+                self.next += 1;
+                self.inflight += 1;
+                ctx.send(
+                    Self::MEM,
+                    Box::new(MemReq {
+                        id: self.inflight,
+                        addr,
+                        write: false,
+                    }),
+                );
+            }
+        }
+        fn ports(&self) -> &'static [&'static str] {
+            &["mem"]
+        }
+    }
+
+    fn chain(trace: Vec<u64>) -> SimReport {
+        let mut b = SystemBuilder::new();
+        let n = trace.len() as u64;
+        let drv = b.add(
+            "driver",
+            Driver {
+                trace,
+                next: 0,
+                inflight: 0,
+                responses: None,
+            },
+        );
+        let l1 = b.add(
+            "l1",
+            CacheComponent::new(CacheConfig::l1d_32k(), SimTime::ns(1)),
+        );
+        let mem = b.add("mem", MemoryComponent::new(DramConfig::ddr3_1333(1)));
+        b.link((drv, Driver::MEM), (l1, CacheComponent::CPU), SimTime::ns(1));
+        b.link((l1, CacheComponent::MEM), (mem, MemoryComponent::BUS), SimTime::ns(5));
+        let report = Engine::new(b).run(RunLimit::Exhaust);
+        assert_eq!(report.stats.counter("driver", "responses"), n);
+        report
+    }
+
+    #[test]
+    fn hits_and_misses_flow_through_chain() {
+        // Same line twice then a new line: 2 misses, 1 hit.
+        let report = chain(vec![0x100, 0x108, 0x4000]);
+        assert_eq!(report.stats.counter("l1", "hits"), 1);
+        assert_eq!(report.stats.counter("l1", "misses"), 2);
+        assert_eq!(report.stats.counter("mem", "reads"), 2);
+    }
+
+    #[test]
+    fn hit_latency_lower_than_miss_latency() {
+        let miss_only = chain(vec![0x0, 0x4000, 0x8000, 0xC000]);
+        let hit_heavy = chain(vec![0x0, 0x8, 0x10, 0x18]);
+        assert!(hit_heavy.end_time < miss_only.end_time);
+    }
+
+    #[test]
+    fn registry_builds_from_config() {
+        let mut reg = ComponentRegistry::new();
+        register(&mut reg);
+        assert!(reg.contains("mem.cache"));
+        assert!(reg.contains("mem.dram"));
+        let cache = reg
+            .create("mem.cache", &Params::new().set("size_bytes", 65536u64))
+            .unwrap();
+        assert_eq!(cache.ports(), &["cpu", "mem"]);
+        let bad = reg.create("mem.dram", &Params::new().set("preset", "ddr9"));
+        assert!(bad.is_err());
+    }
+}

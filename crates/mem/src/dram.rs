@@ -1,0 +1,606 @@
+//! DRAM timing and power model (the DRAMSim2 analog).
+//!
+//! Models channels × ranks × banks with an open-page row-buffer policy.
+//! Each access classifies as a row **hit** (CAS only), row **empty**
+//! (activate + CAS), or row **conflict** (precharge + activate + CAS), and
+//! then serializes its data burst on the channel bus — which is what caps
+//! sustained bandwidth and creates the multi-core contention measured in the
+//! cores-per-node experiments.
+//!
+//! Presets carry the technology comparison of the paper's design-space
+//! study: DDR2-800 (cheap, low power, slow), DDR3-1066/1333/1600
+//! (mainstream), and GDDR5 (expensive, power-hungry, very high bandwidth).
+
+use serde::{Deserialize, Serialize};
+use sst_core::time::SimTime;
+
+/// DRAM technology + organization parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DramConfig {
+    pub name: String,
+    pub channels: u32,
+    pub ranks_per_channel: u32,
+    pub banks_per_rank: u32,
+    /// Data rate in mega-transfers per second (e.g. 1333 for DDR3-1333).
+    pub data_rate_mts: f64,
+    /// Bus width per channel in bytes.
+    pub bus_bytes: u32,
+    /// Transfers per burst (BL). `bus_bytes * burst_length` should equal the
+    /// cache line size so one burst moves one line.
+    pub burst_length: u32,
+    /// CAS latency (ns).
+    pub tcl_ns: f64,
+    /// RAS-to-CAS delay (ns).
+    pub trcd_ns: f64,
+    /// Row precharge time (ns).
+    pub trp_ns: f64,
+    /// Minimum row-active time (ns).
+    pub tras_ns: f64,
+    /// Row (page) size in bytes.
+    pub row_bytes: u64,
+    // --- technology model (energy / cost) ---
+    /// Energy per row activation+precharge pair (nJ).
+    pub e_act_nj: f64,
+    /// Energy per burst read (nJ).
+    pub e_rd_nj: f64,
+    /// Energy per burst write (nJ).
+    pub e_wr_nj: f64,
+    /// Background (standby + refresh) power per rank (mW).
+    pub p_bg_mw_per_rank: f64,
+    /// Market price per GB (USD) — the DRAM-spot-price input of the cost
+    /// study.
+    pub cost_per_gb_usd: f64,
+    /// Installed capacity (GB), for the cost roll-up.
+    pub capacity_gb: f64,
+    /// Permutation-based bank interleaving (hash the row id into the bank
+    /// index). On by default, as in real controllers; the ablation study
+    /// switches it off to show power-of-two-stride bank aliasing.
+    pub bank_hash: bool,
+}
+
+impl DramConfig {
+    /// Peak bandwidth over all channels (bytes/sec).
+    pub fn peak_bw_bytes_per_sec(&self) -> f64 {
+        self.channels as f64 * self.bus_bytes as f64 * self.data_rate_mts * 1e6
+    }
+
+    /// Duration of one data burst on the channel bus.
+    pub fn burst_time(&self) -> SimTime {
+        SimTime::ns_f64(self.burst_length as f64 * 1e3 / self.data_rate_mts)
+    }
+
+    /// Bytes moved per burst.
+    pub fn burst_bytes(&self) -> u64 {
+        self.bus_bytes as u64 * self.burst_length as u64
+    }
+
+    /// DDR2-800: 6.4 GB/s/channel; "cheap, low power, but antiquated
+    /// performance".
+    pub fn ddr2_800(channels: u32) -> Self {
+        DramConfig {
+            name: format!("DDR2-800 x{channels}"),
+            channels,
+            ranks_per_channel: 2,
+            banks_per_rank: 8,
+            data_rate_mts: 800.0,
+            bus_bytes: 8,
+            burst_length: 8,
+            tcl_ns: 12.5,
+            trcd_ns: 12.5,
+            trp_ns: 12.5,
+            tras_ns: 45.0,
+            row_bytes: 8 << 10,
+            e_act_nj: 18.0,
+            e_rd_nj: 7.0,
+            e_wr_nj: 7.5,
+            p_bg_mw_per_rank: 140.0,
+            cost_per_gb_usd: 2.5,
+            capacity_gb: 8.0,
+            bank_hash: true,
+        }
+    }
+
+    /// DDR3 at an arbitrary data rate (the memory-speed experiment dials
+    /// the same DIMMs to 800/1066/1333 MT/s): fixed ~13.5 ns core timings,
+    /// scaled bandwidth.
+    pub fn ddr3_speed(mts: f64, channels: u32) -> Self {
+        assert!(mts > 0.0);
+        DramConfig {
+            name: format!("DDR3-{} x{channels}", mts as u64),
+            data_rate_mts: mts,
+            ..Self::ddr3_1333(channels)
+        }
+    }
+
+    /// DDR3-1066.
+    pub fn ddr3_1066(channels: u32) -> Self {
+        DramConfig {
+            name: format!("DDR3-1066 x{channels}"),
+            data_rate_mts: 1066.0,
+            tcl_ns: 13.1,
+            trcd_ns: 13.1,
+            trp_ns: 13.1,
+            tras_ns: 37.5,
+            e_act_nj: 12.0,
+            e_rd_nj: 4.5,
+            e_wr_nj: 5.0,
+            p_bg_mw_per_rank: 120.0,
+            cost_per_gb_usd: 7.0,
+            ..Self::ddr3_1333(channels)
+        }
+    }
+
+    /// DDR3-1333: 10.7 GB/s/channel; "higher performance, reasonable power".
+    pub fn ddr3_1333(channels: u32) -> Self {
+        DramConfig {
+            name: format!("DDR3-1333 x{channels}"),
+            channels,
+            ranks_per_channel: 2,
+            banks_per_rank: 8,
+            data_rate_mts: 1333.0,
+            bus_bytes: 8,
+            burst_length: 8,
+            tcl_ns: 13.5,
+            trcd_ns: 13.5,
+            trp_ns: 13.5,
+            tras_ns: 36.0,
+            row_bytes: 8 << 10,
+            e_act_nj: 11.0,
+            e_rd_nj: 4.2,
+            e_wr_nj: 4.6,
+            p_bg_mw_per_rank: 118.0,
+            cost_per_gb_usd: 7.0,
+            capacity_gb: 8.0,
+            bank_hash: true,
+        }
+    }
+
+    /// DDR3-1600: 12.8 GB/s/channel.
+    pub fn ddr3_1600(channels: u32) -> Self {
+        DramConfig {
+            name: format!("DDR3-1600 x{channels}"),
+            data_rate_mts: 1600.0,
+            tcl_ns: 13.75,
+            trcd_ns: 13.75,
+            trp_ns: 13.75,
+            tras_ns: 35.0,
+            e_act_nj: 10.5,
+            e_rd_nj: 4.0,
+            e_wr_nj: 4.4,
+            ..Self::ddr3_1333(channels)
+        }
+    }
+
+    /// Energy (Joules) implied by an activity snapshot over `elapsed`:
+    /// IDD-style per-operation energies plus background power per rank.
+    pub fn energy_joules(&self, stats: &DramStats, elapsed: SimTime) -> f64 {
+        let dyn_nj = stats.activates as f64 * self.e_act_nj
+            + stats.reads as f64 * self.e_rd_nj
+            + stats.writes as f64 * self.e_wr_nj;
+        let ranks = (self.channels * self.ranks_per_channel) as f64;
+        let bg_w = ranks * self.p_bg_mw_per_rank * 1e-3;
+        dyn_nj * 1e-9 + bg_w * elapsed.as_secs_f64()
+    }
+
+    /// GDDR5 @ 3600 MT/s, 32-bit channels: "expensive, high power, very
+    /// high bandwidth" — 14.4 GB/s per (narrow) channel, so typically used
+    /// with many channels.
+    pub fn gddr5(channels: u32) -> Self {
+        DramConfig {
+            name: format!("GDDR5-3600 x{channels}"),
+            channels,
+            ranks_per_channel: 1,
+            // Many banks across the stacked devices of a channel: graphics
+            // parts rely on deep bank-level parallelism to keep their
+            // narrow, fast channels busy.
+            banks_per_rank: 32,
+            data_rate_mts: 3600.0,
+            bus_bytes: 4,
+            burst_length: 16,
+            tcl_ns: 12.0,
+            trcd_ns: 12.0,
+            trp_ns: 12.0,
+            tras_ns: 28.0,
+            row_bytes: 4 << 10,
+            e_act_nj: 9.0,
+            e_rd_nj: 6.5,
+            e_wr_nj: 7.0,
+            p_bg_mw_per_rank: 650.0,
+            cost_per_gb_usd: 12.0,
+            capacity_gb: 6.0,
+            bank_hash: true,
+        }
+    }
+}
+
+/// How the open-row policy classified an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowOutcome {
+    Hit,
+    Empty,
+    Conflict,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bank {
+    open_row: Option<u64>,
+    /// Earliest time the bank can accept a new column/row command (ps).
+    ready_at: u64,
+    /// Time of the last activate, to honor tRAS before precharge (ps).
+    activated_at: u64,
+}
+
+/// Aggregate DRAM statistics.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct DramStats {
+    pub reads: u64,
+    pub writes: u64,
+    pub row_hits: u64,
+    pub row_empty: u64,
+    pub row_conflicts: u64,
+    pub activates: u64,
+    pub bytes: u64,
+}
+
+impl DramStats {
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+    pub fn row_hit_rate(&self) -> f64 {
+        let a = self.accesses();
+        if a == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / a as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Channel {
+    banks: Vec<Bank>,
+    bus_free_at: u64,
+}
+
+/// The DRAM subsystem: all channels of one node's memory.
+///
+/// Immediate-mode interface: [`DramSystem::service`] must be called with
+/// non-decreasing `now` values (the node simulators iterate in cycle order),
+/// and returns the completion time of the access after all queuing.
+#[derive(Debug, Clone)]
+pub struct DramSystem {
+    cfg: DramConfig,
+    channels: Vec<Channel>,
+    // Pre-converted timing (ps).
+    tcl: u64,
+    trcd: u64,
+    trp: u64,
+    tras: u64,
+    burst: u64,
+    pub stats: DramStats,
+}
+
+impl DramSystem {
+    pub fn new(cfg: DramConfig) -> DramSystem {
+        let banks = (cfg.banks_per_rank * cfg.ranks_per_channel) as usize;
+        let channels = (0..cfg.channels)
+            .map(|_| Channel {
+                banks: vec![Bank::default(); banks],
+                bus_free_at: 0,
+            })
+            .collect();
+        DramSystem {
+            tcl: SimTime::ns_f64(cfg.tcl_ns).as_ps(),
+            trcd: SimTime::ns_f64(cfg.trcd_ns).as_ps(),
+            trp: SimTime::ns_f64(cfg.trp_ns).as_ps(),
+            tras: SimTime::ns_f64(cfg.tras_ns).as_ps(),
+            burst: cfg.burst_time().as_ps(),
+            channels,
+            cfg,
+            stats: DramStats::default(),
+        }
+    }
+
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Map an address to (channel, bank, row). Lines interleave across
+    /// channels; the channel bits are then *removed* so each channel sees a
+    /// dense local address space (otherwise a sequential stream would visit
+    /// only `1/channels` of every row and thrash the row buffers), and rows
+    /// interleave across banks.
+    fn map(&self, addr: u64) -> (usize, usize, u64) {
+        let line = addr / 64;
+        let channels = self.cfg.channels as u64;
+        let ch = (line % channels) as usize;
+        let local = (line / channels) * 64 + (addr % 64);
+        let row_global = local / self.cfg.row_bytes;
+        let nbanks = (self.cfg.banks_per_rank * self.cfg.ranks_per_channel) as u64;
+        // Permutation-based bank interleaving (XOR/hash folding of the row
+        // id): spreads power-of-two-strided regions — e.g. per-core arenas
+        // gigabytes apart — across banks instead of aliasing them onto one.
+        let bank = if self.cfg.bank_hash {
+            ((row_global.wrapping_mul(0x9E3779B97F4A7C15) >> 32) % nbanks) as usize
+        } else {
+            (row_global % nbanks) as usize
+        };
+        (ch, bank, row_global)
+    }
+
+    /// Service one line-sized access issued at `now`; returns its completion
+    /// time and row classification.
+    pub fn service(&mut self, addr: u64, write: bool, now: SimTime) -> (SimTime, RowOutcome) {
+        let (ch, bank_idx, row) = self.map(addr);
+        let tcl = self.tcl;
+        let trcd = self.trcd;
+        let trp = self.trp;
+        let tras = self.tras;
+        let burst = self.burst;
+        let channel = &mut self.channels[ch];
+        let bank = &mut channel.banks[bank_idx];
+
+        let start = now.as_ps().max(bank.ready_at);
+        // `cas_start` is when the column command issues; data follows tCL
+        // later. Column commands to an open row pipeline at burst cadence
+        // (tCCD), so sustained row-hit streams are paced by the data bus and
+        // reach peak bandwidth; only row cycles serialize within a bank.
+        let (outcome, cas_start, activated_at) = match bank.open_row {
+            Some(r) if r == row => (RowOutcome::Hit, start, bank.activated_at),
+            Some(_) => {
+                // Precharge cannot begin before tRAS from the last activate.
+                let pre_start = start.max(bank.activated_at + tras);
+                let act = pre_start + trp;
+                (RowOutcome::Conflict, act + trcd, act)
+            }
+            None => (RowOutcome::Empty, start + trcd, start),
+        };
+
+        // Serialize on the channel data bus.
+        let data_start = (cas_start + tcl).max(channel.bus_free_at);
+        let done = data_start + burst;
+        channel.bus_free_at = done;
+        bank.open_row = Some(row);
+        bank.activated_at = activated_at;
+        bank.ready_at = cas_start + burst;
+
+        match outcome {
+            RowOutcome::Hit => self.stats.row_hits += 1,
+            RowOutcome::Empty => {
+                self.stats.row_empty += 1;
+                self.stats.activates += 1;
+            }
+            RowOutcome::Conflict => {
+                self.stats.row_conflicts += 1;
+                self.stats.activates += 1;
+            }
+        }
+        if write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        self.stats.bytes += self.cfg.burst_bytes();
+
+        (SimTime::ps(done), outcome)
+    }
+
+    /// Unloaded row-hit latency (CAS + burst).
+    pub fn idle_hit_latency(&self) -> SimTime {
+        SimTime::ps(self.tcl + self.burst)
+    }
+
+    /// Unloaded row-empty latency (RCD + CAS + burst).
+    pub fn idle_miss_latency(&self) -> SimTime {
+        SimTime::ps(self.trcd + self.tcl + self.burst)
+    }
+
+    /// Dynamic + background energy consumed over `elapsed` (Joules).
+    pub fn energy_joules(&self, elapsed: SimTime) -> f64 {
+        self.cfg.energy_joules(&self.stats, elapsed)
+    }
+
+    /// Average power over `elapsed` (Watts).
+    pub fn avg_power_watts(&self, elapsed: SimTime) -> f64 {
+        if elapsed == SimTime::ZERO {
+            return 0.0;
+        }
+        self.energy_joules(elapsed) / elapsed.as_secs_f64()
+    }
+
+    /// Memory subsystem capital cost (USD).
+    pub fn cost_usd(&self) -> f64 {
+        self.cfg.cost_per_gb_usd * self.cfg.capacity_gb
+    }
+
+    /// Latest time any channel's data bus is busy (diagnostics; the natural
+    /// "end of traffic" mark for throughput math).
+    pub fn last_busy(&self) -> SimTime {
+        SimTime::ps(self.channels.iter().map(|c| c.bus_free_at).max().unwrap_or(0))
+    }
+
+    /// Achieved bandwidth over `elapsed` (bytes/sec).
+    pub fn achieved_bw(&self, elapsed: SimTime) -> f64 {
+        if elapsed == SimTime::ZERO {
+            return 0.0;
+        }
+        self.stats.bytes as f64 / elapsed.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_channel() -> DramSystem {
+        DramSystem::new(DramConfig::ddr3_1333(1))
+    }
+
+    #[test]
+    fn presets_sane() {
+        let d2 = DramConfig::ddr2_800(2);
+        let d3 = DramConfig::ddr3_1333(2);
+        let g5 = DramConfig::gddr5(8);
+        assert!(d2.peak_bw_bytes_per_sec() < d3.peak_bw_bytes_per_sec());
+        assert!(d3.peak_bw_bytes_per_sec() < g5.peak_bw_bytes_per_sec());
+        // One burst moves one 64B line.
+        assert_eq!(d2.burst_bytes(), 64);
+        assert_eq!(d3.burst_bytes(), 64);
+        assert_eq!(g5.burst_bytes(), 64);
+        // Cost ordering: DDR2 cheapest, GDDR5 most expensive.
+        assert!(d2.cost_per_gb_usd < d3.cost_per_gb_usd);
+        assert!(d3.cost_per_gb_usd < g5.cost_per_gb_usd);
+    }
+
+    #[test]
+    fn first_access_is_row_empty() {
+        let mut d = one_channel();
+        let (done, outcome) = d.service(0, false, SimTime::ZERO);
+        assert_eq!(outcome, RowOutcome::Empty);
+        assert_eq!(done, d.idle_miss_latency());
+    }
+
+    #[test]
+    fn same_row_hits() {
+        let mut d = one_channel();
+        let (t1, _) = d.service(0, false, SimTime::ZERO);
+        let (t2, outcome) = d.service(64, false, t1);
+        assert_eq!(outcome, RowOutcome::Hit);
+        assert_eq!(t2.as_ps() - t1.as_ps(), d.tcl + d.burst);
+    }
+
+    #[test]
+    fn different_row_same_bank_conflicts() {
+        let d_cfg = DramConfig::ddr3_1333(1);
+        let row_bytes = d_cfg.row_bytes;
+        let mut d = DramSystem::new(d_cfg);
+        // Find another row that the bank hash places in bank 0's company:
+        // scan until a row maps to the same (channel, bank) as row 0.
+        let (c0, b0, r0) = d.map(0);
+        let mut addr2 = 0;
+        for r in 1..10_000u64 {
+            let a = r * row_bytes;
+            let (c, b, row) = d.map(a);
+            if c == c0 && b == b0 && row != r0 {
+                addr2 = a;
+                break;
+            }
+        }
+        assert!(addr2 != 0, "no same-bank row found");
+        let (t1, _) = d.service(0, false, SimTime::ZERO);
+        let (_, outcome) = d.service(addr2, false, t1);
+        assert_eq!(outcome, RowOutcome::Conflict);
+        assert_eq!(d.stats.row_conflicts, 1);
+        assert_eq!(d.stats.activates, 2);
+    }
+
+    #[test]
+    fn different_banks_overlap() {
+        // Two row-empty accesses to different banks issued back-to-back:
+        // the second's activate overlaps the first's, so its completion is
+        // gated by the shared data bus, not by 2x the full latency.
+        let mut d = one_channel();
+        let (t1, o1) = d.service(0, false, SimTime::ZERO);
+        let (t2, o2) = d.service(d.cfg.row_bytes, false, SimTime::ZERO);
+        assert_eq!(o1, RowOutcome::Empty);
+        assert_eq!(o2, RowOutcome::Empty);
+        assert_eq!(t2.as_ps(), t1.as_ps() + d.burst);
+    }
+
+    #[test]
+    fn streaming_approaches_peak_bandwidth() {
+        let mut d = one_channel();
+        let n = 10_000u64;
+        let mut t = SimTime::ZERO;
+        for i in 0..n {
+            let (done, _) = d.service(i * 64, false, t);
+            // Issue next as soon as possible (back-pressure free stream).
+            t = t.max(done.saturating_sub(d.idle_miss_latency()));
+        }
+        let elapsed = SimTime::ps(d.channels[0].bus_free_at);
+        let bw = d.achieved_bw(elapsed);
+        let peak = d.cfg.peak_bw_bytes_per_sec();
+        assert!(
+            bw > 0.85 * peak,
+            "streaming bw {:.2} GB/s vs peak {:.2} GB/s",
+            bw / 1e9,
+            peak / 1e9
+        );
+        assert!(bw <= peak * 1.001);
+        // Mostly row hits.
+        assert!(d.stats.row_hit_rate() > 0.95);
+    }
+
+    #[test]
+    fn random_traffic_much_slower_than_streaming() {
+        let cfg = DramConfig::ddr3_1333(1);
+        let mut seq = DramSystem::new(cfg.clone());
+        let mut rnd = DramSystem::new(cfg);
+        let n = 4_000u64;
+        let mut t = SimTime::ZERO;
+        for i in 0..n {
+            let (done, _) = seq.service(i * 64, false, t);
+            t = done;
+        }
+        let seq_end = t;
+        let mut t = SimTime::ZERO;
+        let mut x = 0x12345678u64;
+        for _ in 0..n {
+            // xorshift addresses spread over 1 GB.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let (done, _) = rnd.service((x % (1 << 30)) & !63, false, t);
+            t = done;
+        }
+        let rnd_end = t;
+        assert!(
+            rnd_end.as_ps() > seq_end.as_ps() * 3 / 2,
+            "random {rnd_end} should be much slower than sequential {seq_end}"
+        );
+    }
+
+    #[test]
+    fn channels_spread_lines() {
+        let mut d = DramSystem::new(DramConfig::ddr3_1333(4));
+        // Adjacent lines land on different channels, so 4 simultaneous
+        // accesses complete at (nearly) the same time.
+        let times: Vec<u64> = (0..4u64)
+            .map(|i| d.service(i * 64, false, SimTime::ZERO).0.as_ps())
+            .collect();
+        assert!(times.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn energy_accumulates() {
+        let mut d = one_channel();
+        let e0 = d.energy_joules(SimTime::ms(1));
+        for i in 0..100u64 {
+            d.service(i * 64, false, SimTime::ZERO);
+        }
+        let e1 = d.energy_joules(SimTime::ms(1));
+        assert!(e1 > e0);
+        assert!(d.avg_power_watts(SimTime::ms(1)) > 0.0);
+        assert_eq!(d.cost_usd(), 56.0); // 8 GB * $7
+    }
+
+    #[test]
+    fn gddr5_outruns_ddr3_on_streams() {
+        let mut d3 = DramSystem::new(DramConfig::ddr3_1333(2));
+        let mut g5 = DramSystem::new(DramConfig::gddr5(8));
+        let run = |d: &mut DramSystem| -> SimTime {
+            let mut t = SimTime::ZERO;
+            for i in 0..20_000u64 {
+                let (done, _) = d.service(i * 64, false, t);
+                t = t.max(done.saturating_sub(d.idle_miss_latency()));
+            }
+            d.last_busy()
+        };
+        let t3 = run(&mut d3);
+        let t5 = run(&mut g5);
+        assert!(
+            t5.as_ps() * 3 < t3.as_ps(),
+            "GDDR5 ({t5}) should be >3x faster than 2ch DDR3 ({t3}) on streams"
+        );
+    }
+}

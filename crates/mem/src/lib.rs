@@ -1,0 +1,25 @@
+//! # sst-mem — memory-hierarchy models
+//!
+//! The memory substrate of the SST reproduction (the memHierarchy/DRAMSim2
+//! analog):
+//!
+//! * [`cache`] — set-associative LRU cache state machine with dirty bits.
+//! * [`mesi`] — MESI snooping-bus coherence directory.
+//! * [`dram`] — channel/rank/bank DRAM timing + energy model with DDR2,
+//!   DDR3, and GDDR5 technology presets.
+//! * [`hierarchy`] — an immediate-mode multi-core node hierarchy
+//!   (L1/L2/L3/DRAM) used by the fast design-space studies.
+//! * [`components`] — discrete-event wrappers speaking a split-transaction
+//!   protocol over sst-core links, for full-system simulations.
+
+pub mod cache;
+pub mod components;
+pub mod dram;
+pub mod hierarchy;
+pub mod mesi;
+
+pub use cache::{Access, Cache, CacheConfig, CacheStats, Outcome};
+pub use components::{CacheComponent, MemReq, MemResp, MemoryComponent};
+pub use dram::{DramConfig, DramStats, DramSystem, RowOutcome};
+pub use hierarchy::{AccessResult, HierarchyStats, Level, MemHierarchy, MemHierarchyConfig};
+pub use mesi::{BusAction, CoherenceStats, Mesi, SnoopBus};

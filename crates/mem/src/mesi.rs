@@ -1,0 +1,388 @@
+//! MESI snooping-bus coherence across per-core private caches.
+//!
+//! A functional coherence directory for one bus: it tracks, per line, which
+//! cores hold the line and in what MESI state, and computes the bus actions
+//! each processor access implies (invalidations, dirty interventions,
+//! memory fetches). The node simulator uses it when workloads share data;
+//! it is also exercised standalone by property tests that assert the MESI
+//! invariant — at most one core in Modified/Exclusive, never mixed with
+//! Shared holders.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Classic MESI line states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mesi {
+    Modified,
+    Exclusive,
+    Shared,
+    Invalid,
+}
+
+/// What the bus had to do to satisfy an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusAction {
+    /// Data had to come from memory (no cache-to-cache transfer possible).
+    pub memory_fetch: bool,
+    /// A dirty copy in another cache was flushed (intervention).
+    pub dirty_intervention: bool,
+    /// Number of other caches invalidated.
+    pub invalidations: u32,
+    /// The requester's resulting state.
+    pub new_state: Mesi,
+}
+
+/// Coherence statistics.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct CoherenceStats {
+    pub read_hits: u64,
+    pub read_shared_fills: u64,
+    pub read_exclusive_fills: u64,
+    pub write_hits: u64,
+    pub write_upgrades: u64,
+    pub write_fills: u64,
+    pub invalidations_sent: u64,
+    pub dirty_interventions: u64,
+    pub memory_fetches: u64,
+}
+
+/// The per-line directory for an `n`-core snooping bus.
+#[derive(Debug, Clone)]
+pub struct SnoopBus {
+    cores: usize,
+    /// line address -> per-core states (only lines with any non-Invalid
+    /// holder are present).
+    lines: HashMap<u64, Vec<Mesi>>,
+    pub stats: CoherenceStats,
+}
+
+impl SnoopBus {
+    pub fn new(cores: usize) -> SnoopBus {
+        assert!(cores >= 1);
+        SnoopBus {
+            cores,
+            lines: HashMap::new(),
+            stats: CoherenceStats::default(),
+        }
+    }
+
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Current state of `line` in `core`'s cache.
+    pub fn state(&self, core: usize, line: u64) -> Mesi {
+        self.lines
+            .get(&line)
+            .map_or(Mesi::Invalid, |v| v[core])
+    }
+
+    /// Core `core` reads `line`.
+    pub fn read(&mut self, core: usize, line: u64) -> BusAction {
+        let cores = self.cores;
+        let states = self
+            .lines
+            .entry(line)
+            .or_insert_with(|| vec![Mesi::Invalid; cores]);
+        match states[core] {
+            Mesi::Modified | Mesi::Exclusive | Mesi::Shared => {
+                self.stats.read_hits += 1;
+                let st = states[core];
+                BusAction {
+                    memory_fetch: false,
+                    dirty_intervention: false,
+                    invalidations: 0,
+                    new_state: st,
+                }
+            }
+            Mesi::Invalid => {
+                // Snoop other caches.
+                let mut dirty = false;
+                let mut any_other = false;
+                for (i, s) in states.iter_mut().enumerate() {
+                    if i == core {
+                        continue;
+                    }
+                    match *s {
+                        Mesi::Modified => {
+                            dirty = true;
+                            any_other = true;
+                            *s = Mesi::Shared;
+                        }
+                        Mesi::Exclusive => {
+                            any_other = true;
+                            *s = Mesi::Shared;
+                        }
+                        Mesi::Shared => any_other = true,
+                        Mesi::Invalid => {}
+                    }
+                }
+                let new_state = if any_other { Mesi::Shared } else { Mesi::Exclusive };
+                states[core] = new_state;
+                if dirty {
+                    self.stats.dirty_interventions += 1;
+                }
+                let memory_fetch = !any_other || dirty;
+                // (Dirty intervention writes back to memory in illinois-style
+                // MESI; we count it as a memory event either way.)
+                if memory_fetch {
+                    self.stats.memory_fetches += 1;
+                }
+                if any_other {
+                    self.stats.read_shared_fills += 1;
+                } else {
+                    self.stats.read_exclusive_fills += 1;
+                }
+                BusAction {
+                    memory_fetch,
+                    dirty_intervention: dirty,
+                    invalidations: 0,
+                    new_state,
+                }
+            }
+        }
+    }
+
+    /// Core `core` writes `line`.
+    pub fn write(&mut self, core: usize, line: u64) -> BusAction {
+        let cores = self.cores;
+        let states = self
+            .lines
+            .entry(line)
+            .or_insert_with(|| vec![Mesi::Invalid; cores]);
+        match states[core] {
+            Mesi::Modified => {
+                self.stats.write_hits += 1;
+                BusAction {
+                    memory_fetch: false,
+                    dirty_intervention: false,
+                    invalidations: 0,
+                    new_state: Mesi::Modified,
+                }
+            }
+            Mesi::Exclusive => {
+                // Silent upgrade.
+                states[core] = Mesi::Modified;
+                self.stats.write_hits += 1;
+                BusAction {
+                    memory_fetch: false,
+                    dirty_intervention: false,
+                    invalidations: 0,
+                    new_state: Mesi::Modified,
+                }
+            }
+            Mesi::Shared => {
+                // Upgrade: invalidate other sharers, no data transfer.
+                let mut inv = 0;
+                for (i, s) in states.iter_mut().enumerate() {
+                    if i != core && *s != Mesi::Invalid {
+                        *s = Mesi::Invalid;
+                        inv += 1;
+                    }
+                }
+                states[core] = Mesi::Modified;
+                self.stats.write_upgrades += 1;
+                self.stats.invalidations_sent += inv as u64;
+                BusAction {
+                    memory_fetch: false,
+                    dirty_intervention: false,
+                    invalidations: inv,
+                    new_state: Mesi::Modified,
+                }
+            }
+            Mesi::Invalid => {
+                // Read-for-ownership.
+                let mut inv = 0;
+                let mut dirty = false;
+                let mut had_copy = false;
+                for (i, s) in states.iter_mut().enumerate() {
+                    if i == core {
+                        continue;
+                    }
+                    match *s {
+                        Mesi::Invalid => {}
+                        Mesi::Modified => {
+                            dirty = true;
+                            had_copy = true;
+                            *s = Mesi::Invalid;
+                            inv += 1;
+                        }
+                        _ => {
+                            had_copy = true;
+                            *s = Mesi::Invalid;
+                            inv += 1;
+                        }
+                    }
+                }
+                states[core] = Mesi::Modified;
+                self.stats.write_fills += 1;
+                self.stats.invalidations_sent += inv as u64;
+                if dirty {
+                    self.stats.dirty_interventions += 1;
+                }
+                let memory_fetch = !had_copy || dirty;
+                if memory_fetch {
+                    self.stats.memory_fetches += 1;
+                }
+                BusAction {
+                    memory_fetch,
+                    dirty_intervention: dirty,
+                    invalidations: inv,
+                    new_state: Mesi::Modified,
+                }
+            }
+        }
+    }
+
+    /// Core `core` evicts `line` (capacity/conflict). Returns true if the
+    /// line was dirty (needs write-back).
+    pub fn evict(&mut self, core: usize, line: u64) -> bool {
+        if let Some(states) = self.lines.get_mut(&line) {
+            let was = states[core];
+            states[core] = Mesi::Invalid;
+            if states.iter().all(|s| *s == Mesi::Invalid) {
+                self.lines.remove(&line);
+            }
+            was == Mesi::Modified
+        } else {
+            false
+        }
+    }
+
+    /// MESI invariant check: at most one M-or-E holder, and M/E never
+    /// coexists with S. Used by property tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (line, states) in &self.lines {
+            let m_or_e = states
+                .iter()
+                .filter(|s| matches!(s, Mesi::Modified | Mesi::Exclusive))
+                .count();
+            let shared = states.iter().filter(|s| **s == Mesi::Shared).count();
+            if m_or_e > 1 {
+                return Err(format!("line {line:#x}: {m_or_e} M/E holders"));
+            }
+            if m_or_e == 1 && shared > 0 {
+                return Err(format!("line {line:#x}: M/E coexists with {shared} S"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_read_is_exclusive() {
+        let mut bus = SnoopBus::new(4);
+        let a = bus.read(0, 0x40);
+        assert!(a.memory_fetch);
+        assert_eq!(a.new_state, Mesi::Exclusive);
+        assert_eq!(bus.state(0, 0x40), Mesi::Exclusive);
+    }
+
+    #[test]
+    fn second_reader_shares() {
+        let mut bus = SnoopBus::new(4);
+        bus.read(0, 0x40);
+        let a = bus.read(1, 0x40);
+        assert!(!a.memory_fetch, "cache-to-cache supply");
+        assert_eq!(a.new_state, Mesi::Shared);
+        assert_eq!(bus.state(0, 0x40), Mesi::Shared);
+        assert_eq!(bus.state(1, 0x40), Mesi::Shared);
+    }
+
+    #[test]
+    fn exclusive_write_is_silent() {
+        let mut bus = SnoopBus::new(2);
+        bus.read(0, 0x40);
+        let a = bus.write(0, 0x40);
+        assert_eq!(a.invalidations, 0);
+        assert!(!a.memory_fetch);
+        assert_eq!(bus.state(0, 0x40), Mesi::Modified);
+    }
+
+    #[test]
+    fn shared_write_invalidates_others() {
+        let mut bus = SnoopBus::new(4);
+        bus.read(0, 0x40);
+        bus.read(1, 0x40);
+        bus.read(2, 0x40);
+        let a = bus.write(1, 0x40);
+        assert_eq!(a.invalidations, 2);
+        assert_eq!(bus.state(0, 0x40), Mesi::Invalid);
+        assert_eq!(bus.state(1, 0x40), Mesi::Modified);
+        assert_eq!(bus.state(2, 0x40), Mesi::Invalid);
+        bus.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn read_of_modified_triggers_intervention() {
+        let mut bus = SnoopBus::new(2);
+        bus.read(0, 0x40);
+        bus.write(0, 0x40);
+        let a = bus.read(1, 0x40);
+        assert!(a.dirty_intervention);
+        assert_eq!(bus.state(0, 0x40), Mesi::Shared);
+        assert_eq!(bus.state(1, 0x40), Mesi::Shared);
+    }
+
+    #[test]
+    fn write_to_modified_elsewhere_invalidates_and_intervenes() {
+        let mut bus = SnoopBus::new(2);
+        bus.write(0, 0x40);
+        let a = bus.write(1, 0x40);
+        assert!(a.dirty_intervention);
+        assert_eq!(a.invalidations, 1);
+        assert_eq!(bus.state(0, 0x40), Mesi::Invalid);
+        assert_eq!(bus.state(1, 0x40), Mesi::Modified);
+    }
+
+    #[test]
+    fn evict_reports_dirtiness() {
+        let mut bus = SnoopBus::new(2);
+        bus.read(0, 0x40);
+        assert!(!bus.evict(0, 0x40));
+        bus.write(1, 0x80);
+        assert!(bus.evict(1, 0x80));
+        assert!(!bus.evict(1, 0x80), "second evict is a no-op");
+    }
+
+    #[test]
+    fn ping_pong_counts_upgrades() {
+        let mut bus = SnoopBus::new(2);
+        for _ in 0..10 {
+            bus.write(0, 0x40);
+            bus.write(1, 0x40);
+        }
+        assert!(bus.stats.invalidations_sent >= 19);
+        bus.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn invariants_hold_under_random_traffic() {
+        let mut bus = SnoopBus::new(8);
+        let mut x = 0xDEADBEEFu64;
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let core = (x % 8) as usize;
+            let line = (x >> 8) % 64 * 64;
+            match (x >> 20) % 3 {
+                0 => {
+                    bus.read(core, line);
+                }
+                1 => {
+                    bus.write(core, line);
+                }
+                _ => {
+                    bus.evict(core, line);
+                }
+            }
+        }
+        bus.check_invariants().unwrap();
+    }
+}

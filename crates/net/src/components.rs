@@ -1,0 +1,272 @@
+//! Discrete-event network components.
+//!
+//! For full-system DES simulations the network appears as components on
+//! sst-core links, mirroring SST's Merlin/NIC split at an abstract level:
+//!
+//! * [`FabricComponent`] — the switch fabric: owns a [`Network`] timing
+//!   model (topology, per-link occupancy, injection throttling) and delays
+//!   each packet by the model's computed transit time.
+//! * [`TrafficGen`] — a scripted endpoint: injects a configured pattern of
+//!   packets and records end-to-end latencies. Useful both as a workload
+//!   stand-in and as a network stress tool (the `sst run` path).
+
+use crate::network::{NetConfig, Network};
+use crate::topology::Torus3D;
+use sst_core::config::ConfigError;
+use sst_core::prelude::*;
+
+/// A packet crossing the fabric.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    pub src: u32,
+    pub dst: u32,
+    pub bytes: u64,
+    /// Injection timestamp (set by the sender) for latency accounting.
+    pub sent_at: SimTime,
+}
+
+/// The switch fabric as one component: endpoints connect to numbered ports;
+/// port index = endpoint (node) id. A packet arriving on port `src` is
+/// delivered out of port `dst` after the [`Network`] model's transit time.
+pub struct FabricComponent {
+    net: Network,
+    delivered: Option<StatId>,
+    transit_ns: Option<StatId>,
+}
+
+impl FabricComponent {
+    pub fn new(net: Network) -> FabricComponent {
+        FabricComponent {
+            net,
+            delivered: None,
+            transit_ns: None,
+        }
+    }
+
+    /// Port id for endpoint `node`.
+    pub fn port(node: u32) -> PortId {
+        PortId(node as u16)
+    }
+}
+
+impl Component for FabricComponent {
+    fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+        self.delivered = Some(ctx.stat_counter("delivered"));
+        self.transit_ns = Some(ctx.stat_accumulator("transit_ns"));
+    }
+
+    fn on_event(&mut self, port: PortId, payload: Box<dyn Payload>, ctx: &mut SimCtx<'_>) {
+        let pkt = downcast::<Packet>(payload);
+        debug_assert_eq!(port.0 as u32, pkt.src, "packet arrived on wrong port");
+        let now = ctx.now();
+        let done = self.net.send(pkt.src, pkt.dst, pkt.bytes, now);
+        ctx.add_stat(self.delivered.unwrap(), 1);
+        ctx.record_stat(self.transit_ns.unwrap(), (done - now).as_ns_f64());
+        let out = Self::port(pkt.dst);
+        if ctx.port_connected(out) {
+            ctx.send_delayed(out, Box::new(*pkt), done - now);
+        }
+    }
+
+    fn ports(&self) -> &'static [&'static str] {
+        // Named ports are for config-file wiring of small systems; larger
+        // systems wire fabric ports programmatically by index.
+        &["p0", "p1", "p2", "p3", "p4", "p5", "p6", "p7"]
+    }
+}
+
+/// A scripted traffic endpoint: sends `count` packets of `bytes` to `dst`
+/// every `gap`, and counts packets it receives.
+pub struct TrafficGen {
+    pub me: u32,
+    pub dst: u32,
+    pub bytes: u64,
+    pub count: u64,
+    pub gap: SimTime,
+    sent: u64,
+    sent_stat: Option<StatId>,
+    recv_stat: Option<StatId>,
+    rtt: Option<StatId>,
+}
+
+#[derive(Debug)]
+struct Fire;
+
+impl TrafficGen {
+    pub const NET: PortId = PortId(0);
+
+    pub fn new(me: u32, dst: u32, bytes: u64, count: u64, gap: SimTime) -> TrafficGen {
+        TrafficGen {
+            me,
+            dst,
+            bytes,
+            count,
+            gap,
+            sent: 0,
+            sent_stat: None,
+            recv_stat: None,
+            rtt: None,
+        }
+    }
+
+    fn fire(&mut self, ctx: &mut SimCtx<'_>) {
+        if self.sent >= self.count {
+            return;
+        }
+        self.sent += 1;
+        ctx.add_stat(self.sent_stat.unwrap(), 1);
+        let pkt = Packet {
+            src: self.me,
+            dst: self.dst,
+            bytes: self.bytes,
+            sent_at: ctx.now(),
+        };
+        ctx.send(Self::NET, Box::new(pkt));
+        if self.sent < self.count {
+            ctx.schedule_self(self.gap, Box::new(Fire));
+        }
+    }
+}
+
+impl Component for TrafficGen {
+    fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+        self.sent_stat = Some(ctx.stat_counter("sent"));
+        self.recv_stat = Some(ctx.stat_counter("received"));
+        self.rtt = Some(ctx.stat_accumulator("latency_ns"));
+        if self.count > 0 {
+            ctx.schedule_self(self.gap, Box::new(Fire));
+        }
+    }
+
+    fn on_event(&mut self, port: PortId, payload: Box<dyn Payload>, ctx: &mut SimCtx<'_>) {
+        match port {
+            SELF_PORT => {
+                let _ = downcast::<Fire>(payload);
+                self.fire(ctx);
+            }
+            Self::NET => {
+                let pkt = downcast::<Packet>(payload);
+                ctx.add_stat(self.recv_stat.unwrap(), 1);
+                ctx.record_stat(self.rtt.unwrap(), (ctx.now() - pkt.sent_at).as_ns_f64());
+            }
+            other => panic!("traffic gen got event on unexpected port {other:?}"),
+        }
+    }
+
+    fn ports(&self) -> &'static [&'static str] {
+        &["net"]
+    }
+}
+
+/// Register the network components for JSON-config simulations (a small
+/// 8-endpoint torus fabric; bigger fabrics are wired programmatically).
+pub fn register(registry: &mut ComponentRegistry) {
+    registry.register(
+        "net.fabric",
+        "switch fabric over a 2x2x2 torus (ports p0..p7); params: injection_gbps",
+        |p| {
+            let mut cfg = NetConfig::xt5();
+            cfg.injection_bw = p.f64_or("injection_gbps", 3.2) * 1e9;
+            Ok(Box::new(FabricComponent::new(Network::new(
+                Box::new(Torus3D::new(2, 2, 2)),
+                cfg,
+            ))))
+        },
+    );
+    registry.register(
+        "net.traffic",
+        "scripted packet source/sink (port: net); params: me, dst, bytes, count, gap_ns",
+        |p| {
+            let count = p.u64_or("count", 100);
+            if p.u64_or("me", 0) == p.u64_or("dst", 1) {
+                return Err(ConfigError::BadFormat("me == dst".into()));
+            }
+            Ok(Box::new(TrafficGen::new(
+                p.u64_or("me", 0) as u32,
+                p.u64_or("dst", 1) as u32,
+                p.u64_or("bytes", 4096),
+                count,
+                SimTime::ns_f64(p.f64_or("gap_ns", 1000.0)),
+            )))
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetConfig;
+
+    fn system(flows: &[(u32, u32, u64, u64)]) -> SimReport {
+        let mut b = SystemBuilder::new();
+        let fabric = b.add(
+            "fabric",
+            FabricComponent::new(Network::new(Box::new(Torus3D::new(2, 2, 2)), NetConfig::xt5())),
+        );
+        let mut nodes_used = std::collections::BTreeSet::new();
+        for (src, dst, ..) in flows {
+            nodes_used.insert(*src);
+            nodes_used.insert(*dst);
+        }
+        for (i, &(src, dst, bytes, count)) in flows.iter().enumerate() {
+            let tg = b.add(
+                format!("tg{i}"),
+                TrafficGen::new(src, dst, bytes, count, SimTime::us(1)),
+            );
+            b.link((tg, TrafficGen::NET), (fabric, FabricComponent::port(src)), SimTime::ns(5));
+        }
+        // Destination-only endpoints need their own port connections: give
+        // each pure destination a zero-count sink.
+        let mut sink_idx = 100;
+        for n in nodes_used {
+            if !flows.iter().any(|f| f.0 == n) {
+                let tg = b.add(
+                    format!("sink{sink_idx}"),
+                    TrafficGen::new(n, (n + 1) % 8, 0, 0, SimTime::us(1)),
+                );
+                b.link((tg, TrafficGen::NET), (fabric, FabricComponent::port(n)), SimTime::ns(5));
+                sink_idx += 1;
+            }
+        }
+        Engine::new(b).run(RunLimit::Exhaust)
+    }
+
+    #[test]
+    fn packets_flow_end_to_end() {
+        let report = system(&[(0, 7, 4096, 50)]);
+        assert_eq!(report.stats.counter("fabric", "delivered"), 50);
+        assert_eq!(report.stats.counter("tg0", "sent"), 50);
+        // Delivered to the sink on node 7.
+        assert_eq!(report.stats.sum_counters("received"), 50);
+        assert!(report.stats.mean("fabric", "transit_ns").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn bidirectional_flows_measure_latency() {
+        let report = system(&[(0, 3, 2048, 20), (3, 0, 2048, 20)]);
+        assert_eq!(report.stats.counter("tg0", "received"), 20);
+        assert_eq!(report.stats.counter("tg1", "received"), 20);
+        let lat = report.stats.mean("tg0", "latency_ns").unwrap();
+        assert!(lat > 100.0, "end-to-end latency should include the fabric: {lat}");
+    }
+
+    #[test]
+    fn big_packets_take_longer() {
+        let small = system(&[(0, 7, 64, 20)]);
+        let big = system(&[(0, 7, 1 << 20, 20)]);
+        let l_small = small.stats.mean("fabric", "transit_ns").unwrap();
+        let l_big = big.stats.mean("fabric", "transit_ns").unwrap();
+        assert!(l_big > 10.0 * l_small, "{l_big} vs {l_small}");
+    }
+
+    #[test]
+    fn registry_components_build() {
+        let mut r = ComponentRegistry::new();
+        register(&mut r);
+        assert!(r.contains("net.fabric"));
+        assert!(r.contains("net.traffic"));
+        assert!(r
+            .create("net.traffic", &Params::new().set("me", 1u64).set("dst", 1u64))
+            .is_err());
+    }
+}

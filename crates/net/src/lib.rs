@@ -1,0 +1,22 @@
+//! # sst-net — interconnect models
+//!
+//! The network substrate of the SST reproduction:
+//!
+//! * [`topology`] — 3-D torus and two-level fat tree with deterministic
+//!   routing over dense directed-link ids.
+//! * [`network`] — a contention-aware virtual-cut-through timing model with
+//!   per-NIC **injection-bandwidth** throttling (the knob of the
+//!   bandwidth-degradation study) and per-link occupancy.
+//! * [`mpi`] — an MPI-like motif executor: per-rank scripts of
+//!   compute/send/recv/collective steps, with recursive-doubling
+//!   collectives built from real (counted, contended) messages.
+
+pub mod components;
+pub mod mpi;
+pub mod network;
+pub mod topology;
+
+pub use components::{FabricComponent, Packet, TrafficGen};
+pub use mpi::{halo_exchange_3d, CommOp, MpiRun, MpiSim};
+pub use network::{NetConfig, NetStats, Network};
+pub use topology::{FatTree, LinkId, Route, Topology, Torus3D};

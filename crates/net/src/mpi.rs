@@ -1,0 +1,402 @@
+//! MPI-like motif executor (the skeleton-app layer).
+//!
+//! Runs one communication *script* per rank against the [`Network`] timing
+//! model: compute blocks advance a rank's clock, point-to-point sends and
+//! receives match through mailboxes, and collectives (barrier, allreduce)
+//! execute as real recursive-doubling message rounds — so their cost grows
+//! with both rank count and network load, and their messages are *counted*
+//! (the ML-preconditioner study hinges on message counts).
+
+use crate::network::Network;
+use serde::{Deserialize, Serialize};
+use sst_core::time::SimTime;
+use std::collections::{HashMap, VecDeque};
+
+/// One step of a rank's program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommOp {
+    /// Local computation for the given duration.
+    Compute(SimTime),
+    /// Non-blocking-ish send (sender is occupied only for the software
+    /// overhead; transmission proceeds in the background).
+    Send { to: u32, bytes: u64 },
+    /// Blocking receive of the next message from `from`.
+    Recv { from: u32 },
+    /// Global barrier (recursive doubling, 8-byte tokens).
+    Barrier,
+    /// Global allreduce of `bytes` per rank (recursive doubling).
+    Allreduce { bytes: u64 },
+}
+
+/// Result of executing a set of rank scripts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MpiRun {
+    /// Time at which the last rank finished.
+    pub end_time: SimTime,
+    pub per_rank: Vec<SimTime>,
+    /// Total messages that crossed the network (including collective
+    /// internals).
+    pub messages: u64,
+    pub bytes: u64,
+}
+
+/// Executes rank scripts to completion.
+pub struct MpiSim<'n> {
+    net: &'n mut Network,
+    ranks_per_node: u32,
+}
+
+impl<'n> MpiSim<'n> {
+    /// `ranks_per_node` maps rank `r` to node `r / ranks_per_node` (block
+    /// placement, the default on the studied machines).
+    pub fn new(net: &'n mut Network, ranks_per_node: u32) -> MpiSim<'n> {
+        assert!(ranks_per_node >= 1);
+        MpiSim {
+            net,
+            ranks_per_node,
+        }
+    }
+
+    #[inline]
+    fn node(&self, rank: u32) -> u32 {
+        (rank / self.ranks_per_node) % self.net.nodes()
+    }
+
+    /// Run all scripts; panics (with a state dump) on a communication
+    /// deadlock — a bug in the workload's script generator.
+    pub fn run(mut self, scripts: Vec<Vec<CommOp>>) -> MpiRun {
+        let p = scripts.len();
+        assert!(p >= 1);
+        let msgs0 = self.net.stats.messages;
+        let bytes0 = self.net.stats.bytes;
+
+        let mut t = vec![SimTime::ZERO; p];
+        let mut pc = vec![0usize; p];
+        let mut mailbox: HashMap<(u32, u32), VecDeque<SimTime>> = HashMap::new();
+
+        loop {
+            let mut progressed = false;
+            let mut all_done = true;
+            // Count ranks parked at a collective, to trigger it.
+            let mut at_collective: Option<CommOp> = None;
+            let mut collective_count = 0usize;
+
+            for r in 0..p {
+                // Drain as much of rank r's program as possible.
+                while let Some(op) = scripts[r].get(pc[r]).copied() {
+                    match op {
+                        CommOp::Compute(d) => {
+                            t[r] += d;
+                            pc[r] += 1;
+                            progressed = true;
+                        }
+                        CommOp::Send { to, bytes } => {
+                            assert!((to as usize) < p, "send to unknown rank {to}");
+                            let arrival =
+                                self.net
+                                    .send(self.node(r as u32), self.node(to), bytes, t[r]);
+                            mailbox.entry((r as u32, to)).or_default().push_back(arrival);
+                            t[r] += self.net.cfg.sw_overhead;
+                            pc[r] += 1;
+                            progressed = true;
+                        }
+                        CommOp::Recv { from } => {
+                            let q = mailbox.entry((from, r as u32)).or_default();
+                            if let Some(arrival) = q.pop_front() {
+                                t[r] = t[r].max(arrival);
+                                pc[r] += 1;
+                                progressed = true;
+                            } else {
+                                break; // blocked on sender
+                            }
+                        }
+                        CommOp::Barrier | CommOp::Allreduce { .. } => {
+                            break; // handled collectively below
+                        }
+                    }
+                }
+                match scripts[r].get(pc[r]).copied() {
+                    None => {}
+                    Some(op @ (CommOp::Barrier | CommOp::Allreduce { .. })) => {
+                        all_done = false;
+                        match &at_collective {
+                            None => {
+                                at_collective = Some(op);
+                                collective_count = 1;
+                            }
+                            Some(prev) => {
+                                assert_eq!(
+                                    *prev, op,
+                                    "ranks disagree on the pending collective"
+                                );
+                                collective_count += 1;
+                            }
+                        }
+                    }
+                    Some(_) => all_done = false,
+                }
+            }
+
+            if all_done {
+                break;
+            }
+
+            if collective_count == p {
+                let bytes = match at_collective.unwrap() {
+                    CommOp::Allreduce { bytes } => bytes,
+                    _ => 8,
+                };
+                self.collective(&mut t, bytes);
+                for c in pc.iter_mut() {
+                    *c += 1;
+                }
+                progressed = true;
+            }
+
+            if !progressed {
+                let stuck: Vec<(usize, Option<CommOp>)> = (0..p)
+                    .filter(|r| pc[*r] < scripts[*r].len())
+                    .map(|r| (r, scripts[r].get(pc[r]).copied()))
+                    .take(8)
+                    .collect();
+                panic!("MPI script deadlock; first stuck ranks: {stuck:?}");
+            }
+        }
+
+        MpiRun {
+            end_time: t.iter().copied().max().unwrap_or(SimTime::ZERO),
+            per_rank: t,
+            messages: self.net.stats.messages - msgs0,
+            bytes: self.net.stats.bytes - bytes0,
+        }
+    }
+
+    /// Recursive-doubling allreduce over all ranks: handles non-powers of
+    /// two with a fold-in pre-round and fold-out post-round.
+    fn collective(&mut self, t: &mut [SimTime], bytes: u64) {
+        let p = t.len() as u32;
+        if p == 1 {
+            return;
+        }
+        let m = 31 - p.leading_zeros(); // floor(log2 p)
+        let core = 1u32 << m; // largest power of two <= p
+
+        // Fold in the remainder.
+        for r in core..p {
+            let peer = r - core;
+            let arr = self.net.send(self.node(r), self.node(peer), bytes, t[r as usize]);
+            t[peer as usize] = t[peer as usize].max(arr);
+            t[r as usize] += self.net.cfg.sw_overhead;
+        }
+        // Pairwise exchange rounds among the power-of-two core.
+        for k in 0..m {
+            let bit = 1u32 << k;
+            for r in 0..core {
+                let peer = r ^ bit;
+                if r < peer {
+                    let a = self.net.send(self.node(r), self.node(peer), bytes, t[r as usize]);
+                    let b = self.net.send(self.node(peer), self.node(r), bytes, t[peer as usize]);
+                    let done = a.max(b);
+                    t[r as usize] = done;
+                    t[peer as usize] = done;
+                }
+            }
+        }
+        // Fold back out.
+        for r in core..p {
+            let peer = r - core;
+            let arr = self.net.send(self.node(peer), self.node(r), bytes, t[peer as usize]);
+            t[r as usize] = t[r as usize].max(arr);
+        }
+    }
+}
+
+/// Build the classic 3-D halo-exchange step for `rank` of a `dims` process
+/// grid: one Send+Recv pair per face neighbor (6 in the interior).
+pub fn halo_exchange_3d(rank: u32, dims: [u32; 3], face_bytes: u64) -> Vec<CommOp> {
+    let [dx, dy, _dz] = dims;
+    let coords = [rank % dx, (rank / dx) % dy, rank / (dx * dy)];
+    let mut ops = Vec::new();
+    let idx = |c: [u32; 3]| c[0] + c[1] * dx + c[2] * dx * dy;
+    let mut neighbors = Vec::new();
+    for d in 0..3 {
+        let n = dims[d];
+        if n <= 1 {
+            continue;
+        }
+        for dir in [1i64, -1] {
+            let mut c = coords;
+            c[d] = ((c[d] as i64 + dir).rem_euclid(n as i64)) as u32;
+            neighbors.push(idx(c));
+        }
+    }
+    // Post all sends first, then receive from each neighbor — the standard
+    // non-blocking halo pattern (and deadlock-free under eager sends).
+    for n in &neighbors {
+        ops.push(CommOp::Send {
+            to: *n,
+            bytes: face_bytes,
+        });
+    }
+    for n in &neighbors {
+        ops.push(CommOp::Recv { from: *n });
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetConfig;
+    use crate::topology::Torus3D;
+
+    fn net_for(ranks: u32) -> Network {
+        Network::new(Box::new(Torus3D::fitting(ranks)), NetConfig::xt5())
+    }
+
+    #[test]
+    fn compute_only_scripts() {
+        let mut net = net_for(4);
+        let scripts = vec![vec![CommOp::Compute(SimTime::us(5))]; 4];
+        let run = MpiSim::new(&mut net, 1).run(scripts);
+        assert_eq!(run.end_time, SimTime::us(5));
+        assert_eq!(run.messages, 0);
+    }
+
+    #[test]
+    fn send_recv_pair() {
+        let mut net = net_for(2);
+        let scripts = vec![
+            vec![CommOp::Send { to: 1, bytes: 1000 }],
+            vec![CommOp::Recv { from: 0 }],
+        ];
+        let run = MpiSim::new(&mut net, 1).run(scripts);
+        assert_eq!(run.messages, 1);
+        assert!(run.per_rank[1] > SimTime::ZERO);
+        assert!(run.per_rank[1] >= run.per_rank[0]);
+    }
+
+    #[test]
+    fn recv_waits_for_late_sender() {
+        let mut net = net_for(2);
+        let scripts = vec![
+            vec![CommOp::Compute(SimTime::ms(1)), CommOp::Send { to: 1, bytes: 8 }],
+            vec![CommOp::Recv { from: 0 }],
+        ];
+        let run = MpiSim::new(&mut net, 1).run(scripts);
+        assert!(run.per_rank[1] > SimTime::ms(1));
+    }
+
+    #[test]
+    fn messages_match_in_order() {
+        let mut net = net_for(2);
+        let scripts = vec![
+            vec![
+                CommOp::Send { to: 1, bytes: 1 },
+                CommOp::Compute(SimTime::ms(2)),
+                CommOp::Send { to: 1, bytes: 2 },
+            ],
+            vec![
+                CommOp::Recv { from: 0 },
+                CommOp::Recv { from: 0 },
+                CommOp::Compute(SimTime::us(1)),
+            ],
+        ];
+        let run = MpiSim::new(&mut net, 1).run(scripts);
+        // Second recv cannot complete before the second send happens (~2 ms).
+        assert!(run.per_rank[1] > SimTime::ms(2));
+    }
+
+    #[test]
+    fn barrier_synchronizes_all() {
+        let mut net = net_for(8);
+        let mut scripts: Vec<Vec<CommOp>> = (0..8)
+            .map(|r| vec![CommOp::Compute(SimTime::us(r as u64 * 10)), CommOp::Barrier])
+            .collect();
+        scripts[0].push(CommOp::Compute(SimTime::us(1)));
+        let run = MpiSim::new(&mut net, 1).run(scripts);
+        // Everyone leaves the barrier no earlier than the slowest arrival.
+        for r in 0..8 {
+            assert!(run.per_rank[r] >= SimTime::us(70), "rank {r}: {}", run.per_rank[r]);
+        }
+        assert!(run.messages > 0);
+    }
+
+    #[test]
+    fn allreduce_message_count_scales_logarithmically() {
+        let count = |p: u32| {
+            let mut net = net_for(p);
+            let scripts = vec![vec![CommOp::Allreduce { bytes: 8 }]; p as usize];
+            MpiSim::new(&mut net, 1).run(scripts).messages
+        };
+        // Power of two: p * log2(p) messages.
+        assert_eq!(count(8), 8 * 3);
+        assert_eq!(count(16), 16 * 4);
+        // Non-power-of-two adds fold-in/out.
+        assert_eq!(count(6), 4 * 2 + 2 * 2);
+    }
+
+    #[test]
+    fn non_power_of_two_allreduce_terminates() {
+        for p in [3u32, 5, 7, 12, 100] {
+            let mut net = net_for(p);
+            let scripts = vec![vec![CommOp::Allreduce { bytes: 64 }]; p as usize];
+            let run = MpiSim::new(&mut net, 1).run(scripts);
+            assert!(run.end_time > SimTime::ZERO, "p={p}");
+        }
+    }
+
+    #[test]
+    fn halo_exchange_is_deadlock_free_and_symmetric() {
+        let dims = [4u32, 4, 4];
+        let p = 64;
+        let mut net = net_for(p);
+        let scripts: Vec<Vec<CommOp>> = (0..p)
+            .map(|r| halo_exchange_3d(r, dims, 64 << 10))
+            .collect();
+        let run = MpiSim::new(&mut net, 1).run(scripts);
+        // 6 neighbors * 64 ranks sends.
+        assert_eq!(run.messages, 6 * 64);
+        let min = run.per_rank.iter().min().unwrap();
+        let max = run.per_rank.iter().max().unwrap();
+        assert!(max.as_ps() < min.as_ps() * 3, "halo should be balanced");
+    }
+
+    #[test]
+    fn halo_in_degenerate_dims() {
+        // 1-deep dimensions produce fewer neighbors, not self-messages.
+        let ops = halo_exchange_3d(0, [4, 1, 1], 100);
+        let sends = ops
+            .iter()
+            .filter(|o| matches!(o, CommOp::Send { .. }))
+            .count();
+        assert_eq!(sends, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn mismatched_recv_deadlocks() {
+        let mut net = net_for(2);
+        let scripts = vec![vec![CommOp::Recv { from: 1 }], vec![CommOp::Recv { from: 0 }]];
+        MpiSim::new(&mut net, 1).run(scripts);
+    }
+
+    #[test]
+    fn ranks_per_node_maps_onto_fewer_nodes() {
+        let mut net = net_for(4);
+        // 8 ranks on 4 nodes: pairs share a node -> rank 0 -> 1 is local.
+        let scripts = vec![
+            vec![CommOp::Send { to: 1, bytes: 8 }],
+            vec![CommOp::Recv { from: 0 }],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+        ];
+        let run = MpiSim::new(&mut net, 2).run(scripts);
+        // Local message: only software overhead.
+        assert_eq!(run.per_rank[1], net.cfg.sw_overhead);
+    }
+}

@@ -1,0 +1,285 @@
+//! Contention-aware network timing model.
+//!
+//! A virtual-cut-through approximation on top of a [`Topology`]: a message
+//! serializes through its source NIC at the configured **injection
+//! bandwidth** (the knob of the bandwidth-degradation study), then its head
+//! traverses the route paying a per-hop latency while each directed link is
+//! occupied for the message's serialization time — which is where contention
+//! and hot links slow things down.
+
+use crate::topology::{LinkId, Topology};
+use serde::{Deserialize, Serialize};
+use sst_core::time::SimTime;
+use std::collections::HashMap;
+
+/// Network machine parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// NIC injection bandwidth, bytes/sec (XE5 study: 3.2 GB/s full rate).
+    pub injection_bw: f64,
+    /// Link bandwidth, bytes/sec.
+    pub link_bw: f64,
+    /// Per-hop (router + wire) latency.
+    pub hop_latency: SimTime,
+    /// NIC/PCIe crossing latency.
+    pub nic_latency: SimTime,
+    /// Software send/receive overhead per message (the MPI stack).
+    pub sw_overhead: SimTime,
+}
+
+impl NetConfig {
+    /// Cray-XT5-like defaults: 3.2 GB/s injection, 9.6 GB/s links,
+    /// ~100 ns hops, ~1 µs MPI overhead.
+    pub fn xt5() -> NetConfig {
+        NetConfig {
+            injection_bw: 3.2e9,
+            link_bw: 9.6e9,
+            hop_latency: SimTime::ns(100),
+            nic_latency: SimTime::ns(500),
+            sw_overhead: SimTime::ns(800),
+        }
+    }
+
+    /// QDR-InfiniBand-fat-tree-like defaults.
+    pub fn qdr_fat_tree() -> NetConfig {
+        NetConfig {
+            injection_bw: 3.2e9,
+            link_bw: 4.0e9,
+            hop_latency: SimTime::ns(120),
+            nic_latency: SimTime::ns(600),
+            sw_overhead: SimTime::ns(900),
+        }
+    }
+
+    /// Scale the injection bandwidth by `factor` (e.g. 0.5, 0.25, 0.125 for
+    /// the degradation experiment), leaving everything else unchanged.
+    pub fn with_injection_scale(mut self, factor: f64) -> NetConfig {
+        assert!(factor > 0.0);
+        self.injection_bw *= factor;
+        self
+    }
+
+    fn ser_nic(&self, bytes: u64) -> SimTime {
+        SimTime::ps((bytes as f64 / self.injection_bw * 1e12) as u64)
+    }
+
+    fn ser_link(&self, bytes: u64) -> SimTime {
+        SimTime::ps((bytes as f64 / self.link_bw * 1e12) as u64)
+    }
+}
+
+/// Aggregate network statistics.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct NetStats {
+    pub messages: u64,
+    pub bytes: u64,
+    pub hops: u64,
+    /// Sum of end-to-end message latencies (ps), for averaging.
+    pub latency_ps_sum: u128,
+}
+
+impl NetStats {
+    pub fn avg_latency(&self) -> SimTime {
+        if self.messages == 0 {
+            SimTime::ZERO
+        } else {
+            SimTime::ps((self.latency_ps_sum / self.messages as u128) as u64)
+        }
+    }
+    pub fn avg_hops(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.hops as f64 / self.messages as f64
+        }
+    }
+}
+
+/// The network state: per-NIC and per-link busy horizons.
+pub struct Network {
+    topo: Box<dyn Topology>,
+    pub cfg: NetConfig,
+    nic_free: Vec<u64>,
+    link_free: HashMap<LinkId, u64>,
+    pub stats: NetStats,
+}
+
+impl Network {
+    pub fn new(topo: Box<dyn Topology>, cfg: NetConfig) -> Network {
+        let n = topo.nodes() as usize;
+        Network {
+            topo,
+            cfg,
+            nic_free: vec![0; n],
+            link_free: HashMap::new(),
+            stats: NetStats::default(),
+        }
+    }
+
+    pub fn nodes(&self) -> u32 {
+        self.topo.nodes()
+    }
+
+    pub fn topology(&self) -> &dyn Topology {
+        self.topo.as_ref()
+    }
+
+    /// Send `bytes` from `src` to `dst` starting at `now`; returns the time
+    /// the last byte is available at the destination.
+    ///
+    /// Zero-byte messages still pay overhead and latency (they model
+    /// synchronization traffic).
+    pub fn send(&mut self, src: u32, dst: u32, bytes: u64, now: SimTime) -> SimTime {
+        if src == dst {
+            // Intra-node: just the software overheads.
+            let done = now + self.cfg.sw_overhead;
+            self.stats.messages += 1;
+            self.stats.bytes += bytes;
+            self.stats.latency_ps_sum += (done - now).as_ps() as u128;
+            return done;
+        }
+        let route = self.topo.route(src, dst);
+        let ser_nic = self.cfg.ser_nic(bytes);
+        let ser_link = self.cfg.ser_link(bytes);
+
+        // Source software overhead, then NIC injection (serialized per-node).
+        let ready = (now + self.cfg.sw_overhead).as_ps();
+        let inj_start = ready.max(self.nic_free[src as usize]);
+        let inj_done = inj_start + ser_nic.as_ps();
+        self.nic_free[src as usize] = inj_done;
+
+        // Head moves hop by hop; each link is occupied for the message's
+        // serialization time (virtual cut-through: serialization overlaps
+        // the head's progress, so it is paid once at the end).
+        let mut head = inj_start + self.cfg.nic_latency.as_ps();
+        for l in &route {
+            let free = self.link_free.entry(*l).or_insert(0);
+            let depart = head.max(*free);
+            *free = depart + ser_link.as_ps();
+            head = depart + self.cfg.hop_latency.as_ps();
+        }
+        let tail = head
+            + ser_link
+                .as_ps()
+                .max(ser_nic.as_ps().saturating_sub(self.cfg.nic_latency.as_ps()));
+        let done = SimTime::ps(tail) + self.cfg.sw_overhead; // receive overhead
+
+        self.stats.messages += 1;
+        self.stats.bytes += bytes;
+        self.stats.hops += route.len() as u64;
+        self.stats.latency_ps_sum += (done - now).as_ps() as u128;
+        done
+    }
+
+    /// Unloaded small-message latency between two nodes (diagnostics).
+    pub fn base_latency(&self, src: u32, dst: u32) -> SimTime {
+        let hops = self.topo.route(src, dst).len() as u64;
+        self.cfg.sw_overhead * 2 + self.cfg.nic_latency + self.cfg.hop_latency * hops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{FatTree, Torus3D};
+
+    fn net() -> Network {
+        Network::new(Box::new(Torus3D::new(4, 4, 4)), NetConfig::xt5())
+    }
+
+    #[test]
+    fn zero_byte_message_pays_latency_only() {
+        let mut n = net();
+        let t = n.send(0, 1, 0, SimTime::ZERO);
+        assert_eq!(t, n.base_latency(0, 1));
+    }
+
+    #[test]
+    fn latency_grows_with_hops() {
+        let mut n = net();
+        let near = n.send(0, 1, 0, SimTime::ZERO);
+        let far = n.send(0, 42, 0, SimTime::ZERO);
+        assert!(far > near);
+    }
+
+    #[test]
+    fn big_messages_pay_serialization() {
+        let mut n = net();
+        let small = n.send(0, 1, 8, SimTime::ZERO) - SimTime::ZERO;
+        let mut n2 = net();
+        let big = n2.send(0, 1, 3_200_000, SimTime::ZERO) - SimTime::ZERO;
+        // 3.2 MB at 3.2 GB/s = 1 ms of injection serialization.
+        assert!(big > small + SimTime::us(990));
+    }
+
+    #[test]
+    fn injection_bandwidth_scales_message_time() {
+        let bytes = 1_000_000u64;
+        let mut full = Network::new(Box::new(Torus3D::new(4, 4, 4)), NetConfig::xt5());
+        let mut eighth = Network::new(
+            Box::new(Torus3D::new(4, 4, 4)),
+            NetConfig::xt5().with_injection_scale(0.125),
+        );
+        let t_full = full.send(0, 1, bytes, SimTime::ZERO);
+        let t_eighth = eighth.send(0, 1, bytes, SimTime::ZERO);
+        let r = t_eighth.as_ps() as f64 / t_full.as_ps() as f64;
+        assert!(r > 4.0, "1/8 injection should be much slower on big msgs: {r}");
+    }
+
+    #[test]
+    fn injection_bandwidth_irrelevant_for_tiny_messages() {
+        let mut full = Network::new(Box::new(Torus3D::new(4, 4, 4)), NetConfig::xt5());
+        let mut eighth = Network::new(
+            Box::new(Torus3D::new(4, 4, 4)),
+            NetConfig::xt5().with_injection_scale(0.125),
+        );
+        let t_full = full.send(0, 1, 64, SimTime::ZERO);
+        let t_eighth = eighth.send(0, 1, 64, SimTime::ZERO);
+        let r = t_eighth.as_ps() as f64 / t_full.as_ps() as f64;
+        assert!(r < 1.05, "latency-bound messages should not care: {r}");
+    }
+
+    #[test]
+    fn nic_serializes_back_to_back_sends() {
+        let mut n = net();
+        let bytes = 320_000; // 100 us injection at 3.2 GB/s
+        let t1 = n.send(0, 1, bytes, SimTime::ZERO);
+        let t2 = n.send(0, 2, bytes, SimTime::ZERO);
+        assert!(t2 > t1, "second send queues behind the first at the NIC");
+        assert!(t2 >= t1 + SimTime::us(99));
+    }
+
+    #[test]
+    fn shared_link_contention() {
+        // Many nodes sending to node 0's neighborhood stress its links.
+        let mut n = Network::new(Box::new(FatTree::new(4, 8, 1)), NetConfig::qdr_fat_tree());
+        let bytes = 400_000;
+        let solo = n.send(8, 0, bytes, SimTime::ZERO);
+        // Pile five more flows onto the same destination leaf.
+        let mut last = SimTime::ZERO;
+        for s in 9..14 {
+            last = n.send(s, 0, bytes, SimTime::ZERO);
+        }
+        assert!(last > solo, "overlapping flows must queue on the down-link");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut n = net();
+        n.send(0, 1, 100, SimTime::ZERO);
+        n.send(1, 2, 200, SimTime::ZERO);
+        n.send(3, 3, 50, SimTime::ZERO);
+        assert_eq!(n.stats.messages, 3);
+        assert_eq!(n.stats.bytes, 350);
+        assert!(n.stats.avg_latency() > SimTime::ZERO);
+        assert!(n.stats.avg_hops() > 0.0);
+    }
+
+    #[test]
+    fn intra_node_is_cheap() {
+        let mut n = net();
+        let local = n.send(5, 5, 1 << 20, SimTime::ZERO);
+        let remote = n.send(5, 6, 1 << 20, SimTime::ZERO);
+        assert!(local < remote);
+    }
+}

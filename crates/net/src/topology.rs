@@ -1,0 +1,338 @@
+//! Network topologies.
+//!
+//! A [`Topology`] maps node pairs to deterministic routes — sequences of
+//! directed [`LinkId`]s whose occupancy the network model tracks for
+//! contention. Two families from the machines in the study are provided:
+//! the 3-D torus (Cray XE6 "Gemini", Red Sky) and the two-level fat tree
+//! (InfiniBand clusters).
+
+use serde::{Deserialize, Serialize};
+
+/// A directed physical link, dense-numbered per topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+/// A routed path (excluding the NICs at the ends).
+pub type Route = Vec<LinkId>;
+
+/// A network shape with deterministic routing.
+pub trait Topology: Send + Sync {
+    /// Number of terminal nodes.
+    fn nodes(&self) -> u32;
+    /// Total directed links (dense `LinkId` space).
+    fn links(&self) -> u32;
+    /// The route from `src` to `dst`. Empty iff `src == dst`.
+    fn route(&self, src: u32, dst: u32) -> Route;
+    /// Maximum hop count between any pair.
+    fn diameter(&self) -> u32;
+    fn description(&self) -> String;
+}
+
+/// A 3-D torus with dimension-order (X, then Y, then Z) routing and
+/// shortest-direction wrap, like the XE6's Gemini network.
+#[derive(Debug, Clone)]
+pub struct Torus3D {
+    dims: [u32; 3],
+}
+
+impl Torus3D {
+    pub fn new(x: u32, y: u32, z: u32) -> Torus3D {
+        assert!(x >= 1 && y >= 1 && z >= 1);
+        Torus3D { dims: [x, y, z] }
+    }
+
+    /// The most-cubic torus holding at least `n` nodes.
+    pub fn fitting(n: u32) -> Torus3D {
+        let side = (n as f64).cbrt().ceil() as u32;
+        let mut dims = [side.max(1); 3];
+        // Shrink dimensions while capacity still suffices.
+        for d in (0..3).rev() {
+            while dims[d] > 1 && (dims[0] * dims[1] * dims[2]) / dims[d] * (dims[d] - 1) >= n {
+                dims[d] -= 1;
+            }
+        }
+        Torus3D {
+            dims: [dims[0], dims[1], dims[2]],
+        }
+    }
+
+    #[inline]
+    fn coords(&self, node: u32) -> [u32; 3] {
+        let [x, y, _] = self.dims;
+        [node % x, (node / x) % y, node / (x * y)]
+    }
+
+    /// Directed link leaving `node` in `dim` toward +1 (`up = true`) or -1.
+    #[inline]
+    fn link(&self, node: u32, dim: usize, up: bool) -> LinkId {
+        LinkId(node * 6 + dim as u32 * 2 + up as u32)
+    }
+
+    /// Step from `c` along `dim` in the shorter wrap direction toward `t`;
+    /// returns (next coordinate, went_up).
+    fn step(&self, c: u32, t: u32, dim: usize) -> (u32, bool) {
+        let n = self.dims[dim];
+        let fwd = (t + n - c) % n; // distance going +1
+        let up = fwd <= n - fwd && fwd != 0;
+        if up {
+            ((c + 1) % n, true)
+        } else {
+            ((c + n - 1) % n, false)
+        }
+    }
+}
+
+impl Topology for Torus3D {
+    fn nodes(&self) -> u32 {
+        self.dims.iter().product()
+    }
+
+    fn links(&self) -> u32 {
+        self.nodes() * 6
+    }
+
+    fn route(&self, src: u32, dst: u32) -> Route {
+        assert!(src < self.nodes() && dst < self.nodes());
+        let mut route = Vec::new();
+        let mut cur = self.coords(src);
+        let target = self.coords(dst);
+        let [x, y, _] = self.dims;
+        for dim in 0..3 {
+            while cur[dim] != target[dim] {
+                let node = cur[0] + cur[1] * x + cur[2] * x * y;
+                let (next, up) = self.step(cur[dim], target[dim], dim);
+                route.push(self.link(node, dim, up));
+                cur[dim] = next;
+            }
+        }
+        route
+    }
+
+    fn diameter(&self) -> u32 {
+        self.dims.iter().map(|d| d / 2).sum()
+    }
+
+    fn description(&self) -> String {
+        format!(
+            "3-D torus {}x{}x{}",
+            self.dims[0], self.dims[1], self.dims[2]
+        )
+    }
+}
+
+/// A two-level fat tree (leaf + spine), like the QDR InfiniBand clusters:
+/// `leaves` leaf switches × `nodes_per_leaf` nodes, fully connected to
+/// `spines` spine switches. Spine selection hashes (src, dst) — static
+/// (deterministic) load spreading.
+#[derive(Debug, Clone)]
+pub struct FatTree {
+    leaves: u32,
+    nodes_per_leaf: u32,
+    spines: u32,
+}
+
+impl FatTree {
+    pub fn new(leaves: u32, nodes_per_leaf: u32, spines: u32) -> FatTree {
+        assert!(leaves >= 1 && nodes_per_leaf >= 1 && spines >= 1);
+        FatTree {
+            leaves,
+            nodes_per_leaf,
+            spines,
+        }
+    }
+
+    /// A full-bisection two-level tree for at least `n` nodes with 36-port
+    /// switches (18 down / 18 up), the usual QDR building block.
+    pub fn fitting(n: u32) -> FatTree {
+        let per = 18u32;
+        let leaves = n.div_ceil(per).max(1);
+        FatTree::new(leaves, per, leaves.max(1))
+    }
+
+    #[inline]
+    fn leaf_of(&self, node: u32) -> u32 {
+        node / self.nodes_per_leaf
+    }
+
+    // Dense link numbering:
+    //   node->leaf   : [0, N)
+    //   leaf->node   : [N, 2N)
+    //   leaf->spine  : [2N, 2N + L*S)
+    //   spine->leaf  : [2N + L*S, 2N + 2*L*S)
+    fn node_up(&self, node: u32) -> LinkId {
+        LinkId(node)
+    }
+    fn node_down(&self, node: u32) -> LinkId {
+        LinkId(self.nodes() + node)
+    }
+    fn leaf_up(&self, leaf: u32, spine: u32) -> LinkId {
+        LinkId(2 * self.nodes() + leaf * self.spines + spine)
+    }
+    fn leaf_down(&self, spine: u32, leaf: u32) -> LinkId {
+        LinkId(2 * self.nodes() + self.leaves * self.spines + leaf * self.spines + spine)
+    }
+}
+
+impl Topology for FatTree {
+    fn nodes(&self) -> u32 {
+        self.leaves * self.nodes_per_leaf
+    }
+
+    fn links(&self) -> u32 {
+        2 * self.nodes() + 2 * self.leaves * self.spines
+    }
+
+    fn route(&self, src: u32, dst: u32) -> Route {
+        assert!(src < self.nodes() && dst < self.nodes());
+        if src == dst {
+            return Vec::new();
+        }
+        let (ls, ld) = (self.leaf_of(src), self.leaf_of(dst));
+        if ls == ld {
+            return vec![self.node_up(src), self.node_down(dst)];
+        }
+        // Static spine selection by pair hash.
+        let h = (src as u64)
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add((dst as u64).wrapping_mul(0xC2B2AE3D27D4EB4F));
+        let spine = ((h >> 32) % self.spines as u64) as u32;
+        vec![
+            self.node_up(src),
+            self.leaf_up(ls, spine),
+            self.leaf_down(spine, ld),
+            self.node_down(dst),
+        ]
+    }
+
+    fn diameter(&self) -> u32 {
+        4
+    }
+
+    fn description(&self) -> String {
+        format!(
+            "fat tree {} leaves x {} nodes, {} spines",
+            self.leaves, self.nodes_per_leaf, self.spines
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torus_route_reaches_destination() {
+        let t = Torus3D::new(4, 4, 4);
+        for src in [0u32, 5, 21, 63] {
+            for dst in [0u32, 13, 42, 63] {
+                let r = t.route(src, dst);
+                if src == dst {
+                    assert!(r.is_empty());
+                } else {
+                    assert!(!r.is_empty());
+                    assert!(r.len() as u32 <= t.diameter());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torus_wraps_shortest_direction() {
+        let t = Torus3D::new(8, 1, 1);
+        // 0 -> 6: going down (wrap) is 2 hops vs 6 hops up.
+        assert_eq!(t.route(0, 6).len(), 2);
+        assert_eq!(t.route(0, 3).len(), 3);
+        assert_eq!(t.route(0, 4).len(), 4);
+    }
+
+    #[test]
+    fn torus_adjacent_is_one_hop() {
+        let t = Torus3D::new(4, 4, 4);
+        assert_eq!(t.route(0, 1).len(), 1);
+        assert_eq!(t.route(0, 4).len(), 1); // +y
+        assert_eq!(t.route(0, 16).len(), 1); // +z
+    }
+
+    #[test]
+    fn torus_diameter_bound_holds_exhaustively() {
+        let t = Torus3D::new(3, 4, 2);
+        let n = t.nodes();
+        for s in 0..n {
+            for d in 0..n {
+                assert!(t.route(s, d).len() as u32 <= t.diameter());
+            }
+        }
+    }
+
+    #[test]
+    fn torus_fitting_capacity() {
+        for n in [1u32, 8, 27, 100, 1000] {
+            let t = Torus3D::fitting(n);
+            assert!(t.nodes() >= n, "fitting({n}) gave {}", t.nodes());
+        }
+    }
+
+    #[test]
+    fn torus_link_ids_in_range() {
+        let t = Torus3D::new(4, 4, 4);
+        for s in 0..t.nodes() {
+            for d in 0..t.nodes() {
+                for l in t.route(s, d) {
+                    assert!(l.0 < t.links());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fat_tree_same_leaf_two_hops() {
+        let f = FatTree::new(4, 18, 4);
+        let r = f.route(0, 1);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn fat_tree_cross_leaf_four_hops() {
+        let f = FatTree::new(4, 18, 4);
+        let r = f.route(0, 19);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn fat_tree_self_route_empty() {
+        let f = FatTree::new(4, 18, 4);
+        assert!(f.route(7, 7).is_empty());
+    }
+
+    #[test]
+    fn fat_tree_link_ids_in_range() {
+        let f = FatTree::new(3, 4, 2);
+        for s in 0..f.nodes() {
+            for d in 0..f.nodes() {
+                for l in f.route(s, d) {
+                    assert!(l.0 < f.links(), "link {l:?} out of range");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fat_tree_fitting_capacity() {
+        for n in [1u32, 18, 19, 100, 1024] {
+            let f = FatTree::fitting(n);
+            assert!(f.nodes() >= n);
+        }
+    }
+
+    #[test]
+    fn fat_tree_spreads_spines() {
+        let f = FatTree::new(8, 18, 8);
+        let mut used = std::collections::HashSet::new();
+        for dst in 18..(18 * 8) {
+            if let Some(l) = f.route(0, dst).get(1) {
+                used.insert(*l);
+            }
+        }
+        assert!(used.len() >= 4, "spine selection should spread: {}", used.len());
+    }
+}

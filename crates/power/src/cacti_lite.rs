@@ -1,0 +1,100 @@
+//! CACTI-lite: analytical SRAM (cache) energy and area.
+//!
+//! Per-access energy grows roughly with the square root of capacity (longer
+//! bit/word lines) and weakly with associativity (more ways read per
+//! access); leakage and area are proportional to capacity. Constants target
+//! 45 nm-class SRAM: a 32 KiB 8-way L1 lands near 20 pJ/access and
+//! ~0.15 mm²; an 8 MiB L3 near 300 pJ/access.
+
+use serde::{Deserialize, Serialize};
+use sst_core::time::SimTime;
+use sst_mem::cache::CacheConfig;
+
+const E_BASE_PJ: f64 = 12.0; // at 32 KiB, 8-way
+const REF_BYTES: f64 = 32.0 * 1024.0;
+const REF_ASSOC: f64 = 8.0;
+const CAP_EXP: f64 = 0.5;
+const ASSOC_EXP: f64 = 0.3;
+const AREA_MM2_PER_MB: f64 = 0.9;
+const LEAK_W_PER_MB: f64 = 0.25;
+
+/// Analytical SRAM array model for one cache level.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CacheModel {
+    pub size_bytes: u64,
+    pub assoc: u32,
+}
+
+impl CacheModel {
+    pub fn of(cfg: &CacheConfig) -> CacheModel {
+        CacheModel {
+            size_bytes: cfg.size_bytes,
+            assoc: cfg.assoc,
+        }
+    }
+
+    /// Dynamic energy per access (nJ).
+    pub fn energy_per_access_nj(&self) -> f64 {
+        let cap = (self.size_bytes as f64 / REF_BYTES).powf(CAP_EXP);
+        let asc = (self.assoc as f64 / REF_ASSOC).powf(ASSOC_EXP);
+        E_BASE_PJ * cap * asc * 1e-3
+    }
+
+    /// Array area (mm²).
+    pub fn area_mm2(&self) -> f64 {
+        self.size_bytes as f64 / (1 << 20) as f64 * AREA_MM2_PER_MB
+    }
+
+    /// Leakage power (W).
+    pub fn leakage_w(&self) -> f64 {
+        self.size_bytes as f64 / (1 << 20) as f64 * LEAK_W_PER_MB
+    }
+
+    /// Total energy (J) for `accesses` over `elapsed`.
+    pub fn energy_joules(&self, accesses: u64, elapsed: SimTime) -> f64 {
+        accesses as f64 * self.energy_per_access_nj() * 1e-9
+            + self.leakage_w() * elapsed.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigger_caches_cost_more_per_access() {
+        let l1 = CacheModel::of(&CacheConfig::l1d_32k());
+        let l3 = CacheModel::of(&CacheConfig::l3_8m());
+        assert!(l3.energy_per_access_nj() > 5.0 * l1.energy_per_access_nj());
+        assert!(l3.area_mm2() > 40.0 * l1.area_mm2());
+        assert!(l3.leakage_w() > l1.leakage_w());
+    }
+
+    #[test]
+    fn l1_calibration_band() {
+        let l1 = CacheModel::of(&CacheConfig::l1d_32k());
+        let e = l1.energy_per_access_nj();
+        assert!(e > 0.005 && e < 0.05, "L1 access energy {e} nJ out of band");
+    }
+
+    #[test]
+    fn associativity_raises_energy() {
+        let a4 = CacheModel {
+            size_bytes: 256 << 10,
+            assoc: 4,
+        };
+        let a16 = CacheModel {
+            size_bytes: 256 << 10,
+            assoc: 16,
+        };
+        assert!(a16.energy_per_access_nj() > a4.energy_per_access_nj());
+    }
+
+    #[test]
+    fn energy_combines_dynamic_and_static() {
+        let m = CacheModel::of(&CacheConfig::l2_256k());
+        let none = m.energy_joules(0, SimTime::ms(1));
+        let some = m.energy_joules(1_000_000, SimTime::ms(1));
+        assert!(some > none && none > 0.0);
+    }
+}

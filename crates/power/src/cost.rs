@@ -1,0 +1,114 @@
+//! Chip and memory cost model (the IC-Knowledge + DRAM-spot-price analog).
+//!
+//! Die cost comes from dies-per-wafer and a Murphy yield model: as die area
+//! grows, fewer dies fit a wafer *and* each is more likely to catch a
+//! defect, so cost rises superlinearly in area — the mechanism that punishes
+//! very wide cores in the cost-efficiency study. Memory cost is capacity ×
+//! technology price per GB.
+
+use serde::{Deserialize, Serialize};
+use sst_mem::dram::DramConfig;
+
+/// Fab/process assumptions.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ProcessCost {
+    /// Wafer diameter (mm).
+    pub wafer_diameter_mm: f64,
+    /// Processed-wafer cost (USD).
+    pub wafer_cost_usd: f64,
+    /// Defect density (defects per mm²).
+    pub defect_density_per_mm2: f64,
+    /// Non-die overheads multiplier (test, package, margin).
+    pub overhead: f64,
+}
+
+impl ProcessCost {
+    /// A 300 mm, 45 nm-class process.
+    pub fn n45() -> ProcessCost {
+        ProcessCost {
+            wafer_diameter_mm: 300.0,
+            wafer_cost_usd: 4000.0,
+            defect_density_per_mm2: 0.0025,
+            overhead: 1.6,
+        }
+    }
+
+    /// Gross dies per wafer for a square die of `area` mm².
+    pub fn dies_per_wafer(&self, area_mm2: f64) -> f64 {
+        assert!(area_mm2 > 0.0);
+        let r = self.wafer_diameter_mm / 2.0;
+        let d = (std::f64::consts::PI * r * r) / area_mm2
+            - (std::f64::consts::PI * self.wafer_diameter_mm) / (2.0 * area_mm2).sqrt();
+        d.max(0.0)
+    }
+
+    /// Murphy yield for a die of `area` mm².
+    pub fn yield_fraction(&self, area_mm2: f64) -> f64 {
+        let ad = area_mm2 * self.defect_density_per_mm2;
+        if ad <= 0.0 {
+            return 1.0;
+        }
+        let y = ((1.0 - (-ad).exp()) / ad).powi(2);
+        y.clamp(0.0, 1.0)
+    }
+
+    /// Cost per good, packaged die (USD).
+    pub fn die_cost_usd(&self, area_mm2: f64) -> f64 {
+        let good = self.dies_per_wafer(area_mm2) * self.yield_fraction(area_mm2);
+        assert!(good > 0.0, "die of {area_mm2} mm^2 yields no good parts");
+        self.wafer_cost_usd / good * self.overhead
+    }
+}
+
+/// Memory subsystem capital cost (USD) from the technology's $/GB.
+pub fn memory_cost_usd(dram: &DramConfig) -> f64 {
+    dram.cost_per_gb_usd * dram.capacity_gb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_area_fewer_dies() {
+        let p = ProcessCost::n45();
+        assert!(p.dies_per_wafer(50.0) > p.dies_per_wafer(100.0));
+        assert!(p.dies_per_wafer(100.0) > p.dies_per_wafer(400.0));
+    }
+
+    #[test]
+    fn yield_decreases_with_area() {
+        let p = ProcessCost::n45();
+        let y50 = p.yield_fraction(50.0);
+        let y400 = p.yield_fraction(400.0);
+        assert!(y50 > y400);
+        assert!(y50 > 0.8 && y50 <= 1.0);
+        assert!(y400 > 0.0);
+    }
+
+    #[test]
+    fn cost_superlinear_in_area() {
+        let p = ProcessCost::n45();
+        let c100 = p.die_cost_usd(100.0);
+        let c200 = p.die_cost_usd(200.0);
+        assert!(
+            c200 > 2.0 * c100,
+            "doubling area must more than double cost: {c100} -> {c200}"
+        );
+    }
+
+    #[test]
+    fn plausible_die_cost_band() {
+        let p = ProcessCost::n45();
+        let c = p.die_cost_usd(100.0);
+        assert!(c > 5.0 && c < 100.0, "100mm^2 die cost ${c} out of band");
+    }
+
+    #[test]
+    fn memory_tech_cost_ordering() {
+        let d2 = memory_cost_usd(&DramConfig::ddr2_800(2));
+        let d3 = memory_cost_usd(&DramConfig::ddr3_1333(2));
+        let g5 = memory_cost_usd(&DramConfig::gddr5(8));
+        assert!(d2 < d3 && d3 < g5);
+    }
+}

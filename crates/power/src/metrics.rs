@@ -1,0 +1,200 @@
+//! Roll-up metrics: performance, power, and cost for one node design point.
+//!
+//! Bridges a simulated [`PhaseResult`] to the figures of the design-space
+//! study: runtime, average node power (cores + caches + DRAM), node capital
+//! cost (die cost from area + yield, memory from $/GB), and the derived
+//! performance-per-Watt and performance-per-Dollar.
+
+use crate::cacti_lite::CacheModel;
+use crate::cost::{memory_cost_usd, ProcessCost};
+use crate::mcpat_lite::{CoreModel, InstrMix};
+use serde::{Deserialize, Serialize};
+use sst_core::time::SimTime;
+use sst_cpu::node::{NodeConfig, PhaseResult};
+
+/// One design point's evaluated figure-of-merit set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TechReport {
+    pub label: String,
+    pub time: SimTime,
+    /// Work rate (runs of this phase per second).
+    pub perf: f64,
+    pub core_power_w: f64,
+    pub cache_power_w: f64,
+    pub dram_power_w: f64,
+    pub power_w: f64,
+    pub energy_j: f64,
+    pub chip_area_mm2: f64,
+    pub chip_cost_usd: f64,
+    pub mem_cost_usd: f64,
+    pub cost_usd: f64,
+}
+
+impl TechReport {
+    pub fn perf_per_watt(&self) -> f64 {
+        if self.power_w > 0.0 {
+            self.perf / self.power_w
+        } else {
+            0.0
+        }
+    }
+    pub fn perf_per_dollar(&self) -> f64 {
+        if self.cost_usd > 0.0 {
+            self.perf / self.cost_usd
+        } else {
+            0.0
+        }
+    }
+    /// Energy to solution (J per phase run).
+    pub fn energy_to_solution(&self) -> f64 {
+        self.energy_j
+    }
+}
+
+/// Evaluate one phase run on one node design.
+pub fn evaluate(cfg: &NodeConfig, phase: &PhaseResult, process: &ProcessCost) -> TechReport {
+    let elapsed = phase.time;
+    let secs = elapsed.as_secs_f64().max(1e-12);
+
+    // --- cores ---
+    let core_model = CoreModel::new(cfg.core.issue_width, cfg.core.freq);
+    let mut core_energy = 0.0;
+    for s in &phase.per_core {
+        let mix = InstrMix {
+            total: s.instrs,
+            flops: s.flops,
+            loads: s.loads,
+            stores: s.stores,
+        };
+        core_energy += core_model.energy_joules(&mix, elapsed);
+    }
+    // Idle cores still leak.
+    let idle = cfg.cores.saturating_sub(phase.per_core.len());
+    core_energy += idle as f64 * core_model.leakage_w() * secs;
+
+    // --- caches ---
+    let l1 = CacheModel::of(&cfg.mem.l1);
+    let l2 = CacheModel::of(&cfg.mem.l2);
+    let l2_count = if cfg.mem.l2_shared { 1 } else { cfg.cores };
+    let mut cache_energy = cfg.cores as f64 * l1.energy_joules(0, elapsed)
+        + l2_count as f64 * l2.energy_joules(0, elapsed);
+    cache_energy += l1.energy_per_access_nj() * 1e-9 * phase.mem.l1.accesses() as f64;
+    cache_energy += l2.energy_per_access_nj() * 1e-9 * phase.mem.l2.accesses() as f64;
+    let mut chip_area = core_model.area_mm2() * cfg.cores as f64
+        + l1.area_mm2() * cfg.cores as f64
+        + l2.area_mm2() * l2_count as f64;
+    if let Some(l3cfg) = &cfg.mem.l3 {
+        let l3 = CacheModel::of(l3cfg);
+        cache_energy += l3.energy_joules(phase.mem.l3.accesses(), elapsed);
+        chip_area += l3.area_mm2();
+    }
+
+    // --- DRAM ---
+    let dram_energy = cfg.mem.dram.energy_joules(&phase.mem.dram, elapsed);
+
+    // --- cost ---
+    let chip_cost = process.die_cost_usd(chip_area);
+    let mem_cost = memory_cost_usd(&cfg.mem.dram);
+
+    let energy = core_energy + cache_energy + dram_energy;
+    TechReport {
+        label: phase.label.clone(),
+        time: elapsed,
+        perf: 1.0 / secs,
+        core_power_w: core_energy / secs,
+        cache_power_w: cache_energy / secs,
+        dram_power_w: dram_energy / secs,
+        power_w: energy / secs,
+        energy_j: energy,
+        chip_area_mm2: chip_area,
+        chip_cost_usd: chip_cost,
+        mem_cost_usd: mem_cost,
+        cost_usd: chip_cost + mem_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sst_core::time::Frequency;
+    use sst_cpu::core::CoreConfig;
+    use sst_cpu::isa::{AddrPattern, KernelSpec};
+    use sst_cpu::node::Node;
+    use sst_mem::dram::DramConfig;
+    use sst_mem::hierarchy::MemHierarchyConfig;
+
+    fn run(width: u32, dram: DramConfig) -> (NodeConfig, PhaseResult) {
+        let cfg = NodeConfig {
+            core: CoreConfig::with_width(width, Frequency::ghz(2.0)),
+            cores: 4,
+            mem: MemHierarchyConfig::typical(dram),
+        };
+        let mut node = Node::new(cfg.clone());
+        let streams: Vec<_> = (0..4)
+            .map(|c| {
+                Box::new(
+                    KernelSpec {
+                        label: "k".into(),
+                        iters: 3000,
+                        loads: 2,
+                        stores: 1,
+                        flops: 4,
+                        ialu: 1,
+                        flop_dep: 0,
+                        load_pattern: AddrPattern::Stream {
+                            base: (c as u64 + 1) << 32,
+                            stride: 8,
+                            span: 1 << 24,
+                        },
+                        store_pattern: AddrPattern::Stream {
+                            base: ((c as u64 + 1) << 32) + (1 << 28),
+                            stride: 8,
+                            span: 1 << 24,
+                        },
+                        mispredict_every: 0,
+                        seed: c as u64,
+                    }
+                    .stream(),
+                ) as Box<dyn sst_cpu::isa::InstrStream>
+            })
+            .collect();
+        let phase = node.run_phase("k", streams);
+        (cfg, phase)
+    }
+
+    #[test]
+    fn report_is_internally_consistent() {
+        let (cfg, phase) = run(2, DramConfig::ddr3_1333(2));
+        let r = evaluate(&cfg, &phase, &ProcessCost::n45());
+        assert!(r.perf > 0.0);
+        assert!(r.power_w > 0.0);
+        assert!((r.power_w - (r.core_power_w + r.cache_power_w + r.dram_power_w)).abs() < 1e-9);
+        assert!(r.cost_usd > r.chip_cost_usd);
+        assert!(r.perf_per_watt() > 0.0);
+        assert!(r.perf_per_dollar() > 0.0);
+        assert!((r.energy_j - r.power_w * r.time.as_secs_f64()).abs() / r.energy_j < 1e-6);
+    }
+
+    #[test]
+    fn wider_cores_cost_and_burn_more() {
+        let (c1, p1) = run(1, DramConfig::ddr3_1333(2));
+        let (c8, p8) = run(8, DramConfig::ddr3_1333(2));
+        let r1 = evaluate(&c1, &p1, &ProcessCost::n45());
+        let r8 = evaluate(&c8, &p8, &ProcessCost::n45());
+        assert!(r8.chip_area_mm2 > r1.chip_area_mm2);
+        assert!(r8.chip_cost_usd > r1.chip_cost_usd);
+        assert!(r8.perf >= r1.perf, "wider must not be slower");
+        assert!(r8.core_power_w > r1.core_power_w);
+    }
+
+    #[test]
+    fn gddr5_power_and_cost_exceed_ddr3() {
+        let (c3, p3) = run(4, DramConfig::ddr3_1333(2));
+        let (c5, p5) = run(4, DramConfig::gddr5(8));
+        let r3 = evaluate(&c3, &p3, &ProcessCost::n45());
+        let r5 = evaluate(&c5, &p5, &ProcessCost::n45());
+        assert!(r5.mem_cost_usd > r3.mem_cost_usd);
+        assert!(r5.dram_power_w > r3.dram_power_w);
+        assert!(r5.perf >= r3.perf, "GDDR5 must be at least as fast");
+    }
+}

@@ -1,0 +1,107 @@
+//! Shared plumbing for the experiment runners.
+
+use sst_cpu::isa::InstrStream;
+use sst_cpu::node::{Node, NodeConfig, PhaseResult};
+use sst_workloads::Problem;
+
+/// Which application proxy a node-level study runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum App {
+    MiniFe,
+    Charon,
+    Hpccg,
+    Lulesh,
+}
+
+impl App {
+    pub fn name(self) -> &'static str {
+        match self {
+            App::MiniFe => "miniFE",
+            App::Charon => "Charon",
+            App::Hpccg => "HPCCG",
+            App::Lulesh => "LULESH",
+        }
+    }
+}
+
+/// Run the FEA and solver phases of `app` with `cores` active cores, each
+/// owning an `nx³` problem. Returns `(fea, solver)` phase results.
+/// (`Hpccg`/`Lulesh` have a single phase; it is returned as "solver" with a
+/// trivial FEA placeholder skipped by callers.)
+pub fn run_fea_solver(
+    cfg: &NodeConfig,
+    app: App,
+    cores: usize,
+    nx: u64,
+    solver_iters: u64,
+) -> (Option<PhaseResult>, PhaseResult) {
+    let p = Problem::new(nx);
+    let mut node = Node::new(cfg.clone());
+
+    let fea = match app {
+        App::MiniFe => {
+            let streams: Vec<Box<dyn InstrStream>> =
+                (0..cores).map(|c| sst_workloads::minife::fea(c, p)).collect();
+            Some(node.run_phase("fea", streams))
+        }
+        App::Charon => {
+            let streams: Vec<Box<dyn InstrStream>> =
+                (0..cores).map(|c| sst_workloads::charon::fea(c, p)).collect();
+            Some(node.run_phase("fea", streams))
+        }
+        App::Hpccg | App::Lulesh => None,
+    };
+
+    let solver_streams: Vec<Box<dyn InstrStream>> = (0..cores)
+        .map(|c| match app {
+            App::MiniFe => sst_workloads::minife::solver(c, p, solver_iters),
+            App::Charon => {
+                sst_workloads::charon::solver(c, p, sst_workloads::charon::Precond::Ilu0, solver_iters)
+            }
+            App::Hpccg => sst_workloads::hpccg::solver(c, p, solver_iters),
+            App::Lulesh => sst_workloads::lulesh::hydro(c, p, solver_iters),
+        })
+        .collect();
+    let solver = node.run_phase("solver", solver_streams);
+
+    (fea, solver)
+}
+
+/// Largest relative discrepancy between two equal-length series — the
+/// "proportional comparison" of the validation methodology.
+pub fn max_rel_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let denom = x.abs().max(y.abs()).max(1e-12);
+            (x - y).abs() / denom
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines::xe6_node;
+
+    #[test]
+    fn phases_run_for_all_apps() {
+        let cfg = xe6_node(2);
+        for app in [App::MiniFe, App::Charon, App::Hpccg, App::Lulesh] {
+            let (fea, solver) = run_fea_solver(&cfg, app, 2, 6, 2);
+            match app {
+                App::MiniFe | App::Charon => assert!(fea.unwrap().cycles > 0),
+                _ => assert!(fea.is_none()),
+            }
+            assert!(solver.cycles > 0, "{}", app.name());
+        }
+    }
+
+    #[test]
+    fn rel_diff() {
+        assert!(max_rel_diff(&[1.0, 2.0], &[1.0, 2.0]) < 1e-12);
+        let d = max_rel_diff(&[1.0, 1.0], &[1.0, 1.3]);
+        assert!((d - 0.3 / 1.3).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,268 @@
+//! Figs. 10–12 — the SST design-space exploration: memory technology
+//! (DDR2 / DDR3 / GDDR5) × processor issue width (1/2/4/8) running the
+//! HPCCG and LULESH mini-apps, evaluated for performance (Fig. 10),
+//! power- and cost-efficiency of the memory systems (Fig. 11), and cost- /
+//! power-efficiency across issue widths (Fig. 12).
+//!
+//! This is the experiment the paper runs with SST = gem5/x86 + DRAMSim2 +
+//! McPAT + IC-Knowledge; here it is the stream-driven core + DRAM timing
+//! model + McPAT-lite/CACTI-lite + the yield cost model.
+
+use crate::machines::{dse_memories, dse_node};
+use crate::table::Table;
+use sst_cpu::isa::InstrStream;
+use sst_cpu::node::Node;
+use sst_power::{evaluate, ProcessCost, TechReport};
+use sst_workloads::Problem;
+
+#[derive(Debug, Clone)]
+pub struct Params {
+    pub widths: Vec<u32>,
+    /// HPCCG problem edge (rows = (nx+1)^3).
+    pub nx: u64,
+    /// LULESH problem edge (zones = nx^3); hydro needs a larger grid for
+    /// its field arrays to exceed the caches, as the real code's do.
+    pub nx_lulesh: u64,
+    pub hpccg_iters: u64,
+    pub lulesh_steps: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            widths: vec![1, 2, 4, 8],
+            nx: 14,
+            nx_lulesh: 24,
+            hpccg_iters: 8,
+            lulesh_steps: 5,
+        }
+    }
+}
+
+impl Params {
+    pub fn quick() -> Params {
+        Params {
+            widths: vec![1, 4, 8],
+            nx: 14,
+            nx_lulesh: 24,
+            hpccg_iters: 3,
+            lulesh_steps: 2,
+        }
+    }
+}
+
+/// One evaluated design point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    pub app: &'static str,
+    pub mem: String,
+    pub width: u32,
+    pub report: TechReport,
+}
+
+/// Run the full sweep.
+pub fn sweep(p: &Params) -> Vec<Point> {
+    let mut out = Vec::new();
+    for app in ["HPCCG", "LULESH"] {
+        for mem in dse_memories() {
+            for &w in &p.widths {
+                let cfg = dse_node(w, mem.clone());
+                let mut node = Node::new(cfg.clone());
+                let stream: Box<dyn InstrStream> = match app {
+                    "HPCCG" => sst_workloads::hpccg::solver(0, Problem::new(p.nx), p.hpccg_iters),
+                    _ => sst_workloads::lulesh::hydro(0, Problem::new(p.nx_lulesh), p.lulesh_steps),
+                };
+                let phase = node.run_phase(format!("{app}"), vec![stream]);
+                let report = evaluate(&cfg, &phase, &ProcessCost::n45());
+                out.push(Point {
+                    app,
+                    mem: short_mem_name(&mem.name),
+                    width: w,
+                    report,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn short_mem_name(full: &str) -> String {
+    full.split_whitespace().next().unwrap_or(full).to_string()
+}
+
+fn find<'a>(points: &'a [Point], app: &str, mem_prefix: &str, width: u32) -> &'a Point {
+    points
+        .iter()
+        .find(|p| p.app == app && p.mem.starts_with(mem_prefix) && p.width == width)
+        .unwrap_or_else(|| panic!("no point {app}/{mem_prefix}/{width}"))
+}
+
+/// Fig. 10 — runtime (normalized to the slowest config per app).
+pub fn fig10(points: &[Point], p: &Params) -> Table {
+    let mut t = Table::new(
+        "Fig 10: relative performance by memory technology and issue width",
+        p.widths.iter().map(|w| format!("{w}-wide")).collect(),
+    );
+    for app in ["HPCCG", "LULESH"] {
+        // Normalize to DDR2 @ narrowest width.
+        let base = find(points, app, "DDR2", p.widths[0])
+            .report
+            .time
+            .as_secs_f64();
+        for mem in ["DDR2", "DDR3", "GDDR5"] {
+            let vals: Vec<f64> = p
+                .widths
+                .iter()
+                .map(|&w| base / find(points, app, mem, w).report.time.as_secs_f64())
+                .collect();
+            t.push(format!("{app} {mem}"), vals);
+        }
+        // GDDR5-vs-DDR3 advantage, the headline number.
+        let adv: Vec<f64> = p
+            .widths
+            .iter()
+            .map(|&w| {
+                find(points, app, "DDR3", w).report.time.as_secs_f64()
+                    / find(points, app, "GDDR5", w).report.time.as_secs_f64()
+                    - 1.0
+            })
+            .collect();
+        t.push(format!("{app} GDDR5-vs-DDR3 gain"), adv);
+    }
+    t.note("paper: GDDR5 32-41% faster than DDR3 on HPCCG, 26-47% on LULESH");
+    t
+}
+
+/// Fig. 11 — performance per Watt and per Dollar by memory technology.
+pub fn fig11(points: &[Point], p: &Params) -> Table {
+    let mut t = Table::new(
+        "Fig 11: memory-technology efficiency (relative to DDR3 at each width)",
+        p.widths.iter().map(|w| format!("{w}-wide")).collect(),
+    );
+    for app in ["HPCCG", "LULESH"] {
+        for (metric, f) in [
+            ("perf/W", (|r: &TechReport| r.perf_per_watt()) as fn(&TechReport) -> f64),
+            ("perf/$", |r: &TechReport| r.perf_per_dollar()),
+        ] {
+            for mem in ["DDR2", "DDR3", "GDDR5"] {
+                let vals: Vec<f64> = p
+                    .widths
+                    .iter()
+                    .map(|&w| {
+                        f(&find(points, app, mem, w).report)
+                            / f(&find(points, app, "DDR3", w).report)
+                    })
+                    .collect();
+                t.push(format!("{app} {mem} {metric}"), vals);
+            }
+        }
+    }
+    t.note("paper: DDR3 perf/W >= GDDR5 (up to ~2x at narrow widths); perf/$ crosses over at wide issue");
+    t
+}
+
+/// Fig. 12 — cost- and power-efficiency across issue widths. Measured on
+/// the GDDR5 configuration so the memory system is not the bottleneck and
+/// the core's own scaling shows (the paper reports the processor effect
+/// separately from the memory effect).
+pub fn fig12(points: &[Point], p: &Params) -> Table {
+    let mut t = Table::new(
+        "Fig 12: issue-width efficiency (GDDR5 memory, relative to 1-wide)",
+        p.widths.iter().map(|w| format!("{w}-wide")).collect(),
+    );
+    for app in ["HPCCG", "LULESH"] {
+        let base = &find(points, app, "GDDR5", p.widths[0]).report;
+        let perf: Vec<f64> = p
+            .widths
+            .iter()
+            .map(|&w| find(points, app, "GDDR5", w).report.perf / base.perf)
+            .collect();
+        let power: Vec<f64> = p
+            .widths
+            .iter()
+            .map(|&w| find(points, app, "GDDR5", w).report.power_w / base.power_w)
+            .collect();
+        let ppw: Vec<f64> = p
+            .widths
+            .iter()
+            .map(|&w| {
+                find(points, app, "GDDR5", w).report.perf_per_watt() / base.perf_per_watt()
+            })
+            .collect();
+        let ppd: Vec<f64> = p
+            .widths
+            .iter()
+            .map(|&w| {
+                find(points, app, "GDDR5", w).report.perf_per_dollar() / base.perf_per_dollar()
+            })
+            .collect();
+        t.push(format!("{app} perf"), perf);
+        t.push(format!("{app} power"), power);
+        t.push(format!("{app} perf/W"), ppw);
+        t.push(format!("{app} perf/$"), ppd);
+    }
+    t.note("paper: 8-wide ~78% faster than 1-wide (LULESH) at ~123% more power; 1-2-wide most power-efficient, 2-4-wide most cost-efficient");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn points() -> (Vec<Point>, Params) {
+        let p = Params::quick();
+        (sweep(&p), p)
+    }
+
+    #[test]
+    fn fig10_memory_ordering_and_gain_bands() {
+        let (pts, p) = points();
+        let t = fig10(&pts, &p);
+        for app in ["HPCCG", "LULESH"] {
+            for (i, _) in p.widths.iter().enumerate() {
+                let d2 = t.row(&format!("{app} DDR2"))[i];
+                let d3 = t.row(&format!("{app} DDR3"))[i];
+                let g5 = t.row(&format!("{app} GDDR5"))[i];
+                assert!(d2 <= d3 + 1e-9 && d3 <= g5 + 1e-9, "{app} width idx {i}: {d2} {d3} {g5}");
+            }
+            let gain = t.row(&format!("{app} GDDR5-vs-DDR3 gain"));
+            assert!(
+                gain.iter().all(|g| *g >= 0.0 && *g < 1.5),
+                "{app} GDDR5 gain out of band: {gain:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig11_ddr3_wins_perf_per_watt_at_narrow() {
+        let (pts, p) = points();
+        let t = fig11(&pts, &p);
+        for app in ["HPCCG", "LULESH"] {
+            let g5 = t.row(&format!("{app} GDDR5 perf/W"));
+            assert!(
+                g5[0] < 1.0,
+                "{app}: GDDR5 perf/W must lose to DDR3 at 1-wide: {g5:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig12_superlinear_power_sublinear_perf() {
+        let (pts, p) = points();
+        let t = fig12(&pts, &p);
+        for app in ["HPCCG", "LULESH"] {
+            let perf = t.row(&format!("{app} perf"));
+            let power = t.row(&format!("{app} power"));
+            let widest = p.widths.len() - 1;
+            assert!(perf[widest] >= 1.0, "{app} wider is not slower");
+            assert!(
+                perf[widest] < p.widths[widest] as f64,
+                "{app} speedup must be sublinear: {perf:?}"
+            );
+            assert!(
+                power[widest] > perf[widest],
+                "{app}: power must grow faster than perf: {power:?} vs {perf:?}"
+            );
+        }
+    }
+}

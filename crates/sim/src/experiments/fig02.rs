@@ -1,0 +1,122 @@
+//! Fig. 2 — effect of cores-per-node on the FEA and solver phases of
+//! Charon and miniFE (Cray XE6 node).
+//!
+//! Weak scaling within the node: every active core owns the same problem,
+//! so perfect hardware would hold per-core time flat. The solver phases
+//! are bandwidth-bound and lose efficiency as cores contend for DRAM; the
+//! FEA phases are compute-dense and stay near 1.0. The proportional
+//! comparison between the app (Charon) and its mini-app (miniFE) is the
+//! validation evidence — the paper found them within ~13%.
+
+use super::common::{max_rel_diff, run_fea_solver, App};
+use crate::machines::xe6_node;
+use crate::table::Table;
+
+#[derive(Debug, Clone)]
+pub struct Params {
+    pub core_counts: Vec<usize>,
+    pub nx: u64,
+    pub solver_iters: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            core_counts: vec![1, 2, 4, 6, 8, 12],
+            nx: 18,
+            solver_iters: 8,
+        }
+    }
+}
+
+impl Params {
+    /// Scaled-down version for tests.
+    pub fn quick() -> Params {
+        Params {
+            core_counts: vec![1, 2, 4],
+            nx: 10,
+            solver_iters: 3,
+        }
+    }
+}
+
+pub fn run(p: &Params) -> Table {
+    let mut t = Table::new(
+        "Fig 2: per-core efficiency vs cores per node (XE6)",
+        p.core_counts.iter().map(|c| format!("{c} cores")).collect(),
+    );
+
+    let mut series: Vec<(String, Vec<f64>)> = Vec::new();
+    for app in [App::Charon, App::MiniFe] {
+        let mut fea_eff = Vec::new();
+        let mut sol_eff = Vec::new();
+        let mut fea_base = 0.0;
+        let mut sol_base = 0.0;
+        for (i, &cores) in p.core_counts.iter().enumerate() {
+            let cfg = xe6_node(cores.max(p.core_counts.iter().copied().max().unwrap()));
+            let (fea, solver) = run_fea_solver(&cfg, app, cores, p.nx, p.solver_iters);
+            let fea_t = fea.expect("fea phase").time.as_secs_f64();
+            let sol_t = solver.time.as_secs_f64();
+            if i == 0 {
+                fea_base = fea_t;
+                sol_base = sol_t;
+            }
+            // Efficiency: per-core work is constant, so time(1)/time(n).
+            fea_eff.push(fea_base / fea_t);
+            sol_eff.push(sol_base / sol_t);
+        }
+        series.push((format!("{} FEA eff", app.name()), fea_eff));
+        series.push((format!("{} solver eff", app.name()), sol_eff));
+    }
+    for (label, vals) in &series {
+        t.push(label.clone(), vals.clone());
+    }
+
+    // Proportional comparison rows (validation metric inputs).
+    let fea_diff = max_rel_diff(&series[0].1, &series[2].1);
+    let sol_diff = max_rel_diff(&series[1].1, &series[3].1);
+    t.push(
+        "proportional diff FEA",
+        vec![fea_diff; p.core_counts.len()],
+    );
+    t.push(
+        "proportional diff solver",
+        vec![sol_diff; p.core_counts.len()],
+    );
+    t.note(format!(
+        "max proportional difference: FEA {:.1}%, solver {:.1}% (paper: within ~13%)",
+        fea_diff * 100.0,
+        sol_diff * 100.0
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solver_efficiency_declines_with_cores() {
+        let t = run(&Params::quick());
+        for app in ["Charon", "miniFE"] {
+            let row = t.row(&format!("{app} solver eff"));
+            assert!((row[0] - 1.0).abs() < 1e-9);
+            assert!(
+                row[row.len() - 1] < 0.9,
+                "{app} solver should lose efficiency: {row:?}"
+            );
+            let fea = t.row(&format!("{app} FEA eff"));
+            assert!(
+                fea[fea.len() - 1] > row[row.len() - 1],
+                "{app} FEA must contend less than solver"
+            );
+        }
+    }
+
+    #[test]
+    fn miniapp_tracks_app() {
+        let t = run(&Params::quick());
+        let d = t.get("proportional diff solver", "1 cores");
+        assert!(d < 0.25, "solver proportional diff too large: {d}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Fig. 3 — effect of memory speed (800/1066/1333 MT/s) on the FEA and
+//! solver phases of Charon and miniFE.
+//!
+//! Performance is relative to the 1333 MT/s configuration. The finding:
+//! FEA phases are insensitive to memory speed while the solvers scale with
+//! it, and miniFE tracks Charon within ~4% — the strongest validation
+//! evidence in the study.
+
+use super::common::{max_rel_diff, run_fea_solver, App};
+use crate::machines::nehalem_node;
+use crate::table::Table;
+use sst_mem::dram::DramConfig;
+
+#[derive(Debug, Clone)]
+pub struct Params {
+    pub speeds_mts: Vec<f64>,
+    pub channels: u32,
+    pub cores: usize,
+    pub nx: u64,
+    pub solver_iters: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            speeds_mts: vec![800.0, 1066.0, 1333.0],
+            channels: 2,
+            cores: 4,
+            // Per-core subdomains sized as in the dialed-DIMM experiment:
+            // the working sets must be cache-overflowing but not so large
+            // that gather latency (memory-speed-independent) dominates.
+            nx: 12,
+            solver_iters: 8,
+        }
+    }
+}
+
+impl Params {
+    pub fn quick() -> Params {
+        Params {
+            cores: 4,
+            nx: 12,
+            solver_iters: 3,
+            ..Default::default()
+        }
+    }
+}
+
+pub fn run(p: &Params) -> Table {
+    let mut t = Table::new(
+        "Fig 3: performance vs memory speed (relative to fastest)",
+        p.speeds_mts.iter().map(|s| format!("{s} MT/s")).collect(),
+    );
+
+    let mut series: Vec<(String, Vec<f64>)> = Vec::new();
+    for app in [App::Charon, App::MiniFe] {
+        let mut fea_times = Vec::new();
+        let mut sol_times = Vec::new();
+        for &mts in &p.speeds_mts {
+            let cfg = nehalem_node(p.cores, DramConfig::ddr3_speed(mts, p.channels));
+            let (fea, solver) = run_fea_solver(&cfg, app, p.cores, p.nx, p.solver_iters);
+            fea_times.push(fea.expect("fea").time.as_secs_f64());
+            sol_times.push(solver.time.as_secs_f64());
+        }
+        // Relative performance: t(fastest) / t(speed).
+        let fbase = *fea_times.last().unwrap();
+        let sbase = *sol_times.last().unwrap();
+        series.push((
+            format!("{} FEA", app.name()),
+            fea_times.iter().map(|x| fbase / x).collect(),
+        ));
+        series.push((
+            format!("{} solver", app.name()),
+            sol_times.iter().map(|x| sbase / x).collect(),
+        ));
+    }
+    for (label, vals) in &series {
+        t.push(label.clone(), vals.clone());
+    }
+
+    let fea_diff = max_rel_diff(&series[0].1, &series[2].1);
+    let sol_diff = max_rel_diff(&series[1].1, &series[3].1);
+    t.note(format!(
+        "max proportional difference: FEA {:.1}%, solver {:.1}% (paper: within 4%)",
+        fea_diff * 100.0,
+        sol_diff * 100.0
+    ));
+    t.push("proportional diff FEA", vec![fea_diff; p.speeds_mts.len()]);
+    t.push(
+        "proportional diff solver",
+        vec![sol_diff; p.speeds_mts.len()],
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solver_scales_with_memory_speed_fea_does_not() {
+        let t = run(&Params::quick());
+        for app in ["Charon", "miniFE"] {
+            let fea = t.row(&format!("{app} FEA"));
+            let sol = t.row(&format!("{app} solver"));
+            // FEA: flat within a few percent.
+            assert!(
+                fea[0] > 0.93,
+                "{app} FEA should be memory-speed-insensitive: {fea:?}"
+            );
+            // Solver: clearly slower at 800 than 1333.
+            assert!(
+                sol[0] < 0.95,
+                "{app} solver should track bandwidth: {sol:?}"
+            );
+            assert!(sol[0] < sol[1] && sol[1] < sol[2] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn proxy_tracks_app_within_band() {
+        let t = run(&Params::quick());
+        assert!(t.get("proportional diff solver", "800 MT/s") < 0.15);
+        assert!(t.get("proportional diff FEA", "800 MT/s") < 0.10);
+    }
+}

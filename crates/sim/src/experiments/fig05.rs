@@ -1,0 +1,184 @@
+//! Fig. 5 — relative weak scaling of the solvers: miniFE's
+//! unpreconditioned CG vs Charon/BiCGSTAB with ILU(0) and with the ML
+//! (multilevel) preconditioner.
+//!
+//! Weak scaling on a 3-D torus: per-rank work and face sizes stay fixed as
+//! the rank count grows, so ideal scaling is a flat line. The collectives
+//! grow logarithmically for everyone, but ML's extra coarse-level halos —
+//! 40+% more messages per core, most of them small — erode its curve
+//! fastest, which is why miniFE (no preconditioner) is *not* predictive of
+//! Charon+ML.
+
+use crate::table::Table;
+use sst_core::time::SimTime;
+use sst_net::mpi::MpiSim;
+use sst_net::network::{NetConfig, Network};
+use sst_net::topology::Torus3D;
+use sst_workloads::charon::Precond;
+
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Rank counts; perfect cubes keep the process grid cubic.
+    pub rank_counts: Vec<u32>,
+    pub iters: u32,
+    pub face_bytes: u64,
+    pub compute_per_iter: SimTime,
+    pub ranks_per_node: u32,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            rank_counts: vec![8, 64, 216, 512, 1000],
+            iters: 6,
+            face_bytes: 64 << 10,
+            compute_per_iter: SimTime::us(900),
+            ranks_per_node: 8,
+        }
+    }
+}
+
+impl Params {
+    pub fn quick() -> Params {
+        Params {
+            rank_counts: vec![8, 64, 216],
+            iters: 3,
+            ..Default::default()
+        }
+    }
+}
+
+fn grid_dims(p: u32) -> [u32; 3] {
+    let c = (p as f64).cbrt().round() as u32;
+    if c * c * c == p {
+        return [c, c, c];
+    }
+    // Fall back to a flat-ish factorization.
+    let mut best = [p, 1, 1];
+    for x in 1..=p {
+        if p % x != 0 {
+            continue;
+        }
+        let rest = p / x;
+        for y in 1..=rest {
+            if rest % y != 0 {
+                continue;
+            }
+            let z = rest / y;
+            let cand = [x, y, z];
+            let spread = |d: [u32; 3]| d.iter().max().unwrap() - d.iter().min().unwrap();
+            if spread(cand) < spread(best) {
+                best = cand;
+            }
+        }
+    }
+    best
+}
+
+fn run_solver(p: &Params, ranks: u32, which: &str) -> SimTime {
+    let dims = grid_dims(ranks);
+    let mut net = Network::new(
+        Box::new(Torus3D::fitting(ranks.div_ceil(p.ranks_per_node))),
+        NetConfig::xt5(),
+    );
+    let scripts: Vec<_> = (0..ranks)
+        .map(|r| match which {
+            "cg" => sst_workloads::minife::cg_comm_script(
+                r,
+                dims,
+                p.face_bytes,
+                p.iters,
+                p.compute_per_iter,
+            ),
+            "ilu0" => sst_workloads::charon::solver_comm_script(
+                r,
+                dims,
+                Precond::Ilu0,
+                p.face_bytes,
+                p.iters,
+                p.compute_per_iter,
+            ),
+            "ml" => sst_workloads::charon::solver_comm_script(
+                r,
+                dims,
+                Precond::Ml,
+                p.face_bytes,
+                p.iters,
+                p.compute_per_iter,
+            ),
+            other => panic!("unknown solver {other}"),
+        })
+        .collect();
+    let run = MpiSim::new(&mut net, p.ranks_per_node).run(scripts);
+    SimTime::ps(run.end_time.as_ps() / p.iters as u64)
+}
+
+pub fn run(p: &Params) -> Table {
+    let mut t = Table::new(
+        "Fig 5: relative weak scaling of solvers (time per iteration / smallest-P time)",
+        p.rank_counts.iter().map(|r| format!("{r} ranks")).collect(),
+    );
+    for (label, key) in [
+        ("miniFE CG", "cg"),
+        ("Charon BiCGSTAB+ILU(0)", "ilu0"),
+        ("Charon BiCGSTAB+ML", "ml"),
+    ] {
+        let times: Vec<f64> = p
+            .rank_counts
+            .iter()
+            .map(|&r| run_solver(p, r, key).as_secs_f64())
+            .collect();
+        let base = times[0];
+        t.push(label, times.iter().map(|x| x / base).collect());
+    }
+    // Message-count evidence for the ML discussion.
+    let dims = grid_dims(p.rank_counts[0]);
+    let msgs = |pc: Precond| {
+        sst_workloads::charon::solver_comm_script(0, dims, pc, p.face_bytes, 1, SimTime::us(1))
+            .iter()
+            .filter(|o| matches!(o, sst_net::mpi::CommOp::Send { .. }))
+            .count() as f64
+    };
+    let extra = msgs(Precond::Ml) / msgs(Precond::Ilu0) - 1.0;
+    t.note(format!(
+        "ML sends {:.0}% more point-to-point messages per core than ILU(0) (paper: >40%)",
+        extra * 100.0
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_dims_cubes_and_factors() {
+        assert_eq!(grid_dims(8), [2, 2, 2]);
+        assert_eq!(grid_dims(64), [4, 4, 4]);
+        let d = grid_dims(12);
+        assert_eq!(d.iter().product::<u32>(), 12);
+    }
+
+    #[test]
+    fn ml_scales_worst() {
+        let t = run(&Params::quick());
+        let last = format!("{} ranks", Params::quick().rank_counts.last().unwrap());
+        let cg = t.get("miniFE CG", &last);
+        let ilu = t.get("Charon BiCGSTAB+ILU(0)", &last);
+        let ml = t.get("Charon BiCGSTAB+ML", &last);
+        assert!(
+            ml > ilu && ml > cg,
+            "ML must scale worst: cg={cg} ilu={ilu} ml={ml}"
+        );
+        // Everyone is normalized to 1.0 at the smallest count.
+        let first = format!("{} ranks", Params::quick().rank_counts[0]);
+        assert!((t.get("miniFE CG", &first) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_degrades_monotonically_for_ml() {
+        let t = run(&Params::quick());
+        let row = t.row("Charon BiCGSTAB+ML");
+        assert!(row.windows(2).all(|w| w[1] >= w[0] * 0.98), "{row:?}");
+    }
+}

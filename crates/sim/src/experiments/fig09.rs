@@ -1,0 +1,190 @@
+//! Fig. 9 — application sensitivity to network injection bandwidth
+//! (Cray XT5 testbed, firmware-throttled NICs).
+//!
+//! Each application runs at full (3.2 GB/s), half, quarter, and eighth
+//! injection bandwidth; results are slowdowns relative to full. The
+//! shapes: Charon (many small, latency-bound messages) is essentially
+//! flat; CTH and SAGE (few, very large messages that must complete before
+//! the step advances) degrade past 2x at one-eighth; xNOBEL hides its
+//! messages behind computation at small scale but loses the overlap as
+//! strong scaling shrinks the per-rank compute block (the falloff past
+//! ~384 cores).
+
+use crate::table::Table;
+use sst_core::time::SimTime;
+use sst_net::mpi::{CommOp, MpiSim};
+use sst_net::network::{NetConfig, Network};
+use sst_net::topology::Torus3D;
+use sst_workloads::apps;
+use sst_workloads::charon::{self, Precond};
+
+#[derive(Debug, Clone)]
+pub struct Params {
+    pub bw_factors: Vec<f64>,
+    /// Rank count for the per-app comparison.
+    pub ranks: u32,
+    /// Rank counts for the xNOBEL strong-scaling falloff series.
+    pub xnobel_ranks: Vec<u32>,
+    pub steps: u32,
+    pub ranks_per_node: u32,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            bw_factors: vec![1.0, 0.5, 0.25, 0.125],
+            ranks: 512,
+            xnobel_ranks: vec![64, 384, 1024],
+            steps: 4,
+            ranks_per_node: 8,
+        }
+    }
+}
+
+impl Params {
+    pub fn quick() -> Params {
+        Params {
+            ranks: 64,
+            xnobel_ranks: vec![27, 216],
+            steps: 2,
+            ..Default::default()
+        }
+    }
+}
+
+fn grid_dims(p: u32) -> [u32; 3] {
+    let c = (p as f64).cbrt().round().max(1.0) as u32;
+    if c * c * c == p {
+        [c, c, c]
+    } else {
+        let mut d = [1u32; 3];
+        let mut rem = p;
+        for slot in 0..3 {
+            let target = (rem as f64).powf(1.0 / (3 - slot) as f64).round() as u32;
+            let mut f = target.max(1);
+            while rem % f != 0 {
+                f -= 1;
+            }
+            d[slot] = f;
+            rem /= f;
+        }
+        d
+    }
+}
+
+fn scripts_for(app: &str, ranks: u32, steps: u32) -> Vec<Vec<CommOp>> {
+    let dims = grid_dims(ranks);
+    // Strong-scaled problem: per-rank compute shrinks with rank count,
+    // faces shrink with the 2/3 power (surface/volume).
+    let scale = ranks as f64;
+    let compute = |base_ms: f64| SimTime::ps((base_ms * 1e9 * 512.0 / scale) as u64);
+    let face = |base: u64| ((base as f64 * (512.0 / scale).powf(2.0 / 3.0)) as u64).max(1024);
+    (0..ranks)
+        .map(|r| match app {
+            "CTH" => apps::cth_comm_script(r, dims, face(2 << 20), steps, compute(16.0)),
+            "SAGE" => apps::sage_comm_script(r, dims, face(1536 << 10), steps, compute(14.0)),
+            "xNOBEL" => apps::xnobel_comm_script(r, dims, face(640 << 10), steps, compute(12.0)),
+            "Charon" => charon::solver_comm_script(
+                r,
+                dims,
+                Precond::Ilu0,
+                face(24 << 10),
+                steps,
+                compute(10.0),
+            ),
+            other => panic!("unknown app {other}"),
+        })
+        .collect()
+}
+
+fn run_once(app: &str, ranks: u32, steps: u32, bw_factor: f64, rpn: u32) -> SimTime {
+    let nodes = ranks.div_ceil(rpn);
+    let mut net = Network::new(
+        Box::new(Torus3D::fitting(nodes)),
+        NetConfig::xt5().with_injection_scale(bw_factor),
+    );
+    let scripts = scripts_for(app, ranks, steps);
+    MpiSim::new(&mut net, rpn).run(scripts).end_time
+}
+
+pub fn run(p: &Params) -> Table {
+    let mut t = Table::new(
+        "Fig 9: slowdown vs injection bandwidth (relative to full 3.2 GB/s)",
+        p.bw_factors
+            .iter()
+            .map(|f| format!("{:.3} GB/s", 3.2 * f))
+            .collect(),
+    );
+    for app in ["CTH", "SAGE", "xNOBEL", "Charon"] {
+        let base = run_once(app, p.ranks, p.steps, p.bw_factors[0], p.ranks_per_node);
+        let vals: Vec<f64> = p
+            .bw_factors
+            .iter()
+            .map(|&f| {
+                run_once(app, p.ranks, p.steps, f, p.ranks_per_node).as_secs_f64()
+                    / base.as_secs_f64()
+            })
+            .collect();
+        t.push(format!("{app} @{} ranks", p.ranks), vals);
+    }
+    // xNOBEL scale series: overlap survives at small scale, dies at large.
+    for &r in &p.xnobel_ranks {
+        let base = run_once("xNOBEL", r, p.steps, p.bw_factors[0], p.ranks_per_node);
+        let vals: Vec<f64> = p
+            .bw_factors
+            .iter()
+            .map(|&f| {
+                run_once("xNOBEL", r, p.steps, f, p.ranks_per_node).as_secs_f64()
+                    / base.as_secs_f64()
+            })
+            .collect();
+        t.push(format!("xNOBEL @{r} ranks"), vals);
+    }
+    t.note("paper: Charon ~flat; CTH >2x at one-eighth; xNOBEL falls off past ~384 cores");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charon_flat_cth_degrades() {
+        let p = Params::quick();
+        let t = run(&p);
+        let eighth = "0.400 GB/s";
+        let charon = t.get(&format!("Charon @{} ranks", p.ranks), eighth);
+        let cth = t.get(&format!("CTH @{} ranks", p.ranks), eighth);
+        assert!(
+            charon < 1.25,
+            "Charon must be ~insensitive to injection bw: {charon}"
+        );
+        assert!(cth > 1.8, "CTH must degrade strongly: {cth}");
+        assert!(cth > charon);
+    }
+
+    #[test]
+    fn xnobel_overlap_dies_at_scale() {
+        let p = Params::quick();
+        let t = run(&p);
+        let eighth = "0.400 GB/s";
+        let small = t.get(&format!("xNOBEL @{} ranks", p.xnobel_ranks[0]), eighth);
+        let large = t.get(
+            &format!("xNOBEL @{} ranks", p.xnobel_ranks.last().unwrap()),
+            eighth,
+        );
+        assert!(
+            large > small,
+            "xNOBEL degradation must grow with scale: {small} -> {large}"
+        );
+    }
+
+    #[test]
+    fn full_bandwidth_row_is_unity() {
+        let p = Params::quick();
+        let t = run(&p);
+        for row in &t.rows {
+            assert!((row.values[0] - 1.0).abs() < 1e-9, "{}", row.label);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! The experiment harness: one runner per reproduced figure/table.
+//!
+//! Every runner takes a `Params` (with `Default` = paper-scale and
+//! `quick()` = test-scale) and returns a [`Table`](crate::table::Table).
+//! See DESIGN.md's per-experiment index and EXPERIMENTS.md for
+//! paper-vs-measured comparisons.
+
+pub mod ablate;
+pub mod common;
+pub mod dse;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig08;
+pub mod fig09;
+pub mod pdes;
+pub mod pim;
+pub mod validate;
+
+use crate::table::Table;
+
+/// Experiment ids accepted by the CLI.
+pub const ALL: &[&str] = &[
+    "fig02", "fig03", "fig04", "fig05", "fig08", "fig09", "fig10", "fig11", "fig12", "pdes",
+    "validate", "ablate", "pim",
+];
+
+/// Run one experiment by id. `quick` selects the scaled-down parameters.
+pub fn run_by_name(name: &str, quick: bool) -> Option<Vec<Table>> {
+    let tables = match name {
+        "fig02" => vec![fig02::run(&pick(quick, fig02::Params::default(), fig02::Params::quick()))],
+        "fig03" => vec![fig03::run(&pick(quick, fig03::Params::default(), fig03::Params::quick()))],
+        "fig04" => vec![fig04::run(&pick(quick, fig04::Params::default(), fig04::Params::quick()))],
+        "fig05" => vec![fig05::run(&pick(quick, fig05::Params::default(), fig05::Params::quick()))],
+        "fig08" => vec![fig08::run(&pick(quick, fig08::Params::default(), fig08::Params::quick()))],
+        "fig09" => vec![fig09::run(&pick(quick, fig09::Params::default(), fig09::Params::quick()))],
+        "fig10" | "fig11" | "fig12" => {
+            let p = pick(quick, dse::Params::default(), dse::Params::quick());
+            let points = dse::sweep(&p);
+            match name {
+                "fig10" => vec![dse::fig10(&points, &p)],
+                "fig11" => vec![dse::fig11(&points, &p)],
+                _ => vec![dse::fig12(&points, &p)],
+            }
+        }
+        "pdes" => vec![pdes::run(&pick(quick, pdes::Params::default(), pdes::Params::quick()))],
+        "ablate" => vec![ablate::run(&pick(quick, ablate::Params::default(), ablate::Params::quick()))],
+        "pim" => vec![pim::run(&pick(quick, pim::Params::default(), pim::Params::quick()))],
+        "validate" => vec![validate::run(&validate::Params { quick })],
+        _ => return None,
+    };
+    Some(tables)
+}
+
+fn pick<T>(quick: bool, full: T, q: T) -> T {
+    if quick {
+        q
+    } else {
+        full
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ids_resolve() {
+        // Smoke: the lookup table and the dispatcher agree (run the cheap
+        // one only; the heavy ones have their own tests).
+        assert!(run_by_name("nonexistent", true).is_none());
+        assert!(ALL.contains(&"fig10"));
+    }
+}

@@ -1,0 +1,147 @@
+//! E14 — exploring a *novel architecture*: processing-in-memory.
+//!
+//! The SC'06 SST work was built exactly for studies like this one: compare
+//! a conventional node (few wide cores, deep caches, commodity DDR) against
+//! a PIM part (many simple cores inside the memory stack, shallow hierarchy,
+//! enormous internal bandwidth) on the two poles of the workload spectrum —
+//! a bandwidth-bound sparse solver (HPCCG) and a compute-dense assembly
+//! kernel (miniFE FEA). The expected *shape*: PIM wins decisively where
+//! bytes dominate, and loses (or merely ties) where FLOPs dominate — the
+//! classic PIM trade-off, with energy-to-solution favoring PIM on the
+//! memory-bound side.
+
+use crate::machines::{conventional_node, pim_node};
+use crate::table::Table;
+use sst_cpu::isa::InstrStream;
+use sst_cpu::node::{Node, NodeConfig};
+use sst_power::{evaluate, ProcessCost, TechReport};
+use sst_workloads::Problem;
+
+#[derive(Debug, Clone)]
+pub struct Params {
+    pub conventional_cores: usize,
+    pub pim_cores: usize,
+    /// Total problem edge; split evenly over each design's cores.
+    pub nx_total: u64,
+    pub solver_iters: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            conventional_cores: 4,
+            pim_cores: 16,
+            nx_total: 32,
+            solver_iters: 4,
+        }
+    }
+}
+
+impl Params {
+    pub fn quick() -> Params {
+        Params {
+            conventional_cores: 2,
+            pim_cores: 8,
+            nx_total: 20,
+            solver_iters: 2,
+        }
+    }
+}
+
+fn per_core_problem(nx_total: u64, cores: usize) -> Problem {
+    // Weak-ish split: keep total element count roughly constant.
+    let nx = ((nx_total as f64).powi(3) / cores as f64).cbrt().round() as u64;
+    Problem::new(nx.max(4))
+}
+
+fn run_design(
+    cfg: &NodeConfig,
+    app: &str,
+    p: &Params,
+) -> (sst_cpu::node::PhaseResult, TechReport) {
+    let mut node = Node::new(cfg.clone());
+    let prob = per_core_problem(p.nx_total, cfg.cores);
+    let streams: Vec<Box<dyn InstrStream>> = (0..cfg.cores)
+        .map(|c| match app {
+            "HPCCG solve" => sst_workloads::hpccg::solver(c, prob, p.solver_iters),
+            _ => sst_workloads::minife::fea(c, prob),
+        })
+        .collect();
+    let phase = node.run_phase(app, streams);
+    let report = evaluate(cfg, &phase, &ProcessCost::n45());
+    (phase, report)
+}
+
+pub fn run(p: &Params) -> Table {
+    let mut t = Table::cols(
+        "E14: novel-architecture study — PIM vs conventional node",
+        &["time_ms", "power_w", "energy_j", "GB/s", "speedup_vs_conv"],
+    );
+    for app in ["HPCCG solve", "miniFE FEA"] {
+        let conv = run_design(&conventional_node(p.conventional_cores), app, p);
+        let pim = run_design(&pim_node(p.pim_cores), app, p);
+        let mut push = |label: String,
+                        (phase, report): &(sst_cpu::node::PhaseResult, TechReport),
+                        base: f64| {
+            let secs = phase.time.as_secs_f64();
+            t.push(
+                label,
+                vec![
+                    secs * 1e3,
+                    report.power_w,
+                    report.energy_j,
+                    phase.mem.dram.bytes as f64 / secs / 1e9,
+                    base / secs,
+                ],
+            );
+        };
+        let base = conv.0.time.as_secs_f64();
+        push(format!("{app}: conventional"), &conv, base);
+        push(format!("{app}: PIM"), &pim, base);
+    }
+    t.note(format!(
+        "conventional = {}x 4-wide @2.4 GHz + L1/L2/L3 + 2ch DDR3; PIM = {}x 1-wide @1.0 GHz in-stack, 8 wide internal channels",
+        p.conventional_cores, p.pim_cores
+    ));
+    t.note("expected shape: PIM wins the bandwidth-bound solver (time and energy), conventional holds the compute-dense assembly");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pim_wins_bandwidth_loses_or_ties_compute() {
+        let t = run(&Params::quick());
+        let solver_speedup = t.get("HPCCG solve: PIM", "speedup_vs_conv");
+        let fea_speedup = t.get("miniFE FEA: PIM", "speedup_vs_conv");
+        assert!(
+            solver_speedup > 1.2,
+            "PIM must win the memory-bound solver: {solver_speedup}"
+        );
+        assert!(
+            fea_speedup < solver_speedup,
+            "PIM's edge must shrink on compute-dense work: fea {fea_speedup} vs solve {solver_speedup}"
+        );
+    }
+
+    #[test]
+    fn pim_is_more_energy_efficient_on_the_solver() {
+        let t = run(&Params::quick());
+        let e_conv = t.get("HPCCG solve: conventional", "energy_j");
+        let e_pim = t.get("HPCCG solve: PIM", "energy_j");
+        assert!(
+            e_pim < e_conv,
+            "PIM energy-to-solution must win on the solver: {e_pim} vs {e_conv}"
+        );
+    }
+
+    #[test]
+    fn bandwidth_delivered_is_higher_on_pim_solver() {
+        let t = run(&Params::quick());
+        assert!(
+            t.get("HPCCG solve: PIM", "GB/s") > t.get("HPCCG solve: conventional", "GB/s")
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! # sst-sim — system assembly and the experiment harness
+//!
+//! The top of the toolkit: machine presets ([`machines`]), the full DES
+//! component registry ([`registry`]), the validation-metric framework
+//! ([`validation`]), result tables ([`table`]), and one experiment runner
+//! per reproduced figure ([`experiments`]). The `sst` binary exposes all of
+//! it on the command line:
+//!
+//! ```text
+//! sst experiment fig10          # regenerate a figure (paper scale)
+//! sst experiment all --quick    # every figure, test scale
+//! sst run system.json           # run a JSON-configured simulation
+//! sst list-components           # registered DES component types
+//! sst list-miniapps             # the Table-1 workload registry
+//! ```
+
+pub mod experiments;
+pub mod machines;
+pub mod registry;
+pub mod table;
+pub mod validation;
+
+pub use registry::full_registry;
+pub use table::Table;

@@ -1,0 +1,205 @@
+//! Machine presets: the testbeds of the studies, as node and network
+//! configurations.
+
+use sst_core::time::Frequency;
+use sst_cpu::core::CoreConfig;
+use sst_cpu::node::NodeConfig;
+use sst_mem::cache::CacheConfig;
+use sst_mem::dram::DramConfig;
+use sst_mem::hierarchy::MemHierarchyConfig;
+use sst_net::network::NetConfig;
+
+/// A Cray-XE6-"Cielo"-like node: single-socket view of a 2.4 GHz
+/// Magny-Cours with `cores` active, 4 DDR3-1333 channels, 12-way-ish L3.
+pub fn xe6_node(cores: usize) -> NodeConfig {
+    NodeConfig {
+        core: CoreConfig::with_width(4, Frequency::ghz(2.4)),
+        cores,
+        mem: MemHierarchyConfig {
+            l1: CacheConfig::l1d_32k(),
+            l2: CacheConfig {
+                size_bytes: 512 << 10,
+                assoc: 8,
+                line_bytes: 64,
+                latency_cycles: 14,
+                write_back: true,
+            },
+            l3: Some(CacheConfig {
+                size_bytes: 6 << 20,
+                assoc: 12,
+                line_bytes: 64,
+                latency_cycles: 40,
+                write_back: true,
+            }),
+            l2_shared: false,
+            dram: DramConfig::ddr3_1333(4),
+        },
+    }
+}
+
+/// A Nehalem-like node (dual-socket quad-core in the memory-speed study):
+/// `cores` active, memory technology supplied by the caller.
+pub fn nehalem_node(cores: usize, dram: DramConfig) -> NodeConfig {
+    NodeConfig {
+        core: CoreConfig::with_width(4, Frequency::ghz(2.8)),
+        cores,
+        mem: MemHierarchyConfig {
+            l1: CacheConfig::l1d_32k(),
+            l2: CacheConfig::l2_256k(),
+            l3: Some(CacheConfig::l3_8m()),
+            l2_shared: false,
+            dram,
+        },
+    }
+}
+
+/// A hex-core Sandy-Bridge-EP-like node (E5-2680, the Fig. 8 CPU
+/// baseline).
+pub fn e5_node(cores: usize) -> NodeConfig {
+    NodeConfig {
+        core: CoreConfig::with_width(4, Frequency::ghz(2.7)),
+        cores,
+        mem: MemHierarchyConfig {
+            l1: CacheConfig::l1d_32k(),
+            l2: CacheConfig::l2_256k(),
+            l3: Some(CacheConfig {
+                size_bytes: 20 << 20,
+                assoc: 20,
+                line_bytes: 64,
+                latency_cycles: 40,
+                write_back: true,
+            }),
+            l2_shared: false,
+            dram: DramConfig::ddr3_1600(4),
+        },
+    }
+}
+
+/// The design-space-study node (Figs. 10–12): one core of the given issue
+/// width in front of a chosen memory technology — the gem5/x86 +
+/// DRAMSim2 configuration of the paper's exploration.
+pub fn dse_node(issue_width: u32, dram: DramConfig) -> NodeConfig {
+    // The gem5 cores of the study are out-of-order with deep MSHR files;
+    // give the stream-driven core matching memory aggressiveness so its
+    // demand actually exercises the memory technologies.
+    let mut core = CoreConfig::with_width(issue_width, Frequency::ghz(3.2));
+    core.mem_ports = issue_width.max(1);
+    core.max_outstanding = 4 + 6 * issue_width;
+    NodeConfig {
+        core,
+        cores: 1,
+        mem: MemHierarchyConfig {
+            l1: CacheConfig::l1d_32k(),
+            l2: CacheConfig::l2_256k(),
+            l3: None, // small exploration chip: L1+L2 only
+            l2_shared: false,
+            dram,
+        },
+    }
+}
+
+/// The memory technologies compared by the design-space study.
+pub fn dse_memories() -> Vec<DramConfig> {
+    // Single-channel DDR parts vs a two-channel GDDR5 stack: the
+    // exploration-point chip is small, so its memory system is narrow —
+    // which is what makes the technology choice matter.
+    vec![
+        DramConfig::ddr2_800(1),
+        DramConfig::ddr3_1333(1),
+        DramConfig::gddr5(2),
+    ]
+}
+
+/// XT5-like network (the bandwidth-degradation testbed).
+pub fn xt5_net() -> NetConfig {
+    NetConfig::xt5()
+}
+
+/// A conventional host processor for the novel-architecture comparison:
+/// a few wide out-of-order-ish cores behind a deep cache hierarchy and
+/// commodity DDR3.
+pub fn conventional_node(cores: usize) -> NodeConfig {
+    NodeConfig {
+        core: CoreConfig::with_width(4, Frequency::ghz(2.4)),
+        cores,
+        mem: MemHierarchyConfig {
+            l1: CacheConfig::l1d_32k(),
+            l2: CacheConfig::l2_256k(),
+            l3: Some(CacheConfig::l3_8m()),
+            l2_shared: false,
+            dram: DramConfig::ddr3_1333(2),
+        },
+    }
+}
+
+/// A processing-in-memory (PIM) part — the novel architecture the original
+/// SST work explored: many simple, slow, narrow cores placed *inside* the
+/// memory stack. Each core sees a shallow hierarchy (small L1 only) but
+/// enormous internal bandwidth at low latency: the DRAM "channels" here are
+/// on-die TSV-like links, wide and fast.
+pub fn pim_node(cores: usize) -> NodeConfig {
+    let mut core = CoreConfig::with_width(1, Frequency::ghz(1.0));
+    core.max_outstanding = 8;
+    let internal = DramConfig {
+        name: "PIM-internal x8".into(),
+        channels: 8,
+        ranks_per_channel: 1,
+        banks_per_rank: 32,
+        data_rate_mts: 1600.0,
+        bus_bytes: 16, // wide internal interface
+        burst_length: 4,
+        tcl_ns: 8.0, // no board crossing: row logic only
+        trcd_ns: 8.0,
+        trp_ns: 8.0,
+        tras_ns: 24.0,
+        row_bytes: 8 << 10,
+        e_act_nj: 6.0, // short wires
+        e_rd_nj: 1.5,
+        e_wr_nj: 1.7,
+        p_bg_mw_per_rank: 90.0,
+        cost_per_gb_usd: 14.0, // logic-in-memory process premium
+        capacity_gb: 8.0,
+        bank_hash: true,
+    };
+    NodeConfig {
+        core,
+        cores,
+        mem: MemHierarchyConfig {
+            l1: CacheConfig {
+                size_bytes: 16 << 10,
+                assoc: 4,
+                line_bytes: 64,
+                latency_cycles: 2,
+                write_back: true,
+            },
+            l2: CacheConfig {
+                // token 32 KiB buffer standing in for a scratch level; PIM
+                // parts carry almost no hierarchy.
+                size_bytes: 32 << 10,
+                assoc: 4,
+                line_bytes: 64,
+                latency_cycles: 4,
+                write_back: true,
+            },
+            l3: None,
+            l2_shared: false,
+            dram: internal,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_construct() {
+        assert_eq!(xe6_node(12).cores, 12);
+        assert_eq!(nehalem_node(4, DramConfig::ddr3_1066(3)).cores, 4);
+        assert_eq!(e5_node(6).core.freq.as_ghz(), 2.7);
+        let d = dse_node(8, DramConfig::gddr5(4));
+        assert_eq!(d.core.issue_width, 8);
+        assert!(d.mem.l3.is_none());
+        assert_eq!(dse_memories().len(), 3);
+    }
+}

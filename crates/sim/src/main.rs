@@ -1,0 +1,132 @@
+//! The `sst` command-line driver.
+
+use sst_core::prelude::*;
+use sst_sim::{experiments, full_registry};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:
+  sst experiment <id>|all [--quick] [--json]   regenerate a figure/table
+  sst run <config.json> [--until-ms N] [--ranks N]
+  sst list-components
+  sst list-miniapps
+  sst list-experiments"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags: Vec<&str> = args.iter().map(|s| s.as_str()).filter(|s| s.starts_with("--")).collect();
+    let pos: Vec<&str> = args.iter().map(|s| s.as_str()).filter(|s| !s.starts_with("--")).collect();
+    let quick = flags.contains(&"--quick");
+    let json = flags.contains(&"--json");
+
+    match pos.first().copied() {
+        Some("experiment") => {
+            let Some(&id) = pos.get(1) else {
+                return usage();
+            };
+            let ids: Vec<&str> = if id == "all" {
+                experiments::ALL.to_vec()
+            } else {
+                vec![id]
+            };
+            for id in ids {
+                eprintln!("[sst] running {id}{}...", if quick { " (quick)" } else { "" });
+                match experiments::run_by_name(id, quick) {
+                    Some(tables) => {
+                        for t in tables {
+                            if json {
+                                println!("{}", t.to_json());
+                            } else {
+                                println!("{t}");
+                            }
+                        }
+                    }
+                    None => {
+                        eprintln!("unknown experiment `{id}`; try `sst list-experiments`");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Some("run") => {
+            let Some(&path) = pos.get(1) else {
+                return usage();
+            };
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let cfg = match SystemConfig::from_json(&text) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("bad config: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let builder = match cfg.build(&full_registry()) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("cannot build system: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let until = args
+                .iter()
+                .position(|a| a == "--until-ms")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse::<u64>().ok());
+            let limit = match until {
+                Some(ms) => RunLimit::Until(SimTime::ms(ms)),
+                None => RunLimit::Exhaust,
+            };
+            let ranks = args
+                .iter()
+                .position(|a| a == "--ranks")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse::<u32>().ok())
+                .unwrap_or(1);
+            let report = if ranks > 1 {
+                ParallelEngine::new(builder, ranks).run(limit)
+            } else {
+                Engine::new(builder).run(limit)
+            };
+            println!(
+                "simulated {} ({} events, {} clock ticks, {} ranks, {:.1}k events/s)",
+                report.end_time,
+                report.events,
+                report.clock_ticks,
+                report.ranks,
+                report.events_per_sec() / 1e3
+            );
+            println!("{}", report.stats);
+            ExitCode::SUCCESS
+        }
+        Some("list-components") => {
+            for (name, desc) in full_registry().list() {
+                println!("{name:<20} {desc}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("list-miniapps") => {
+            for m in sst_workloads::all_miniapps() {
+                println!("{:<10} {:?}  {}", m.name, m.status, m.description);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("list-experiments") => {
+            for id in experiments::ALL {
+                println!("{id}");
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

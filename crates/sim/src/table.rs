@@ -1,0 +1,153 @@
+//! Result tables: the common output type of every experiment runner.
+//!
+//! A [`Table`] is what a paper figure's data underneath looks like: named
+//! rows × named columns of numbers, plus free-form notes. Tables render as
+//! aligned text (for the CLI) and serialize to JSON (for EXPERIMENTS.md
+//! tooling and tests).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One experiment's regenerated figure/table data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    pub title: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<Row>,
+    pub notes: Vec<String>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    pub label: String,
+    pub values: Vec<f64>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, columns: Vec<String>) -> Table {
+        Table {
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn cols(title: impl Into<String>, columns: &[&str]) -> Table {
+        Table::new(title, columns.iter().map(|s| s.to_string()).collect())
+    }
+
+    pub fn push(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        let label = label.into();
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row `{label}` width mismatch"
+        );
+        self.rows.push(Row { label, values });
+    }
+
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Value at (row label, column name); panics if absent (test helper).
+    pub fn get(&self, row: &str, col: &str) -> f64 {
+        let c = self
+            .columns
+            .iter()
+            .position(|x| x == col)
+            .unwrap_or_else(|| panic!("no column `{col}` in {:?}", self.columns));
+        let r = self
+            .rows
+            .iter()
+            .find(|r| r.label == row)
+            .unwrap_or_else(|| panic!("no row `{row}`"));
+        r.values[c]
+    }
+
+    /// A whole row by label.
+    pub fn row(&self, label: &str) -> &[f64] {
+        &self
+            .rows
+            .iter()
+            .find(|r| r.label == label)
+            .unwrap_or_else(|| panic!("no row `{label}`"))
+            .values
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serializes")
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .chain(std::iter::once(8))
+            .max()
+            .unwrap();
+        let col_w = self
+            .columns
+            .iter()
+            .map(|c| c.len().max(10))
+            .collect::<Vec<_>>();
+        write!(f, "{:<label_w$}", "")?;
+        for (c, w) in self.columns.iter().zip(&col_w) {
+            write!(f, "  {c:>w$}")?;
+        }
+        writeln!(f)?;
+        for r in &self.rows {
+            write!(f, "{:<label_w$}", r.label)?;
+            for (v, w) in r.values.iter().zip(&col_w) {
+                if v.abs() >= 1000.0 || (*v != 0.0 && v.abs() < 0.01) {
+                    write!(f, "  {v:>w$.3e}")?;
+                } else {
+                    write!(f, "  {v:>w$.3}")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut t = Table::cols("demo", &["a", "b"]);
+        t.push("row1", vec![1.0, 2.0]);
+        t.push("row2", vec![3.0, 4.5]);
+        assert_eq!(t.get("row2", "b"), 4.5);
+        assert_eq!(t.row("row1"), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::cols("demo", &["a", "b"]);
+        t.push("r", vec![1.0]);
+    }
+
+    #[test]
+    fn renders_and_serializes() {
+        let mut t = Table::cols("demo", &["x"]);
+        t.push("r", vec![1234.5]);
+        t.note("hello");
+        let s = t.to_string();
+        assert!(s.contains("demo") && s.contains("hello"));
+        let j = t.to_json();
+        let back: Table = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.get("r", "x"), 1234.5);
+    }
+}

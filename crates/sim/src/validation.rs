@@ -1,0 +1,193 @@
+//! The mini-app validation-metric framework (§2.2, Eqs. (1)–(5)).
+//!
+//! For a *performance domain* of diagnostics `{D}`, full-application
+//! referents `{B}` (Eq. 2) are compared with mini-app measurements `{A}`
+//! (Eq. 3) through a validation metric `X_i = B_i − A_i` (Eq. 4, here in
+//! proportional form), and each dimension receives a
+//! pass / caution / fail verdict against thresholds (Eq. 5). The paper is
+//! explicit that threshold choice embeds judgment; the thresholds are
+//! therefore data, not code.
+
+use crate::table::Table;
+use serde::{Deserialize, Serialize};
+
+/// Eq. (5)'s three-way assessment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    Pass,
+    Caution,
+    Fail,
+}
+
+impl Verdict {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verdict::Pass => "pass",
+            Verdict::Caution => "caution",
+            Verdict::Fail => "fail",
+        }
+    }
+    fn score(self) -> f64 {
+        match self {
+            Verdict::Pass => 1.0,
+            Verdict::Caution => 0.5,
+            Verdict::Fail => 0.0,
+        }
+    }
+}
+
+/// Acceptance bands on the proportional metric |X|/|B|.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Thresholds {
+    /// |X| below this is a pass.
+    pub pass: f64,
+    /// |X| below this (but above `pass`) is a caution; above is a fail.
+    pub caution: f64,
+}
+
+impl Thresholds {
+    pub fn new(pass: f64, caution: f64) -> Thresholds {
+        assert!(pass >= 0.0 && caution >= pass);
+        Thresholds { pass, caution }
+    }
+}
+
+/// One performance-domain dimension D_i with its referent and measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Diagnostic {
+    pub name: String,
+    /// B_i — the full application's observation.
+    pub referent: f64,
+    /// A_i — the mini-app's measurement.
+    pub measurement: f64,
+    pub thresholds: Thresholds,
+}
+
+impl Diagnostic {
+    pub fn new(
+        name: impl Into<String>,
+        referent: f64,
+        measurement: f64,
+        thresholds: Thresholds,
+    ) -> Diagnostic {
+        Diagnostic {
+            name: name.into(),
+            referent,
+            measurement,
+            thresholds,
+        }
+    }
+
+    /// X_i in proportional form: |B − A| / max(|B|, |A|, eps).
+    pub fn metric(&self) -> f64 {
+        let denom = self.referent.abs().max(self.measurement.abs()).max(1e-12);
+        (self.referent - self.measurement).abs() / denom
+    }
+
+    /// Eq. (5).
+    pub fn verdict(&self) -> Verdict {
+        let x = self.metric();
+        if x <= self.thresholds.pass {
+            Verdict::Pass
+        } else if x <= self.thresholds.caution {
+            Verdict::Caution
+        } else {
+            Verdict::Fail
+        }
+    }
+}
+
+/// A whole validation study: many diagnostics, one appraisal.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ValidationStudy {
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl ValidationStudy {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add(&mut self, d: Diagnostic) -> &mut Self {
+        self.diagnostics.push(d);
+        self
+    }
+
+    /// Fraction of diagnostics passing (caution counts half) — one way to
+    /// combine the V_i into a single appraisal; the paper leaves this
+    /// combination open, so it is reported alongside the raw verdicts.
+    pub fn aggregate_score(&self) -> f64 {
+        if self.diagnostics.is_empty() {
+            return 0.0;
+        }
+        self.diagnostics
+            .iter()
+            .map(|d| d.verdict().score())
+            .sum::<f64>()
+            / self.diagnostics.len() as f64
+    }
+
+    pub fn to_table(&self, title: &str) -> Table {
+        let mut t = Table::cols(title, &["B (app)", "A (miniapp)", "X (prop.)", "verdict"]);
+        for d in &self.diagnostics {
+            t.push(
+                d.name.clone(),
+                vec![
+                    d.referent,
+                    d.measurement,
+                    d.metric(),
+                    d.verdict().score(),
+                ],
+            );
+        }
+        t.note("verdict column: 1.0 = pass, 0.5 = caution, 0.0 = fail");
+        t.note(format!("aggregate score: {:.2}", self.aggregate_score()));
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_bands() {
+        let th = Thresholds::new(0.05, 0.20);
+        assert_eq!(Diagnostic::new("a", 1.0, 0.97, th).verdict(), Verdict::Pass);
+        assert_eq!(
+            Diagnostic::new("b", 1.0, 0.85, th).verdict(),
+            Verdict::Caution
+        );
+        assert_eq!(Diagnostic::new("c", 1.0, 0.5, th).verdict(), Verdict::Fail);
+    }
+
+    #[test]
+    fn metric_is_symmetric_and_bounded() {
+        let th = Thresholds::new(0.1, 0.2);
+        let d1 = Diagnostic::new("x", 2.0, 1.0, th);
+        let d2 = Diagnostic::new("y", 1.0, 2.0, th);
+        assert!((d1.metric() - d2.metric()).abs() < 1e-12);
+        assert!(d1.metric() <= 1.0);
+    }
+
+    #[test]
+    fn zero_referent_does_not_divide_by_zero() {
+        let d = Diagnostic::new("z", 0.0, 0.0, Thresholds::new(0.1, 0.2));
+        assert_eq!(d.metric(), 0.0);
+        assert_eq!(d.verdict(), Verdict::Pass);
+    }
+
+    #[test]
+    fn aggregate_and_table() {
+        let mut s = ValidationStudy::new();
+        let th = Thresholds::new(0.05, 0.2);
+        s.add(Diagnostic::new("good", 1.0, 1.0, th));
+        s.add(Diagnostic::new("meh", 1.0, 0.9, th));
+        s.add(Diagnostic::new("bad", 1.0, 0.1, th));
+        assert!((s.aggregate_score() - 0.5).abs() < 1e-12);
+        let t = s.to_table("demo");
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.get("good", "verdict"), 1.0);
+        assert_eq!(t.get("bad", "verdict"), 0.0);
+    }
+}

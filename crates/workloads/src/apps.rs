@@ -1,0 +1,424 @@
+//! The remaining application proxies: the ASC production codes of the
+//! bandwidth-degradation study (CTH, SAGE, xNOBEL) and the rest of the
+//! Mantevo mini-app table (miniMD, miniGhost, miniXyce, phdMesh, miniDSMC,
+//! miniAero, miniExDyn, miniITC).
+//!
+//! Each proxy supplies what the experiments need: a node-level instruction
+//! stream, a per-rank communication script, or both. Communication
+//! signatures follow the published characterizations — CTH and SAGE move
+//! few, very large messages per step (bandwidth-sensitive); Charon many
+//! small ones (latency-sensitive, see [`crate::charon`]); xNOBEL overlaps
+//! compute with medium messages until scale erodes the overlap window.
+
+use crate::streams::{FeaStream, SeqStream, SpmvStream, StencilStream, VectorStream};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sst_core::time::SimTime;
+use sst_cpu::isa::{Instr, InstrStream};
+use sst_net::mpi::{halo_exchange_3d, CommOp};
+
+pub use crate::minife::Problem;
+
+// ---------------------------------------------------------------------------
+// ASC production-code proxies (Fig. 9 workloads)
+// ---------------------------------------------------------------------------
+
+/// CTH (shock physics, structured AMR): per step, exchange *large* face
+/// blocks with all neighbors, then compute. Sends must complete before the
+/// step advances — no overlap — so runtime tracks injection bandwidth.
+pub fn cth_comm_script(
+    rank: u32,
+    dims: [u32; 3],
+    face_bytes: u64,
+    steps: u32,
+    compute: SimTime,
+) -> Vec<CommOp> {
+    let mut ops = Vec::new();
+    for _ in 0..steps {
+        ops.extend(halo_exchange_3d(rank, dims, face_bytes));
+        ops.push(CommOp::Compute(compute));
+    }
+    ops
+}
+
+/// SAGE (hydro with adaptive meshing): like CTH — bulk-synchronous large
+/// messages — plus a global reduction per step (load-balance metric).
+pub fn sage_comm_script(
+    rank: u32,
+    dims: [u32; 3],
+    face_bytes: u64,
+    steps: u32,
+    compute: SimTime,
+) -> Vec<CommOp> {
+    let mut ops = Vec::new();
+    for _ in 0..steps {
+        ops.extend(halo_exchange_3d(rank, dims, face_bytes));
+        ops.push(CommOp::Compute(compute));
+        ops.push(CommOp::Allreduce { bytes: 64 });
+    }
+    ops
+}
+
+/// xNOBEL: posts its sends, computes (overlapping the transfers), then
+/// waits. While the compute block exceeds the transfer time the messages
+/// are free; past that scale (or with degraded injection bandwidth) the
+/// wait becomes visible — the falloff the study saw past 384 cores.
+pub fn xnobel_comm_script(
+    rank: u32,
+    dims: [u32; 3],
+    msg_bytes: u64,
+    steps: u32,
+    compute: SimTime,
+) -> Vec<CommOp> {
+    let mut ops = Vec::new();
+    for _ in 0..steps {
+        // Sends first, compute in the middle, receives after: the executor
+        // charges transfer time in the background, so overlap is real.
+        let halo = halo_exchange_3d(rank, dims, msg_bytes);
+        let (sends, recvs): (Vec<_>, Vec<_>) = halo
+            .into_iter()
+            .partition(|o| matches!(o, CommOp::Send { .. }));
+        ops.extend(sends);
+        ops.push(CommOp::Compute(compute));
+        ops.extend(recvs);
+    }
+    ops
+}
+
+// ---------------------------------------------------------------------------
+// Remaining Mantevo mini-app proxies (Table 1)
+// ---------------------------------------------------------------------------
+
+/// miniMD: molecular-dynamics force computation — neighbor-list gathers
+/// within an L2-scale window, Lennard-Jones FLOPs, tiny halo traffic.
+pub struct MiniMdStream {
+    atoms: u64,
+    neighbors: u32,
+    i: u64,
+    slot: u32,
+    base: u64,
+    window: u64,
+    rng: SmallRng,
+    label: String,
+}
+
+impl MiniMdStream {
+    pub fn new(core: usize, atoms: u64, neighbors: u32) -> MiniMdStream {
+        MiniMdStream {
+            atoms,
+            neighbors,
+            i: 0,
+            slot: 0,
+            base: (core as u64 + 0x3D) << 36,
+            window: (atoms * 32).max(4096), // positions of nearby atoms
+            rng: SmallRng::seed_from_u64(core as u64 ^ 0x3D17),
+            label: "minimd.forces".into(),
+        }
+    }
+    fn per_atom(&self) -> u32 {
+        self.neighbors * 3 + 12 + 2
+    }
+}
+
+impl InstrStream for MiniMdStream {
+    fn next_instr(&mut self) -> Option<Instr> {
+        if self.i >= self.atoms {
+            return None;
+        }
+        let per = self.per_atom();
+        let slot = self.slot;
+        self.slot += 1;
+        if self.slot == per {
+            self.slot = 0;
+            self.i += 1;
+        }
+        let nb3 = self.neighbors * 3;
+        Some(if slot < nb3 {
+            match slot % 3 {
+                0 => {
+                    let off = (self.rng.gen::<u64>() % (self.window / 8)) * 8;
+                    Instr::load(self.base + off, 0)
+                }
+                1 => Instr::fmul(1), // dx*dx accumulation
+                _ => Instr::fadd(1),
+            }
+        } else if slot < nb3 + 12 {
+            // LJ force evaluation chain.
+            if slot % 2 == 0 {
+                Instr::fmul(1)
+            } else {
+                Instr::fadd(1)
+            }
+        } else if slot == nb3 + 12 {
+            Instr::store(self.base + (1 << 33) + self.i * 24)
+        } else {
+            Instr::alu()
+        })
+    }
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// miniMD communication: small position halos + one energy allreduce.
+pub fn minimd_comm_script(
+    rank: u32,
+    dims: [u32; 3],
+    halo_bytes: u64,
+    steps: u32,
+    compute: SimTime,
+) -> Vec<CommOp> {
+    let mut ops = Vec::new();
+    for _ in 0..steps {
+        ops.extend(halo_exchange_3d(rank, dims, halo_bytes));
+        ops.push(CommOp::Compute(compute));
+        ops.push(CommOp::Allreduce { bytes: 8 });
+    }
+    ops
+}
+
+/// miniGhost: pure FDM/FVM stencil sweeps with BSPMA halo exchange (the
+/// original "bulk synchronous parallel with message aggregation" proxy).
+pub fn minighost_stream(core: usize, p: Problem, vars: u64) -> Box<dyn InstrStream> {
+    let mut children: Vec<Box<dyn InstrStream>> = Vec::new();
+    for v in 0..vars {
+        children.push(Box::new(StencilStream::new(
+            "minighost.sweep",
+            p.elements(),
+            7, // 7-point stencil
+            10,
+            (p.nx * p.nx * 8).max(4096),
+            (core as u64 + 0x60 + v) << 36,
+        )));
+    }
+    Box::new(SeqStream::new("minighost", children))
+}
+
+pub fn minighost_comm_script(
+    rank: u32,
+    dims: [u32; 3],
+    face_bytes: u64,
+    steps: u32,
+    compute: SimTime,
+) -> Vec<CommOp> {
+    // Aggregated faces: one big message per neighbor per step.
+    cth_comm_script(rank, dims, face_bytes, steps, compute)
+}
+
+/// miniXyce: circuit (RC-ladder) simulation — very sparse, irregular
+/// matrix with short rows and latency-bound tiny messages.
+pub fn minixyce_stream(core: usize, nodes: u64, steps: u64) -> Box<dyn InstrStream> {
+    let mut children: Vec<Box<dyn InstrStream>> = Vec::new();
+    for s in 0..steps {
+        children.push(Box::new(SpmvStream::new(
+            "minixyce.mna",
+            nodes,
+            4, // RC ladder: ~4 nnz per row
+            nodes * 8,
+            (core as u64 + 0x8C) << 36,
+            core as u64 ^ s,
+        )));
+        children.push(Box::new(VectorStream::axpy(
+            "minixyce.update",
+            nodes,
+            ((core as u64 + 0x8C) << 36) + (3 << 34),
+            nodes * 8,
+        )));
+    }
+    Box::new(SeqStream::new("minixyce", children))
+}
+
+pub fn minixyce_comm_script(rank: u32, ranks: u32, steps: u32, compute: SimTime) -> Vec<CommOp> {
+    // Ring of tiny boundary exchanges + solver reduction.
+    let next = (rank + 1) % ranks;
+    let prev = (rank + ranks - 1) % ranks;
+    let mut ops = Vec::new();
+    for _ in 0..steps {
+        ops.push(CommOp::Send { to: next, bytes: 64 });
+        ops.push(CommOp::Send { to: prev, bytes: 64 });
+        ops.push(CommOp::Recv { from: prev });
+        ops.push(CommOp::Recv { from: next });
+        ops.push(CommOp::Compute(compute));
+        ops.push(CommOp::Allreduce { bytes: 8 });
+    }
+    ops
+}
+
+/// phdMesh: explicit FEM with contact detection — large irregular gathers
+/// (proximity search over an octree-ish working set).
+pub fn phdmesh_stream(core: usize, p: Problem) -> Box<dyn InstrStream> {
+    Box::new(FeaStream::new(
+        "phdmesh.contact",
+        p.elements(),
+        90, // geometric predicates, less dense than implicit FEA
+        p.rows() * 24,
+        p.matrix_bytes() * 2, // search structure is large and scattered
+        (core as u64 + 0xBD) << 36,
+        core as u64 ^ 0xBD,
+    ))
+}
+
+/// miniDSMC: direct-simulation Monte Carlo — random particle access and
+/// collision FLOPs (under development in the paper's table).
+pub fn minidsmc_stream(core: usize, particles: u64) -> Box<dyn InstrStream> {
+    Box::new(MiniMdStream {
+        atoms: particles,
+        neighbors: 6,
+        i: 0,
+        slot: 0,
+        base: (core as u64 + 0xD5) << 36,
+        window: (particles * 64).max(8192),
+        rng: SmallRng::seed_from_u64(core as u64 ^ 0xD5),
+        label: "minidsmc.collide".into(),
+    })
+}
+
+/// miniAero: explicit unstructured-grid aero/fluids (under development).
+pub fn miniaero_stream(core: usize, p: Problem) -> Box<dyn InstrStream> {
+    Box::new(StencilStream::new(
+        "miniaero.flux",
+        p.elements(),
+        16, // face-based flux gathers
+        60,
+        (p.nx * p.nx * 8).max(4096),
+        (core as u64 + 0xAE) << 36,
+    ))
+}
+
+/// miniExDyn: explicit-dynamics finite elements.
+pub fn miniexdyn_stream(core: usize, p: Problem) -> Box<dyn InstrStream> {
+    Box::new(FeaStream::new(
+        "miniexdyn.step",
+        p.elements(),
+        240,
+        p.rows() * 24,
+        p.rows() * 24, // explicit: scatter to nodal forces, not a matrix
+        (core as u64 + 0xED) << 36,
+        core as u64 ^ 0xED,
+    ))
+}
+
+/// miniITC: implicit thermal conduction — SpMV-dominated like HPCCG but on
+/// a 7-point operator.
+pub fn miniitc_stream(core: usize, p: Problem, iters: u64) -> Box<dyn InstrStream> {
+    let base = (core as u64 + 0x17C) << 36;
+    let mut children: Vec<Box<dyn InstrStream>> = Vec::new();
+    for it in 0..iters {
+        children.push(Box::new(SpmvStream::new(
+            "miniitc.spmv",
+            p.rows(),
+            7,
+            p.vector_bytes(),
+            base,
+            core as u64 ^ (it << 4),
+        )));
+        children.push(Box::new(VectorStream::dot(
+            "miniitc.dot",
+            p.rows(),
+            base + (3 << 34),
+            p.vector_bytes(),
+        )));
+    }
+    Box::new(SeqStream::new("miniitc", children))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sst_cpu::isa::Op;
+
+    fn drain(mut s: Box<dyn InstrStream>) -> Vec<Instr> {
+        std::iter::from_fn(move || s.next_instr()).collect()
+    }
+
+    #[test]
+    fn cth_moves_much_more_data_than_charon_style_halos() {
+        let cth = cth_comm_script(0, [2, 2, 2], 2 << 20, 1, SimTime::us(1));
+        let bytes: u64 = cth
+            .iter()
+            .filter_map(|o| match o {
+                CommOp::Send { bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(bytes, 6 * (2 << 20));
+    }
+
+    #[test]
+    fn xnobel_computes_between_sends_and_recvs() {
+        let ops = xnobel_comm_script(0, [2, 2, 2], 512 << 10, 1, SimTime::ms(1));
+        let send_pos = ops
+            .iter()
+            .position(|o| matches!(o, CommOp::Send { .. }))
+            .unwrap();
+        let compute_pos = ops
+            .iter()
+            .position(|o| matches!(o, CommOp::Compute(_)))
+            .unwrap();
+        let recv_pos = ops
+            .iter()
+            .position(|o| matches!(o, CommOp::Recv { .. }))
+            .unwrap();
+        assert!(send_pos < compute_pos && compute_pos < recv_pos);
+    }
+
+    #[test]
+    fn minimd_gathers_within_window() {
+        let s = MiniMdStream::new(0, 200, 20);
+        let base = s.base;
+        let window = s.window;
+        for i in drain(Box::new(s)) {
+            if i.op == Op::Load && i.addr < base + (1 << 33) {
+                assert!(i.addr >= base && i.addr < base + window);
+            }
+        }
+    }
+
+    #[test]
+    fn all_table1_streams_produce_instructions() {
+        let p = Problem::new(6);
+        let streams: Vec<Box<dyn InstrStream>> = vec![
+            Box::new(MiniMdStream::new(0, 100, 10)),
+            minighost_stream(0, p, 2),
+            minixyce_stream(0, 200, 2),
+            phdmesh_stream(0, p),
+            minidsmc_stream(0, 100),
+            miniaero_stream(0, p),
+            miniexdyn_stream(0, p),
+            miniitc_stream(0, p, 2),
+        ];
+        for s in streams {
+            let label = s.label().to_string();
+            let v = drain(s);
+            assert!(!v.is_empty(), "{label} produced nothing");
+        }
+    }
+
+    #[test]
+    fn comm_scripts_run_clean() {
+        use sst_net::mpi::MpiSim;
+        use sst_net::network::{NetConfig, Network};
+        use sst_net::topology::Torus3D;
+        let p = 8u32;
+        let dims = [2, 2, 2];
+        for mk in [
+            cth_comm_script as fn(u32, [u32; 3], u64, u32, SimTime) -> Vec<CommOp>,
+            sage_comm_script,
+            xnobel_comm_script,
+            minimd_comm_script,
+            minighost_comm_script,
+        ] {
+            let mut net = Network::new(Box::new(Torus3D::fitting(p)), NetConfig::xt5());
+            let scripts: Vec<_> = (0..p)
+                .map(|r| mk(r, dims, 64 << 10, 2, SimTime::us(30)))
+                .collect();
+            let run = MpiSim::new(&mut net, 1).run(scripts);
+            assert!(run.end_time > SimTime::ZERO);
+        }
+        let mut net = Network::new(Box::new(Torus3D::fitting(p)), NetConfig::xt5());
+        let scripts: Vec<_> = (0..p)
+            .map(|r| minixyce_comm_script(r, p, 2, SimTime::us(5)))
+            .collect();
+        assert!(MpiSim::new(&mut net, 1).run(scripts).messages > 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! HPCCG proxy: the original Mantevo mini-app — a sparse
+//! preconditioned-iterative-method (Krylov) kernel on a 27-point problem.
+//!
+//! HPCCG is essentially "the solver phase alone": SpMV + dot + AXPY
+//! per iteration with a ring halo. It is one of the two mini-apps in the
+//! SST memory-technology / issue-width design-space study (Figs. 10–12),
+//! where its low FLOP:byte ratio makes it the *bandwidth-hungry* pole of
+//! the comparison.
+
+use crate::streams::{SeqStream, SpmvStream, VectorStream};
+use sst_core::time::SimTime;
+use sst_cpu::isa::InstrStream;
+use sst_net::mpi::{halo_exchange_3d, CommOp};
+
+pub use crate::minife::Problem;
+
+fn arena(core: usize) -> u64 {
+    (core as u64 + 0x11) << 36
+}
+
+/// `iters` iterations of CG on `nx³` rows per core.
+pub fn solver(core: usize, p: Problem, iters: u64) -> Box<dyn InstrStream> {
+    let base = arena(core);
+    let n = p.rows();
+    let mut children: Vec<Box<dyn InstrStream>> = Vec::new();
+    for it in 0..iters {
+        children.push(Box::new(SpmvStream::new(
+            "hpccg.spmv",
+            n,
+            27,
+            p.vector_bytes(),
+            base,
+            core as u64 ^ (it << 8),
+        )));
+        children.push(Box::new(VectorStream::dot(
+            "hpccg.dot",
+            n,
+            base + (3 << 34),
+            p.vector_bytes(),
+        )));
+        for k in 0..2u64 {
+            children.push(Box::new(VectorStream::axpy(
+                "hpccg.axpy",
+                n,
+                base + ((4 + k) << 34),
+                p.vector_bytes(),
+            )));
+        }
+    }
+    Box::new(SeqStream::new("hpccg.solver", children))
+}
+
+/// Per-rank communication: halo + one allreduce per iteration.
+pub fn comm_script(
+    rank: u32,
+    dims: [u32; 3],
+    face_bytes: u64,
+    iters: u32,
+    compute: SimTime,
+) -> Vec<CommOp> {
+    let mut ops = Vec::new();
+    for _ in 0..iters {
+        ops.extend(halo_exchange_3d(rank, dims, face_bytes));
+        ops.push(CommOp::Compute(compute));
+        ops.push(CommOp::Allreduce { bytes: 8 });
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sst_cpu::isa::Op;
+
+    #[test]
+    fn solver_is_memory_bound_mix() {
+        let mut s = solver(0, Problem::new(8), 2);
+        let (mut flops, mut loads) = (0u64, 0u64);
+        while let Some(i) = s.next_instr() {
+            if i.op.is_flop() {
+                flops += 1;
+            }
+            if i.op == Op::Load {
+                loads += 1;
+            }
+        }
+        assert!(loads > 0 && flops > 0);
+        // bytes moved >> flops: loads * 8 / flops > 3
+        assert!((loads * 8) as f64 / flops as f64 > 3.0);
+    }
+
+    #[test]
+    fn comm_script_shape() {
+        let ops = comm_script(0, [2, 2, 2], 16 << 10, 5, SimTime::us(10));
+        let allreduces = ops
+            .iter()
+            .filter(|o| matches!(o, CommOp::Allreduce { .. }))
+            .count();
+        assert_eq!(allreduces, 5);
+    }
+}

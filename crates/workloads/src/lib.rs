@@ -1,0 +1,28 @@
+//! # sst-workloads — mini-application proxies
+//!
+//! Workload frontends for the SST reproduction: Mantevo-style
+//! mini-application *proxies*, each a generator of calibrated instruction
+//! streams (for the node/processor models), communication scripts (for the
+//! network models), and — where the studies need them — GPU kernel
+//! descriptors.
+//!
+//! The proxies substitute for the real applications and mini-apps of the
+//! studies (which need real inputs and testbeds); each captures the
+//! published performance signature of its parent: op mix, FLOP:byte ratio,
+//! working-set structure, and message size/count behavior. See DESIGN.md's
+//! substitution table.
+//!
+//! * [`streams`] — composable kernel generators (SpMV, stencil, FEA, …).
+//! * [`registry`] — the enumerable mini-app table (Table 1).
+//! * [`minife`], [`hpccg`], [`charon`], [`lulesh`], [`apps`] — the proxies.
+
+pub mod apps;
+pub mod charon;
+pub mod hpccg;
+pub mod lulesh;
+pub mod minife;
+pub mod registry;
+pub mod streams;
+
+pub use minife::Problem;
+pub use registry::{all as all_miniapps, find as find_miniapp, MiniappInfo, Status};

@@ -1,0 +1,120 @@
+//! LULESH proxy: the Livermore unstructured Lagrangian explicit
+//! shock-hydrodynamics challenge problem.
+//!
+//! The second mini-app of the design-space study (Figs. 10–12): explicit
+//! hydro with heavy per-zone floating-point work and plane-reuse stencil
+//! access — noticeably more compute-dense than HPCCG, so it benefits more
+//! from wide cores and less (relatively) from extreme memory bandwidth.
+
+use crate::streams::{SeqStream, StencilStream, VectorStream};
+use sst_core::time::SimTime;
+use sst_cpu::isa::InstrStream;
+use sst_net::mpi::{halo_exchange_3d, CommOp};
+
+pub use crate::minife::Problem;
+
+fn arena(core: usize) -> u64 {
+    (core as u64 + 0x77) << 36
+}
+
+/// `steps` explicit timesteps over `nx³` zones per core.
+pub fn hydro(core: usize, p: Problem, steps: u64) -> Box<dyn InstrStream> {
+    let zones = p.elements();
+    let plane = (p.nx * p.nx * 8).max(4096);
+    let mut children: Vec<Box<dyn InstrStream>> = Vec::new();
+    for step in 0..steps {
+        // Stress/hourglass force computation: 24-point gather, ~180 flops.
+        children.push(Box::new(StencilStream::new(
+            "lulesh.forces",
+            zones,
+            24,
+            120,
+            plane,
+            arena(core) + (step % 2) * (1 << 33),
+        )));
+        // Equation of state + field updates: hydro carries dozens of
+        // zone-centered arrays; stream several of them per step.
+        for field in 0..5u64 {
+            children.push(Box::new(VectorStream::axpy(
+                "lulesh.eos",
+                zones,
+                arena(core) + ((4 + field) << 34),
+                (zones * 8).max(1 << 16),
+            )));
+        }
+    }
+    Box::new(SeqStream::new("lulesh.hydro", children))
+}
+
+/// Per-rank communication: 26-neighbor-ish halo approximated by faces,
+/// plus the dt allreduce each step.
+pub fn comm_script(
+    rank: u32,
+    dims: [u32; 3],
+    face_bytes: u64,
+    steps: u32,
+    compute: SimTime,
+) -> Vec<CommOp> {
+    let mut ops = Vec::new();
+    for _ in 0..steps {
+        ops.extend(halo_exchange_3d(rank, dims, face_bytes));
+        ops.push(CommOp::Compute(compute));
+        ops.push(CommOp::Allreduce { bytes: 8 }); // dt reduction
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sst_cpu::isa::Op;
+
+    #[test]
+    fn hydro_is_more_compute_dense_than_hpccg() {
+        let density = |mut s: Box<dyn InstrStream>| {
+            let (mut flops, mut mems) = (0u64, 0u64);
+            while let Some(i) = s.next_instr() {
+                if i.op.is_flop() {
+                    flops += 1;
+                }
+                if i.op.is_mem() {
+                    mems += 1;
+                }
+            }
+            flops as f64 / mems as f64
+        };
+        let p = Problem::new(8);
+        let lulesh = density(hydro(0, p, 1));
+        let hpccg = density(crate::hpccg::solver(0, p, 1));
+        assert!(
+            lulesh > 1.8 * hpccg,
+            "lulesh density {lulesh} vs hpccg {hpccg}"
+        );
+    }
+
+    #[test]
+    fn steps_scale_length() {
+        let count = |steps| {
+            let mut s = hydro(0, Problem::new(6), steps);
+            std::iter::from_fn(move || s.next_instr()).count()
+        };
+        assert_eq!(count(4), 2 * count(2));
+    }
+
+    #[test]
+    fn comm_has_dt_reduction() {
+        let ops = comm_script(0, [2, 2, 1], 8 << 10, 3, SimTime::us(5));
+        assert_eq!(
+            ops.iter()
+                .filter(|o| matches!(o, CommOp::Allreduce { .. }))
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn load_op_sanity() {
+        let mut s = hydro(0, Problem::new(4), 1);
+        assert!(std::iter::from_fn(move || s.next_instr()).any(|i| i.op == Op::Load));
+    }
+}

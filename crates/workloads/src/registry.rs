@@ -1,0 +1,166 @@
+//! The mini-app registry — Table 1 of the paper, enumerable at runtime
+//! (`sst list-miniapps`).
+
+use serde::{Deserialize, Serialize};
+
+/// Development status as given in the paper's table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Status {
+    Released,
+    New,
+    UnderDevelopment,
+    /// Not a Mantevo mini-app: a production application proxy used by the
+    /// experiments (Charon, CTH, SAGE, xNOBEL, LULESH).
+    AppProxy,
+}
+
+/// One registry entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MiniappInfo {
+    pub name: &'static str,
+    pub description: &'static str,
+    pub status: Status,
+    /// Module implementing the proxy in this crate.
+    pub module: &'static str,
+}
+
+/// Every workload proxy this crate implements: the full Mantevo table plus
+/// the production-application proxies the experiments need.
+pub fn all() -> Vec<MiniappInfo> {
+    vec![
+        MiniappInfo {
+            name: "HPCCG",
+            description: "Sparse linear algebra (Krylov) solver",
+            status: Status::Released,
+            module: "hpccg",
+        },
+        MiniappInfo {
+            name: "miniFE",
+            description: "Unstructured implicit FEM/FVM",
+            status: Status::Released,
+            module: "minife",
+        },
+        MiniappInfo {
+            name: "phdMesh",
+            description: "Explicit FEM, contact detection",
+            status: Status::Released,
+            module: "apps",
+        },
+        MiniappInfo {
+            name: "miniMD",
+            description: "Molecular dynamics for force computations",
+            status: Status::Released,
+            module: "apps",
+        },
+        MiniappInfo {
+            name: "miniXyce",
+            description: "Circuit RC ladder",
+            status: Status::Released,
+            module: "apps",
+        },
+        MiniappInfo {
+            name: "miniExDyn",
+            description: "Explicit Dynamics Finite Element",
+            status: Status::New,
+            module: "apps",
+        },
+        MiniappInfo {
+            name: "miniITC",
+            description: "Implicit Thermal Conduction Finite Element",
+            status: Status::New,
+            module: "apps",
+        },
+        MiniappInfo {
+            name: "miniGhost",
+            description: "FDM/FVM",
+            status: Status::New,
+            module: "apps",
+        },
+        MiniappInfo {
+            name: "miniAero",
+            description: "Aero/fluids",
+            status: Status::UnderDevelopment,
+            module: "apps",
+        },
+        MiniappInfo {
+            name: "miniDSMC",
+            description: "Particle-based simulation of low-density fluids",
+            status: Status::UnderDevelopment,
+            module: "apps",
+        },
+        MiniappInfo {
+            name: "LULESH",
+            description: "Hydrodynamics challenge problem (LLNL)",
+            status: Status::AppProxy,
+            module: "lulesh",
+        },
+        MiniappInfo {
+            name: "Charon",
+            description: "Semiconductor device simulation (drift-diffusion FEM)",
+            status: Status::AppProxy,
+            module: "charon",
+        },
+        MiniappInfo {
+            name: "CTH",
+            description: "Shock physics with structured AMR",
+            status: Status::AppProxy,
+            module: "apps",
+        },
+        MiniappInfo {
+            name: "SAGE",
+            description: "Adaptive-grid Eulerian hydrodynamics",
+            status: Status::AppProxy,
+            module: "apps",
+        },
+        MiniappInfo {
+            name: "xNOBEL",
+            description: "Eulerian solid dynamics with comm/compute overlap",
+            status: Status::AppProxy,
+            module: "apps",
+        },
+    ]
+}
+
+/// Look up one entry by (case-insensitive) name.
+pub fn find(name: &str) -> Option<MiniappInfo> {
+    all().into_iter().find(|m| m.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_mantevo_entries_present() {
+        // The ten Mantevo rows of Table 1.
+        for name in [
+            "HPCCG", "miniFE", "phdMesh", "miniMD", "miniXyce", "miniExDyn", "miniITC",
+            "miniGhost", "miniAero", "miniDSMC",
+        ] {
+            assert!(find(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn statuses_match_paper_annotations() {
+        assert_eq!(find("miniGhost").unwrap().status, Status::New);
+        assert_eq!(find("miniAero").unwrap().status, Status::UnderDevelopment);
+        assert_eq!(find("HPCCG").unwrap().status, Status::Released);
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert!(find("minife").is_some());
+        assert!(find("MINIFE").is_some());
+        assert!(find("nonexistent").is_none());
+    }
+
+    #[test]
+    fn no_duplicate_names() {
+        let names: Vec<_> = all().iter().map(|m| m.name.to_lowercase()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len());
+    }
+}

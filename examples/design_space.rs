@@ -1,0 +1,54 @@
+//! Design-space exploration: the paper's memory-technology × issue-width
+//! study (Figs. 10–12) at a reduced scale — which memory (DDR2, DDR3,
+//! GDDR5) and which core width is *best* depends on whether you rank by
+//! performance, performance-per-Watt, or performance-per-Dollar.
+//!
+//! ```text
+//! cargo run --release -p sst-examples --example design_space
+//! ```
+
+use sst_sim::experiments::dse;
+
+fn main() {
+    let params = dse::Params {
+        widths: vec![1, 2, 4, 8],
+        nx: 12,
+        nx_lulesh: 20,
+        hpccg_iters: 4,
+        lulesh_steps: 3,
+    };
+    println!("sweeping {{DDR2, DDR3, GDDR5}} x issue widths {:?}...", params.widths);
+    let points = dse::sweep(&params);
+
+    println!("\n{}", dse::fig10(&points, &params));
+    println!("{}", dse::fig11(&points, &params));
+    println!("{}", dse::fig12(&points, &params));
+
+    // The co-design takeaway, computed rather than asserted:
+    for app in ["HPCCG", "LULESH"] {
+        let best_perf = points
+            .iter()
+            .filter(|p| p.app == app)
+            .max_by(|a, b| a.report.perf.total_cmp(&b.report.perf))
+            .unwrap();
+        let best_ppw = points
+            .iter()
+            .filter(|p| p.app == app)
+            .max_by(|a, b| a.report.perf_per_watt().total_cmp(&b.report.perf_per_watt()))
+            .unwrap();
+        let best_ppd = points
+            .iter()
+            .filter(|p| p.app == app)
+            .max_by(|a, b| {
+                a.report
+                    .perf_per_dollar()
+                    .total_cmp(&b.report.perf_per_dollar())
+            })
+            .unwrap();
+        println!(
+            "{app}: fastest = {} {}-wide; most power-efficient = {} {}-wide; most cost-efficient = {} {}-wide",
+            best_perf.mem, best_perf.width, best_ppw.mem, best_ppw.width, best_ppd.mem, best_ppd.width
+        );
+    }
+    println!("\n(the fastest memory is not always the best — the point of the study)");
+}

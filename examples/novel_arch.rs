@@ -1,0 +1,29 @@
+//! Novel-architecture exploration: the kind of study the original SST was
+//! built for — evaluate a processing-in-memory (PIM) design against a
+//! conventional node, on both a bandwidth-bound solver and a compute-dense
+//! assembly kernel, with performance, power, and energy-to-solution.
+//!
+//! ```text
+//! cargo run --release -p sst-examples --example novel_arch
+//! ```
+
+use sst_sim::experiments::pim;
+
+fn main() {
+    let params = pim::Params {
+        conventional_cores: 4,
+        pim_cores: 16,
+        nx_total: 28,
+        solver_iters: 3,
+    };
+    println!(
+        "comparing {} conventional cores vs {} in-memory cores...\n",
+        params.conventional_cores, params.pim_cores
+    );
+    let table = pim::run(&params);
+    println!("{table}");
+    println!("The trade-off the study exposes:");
+    println!("  - sparse solvers are starved for bytes: PIM's in-stack bandwidth wins outright;");
+    println!("  - dense assembly is starved for FLOPs: many weak cores merely keep up;");
+    println!("  - energy-to-solution favors PIM wherever the bytes dominate.");
+}

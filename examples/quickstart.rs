@@ -1,0 +1,80 @@
+//! Quickstart: build a tiny simulated system — a stream-driven processor,
+//! an L1 cache, and a DDR3 memory controller — run it to completion, and
+//! read the statistics.
+//!
+//! ```text
+//! cargo run --release -p sst-examples --example quickstart
+//! ```
+
+use sst_core::prelude::*;
+use sst_cpu::components::CoreComponent;
+use sst_cpu::isa::{AddrPattern, KernelSpec};
+use sst_mem::components::{CacheComponent, MemoryComponent};
+use sst_mem::{CacheConfig, DramConfig};
+
+fn main() {
+    // 1. Describe a workload: a streaming triad-like kernel.
+    let kernel = KernelSpec {
+        label: "triad".into(),
+        iters: 50_000,
+        loads: 2,
+        stores: 1,
+        flops: 2,
+        ialu: 1,
+        flop_dep: 0,
+        load_pattern: AddrPattern::Stream {
+            base: 0,
+            stride: 8,
+            span: 32 << 20, // 32 MiB working set: streams from DRAM
+        },
+        store_pattern: AddrPattern::Stream {
+            base: 1 << 30,
+            stride: 8,
+            span: 32 << 20,
+        },
+        mispredict_every: 0,
+        seed: 42,
+    };
+
+    // 2. Assemble the system: components connected by links with latency.
+    let mut b = SystemBuilder::new();
+    let cpu = b.add(
+        "cpu0",
+        CoreComponent::new(Box::new(kernel.stream()), Frequency::ghz(2.0), 4),
+    );
+    let l1 = b.add(
+        "l1",
+        CacheComponent::new(CacheConfig::l1d_32k(), SimTime::ns(1)),
+    );
+    let mem = b.add("mem", MemoryComponent::new(DramConfig::ddr3_1333(2)));
+    b.link((cpu, CoreComponent::MEM), (l1, CacheComponent::CPU), SimTime::ns(1));
+    b.link(
+        (l1, CacheComponent::MEM),
+        (mem, MemoryComponent::BUS),
+        SimTime::ns(5),
+    );
+
+    // 3. Run the discrete-event simulation to completion.
+    let report = Engine::new(b).run(RunLimit::Exhaust);
+
+    // 4. Read the results.
+    println!(
+        "simulated {} in {:.1} ms of wall time ({:.0}k events/s)",
+        report.end_time,
+        report.wall_seconds * 1e3,
+        report.events_per_sec() / 1e3
+    );
+    let hits = report.stats.counter("l1", "hits");
+    let misses = report.stats.counter("l1", "misses");
+    println!(
+        "L1: {hits} hits / {misses} misses ({:.1}% hit rate)",
+        100.0 * hits as f64 / (hits + misses) as f64
+    );
+    println!(
+        "DRAM: {} reads, {} writes, mean latency {:.1} ns",
+        report.stats.counter("mem", "reads"),
+        report.stats.counter("mem", "writes"),
+        report.stats.mean("mem", "latency_ns").unwrap_or(0.0)
+    );
+    println!("\nfull statistics table:\n{}", report.stats);
+}

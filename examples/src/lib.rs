@@ -1,0 +1,1 @@
+//! Helper crate anchoring the runnable examples (see the [[example]] targets).

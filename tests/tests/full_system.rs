@@ -1,0 +1,155 @@
+//! Full-system integration: processor + cache + memory component chains
+//! assembled three ways — programmatically, from JSON configs, and across
+//! parallel ranks — must all tell the same story.
+
+use sst_core::prelude::*;
+use sst_cpu::components::CoreComponent;
+use sst_cpu::isa::{AddrPattern, KernelSpec};
+use sst_mem::components::{CacheComponent, MemoryComponent};
+use sst_mem::{CacheConfig, DramConfig};
+use sst_sim::full_registry;
+
+fn kernel(iters: u64, span: u64, seed: u64) -> KernelSpec {
+    KernelSpec {
+        label: "k".into(),
+        iters,
+        loads: 2,
+        stores: 1,
+        flops: 4,
+        ialu: 2,
+        flop_dep: 0,
+        load_pattern: AddrPattern::Stream {
+            base: 0,
+            stride: 64,
+            span,
+        },
+        store_pattern: AddrPattern::Stream {
+            base: 1 << 30,
+            stride: 64,
+            span,
+        },
+        mispredict_every: 0,
+        seed,
+    }
+}
+
+/// One core -> L1 -> L2 -> DRAM, wired by hand.
+fn chain_system(span: u64) -> SystemBuilder {
+    let mut b = SystemBuilder::new();
+    let l2 = b.add(
+        "l2",
+        CacheComponent::new(CacheConfig::l2_256k(), SimTime::ns(3)),
+    );
+    let mem = b.add("mem", MemoryComponent::new(DramConfig::ddr3_1333(2)));
+    b.link(
+        (l2, CacheComponent::MEM),
+        (mem, MemoryComponent::BUS),
+        SimTime::ns(5),
+    );
+    let cpu0 = b.add(
+        "cpu0",
+        CoreComponent::new(Box::new(kernel(400, span, 1).stream()), Frequency::ghz(2.0), 2),
+    );
+    let l1a = b.add(
+        "l1a",
+        CacheComponent::new(CacheConfig::l1d_32k(), SimTime::ns(1)),
+    );
+    b.link((cpu0, CoreComponent::MEM), (l1a, CacheComponent::CPU), SimTime::ns(1));
+    b.link((l1a, CacheComponent::MEM), (l2, CacheComponent::CPU), SimTime::ns(2));
+    b
+}
+
+#[test]
+fn three_level_chain_counts_consistent() {
+    let report = Engine::new(chain_system(1 << 22)).run(RunLimit::Exhaust);
+    let mem_ops = report.stats.counter("cpu0", "mem_ops");
+    assert_eq!(mem_ops, 400 * 3);
+    let l1_total =
+        report.stats.counter("l1a", "hits") + report.stats.counter("l1a", "misses");
+    assert_eq!(l1_total, mem_ops);
+    // Everything the L2 saw came from L1 misses (demand fetches +
+    // write-backs).
+    let l2_total = report.stats.counter("l2", "hits") + report.stats.counter("l2", "misses");
+    assert!(l2_total >= report.stats.counter("l1a", "misses"));
+    // DRAM saw every L2 miss.
+    assert!(
+        report.stats.counter("mem", "reads") + report.stats.counter("mem", "writes")
+            >= report.stats.counter("l2", "misses")
+    );
+}
+
+#[test]
+fn hot_working_set_stays_out_of_dram() {
+    let hot = Engine::new(chain_system(8 << 10)).run(RunLimit::Exhaust);
+    let cold = Engine::new(chain_system(16 << 20)).run(RunLimit::Exhaust);
+    let dram = |r: &SimReport| r.stats.counter("mem", "reads");
+    assert!(dram(&hot) * 4 < dram(&cold), "{} vs {}", dram(&hot), dram(&cold));
+    assert!(hot.end_time < cold.end_time);
+}
+
+#[test]
+fn parallel_full_system_identical_to_serial() {
+    let serial = Engine::new(chain_system(1 << 20)).run(RunLimit::Exhaust);
+    for ranks in [2u32, 3] {
+        let par = ParallelEngine::new(chain_system(1 << 20), ranks).run(RunLimit::Exhaust);
+        assert_eq!(par.end_time, serial.end_time, "ranks={ranks}");
+        for (owner, stat) in [
+            ("cpu0", "mem_ops"),
+            ("l1a", "hits"),
+            ("l1a", "misses"),
+            ("l2", "hits"),
+            ("l2", "misses"),
+            ("mem", "reads"),
+            ("mem", "writes"),
+        ] {
+            assert_eq!(
+                par.stats.counter(owner, stat),
+                serial.stats.counter(owner, stat),
+                "ranks={ranks} {owner}.{stat}"
+            );
+        }
+    }
+}
+
+#[test]
+fn json_config_matches_programmatic_build() {
+    let json = r#"{
+        "seed": 99,
+        "components": [
+            {"name": "cpu0", "type": "cpu.stream_core",
+             "params": {"iters": 300, "span": 4194304, "stride": 8, "ghz": 2.0, "issue_width": 2}},
+            {"name": "l1", "type": "mem.cache",
+             "params": {"size_bytes": 32768, "assoc": 8, "latency_ns": 1.0}},
+            {"name": "mem", "type": "mem.dram", "params": {"preset": "ddr3_1333", "channels": 2}}
+        ],
+        "links": [
+            {"from": "cpu0.mem", "to": "l1.cpu", "latency_ns": 1.0},
+            {"from": "l1.mem", "to": "mem.bus", "latency_ns": 5.0}
+        ]
+    }"#;
+    let cfg = SystemConfig::from_json(json).unwrap();
+    let report = Engine::new(cfg.build(&full_registry()).unwrap()).run(RunLimit::Exhaust);
+    assert_eq!(report.stats.counter("cpu0", "mem_ops"), 300 * 3);
+    assert!(report.stats.counter("l1", "hits") > 0);
+    assert!(report.stats.counter("mem", "reads") > 0);
+}
+
+#[test]
+fn config_driven_run_respects_time_limit() {
+    let json = r#"{
+        "components": [
+            {"name": "cpu0", "type": "cpu.stream_core", "params": {"iters": 100000000}},
+            {"name": "l1", "type": "mem.cache", "params": {}},
+            {"name": "mem", "type": "mem.dram", "params": {}}
+        ],
+        "links": [
+            {"from": "cpu0.mem", "to": "l1.cpu", "latency_ns": 1.0},
+            {"from": "l1.mem", "to": "mem.bus", "latency_ns": 5.0}
+        ]
+    }"#;
+    let cfg = SystemConfig::from_json(json).unwrap();
+    let report = Engine::new(cfg.build(&full_registry()).unwrap())
+        .run(RunLimit::Until(SimTime::us(50)));
+    assert_eq!(report.end_time, SimTime::us(50));
+    assert!(report.events > 0);
+}

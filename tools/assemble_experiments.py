@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Assemble EXPERIMENTS.md's measured-output appendix from the experiment
+runs: takes the `sst experiment all` capture, splices in the re-run fig03
+and validate tables, and embeds the result into EXPERIMENTS.md."""
+
+import re
+import sys
+
+all_out = open("experiment_all_output.txt").read()
+fig03 = open("fig03_new.txt").read().strip()
+validate = open("validate_new.txt").read().strip()
+
+
+def replace_section(text, header_prefix, new_block):
+    # Sections start with "== <title> ==" and run until the next "== " line.
+    pattern = re.compile(
+        r"^== " + re.escape(header_prefix) + r".*?(?=^== |\Z)", re.S | re.M
+    )
+    assert pattern.search(text), f"section {header_prefix!r} not found"
+    return pattern.sub(new_block.rstrip() + "\n\n", text, count=1)
+
+
+all_out = replace_section(all_out, "Fig 3", fig03)
+all_out = replace_section(all_out, "E12", validate)
+open("experiment_all_output.txt", "w").write(all_out)
+
+md = open("EXPERIMENTS.md").read()
+marker = "# Measured output (verbatim `sst experiment all`)"
+head = md.split(marker)[0]
+md = head + marker + "\n\n```\n" + all_out.strip() + "\n```\n"
+open("EXPERIMENTS.md", "w").write(md)
+print("EXPERIMENTS.md assembled:", len(md), "bytes")
