@@ -1,0 +1,209 @@
+//! Offline stand-in for the subset of the `criterion` benchmark API that
+//! sst-rs uses. It really measures (warmup, then a timed batch sized from
+//! the warmup estimate) but does none of criterion's statistics, HTML
+//! reports, or baseline comparison — results are printed to stdout as
+//! `name ... time: <t>/iter`.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const WARMUP: Duration = Duration::from_millis(60);
+const MEASURE: Duration = Duration::from_millis(240);
+
+/// Work-rate annotation: printed as elements (or bytes) per second.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier with a parameter, e.g. `name/4`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    pub fn from_parameter(param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            full: param.to_string(),
+        }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the routine.
+pub struct Bencher {
+    samples: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: estimate the per-iteration cost.
+        let t0 = Instant::now();
+        let mut warm_iters = 0u64;
+        while t0.elapsed() < WARMUP {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter_ns = (t0.elapsed().as_nanos() as u64 / warm_iters.max(1)).max(1);
+
+        // Measured batch sized to roughly MEASURE.
+        let n = (MEASURE.as_nanos() as u64 / per_iter_ns).clamp(1, 10_000_000);
+        let t1 = Instant::now();
+        for _ in 0..n {
+            black_box(routine());
+        }
+        self.samples = Some((n, t1.elapsed()));
+    }
+}
+
+fn fmt_duration(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(name: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { samples: None };
+    f(&mut b);
+    match b.samples {
+        Some((iters, elapsed)) => {
+            let ns = elapsed.as_nanos() as f64 / iters as f64;
+            let mut line = format!("{name:<48} time: {:>12}/iter  ({iters} iters)", fmt_duration(ns));
+            if let Some(tp) = throughput {
+                let (count, unit) = match tp {
+                    Throughput::Elements(n) => (n, "elem"),
+                    Throughput::Bytes(n) => (n, "B"),
+                };
+                let rate = count as f64 / (ns / 1e9);
+                line.push_str(&format!("  {rate:.3e} {unit}/s"));
+            }
+            println!("{line}");
+        }
+        None => println!("{name:<48} (no measurement: bencher closure never called iter)"),
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion's sample count; this harness sizes batches by wall time, so
+    /// it is accepted and ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into());
+        run_one(&name, self.throughput, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.full);
+        run_one(&name, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry point handed to each benchmark function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&id.into(), None, &mut f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { samples: None };
+        b.iter(|| std::hint::black_box(3u64 * 7));
+        let (iters, elapsed) = b.samples.unwrap();
+        assert!(iters >= 1);
+        assert!(elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn group_chains() {
+        let mut c = Criterion::default();
+        c.benchmark_group("shim")
+            .sample_size(10)
+            .throughput(Throughput::Elements(10))
+            .bench_function("noop", |b| b.iter(|| 1u32 + 1));
+    }
+}

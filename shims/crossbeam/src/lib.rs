@@ -1,0 +1,126 @@
+//! Offline stand-in for the subset of `crossbeam` that sst-rs uses: MPMC-ish
+//! channels with timeouts. Backed by `std::sync::mpsc` with the receiver
+//! behind a mutex so `Receiver` can be `Sync` (the parallel engine hands each
+//! rank its own receiver, so the lock is uncontended in practice).
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Sending half (cloneable).
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+    }
+
+    /// Receiving half. Unlike `mpsc::Receiver`, this is `Sync`, matching
+    /// crossbeam's receiver.
+    pub struct Receiver<T> {
+        inner: Mutex<mpsc::Receiver<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.lock().recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.lock().try_recv()
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.lock().recv_timeout(timeout)
+        }
+
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter { rx: self }
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    /// Iterator over currently-available messages (non-blocking).
+    pub struct TryIter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.try_recv().ok()
+        }
+    }
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender { inner: tx },
+            Receiver {
+                inner: Mutex::new(rx),
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order() {
+        let (tx, rx) = channel::unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        let got: Vec<i32> = rx.try_iter().collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn timeout_when_empty() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        assert!(rx.recv_timeout(Duration::from_millis(1)).is_err());
+        drop(tx);
+        assert!(matches!(
+            rx.recv(),
+            Err(channel::RecvError)
+        ));
+    }
+
+    #[test]
+    fn cross_thread() {
+        let (tx, rx) = channel::unbounded();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..100u64 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut sum = 0;
+            for _ in 0..100 {
+                sum += rx.recv().unwrap();
+            }
+            assert_eq!(sum, 4950);
+        });
+    }
+}

@@ -1,0 +1,268 @@
+//! Offline stand-in for the subset of the `rand` crate API that sst-rs uses.
+//!
+//! The container this repo builds in has no crates.io access, so the real
+//! `rand` cannot be fetched. This crate provides a drop-in replacement for
+//! the pieces the simulator needs — `rngs::SmallRng`, `Rng::gen`,
+//! `Rng::gen_range`, `Rng::gen_bool`, and `SeedableRng::seed_from_u64` —
+//! backed by xoshiro256++ seeded through SplitMix64.
+//!
+//! The stream is *not* bit-compatible with upstream `rand`'s `SmallRng`;
+//! nothing in the repo depends on the exact values, only on determinism
+//! (same seed ⇒ same stream) and stream independence, both of which hold.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Construct an RNG from seed material. Only the `seed_from_u64` entry point
+/// is used by this repo.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that a generator can produce uniformly ("standard distribution").
+pub trait Standard: Sized {
+    fn from_u64(bits: u64) -> Self;
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn from_u64(bits: u64) -> u64 {
+        bits
+    }
+}
+impl Standard for u32 {
+    #[inline]
+    fn from_u64(bits: u64) -> u32 {
+        (bits >> 32) as u32
+    }
+}
+impl Standard for u16 {
+    #[inline]
+    fn from_u64(bits: u64) -> u16 {
+        (bits >> 48) as u16
+    }
+}
+impl Standard for u8 {
+    #[inline]
+    fn from_u64(bits: u64) -> u8 {
+        (bits >> 56) as u8
+    }
+}
+impl Standard for usize {
+    #[inline]
+    fn from_u64(bits: u64) -> usize {
+        bits as usize
+    }
+}
+impl Standard for bool {
+    #[inline]
+    fn from_u64(bits: u64) -> bool {
+        bits >> 63 != 0
+    }
+}
+impl Standard for f64 {
+    /// Uniform in [0, 1) with 53 random mantissa bits.
+    #[inline]
+    fn from_u64(bits: u64) -> f64 {
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl Standard for f32 {
+    #[inline]
+    fn from_u64(bits: u64) -> f32 {
+        (bits >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Types `gen_range` can sample uniformly. The type parameter ordering
+/// mirrors real rand's `gen_range<T, R: SampleRange<T>>` so the *output*
+/// type drives inference of untyped range literals (`1 + rng.gen_range(0..20)`
+/// in a `u64` context makes the range `Range<u64>`).
+pub trait SampleUniform: Sized {
+    fn sample_half_open(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self;
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self;
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open(lo: $t, hi: $t, rng: &mut dyn RngCore) -> $t {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+            #[inline]
+            fn sample_inclusive(lo: $t, hi: $t, rng: &mut dyn RngCore) -> $t {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_half_open(lo: f64, hi: f64, rng: &mut dyn RngCore) -> f64 {
+        lo + f64::from_u64(rng.next_u64()) * (hi - lo)
+    }
+    #[inline]
+    fn sample_inclusive(lo: f64, hi: f64, rng: &mut dyn RngCore) -> f64 {
+        lo + f64::from_u64(rng.next_u64()) * (hi - lo)
+    }
+}
+
+/// A range a `T` can be drawn from.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing convenience methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    #[inline]
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        self.gen::<f64>() < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — small, fast, and deterministic. Stands in for
+    /// `rand::rngs::SmallRng`.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> SmallRng {
+            let mut st = seed;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix64(&mut st);
+            }
+            // All-zero state would be a fixed point; splitmix64 cannot
+            // produce four zeros from any seed, but guard anyway.
+            if s == [0; 4] {
+                s[0] = 0x9E3779B97F4A7C15;
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(0usize..=3);
+            assert!(w <= 3);
+        }
+    }
+
+    #[test]
+    fn gen_f64_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v: f64 = r.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = SmallRng::seed_from_u64(3);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+}

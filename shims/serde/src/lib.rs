@@ -1,0 +1,697 @@
+//! Offline stand-in for the subset of `serde` that sst-rs uses.
+//!
+//! The build container has no crates.io access, so the real serde cannot be
+//! fetched. This crate keeps the same *surface* the repo relies on —
+//! `Serialize`/`Deserialize` traits, `#[derive(Serialize, Deserialize)]`,
+//! and the `#[serde(rename/default/transparent)]` attributes — but maps
+//! everything through a single JSON-shaped [`Value`] data model instead of
+//! serde's generic visitor machinery. `serde_json` (also shimmed in-tree)
+//! re-exports [`Value`] and adds the text format.
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Deserialization/serialization error: a plain message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn msg(m: impl Into<String>) -> Error {
+        Error { msg: m.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A JSON number: unsigned, signed, or floating.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Number(N);
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum N {
+    U(u64),
+    I(i64),
+    F(f64),
+}
+
+impl Number {
+    pub fn from_u64(v: u64) -> Number {
+        Number(N::U(v))
+    }
+    pub fn from_i64(v: i64) -> Number {
+        if v >= 0 {
+            Number(N::U(v as u64))
+        } else {
+            Number(N::I(v))
+        }
+    }
+    pub fn from_f64(v: f64) -> Number {
+        Number(N::F(v))
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            N::U(v) => Some(v),
+            N::I(v) if v >= 0 => Some(v as u64),
+            N::F(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => Some(v as u64),
+            _ => None,
+        }
+    }
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            N::U(v) if v <= i64::MAX as u64 => Some(v as i64),
+            N::I(v) => Some(v),
+            N::F(v) if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 => {
+                Some(v as i64)
+            }
+            _ => None,
+        }
+    }
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.0 {
+            N::U(v) => Some(v as f64),
+            N::I(v) => Some(v as f64),
+            N::F(v) => Some(v),
+        }
+    }
+    pub fn is_f64(&self) -> bool {
+        matches!(self.0, N::F(_))
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            N::U(v) => write!(f, "{v}"),
+            N::I(v) => write!(f, "{v}"),
+            N::F(v) => {
+                if v.is_finite() {
+                    // Keep a trailing ".0" on integral floats so the value
+                    // round-trips as a float, matching serde_json.
+                    if v.fract() == 0.0 && v.abs() < 1e15 {
+                        write!(f, "{v:.1}")
+                    } else {
+                        write!(f, "{v}")
+                    }
+                } else {
+                    // serde_json serializes non-finite floats as null.
+                    write!(f, "null")
+                }
+            }
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map of values (a JSON object).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    pub fn new() -> Map {
+        Map::default()
+    }
+
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+}
+
+impl<'a> IntoIterator for &'a Map {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, (String, Value)>,
+        fn(&'a (String, Value)) -> (&'a String, &'a Value),
+    >;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl IntoIterator for Map {
+    type Item = (String, Value);
+    type IntoIter = std::vec::IntoIter<(String, Value)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Map {
+        let mut m = Map::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+/// A JSON-shaped dynamic value, the common data model for the in-tree serde
+/// stand-ins.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum Value {
+    #[default]
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+impl Value {
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Render as compact JSON text (also the `Display` form).
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        write_json(self, &mut out, None, 0);
+        out
+    }
+
+    /// Render as pretty JSON text with two-space indentation.
+    pub fn to_json_string_pretty(&self) -> String {
+        let mut out = String::new();
+        write_json(self, &mut out, Some(2), 0);
+        out
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_json(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    let nl = |out: &mut String, depth: usize| {
+        if let Some(w) = indent {
+            out.push('\n');
+            for _ in 0..w * depth {
+                out.push(' ');
+            }
+        }
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(a) => {
+            if a.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, x) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                nl(out, depth + 1);
+                write_json(x, out, indent, depth + 1);
+            }
+            nl(out, depth);
+            out.push(']');
+        }
+        Value::Object(m) => {
+            if m.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, x)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                nl(out, depth + 1);
+                write_escaped(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_json(x, out, indent, depth + 1);
+            }
+            nl(out, depth);
+            out.push('}');
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// From conversions into Value (used by Params::set and the json! macro).
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::from_f64(v))
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::from_f64(v as f64))
+    }
+}
+macro_rules! value_from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(Number::from_u64(v as u64)) }
+        }
+    )*};
+}
+value_from_uint!(u8, u16, u32, u64, usize);
+macro_rules! value_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(Number::from_i64(v as i64)) }
+        }
+    )*};
+}
+value_from_int!(i8, i16, i32, i64, isize);
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The traits.
+
+/// Convert a value into the JSON-shaped data model.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruct a value from the JSON-shaped data model.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error::msg(format!("expected bool, got {v}")))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::msg(format!("expected string, got {v}")))
+    }
+}
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+// `&'static str` fields (e.g. registry tables) can only be rebuilt from JSON
+// by leaking; acceptable for the small static tables this repo round-trips
+// in tests.
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<&'static str, Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| Error::msg(format!("expected string, got {v}")))?;
+        Ok(Box::leak(s.to_string().into_boxed_str()))
+    }
+}
+
+macro_rules! serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Number(Number::from_u64(*self as u64)) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, Error> {
+                let n = v.as_u64()
+                    .ok_or_else(|| Error::msg(format!("expected unsigned integer, got {v}")))?;
+                <$t>::try_from(n).map_err(|_| Error::msg(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Number(Number::from_i64(*self as i64)) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, Error> {
+                let n = v.as_i64()
+                    .ok_or_else(|| Error::msg(format!("expected integer, got {v}")))?;
+                <$t>::try_from(n).map_err(|_| Error::msg(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+serde_int!(i8, i16, i32, i64, isize);
+
+// 128-bit integers fall back to f64 when they exceed the JSON-safe u64/i64
+// range; the only such field in-tree (a latency sum in picoseconds) stays
+// well under 2^64 in practice.
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        match u64::try_from(*self) {
+            Ok(v) => Value::Number(Number::from_u64(v)),
+            Err(_) => Value::Number(Number::from_f64(*self as f64)),
+        }
+    }
+}
+impl Deserialize for u128 {
+    fn from_value(v: &Value) -> Result<u128, Error> {
+        if let Some(n) = v.as_u64() {
+            return Ok(n as u128);
+        }
+        match v.as_f64() {
+            Some(f) if f >= 0.0 => Ok(f as u128),
+            _ => Err(Error::msg(format!("expected unsigned integer, got {v}"))),
+        }
+    }
+}
+impl Serialize for i128 {
+    fn to_value(&self) -> Value {
+        match i64::try_from(*self) {
+            Ok(v) => Value::Number(Number::from_i64(v)),
+            Err(_) => Value::Number(Number::from_f64(*self as f64)),
+        }
+    }
+}
+impl Deserialize for i128 {
+    fn from_value(v: &Value) -> Result<i128, Error> {
+        if let Some(n) = v.as_i64() {
+            return Ok(n as i128);
+        }
+        v.as_f64()
+            .map(|f| f as i128)
+            .ok_or_else(|| Error::msg(format!("expected integer, got {v}")))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<f64, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error::msg(format!("expected number, got {v}")))
+    }
+}
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self as f64))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<f32, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::msg(format!("expected array, got {v}")))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! serde_tuple {
+    ($(($($t:ident . $idx:tt),+)),*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let a = v
+                    .as_array()
+                    .ok_or_else(|| Error::msg(format!("expected array, got {v}")))?;
+                let n = [$($idx),+].len();
+                if a.len() != n {
+                    return Err(Error::msg(format!(
+                        "expected {n}-tuple, got {} elements",
+                        a.len()
+                    )));
+                }
+                Ok(($($t::from_value(&a[$idx])?,)+))
+            }
+        }
+    )*};
+}
+serde_tuple!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| Error::msg(format!("expected object, got {v}")))?;
+        obj.iter()
+            .map(|(k, x)| V::from_value(x).map(|x| (k.clone(), x)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_kinds() {
+        assert_eq!(Number::from_u64(7).as_u64(), Some(7));
+        assert_eq!(Number::from_i64(-3).as_i64(), Some(-3));
+        assert_eq!(Number::from_i64(-3).as_u64(), None);
+        assert_eq!(Number::from_f64(2.5).as_f64(), Some(2.5));
+        assert_eq!(Number::from_f64(4.0).as_u64(), Some(4));
+        assert_eq!(Number::from_u64(9).to_string(), "9");
+        assert_eq!(Number::from_f64(2.0).to_string(), "2.0");
+    }
+
+    #[test]
+    fn map_preserves_insertion_order() {
+        let mut m = Map::new();
+        m.insert("z".into(), Value::from(1u64));
+        m.insert("a".into(), Value::from(2u64));
+        let keys: Vec<&String> = m.keys().collect();
+        assert_eq!(keys, ["z", "a"]);
+        m.insert("z".into(), Value::from(3u64));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get("z").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn display_is_compact_json() {
+        let mut m = Map::new();
+        m.insert("a".into(), Value::from(1u64));
+        m.insert("b".into(), Value::Array(vec![Value::Bool(true), Value::Null]));
+        let v = Value::Object(m);
+        assert_eq!(v.to_string(), r#"{"a":1,"b":[true,null]}"#);
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::from_value(&Value::from(5u64)).unwrap(),
+            Some(5)
+        );
+        assert_eq!(Some(5u32).to_value(), Value::from(5u64));
+        assert_eq!(Option::<u32>::None.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = Value::String("a\"b\\c\nd".into());
+        assert_eq!(v.to_string(), r#""a\"b\\c\nd""#);
+    }
+}

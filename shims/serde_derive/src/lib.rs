@@ -1,0 +1,560 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the in-tree `serde` shim's `Serialize`/`Deserialize`
+//! traits (which speak a JSON-shaped `serde::Value` data model rather than
+//! serde's visitor machinery). The item is parsed directly from the
+//! `proc_macro` token stream — no `syn`/`quote`, since the build container
+//! has no registry access.
+//!
+//! Supported shapes (everything this repo derives on):
+//! - named-field structs, with `#[serde(rename = "...")]` and
+//!   `#[serde(default)]` on fields and `#[serde(transparent)]` on the
+//!   container
+//! - tuple structs (newtypes serialize transparently, wider ones as arrays)
+//! - unit structs
+//! - externally-tagged enums with unit, newtype, tuple, and struct variants
+//!
+//! Generics are intentionally unsupported; no derive target in-tree is
+//! generic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone, Default)]
+struct FieldAttrs {
+    rename: Option<String>,
+    default: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Field {
+    /// Rust-side name (identifier for named fields, index for tuple fields).
+    name: String,
+    attrs: FieldAttrs,
+}
+
+impl Field {
+    fn json_name(&self) -> &str {
+        self.attrs.rename.as_deref().unwrap_or(&self.name)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+        transparent: bool,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+
+/// Pull `rename`/`default`/`transparent` out of the tokens inside a
+/// `#[serde(...)]` group.
+fn parse_serde_attr(group: &proc_macro::Group, field: &mut FieldAttrs, transparent: &mut bool) {
+    let mut toks = group.stream().into_iter().peekable();
+    while let Some(tok) = toks.next() {
+        if let TokenTree::Ident(id) = &tok {
+            match id.to_string().as_str() {
+                "default" => field.default = true,
+                "transparent" => *transparent = true,
+                "rename" => {
+                    // rename = "literal"
+                    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                        toks.next();
+                        if let Some(TokenTree::Literal(lit)) = toks.next() {
+                            let s = lit.to_string();
+                            field.rename = Some(s.trim_matches('"').to_string());
+                        }
+                    }
+                }
+                other => panic!("serde shim derive: unsupported serde attribute `{other}`"),
+            }
+        }
+    }
+}
+
+/// Consume leading attributes (`#[...]`), folding any `#[serde(...)]`
+/// contents into `field`/`transparent`; skip doc comments and everything
+/// else.
+fn skip_attrs(
+    toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+    field: &mut FieldAttrs,
+    transparent: &mut bool,
+) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                match toks.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        if let Some(TokenTree::Ident(id)) = inner.first() {
+                            if id.to_string() == "serde" {
+                                if let Some(TokenTree::Group(sg)) = inner.get(1) {
+                                    parse_serde_attr(sg, field, transparent);
+                                }
+                            }
+                        }
+                    }
+                    other => panic!("serde shim derive: malformed attribute: {other:?}"),
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consume an optional `pub` / `pub(...)` visibility.
+fn skip_vis(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(toks.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        toks.next();
+        if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis) {
+            toks.next();
+        }
+    }
+}
+
+/// Skip a field's type: everything up to a top-level comma (tracking `<...>`
+/// depth so commas inside generics don't split the field list).
+fn skip_type(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle: i32 = 0;
+    while let Some(tok) = toks.peek() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                toks.next();
+                return;
+            }
+            _ => {}
+        }
+        toks.next();
+    }
+}
+
+/// Parse `name: Type, ...` fields from inside a brace group.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let mut toks = group.stream().into_iter().peekable();
+    let mut fields = Vec::new();
+    let mut ignored_transparent = false;
+    loop {
+        let mut attrs = FieldAttrs::default();
+        skip_attrs(&mut toks, &mut attrs, &mut ignored_transparent);
+        skip_vis(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected field name, got {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:` after `{name}`, got {other:?}"),
+        }
+        skip_type(&mut toks);
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+/// Count the fields of a tuple struct/variant (top-level commas + trailing
+/// element, honoring angle-bracket depth).
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let mut toks = group.stream().into_iter().peekable();
+    let mut n = 0;
+    while toks.peek().is_some() {
+        let mut attrs = FieldAttrs::default();
+        let mut ignored = false;
+        skip_attrs(&mut toks, &mut attrs, &mut ignored);
+        skip_vis(&mut toks);
+        if toks.peek().is_none() {
+            break;
+        }
+        skip_type(&mut toks);
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let mut toks = group.stream().into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        let mut attrs = FieldAttrs::default();
+        let mut ignored = false;
+        skip_attrs(&mut toks, &mut attrs, &mut ignored);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected variant name, got {other:?}"),
+        };
+        let shape = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.clone();
+                toks.next();
+                Shape::Tuple(count_tuple_fields(&g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.clone();
+                toks.next();
+                Shape::Named(parse_named_fields(&g))
+            }
+            _ => Shape::Unit,
+        };
+        // Discriminant values (`= expr`) are not supported; skip the comma.
+        if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            toks.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    let mut container = FieldAttrs::default();
+    let mut transparent = false;
+    skip_attrs(&mut toks, &mut container, &mut transparent);
+    skip_vis(&mut toks);
+    let kw = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected item name, got {other:?}"),
+    };
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic types are not supported (derive target `{name}`)");
+    }
+    match kw.as_str() {
+        "struct" => {
+            let shape = match toks.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(&g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(&g))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => panic!("serde shim derive: unexpected struct body: {other:?}"),
+            };
+            Item::Struct {
+                name,
+                shape,
+                transparent,
+            }
+        }
+        "enum" => {
+            let variants = match toks.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(&g)
+                }
+                other => panic!("serde shim derive: unexpected enum body: {other:?}"),
+            };
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde shim derive: cannot derive for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (string-built, then parsed back into a TokenStream)
+
+fn gen_named_to_value(fields: &[Field], accessor: impl Fn(&Field) -> String) -> String {
+    let mut s = String::from("{ let mut __m = serde::Map::new();\n");
+    for f in fields {
+        s.push_str(&format!(
+            "__m.insert({:?}.to_string(), serde::Serialize::to_value({})); \n",
+            f.json_name(),
+            accessor(f)
+        ));
+    }
+    s.push_str("serde::Value::Object(__m) }");
+    s
+}
+
+/// Expression that rebuilds one named field from `__obj` (a `&serde::Map`).
+fn gen_named_field_expr(f: &Field) -> String {
+    let jname = f.json_name();
+    if f.attrs.default {
+        format!(
+            "match __obj.get({jname:?}) {{ \
+                Some(__x) => serde::Deserialize::from_value(__x)?, \
+                None => Default::default() }}"
+        )
+    } else {
+        // Missing fields go through `from_value(&Null)` so `Option` fields
+        // default to `None` even without `#[serde(default)]`.
+        format!(
+            "match __obj.get({jname:?}) {{ \
+                Some(__x) => serde::Deserialize::from_value(__x)?, \
+                None => serde::Deserialize::from_value(&serde::Value::Null) \
+                    .map_err(|_| serde::Error::msg(concat!(\"missing field `\", {jname:?}, \"`\")))? }}"
+        )
+    }
+}
+
+fn gen_struct(name: &str, shape: &Shape, transparent: bool) -> String {
+    let (ser_body, de_body) = match shape {
+        Shape::Unit => (
+            "serde::Value::Null".to_string(),
+            format!("let _ = __v; Ok({name})"),
+        ),
+        Shape::Tuple(1) => (
+            "serde::Serialize::to_value(&self.0)".to_string(),
+            format!("Ok({name}(serde::Deserialize::from_value(__v)?))"),
+        ),
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            let des: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&__a[{i}])?"))
+                .collect();
+            (
+                format!("serde::Value::Array(vec![{}])", elems.join(", ")),
+                format!(
+                    "let __a = __v.as_array().ok_or_else(|| serde::Error::msg(\
+                         concat!(\"expected array for \", {name:?})))?;\n\
+                     if __a.len() != {n} {{ return Err(serde::Error::msg(\
+                         concat!(\"wrong tuple arity for \", {name:?}))); }}\n\
+                     Ok({name}({des}))",
+                    des = des.join(", ")
+                ),
+            )
+        }
+        Shape::Named(fields) if transparent && fields.len() == 1 => {
+            let f = &fields[0].name;
+            (
+                format!("serde::Serialize::to_value(&self.{f})"),
+                format!("Ok({name} {{ {f}: serde::Deserialize::from_value(__v)? }})"),
+            )
+        }
+        Shape::Named(fields) => {
+            let ser = gen_named_to_value(fields, |f| format!("&self.{}", f.name));
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{}: {}", f.name, gen_named_field_expr(f)))
+                .collect();
+            let de = format!(
+                "let __obj = __v.as_object().ok_or_else(|| serde::Error::msg(\
+                     concat!(\"expected object for \", {name:?})))?;\n\
+                 Ok({name} {{ {inits} }})",
+                inits = inits.join(",\n")
+            );
+            (ser, de)
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ {ser_body} }}\n\
+         }}\n\
+         impl serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &serde::Value) -> Result<{name}, serde::Error> {{\n\
+                 {de_body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_enum(name: &str, variants: &[Variant]) -> String {
+    // Serialize arms.
+    let mut ser_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            Shape::Unit => ser_arms.push_str(&format!(
+                "{name}::{vn} => serde::Value::String({vn:?}.to_string()),\n"
+            )),
+            Shape::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let inner = if *n == 1 {
+                    "serde::Serialize::to_value(__f0)".to_string()
+                } else {
+                    let elems: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("serde::Value::Array(vec![{}])", elems.join(", "))
+                };
+                ser_arms.push_str(&format!(
+                    "{name}::{vn}({binds}) => {{\n\
+                         let mut __m = serde::Map::new();\n\
+                         __m.insert({vn:?}.to_string(), {inner});\n\
+                         serde::Value::Object(__m)\n\
+                     }},\n",
+                    binds = binds.join(", ")
+                ));
+            }
+            Shape::Named(fields) => {
+                let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                let fields_obj = gen_named_to_value(fields, |f| f.name.clone());
+                ser_arms.push_str(&format!(
+                    "{name}::{vn} {{ {binds} }} => {{\n\
+                         let __fields = {fields_obj};\n\
+                         let mut __m = serde::Map::new();\n\
+                         __m.insert({vn:?}.to_string(), __fields);\n\
+                         serde::Value::Object(__m)\n\
+                     }},\n",
+                    binds = binds.join(", ")
+                ));
+            }
+        }
+    }
+
+    // Deserialize: unit variants from a bare string, payload variants from a
+    // single-key object (serde's externally-tagged representation).
+    let mut unit_arms = String::new();
+    let mut tag_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            Shape::Unit => {
+                unit_arms.push_str(&format!("{vn:?} => return Ok({name}::{vn}),\n"));
+                // Also accept {"Variant": null} for symmetry with other tags.
+                tag_arms.push_str(&format!(
+                    "{vn:?} => {{ let _ = __inner; return Ok({name}::{vn}); }}\n"
+                ));
+            }
+            Shape::Tuple(1) => tag_arms.push_str(&format!(
+                "{vn:?} => return Ok({name}::{vn}(serde::Deserialize::from_value(__inner)?)),\n"
+            )),
+            Shape::Tuple(n) => {
+                let des: Vec<String> = (0..*n)
+                    .map(|i| format!("serde::Deserialize::from_value(&__a[{i}])?"))
+                    .collect();
+                tag_arms.push_str(&format!(
+                    "{vn:?} => {{\n\
+                         let __a = __inner.as_array().ok_or_else(|| serde::Error::msg(\
+                             concat!(\"expected array for variant \", {vn:?})))?;\n\
+                         if __a.len() != {n} {{ return Err(serde::Error::msg(\
+                             concat!(\"wrong arity for variant \", {vn:?}))); }}\n\
+                         return Ok({name}::{vn}({des}));\n\
+                     }}\n",
+                    des = des.join(", ")
+                ));
+            }
+            Shape::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{}: {}", f.name, gen_named_field_expr(f)))
+                    .collect();
+                tag_arms.push_str(&format!(
+                    "{vn:?} => {{\n\
+                         let __obj = __inner.as_object().ok_or_else(|| serde::Error::msg(\
+                             concat!(\"expected object for variant \", {vn:?})))?;\n\
+                         return Ok({name}::{vn} {{ {inits} }});\n\
+                     }}\n",
+                    inits = inits.join(",\n")
+                ));
+            }
+        }
+    }
+
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+                 match self {{\n{ser_arms}\n}}\n\
+             }}\n\
+         }}\n\
+         impl serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &serde::Value) -> Result<{name}, serde::Error> {{\n\
+                 if let Some(__s) = __v.as_str() {{\n\
+                     match __s {{\n\
+                         {unit_arms}\n\
+                         __other => return Err(serde::Error::msg(format!(\
+                             \"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }}\n\
+                 }}\n\
+                 if let Some(__obj) = __v.as_object() {{\n\
+                     if __obj.len() == 1 {{\n\
+                         let (__tag, __inner) = __obj.iter().next().unwrap();\n\
+                         match __tag.as_str() {{\n\
+                             {tag_arms}\n\
+                             __other => return Err(serde::Error::msg(format!(\
+                                 \"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n\
+                 Err(serde::Error::msg(concat!(\"invalid value for enum \", {name:?})))\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn generate(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct {
+            name,
+            shape,
+            transparent,
+        } => gen_struct(&name, &shape, transparent),
+        Item::Enum { name, variants } => gen_enum(&name, &variants),
+    };
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde shim derive: generated code failed to parse: {e:?}"))
+}
+
+// `generate` builds both impls; each derive keeps only its own so deriving
+// Serialize and Deserialize together doesn't emit duplicates.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    strip_to(generate(input), "Serialize")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    strip_to(generate(input), "Deserialize")
+}
+
+/// Keep only the `impl serde::<which> for ...` item from the generated pair.
+fn strip_to(ts: TokenStream, which: &str) -> TokenStream {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut out: Vec<TokenTree> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // Each impl is: `impl serde :: Trait for Name { ... }` — find the
+        // trait ident two tokens after `impl`'s `serde ::` path.
+        let mut j = i;
+        let mut keep = false;
+        // scan forward to the brace group that ends this impl
+        while j < toks.len() {
+            if let TokenTree::Ident(id) = &toks[j] {
+                if id.to_string() == which {
+                    keep = true;
+                }
+            }
+            if let TokenTree::Group(g) = &toks[j] {
+                if g.delimiter() == Delimiter::Brace {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        let end = (j + 1).min(toks.len());
+        if keep {
+            out.extend(toks[i..end].iter().cloned());
+        }
+        i = end;
+    }
+    out.into_iter().collect()
+}

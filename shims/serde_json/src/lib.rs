@@ -1,0 +1,335 @@
+//! Offline stand-in for the subset of `serde_json` that sst-rs uses.
+//!
+//! Re-exports the JSON-shaped [`Value`] data model from the in-tree `serde`
+//! shim and adds the text format on top: [`from_str`], [`to_string`],
+//! [`to_string_pretty`], and a literal-only [`json!`] macro.
+
+pub use serde::{Error, Map, Number, Value};
+
+/// Serialize a value to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json_string())
+}
+
+/// Serialize a value to pretty-printed JSON text (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json_string_pretty())
+}
+
+/// Parse JSON text into any `Deserialize` type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = parse_value(s)?;
+    T::from_value(&v)
+}
+
+/// Convert any `Serialize` type into a [`Value`].
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Convert a [`Value`] into any `Deserialize` type.
+pub fn from_value<T: serde::Deserialize>(v: Value) -> Result<T, Error> {
+    T::from_value(&v)
+}
+
+/// Build a [`Value`] from a JSON literal. Unlike the real `serde_json`, this
+/// does not support interpolating Rust expressions — the token tree is
+/// stringified and parsed as JSON text.
+#[macro_export]
+macro_rules! json {
+    ($($t:tt)+) => {
+        $crate::from_str::<$crate::Value>(stringify!($($t)+))
+            .expect("json! literal must be valid JSON")
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Text parser: recursive descent over bytes.
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        s: s.as_bytes(),
+        i: 0,
+    };
+    let v = p.value()?;
+    p.ws();
+    if p.i != p.s.len() {
+        return Err(Error::msg(format!("trailing characters at byte {}", p.i)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn ws(&mut self) {
+        while self.i < self.s.len() && matches!(self.s[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.ws();
+        self.s
+            .get(self.i)
+            .copied()
+            .ok_or_else(|| Error::msg("unexpected end of JSON input"))
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek()? == b {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected `{}` at byte {}",
+                b as char, self.i
+            )))
+        }
+    }
+
+    fn eat_word(&mut self, w: &str) -> bool {
+        if self.s[self.i..].starts_with(w.as_bytes()) {
+            self.i += w.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Value::String(self.string()?)),
+            b't' if self.eat_word("true") => Ok(Value::Bool(true)),
+            b'f' if self.eat_word("false") => Ok(Value::Bool(false)),
+            b'n' if self.eat_word("null") => Ok(Value::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            c => Err(Error::msg(format!(
+                "unexpected character `{}` at byte {}",
+                c as char, self.i
+            ))),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut m = Map::new();
+        if self.peek()? == b'}' {
+            self.i += 1;
+            return Ok(Value::Object(m));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.eat(b':')?;
+            let val = self.value()?;
+            m.insert(key, val);
+            match self.peek()? {
+                b',' => self.i += 1,
+                b'}' => {
+                    self.i += 1;
+                    return Ok(Value::Object(m));
+                }
+                c => {
+                    return Err(Error::msg(format!(
+                        "expected `,` or `}}`, got `{}` at byte {}",
+                        c as char, self.i
+                    )))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut a = Vec::new();
+        if self.peek()? == b']' {
+            self.i += 1;
+            return Ok(Value::Array(a));
+        }
+        loop {
+            a.push(self.value()?);
+            match self.peek()? {
+                b',' => self.i += 1,
+                b']' => {
+                    self.i += 1;
+                    return Ok(Value::Array(a));
+                }
+                c => {
+                    return Err(Error::msg(format!(
+                        "expected `,` or `]`, got `{}` at byte {}",
+                        c as char, self.i
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .s
+                .get(self.i)
+                .ok_or_else(|| Error::msg("unterminated string"))?;
+            self.i += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self
+                        .s
+                        .get(self.i)
+                        .ok_or_else(|| Error::msg("unterminated escape"))?;
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'u' => {
+                            let hex = self
+                                .s
+                                .get(self.i..self.i + 4)
+                                .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+                            self.i += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::msg("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::msg("bad \\u escape"))?;
+                            // Surrogate pairs are not reconstructed; lone
+                            // surrogates become the replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        c => {
+                            return Err(Error::msg(format!("bad escape `\\{}`", c as char)));
+                        }
+                    }
+                }
+                _ => {
+                    // Collect the full UTF-8 sequence starting at b.
+                    let start = self.i - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    let chunk = self
+                        .s
+                        .get(start..end)
+                        .ok_or_else(|| Error::msg("truncated UTF-8 sequence"))?;
+                    out.push_str(
+                        std::str::from_utf8(chunk).map_err(|_| Error::msg("invalid UTF-8"))?,
+                    );
+                    self.i = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let mut neg = false;
+        if self.s[self.i] == b'-' {
+            neg = true;
+            self.i += 1;
+            // `json!` goes through `stringify!`, which renders `-1.5` as
+            // `- 1.5`; tolerate space between the sign and the digits.
+            self.ws();
+        }
+        let start = self.i;
+        let mut float = false;
+        while self.i < self.s.len() {
+            match self.s[self.i] {
+                b'0'..=b'9' => self.i += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.i += 1;
+                }
+                _ => break,
+            }
+        }
+        let digits = std::str::from_utf8(&self.s[start..self.i]).unwrap();
+        let text = if neg {
+            format!("-{digits}")
+        } else {
+            digits.to_string()
+        };
+        if !float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::from_u64(u)));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::from_i64(i)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number::from_f64(f)))
+            .map_err(|_| Error::msg(format!("invalid number `{text}`")))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(from_str::<Value>("null").unwrap(), Value::Null);
+        assert_eq!(from_str::<Value>("true").unwrap(), Value::Bool(true));
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        assert_eq!(from_str::<f64>("2.5e3").unwrap(), 2500.0);
+        assert_eq!(from_str::<String>(r#""hi\nthere""#).unwrap(), "hi\nthere");
+    }
+
+    #[test]
+    fn parse_nested() {
+        let v: Value = from_str(r#"{"a": [1, {"b": false}], "c": "x"}"#).unwrap();
+        assert_eq!(v.get("c").unwrap().as_str(), Some("x"));
+        let a = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(a[0].as_u64(), Some(1));
+        assert_eq!(a[1].get("b").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn roundtrip_compact_and_pretty() {
+        let v = json!({"name": "ring", "sizes": [1, 2, 3], "ok": true});
+        let compact = to_string(&v).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str::<Value>(&compact).unwrap(), v);
+        assert_eq!(from_str::<Value>(&pretty).unwrap(), v);
+        assert!(pretty.contains('\n'));
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!([1, 2, 3]);
+        assert_eq!(v.as_array().unwrap().len(), 3);
+        let v = json!({"a": -1.5});
+        assert_eq!(v.get("a").unwrap().as_f64(), Some(-1.5));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("12 34").is_err());
+    }
+}
