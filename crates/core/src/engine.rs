@@ -56,11 +56,15 @@ pub struct SimReport {
 
 impl SimReport {
     /// Delivered events (messages + clock ticks) per wall-clock second.
+    ///
+    /// Returns `0.0` when the wall-clock duration is zero (or garbage, e.g.
+    /// negative or NaN from a deserialized report): a rate of `INFINITY`
+    /// would serialize to JSON `null` and poison downstream aggregation.
     pub fn events_per_sec(&self) -> f64 {
-        if self.wall_seconds > 0.0 {
+        if self.wall_seconds.is_finite() && self.wall_seconds > 0.0 {
             (self.events + self.clock_ticks) as f64 / self.wall_seconds
         } else {
-            f64::INFINITY
+            0.0
         }
     }
 }
@@ -551,5 +555,21 @@ mod tests {
         b.link((a, PingPong::PORT), (c, PingPong::PORT), SimTime::ns(1));
         let report = Engine::new(b).run(RunLimit::Exhaust);
         assert!(report.events_per_sec() > 0.0);
+        assert!(report.events_per_sec().is_finite());
+    }
+
+    #[test]
+    fn report_events_per_sec_zero_wall_time() {
+        let mut report = Engine::new(SystemBuilder::new()).run(RunLimit::Exhaust);
+        report.events = 1000;
+        report.clock_ticks = 500;
+        // Zero, negative, and NaN durations must all yield 0.0, never INF
+        // (INFINITY serializes to JSON null and breaks report consumers).
+        for bad in [0.0, -1.0, f64::NAN] {
+            report.wall_seconds = bad;
+            assert_eq!(report.events_per_sec(), 0.0);
+        }
+        report.wall_seconds = 0.5;
+        assert_eq!(report.events_per_sec(), 3000.0);
     }
 }
