@@ -177,6 +177,33 @@ impl SystemBuilder {
             .map(|l| l.latency)
             .min()
     }
+
+    /// Per-pair lookahead matrix: `m[r][s]` is the minimum latency over
+    /// links joining ranks `r` and `s` — the tightest bound on how soon an
+    /// event sent by `r` can arrive at `s` — or `None` when no link joins
+    /// them (the pair never exchanges events). Symmetric, since links are
+    /// bidirectional.
+    pub(crate) fn pairwise_lookahead(
+        &self,
+        ranks: &[u32],
+        n_ranks: u32,
+    ) -> Vec<Vec<Option<SimTime>>> {
+        let n = n_ranks as usize;
+        let mut m = vec![vec![None; n]; n];
+        for l in &self.links {
+            let ra = ranks[l.a.0 .0 as usize] as usize;
+            let rb = ranks[l.b.0 .0 as usize] as usize;
+            if ra != rb {
+                for (x, y) in [(ra, rb), (rb, ra)] {
+                    m[x][y] = Some(match m[x][y] {
+                        Some(cur) if cur < l.latency => cur,
+                        _ => l.latency,
+                    });
+                }
+            }
+        }
+        m
+    }
 }
 
 #[cfg(test)]
@@ -258,5 +285,23 @@ mod tests {
         b.link((c, PortId(1)), (d, PortId(1)), SimTime::ns(3)); // cross
         let ranks = b.resolve_ranks(2);
         assert_eq!(b.lookahead(&ranks), Some(SimTime::ns(3)));
+    }
+
+    #[test]
+    fn pairwise_lookahead_minimum_per_pair() {
+        let mut b = SystemBuilder::new();
+        let a = b.add_on_rank("a", Dummy, 0);
+        let c = b.add_on_rank("c", Dummy, 1);
+        let d = b.add_on_rank("d", Dummy, 2);
+        b.link((a, PortId(0)), (c, PortId(0)), SimTime::ns(5));
+        b.link((a, PortId(1)), (c, PortId(1)), SimTime::ns(2));
+        b.link((c, PortId(2)), (d, PortId(0)), SimTime::ns(9));
+        let ranks = b.resolve_ranks(3);
+        let m = b.pairwise_lookahead(&ranks, 3);
+        assert_eq!(m[0][1], Some(SimTime::ns(2)));
+        assert_eq!(m[1][0], Some(SimTime::ns(2)));
+        assert_eq!(m[1][2], Some(SimTime::ns(9)));
+        assert_eq!(m[0][2], None); // ranks 0 and 2 share no link
+        assert_eq!(m[0][0], None); // same-rank links never cross
     }
 }

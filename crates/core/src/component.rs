@@ -62,8 +62,10 @@ pub struct LinkEnd {
 }
 
 /// Where freshly sent events go. The serial engine pushes straight into its
-/// heap; the parallel engine routes by rank.
-pub(crate) trait EventSink {
+/// queue; the parallel engine routes by rank. Public because it bounds the
+/// queue parameter of [`EngineOn`](crate::engine::EngineOn); components
+/// never see it directly.
+pub trait EventSink {
     fn push(&mut self, ev: ScheduledEvent, target_rank: u32);
 }
 

@@ -9,7 +9,7 @@ use crate::component::{EventSink, LinkEnd, SimCtx, Slot};
 use crate::event::{
     ClockId, ComponentId, EventClass, EventKind, ScheduledEvent, TieBreak,
 };
-use crate::queue::EventQueue;
+use crate::queue::{BinaryHeapQueue, IndexedQueue, SimQueue};
 use crate::rng::component_rng;
 use crate::stats::{StatsRegistry, StatsSnapshot};
 use crate::time::SimTime;
@@ -285,27 +285,41 @@ fn clock_tick(clk: &ClockState, id: ClockId, time: SimTime) -> ScheduledEvent {
     }
 }
 
-impl EventSink for EventQueue {
+impl EventSink for IndexedQueue {
     #[inline]
     fn push(&mut self, ev: ScheduledEvent, _target_rank: u32) {
-        EventQueue::push(self, ev);
+        IndexedQueue::push(self, ev);
     }
 }
 
-/// The serial discrete-event engine.
-pub struct Engine {
+impl EventSink for BinaryHeapQueue {
+    #[inline]
+    fn push(&mut self, ev: ScheduledEvent, _target_rank: u32) {
+        BinaryHeapQueue::push(self, ev);
+    }
+}
+
+/// The serial discrete-event engine, generic over the pending-event queue.
+/// Use the [`Engine`] alias unless differentially testing queues.
+pub struct EngineOn<Q: SimQueue + EventSink> {
     kernel: Kernel,
-    queue: EventQueue,
+    queue: Q,
     started: bool,
 }
 
-impl Engine {
+/// The serial engine over the default (indexed) queue.
+pub type Engine = EngineOn<IndexedQueue>;
+
+/// The serial engine over the reference heap queue, for comparisons.
+pub type HeapEngine = EngineOn<BinaryHeapQueue>;
+
+impl<Q: SimQueue + EventSink> EngineOn<Q> {
     /// Build a serial engine from a system description.
-    pub fn new(builder: SystemBuilder) -> Engine {
+    pub fn new(builder: SystemBuilder) -> EngineOn<Q> {
         let ranks = vec![0u32; builder.comps.len()];
-        Engine {
+        EngineOn {
             kernel: Kernel::from_builder(builder, &ranks, 0),
-            queue: EventQueue::new(),
+            queue: Q::default(),
             started: false,
         }
     }

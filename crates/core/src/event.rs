@@ -126,6 +126,39 @@ impl fmt::Debug for ScheduledEvent {
     }
 }
 
+/// A free list of event buffers.
+///
+/// Hot paths that batch events — cross-rank exchange in the parallel engine,
+/// staging during delivery — would otherwise allocate a fresh `Vec` per
+/// batch. Buffers taken from the pool keep the capacity they grew on earlier
+/// rounds, so steady-state batching does no allocation at all.
+#[derive(Default)]
+pub struct EventBufPool {
+    free: Vec<Vec<ScheduledEvent>>,
+}
+
+impl EventBufPool {
+    /// Retained buffers are capped so a one-off burst doesn't pin memory.
+    const MAX_FREE: usize = 64;
+
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take an empty buffer (reusing a returned one when available).
+    pub fn get(&mut self) -> Vec<ScheduledEvent> {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Return a buffer to the pool. Contents are dropped.
+    pub fn put(&mut self, mut buf: Vec<ScheduledEvent>) {
+        buf.clear();
+        if self.free.len() < Self::MAX_FREE && buf.capacity() > 0 {
+            self.free.push(buf);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +183,34 @@ mod tests {
     #[test]
     fn clock_orders_before_message() {
         assert!(EventClass::Clock < EventClass::Message);
+    }
+
+    #[test]
+    fn buf_pool_reuses_capacity() {
+        let mut pool = EventBufPool::new();
+        let mut b = pool.get();
+        b.reserve(128);
+        let cap = b.capacity();
+        b.push(ScheduledEvent {
+            time: SimTime::ZERO,
+            class: EventClass::Message,
+            tie: TieBreak {
+                src: ComponentId(0),
+                seq: 0,
+            },
+            target: ComponentId(0),
+            kind: EventKind::Message {
+                port: PortId(0),
+                payload: Box::new(()),
+            },
+        });
+        pool.put(b);
+        let b2 = pool.get();
+        assert!(b2.is_empty());
+        assert_eq!(b2.capacity(), cap);
+        // Zero-capacity buffers are not worth retaining.
+        pool.put(Vec::new());
+        assert_eq!(pool.get().capacity(), 0);
     }
 
     #[test]

@@ -55,12 +55,13 @@ pub mod stats;
 pub mod time;
 
 pub use builder::SystemBuilder;
-pub use component::{ClockAction, Component, SimCtx};
+pub use component::{ClockAction, Component, EventSink, SimCtx};
 pub use config::{ComponentRegistry, ConfigError, SystemConfig};
-pub use engine::{Engine, RunLimit, SimReport};
+pub use engine::{Engine, EngineOn, HeapEngine, RunLimit, SimReport};
 pub use event::{downcast, ClockId, ComponentId, Payload, PortId, SELF_PORT};
 pub use params::{ParamError, Params};
 pub use parallel::ParallelEngine;
+pub use queue::{BinaryHeapQueue, EventQueue, IndexedQueue, SimQueue};
 pub use stats::{StatId, StatKind, StatsRegistry, StatsSnapshot};
 pub use time::{Frequency, SimTime};
 

@@ -1,34 +1,68 @@
 //! Conservative parallel discrete-event engine.
 //!
 //! The component graph is partitioned across `n` ranks (worker threads —
-//! standing in for the MPI ranks of the original SST; see DESIGN.md). Because
-//! every link has non-zero latency, an event sent at time `t` over a
+//! standing in for the MPI ranks of the original SST; see DESIGN.md).
+//! Because every link has non-zero latency, an event sent at time `t` over a
 //! cross-rank link cannot arrive before `t + L`, where `L` is the minimum
-//! cross-rank link latency (the *lookahead*). Each epoch therefore processes
-//! the window `[T, T + L)` where `T` is the global minimum pending event
-//! time, exchanges cross-rank events at a barrier, and repeats. No rank can
-//! ever receive an event in its past, so no rollback is needed.
+//! latency of the links joining the two ranks (the pairwise *lookahead*).
 //!
-//! Determinism: event ordering uses the same `(time, class, tie)` total order
-//! as the serial engine, and tie-breakers are derived from sender state only,
-//! so a parallel run produces *bit-identical* statistics to the serial run of
-//! the same system. Integration tests assert this.
+//! # Synchronization: null messages over neighbor channels
+//!
+//! Ranks exchange [`Batch`] messages over channels, and **only with ranks
+//! they share a link with** — there is no global barrier. Each batch carries
+//! any cross-rank events plus an *earliest output time* (EOT) promise: "I
+//! will never again send you an event with time `< eot`". A rank tracks the
+//! latest EOT received from each neighbor; the minimum over neighbors is its
+//! *earliest input time* (EIT), and every local event strictly before the
+//! EIT is safe to process — no neighbor can invalidate it. This is the
+//! classic Chandy–Misra–Bryant null-message protocol.
+//!
+//! A rank's EOT to neighbor `s` is `la(me,s) + min(next local event, EIT)`:
+//! any future send happens while processing an event no earlier than that
+//! basis, and arrives at least the pairwise lookahead later. EOTs are
+//! re-announced only when they increase, so idle neighbor pairs exchange a
+//! bounded trickle of nulls rather than a barrier storm, and ranks with no
+//! common link exchange nothing at all.
+//!
+//! Termination: for bounded runs a rank retires once its EIT and next local
+//! event both pass the bound (its final EOT promise, already sent, releases
+//! its neighbors). For exhaustive runs, counters of cross-rank events sent
+//! and received detect the global "all idle, nothing in flight" state.
+//!
+//! Determinism: event ordering uses the same `(time, class, tie)` total
+//! order as the serial engine, and a rank only processes time `t` once every
+//! event with time `< EIT > t` has arrived, so a parallel run produces
+//! *bit-identical* statistics to the serial run of the same system.
+//! Integration tests assert this.
 
 use crate::builder::SystemBuilder;
 use crate::component::EventSink;
 use crate::engine::{Kernel, RunLimit, SimReport};
-use crate::event::ScheduledEvent;
+use crate::event::{EventBufPool, ScheduledEvent};
 use crate::queue::EventQueue;
 use crate::stats::StatsRegistry;
 use crate::time::SimTime;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Barrier;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// How long an idle rank blocks on its inbox before re-checking the global
+/// termination state. Progress never depends on this: any EIT advance
+/// arrives as a message and wakes the receiver immediately.
+const IDLE_POLL: Duration = Duration::from_micros(200);
+
+/// One hop of the synchronization protocol: zero or more cross-rank events
+/// plus an EOT promise (in ps). An empty `events` is a pure null message.
+struct Batch {
+    from: u32,
+    events: Vec<ScheduledEvent>,
+    eot: u64,
+}
 
 /// Routes pushed events: local ones into a staging buffer (drained into the
 /// rank's queue after each handler, since the queue is being popped at the
-/// same time), remote ones into per-destination buffers flushed at the next
-/// barrier.
+/// same time), remote ones into per-destination buffers flushed with the
+/// next announcement round.
 struct RankSink<'a> {
     my_rank: u32,
     local: &'a mut Vec<ScheduledEvent>,
@@ -48,11 +82,11 @@ impl EventSink for RankSink<'_> {
     }
 }
 
-/// The parallel engine: one [`Kernel`] per rank plus shared synchronization
-/// state.
+/// The parallel engine: one [`Kernel`] per rank plus the channel fabric.
 pub struct ParallelEngine {
     kernels: Vec<Kernel>,
     lookahead: SimTime,
+    pair_la: Vec<Vec<Option<SimTime>>>,
     n_ranks: u32,
 }
 
@@ -64,6 +98,7 @@ impl ParallelEngine {
         assert!(n_ranks > 0, "need at least one rank");
         let ranks = builder.resolve_ranks(n_ranks);
         let lookahead = builder.lookahead(&ranks).unwrap_or(SimTime::MAX);
+        let pair_la = builder.pairwise_lookahead(&ranks, n_ranks);
         // Kernel::from_builder consumes the builder, so clone-free
         // construction needs one pass per rank over a shared spec. Instead we
         // split the builder once: move each component into its rank's kernel.
@@ -71,6 +106,7 @@ impl ParallelEngine {
         ParallelEngine {
             kernels,
             lookahead,
+            pair_la,
             n_ranks,
         }
     }
@@ -80,7 +116,7 @@ impl ParallelEngine {
         self.n_ranks
     }
 
-    /// The conservative lookahead window.
+    /// The conservative lookahead window (minimum over all rank pairs).
     pub fn lookahead(&self) -> SimTime {
         self.lookahead
     }
@@ -91,29 +127,40 @@ impl ParallelEngine {
         let t0 = std::time::Instant::now();
         let n = self.n_ranks as usize;
         let bound = limit.bound();
-        let lookahead = self.lookahead;
 
-        let barrier = Barrier::new(n);
-        let mailboxes: Vec<Mutex<Vec<ScheduledEvent>>> =
-            (0..n).map(|_| Mutex::new(Vec::new())).collect();
-        let next_times: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
-        let epochs = AtomicU64::new(0);
+        let mut receivers: Vec<Option<Receiver<Batch>>> = Vec::with_capacity(n);
+        let mut senders: Vec<Sender<Batch>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+        // Start at 0, not MAX: "idle" must be a claim a rank has actually
+        // made, or a fast-starting rank could observe peers that have not
+        // yet published their first event time and declare the whole run
+        // finished before it begins.
+        let next_times: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let events_sent = AtomicU64::new(0);
+        let events_recvd = AtomicU64::new(0);
+        let all_done = AtomicBool::new(false);
 
         let mut results: Vec<Option<(Kernel, u64)>> = (0..n).map(|_| None).collect();
 
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for (rank, kernel) in self.kernels.into_iter().enumerate() {
-                let barrier = &barrier;
-                let mailboxes = &mailboxes;
-                let next_times = &next_times;
-                let epochs = &epochs;
-                handles.push(scope.spawn(move || {
-                    run_rank(
-                        kernel, rank as u32, n, bound, lookahead, barrier, mailboxes, next_times,
-                        epochs,
-                    )
-                }));
+                let rx = receivers[rank].take().expect("receiver taken once");
+                let shared = RankShared {
+                    senders: &senders,
+                    next_times: &next_times,
+                    events_sent: &events_sent,
+                    events_recvd: &events_recvd,
+                    all_done: &all_done,
+                };
+                let la_row = self.pair_la[rank].clone();
+                handles.push(
+                    scope.spawn(move || run_rank(kernel, rank as u32, bound, la_row, rx, shared)),
+                );
             }
             for (rank, h) in handles.into_iter().enumerate() {
                 results[rank] = Some(h.join().expect("rank thread panicked"));
@@ -124,14 +171,14 @@ impl ParallelEngine {
         let mut events = 0u64;
         let mut clock_ticks = 0u64;
         let mut end_time = SimTime::ZERO;
-        let mut local_epochs = 0u64;
+        let mut rounds = 0u64;
         for r in results.into_iter().flatten() {
             let (kernel, eps) = r;
             events += kernel.events;
             clock_ticks += kernel.clock_ticks;
             end_time = end_time.max(kernel.now);
             stats.absorb(kernel.stats);
-            local_epochs = local_epochs.max(eps);
+            rounds = rounds.max(eps);
         }
         if let RunLimit::Until(t) = limit {
             end_time = end_time.max(t);
@@ -142,7 +189,7 @@ impl ParallelEngine {
             clock_ticks,
             wall_seconds: t0.elapsed().as_secs_f64(),
             ranks: self.n_ranks,
-            epochs: local_epochs,
+            epochs: rounds,
             stats: stats.snapshot(),
         }
     }
@@ -216,25 +263,171 @@ impl crate::component::Component for RemotePlaceholder {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
+/// Shared coordination state borrowed by every rank thread.
+#[derive(Clone, Copy)]
+struct RankShared<'a> {
+    senders: &'a [Sender<Batch>],
+    /// Each rank's earliest pending local event time (ps), for termination.
+    next_times: &'a [AtomicU64],
+    /// Cross-rank events sent / fully absorbed, for in-flight detection.
+    events_sent: &'a AtomicU64,
+    events_recvd: &'a AtomicU64,
+    all_done: &'a AtomicBool,
+}
+
+/// Per-rank synchronization state for the null-message protocol.
+struct SyncState {
+    my_rank: u32,
+    /// Ranks I share at least one link with, in ascending order.
+    neighbors: Vec<u32>,
+    /// Pairwise lookahead to each rank (ps); `u64::MAX` for non-neighbors.
+    la_out: Vec<u64>,
+    /// Latest EOT promise received from each rank (ps).
+    eit: Vec<u64>,
+    /// Last EOT announced to each rank, to suppress no-news nulls.
+    last_eot: Vec<u64>,
+    /// Announcement rounds executed (reported as `epochs`).
+    rounds: u64,
+    pool: EventBufPool,
+}
+
+impl SyncState {
+    fn new(my_rank: u32, la_row: &[Option<SimTime>]) -> SyncState {
+        let neighbors: Vec<u32> = la_row
+            .iter()
+            .enumerate()
+            .filter_map(|(s, la)| la.map(|_| s as u32))
+            .collect();
+        let la_out: Vec<u64> = la_row
+            .iter()
+            .map(|la| la.map_or(u64::MAX, |t| t.as_ps()))
+            .collect();
+        // A neighbor's first event arrives no earlier than its lookahead to
+        // us (it cannot send before time zero); links are symmetric so the
+        // outbound lookahead doubles as the inbound one. Non-neighbors never
+        // send, so their EIT contribution is infinite.
+        let eit = la_out.clone();
+        SyncState {
+            my_rank,
+            neighbors,
+            la_out,
+            eit,
+            last_eot: vec![0; la_row.len()],
+            rounds: 0,
+            pool: EventBufPool::new(),
+        }
+    }
+
+    /// Earliest time a neighbor could still send me an event.
+    fn eit_min(&self) -> u64 {
+        self.neighbors
+            .iter()
+            .map(|&s| self.eit[s as usize])
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Fold one received batch into the queue and the EIT table.
+    fn absorb(&mut self, batch: Batch, queue: &mut EventQueue, shared: &RankShared<'_>) {
+        let from = batch.from as usize;
+        debug_assert!(batch.eot >= self.eit[from], "EOT promises must be monotone");
+        let n_events = batch.events.len() as u64;
+        let mut events = batch.events;
+        for ev in events.drain(..) {
+            queue.push(ev);
+        }
+        self.pool.put(events);
+        self.eit[from] = self.eit[from].max(batch.eot);
+        if n_events > 0 {
+            // Publish the new earliest local time *before* acknowledging the
+            // events, so a termination check that sees balanced counters also
+            // sees this rank as busy (see the ordering argument in `idle`).
+            publish_next(queue, self.my_rank, shared);
+            shared.events_recvd.fetch_add(n_events, Ordering::SeqCst);
+        }
+    }
+
+    /// Send pending cross-rank events and any improved EOT promises.
+    /// A batch goes to a neighbor only when there is news for it.
+    fn flush_and_announce(
+        &mut self,
+        outbound: &mut [Vec<ScheduledEvent>],
+        queue: &EventQueue,
+        shared: &RankShared<'_>,
+    ) {
+        let next_local = queue.next_time().map_or(u64::MAX, |t| t.as_ps());
+        let basis = next_local.min(self.eit_min());
+        let mut announced = false;
+        for i in 0..self.neighbors.len() {
+            let s = self.neighbors[i] as usize;
+            let eot = basis
+                .saturating_add(self.la_out[s])
+                .max(self.last_eot[s]);
+            let has_events = !outbound[s].is_empty();
+            if !has_events && eot == self.last_eot[s] {
+                continue;
+            }
+            let events = std::mem::replace(&mut outbound[s], self.pool.get());
+            if !events.is_empty() {
+                shared.events_sent.fetch_add(events.len() as u64, Ordering::SeqCst);
+            }
+            self.last_eot[s] = eot;
+            // A closed channel means the peer already retired (past the
+            // bound); it no longer needs events or promises.
+            let _ = shared.senders[s].send(Batch {
+                from: self.my_rank,
+                events,
+                eot,
+            });
+            announced = true;
+        }
+        if announced {
+            self.rounds += 1;
+        }
+    }
+}
+
+fn publish_next(queue: &EventQueue, my_rank: u32, shared: &RankShared<'_>) {
+    let next = queue.next_time().map_or(u64::MAX, |t| t.as_ps());
+    shared.next_times[my_rank as usize].store(next, Ordering::SeqCst);
+}
+
+/// Global termination check for exhaustive runs, valid only when this rank
+/// is itself idle: every rank idle and no cross-rank events in flight.
+///
+/// Read order matters: receives are counted *after* their events are
+/// published in `next_times` (see `absorb`), so reading `recvd` before
+/// `sent` before `next_times` guarantees that balanced counters plus
+/// all-idle really is a global quiescent state — any message sent before
+/// our `sent` read was absorbed before our `recvd` read, and its effect on
+/// the owner's `next_times` is visible to the later reads.
+fn globally_idle(shared: &RankShared<'_>) -> bool {
+    let recvd = shared.events_recvd.load(Ordering::SeqCst);
+    let sent = shared.events_sent.load(Ordering::SeqCst);
+    recvd == sent
+        && shared
+            .next_times
+            .iter()
+            .all(|t| t.load(Ordering::SeqCst) == u64::MAX)
+}
+
 fn run_rank(
     mut kernel: Kernel,
     my_rank: u32,
-    n: usize,
     bound: SimTime,
-    lookahead: SimTime,
-    barrier: &Barrier,
-    mailboxes: &[Mutex<Vec<ScheduledEvent>>],
-    next_times: &[AtomicU64],
-    epochs: &AtomicU64,
+    la_row: Vec<Option<SimTime>>,
+    rx: Receiver<Batch>,
+    shared: RankShared<'_>,
 ) -> (Kernel, u64) {
+    let n = la_row.len();
     let mut queue = EventQueue::new();
     let mut staging: Vec<ScheduledEvent> = Vec::new();
     let mut outbound: Vec<Vec<ScheduledEvent>> = (0..n).map(|_| Vec::new()).collect();
-    let mut my_epochs = 0u64;
+    let mut sync = SyncState::new(my_rank, &la_row);
+    let bound_ps = bound.as_ps();
 
-    // Time-zero setup: run setup handlers and start clocks, then publish any
-    // cross-rank sends before the first window.
+    // Time-zero setup: run setup handlers and start clocks, then ship any
+    // cross-rank sends (with the first EOT promises) before the first window.
     {
         let mut sink = RankSink {
             my_rank,
@@ -247,42 +440,26 @@ fn run_rank(
     for ev in staging.drain(..) {
         queue.push(ev);
     }
-    flush_outbound(&mut outbound, mailboxes);
-    barrier.wait();
+    // Flush before publishing idleness: once `next_times` says MAX and the
+    // sent/received counters balance, a checker may declare global
+    // termination, so no unsent event may exist at that point.
+    sync.flush_and_announce(&mut outbound, &queue, &shared);
+    publish_next(&queue, my_rank, &shared);
 
     loop {
-        // 1. Drain events other ranks deposited for us.
-        {
-            let mut mb = mailboxes[my_rank as usize].lock();
-            for ev in mb.drain(..) {
-                queue.push(ev);
-            }
+        // 1. Drain whatever neighbors have deposited since last look.
+        while let Ok(batch) = rx.try_recv() {
+            sync.absorb(batch, &mut queue, &shared);
         }
 
-        // 2. Publish my earliest pending time; agree on the global minimum.
-        let my_next = queue.next_time().map_or(u64::MAX, |t| t.as_ps());
-        next_times[my_rank as usize].store(my_next, Ordering::Relaxed);
-        barrier.wait();
-        let global_min = next_times
-            .iter()
-            .map(|t| t.load(Ordering::Relaxed))
-            .min()
-            .unwrap_or(u64::MAX);
-
-        // 3. Terminate when idle everywhere or past the bound. Every rank
-        //    computes the same value, so all exit together.
-        if global_min == u64::MAX || SimTime::ps(global_min) > bound {
-            barrier.wait(); // release ranks still inside step 2's read phase
-            break;
-        }
-
-        // 4. Process the conservative window [global_min, global_min + L).
-        //    Events at exactly `bound` are included (RunLimit::Until is
-        //    inclusive, matching the serial engine).
-        let window_end = SimTime::ps(global_min.saturating_add(lookahead.as_ps()));
-        let hard_end = SimTime::ps(bound.as_ps().saturating_add(1));
-        let end = window_end.min(hard_end);
-        while let Some(ev) = queue.pop_before(end) {
+        // 2. Process the safe window: strictly before the EIT (a neighbor
+        //    may still send events *at* the EIT, and same-time events must
+        //    enter the queue before tie-break ordering picks among them),
+        //    and never past the bound (`Until` is inclusive, matching the
+        //    serial engine).
+        let safe = sync.eit_min().min(bound_ps.saturating_add(1));
+        let mut worked = false;
+        while let Some(ev) = queue.pop_before(SimTime::ps(safe)) {
             let mut sink = RankSink {
                 my_rank,
                 local: &mut staging,
@@ -292,14 +469,43 @@ fn run_rank(
             for ev in staging.drain(..) {
                 queue.push(ev);
             }
+            worked = true;
         }
 
-        // 5. Publish cross-rank events; barrier ends the epoch (and protects
-        //    the next_times array for the next epoch's writes).
-        flush_outbound(&mut outbound, mailboxes);
-        my_epochs += 1;
-        epochs.fetch_max(my_epochs, Ordering::Relaxed);
-        barrier.wait();
+        // 3. Ship events and improved EOT promises to neighbors, *then*
+        //    publish our new earliest time: a rank must never look idle to
+        //    the termination check while it holds unsent events (the send
+        //    bumps `events_sent`, which keeps the counters unbalanced until
+        //    the receiver absorbs them).
+        sync.flush_and_announce(&mut outbound, &queue, &shared);
+        publish_next(&queue, my_rank, &shared);
+
+        // 4. Retire when nothing at or below the bound can ever reach this
+        //    rank again. The promises just sent release the neighbors too.
+        let next_local = queue.next_time().map_or(u64::MAX, |t| t.as_ps());
+        if bound_ps != u64::MAX && sync.eit_min() > bound_ps && next_local > bound_ps {
+            break;
+        }
+
+        // 5. Exhaustive termination: all ranks idle, nothing in flight.
+        //    (Also ends bounded runs early when the whole system drains.)
+        if shared.all_done.load(Ordering::SeqCst) {
+            break;
+        }
+        if next_local == u64::MAX && globally_idle(&shared) {
+            shared.all_done.store(true, Ordering::SeqCst);
+            break;
+        }
+
+        // 6. Nothing processable: block until a neighbor advances our EIT
+        //    (or the idle poll re-checks termination).
+        if !worked {
+            match rx.recv_timeout(IDLE_POLL) {
+                Ok(batch) => sync.absorb(batch, &mut queue, &shared),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
     }
 
     // Finalize. `finish` must not send events; anything pushed here is
@@ -315,15 +521,7 @@ fn run_rank(
     if bound != SimTime::MAX {
         kernel.now = kernel.now.max(bound);
     }
-    (kernel, my_epochs)
-}
-
-fn flush_outbound(outbound: &mut [Vec<ScheduledEvent>], mailboxes: &[Mutex<Vec<ScheduledEvent>>]) {
-    for (rank, buf) in outbound.iter_mut().enumerate() {
-        if !buf.is_empty() {
-            mailboxes[rank].lock().append(buf);
-        }
-    }
+    (kernel, sync.rounds)
 }
 
 #[cfg(test)]
@@ -417,7 +615,8 @@ mod tests {
 
     #[test]
     fn independent_ranks_no_cross_links() {
-        // Two disjoint rings: lookahead is unbounded; both must still finish.
+        // Two disjoint rings: no rank pair shares a link, so no messages
+        // flow at all; both rings must still finish.
         let mut b = SystemBuilder::new();
         for r in 0..2 {
             let ids: Vec<_> = (0..4)
@@ -449,6 +648,112 @@ mod tests {
     fn single_rank_parallel_equals_serial() {
         let serial = crate::engine::Engine::new(build_ring(4, 3)).run(RunLimit::Exhaust);
         let par = ParallelEngine::new(build_ring(4, 3), 1).run(RunLimit::Exhaust);
+        assert_eq!(par.events, serial.events);
+        assert_eq!(par.end_time, serial.end_time);
+    }
+
+    #[test]
+    fn asymmetric_latencies_use_pairwise_lookahead() {
+        // A chain 0 -- 1 -- 2 with very different latencies per pair: the
+        // tight pair must not be throttled to the loose pair's lookahead,
+        // and results must still match the serial run.
+        fn build() -> SystemBuilder {
+            let mut b = SystemBuilder::new();
+            let a = b.add_on_rank(
+                "a",
+                RingNode {
+                    laps: 6,
+                    start: true,
+                    visits: None,
+                },
+                0,
+            );
+            let c = b.add_on_rank(
+                "c",
+                RingNode {
+                    laps: 6,
+                    start: false,
+                    visits: None,
+                },
+                1,
+            );
+            let d = b.add_on_rank(
+                "d",
+                RingNode {
+                    laps: 6,
+                    start: false,
+                    visits: None,
+                },
+                2,
+            );
+            b.link((a, RingNode::OUT), (c, RingNode::IN), SimTime::ns(2));
+            b.link((c, RingNode::OUT), (d, RingNode::IN), SimTime::ns(40));
+            b.link((d, RingNode::OUT), (a, RingNode::IN), SimTime::ns(3));
+            b
+        }
+        let serial = crate::engine::Engine::new(build()).run(RunLimit::Exhaust);
+        let par = ParallelEngine::new(build(), 3).run(RunLimit::Exhaust);
+        assert_eq!(par.events, serial.events);
+        assert_eq!(par.end_time, serial.end_time);
+        for name in ["a", "c", "d"] {
+            assert_eq!(
+                par.stats.counter(name, "visits"),
+                serial.stats.counter(name, "visits"),
+                "node={name}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_run_with_idle_rank_terminates() {
+        // Rank 1 owns a node that goes idle quickly while rank 0 keeps
+        // running to the bound; the EOT creep must still retire both ranks.
+        let mut b = SystemBuilder::new();
+        let busy = b.add_on_rank(
+            "busy",
+            RingNode {
+                laps: 1_000_000,
+                start: true,
+                visits: None,
+            },
+            0,
+        );
+        let quiet = b.add_on_rank(
+            "quiet",
+            RingNode {
+                laps: 1_000_000,
+                start: false,
+                visits: None,
+            },
+            1,
+        );
+        b.link((busy, RingNode::OUT), (quiet, RingNode::IN), SimTime::ns(5));
+        b.link((quiet, RingNode::OUT), (busy, RingNode::IN), SimTime::ns(5));
+        let limit = RunLimit::Until(SimTime::ns(300));
+        let serial = crate::engine::Engine::new({
+            let mut b2 = SystemBuilder::new();
+            let x = b2.add(
+                "busy",
+                RingNode {
+                    laps: 1_000_000,
+                    start: true,
+                    visits: None,
+                },
+            );
+            let y = b2.add(
+                "quiet",
+                RingNode {
+                    laps: 1_000_000,
+                    start: false,
+                    visits: None,
+                },
+            );
+            b2.link((x, RingNode::OUT), (y, RingNode::IN), SimTime::ns(5));
+            b2.link((y, RingNode::OUT), (x, RingNode::IN), SimTime::ns(5));
+            b2
+        })
+        .run(limit);
+        let par = ParallelEngine::new(b, 2).run(limit);
         assert_eq!(par.events, serial.events);
         assert_eq!(par.end_time, serial.end_time);
     }

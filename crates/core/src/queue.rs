@@ -1,5 +1,35 @@
-//! The pending-event set: a min-heap over the deterministic total order
-//! `(time, class, tie)` defined in [`crate::event`].
+//! The pending-event set.
+//!
+//! Two implementations share the deterministic total order
+//! `(time, class, tie)` defined in [`crate::event`]:
+//!
+//! * [`BinaryHeapQueue`] — the original single `BinaryHeap`. Kept as the
+//!   reference implementation for differential tests and benchmarks.
+//! * [`IndexedQueue`] — a two-level calendar queue: a ring of near-future
+//!   buckets indexed by time plus a far-future overflow heap. Pushes into
+//!   the near window are O(1) (append to a bucket); ordering work is done
+//!   lazily, one bucket at a time, when the consumer reaches that bucket.
+//!
+//! [`EventQueue`] aliases the engine's default implementation.
+//!
+//! # IndexedQueue invariants
+//!
+//! Let `bucket(t) = t.as_ps() >> SHIFT`. At all times:
+//!
+//! * `cur` (the drained active bucket, sorted descending so the minimum
+//!   pops from the back) plus `cur_extra` (a min-heap for events pushed at
+//!   `bucket <= base` *after* the drain — zero-delay self events, remote
+//!   stragglers) together hold every pending event with `bucket <= base`.
+//! * `ring[slot]` holds events of exactly one bucket in `(base, base+RING)`,
+//!   namely the one whose bucket number maps to `slot`; the slot for `base`
+//!   itself is always empty (those events live in `cur`/`cur_extra`).
+//! * `far` holds events in buckets `>= base + RING` — plus, transiently,
+//!   events whose bucket fell inside the window after `base` jumped forward;
+//!   `far`'s head is consulted on every advance, so these still pop in order.
+//!
+//! The structure never requires the engine's monotone-push invariant for
+//! correctness: a push below `base` simply lands in `cur`, which is a real
+//! heap. Monotone pushes are what make it *fast*.
 
 use crate::event::{EventClass, ScheduledEvent, TieBreak};
 use crate::time::SimTime;
@@ -26,13 +56,38 @@ impl Ord for HeapEntry {
     }
 }
 
-/// A deterministic min-priority event queue.
+/// The operations an engine needs from a pending-event set. Both queue
+/// implementations provide them; engines are generic over this trait so the
+/// two can be compared differentially.
+pub trait SimQueue: Default {
+    fn push(&mut self, ev: ScheduledEvent);
+    /// Earliest pending event time, if any.
+    fn next_time(&self) -> Option<SimTime>;
+    /// Pop the earliest event if its time is `<= limit`.
+    fn pop_until(&mut self, limit: SimTime) -> Option<ScheduledEvent>;
+    /// Pop the earliest event if its time is strictly `< limit`.
+    fn pop_before(&mut self, limit: SimTime) -> Option<ScheduledEvent>;
+    fn pop(&mut self) -> Option<ScheduledEvent>;
+    fn len(&self) -> usize;
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The engine's default queue.
+pub type EventQueue = IndexedQueue;
+
+// ---------------------------------------------------------------------------
+// BinaryHeapQueue — the reference implementation.
+// ---------------------------------------------------------------------------
+
+/// A deterministic min-priority event queue over one binary heap.
 #[derive(Default)]
-pub struct EventQueue {
+pub struct BinaryHeapQueue {
     heap: BinaryHeap<HeapEntry>,
 }
 
-impl EventQueue {
+impl BinaryHeapQueue {
     pub fn new() -> Self {
         Self::default()
     }
@@ -42,13 +97,11 @@ impl EventQueue {
         self.heap.push(HeapEntry(ev));
     }
 
-    /// Earliest pending event time, if any.
     #[inline]
     pub fn next_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.0.time)
     }
 
-    /// Pop the earliest event if its time is `<= limit`.
     #[inline]
     pub fn pop_until(&mut self, limit: SimTime) -> Option<ScheduledEvent> {
         if self.heap.peek().is_some_and(|e| e.0.time <= limit) {
@@ -58,7 +111,6 @@ impl EventQueue {
         }
     }
 
-    /// Pop the earliest event if its time is strictly `< limit`.
     #[inline]
     pub fn pop_before(&mut self, limit: SimTime) -> Option<ScheduledEvent> {
         if self.heap.peek().is_some_and(|e| e.0.time < limit) {
@@ -80,6 +132,272 @@ impl EventQueue {
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+}
+
+impl SimQueue for BinaryHeapQueue {
+    #[inline]
+    fn push(&mut self, ev: ScheduledEvent) {
+        BinaryHeapQueue::push(self, ev)
+    }
+    #[inline]
+    fn next_time(&self) -> Option<SimTime> {
+        BinaryHeapQueue::next_time(self)
+    }
+    #[inline]
+    fn pop_until(&mut self, limit: SimTime) -> Option<ScheduledEvent> {
+        BinaryHeapQueue::pop_until(self, limit)
+    }
+    #[inline]
+    fn pop_before(&mut self, limit: SimTime) -> Option<ScheduledEvent> {
+        BinaryHeapQueue::pop_before(self, limit)
+    }
+    #[inline]
+    fn pop(&mut self) -> Option<ScheduledEvent> {
+        BinaryHeapQueue::pop(self)
+    }
+    #[inline]
+    fn len(&self) -> usize {
+        BinaryHeapQueue::len(self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// IndexedQueue — calendar ring + far heap.
+// ---------------------------------------------------------------------------
+
+/// log2 of the bucket width in picoseconds: 1024 ps ≈ 1 ns per bucket, the
+/// scale of typical link latencies and clock periods in this repo.
+const SHIFT: u32 = 10;
+/// Buckets in the near-future ring (must be a power of two). With SHIFT=10
+/// the ring covers a ~1 µs window ahead of the consumer.
+const RING: usize = 1024;
+const MASK: u64 = RING as u64 - 1;
+const WORDS: usize = RING / 64;
+
+#[inline]
+fn bucket_of(t: SimTime) -> u64 {
+    t.as_ps() >> SHIFT
+}
+
+/// A deterministic min-priority event queue indexed by delivery time.
+///
+/// See the module docs for the layout. The common DES push — a handful of
+/// nanoseconds ahead of `now` — is an O(1) `Vec::push` into a ring bucket
+/// instead of an O(log n) sift through one global heap, and pops touch only
+/// the (small) heap over the active bucket.
+pub struct IndexedQueue {
+    /// The drained active bucket, sorted descending (minimum at the back).
+    /// One `sort_unstable` per bucket beats heap-pushing every event: the
+    /// sort is a single cache-friendly pass instead of per-event sifts.
+    cur: Vec<ScheduledEvent>,
+    /// Events pushed at `bucket <= base` after the active bucket was
+    /// drained. Rare (zero-delay self events, cross-rank stragglers), so a
+    /// small side heap keeps them O(log) without re-sorting `cur`.
+    cur_extra: BinaryHeap<HeapEntry>,
+    /// Near-future buckets, indexed by `bucket & MASK`.
+    ring: Vec<Vec<ScheduledEvent>>,
+    /// Occupancy bitmap over `ring` for O(words) next-bucket scans.
+    occ: [u64; WORDS],
+    /// Total events in `ring`.
+    ring_count: usize,
+    /// Bucket number of the active bucket.
+    base: u64,
+    /// Events at or beyond `base + RING` (see module docs for the transient
+    /// in-window case).
+    far: BinaryHeap<HeapEntry>,
+    len: usize,
+}
+
+impl Default for IndexedQueue {
+    fn default() -> Self {
+        IndexedQueue {
+            cur: Vec::new(),
+            cur_extra: BinaryHeap::new(),
+            ring: (0..RING).map(|_| Vec::new()).collect(),
+            occ: [0; WORDS],
+            ring_count: 0,
+            base: 0,
+            far: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+}
+
+impl IndexedQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn push(&mut self, ev: ScheduledEvent) {
+        self.len += 1;
+        let b = bucket_of(ev.time);
+        if b <= self.base {
+            self.cur_extra.push(HeapEntry(ev));
+        } else if b - self.base < RING as u64 {
+            let slot = (b & MASK) as usize;
+            self.ring[slot].push(ev);
+            self.occ[slot / 64] |= 1u64 << (slot % 64);
+            self.ring_count += 1;
+        } else {
+            self.far.push(HeapEntry(ev));
+        }
+    }
+
+    /// First occupied ring slot at or after `from`, scanning circularly.
+    fn find_slot_from(&self, from: usize) -> Option<usize> {
+        let (mut w, b) = (from / 64, from % 64);
+        let mut word = self.occ[w] & (!0u64 << b);
+        for _ in 0..=WORDS {
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+            w = (w + 1) % WORDS;
+            word = self.occ[w];
+        }
+        None
+    }
+
+    /// Absolute bucket number and slot of the earliest non-empty ring bucket.
+    fn next_ring_bucket(&self) -> Option<(u64, usize)> {
+        if self.ring_count == 0 {
+            return None;
+        }
+        let base_slot = (self.base & MASK) as usize;
+        let slot = self.find_slot_from((base_slot + 1) % RING)?;
+        let offset = (slot + RING - base_slot) % RING;
+        debug_assert!(offset != 0, "active bucket's slot must be empty");
+        Some((self.base + offset as u64, slot))
+    }
+
+    /// Move `base` to the earliest non-empty bucket and drain it into `cur`.
+    /// Returns false when the queue is empty. Only called with both `cur`
+    /// and `cur_extra` empty.
+    fn advance(&mut self) -> bool {
+        debug_assert!(self.cur.is_empty() && self.cur_extra.is_empty());
+        let ringb = self.next_ring_bucket();
+        let farb = self.far.peek().map(|e| bucket_of(e.0.time));
+        let nb = match (ringb, farb) {
+            (None, None) => return false,
+            (Some((rb, _)), None) => rb,
+            (None, Some(fb)) => fb,
+            (Some((rb, _)), Some(fb)) => rb.min(fb),
+        };
+        self.base = nb;
+        if let Some((rb, slot)) = ringb {
+            if rb == nb {
+                self.ring_count -= self.ring[slot].len();
+                // Swap recycles capacity in both directions: `cur` takes the
+                // bucket's contents, the bucket keeps `cur`'s old allocation.
+                std::mem::swap(&mut self.cur, &mut self.ring[slot]);
+                self.occ[slot / 64] &= !(1u64 << (slot % 64));
+            }
+        }
+        while self.far.peek().is_some_and(|e| bucket_of(e.0.time) == nb) {
+            let e = self.far.pop().unwrap();
+            self.cur.push(e.0);
+        }
+        self.cur.sort_unstable_by(|a, b| b.key().cmp(&a.key()));
+        true
+    }
+
+    /// Earliest pending event time, if any. O(1) while the active bucket is
+    /// non-empty; otherwise one bitmap scan plus one pass over the next
+    /// bucket (no mutation, so repeated peeks are safe).
+    pub fn next_time(&self) -> Option<SimTime> {
+        let head = match (self.cur.last(), self.cur_extra.peek()) {
+            (Some(c), Some(x)) => Some(c.time.min(x.0.time)),
+            (Some(c), None) => Some(c.time),
+            (None, Some(x)) => Some(x.0.time),
+            (None, None) => None,
+        };
+        if head.is_some() {
+            return head;
+        }
+        let ring_min = self
+            .next_ring_bucket()
+            .map(|(_, slot)| self.ring[slot].iter().map(|e| e.time).min().unwrap());
+        let far_min = self.far.peek().map(|e| e.0.time);
+        match (ring_min, far_min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Pop the earliest event if its time is `<= limit`. Does not advance
+    /// the window when the earliest event is beyond the limit, so later
+    /// (remote) pushes inside the window keep O(1) bucket placement.
+    #[inline]
+    pub fn pop_until(&mut self, limit: SimTime) -> Option<ScheduledEvent> {
+        match self.next_time() {
+            Some(t) if t <= limit => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Pop the earliest event if its time is strictly `< limit`.
+    #[inline]
+    pub fn pop_before(&mut self, limit: SimTime) -> Option<ScheduledEvent> {
+        match self.next_time() {
+            Some(t) if t < limit => self.pop(),
+            _ => None,
+        }
+    }
+
+    pub fn pop(&mut self) -> Option<ScheduledEvent> {
+        if self.cur.is_empty() && self.cur_extra.is_empty() && !self.advance() {
+            return None;
+        }
+        // Both levels hold `bucket <= base`; take the smaller full key.
+        let take_extra = match (self.cur.last(), self.cur_extra.peek()) {
+            (Some(c), Some(x)) => x.0.key() < c.key(),
+            (None, Some(_)) => true,
+            _ => false,
+        };
+        let e = if take_extra {
+            self.cur_extra.pop().expect("peeked above").0
+        } else {
+            self.cur.pop().expect("advance() fills cur")
+        };
+        self.len -= 1;
+        Some(e)
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl SimQueue for IndexedQueue {
+    #[inline]
+    fn push(&mut self, ev: ScheduledEvent) {
+        IndexedQueue::push(self, ev)
+    }
+    #[inline]
+    fn next_time(&self) -> Option<SimTime> {
+        IndexedQueue::next_time(self)
+    }
+    #[inline]
+    fn pop_until(&mut self, limit: SimTime) -> Option<ScheduledEvent> {
+        IndexedQueue::pop_until(self, limit)
+    }
+    #[inline]
+    fn pop_before(&mut self, limit: SimTime) -> Option<ScheduledEvent> {
+        IndexedQueue::pop_before(self, limit)
+    }
+    #[inline]
+    fn pop(&mut self) -> Option<ScheduledEvent> {
+        IndexedQueue::pop(self)
+    }
+    #[inline]
+    fn len(&self) -> usize {
+        IndexedQueue::len(self)
     }
 }
 
@@ -161,5 +479,108 @@ mod tests {
         q.push(ev(42, EventClass::Message, 0, 0));
         assert_eq!(q.next_time(), Some(SimTime::ps(42)));
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn spans_ring_and_far_buckets() {
+        // One event per region: active bucket, mid-ring, past the window.
+        let mut q = IndexedQueue::new();
+        let far = (RING as u64 + 5) << SHIFT; // beyond the near window
+        q.push(ev(far, EventClass::Message, 0, 2));
+        q.push(ev(5, EventClass::Message, 0, 0));
+        q.push(ev(3 << SHIFT, EventClass::Message, 0, 1));
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.as_ps())
+            .collect();
+        assert_eq!(times, vec![5, 3 << SHIFT, far]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_events_entering_window_stay_ordered() {
+        // A far event and a ring event in the same bucket must interleave
+        // by tie-break even though they live in different levels.
+        let mut q = IndexedQueue::new();
+        let t = (RING as u64 + 1) << SHIFT;
+        q.push(ev(t, EventClass::Message, 2, 0)); // goes to far
+        q.push(ev(0, EventClass::Message, 0, 0)); // active bucket
+        assert_eq!(q.pop().unwrap().time.as_ps(), 0);
+        // Window has moved; same bucket now reachable from the ring side.
+        q.push(ev(t, EventClass::Message, 1, 0));
+        let ties: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.tie.src.0)
+            .collect();
+        assert_eq!(ties, vec![1, 2]);
+    }
+
+    #[test]
+    fn push_below_base_still_pops_in_order() {
+        // After the window advances past t=100, a push at an earlier time
+        // (legal for a remote event between conservative windows) must still
+        // pop before everything later.
+        let mut q = IndexedQueue::new();
+        q.push(ev(500 << SHIFT, EventClass::Message, 0, 0));
+        assert_eq!(q.pop().unwrap().time.as_ps(), 500 << SHIFT); // base jumped
+        q.push(ev(100, EventClass::Message, 0, 1));
+        q.push(ev(600 << SHIFT, EventClass::Message, 0, 2));
+        assert_eq!(q.pop().unwrap().time.as_ps(), 100);
+        assert_eq!(q.pop().unwrap().time.as_ps(), 600 << SHIFT);
+    }
+
+    #[test]
+    fn matches_heap_queue_on_mixed_workload() {
+        // Deterministic pseudo-random interleaving of pushes and pops across
+        // both implementations; orders must be identical event for event.
+        let mut a = BinaryHeapQueue::new();
+        let mut b = IndexedQueue::new();
+        let mut x = 0x1234_5678_9ABC_DEFFu64;
+        let mut next = |m: u64| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x % m
+        };
+        let mut popped = 0u64;
+        for i in 0..5000u64 {
+            // Mostly near-future, occasionally far-future, duplicate-heavy.
+            let t = popped + next(1 << 14) * if next(10) == 0 { 1000 } else { 1 };
+            let class = if next(4) == 0 {
+                EventClass::Clock
+            } else {
+                EventClass::Message
+            };
+            let e1 = ev(t, class, next(8) as u32, i);
+            let e2 = ev(t, class, e1.tie.src.0, i);
+            a.push(e1);
+            b.push(e2);
+            if next(3) == 0 {
+                let pa = a.pop().unwrap();
+                let pb = b.pop().unwrap();
+                assert_eq!(pa.key(), pb.key());
+                popped = pa.time.as_ps();
+            }
+        }
+        loop {
+            match (a.pop(), b.pop()) {
+                (None, None) => break,
+                (pa, pb) => {
+                    assert_eq!(pa.unwrap().key(), pb.unwrap().key());
+                }
+            }
+        }
+        assert!(a.is_empty() && b.is_empty());
+    }
+
+    #[test]
+    fn len_tracks_across_levels() {
+        let mut q = IndexedQueue::new();
+        for i in 0..100u64 {
+            q.push(ev(i * 3000, EventClass::Message, 0, i));
+        }
+        assert_eq!(q.len(), 100);
+        for _ in 0..40 {
+            q.pop();
+        }
+        assert_eq!(q.len(), 60);
     }
 }
