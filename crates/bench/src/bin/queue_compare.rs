@@ -1,0 +1,278 @@
+//! Head-to-head comparison of the reference `BinaryHeapQueue` and the
+//! two-level `IndexedQueue`, plus parallel rank scaling — without the
+//! criterion harness, so it runs under the default feature set.
+//!
+//! Three measurements:
+//!
+//! 1. **Hold model** — the classic queue benchmark: prefill N events, then
+//!    repeatedly pop the minimum and push a replacement a random delta
+//!    ahead. Queue depth stays constant at N, which is exactly the regime
+//!    where the heap pays `O(log N)` per operation and the indexed queue's
+//!    calendar ring pays `O(1)`.
+//! 2. **Whole engine** — the token-ring workload through `EngineOn` over
+//!    each queue, measuring end-to-end events/sec (payload allocation and
+//!    component dispatch included, so the ratio is smaller than the raw
+//!    queue ratio).
+//! 3. **Parallel rank scaling** — the pdes torus workload at 1/2/4 ranks,
+//!    checking that event counts stay identical across rank counts and
+//!    recording honest wall-clock numbers for the host.
+//!
+//! Results land in `BENCH_queue_compare.json` at the repo root (or the
+//! path given as the first argument).
+
+use serde::Serialize;
+use sst_bench::ring;
+use sst_core::event::{ComponentId, EventClass, EventKind, PortId, ScheduledEvent, TieBreak};
+use sst_core::queue::{BinaryHeapQueue, IndexedQueue, SimQueue};
+use sst_core::{EngineOn, ParallelEngine, RunLimit, SimTime};
+use sst_sim::experiments::pdes;
+use std::time::Instant;
+
+/// xorshift64*: fixed-seed, dependency-free randomness for the workload.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+fn ev(t: u64, seq: u64) -> ScheduledEvent {
+    ScheduledEvent {
+        time: SimTime::ps(t),
+        class: EventClass::Message,
+        tie: TieBreak {
+            src: ComponentId((seq % 64) as u32),
+            seq,
+        },
+        target: ComponentId(0),
+        kind: EventKind::Message {
+            port: PortId(0),
+            payload: Box::new(()),
+        },
+    }
+}
+
+/// Hold model: steady-state depth `held`, `ops` pop+push cycles. Deltas are
+/// mostly near-future (inside the indexed queue's ring window) with an
+/// occasional far spike, mirroring a DES where a few events sit beyond the
+/// current activity horizon. Returns (events/sec, checksum).
+fn hold_model<Q: SimQueue>(held: usize, ops: u64) -> (f64, u64) {
+    let mut q = Q::default();
+    let mut rng = Rng(0x9E37_79B9_7F4A_7C15);
+    for i in 0..held {
+        q.push(ev(rng.next() % 1_000_000, i as u64));
+    }
+    let mut checksum = 0u64;
+    let start = Instant::now();
+    for i in 0..ops {
+        let e = q.pop().expect("hold model never drains");
+        let t = e.time.as_ps();
+        checksum ^= t;
+        let dt = if i % 97 == 0 {
+            // Far spike: several ring windows ahead.
+            5_000_000 + rng.next() % 1_000_000
+        } else {
+            1 + rng.next() % 80_000
+        };
+        q.push(ev(t + dt, held as u64 + i));
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (ops as f64 / secs, checksum)
+}
+
+/// Best-of-`reps` events/sec for a full engine run over queue `Q`.
+fn engine_rate<Q>(reps: u32, build: impl Fn() -> sst_core::SystemBuilder) -> f64
+where
+    Q: SimQueue + sst_core::EventSink,
+{
+    let mut best = 0.0f64;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let report = EngineOn::<Q>::new(build()).run(RunLimit::Exhaust);
+        let rate = report.events as f64 / start.elapsed().as_secs_f64();
+        best = best.max(rate);
+    }
+    best
+}
+
+#[derive(Serialize)]
+struct HoldResult {
+    depth: u64,
+    ops: u64,
+    heap_events_per_sec: f64,
+    indexed_events_per_sec: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct EngineResult {
+    workload: String,
+    heap_events_per_sec: f64,
+    indexed_events_per_sec: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct RankResult {
+    ranks: u32,
+    events: u64,
+    wall_seconds: f64,
+    events_per_sec: f64,
+    speedup_vs_1_rank: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: String,
+    host_cpus: u64,
+    hold_model: Vec<HoldResult>,
+    whole_engine: Vec<EngineResult>,
+    parallel_rank_scaling: Vec<RankResult>,
+    notes: Vec<String>,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_queue_compare.json".to_string());
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1);
+
+    // --- 1. hold model at several depths -----------------------------------
+    let ops = 400_000u64;
+    let mut hold = Vec::new();
+    for &depth in &[256usize, 1024, 4096, 16384] {
+        // Best of 3 to shrug off scheduler noise; checksums must agree.
+        let mut heap_best = 0.0f64;
+        let mut idx_best = 0.0f64;
+        let mut sums = (0, 0);
+        for _ in 0..3 {
+            let (hr, hs) = hold_model::<BinaryHeapQueue>(depth, ops);
+            let (ir, is) = hold_model::<IndexedQueue>(depth, ops);
+            heap_best = heap_best.max(hr);
+            idx_best = idx_best.max(ir);
+            sums = (hs, is);
+        }
+        assert_eq!(sums.0, sums.1, "queues popped different event sequences");
+        let r = HoldResult {
+            depth: depth as u64,
+            ops,
+            heap_events_per_sec: heap_best,
+            indexed_events_per_sec: idx_best,
+            speedup: idx_best / heap_best,
+        };
+        eprintln!(
+            "[hold depth={:>6}] heap {:>12.0} ev/s   indexed {:>12.0} ev/s   {:.2}x",
+            r.depth, r.heap_events_per_sec, r.indexed_events_per_sec, r.speedup
+        );
+        hold.push(r);
+    }
+
+    // --- 2. whole-engine workloads -----------------------------------------
+    // Ring keeps exactly one event in flight (queue depth ~1: a lower bound
+    // on what the queue can matter); the pdes torus keeps ~850 tokens in
+    // flight (a realistic deep-queue DES).
+    let params = pdes::Params {
+        side: 12,
+        tokens_per_node: 6,
+        ttl: 80,
+        rank_counts: vec![],
+    };
+    let mut whole_engine = Vec::new();
+    for (workload, heap_rate, idx_rate) in [
+        (
+            "ring(64 nodes, 200k hops), queue depth ~1",
+            engine_rate::<BinaryHeapQueue>(3, || ring(64, 200_000)),
+            engine_rate::<IndexedQueue>(3, || ring(64, 200_000)),
+        ),
+        (
+            "pdes torus 12x12, 6 tokens/node, ttl 80, queue depth ~850",
+            engine_rate::<BinaryHeapQueue>(3, || pdes::build(&params)),
+            engine_rate::<IndexedQueue>(3, || pdes::build(&params)),
+        ),
+    ] {
+        let r = EngineResult {
+            workload: workload.to_string(),
+            heap_events_per_sec: heap_rate,
+            indexed_events_per_sec: idx_rate,
+            speedup: idx_rate / heap_rate,
+        };
+        eprintln!(
+            "[engine         ] heap {:>12.0} ev/s   indexed {:>12.0} ev/s   {:.2}x  ({workload})",
+            heap_rate, idx_rate, r.speedup
+        );
+        whole_engine.push(r);
+    }
+
+    // --- 3. parallel rank scaling ------------------------------------------
+    let mut scaling = Vec::new();
+    let mut base_rate = 0.0f64;
+    let mut base_events = 0u64;
+    for ranks in [1u32, 2, 4] {
+        let mut best_rate = 0.0f64;
+        let mut best_wall = f64::INFINITY;
+        let mut events = 0u64;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let report = ParallelEngine::new(pdes::build(&params), ranks).run(RunLimit::Exhaust);
+            let wall = start.elapsed().as_secs_f64();
+            events = report.events;
+            best_wall = best_wall.min(wall);
+            best_rate = best_rate.max(report.events as f64 / wall);
+        }
+        if ranks == 1 {
+            base_rate = best_rate;
+            base_events = events;
+        } else {
+            assert_eq!(
+                events, base_events,
+                "parallel run delivered a different event count at {ranks} ranks"
+            );
+        }
+        let r = RankResult {
+            ranks,
+            events,
+            wall_seconds: best_wall,
+            events_per_sec: best_rate,
+            speedup_vs_1_rank: best_rate / base_rate,
+        };
+        eprintln!(
+            "[pdes ranks={}   ] {:>9} events   {:>12.0} ev/s   {:.2}x vs 1 rank",
+            r.ranks, r.events, r.events_per_sec, r.speedup_vs_1_rank
+        );
+        scaling.push(r);
+    }
+
+    let report = Report {
+        bench: "queue_compare".to_string(),
+        host_cpus,
+        hold_model: hold,
+        whole_engine,
+        parallel_rank_scaling: scaling,
+        notes: vec![
+            "hold model: constant queue depth, pop-min + push-random-future; \
+             the regime where heap cost is O(log N) per op and the calendar \
+             ring is O(1)."
+                .to_string(),
+            "whole-engine rates include payload boxing and component \
+             dispatch, which dominate; the queue-only gain shows in the \
+             hold-model rows."
+                .to_string(),
+            format!(
+                "host has {host_cpus} CPU(s); with a single CPU the parallel \
+                 ranks time-slice one core, so rank scaling shows protocol \
+                 overhead rather than speedup. Event counts are asserted \
+                 identical across rank counts."
+            ),
+            "rates are best-of-3 runs.".to_string(),
+        ],
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
+    std::fs::write(&out_path, json + "\n").expect("write bench report");
+    eprintln!("wrote {out_path}");
+}

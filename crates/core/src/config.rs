@@ -39,7 +39,7 @@ impl fmt::Display for ConfigError {
                 write!(f, "component `{component}` has no port named `{port}`")
             }
             ConfigError::BadParam(e) => write!(f, "{e}"),
-            ConfigError::BadFormat(m) => write!(f, "bad config: {m}"),
+            ConfigError::BadFormat(m) => write!(f, "{m}"),
         }
     }
 }
