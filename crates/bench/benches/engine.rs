@@ -71,5 +71,10 @@ fn event_queue_ops(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, serial_event_throughput, parallel_rank_scaling, event_queue_ops);
+criterion_group!(
+    benches,
+    serial_event_throughput,
+    parallel_rank_scaling,
+    event_queue_ops
+);
 criterion_main!(benches);

@@ -14,7 +14,9 @@ fn bench_fig02(c: &mut Criterion) {
     };
     c.benchmark_group("figures")
         .sample_size(10)
-        .bench_function("fig02_cores_per_node", |b| b.iter(|| fig02::run(&p).rows.len()));
+        .bench_function("fig02_cores_per_node", |b| {
+            b.iter(|| fig02::run(&p).rows.len())
+        });
 }
 
 fn bench_fig03(c: &mut Criterion) {
@@ -27,7 +29,9 @@ fn bench_fig03(c: &mut Criterion) {
     };
     c.benchmark_group("figures")
         .sample_size(10)
-        .bench_function("fig03_memory_speed", |b| b.iter(|| fig03::run(&p).rows.len()));
+        .bench_function("fig03_memory_speed", |b| {
+            b.iter(|| fig03::run(&p).rows.len())
+        });
 }
 
 fn bench_fig04(c: &mut Criterion) {
@@ -37,7 +41,9 @@ fn bench_fig04(c: &mut Criterion) {
     };
     c.benchmark_group("figures")
         .sample_size(10)
-        .bench_function("fig04_cache_behavior", |b| b.iter(|| fig04::run(&p).rows.len()));
+        .bench_function("fig04_cache_behavior", |b| {
+            b.iter(|| fig04::run(&p).rows.len())
+        });
 }
 
 fn bench_fig05(c: &mut Criterion) {
@@ -48,7 +54,9 @@ fn bench_fig05(c: &mut Criterion) {
     };
     c.benchmark_group("figures")
         .sample_size(10)
-        .bench_function("fig05_weak_scaling", |b| b.iter(|| fig05::run(&p).rows.len()));
+        .bench_function("fig05_weak_scaling", |b| {
+            b.iter(|| fig05::run(&p).rows.len())
+        });
 }
 
 fn bench_fig08(c: &mut Criterion) {
@@ -59,7 +67,9 @@ fn bench_fig08(c: &mut Criterion) {
     };
     c.benchmark_group("figures")
         .sample_size(10)
-        .bench_function("fig08_gpu_miniapp", |b| b.iter(|| fig08::run(&p).rows.len()));
+        .bench_function("fig08_gpu_miniapp", |b| {
+            b.iter(|| fig08::run(&p).rows.len())
+        });
 }
 
 fn bench_fig09(c: &mut Criterion) {
@@ -72,7 +82,9 @@ fn bench_fig09(c: &mut Criterion) {
     };
     c.benchmark_group("figures")
         .sample_size(10)
-        .bench_function("fig09_injection_bw", |b| b.iter(|| fig09::run(&p).rows.len()));
+        .bench_function("fig09_injection_bw", |b| {
+            b.iter(|| fig09::run(&p).rows.len())
+        });
 }
 
 fn bench_fig10_11_12(c: &mut Criterion) {
@@ -105,7 +117,9 @@ fn bench_pdes(c: &mut Criterion) {
     };
     c.benchmark_group("figures")
         .sample_size(10)
-        .bench_function("pdes_parallel_engine", |b| b.iter(|| pdes::run(&p).rows.len()));
+        .bench_function("pdes_parallel_engine", |b| {
+            b.iter(|| pdes::run(&p).rows.len())
+        });
 }
 
 fn bench_validate(c: &mut Criterion) {

@@ -107,15 +107,21 @@ fn node_simulation_rate(c: &mut Criterion) {
     g.sample_size(10);
     let instrs = {
         let mut node = small_node();
-        node.run_phase("probe", vec![sst_workloads::hpccg::solver(0, Problem::new(10), 2)])
-            .instrs
+        node.run_phase(
+            "probe",
+            vec![sst_workloads::hpccg::solver(0, Problem::new(10), 2)],
+        )
+        .instrs
     };
     g.throughput(Throughput::Elements(instrs));
     g.bench_function("hpccg_cg_iteration", |b| {
         b.iter(|| {
             let mut node = small_node();
-            node.run_phase("cg", vec![sst_workloads::hpccg::solver(0, Problem::new(10), 2)])
-                .instrs
+            node.run_phase(
+                "cg",
+                vec![sst_workloads::hpccg::solver(0, Problem::new(10), 2)],
+            )
+            .instrs
         })
     });
     g.finish();
@@ -126,6 +132,7 @@ fn small_node() -> Node {
         core: CoreConfig::with_width(4, Frequency::ghz(2.0)),
         cores: 1,
         mem: MemHierarchyConfig::typical(DramConfig::ddr3_1333(2)),
+        fidelity: Default::default(),
     })
 }
 

@@ -111,10 +111,7 @@ impl SystemBuilder {
                 "link references unknown component {c}"
             );
             assert!(
-                !self
-                    .links
-                    .iter()
-                    .any(|l| l.a == (c, p) || l.b == (c, p)),
+                !self.links.iter().any(|l| l.a == (c, p) || l.b == (c, p)),
                 "port {p:?} of {c} is already linked"
             );
         }

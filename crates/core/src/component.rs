@@ -121,9 +121,7 @@ impl<'a> SimCtx<'a> {
 
     /// Is `port` connected to a link?
     pub fn port_connected(&self, port: PortId) -> bool {
-        self.links
-            .get(port.0 as usize)
-            .is_some_and(|l| l.is_some())
+        self.links.get(port.0 as usize).is_some_and(|l| l.is_some())
     }
 
     /// Latency of the link on `port`, if connected.

@@ -17,8 +17,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// Factory signature: build a component from parameters.
-pub type Factory =
-    Box<dyn Fn(&Params) -> Result<Box<dyn Component>, ConfigError> + Send + Sync>;
+pub type Factory = Box<dyn Fn(&Params) -> Result<Box<dyn Component>, ConfigError> + Send + Sync>;
 
 /// Errors raised while interpreting a configuration.
 #[derive(Debug)]
@@ -74,7 +73,11 @@ impl ComponentRegistry {
         );
     }
 
-    pub fn create(&self, type_name: &str, params: &Params) -> Result<Box<dyn Component>, ConfigError> {
+    pub fn create(
+        &self,
+        type_name: &str,
+        params: &Params,
+    ) -> Result<Box<dyn Component>, ConfigError> {
         match self.factories.get(type_name) {
             Some((f, _)) => f(params),
             None => Err(ConfigError::UnknownType(type_name.to_string())),
@@ -212,9 +215,9 @@ fn resolve_endpoint(
     ids: &HashMap<String, crate::event::ComponentId>,
     port_tables: &HashMap<String, &'static [&'static str]>,
 ) -> Result<(crate::event::ComponentId, PortId), ConfigError> {
-    let (comp, port) = spec
-        .rsplit_once('.')
-        .ok_or_else(|| ConfigError::BadFormat(format!("endpoint `{spec}` is not `component.port`")))?;
+    let (comp, port) = spec.rsplit_once('.').ok_or_else(|| {
+        ConfigError::BadFormat(format!("endpoint `{spec}` is not `component.port`"))
+    })?;
     let id = *ids
         .get(comp)
         .ok_or_else(|| ConfigError::UnknownComponent(comp.to_string()))?;

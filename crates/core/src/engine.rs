@@ -6,9 +6,7 @@
 
 use crate::builder::SystemBuilder;
 use crate::component::{EventSink, LinkEnd, SimCtx, Slot};
-use crate::event::{
-    ClockId, ComponentId, EventClass, EventKind, ScheduledEvent, TieBreak,
-};
+use crate::event::{ClockId, ComponentId, EventClass, EventKind, ScheduledEvent, TieBreak};
 use crate::queue::{BinaryHeapQueue, IndexedQueue, SimQueue};
 use crate::rng::component_rng;
 use crate::stats::{StatsRegistry, StatsSnapshot};
@@ -116,12 +114,7 @@ impl Kernel {
 
         let seed = builder.seed;
         let mut slots: Vec<Option<Slot>> = Vec::with_capacity(n);
-        for (i, (spec, table)) in builder
-            .comps
-            .into_iter()
-            .zip(link_tables.into_iter())
-            .enumerate()
-        {
+        for (i, (spec, table)) in builder.comps.into_iter().zip(link_tables).enumerate() {
             if ranks[i] == my_rank {
                 slots.push(Some(Slot {
                     name: spec.name,
@@ -158,9 +151,7 @@ impl Kernel {
     }
 
     fn is_local(&self, c: ComponentId) -> bool {
-        self.slots
-            .get(c.0 as usize)
-            .is_some_and(|s| s.is_some())
+        self.slots.get(c.0 as usize).is_some_and(|s| s.is_some())
     }
 
     /// Schedule the first tick of every local clock.
@@ -484,7 +475,12 @@ mod tests {
             self.resumed = true;
             ctx.resume_clock(self.clock);
         }
-        fn on_clock(&mut self, _c: crate::event::ClockId, _cycle: u64, ctx: &mut SimCtx<'_>) -> ClockAction {
+        fn on_clock(
+            &mut self,
+            _c: crate::event::ClockId,
+            _cycle: u64,
+            ctx: &mut SimCtx<'_>,
+        ) -> ClockAction {
             self.ticks += 1;
             ctx.add_stat(self.stat.unwrap(), 1);
             if self.ticks == 5 && !self.resumed {

@@ -1,0 +1,95 @@
+//! Simulation fidelity selection.
+//!
+//! SST's defining usability feature is *multi-fidelity* modelling: an abstract
+//! (fast) and a detailed (slow) model of the same subsystem, swappable from
+//! configuration. [`Fidelity`] is the knob. Subsystem crates expose a model
+//! trait (`CoreModel`, `MemoryModel`, `FabricModel`) with one implementation
+//! per variant; drivers pick an implementation with a factory keyed on this
+//! enum, so the same experiment parameters can produce either an analytic
+//! table or an engine-driven one.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Which model implementation a subsystem should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Fidelity {
+    /// Closed-form / lockstep fast path: no event queue, no components.
+    #[default]
+    Analytic,
+    /// Discrete-event path: components wired by links, driven by an
+    /// [`Engine`](crate::engine::Engine) (or `ParallelEngine`), results
+    /// extracted from the [`StatsSnapshot`](crate::stats::StatsSnapshot).
+    Des,
+}
+
+impl Fidelity {
+    /// Canonical lowercase name, as accepted by `--fidelity` and config files.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Fidelity::Analytic => "analytic",
+            Fidelity::Des => "des",
+        }
+    }
+
+    /// All variants, in documentation order.
+    pub const ALL: [Fidelity; 2] = [Fidelity::Analytic, Fidelity::Des];
+}
+
+impl fmt::Display for Fidelity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error for an unrecognized fidelity name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFidelityError(pub String);
+
+impl fmt::Display for ParseFidelityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown fidelity `{}` (expected `analytic` or `des`)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseFidelityError {}
+
+impl FromStr for Fidelity {
+    type Err = ParseFidelityError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "analytic" | "abstract" | "fast" => Ok(Fidelity::Analytic),
+            "des" | "detailed" | "event" => Ok(Fidelity::Des),
+            other => Err(ParseFidelityError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_analytic() {
+        assert_eq!(Fidelity::default(), Fidelity::Analytic);
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for f in Fidelity::ALL {
+            assert_eq!(f.as_str().parse::<Fidelity>().unwrap(), f);
+            assert_eq!(f.to_string(), f.as_str());
+        }
+        assert_eq!("DES".parse::<Fidelity>().unwrap(), Fidelity::Des);
+        assert_eq!("detailed".parse::<Fidelity>().unwrap(), Fidelity::Des);
+        assert!("cycle-accurate".parse::<Fidelity>().is_err());
+        let e = "x".parse::<Fidelity>().unwrap_err();
+        assert!(e.to_string().contains("unknown fidelity"));
+    }
+}

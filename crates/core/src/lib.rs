@@ -47,8 +47,9 @@ pub mod component;
 pub mod config;
 pub mod engine;
 pub mod event;
-pub mod params;
+pub mod fidelity;
 pub mod parallel;
+pub mod params;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -59,8 +60,9 @@ pub use component::{ClockAction, Component, EventSink, SimCtx};
 pub use config::{ComponentRegistry, ConfigError, SystemConfig};
 pub use engine::{Engine, EngineOn, HeapEngine, RunLimit, SimReport};
 pub use event::{downcast, ClockId, ComponentId, Payload, PortId, SELF_PORT};
-pub use params::{ParamError, Params};
+pub use fidelity::{Fidelity, ParseFidelityError};
 pub use parallel::ParallelEngine;
+pub use params::{ParamError, Params};
 pub use queue::{BinaryHeapQueue, EventQueue, IndexedQueue, SimQueue};
 pub use stats::{StatId, StatKind, StatsRegistry, StatsSnapshot};
 pub use time::{Frequency, SimTime};
@@ -72,8 +74,9 @@ pub mod prelude {
     pub use crate::config::{ComponentRegistry, SystemConfig};
     pub use crate::engine::{Engine, RunLimit, SimReport};
     pub use crate::event::{downcast, ClockId, ComponentId, Payload, PortId, SELF_PORT};
-    pub use crate::params::Params;
+    pub use crate::fidelity::Fidelity;
     pub use crate::parallel::ParallelEngine;
+    pub use crate::params::Params;
     pub use crate::stats::StatId;
     pub use crate::time::{Frequency, SimTime};
 }

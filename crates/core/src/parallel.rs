@@ -208,7 +208,8 @@ fn split_builder(builder: SystemBuilder, ranks: &[u32], n_ranks: u32) -> Vec<Ker
         seed,
     } = builder;
 
-    let mut per_rank_specs: Vec<Vec<(usize, CompSpec)>> = (0..n_ranks).map(|_| Vec::new()).collect();
+    let mut per_rank_specs: Vec<Vec<(usize, CompSpec)>> =
+        (0..n_ranks).map(|_| Vec::new()).collect();
     for (i, spec) in comps.into_iter().enumerate() {
         per_rank_specs[ranks[i] as usize].push((i, spec));
     }
@@ -360,16 +361,16 @@ impl SyncState {
         let mut announced = false;
         for i in 0..self.neighbors.len() {
             let s = self.neighbors[i] as usize;
-            let eot = basis
-                .saturating_add(self.la_out[s])
-                .max(self.last_eot[s]);
+            let eot = basis.saturating_add(self.la_out[s]).max(self.last_eot[s]);
             let has_events = !outbound[s].is_empty();
             if !has_events && eot == self.last_eot[s] {
                 continue;
             }
             let events = std::mem::replace(&mut outbound[s], self.pool.get());
             if !events.is_empty() {
-                shared.events_sent.fetch_add(events.len() as u64, Ordering::SeqCst);
+                shared
+                    .events_sent
+                    .fetch_add(events.len() as u64, Ordering::SeqCst);
             }
             self.last_eot[s] = eot;
             // A closed channel means the peer already retired (past the
@@ -556,7 +557,10 @@ mod tests {
             let tok = downcast::<Token>(payload);
             ctx.add_stat(self.visits.unwrap(), 1);
             if tok.0 < self.laps {
-                ctx.send(Self::OUT, Box::new(Token(tok.0 + if self.start { 1 } else { 0 })));
+                ctx.send(
+                    Self::OUT,
+                    Box::new(Token(tok.0 + if self.start { 1 } else { 0 })),
+                );
             }
         }
     }

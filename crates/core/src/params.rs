@@ -5,6 +5,7 @@
 //! defaulting, scoped prefixes (`"l1.size"` → scope `"l1"` key `"size"`),
 //! and error messages that name the offending key.
 
+use crate::fidelity::Fidelity;
 use serde_json::Value;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -137,6 +138,21 @@ impl Params {
         }
     }
 
+    /// Required fidelity (`"analytic"` / `"des"`).
+    pub fn fidelity(&self, key: &str) -> Result<Fidelity, ParamError> {
+        self.str(key)?
+            .parse()
+            .map_err(|e: crate::fidelity::ParseFidelityError| Self::err(key, e.to_string()))
+    }
+
+    /// Fidelity with default; malformed values also fall back to the default.
+    pub fn fidelity_or(&self, key: &str, default: Fidelity) -> Fidelity {
+        match self.values.get(key) {
+            Some(Value::String(s)) => s.parse().unwrap_or(default),
+            _ => default,
+        }
+    }
+
     /// Extract the sub-params under `prefix.`: keys `"l1.size"`, `"l1.assoc"`
     /// become `"size"`, `"assoc"` in the returned scope.
     pub fn scope(&self, prefix: &str) -> Params {
@@ -226,5 +242,20 @@ mod tests {
     fn non_object_json_is_empty() {
         let p = Params::from_json(&json!([1, 2, 3]));
         assert!(p.is_empty());
+    }
+
+    #[test]
+    fn fidelity_accessors() {
+        let p = Params::new().set("fidelity", "des").set("bad", "nope");
+        assert_eq!(p.fidelity("fidelity").unwrap(), Fidelity::Des);
+        assert_eq!(p.fidelity_or("fidelity", Fidelity::Analytic), Fidelity::Des);
+        assert_eq!(
+            p.fidelity_or("missing", Fidelity::Analytic),
+            Fidelity::Analytic
+        );
+        assert_eq!(p.fidelity_or("bad", Fidelity::Des), Fidelity::Des);
+        let e = p.fidelity("bad").unwrap_err();
+        assert_eq!(e.key, "bad");
+        assert!(e.message.contains("unknown fidelity"));
     }
 }

@@ -298,7 +298,8 @@ impl IndexedQueue {
             let e = self.far.pop().unwrap();
             self.cur.push(e.0);
         }
-        self.cur.sort_unstable_by(|a, b| b.key().cmp(&a.key()));
+        self.cur
+            .sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
         true
     }
 
@@ -402,7 +403,10 @@ impl SimQueue for IndexedQueue {
 }
 
 /// Convenience for tests: order keys only.
-pub fn key_order(a: (SimTime, EventClass, TieBreak), b: (SimTime, EventClass, TieBreak)) -> Ordering {
+pub fn key_order(
+    a: (SimTime, EventClass, TieBreak),
+    b: (SimTime, EventClass, TieBreak),
+) -> Ordering {
     a.cmp(&b)
 }
 

@@ -138,7 +138,11 @@ impl StatsRegistry {
     pub fn sample(&mut self, id: StatId, v: u64) {
         match &mut self.stats[id.0 as usize].kind {
             StatKind::Histogram { buckets, count } => {
-                let b = if v <= 1 { 0 } else { 64 - (v - 1).leading_zeros() as usize };
+                let b = if v <= 1 {
+                    0
+                } else {
+                    64 - (v - 1).leading_zeros() as usize
+                };
                 buckets[b.min(63)] += 1;
                 *count += 1;
             }
@@ -162,10 +166,25 @@ impl StatsRegistry {
     }
 
     /// Freeze into a snapshot table.
+    ///
+    /// A never-sampled accumulator carries `min = +inf` / `max = -inf` as its
+    /// live identity values; JSON has no encoding for non-finite floats (they
+    /// serialize as `null`), so zero-count accumulators are normalized to
+    /// all-zero fields in the snapshot.
     pub fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            stats: self.stats.clone(),
+        let mut stats = self.stats.clone();
+        for s in &mut stats {
+            if let StatKind::Accumulator {
+                count, min, max, ..
+            } = &mut s.kind
+            {
+                if *count == 0 {
+                    *min = 0.0;
+                    *max = 0.0;
+                }
+            }
         }
+        StatsSnapshot { stats }
     }
 
     /// Merge another registry's stats into this one (used by the parallel
@@ -407,6 +426,44 @@ mod tests {
         r1.absorb(r2);
         let snap = r1.snapshot();
         assert_eq!(snap.sum_counters("n"), 3);
+    }
+
+    #[test]
+    fn empty_accumulator_serializes_finite() {
+        let mut r = StatsRegistry::new();
+        r.accumulator("comp", "never_sampled");
+        let snap = r.snapshot();
+        let s = snap.get("comp", "never_sampled").unwrap();
+        if let StatKind::Accumulator {
+            count, min, max, ..
+        } = &s.kind
+        {
+            assert_eq!(*count, 0);
+            assert_eq!(*min, 0.0);
+            assert_eq!(*max, 0.0);
+        } else {
+            panic!("wrong kind");
+        }
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(
+            !json.contains("null") && !json.contains("inf"),
+            "non-finite leak in JSON: {json}"
+        );
+    }
+
+    #[test]
+    fn populated_accumulator_min_max_survive_snapshot() {
+        let mut r = StatsRegistry::new();
+        let a = r.accumulator("comp", "lat");
+        r.record(a, -3.0);
+        r.record(a, 5.0);
+        let snap = r.snapshot();
+        if let StatKind::Accumulator { min, max, .. } = &snap.get("comp", "lat").unwrap().kind {
+            assert_eq!(*min, -3.0);
+            assert_eq!(*max, 5.0);
+        } else {
+            panic!("wrong kind");
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! event count stays proportional to memory traffic, not instruction count
 //! (SST's abstract-processor trick for simulating big systems).
 
+use crate::core::CoreConfig;
 use crate::isa::{InstrStream, Op};
 use sst_core::config::ConfigError;
 use sst_core::prelude::*;
@@ -25,6 +26,11 @@ pub struct CoreComponent {
     /// Memory ops discovered while batching non-memory work.
     queued_mem: VecDeque<(u64, bool)>,
     stream_done: bool,
+    /// Op-class tallies published at finish time (for rebuilding
+    /// [`CoreStats`](crate::core::CoreStats) from a snapshot).
+    flops: u64,
+    loads: u64,
+    stores: u64,
     instrs: Option<StatId>,
     mem_ops: Option<StatId>,
     done_at: Option<StatId>,
@@ -47,10 +53,21 @@ impl CoreComponent {
             next_req_id: 0,
             queued_mem: VecDeque::new(),
             stream_done: false,
+            flops: 0,
+            loads: 0,
+            stores: 0,
             instrs: None,
             mem_ops: None,
             done_at: None,
         }
+    }
+
+    /// Build from the immediate-mode core's configuration, so both
+    /// fidelities share one knob set (width, frequency, MLP limit).
+    pub fn from_config(stream: Box<dyn InstrStream>, cfg: &CoreConfig) -> CoreComponent {
+        let mut c = CoreComponent::new(stream, cfg.freq, cfg.issue_width);
+        c.max_outstanding = cfg.max_outstanding.max(1);
+        c
     }
 
     /// Pull from the stream until the next memory op, charging issue
@@ -64,10 +81,20 @@ impl CoreComponent {
                     break;
                 }
                 Some(i) if i.op.is_mem() => {
+                    if i.op == Op::Store {
+                        self.stores += 1;
+                    } else {
+                        self.loads += 1;
+                    }
                     self.queued_mem.push_back((i.addr, i.op == Op::Store));
                     break;
                 }
-                Some(_) => non_mem += 1,
+                Some(i) => {
+                    if i.op.is_flop() {
+                        self.flops += 1;
+                    }
+                    non_mem += 1;
+                }
             }
         }
         let cycles = non_mem.div_ceil(self.issue_width as u64);
@@ -125,6 +152,18 @@ impl Component for CoreComponent {
         }
     }
 
+    /// Publish op-class tallies for snapshot-level extraction.
+    fn finish(&mut self, ctx: &mut SimCtx<'_>) {
+        for (name, v) in [
+            ("flops", self.flops),
+            ("loads", self.loads),
+            ("stores", self.stores),
+        ] {
+            let id = ctx.stat_counter(name);
+            ctx.add_stat(id, v);
+        }
+    }
+
     fn ports(&self) -> &'static [&'static str] {
         &["mem"]
     }
@@ -160,11 +199,13 @@ pub fn register(registry: &mut ComponentRegistry) {
             if spec.iters == 0 {
                 return Err(ConfigError::BadFormat("iters must be > 0".into()));
             }
-            Ok(Box::new(CoreComponent::new(
+            let mut core = CoreComponent::new(
                 Box::new(spec.stream()),
                 Frequency::ghz(p.f64_or("ghz", 2.0)),
                 p.u64_or("issue_width", 2) as u32,
-            )))
+            );
+            core.max_outstanding = p.u64_or("max_outstanding", 8).max(1) as u32;
+            Ok(Box::new(core))
         },
     );
 }
@@ -208,7 +249,11 @@ mod tests {
             CacheComponent::new(CacheConfig::l1d_32k(), SimTime::ns(1)),
         );
         let mem = b.add("mem", MemoryComponent::new(DramConfig::ddr3_1333(2)));
-        b.link((cpu, CoreComponent::MEM), (l1, CacheComponent::CPU), SimTime::ns(1));
+        b.link(
+            (cpu, CoreComponent::MEM),
+            (l1, CacheComponent::CPU),
+            SimTime::ns(1),
+        );
         b.link(
             (l1, CacheComponent::MEM),
             (mem, MemoryComponent::BUS),
@@ -234,9 +279,7 @@ mod tests {
         let hot = system(500, 8 << 10); // fits in L1
         let cold = system(500, 64 << 20); // streams from DRAM
         assert!(hot.end_time < cold.end_time);
-        assert!(
-            hot.stats.counter("l1", "hits") > cold.stats.counter("l1", "hits")
-        );
+        assert!(hot.stats.counter("l1", "hits") > cold.stats.counter("l1", "hits"));
     }
 
     #[test]

@@ -192,7 +192,11 @@ impl Core {
             return if self.drained(cycle) {
                 Tick::Done
             } else {
-                let wake = self.outstanding.peek().map(|Reverse(c)| *c).unwrap_or(cycle);
+                let wake = self
+                    .outstanding
+                    .peek()
+                    .map(|Reverse(c)| *c)
+                    .unwrap_or(cycle);
                 Tick::Issued { n: 0, wake }
             };
         }
@@ -224,10 +228,13 @@ impl Core {
                 Some(i) => i,
                 None => {
                     self.stream_done = true;
-                    self.stats.finish_cycle = self
-                        .stats
-                        .finish_cycle
-                        .max(self.outstanding.iter().map(|Reverse(c)| *c).max().unwrap_or(cycle));
+                    self.stats.finish_cycle = self.stats.finish_cycle.max(
+                        self.outstanding
+                            .iter()
+                            .map(|Reverse(c)| *c)
+                            .max()
+                            .unwrap_or(cycle),
+                    );
                     break;
                 }
             };
@@ -348,14 +355,22 @@ mod tests {
     use super::*;
     use crate::isa::{KernelSpec, TraceStream};
 
-    fn run_core(cfg: CoreConfig, mut stream: impl InstrStream, mem: &mut dyn MemPort) -> (u64, CoreStats) {
+    fn run_core(
+        cfg: CoreConfig,
+        mut stream: impl InstrStream,
+        mem: &mut dyn MemPort,
+    ) -> (u64, CoreStats) {
         let mut core = Core::new(cfg);
         let mut cycle = 0u64;
         loop {
             match core.tick(0, cycle, &mut stream, mem) {
                 Tick::Done => break,
                 Tick::Issued { n, wake } => {
-                    cycle = if n > 0 { cycle + 1 } else { wake.max(cycle + 1) };
+                    cycle = if n > 0 {
+                        cycle + 1
+                    } else {
+                        wake.max(cycle + 1)
+                    };
                 }
             }
             assert!(cycle < 100_000_000, "runaway simulation");
@@ -372,7 +387,11 @@ mod tests {
         for width in [1u32, 2, 4, 8] {
             let cfg = CoreConfig::with_width(width, ghz1());
             let instrs = vec![Instr::alu(); 10_000];
-            let (cycles, stats) = run_core(cfg, TraceStream::new("alu", instrs), &mut FlatMem(SimTime::ns(1)));
+            let (cycles, stats) = run_core(
+                cfg,
+                TraceStream::new("alu", instrs),
+                &mut FlatMem(SimTime::ns(1)),
+            );
             let ipc = stats.ipc(cycles);
             let rel_err = (ipc - width as f64).abs() / f64::from(width);
             assert!(rel_err < 0.05, "width {width}: ipc {ipc}");
@@ -383,11 +402,17 @@ mod tests {
     fn dependent_chain_limits_ilp() {
         // Every FAdd depends on the previous one: IPC ~= 1/lat_fadd
         // regardless of width.
-        let mk = |n: usize| {
-            TraceStream::new("chain", (0..n).map(|_| Instr::fadd(1)).collect())
-        };
-        let (c1, s1) = run_core(CoreConfig::with_width(1, ghz1()), mk(2000), &mut FlatMem(SimTime::ns(1)));
-        let (c8, s8) = run_core(CoreConfig::with_width(8, ghz1()), mk(2000), &mut FlatMem(SimTime::ns(1)));
+        let mk = |n: usize| TraceStream::new("chain", (0..n).map(|_| Instr::fadd(1)).collect());
+        let (c1, s1) = run_core(
+            CoreConfig::with_width(1, ghz1()),
+            mk(2000),
+            &mut FlatMem(SimTime::ns(1)),
+        );
+        let (c8, s8) = run_core(
+            CoreConfig::with_width(8, ghz1()),
+            mk(2000),
+            &mut FlatMem(SimTime::ns(1)),
+        );
         let ipc1 = s1.ipc(c1);
         let ipc8 = s8.ipc(c8);
         assert!((ipc1 - ipc8).abs() < 0.05, "ipc1={ipc1} ipc8={ipc8}");
@@ -419,13 +444,31 @@ mod tests {
             seed: 3,
         };
         let lat = SimTime::ns(2);
-        let (c1, s1) = run_core(CoreConfig::with_width(1, ghz1()), spec.stream(), &mut FlatMem(lat));
-        let (c4, s4) = run_core(CoreConfig::with_width(4, ghz1()), spec.stream(), &mut FlatMem(lat));
-        let (c8, s8) = run_core(CoreConfig::with_width(8, ghz1()), spec.stream(), &mut FlatMem(lat));
+        let (c1, s1) = run_core(
+            CoreConfig::with_width(1, ghz1()),
+            spec.stream(),
+            &mut FlatMem(lat),
+        );
+        let (c4, s4) = run_core(
+            CoreConfig::with_width(4, ghz1()),
+            spec.stream(),
+            &mut FlatMem(lat),
+        );
+        let (c8, s8) = run_core(
+            CoreConfig::with_width(8, ghz1()),
+            spec.stream(),
+            &mut FlatMem(lat),
+        );
         assert_eq!(s1.instrs, s4.instrs);
-        assert!(c4 * 2 < c1, "4-wide ({c4}) should be >2x faster than 1-wide ({c1})");
+        assert!(
+            c4 * 2 < c1,
+            "4-wide ({c4}) should be >2x faster than 1-wide ({c1})"
+        );
         assert!(c8 <= c4);
-        assert!(c8 * 6 > c1, "8-wide speedup must stay sublinear (c1={c1}, c8={c8})");
+        assert!(
+            c8 * 6 > c1,
+            "8-wide speedup must stay sublinear (c1={c1}, c8={c8})"
+        );
         let _ = s8;
     }
 
@@ -440,8 +483,16 @@ mod tests {
             }
             TraceStream::new("ld-use", v)
         };
-        let (fast, _) = run_core(CoreConfig::with_width(2, ghz1()), mk(500), &mut FlatMem(SimTime::ns(2)));
-        let (slow, _) = run_core(CoreConfig::with_width(2, ghz1()), mk(500), &mut FlatMem(SimTime::ns(50)));
+        let (fast, _) = run_core(
+            CoreConfig::with_width(2, ghz1()),
+            mk(500),
+            &mut FlatMem(SimTime::ns(2)),
+        );
+        let (slow, _) = run_core(
+            CoreConfig::with_width(2, ghz1()),
+            mk(500),
+            &mut FlatMem(SimTime::ns(50)),
+        );
         assert!(
             slow > fast * 10,
             "50ns mem ({slow}) should dwarf 2ns mem ({fast})"
@@ -467,7 +518,10 @@ mod tests {
         let mut cfg16 = CoreConfig::with_width(4, ghz1());
         cfg16.max_outstanding = 16;
         let (t16, _) = run_core(cfg16, mk(400), &mut FlatMem(SimTime::ns(100)));
-        assert!(t16 * 3 < t4, "4x MLP should be ~4x faster: t4={t4} t16={t16}");
+        assert!(
+            t16 * 3 < t4,
+            "4x MLP should be ~4x faster: t4={t4} t16={t16}"
+        );
     }
 
     #[test]
@@ -480,14 +534,30 @@ mod tests {
             flops: 0,
             ialu: 3,
             flop_dep: 0,
-            load_pattern: crate::isa::AddrPattern::Stream { base: 0, stride: 8, span: 64 },
-            store_pattern: crate::isa::AddrPattern::Stream { base: 0, stride: 8, span: 64 },
+            load_pattern: crate::isa::AddrPattern::Stream {
+                base: 0,
+                stride: 8,
+                span: 64,
+            },
+            store_pattern: crate::isa::AddrPattern::Stream {
+                base: 0,
+                stride: 8,
+                span: 64,
+            },
             mispredict_every: 0,
             seed: 0,
         };
-        let (t_clean, _) = run_core(CoreConfig::with_width(2, ghz1()), with.stream(), &mut FlatMem(SimTime::ns(1)));
+        let (t_clean, _) = run_core(
+            CoreConfig::with_width(2, ghz1()),
+            with.stream(),
+            &mut FlatMem(SimTime::ns(1)),
+        );
         with.mispredict_every = 4;
-        let (t_missy, s) = run_core(CoreConfig::with_width(2, ghz1()), with.stream(), &mut FlatMem(SimTime::ns(1)));
+        let (t_missy, s) = run_core(
+            CoreConfig::with_width(2, ghz1()),
+            with.stream(),
+            &mut FlatMem(SimTime::ns(1)),
+        );
         assert_eq!(s.mispredicts, 250);
         assert!(t_missy > t_clean + 200 * 12);
     }

@@ -165,11 +165,10 @@ pub fn run_kernel(gpu: &GpuConfig, k: &GpuKernel) -> GpuKernelResult {
     // --- occupancy ---
     let by_regs = gpu.regfile_regs_per_sm / regs_alloc.max(1);
     let by_threads = gpu.max_threads_per_sm;
-    let by_shared = if k.shared_bytes_per_thread > 0 {
-        gpu.shared_mem_per_sm / k.shared_bytes_per_thread
-    } else {
-        u32::MAX
-    };
+    let by_shared = gpu
+        .shared_mem_per_sm
+        .checked_div(k.shared_bytes_per_thread)
+        .unwrap_or(u32::MAX);
     // Round resident threads down to whole blocks.
     let raw = by_regs.min(by_threads).min(by_shared);
     let resident = (raw / k.threads_per_block).max(1) * k.threads_per_block;
@@ -189,14 +188,13 @@ pub fn run_kernel(gpu: &GpuConfig, k: &GpuKernel) -> GpuKernelResult {
     // --- time ---
     let compute_s = k.threads as f64 * k.flops_per_thread as f64 / gpu.peak_flops();
     let demand_bytes = (k.threads as f64 * k.global_bytes_per_thread as f64) / k.coalescing;
-    let spill_traffic =
-        k.threads as f64 * spill_to_mem as f64 * 2.0 * k.spill_reuse.max(1) as f64;
+    let spill_traffic = k.threads as f64 * spill_to_mem as f64 * 2.0 * k.spill_reuse.max(1) as f64;
     let mem_bytes = demand_bytes + spill_traffic;
     let mem_s = mem_bytes / (gpu.mem_bw_gbs * 1e9 * gpu.mem_efficiency);
 
     // Low occupancy exposes memory latency: degrade throughput below the
     // knee.
-    let hide = (occupancy / gpu.occupancy_knee).min(1.0).max(0.05);
+    let hide = (occupancy / gpu.occupancy_knee).clamp(0.05, 1.0);
     let total_s = compute_s.max(mem_s) / hide;
     let (limiter, _) = if mem_s > compute_s {
         (Limiter::Memory, mem_s)
@@ -252,7 +250,10 @@ mod tests {
         k.regs_demand_per_thread = 180;
         let slow = run_kernel(&gpu, &k);
         assert_eq!(slow.spilled_regs_per_thread, 180 - 63);
-        assert!(slow.spill_to_mem_bytes > 0, "L1 slice cannot hold the state");
+        assert!(
+            slow.spill_to_mem_bytes > 0,
+            "L1 slice cannot hold the state"
+        );
         assert!(slow.time > fast.time * 2, "spilling must be costly");
         assert_eq!(slow.limiter, Limiter::Memory);
         let _ = fast;
@@ -265,7 +266,11 @@ mod tests {
         k.regs_demand_per_thread = 63;
         let r = run_kernel(&gpu, &k);
         // 32768 regs / 63 = 520 threads -> 2 blocks of 256.
-        assert!((r.occupancy - 512.0 / 1536.0).abs() < 1e-9, "occ={}", r.occupancy);
+        assert!(
+            (r.occupancy - 512.0 / 1536.0).abs() < 1e-9,
+            "occ={}",
+            r.occupancy
+        );
     }
 
     #[test]

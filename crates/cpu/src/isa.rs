@@ -255,7 +255,7 @@ impl InstrStream for SyntheticStream {
             } else {
                 s.flop_dep
             };
-            if fp_idx % 2 == 0 {
+            if fp_idx.is_multiple_of(2) {
                 Instr::fadd(dep)
             } else {
                 Instr::fmul(dep)
@@ -268,7 +268,7 @@ impl InstrStream for SyntheticStream {
             Instr::store(addr)
         } else {
             // Loop branch.
-            let miss = s.mispredict_every > 0 && self.iter % s.mispredict_every == 0;
+            let miss = s.mispredict_every > 0 && self.iter.is_multiple_of(s.mispredict_every);
             Instr {
                 op: if miss { Op::BranchMiss } else { Op::Branch },
                 addr: 0,
@@ -349,7 +349,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(7);
         for k in 0..100 {
             let a = p.next(k, &mut rng);
-            assert!(a >= 4096 && a < 4096 + 1024);
+            assert!((4096..4096 + 1024).contains(&a));
             assert_eq!(a % 8, 0);
         }
     }

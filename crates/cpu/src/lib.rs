@@ -12,15 +12,19 @@
 //!   register-spilling behavior, plus a PCIe transfer model.
 //! * [`components`] — a stream-driven DES processor endpoint for
 //!   full-system simulations.
+//! * [`model`] — the fidelity-selectable [`CoreModel`](model::CoreModel)
+//!   trait unifying the analytic node and the DES component path.
 
 pub mod components;
 pub mod core;
 pub mod gpu;
 pub mod isa;
+pub mod model;
 pub mod node;
 
 pub use crate::core::{Core, CoreConfig, CoreStats, FlatMem, MemPort, Tick};
 pub use components::CoreComponent;
 pub use gpu::{run_kernel, GpuConfig, GpuKernel, GpuKernelResult, Limiter};
 pub use isa::{AddrPattern, Instr, InstrStream, KernelSpec, Op, SyntheticStream, TraceStream};
+pub use model::{node_model, AnalyticNode, CoreModel, DesNode};
 pub use node::{Node, NodeConfig, PhaseResult};

@@ -1,0 +1,296 @@
+//! Fidelity-selectable node model.
+//!
+//! [`CoreModel`] is the node-level trait of the multi-fidelity layer: run an
+//! instruction-stream phase, get a [`PhaseResult`]. Two implementations:
+//!
+//! * [`AnalyticNode`] — wraps [`Node`]: the cycle-lockstep loop driving
+//!   [`Core`](crate::core::Core) timing models against the immediate-mode
+//!   [`MemHierarchy`](sst_mem::MemHierarchy).
+//! * [`DesNode`] — assembles [`CoreComponent`]s and an `sst-mem` component
+//!   hierarchy with [`install_hierarchy`], runs the system through an
+//!   [`Engine`], and rebuilds the [`PhaseResult`] from the run's
+//!   [`StatsSnapshot`] (per-core op tallies, `done_at_ns` finish times, and
+//!   per-level cache/DRAM counters).
+//!
+//! [`node_model`] picks the implementation from
+//! [`NodeConfig::fidelity`](crate::node::NodeConfig) — this is the seam the
+//! figure experiments program against, so `--fidelity des` swaps the whole
+//! backend without touching experiment code.
+//!
+//! Fidelity contract: the DES core batches non-memory work between memory
+//! operations (no per-instruction dependence or functional-unit modeling)
+//! and each DES phase starts with cold caches, so absolute times diverge
+//! from the analytic path; the figure experiments report *relative* rows,
+//! which stay within the tolerance bands pinned by
+//! `tests/tests/fidelity_equivalence.rs`.
+
+use crate::components::CoreComponent;
+use crate::core::CoreStats;
+use crate::isa::InstrStream;
+use crate::node::{Node, NodeConfig, PhaseResult};
+use sst_core::prelude::*;
+use sst_mem::model::{hierarchy_stats_from_snapshot, install_hierarchy};
+
+/// A compute node at some fidelity: run instruction streams phase by phase.
+pub trait CoreModel {
+    fn fidelity(&self) -> Fidelity;
+    fn config(&self) -> &NodeConfig;
+    /// Simulated time accumulated across phases.
+    fn now(&self) -> SimTime;
+    /// Run one phase: stream `i` executes on core `i` (streams may be fewer
+    /// than the node's cores).
+    fn run_phase(&mut self, label: &str, streams: Vec<Box<dyn InstrStream>>) -> PhaseResult;
+}
+
+/// Build the node model selected by `cfg.fidelity`.
+pub fn node_model(cfg: NodeConfig) -> Box<dyn CoreModel> {
+    match cfg.fidelity {
+        Fidelity::Analytic => Box::new(AnalyticNode::new(cfg)),
+        Fidelity::Des => Box::new(DesNode::new(cfg)),
+    }
+}
+
+/// Analytic fidelity: the lockstep [`Node`] loop.
+pub struct AnalyticNode {
+    node: Node,
+}
+
+impl AnalyticNode {
+    pub fn new(cfg: NodeConfig) -> AnalyticNode {
+        AnalyticNode {
+            node: Node::new(cfg),
+        }
+    }
+}
+
+impl CoreModel for AnalyticNode {
+    fn fidelity(&self) -> Fidelity {
+        Fidelity::Analytic
+    }
+    fn config(&self) -> &NodeConfig {
+        self.node.config()
+    }
+    fn now(&self) -> SimTime {
+        self.node.now()
+    }
+    fn run_phase(&mut self, label: &str, streams: Vec<Box<dyn InstrStream>>) -> PhaseResult {
+        self.node.run_phase(label, streams)
+    }
+}
+
+/// DES fidelity: each phase builds a fresh component system (cores, caches,
+/// buses, DRAM), runs it to exhaustion on a serial [`Engine`], and extracts
+/// the phase result from the stats snapshot. Phases advance a persistent
+/// `now` so multi-phase experiments keep a monotonic time base, but
+/// component state (cache contents, DRAM row buffers) does not carry across
+/// phases.
+pub struct DesNode {
+    cfg: NodeConfig,
+    now: SimTime,
+}
+
+impl DesNode {
+    pub fn new(cfg: NodeConfig) -> DesNode {
+        DesNode {
+            cfg,
+            now: SimTime::ZERO,
+        }
+    }
+}
+
+impl CoreModel for DesNode {
+    fn fidelity(&self) -> Fidelity {
+        Fidelity::Des
+    }
+    fn config(&self) -> &NodeConfig {
+        &self.cfg
+    }
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn run_phase(&mut self, label: &str, streams: Vec<Box<dyn InstrStream>>) -> PhaseResult {
+        let active = streams.len();
+        assert!(
+            active >= 1 && active <= self.cfg.cores,
+            "bad stream count: {} streams on a {}-core node",
+            active,
+            self.cfg.cores
+        );
+
+        let mut b = SystemBuilder::new();
+        let mut ups = Vec::with_capacity(active);
+        for (i, stream) in streams.into_iter().enumerate() {
+            let core = b.add(
+                format!("core{i}"),
+                CoreComponent::from_config(stream, &self.cfg.core),
+            );
+            ups.push((core, CoreComponent::MEM));
+        }
+        install_hierarchy(&mut b, &self.cfg.mem, self.cfg.core.freq, &ups);
+        let report = Engine::new(b).run(RunLimit::Exhaust);
+
+        let period_ns = self.cfg.core.freq.period().as_ns_f64();
+        let mut per_core = Vec::with_capacity(active);
+        let mut finish = SimTime::ZERO;
+        for i in 0..active {
+            let owner = format!("core{i}");
+            let snap = &report.stats;
+            let mem_ops = snap.counter(&owner, "mem_ops");
+            let done = SimTime::ns_f64(snap.mean(&owner, "done_at_ns").unwrap_or(0.0));
+            finish = finish.max(done);
+            per_core.push(CoreStats {
+                instrs: snap.counter(&owner, "instrs") + mem_ops,
+                flops: snap.counter(&owner, "flops"),
+                loads: snap.counter(&owner, "loads"),
+                stores: snap.counter(&owner, "stores"),
+                finish_cycle: (done.as_ns_f64() / period_ns).round() as u64,
+                ..CoreStats::default()
+            });
+        }
+        // The engine can idle past the last retirement only by in-flight
+        // fill responses; the phase ends at the later of the two.
+        finish = finish.max(report.end_time);
+        self.now += finish;
+
+        PhaseResult {
+            label: label.to_string(),
+            cycles: (finish.as_ns_f64() / period_ns).round() as u64,
+            time: finish,
+            instrs: per_core.iter().map(|s| s.instrs).sum(),
+            flops: per_core.iter().map(|s| s.flops).sum(),
+            per_core,
+            mem: hierarchy_stats_from_snapshot(&report.stats),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::CoreConfig;
+    use crate::isa::{AddrPattern, KernelSpec};
+    use sst_mem::dram::DramConfig;
+    use sst_mem::hierarchy::MemHierarchyConfig;
+
+    fn cfg(cores: usize, width: u32, fidelity: Fidelity) -> NodeConfig {
+        NodeConfig {
+            core: CoreConfig::with_width(width, Frequency::ghz(2.0)),
+            cores,
+            mem: MemHierarchyConfig::typical(DramConfig::ddr3_1333(2)),
+            fidelity,
+        }
+    }
+
+    fn stream_kernel(core: usize, iters: u64, span: u64) -> Box<dyn InstrStream> {
+        let base = (core as u64 + 1) << 32;
+        Box::new(
+            KernelSpec {
+                label: format!("stream{core}"),
+                iters,
+                loads: 2,
+                stores: 1,
+                flops: 2,
+                ialu: 1,
+                flop_dep: 0,
+                load_pattern: AddrPattern::Stream {
+                    base,
+                    stride: 8,
+                    span,
+                },
+                store_pattern: AddrPattern::Stream {
+                    base: base + (1 << 28),
+                    stride: 8,
+                    span,
+                },
+                mispredict_every: 0,
+                seed: core as u64,
+            }
+            .stream(),
+        )
+    }
+
+    #[test]
+    fn factory_dispatches_on_fidelity() {
+        let a = node_model(cfg(2, 2, Fidelity::Analytic));
+        let d = node_model(cfg(2, 2, Fidelity::Des));
+        assert_eq!(a.fidelity(), Fidelity::Analytic);
+        assert_eq!(d.fidelity(), Fidelity::Des);
+        assert_eq!(a.config().cores, 2);
+        assert_eq!(d.config().fidelity, Fidelity::Des);
+    }
+
+    #[test]
+    fn des_phase_reports_full_result() {
+        let mut m = node_model(cfg(2, 2, Fidelity::Des));
+        let r = m.run_phase(
+            "p",
+            vec![
+                stream_kernel(0, 2000, 1 << 26),
+                stream_kernel(1, 2000, 1 << 26),
+            ],
+        );
+        assert_eq!(r.label, "p");
+        assert_eq!(r.per_core.len(), 2);
+        // 2000 iters × (2 loads + 1 store + 2 flops + 1 ialu + 1 branch)
+        assert_eq!(r.per_core[0].loads, 4000);
+        assert_eq!(r.per_core[0].stores, 2000);
+        assert_eq!(r.per_core[0].flops, 4000);
+        assert!(
+            r.instrs >= 2 * 2000 * 7 - 2,
+            "all instrs counted: {}",
+            r.instrs
+        );
+        assert!(r.cycles > 0 && r.time > SimTime::ZERO);
+        assert!(r.ipc() > 0.0);
+        assert_eq!(r.mem.l1.accesses(), 2 * 6000);
+        assert!(r.mem.dram.accesses() > 0, "streams must reach DRAM");
+        assert!(m.now() == r.time, "phase advances the model clock");
+    }
+
+    #[test]
+    fn des_phases_share_a_time_base() {
+        let mut m = node_model(cfg(1, 2, Fidelity::Des));
+        let r1 = m.run_phase("a", vec![stream_kernel(0, 300, 16 << 10)]);
+        let t1 = m.now();
+        let r2 = m.run_phase("b", vec![stream_kernel(0, 300, 16 << 10)]);
+        assert!(t1 > SimTime::ZERO);
+        assert_eq!(m.now(), r1.time + r2.time);
+    }
+
+    #[test]
+    fn fidelities_agree_on_relative_memory_sensitivity() {
+        // The relative contract behind fig03: streaming phases speed up with
+        // faster memory, and both fidelities agree on the direction and
+        // rough magnitude of the ratio.
+        let ratio = |fidelity: Fidelity| {
+            let mut slow = cfg(1, 4, fidelity);
+            slow.mem = MemHierarchyConfig::typical(DramConfig::ddr2_800(1));
+            let mut fast = cfg(1, 4, fidelity);
+            fast.mem = MemHierarchyConfig::typical(DramConfig::gddr5(4));
+            let ts = node_model(slow)
+                .run_phase("s", vec![stream_kernel(0, 4000, 1 << 26)])
+                .time;
+            let tf = node_model(fast)
+                .run_phase("f", vec![stream_kernel(0, 4000, 1 << 26)])
+                .time;
+            ts.as_ns_f64() / tf.as_ns_f64()
+        };
+        let ra = ratio(Fidelity::Analytic);
+        let rd = ratio(Fidelity::Des);
+        assert!(ra > 1.2 && rd > 1.2, "both must see the speedup: {ra} {rd}");
+        let rel = (ra - rd).abs() / ra.max(rd);
+        assert!(rel < 0.35, "ratios diverge too far: analytic={ra} des={rd}");
+    }
+
+    #[test]
+    fn des_is_deterministic_across_reruns() {
+        let run = || {
+            let mut m = node_model(cfg(4, 2, Fidelity::Des));
+            let streams = (0..4).map(|c| stream_kernel(c, 800, 1 << 22)).collect();
+            let r = m.run_phase("p", streams);
+            (r.time, r.cycles, r.instrs, r.mem.dram.bytes)
+        };
+        assert_eq!(run(), run(), "DES reruns must be bit-identical");
+    }
+}

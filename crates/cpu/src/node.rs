@@ -10,6 +10,7 @@
 use crate::core::{Core, CoreConfig, CoreStats, MemPort, Tick};
 use crate::isa::InstrStream;
 use serde::{Deserialize, Serialize};
+use sst_core::fidelity::Fidelity;
 use sst_core::time::SimTime;
 use sst_mem::cache::Access;
 use sst_mem::hierarchy::{HierarchyStats, MemHierarchy, MemHierarchyConfig};
@@ -20,6 +21,18 @@ pub struct NodeConfig {
     pub core: CoreConfig,
     pub cores: usize,
     pub mem: MemHierarchyConfig,
+    /// Which model backs `run_phase`: the analytic lockstep loop or the
+    /// DES component path (see `crate::model::node_model`).
+    #[serde(default)]
+    pub fidelity: Fidelity,
+}
+
+impl NodeConfig {
+    /// Builder-style fidelity override.
+    pub fn with_fidelity(mut self, fidelity: Fidelity) -> NodeConfig {
+        self.fidelity = fidelity;
+        self
+    }
 }
 
 /// Result of one phase run.
@@ -193,6 +206,7 @@ mod tests {
             core: CoreConfig::with_width(width, Frequency::ghz(2.0)),
             cores,
             mem: MemHierarchyConfig::typical(dram),
+            fidelity: Fidelity::Analytic,
         })
     }
 
@@ -278,7 +292,8 @@ mod tests {
         };
         // Long-running variant so the one-time cold-miss warmup amortizes
         // away (the cache-resident kernel touches DRAM only during warmup).
-        let per_core_cycles_long = |mk: &dyn Fn(usize, u64) -> Box<dyn InstrStream>, cores: usize| {
+        let per_core_cycles_long = |mk: &dyn Fn(usize, u64) -> Box<dyn InstrStream>,
+                                    cores: usize| {
             let mut n = node(8, 4, DramConfig::ddr3_1333(1));
             let streams: Vec<_> = (0..cores).map(|c| mk(c, 60_000)).collect();
             n.run_phase("p", streams).cycles

@@ -35,7 +35,8 @@ impl CacheConfig {
         assert!(self.line_bytes.is_power_of_two(), "line size must be 2^k");
         assert!(self.assoc >= 1);
         assert!(
-            self.size_bytes % (self.line_bytes * self.assoc as u64) == 0,
+            self.size_bytes
+                .is_multiple_of(self.line_bytes * self.assoc as u64),
             "capacity must be sets * assoc * line"
         );
         assert!(self.sets() >= 1);
@@ -88,7 +89,9 @@ pub enum Outcome {
     Hit,
     /// Line was not present; it has been filled. If the victim was dirty,
     /// its *line address* is returned so the caller can write it back.
-    Miss { writeback: Option<u64> },
+    Miss {
+        writeback: Option<u64>,
+    },
 }
 
 impl Outcome {
@@ -332,7 +335,9 @@ mod tests {
         // Evict a (LRU after touching b? a is LRU since b is newer).
         c.access(b, Access::Read);
         match c.access(d, Access::Read) {
-            Outcome::Miss { writeback: Some(wb) } => assert_eq!(wb, a),
+            Outcome::Miss {
+                writeback: Some(wb),
+            } => assert_eq!(wb, a),
             other => panic!("expected dirty eviction, got {other:?}"),
         }
         assert_eq!(c.stats.writebacks, 1);

@@ -64,6 +64,11 @@ impl CacheComponent {
     pub fn outstanding(&self) -> usize {
         self.mshrs.len()
     }
+
+    /// Cumulative stats of the wrapped cache state machine.
+    pub fn stats(&self) -> &crate::cache::CacheStats {
+        &self.cache.stats
+    }
 }
 
 impl Component for CacheComponent {
@@ -77,7 +82,11 @@ impl Component for CacheComponent {
         match port {
             Self::CPU => {
                 let req = downcast::<MemReq>(payload);
-                let kind = if req.write { Access::Write } else { Access::Read };
+                let kind = if req.write {
+                    Access::Write
+                } else {
+                    Access::Read
+                };
                 let line = self.cache.line_addr(req.addr);
                 let outcome = self.cache.access(req.addr, kind);
                 if outcome.is_hit() {
@@ -151,6 +160,24 @@ impl Component for CacheComponent {
         }
     }
 
+    /// Publish the wrapped state machine's per-class stats so hierarchy-level
+    /// results can be rebuilt from a [`StatsSnapshot`](sst_core::StatsSnapshot)
+    /// (see `crate::model::hierarchy_stats_from_snapshot`).
+    fn finish(&mut self, ctx: &mut SimCtx<'_>) {
+        let s = self.cache.stats;
+        for (name, v) in [
+            ("read_hits", s.read_hits),
+            ("read_misses", s.read_misses),
+            ("write_hits", s.write_hits),
+            ("write_misses", s.write_misses),
+            ("writebacks", s.writebacks),
+            ("invalidations", s.invalidations),
+        ] {
+            let id = ctx.stat_counter(name);
+            ctx.add_stat(id, v);
+        }
+    }
+
     fn ports(&self) -> &'static [&'static str] {
         &["cpu", "mem"]
     }
@@ -211,8 +238,113 @@ impl Component for MemoryComponent {
         );
     }
 
+    /// Publish the DRAM timing model's stats (row-buffer outcomes, activates,
+    /// bytes moved) for snapshot-level extraction.
+    fn finish(&mut self, ctx: &mut SimCtx<'_>) {
+        let s = self.dram.stats;
+        for (name, v) in [
+            ("row_hits", s.row_hits),
+            ("row_empty", s.row_empty),
+            ("row_conflicts", s.row_conflicts),
+            ("activates", s.activates),
+            ("bytes", s.bytes),
+        ] {
+            let id = ctx.stat_counter(name);
+            ctx.add_stat(id, v);
+        }
+    }
+
     fn ports(&self) -> &'static [&'static str] {
         &["bus"]
+    }
+}
+
+/// A fan-in bus: up to [`BusComponent::MAX_UP`] upstream requesters share one
+/// downstream port. Needed because sst-core links are strictly point-to-point
+/// (double-linking a port panics), so shared cache levels and the DRAM
+/// controller cannot accept multiple upstream links directly.
+///
+/// Requests are forwarded downstream under a bus-chosen id; responses are
+/// routed back to the originating upstream port with the original id
+/// restored. The bus adds no delay of its own — the attached links carry the
+/// latency.
+pub struct BusComponent {
+    /// bus id -> (upstream port index, original request id).
+    pending: HashMap<u64, (usize, u64)>,
+    next_id: u64,
+    forwarded: Option<StatId>,
+}
+
+impl BusComponent {
+    pub const MAX_UP: usize = 16;
+    pub const DOWN: PortId = PortId(Self::MAX_UP as u16);
+
+    pub fn new() -> BusComponent {
+        BusComponent {
+            pending: HashMap::new(),
+            next_id: 0,
+            forwarded: None,
+        }
+    }
+
+    /// Port for upstream requester `i`.
+    pub fn up(i: usize) -> PortId {
+        assert!(
+            i < Self::MAX_UP,
+            "bus supports at most {} upstreams",
+            Self::MAX_UP
+        );
+        PortId(i as u16)
+    }
+}
+
+impl Default for BusComponent {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Component for BusComponent {
+    fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+        self.forwarded = Some(ctx.stat_counter("forwarded"));
+    }
+
+    fn on_event(&mut self, port: PortId, payload: Box<dyn Payload>, ctx: &mut SimCtx<'_>) {
+        if port == Self::DOWN {
+            let resp = downcast::<MemResp>(payload);
+            // Writeback responses whose requester forgot about them match no
+            // pending entry and are dropped, like cache fills with no MSHR.
+            if let Some((up, orig)) = self.pending.remove(&resp.id) {
+                ctx.send(
+                    PortId(up as u16),
+                    Box::new(MemResp {
+                        id: orig,
+                        addr: resp.addr,
+                    }),
+                );
+            }
+        } else {
+            let req = downcast::<MemReq>(payload);
+            let id = self.next_id;
+            self.next_id += 1;
+            self.pending.insert(id, (port.0 as usize, req.id));
+            ctx.add_stat(self.forwarded.unwrap(), 1);
+            ctx.send(
+                Self::DOWN,
+                Box::new(MemReq {
+                    id,
+                    addr: req.addr,
+                    write: req.write,
+                }),
+            );
+        }
+    }
+
+    fn ports(&self) -> &'static [&'static str] {
+        &[
+            "up0", "up1", "up2", "up3", "up4", "up5", "up6", "up7", "up8", "up9", "up10", "up11",
+            "up12", "up13", "up14", "up15", "down",
+        ]
     }
 }
 
@@ -253,6 +385,11 @@ pub fn register(registry: &mut ComponentRegistry) {
             };
             Ok(Box::new(MemoryComponent::new(cfg)))
         },
+    );
+    registry.register(
+        "mem.bus",
+        "fan-in bus: up to 16 requesters share one downstream (ports: up0..up15, down)",
+        |_p| Ok(Box::new(BusComponent::new())),
     );
 }
 
@@ -326,8 +463,16 @@ mod tests {
             CacheComponent::new(CacheConfig::l1d_32k(), SimTime::ns(1)),
         );
         let mem = b.add("mem", MemoryComponent::new(DramConfig::ddr3_1333(1)));
-        b.link((drv, Driver::MEM), (l1, CacheComponent::CPU), SimTime::ns(1));
-        b.link((l1, CacheComponent::MEM), (mem, MemoryComponent::BUS), SimTime::ns(5));
+        b.link(
+            (drv, Driver::MEM),
+            (l1, CacheComponent::CPU),
+            SimTime::ns(1),
+        );
+        b.link(
+            (l1, CacheComponent::MEM),
+            (mem, MemoryComponent::BUS),
+            SimTime::ns(5),
+        );
         let report = Engine::new(b).run(RunLimit::Exhaust);
         assert_eq!(report.stats.counter("driver", "responses"), n);
         report
@@ -350,11 +495,70 @@ mod tests {
     }
 
     #[test]
+    fn bus_fans_in_two_requesters() {
+        let mut b = SystemBuilder::new();
+        let d0 = b.add(
+            "drv0",
+            Driver {
+                trace: vec![0x0, 0x4000],
+                next: 0,
+                inflight: 0,
+                responses: None,
+            },
+        );
+        let d1 = b.add(
+            "drv1",
+            Driver {
+                trace: vec![0x8000, 0xC000],
+                next: 0,
+                inflight: 0,
+                responses: None,
+            },
+        );
+        let bus = b.add("bus", BusComponent::new());
+        let mem = b.add("dram", MemoryComponent::new(DramConfig::ddr3_1333(1)));
+        b.link(
+            (d0, Driver::MEM),
+            (bus, BusComponent::up(0)),
+            SimTime::ns(1),
+        );
+        b.link(
+            (d1, Driver::MEM),
+            (bus, BusComponent::up(1)),
+            SimTime::ns(1),
+        );
+        b.link(
+            (bus, BusComponent::DOWN),
+            (mem, MemoryComponent::BUS),
+            SimTime::ns(2),
+        );
+        let report = Engine::new(b).run(RunLimit::Exhaust);
+        assert_eq!(report.stats.counter("drv0", "responses"), 2);
+        assert_eq!(report.stats.counter("drv1", "responses"), 2);
+        assert_eq!(report.stats.counter("bus", "forwarded"), 4);
+        assert_eq!(report.stats.counter("dram", "reads"), 4);
+    }
+
+    #[test]
+    fn finish_publishes_model_stats() {
+        let report = chain(vec![0x100, 0x108, 0x4000]);
+        // Event-level counters and the state machine's own stats must agree.
+        assert_eq!(
+            report.stats.counter("l1", "read_hits") + report.stats.counter("l1", "read_misses"),
+            3
+        );
+        assert_eq!(report.stats.counter("l1", "read_misses"), 2);
+        assert!(report.stats.counter("mem", "activates") > 0);
+        assert!(report.stats.counter("mem", "bytes") > 0);
+    }
+
+    #[test]
     fn registry_builds_from_config() {
         let mut reg = ComponentRegistry::new();
         register(&mut reg);
         assert!(reg.contains("mem.cache"));
         assert!(reg.contains("mem.dram"));
+        assert!(reg.contains("mem.bus"));
         let cache = reg
             .create("mem.cache", &Params::new().set("size_bytes", 65536u64))
             .unwrap();

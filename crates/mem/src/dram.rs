@@ -416,7 +416,13 @@ impl DramSystem {
     /// Latest time any channel's data bus is busy (diagnostics; the natural
     /// "end of traffic" mark for throughput math).
     pub fn last_busy(&self) -> SimTime {
-        SimTime::ps(self.channels.iter().map(|c| c.bus_free_at).max().unwrap_or(0))
+        SimTime::ps(
+            self.channels
+                .iter()
+                .map(|c| c.bus_free_at)
+                .max()
+                .unwrap_or(0),
+        )
     }
 
     /// Achieved bandwidth over `elapsed` (bytes/sec).

@@ -173,22 +173,21 @@ impl MemHierarchy {
 
         // Helper: push write-backs into L3 (collecting its dirty victims)
         // or straight to the DRAM write list when there is no L3.
-        let sink_below_l2 =
-            |l3: &mut Option<Cache>, lines: &mut Vec<u64>, dram_writes: &mut Vec<u64>| {
-                for line in lines.drain(..) {
-                    match l3 {
-                        Some(l3) => {
-                            if let Outcome::Miss {
-                                writeback: Some(v),
-                            } = l3.access(line, Access::Write)
-                            {
-                                dram_writes.push(v);
-                            }
+        let sink_below_l2 = |l3: &mut Option<Cache>,
+                             lines: &mut Vec<u64>,
+                             dram_writes: &mut Vec<u64>| {
+            for line in lines.drain(..) {
+                match l3 {
+                    Some(l3) => {
+                        if let Outcome::Miss { writeback: Some(v) } = l3.access(line, Access::Write)
+                        {
+                            dram_writes.push(v);
                         }
-                        None => dram_writes.push(line),
                     }
+                    None => dram_writes.push(line),
                 }
-            };
+            }
+        };
 
         if out2.is_hit() {
             sink_below_l2(&mut self.l3, &mut l3_writes, &mut dram_writes);
@@ -200,10 +199,7 @@ impl MemHierarchy {
                 level: Level::L2,
             };
         }
-        if let Outcome::Miss {
-            writeback: Some(v),
-        } = out2
-        {
+        if let Outcome::Miss { writeback: Some(v) } = out2 {
             l3_writes.push(v);
         }
         let t_l3 = t_l2 + l2_lat;
@@ -211,10 +207,7 @@ impl MemHierarchy {
         // L3 demand (if present), then pending write-backs.
         let t_mem = if self.l3.is_some() {
             let out3 = self.l3.as_mut().unwrap().access(addr, Access::Read);
-            if let Outcome::Miss {
-                writeback: Some(v),
-            } = out3
-            {
+            if let Outcome::Miss { writeback: Some(v) } = out3 {
                 dram_writes.push(v);
             }
             sink_below_l2(&mut self.l3, &mut l3_writes, &mut dram_writes);

@@ -11,15 +11,22 @@
 //!   (L1/L2/L3/DRAM) used by the fast design-space studies.
 //! * [`components`] — discrete-event wrappers speaking a split-transaction
 //!   protocol over sst-core links, for full-system simulations.
+//! * [`model`] — the fidelity-selectable [`MemoryModel`](model::MemoryModel)
+//!   trait unifying the analytic facade and the DES component chain.
 
 pub mod cache;
 pub mod components;
 pub mod dram;
 pub mod hierarchy;
 pub mod mesi;
+pub mod model;
 
 pub use cache::{Access, Cache, CacheConfig, CacheStats, Outcome};
-pub use components::{CacheComponent, MemReq, MemResp, MemoryComponent};
+pub use components::{BusComponent, CacheComponent, MemReq, MemResp, MemoryComponent};
 pub use dram::{DramConfig, DramStats, DramSystem, RowOutcome};
 pub use hierarchy::{AccessResult, HierarchyStats, Level, MemHierarchy, MemHierarchyConfig};
 pub use mesi::{BusAction, CoherenceStats, Mesi, SnoopBus};
+pub use model::{
+    hierarchy_stats_from_snapshot, install_hierarchy, memory_model, AnalyticMemory, DesMemory,
+    MemoryModel, TraceOp, TraceResult,
+};

@@ -73,9 +73,7 @@ impl SnoopBus {
 
     /// Current state of `line` in `core`'s cache.
     pub fn state(&self, core: usize, line: u64) -> Mesi {
-        self.lines
-            .get(&line)
-            .map_or(Mesi::Invalid, |v| v[core])
+        self.lines.get(&line).map_or(Mesi::Invalid, |v| v[core])
     }
 
     /// Core `core` reads `line`.
@@ -118,7 +116,11 @@ impl SnoopBus {
                         Mesi::Invalid => {}
                     }
                 }
-                let new_state = if any_other { Mesi::Shared } else { Mesi::Exclusive };
+                let new_state = if any_other {
+                    Mesi::Shared
+                } else {
+                    Mesi::Exclusive
+                };
                 states[core] = new_state;
                 if dirty {
                     self.stats.dirty_interventions += 1;

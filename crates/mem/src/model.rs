@@ -1,0 +1,449 @@
+//! Fidelity-selectable memory model.
+//!
+//! [`MemoryModel`] is the per-subsystem trait of the multi-fidelity layer:
+//! drive a memory-access trace through the node hierarchy and report the
+//! finish time plus per-level statistics. Two implementations exist:
+//!
+//! * [`AnalyticMemory`] — the immediate-mode [`MemHierarchy`] facade; each
+//!   access is a closed-form walk down the levels.
+//! * [`DesMemory`] — the same cache/DRAM state machines wrapped as
+//!   discrete-event components ([`CacheComponent`] / [`MemoryComponent`]),
+//!   wired by links and driven through an [`Engine`]; results are extracted
+//!   from the run's [`StatsSnapshot`].
+//!
+//! [`install_hierarchy`] is the shared wiring helper: given upstream request
+//! ports (one per core), it assembles `L1 → L2 → (L3) → DRAM` with private
+//! and shared levels per the [`MemHierarchyConfig`], inserting a
+//! [`BusComponent`] wherever multiple upstreams converge on a shared level.
+//!
+//! Fidelity contract: the two paths share the cache and DRAM state machines
+//! but order write-backs slightly differently (the DES cache emits the victim
+//! before the demand fetch; the analytic walk does the opposite) and the DES
+//! path pays explicit link hops, so hit/miss totals below L1 and absolute
+//! times diverge by a few percent. L1 behavior on a single-core trace is
+//! identical. Cross-fidelity tests in this module and in
+//! `tests/tests/fidelity_equivalence.rs` pin the tolerance bands.
+
+use crate::cache::Access;
+use crate::components::{BusComponent, CacheComponent, MemReq, MemResp, MemoryComponent};
+use crate::hierarchy::{HierarchyStats, MemHierarchy, MemHierarchyConfig};
+use sst_core::prelude::*;
+use sst_core::stats::{StatKind, StatsSnapshot};
+
+/// One memory operation in a trace.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceOp {
+    pub core: usize,
+    pub addr: u64,
+    pub write: bool,
+}
+
+/// Result of driving a trace through a memory model.
+#[derive(Debug, Clone)]
+pub struct TraceResult {
+    /// Completion time of the last access (each core issues dependently).
+    pub finish: SimTime,
+    /// Per-level stats accumulated by this trace.
+    pub stats: HierarchyStats,
+}
+
+/// A node memory hierarchy at some fidelity: drive a trace, get timing+stats.
+pub trait MemoryModel {
+    fn fidelity(&self) -> Fidelity;
+    /// Run `trace`; ops of one core issue dependently (the next op starts
+    /// when the previous completes), distinct cores proceed concurrently.
+    fn run_trace(&mut self, trace: &[TraceOp]) -> TraceResult;
+}
+
+/// Pick a memory-model implementation for `fidelity`.
+pub fn memory_model(
+    cfg: &MemHierarchyConfig,
+    cores: usize,
+    core_freq: Frequency,
+    fidelity: Fidelity,
+) -> Box<dyn MemoryModel> {
+    match fidelity {
+        Fidelity::Analytic => Box::new(AnalyticMemory::new(cfg.clone(), cores, core_freq)),
+        Fidelity::Des => Box::new(DesMemory::new(cfg.clone(), cores, core_freq)),
+    }
+}
+
+/// Analytic fidelity: the immediate-mode hierarchy walk.
+pub struct AnalyticMemory {
+    hier: MemHierarchy,
+    cursors: Vec<SimTime>,
+}
+
+impl AnalyticMemory {
+    pub fn new(cfg: MemHierarchyConfig, cores: usize, core_freq: Frequency) -> AnalyticMemory {
+        AnalyticMemory {
+            hier: MemHierarchy::new(cfg, cores, core_freq),
+            cursors: vec![SimTime::ZERO; cores],
+        }
+    }
+}
+
+impl MemoryModel for AnalyticMemory {
+    fn fidelity(&self) -> Fidelity {
+        Fidelity::Analytic
+    }
+
+    fn run_trace(&mut self, trace: &[TraceOp]) -> TraceResult {
+        for op in trace {
+            let kind = if op.write {
+                Access::Write
+            } else {
+                Access::Read
+            };
+            let r = self
+                .hier
+                .access(op.core, op.addr, kind, self.cursors[op.core]);
+            self.cursors[op.core] = r.complete;
+        }
+        TraceResult {
+            finish: self.cursors.iter().copied().max().unwrap_or(SimTime::ZERO),
+            stats: self.hier.take_stats(),
+        }
+    }
+}
+
+/// DES fidelity: per-core trace drivers feed component chains through an
+/// engine. Each `run_trace` call builds and runs a fresh system (caches start
+/// cold); time restarts at zero per call.
+pub struct DesMemory {
+    cfg: MemHierarchyConfig,
+    cores: usize,
+    core_freq: Frequency,
+}
+
+impl DesMemory {
+    pub fn new(cfg: MemHierarchyConfig, cores: usize, core_freq: Frequency) -> DesMemory {
+        DesMemory {
+            cfg,
+            cores,
+            core_freq,
+        }
+    }
+}
+
+impl MemoryModel for DesMemory {
+    fn fidelity(&self) -> Fidelity {
+        Fidelity::Des
+    }
+
+    fn run_trace(&mut self, trace: &[TraceOp]) -> TraceResult {
+        let mut per_core: Vec<Vec<(u64, bool)>> = vec![Vec::new(); self.cores];
+        for op in trace {
+            per_core[op.core].push((op.addr, op.write));
+        }
+        let mut b = SystemBuilder::new();
+        let mut ups = Vec::new();
+        for (i, ops) in per_core.into_iter().enumerate() {
+            let drv = b.add(format!("drv{i}"), TraceDriver::new(ops));
+            ups.push((drv, TraceDriver::MEM));
+        }
+        install_hierarchy(&mut b, &self.cfg, self.core_freq, &ups);
+        let report = Engine::new(b).run(RunLimit::Exhaust);
+        TraceResult {
+            finish: report.end_time,
+            stats: hierarchy_stats_from_snapshot(&report.stats),
+        }
+    }
+}
+
+/// Wire `L1 → L2 → (L3) → DRAM` component chains for `upstreams.len()` cores
+/// into `b`, honoring private/shared levels from `cfg`. Every hop is one
+/// core-cycle link; a cache level's service latency is its configured
+/// `latency_cycles` minus the two link hops (so a DES round trip costs the
+/// same cycles the analytic walk charges). Components are named `l1.{i}`,
+/// `l2.{i}`, `l3`, `dram`, with `bus.*` fan-ins — the names
+/// [`hierarchy_stats_from_snapshot`] groups by.
+pub fn install_hierarchy(
+    b: &mut SystemBuilder,
+    cfg: &MemHierarchyConfig,
+    core_freq: Frequency,
+    upstreams: &[(ComponentId, PortId)],
+) {
+    let period = core_freq.period();
+    let svc = |cycles: u32| period * cycles.saturating_sub(2).max(1) as u64;
+
+    // Private L1 per upstream.
+    let mut ends: Vec<(ComponentId, PortId)> = Vec::new();
+    for (i, up) in upstreams.iter().enumerate() {
+        let l1 = b.add(
+            format!("l1.{i}"),
+            CacheComponent::new(cfg.l1, svc(cfg.l1.latency_cycles)),
+        );
+        b.link(*up, (l1, CacheComponent::CPU), period);
+        ends.push((l1, CacheComponent::MEM));
+    }
+
+    // L2: one per core, or one shared behind a bus.
+    if cfg.l2_shared {
+        let l2 = b.add(
+            "l2.0".to_string(),
+            CacheComponent::new(cfg.l2, svc(cfg.l2.latency_cycles)),
+        );
+        fan_in(b, &ends, (l2, CacheComponent::CPU), period, "bus.l2");
+        ends = vec![(l2, CacheComponent::MEM)];
+    } else {
+        ends = ends
+            .iter()
+            .enumerate()
+            .map(|(i, end)| {
+                let l2 = b.add(
+                    format!("l2.{i}"),
+                    CacheComponent::new(cfg.l2, svc(cfg.l2.latency_cycles)),
+                );
+                b.link(*end, (l2, CacheComponent::CPU), period);
+                (l2, CacheComponent::MEM)
+            })
+            .collect();
+    }
+
+    // Optional shared L3.
+    if let Some(l3cfg) = cfg.l3 {
+        let l3 = b.add(
+            "l3".to_string(),
+            CacheComponent::new(l3cfg, svc(l3cfg.latency_cycles)),
+        );
+        fan_in(b, &ends, (l3, CacheComponent::CPU), period, "bus.l3");
+        ends = vec![(l3, CacheComponent::MEM)];
+    }
+
+    // DRAM controller.
+    let dram = b.add("dram".to_string(), MemoryComponent::new(cfg.dram.clone()));
+    fan_in(b, &ends, (dram, MemoryComponent::BUS), period, "bus.mem");
+}
+
+/// Link `ends` to the single `target` port, inserting a named
+/// [`BusComponent`] when there is more than one upstream.
+fn fan_in(
+    b: &mut SystemBuilder,
+    ends: &[(ComponentId, PortId)],
+    target: (ComponentId, PortId),
+    latency: SimTime,
+    bus_name: &str,
+) {
+    match ends {
+        [only] => {
+            b.link(*only, target, latency);
+        }
+        many => {
+            let bus = b.add(bus_name.to_string(), BusComponent::new());
+            for (i, end) in many.iter().enumerate() {
+                b.link(*end, (bus, BusComponent::up(i)), latency);
+            }
+            b.link((bus, BusComponent::DOWN), target, latency);
+        }
+    }
+}
+
+/// Rebuild [`HierarchyStats`] from the finish-time counters the DES
+/// components publish, grouping owners `l1.*` / `l2.*` / `l3*` / `dram`.
+pub fn hierarchy_stats_from_snapshot(snap: &StatsSnapshot) -> HierarchyStats {
+    let mut h = HierarchyStats::default();
+    for s in &snap.stats {
+        let StatKind::Counter { count } = s.kind else {
+            continue;
+        };
+        if s.owner == "dram" {
+            match s.name.as_str() {
+                "reads" => h.dram.reads += count,
+                "writes" => h.dram.writes += count,
+                "row_hits" => h.dram.row_hits += count,
+                "row_empty" => h.dram.row_empty += count,
+                "row_conflicts" => h.dram.row_conflicts += count,
+                "activates" => h.dram.activates += count,
+                "bytes" => h.dram.bytes += count,
+                _ => {}
+            }
+            continue;
+        }
+        let level = if s.owner.starts_with("l1") {
+            &mut h.l1
+        } else if s.owner.starts_with("l2") {
+            &mut h.l2
+        } else if s.owner.starts_with("l3") {
+            &mut h.l3
+        } else {
+            continue;
+        };
+        match s.name.as_str() {
+            "read_hits" => level.read_hits += count,
+            "read_misses" => level.read_misses += count,
+            "write_hits" => level.write_hits += count,
+            "write_misses" => level.write_misses += count,
+            "writebacks" => level.writebacks += count,
+            "invalidations" => level.invalidations += count,
+            _ => {}
+        }
+    }
+    h
+}
+
+/// Replays a per-core op list dependently: the next request issues when the
+/// previous response arrives.
+struct TraceDriver {
+    ops: Vec<(u64, bool)>,
+    next: usize,
+    issued: Option<StatId>,
+}
+
+impl TraceDriver {
+    const MEM: PortId = PortId(0);
+
+    fn new(ops: Vec<(u64, bool)>) -> TraceDriver {
+        TraceDriver {
+            ops,
+            next: 0,
+            issued: None,
+        }
+    }
+
+    fn issue(&mut self, ctx: &mut SimCtx<'_>) {
+        if self.next < self.ops.len() {
+            let (addr, write) = self.ops[self.next];
+            let id = self.next as u64;
+            self.next += 1;
+            ctx.add_stat(self.issued.unwrap(), 1);
+            ctx.send(Self::MEM, Box::new(MemReq { id, addr, write }));
+        }
+    }
+}
+
+impl Component for TraceDriver {
+    fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+        self.issued = Some(ctx.stat_counter("issued"));
+        self.issue(ctx);
+    }
+
+    fn on_event(&mut self, _port: PortId, payload: Box<dyn Payload>, ctx: &mut SimCtx<'_>) {
+        let _resp = downcast::<MemResp>(payload);
+        self.issue(ctx);
+    }
+
+    fn ports(&self) -> &'static [&'static str] {
+        &["mem"]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+    use crate::dram::DramConfig;
+
+    fn small_cfg(l3: bool) -> MemHierarchyConfig {
+        MemHierarchyConfig {
+            l1: CacheConfig {
+                size_bytes: 1 << 10,
+                assoc: 2,
+                line_bytes: 64,
+                latency_cycles: 4,
+                write_back: true,
+            },
+            l2: CacheConfig {
+                size_bytes: 8 << 10,
+                assoc: 4,
+                line_bytes: 64,
+                latency_cycles: 12,
+                write_back: true,
+            },
+            l2_shared: false,
+            l3: l3.then_some(CacheConfig {
+                size_bytes: 64 << 10,
+                assoc: 8,
+                line_bytes: 64,
+                latency_cycles: 30,
+                write_back: true,
+            }),
+            dram: DramConfig::ddr3_1333(2),
+        }
+    }
+
+    fn stream_trace(cores: usize, n: u64) -> Vec<TraceOp> {
+        let mut t = Vec::new();
+        for step in 0..n {
+            for c in 0..cores {
+                t.push(TraceOp {
+                    core: c,
+                    addr: (c as u64) << 24 | (step * 48) & !7,
+                    write: step % 5 == 0,
+                });
+            }
+        }
+        t
+    }
+
+    fn rel(a: f64, b: f64) -> f64 {
+        if a == 0.0 && b == 0.0 {
+            0.0
+        } else {
+            (a - b).abs() / a.abs().max(b.abs())
+        }
+    }
+
+    #[test]
+    fn fidelities_agree_on_single_core_stream() {
+        let trace = stream_trace(1, 4000);
+        let freq = Frequency::ghz(2.0);
+        let mut ana = memory_model(&small_cfg(true), 1, freq, Fidelity::Analytic);
+        let mut des = memory_model(&small_cfg(true), 1, freq, Fidelity::Des);
+        assert_eq!(ana.fidelity(), Fidelity::Analytic);
+        assert_eq!(des.fidelity(), Fidelity::Des);
+        let ra = ana.run_trace(&trace);
+        let rd = des.run_trace(&trace);
+        // Same state machine, same access order: L1 behavior is identical.
+        assert_eq!(ra.stats.l1.hits(), rd.stats.l1.hits());
+        assert_eq!(ra.stats.l1.misses(), rd.stats.l1.misses());
+        // Below L1, write-back ordering differs; totals stay close.
+        assert!(
+            rel(ra.stats.l2.misses() as f64, rd.stats.l2.misses() as f64) < 0.2,
+            "L2 misses diverge: analytic={} des={}",
+            ra.stats.l2.misses(),
+            rd.stats.l2.misses()
+        );
+        assert!(
+            rel(
+                ra.stats.dram.accesses() as f64,
+                rd.stats.dram.accesses() as f64
+            ) < 0.3,
+            "DRAM accesses diverge: analytic={:?} des={:?}",
+            ra.stats.dram,
+            rd.stats.dram
+        );
+        assert!(
+            rel(ra.finish.as_ns_f64(), rd.finish.as_ns_f64()) < 0.5,
+            "finish times diverge: analytic={} des={}",
+            ra.finish,
+            rd.finish
+        );
+    }
+
+    #[test]
+    fn des_multicore_uses_bus_and_is_deterministic() {
+        let trace = stream_trace(4, 400);
+        let freq = Frequency::ghz(2.0);
+        let mut d1 = DesMemory::new(small_cfg(true), 4, freq);
+        let mut d2 = DesMemory::new(small_cfg(true), 4, freq);
+        let r1 = d1.run_trace(&trace);
+        let r2 = d2.run_trace(&trace);
+        assert_eq!(r1.finish, r2.finish, "DES reruns must be bit-identical");
+        assert_eq!(r1.stats.l1.accesses(), r2.stats.l1.accesses());
+        assert_eq!(r1.stats.dram.bytes, r2.stats.dram.bytes);
+        assert_eq!(r1.stats.l1.accesses(), trace.len() as u64);
+    }
+
+    #[test]
+    fn des_no_l3_shared_l2_shape() {
+        let mut cfg = small_cfg(false);
+        cfg.l2_shared = true;
+        let trace = stream_trace(2, 200);
+        let mut des = DesMemory::new(cfg, 2, Frequency::ghz(2.0));
+        let r = des.run_trace(&trace);
+        assert_eq!(r.stats.l1.accesses(), trace.len() as u64);
+        assert_eq!(r.stats.l3.accesses(), 0, "no L3 in this shape");
+        assert!(r.stats.dram.accesses() > 0);
+    }
+}

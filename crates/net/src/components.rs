@@ -201,7 +201,10 @@ mod tests {
         let mut b = SystemBuilder::new();
         let fabric = b.add(
             "fabric",
-            FabricComponent::new(Network::new(Box::new(Torus3D::new(2, 2, 2)), NetConfig::xt5())),
+            FabricComponent::new(Network::new(
+                Box::new(Torus3D::new(2, 2, 2)),
+                NetConfig::xt5(),
+            )),
         );
         let mut nodes_used = std::collections::BTreeSet::new();
         for (src, dst, ..) in flows {
@@ -213,7 +216,11 @@ mod tests {
                 format!("tg{i}"),
                 TrafficGen::new(src, dst, bytes, count, SimTime::us(1)),
             );
-            b.link((tg, TrafficGen::NET), (fabric, FabricComponent::port(src)), SimTime::ns(5));
+            b.link(
+                (tg, TrafficGen::NET),
+                (fabric, FabricComponent::port(src)),
+                SimTime::ns(5),
+            );
         }
         // Destination-only endpoints need their own port connections: give
         // each pure destination a zero-count sink.
@@ -224,7 +231,11 @@ mod tests {
                     format!("sink{sink_idx}"),
                     TrafficGen::new(n, (n + 1) % 8, 0, 0, SimTime::us(1)),
                 );
-                b.link((tg, TrafficGen::NET), (fabric, FabricComponent::port(n)), SimTime::ns(5));
+                b.link(
+                    (tg, TrafficGen::NET),
+                    (fabric, FabricComponent::port(n)),
+                    SimTime::ns(5),
+                );
                 sink_idx += 1;
             }
         }
@@ -247,7 +258,10 @@ mod tests {
         assert_eq!(report.stats.counter("tg0", "received"), 20);
         assert_eq!(report.stats.counter("tg1", "received"), 20);
         let lat = report.stats.mean("tg0", "latency_ns").unwrap();
-        assert!(lat > 100.0, "end-to-end latency should include the fabric: {lat}");
+        assert!(
+            lat > 100.0,
+            "end-to-end latency should include the fabric: {lat}"
+        );
     }
 
     #[test]
@@ -266,7 +280,10 @@ mod tests {
         assert!(r.contains("net.fabric"));
         assert!(r.contains("net.traffic"));
         assert!(r
-            .create("net.traffic", &Params::new().set("me", 1u64).set("dst", 1u64))
+            .create(
+                "net.traffic",
+                &Params::new().set("me", 1u64).set("dst", 1u64)
+            )
             .is_err());
     }
 }

@@ -12,11 +12,13 @@
 //!   collectives built from real (counted, contended) messages.
 
 pub mod components;
+pub mod model;
 pub mod mpi;
 pub mod network;
 pub mod topology;
 
 pub use components::{FabricComponent, Packet, TrafficGen};
+pub use model::{fabric_model, AnalyticFabric, DesFabric, FabricModel, FabricRunResult, Flow};
 pub use mpi::{halo_exchange_3d, CommOp, MpiRun, MpiSim};
 pub use network::{NetConfig, NetStats, Network};
 pub use topology::{FatTree, LinkId, Route, Topology, Torus3D};

@@ -1,0 +1,273 @@
+//! Fidelity-selectable fabric model.
+//!
+//! [`FabricModel`] is the network-side trait of the multi-fidelity layer:
+//! run a set of scripted packet flows, get delivery counts and transit
+//! statistics. Two implementations:
+//!
+//! * [`AnalyticFabric`] — replays the flows' injections in global time order
+//!   directly against the [`Network`] timing model.
+//! * [`DesFabric`] — wires [`TrafficGen`] endpoints to a
+//!   [`FabricComponent`] and drives them through an [`Engine`], extracting
+//!   results from the [`StatsSnapshot`].
+//!
+//! Both paths share the same contention-aware timing model, and endpoint
+//! links shift every arrival by the same constant, so per-packet transit
+//! times agree almost exactly — the differential test below pins them
+//! within 2%.
+
+use crate::components::{FabricComponent, TrafficGen};
+use crate::network::{NetConfig, Network};
+use crate::topology::Torus3D;
+use sst_core::prelude::*;
+
+/// One scripted flow: `count` packets of `bytes` from `src` to `dst`, one
+/// injected every `gap` starting at `gap`.
+#[derive(Debug, Clone, Copy)]
+pub struct Flow {
+    pub src: u32,
+    pub dst: u32,
+    pub bytes: u64,
+    pub count: u64,
+    pub gap: SimTime,
+}
+
+/// Result of driving flows through a fabric model.
+#[derive(Debug, Clone)]
+pub struct FabricRunResult {
+    /// Packets that crossed the fabric.
+    pub delivered: u64,
+    /// Mean fabric transit time (injection to last byte out), ns.
+    pub mean_transit_ns: f64,
+    /// Completion time of the last delivery.
+    pub end: SimTime,
+}
+
+/// A switch fabric at some fidelity.
+pub trait FabricModel {
+    fn fidelity(&self) -> Fidelity;
+    /// Run the flows to completion. Each `src` node may source at most one
+    /// flow (an endpoint owns its fabric port).
+    fn run_flows(&mut self, flows: &[Flow]) -> FabricRunResult;
+}
+
+/// Pick a fabric-model implementation for `fidelity`, on a 3-D torus of the
+/// given dimensions.
+pub fn fabric_model(
+    dims: (u32, u32, u32),
+    cfg: NetConfig,
+    fidelity: Fidelity,
+) -> Box<dyn FabricModel> {
+    match fidelity {
+        Fidelity::Analytic => Box::new(AnalyticFabric::torus(dims, cfg)),
+        Fidelity::Des => Box::new(DesFabric::torus(dims, cfg)),
+    }
+}
+
+/// Analytic fidelity: time-ordered replay against the timing model.
+pub struct AnalyticFabric {
+    net: Network,
+}
+
+impl AnalyticFabric {
+    pub fn torus(dims: (u32, u32, u32), cfg: NetConfig) -> AnalyticFabric {
+        AnalyticFabric {
+            net: Network::new(Box::new(Torus3D::new(dims.0, dims.1, dims.2)), cfg),
+        }
+    }
+}
+
+impl FabricModel for AnalyticFabric {
+    fn fidelity(&self) -> Fidelity {
+        Fidelity::Analytic
+    }
+
+    fn run_flows(&mut self, flows: &[Flow]) -> FabricRunResult {
+        // Gather every injection, then process in global time order so link
+        // occupancy sees the same interleaving the event queue would.
+        let mut injections: Vec<(SimTime, usize)> = Vec::new();
+        for (fi, f) in flows.iter().enumerate() {
+            for k in 0..f.count {
+                injections.push((f.gap * (k + 1), fi));
+            }
+        }
+        injections.sort_by_key(|&(t, fi)| (t, fi));
+
+        let mut delivered = 0u64;
+        let mut transit_sum = 0.0;
+        let mut end = SimTime::ZERO;
+        for (t, fi) in injections {
+            let f = &flows[fi];
+            let done = self.net.send(f.src, f.dst, f.bytes, t);
+            delivered += 1;
+            transit_sum += (done - t).as_ns_f64();
+            end = end.max(done);
+        }
+        FabricRunResult {
+            delivered,
+            mean_transit_ns: if delivered > 0 {
+                transit_sum / delivered as f64
+            } else {
+                0.0
+            },
+            end,
+        }
+    }
+}
+
+/// DES fidelity: traffic generators and the fabric component on an engine.
+/// Each `run_flows` call builds and runs a fresh system.
+pub struct DesFabric {
+    dims: (u32, u32, u32),
+    cfg: NetConfig,
+    /// Endpoint link latency (constant for every endpoint, so fabric-level
+    /// contention is time-shifted, not reshaped).
+    pub link_latency: SimTime,
+}
+
+impl DesFabric {
+    pub fn torus(dims: (u32, u32, u32), cfg: NetConfig) -> DesFabric {
+        DesFabric {
+            dims,
+            cfg,
+            link_latency: SimTime::ns(5),
+        }
+    }
+}
+
+impl FabricModel for DesFabric {
+    fn fidelity(&self) -> Fidelity {
+        Fidelity::Des
+    }
+
+    fn run_flows(&mut self, flows: &[Flow]) -> FabricRunResult {
+        let nodes = self.dims.0 * self.dims.1 * self.dims.2;
+        let mut b = SystemBuilder::new();
+        let fabric = b.add(
+            "fabric",
+            FabricComponent::new(Network::new(
+                Box::new(Torus3D::new(self.dims.0, self.dims.1, self.dims.2)),
+                self.cfg.clone(),
+            )),
+        );
+        let mut sources = std::collections::BTreeSet::new();
+        for (i, f) in flows.iter().enumerate() {
+            assert!(f.src < nodes && f.dst < nodes, "flow endpoints off-torus");
+            assert!(
+                sources.insert(f.src),
+                "node {} sources more than one flow",
+                f.src
+            );
+            let tg = b.add(
+                format!("tg{i}"),
+                TrafficGen::new(f.src, f.dst, f.bytes, f.count, f.gap),
+            );
+            b.link(
+                (tg, TrafficGen::NET),
+                (fabric, FabricComponent::port(f.src)),
+                self.link_latency,
+            );
+        }
+        // Pure destinations still need a connected port to receive.
+        let dests: std::collections::BTreeSet<u32> = flows.iter().map(|f| f.dst).collect();
+        for (i, d) in dests.difference(&sources).enumerate() {
+            let sink = b.add(
+                format!("sink{i}"),
+                TrafficGen::new(*d, (*d + 1) % nodes, 0, 0, SimTime::us(1)),
+            );
+            b.link(
+                (sink, TrafficGen::NET),
+                (fabric, FabricComponent::port(*d)),
+                self.link_latency,
+            );
+        }
+        let report = Engine::new(b).run(RunLimit::Exhaust);
+        FabricRunResult {
+            delivered: report.stats.counter("fabric", "delivered"),
+            mean_transit_ns: report.stats.mean("fabric", "transit_ns").unwrap_or(0.0),
+            end: report.end_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flows() -> Vec<Flow> {
+        vec![
+            Flow {
+                src: 0,
+                dst: 7,
+                bytes: 4096,
+                count: 40,
+                gap: SimTime::us(1),
+            },
+            Flow {
+                src: 3,
+                dst: 4,
+                bytes: 64 << 10,
+                count: 20,
+                gap: SimTime::us(2),
+            },
+            Flow {
+                src: 5,
+                dst: 0,
+                bytes: 512,
+                count: 60,
+                gap: SimTime::ns(700),
+            },
+        ]
+    }
+
+    #[test]
+    fn fidelities_agree_on_transit_and_counts() {
+        let mut ana = fabric_model((2, 2, 2), NetConfig::xt5(), Fidelity::Analytic);
+        let mut des = fabric_model((2, 2, 2), NetConfig::xt5(), Fidelity::Des);
+        assert_eq!(ana.fidelity(), Fidelity::Analytic);
+        assert_eq!(des.fidelity(), Fidelity::Des);
+        let ra = ana.run_flows(&flows());
+        let rd = des.run_flows(&flows());
+        assert_eq!(ra.delivered, 120);
+        assert_eq!(ra.delivered, rd.delivered);
+        let rel = (ra.mean_transit_ns - rd.mean_transit_ns).abs()
+            / ra.mean_transit_ns.max(rd.mean_transit_ns);
+        assert!(
+            rel < 0.02,
+            "transit means diverge: analytic={} des={}",
+            ra.mean_transit_ns,
+            rd.mean_transit_ns
+        );
+        // DES end time additionally pays the endpoint links.
+        assert!(rd.end >= ra.end);
+        assert!(
+            (rd.end.as_ns_f64() - ra.end.as_ns_f64()) < 1000.0,
+            "end times far apart: {} vs {}",
+            ra.end,
+            rd.end
+        );
+    }
+
+    #[test]
+    fn des_fabric_is_deterministic() {
+        let run = || {
+            let mut des = fabric_model((2, 2, 2), NetConfig::xt5(), Fidelity::Des);
+            let r = des.run_flows(&flows());
+            (r.delivered, r.end, r.mean_transit_ns.to_bits())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "sources more than one flow")]
+    fn des_rejects_duplicate_sources() {
+        let mut des = DesFabric::torus((2, 2, 2), NetConfig::xt5());
+        let f = Flow {
+            src: 1,
+            dst: 2,
+            bytes: 64,
+            count: 1,
+            gap: SimTime::us(1),
+        };
+        des.run_flows(&[f, f]);
+    }
+}

@@ -95,7 +95,10 @@ impl<'n> MpiSim<'n> {
                             let arrival =
                                 self.net
                                     .send(self.node(r as u32), self.node(to), bytes, t[r]);
-                            mailbox.entry((r as u32, to)).or_default().push_back(arrival);
+                            mailbox
+                                .entry((r as u32, to))
+                                .or_default()
+                                .push_back(arrival);
                             t[r] += self.net.cfg.sw_overhead;
                             pc[r] += 1;
                             progressed = true;
@@ -125,10 +128,7 @@ impl<'n> MpiSim<'n> {
                                 collective_count = 1;
                             }
                             Some(prev) => {
-                                assert_eq!(
-                                    *prev, op,
-                                    "ranks disagree on the pending collective"
-                                );
+                                assert_eq!(*prev, op, "ranks disagree on the pending collective");
                                 collective_count += 1;
                             }
                         }
@@ -184,7 +184,9 @@ impl<'n> MpiSim<'n> {
         // Fold in the remainder.
         for r in core..p {
             let peer = r - core;
-            let arr = self.net.send(self.node(r), self.node(peer), bytes, t[r as usize]);
+            let arr = self
+                .net
+                .send(self.node(r), self.node(peer), bytes, t[r as usize]);
             t[peer as usize] = t[peer as usize].max(arr);
             t[r as usize] += self.net.cfg.sw_overhead;
         }
@@ -194,8 +196,12 @@ impl<'n> MpiSim<'n> {
             for r in 0..core {
                 let peer = r ^ bit;
                 if r < peer {
-                    let a = self.net.send(self.node(r), self.node(peer), bytes, t[r as usize]);
-                    let b = self.net.send(self.node(peer), self.node(r), bytes, t[peer as usize]);
+                    let a = self
+                        .net
+                        .send(self.node(r), self.node(peer), bytes, t[r as usize]);
+                    let b = self
+                        .net
+                        .send(self.node(peer), self.node(r), bytes, t[peer as usize]);
                     let done = a.max(b);
                     t[r as usize] = done;
                     t[peer as usize] = done;
@@ -205,7 +211,9 @@ impl<'n> MpiSim<'n> {
         // Fold back out.
         for r in core..p {
             let peer = r - core;
-            let arr = self.net.send(self.node(peer), self.node(r), bytes, t[peer as usize]);
+            let arr = self
+                .net
+                .send(self.node(peer), self.node(r), bytes, t[peer as usize]);
             t[r as usize] = t[r as usize].max(arr);
         }
     }
@@ -280,7 +288,10 @@ mod tests {
     fn recv_waits_for_late_sender() {
         let mut net = net_for(2);
         let scripts = vec![
-            vec![CommOp::Compute(SimTime::ms(1)), CommOp::Send { to: 1, bytes: 8 }],
+            vec![
+                CommOp::Compute(SimTime::ms(1)),
+                CommOp::Send { to: 1, bytes: 8 },
+            ],
             vec![CommOp::Recv { from: 0 }],
         ];
         let run = MpiSim::new(&mut net, 1).run(scripts);
@@ -317,7 +328,11 @@ mod tests {
         let run = MpiSim::new(&mut net, 1).run(scripts);
         // Everyone leaves the barrier no earlier than the slowest arrival.
         for r in 0..8 {
-            assert!(run.per_rank[r] >= SimTime::us(70), "rank {r}: {}", run.per_rank[r]);
+            assert!(
+                run.per_rank[r] >= SimTime::us(70),
+                "rank {r}: {}",
+                run.per_rank[r]
+            );
         }
         assert!(run.messages > 0);
     }
@@ -377,7 +392,10 @@ mod tests {
     #[should_panic(expected = "deadlock")]
     fn mismatched_recv_deadlocks() {
         let mut net = net_for(2);
-        let scripts = vec![vec![CommOp::Recv { from: 1 }], vec![CommOp::Recv { from: 0 }]];
+        let scripts = vec![
+            vec![CommOp::Recv { from: 1 }],
+            vec![CommOp::Recv { from: 0 }],
+        ];
         MpiSim::new(&mut net, 1).run(scripts);
     }
 

@@ -223,7 +223,10 @@ mod tests {
         let t_full = full.send(0, 1, bytes, SimTime::ZERO);
         let t_eighth = eighth.send(0, 1, bytes, SimTime::ZERO);
         let r = t_eighth.as_ps() as f64 / t_full.as_ps() as f64;
-        assert!(r > 4.0, "1/8 injection should be much slower on big msgs: {r}");
+        assert!(
+            r > 4.0,
+            "1/8 injection should be much slower on big msgs: {r}"
+        );
     }
 
     #[test]

@@ -333,6 +333,10 @@ mod tests {
                 used.insert(*l);
             }
         }
-        assert!(used.len() >= 4, "spine selection should spread: {}", used.len());
+        assert!(
+            used.len() >= 4,
+            "spine selection should spread: {}",
+            used.len()
+        );
     }
 }

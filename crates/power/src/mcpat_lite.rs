@@ -145,7 +145,12 @@ mod tests {
         // 8-wide should be much more than 8x/… at least 4x area of 1-wide
         // but clearly superlinear per lane beyond 2x.
         assert!(a8 > 4.0 * a1, "a1={a1} a8={a8}");
-        assert!(a8 / 8.0 > a1 / 1.5, "per-lane area must grow: {} vs {}", a8 / 8.0, a1);
+        assert!(
+            a8 / 8.0 > a1 / 1.5,
+            "per-lane area must grow: {} vs {}",
+            a8 / 8.0,
+            a1
+        );
     }
 
     #[test]

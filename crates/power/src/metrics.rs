@@ -128,6 +128,7 @@ mod tests {
             core: CoreConfig::with_width(width, Frequency::ghz(2.0)),
             cores: 4,
             mem: MemHierarchyConfig::typical(dram),
+            fidelity: Default::default(),
         };
         let mut node = Node::new(cfg.clone());
         let streams: Vec<_> = (0..4)

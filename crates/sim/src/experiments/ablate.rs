@@ -112,7 +112,11 @@ pub fn run(p: &Params) -> Table {
         let (epochs, _wall) = lookahead_run(la);
         t.push(
             format!("lookahead {la} ns: sync epochs"),
-            vec![epochs as f64, base.0 as f64, epochs as f64 / base.0.max(1) as f64],
+            vec![
+                epochs as f64,
+                base.0 as f64,
+                epochs as f64 / base.0.max(1) as f64,
+            ],
         );
     }
 
@@ -213,15 +217,21 @@ mod tests {
             let mut cfg = dse_node(4, DramConfig::ddr3_1333(1));
             cfg.core.max_outstanding = 2;
             let mut node = Node::new(cfg);
-            node.run_phase("cg", vec![sst_workloads::hpccg::solver(0, Problem::new(p.nx), 2)])
-                .time
+            node.run_phase(
+                "cg",
+                vec![sst_workloads::hpccg::solver(0, Problem::new(p.nx), 2)],
+            )
+            .time
         };
         let t32 = {
             let mut cfg = dse_node(4, DramConfig::ddr3_1333(1));
             cfg.core.max_outstanding = 32;
             let mut node = Node::new(cfg);
-            node.run_phase("cg", vec![sst_workloads::hpccg::solver(0, Problem::new(p.nx), 2)])
-                .time
+            node.run_phase(
+                "cg",
+                vec![sst_workloads::hpccg::solver(0, Problem::new(p.nx), 2)],
+            )
+            .time
         };
         assert!(
             t2.as_ps() as f64 > 1.5 * t32.as_ps() as f64,

@@ -1,7 +1,8 @@
 //! Shared plumbing for the experiment runners.
 
 use sst_cpu::isa::InstrStream;
-use sst_cpu::node::{Node, NodeConfig, PhaseResult};
+use sst_cpu::model::node_model;
+use sst_cpu::node::{NodeConfig, PhaseResult};
 use sst_workloads::Problem;
 
 /// Which application proxy a node-level study runs.
@@ -36,17 +37,21 @@ pub fn run_fea_solver(
     solver_iters: u64,
 ) -> (Option<PhaseResult>, PhaseResult) {
     let p = Problem::new(nx);
-    let mut node = Node::new(cfg.clone());
+    // Fidelity dispatch happens here: `cfg.fidelity` selects the analytic
+    // lockstep node or the DES component path behind one trait object.
+    let mut node = node_model(cfg.clone());
 
     let fea = match app {
         App::MiniFe => {
-            let streams: Vec<Box<dyn InstrStream>> =
-                (0..cores).map(|c| sst_workloads::minife::fea(c, p)).collect();
+            let streams: Vec<Box<dyn InstrStream>> = (0..cores)
+                .map(|c| sst_workloads::minife::fea(c, p))
+                .collect();
             Some(node.run_phase("fea", streams))
         }
         App::Charon => {
-            let streams: Vec<Box<dyn InstrStream>> =
-                (0..cores).map(|c| sst_workloads::charon::fea(c, p)).collect();
+            let streams: Vec<Box<dyn InstrStream>> = (0..cores)
+                .map(|c| sst_workloads::charon::fea(c, p))
+                .collect();
             Some(node.run_phase("fea", streams))
         }
         App::Hpccg | App::Lulesh => None,
@@ -55,9 +60,12 @@ pub fn run_fea_solver(
     let solver_streams: Vec<Box<dyn InstrStream>> = (0..cores)
         .map(|c| match app {
             App::MiniFe => sst_workloads::minife::solver(c, p, solver_iters),
-            App::Charon => {
-                sst_workloads::charon::solver(c, p, sst_workloads::charon::Precond::Ilu0, solver_iters)
-            }
+            App::Charon => sst_workloads::charon::solver(
+                c,
+                p,
+                sst_workloads::charon::Precond::Ilu0,
+                solver_iters,
+            ),
             App::Hpccg => sst_workloads::hpccg::solver(c, p, solver_iters),
             App::Lulesh => sst_workloads::lulesh::hydro(c, p, solver_iters),
         })
@@ -96,6 +104,15 @@ mod tests {
             }
             assert!(solver.cycles > 0, "{}", app.name());
         }
+    }
+
+    #[test]
+    fn phases_run_under_des_fidelity() {
+        use sst_core::fidelity::Fidelity;
+        let cfg = xe6_node(2).with_fidelity(Fidelity::Des);
+        let (fea, solver) = run_fea_solver(&cfg, App::MiniFe, 2, 6, 2);
+        assert!(fea.unwrap().cycles > 0);
+        assert!(solver.cycles > 0 && solver.mem.l1.accesses() > 0);
     }
 
     #[test]

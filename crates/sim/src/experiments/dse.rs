@@ -10,8 +10,9 @@
 
 use crate::machines::{dse_memories, dse_node};
 use crate::table::Table;
+use sst_core::fidelity::Fidelity;
 use sst_cpu::isa::InstrStream;
-use sst_cpu::node::Node;
+use sst_cpu::model::node_model;
 use sst_power::{evaluate, ProcessCost, TechReport};
 use sst_workloads::Problem;
 
@@ -25,6 +26,9 @@ pub struct Params {
     pub nx_lulesh: u64,
     pub hpccg_iters: u64,
     pub lulesh_steps: u64,
+    /// Backend for every design point of the sweep (figs. 10-12 share the
+    /// sweep, so `--fidelity des` re-routes all three).
+    pub fidelity: Fidelity,
 }
 
 impl Default for Params {
@@ -35,6 +39,7 @@ impl Default for Params {
             nx_lulesh: 24,
             hpccg_iters: 8,
             lulesh_steps: 5,
+            fidelity: Fidelity::Analytic,
         }
     }
 }
@@ -47,6 +52,7 @@ impl Params {
             nx_lulesh: 24,
             hpccg_iters: 3,
             lulesh_steps: 2,
+            fidelity: Fidelity::Analytic,
         }
     }
 }
@@ -66,13 +72,13 @@ pub fn sweep(p: &Params) -> Vec<Point> {
     for app in ["HPCCG", "LULESH"] {
         for mem in dse_memories() {
             for &w in &p.widths {
-                let cfg = dse_node(w, mem.clone());
-                let mut node = Node::new(cfg.clone());
+                let cfg = dse_node(w, mem.clone()).with_fidelity(p.fidelity);
+                let mut node = node_model(cfg.clone());
                 let stream: Box<dyn InstrStream> = match app {
                     "HPCCG" => sst_workloads::hpccg::solver(0, Problem::new(p.nx), p.hpccg_iters),
                     _ => sst_workloads::lulesh::hydro(0, Problem::new(p.nx_lulesh), p.lulesh_steps),
                 };
-                let phase = node.run_phase(format!("{app}"), vec![stream]);
+                let phase = node.run_phase(app, vec![stream]);
                 let report = evaluate(&cfg, &phase, &ProcessCost::n45());
                 out.push(Point {
                     app,
@@ -141,7 +147,10 @@ pub fn fig11(points: &[Point], p: &Params) -> Table {
     );
     for app in ["HPCCG", "LULESH"] {
         for (metric, f) in [
-            ("perf/W", (|r: &TechReport| r.perf_per_watt()) as fn(&TechReport) -> f64),
+            (
+                "perf/W",
+                (|r: &TechReport| r.perf_per_watt()) as fn(&TechReport) -> f64,
+            ),
             ("perf/$", |r: &TechReport| r.perf_per_dollar()),
         ] {
             for mem in ["DDR2", "DDR3", "GDDR5"] {
@@ -185,9 +194,7 @@ pub fn fig12(points: &[Point], p: &Params) -> Table {
         let ppw: Vec<f64> = p
             .widths
             .iter()
-            .map(|&w| {
-                find(points, app, "GDDR5", w).report.perf_per_watt() / base.perf_per_watt()
-            })
+            .map(|&w| find(points, app, "GDDR5", w).report.perf_per_watt() / base.perf_per_watt())
             .collect();
         let ppd: Vec<f64> = p
             .widths
@@ -223,7 +230,10 @@ mod tests {
                 let d2 = t.row(&format!("{app} DDR2"))[i];
                 let d3 = t.row(&format!("{app} DDR3"))[i];
                 let g5 = t.row(&format!("{app} GDDR5"))[i];
-                assert!(d2 <= d3 + 1e-9 && d3 <= g5 + 1e-9, "{app} width idx {i}: {d2} {d3} {g5}");
+                assert!(
+                    d2 <= d3 + 1e-9 && d3 <= g5 + 1e-9,
+                    "{app} width idx {i}: {d2} {d3} {g5}"
+                );
             }
             let gain = t.row(&format!("{app} GDDR5-vs-DDR3 gain"));
             assert!(

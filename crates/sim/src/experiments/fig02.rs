@@ -46,6 +46,11 @@ pub fn run(p: &Params) -> Table {
         p.core_counts.iter().map(|c| format!("{c} cores")).collect(),
     );
 
+    // Every run uses the full node: the hierarchy (shared-cache and DRAM
+    // capacity) is that of the largest configuration, and varying `cores`
+    // only changes how many of its cores are active.
+    let full_node_cores = p.core_counts.iter().copied().max().unwrap();
+
     let mut series: Vec<(String, Vec<f64>)> = Vec::new();
     for app in [App::Charon, App::MiniFe] {
         let mut fea_eff = Vec::new();
@@ -53,7 +58,7 @@ pub fn run(p: &Params) -> Table {
         let mut fea_base = 0.0;
         let mut sol_base = 0.0;
         for (i, &cores) in p.core_counts.iter().enumerate() {
-            let cfg = xe6_node(cores.max(p.core_counts.iter().copied().max().unwrap()));
+            let cfg = xe6_node(full_node_cores);
             let (fea, solver) = run_fea_solver(&cfg, app, cores, p.nx, p.solver_iters);
             let fea_t = fea.expect("fea phase").time.as_secs_f64();
             let sol_t = solver.time.as_secs_f64();
@@ -75,10 +80,7 @@ pub fn run(p: &Params) -> Table {
     // Proportional comparison rows (validation metric inputs).
     let fea_diff = max_rel_diff(&series[0].1, &series[2].1);
     let sol_diff = max_rel_diff(&series[1].1, &series[3].1);
-    t.push(
-        "proportional diff FEA",
-        vec![fea_diff; p.core_counts.len()],
-    );
+    t.push("proportional diff FEA", vec![fea_diff; p.core_counts.len()]);
     t.push(
         "proportional diff solver",
         vec![sol_diff; p.core_counts.len()],

@@ -9,6 +9,7 @@
 use super::common::{max_rel_diff, run_fea_solver, App};
 use crate::machines::nehalem_node;
 use crate::table::Table;
+use sst_core::fidelity::Fidelity;
 use sst_mem::dram::DramConfig;
 
 #[derive(Debug, Clone)]
@@ -18,6 +19,10 @@ pub struct Params {
     pub cores: usize,
     pub nx: u64,
     pub solver_iters: u64,
+    /// Backend for the node model (`--fidelity des` swaps in the
+    /// component/event path; relative rows agree within the bands pinned by
+    /// `tests/tests/fidelity_equivalence.rs`).
+    pub fidelity: Fidelity,
 }
 
 impl Default for Params {
@@ -31,6 +36,7 @@ impl Default for Params {
             // that gather latency (memory-speed-independent) dominates.
             nx: 12,
             solver_iters: 8,
+            fidelity: Fidelity::Analytic,
         }
     }
 }
@@ -57,7 +63,8 @@ pub fn run(p: &Params) -> Table {
         let mut fea_times = Vec::new();
         let mut sol_times = Vec::new();
         for &mts in &p.speeds_mts {
-            let cfg = nehalem_node(p.cores, DramConfig::ddr3_speed(mts, p.channels));
+            let cfg = nehalem_node(p.cores, DramConfig::ddr3_speed(mts, p.channels))
+                .with_fidelity(p.fidelity);
             let (fea, solver) = run_fea_solver(&cfg, app, p.cores, p.nx, p.solver_iters);
             fea_times.push(fea.expect("fea").time.as_secs_f64());
             sol_times.push(solver.time.as_secs_f64());

@@ -56,12 +56,12 @@ fn grid_dims(p: u32) -> [u32; 3] {
     // Fall back to a flat-ish factorization.
     let mut best = [p, 1, 1];
     for x in 1..=p {
-        if p % x != 0 {
+        if !p.is_multiple_of(x) {
             continue;
         }
         let rest = p / x;
         for y in 1..=rest {
-            if rest % y != 0 {
+            if !rest.is_multiple_of(y) {
                 continue;
             }
             let z = rest / y;

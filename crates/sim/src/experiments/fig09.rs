@@ -59,13 +59,13 @@ fn grid_dims(p: u32) -> [u32; 3] {
     } else {
         let mut d = [1u32; 3];
         let mut rem = p;
-        for slot in 0..3 {
+        for (slot, dim) in d.iter_mut().enumerate() {
             let target = (rem as f64).powf(1.0 / (3 - slot) as f64).round() as u32;
             let mut f = target.max(1);
-            while rem % f != 0 {
+            while !rem.is_multiple_of(f) {
                 f -= 1;
             }
-            d[slot] = f;
+            *dim = f;
             rem /= f;
         }
         d

@@ -19,6 +19,7 @@ pub mod pim;
 pub mod validate;
 
 use crate::table::Table;
+use sst_core::fidelity::Fidelity;
 
 /// Experiment ids accepted by the CLI.
 pub const ALL: &[&str] = &[
@@ -26,17 +27,53 @@ pub const ALL: &[&str] = &[
     "validate", "ablate", "pim",
 ];
 
-/// Run one experiment by id. `quick` selects the scaled-down parameters.
-pub fn run_by_name(name: &str, quick: bool) -> Option<Vec<Table>> {
+/// Experiments that accept `--fidelity des` (the rest are analytic-only and
+/// reject a non-default fidelity rather than silently ignoring it).
+/// Figs. 10-12 share the DSE sweep, so converting it converts all three.
+pub const SUPPORTS_DES: &[&str] = &["fig03", "fig10", "fig11", "fig12"];
+
+/// Run one experiment by id. `quick` selects the scaled-down parameters;
+/// `fidelity` selects the modeling backend for the experiments in
+/// [`SUPPORTS_DES`]. Returns `None` for an unknown id or an unsupported
+/// id/fidelity combination.
+pub fn run_by_name(name: &str, quick: bool, fidelity: Fidelity) -> Option<Vec<Table>> {
+    if fidelity != Fidelity::Analytic && !SUPPORTS_DES.contains(&name) {
+        return None;
+    }
     let tables = match name {
-        "fig02" => vec![fig02::run(&pick(quick, fig02::Params::default(), fig02::Params::quick()))],
-        "fig03" => vec![fig03::run(&pick(quick, fig03::Params::default(), fig03::Params::quick()))],
-        "fig04" => vec![fig04::run(&pick(quick, fig04::Params::default(), fig04::Params::quick()))],
-        "fig05" => vec![fig05::run(&pick(quick, fig05::Params::default(), fig05::Params::quick()))],
-        "fig08" => vec![fig08::run(&pick(quick, fig08::Params::default(), fig08::Params::quick()))],
-        "fig09" => vec![fig09::run(&pick(quick, fig09::Params::default(), fig09::Params::quick()))],
+        "fig02" => vec![fig02::run(&pick(
+            quick,
+            fig02::Params::default(),
+            fig02::Params::quick(),
+        ))],
+        "fig03" => {
+            let mut p = pick(quick, fig03::Params::default(), fig03::Params::quick());
+            p.fidelity = fidelity;
+            vec![fig03::run(&p)]
+        }
+        "fig04" => vec![fig04::run(&pick(
+            quick,
+            fig04::Params::default(),
+            fig04::Params::quick(),
+        ))],
+        "fig05" => vec![fig05::run(&pick(
+            quick,
+            fig05::Params::default(),
+            fig05::Params::quick(),
+        ))],
+        "fig08" => vec![fig08::run(&pick(
+            quick,
+            fig08::Params::default(),
+            fig08::Params::quick(),
+        ))],
+        "fig09" => vec![fig09::run(&pick(
+            quick,
+            fig09::Params::default(),
+            fig09::Params::quick(),
+        ))],
         "fig10" | "fig11" | "fig12" => {
-            let p = pick(quick, dse::Params::default(), dse::Params::quick());
+            let mut p = pick(quick, dse::Params::default(), dse::Params::quick());
+            p.fidelity = fidelity;
             let points = dse::sweep(&p);
             match name {
                 "fig10" => vec![dse::fig10(&points, &p)],
@@ -44,9 +81,21 @@ pub fn run_by_name(name: &str, quick: bool) -> Option<Vec<Table>> {
                 _ => vec![dse::fig12(&points, &p)],
             }
         }
-        "pdes" => vec![pdes::run(&pick(quick, pdes::Params::default(), pdes::Params::quick()))],
-        "ablate" => vec![ablate::run(&pick(quick, ablate::Params::default(), ablate::Params::quick()))],
-        "pim" => vec![pim::run(&pick(quick, pim::Params::default(), pim::Params::quick()))],
+        "pdes" => vec![pdes::run(&pick(
+            quick,
+            pdes::Params::default(),
+            pdes::Params::quick(),
+        ))],
+        "ablate" => vec![ablate::run(&pick(
+            quick,
+            ablate::Params::default(),
+            ablate::Params::quick(),
+        ))],
+        "pim" => vec![pim::run(&pick(
+            quick,
+            pim::Params::default(),
+            pim::Params::quick(),
+        ))],
         "validate" => vec![validate::run(&validate::Params { quick })],
         _ => return None,
     };
@@ -69,7 +118,16 @@ mod tests {
     fn all_ids_resolve() {
         // Smoke: the lookup table and the dispatcher agree (run the cheap
         // one only; the heavy ones have their own tests).
-        assert!(run_by_name("nonexistent", true).is_none());
+        assert!(run_by_name("nonexistent", true, Fidelity::Analytic).is_none());
         assert!(ALL.contains(&"fig10"));
+    }
+
+    #[test]
+    fn des_only_for_converted_experiments() {
+        for id in SUPPORTS_DES {
+            assert!(ALL.contains(id), "{id} not a known experiment");
+        }
+        // Unconverted experiments reject a DES request outright.
+        assert!(run_by_name("fig02", true, Fidelity::Des).is_none());
     }
 }

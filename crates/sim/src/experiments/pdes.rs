@@ -5,8 +5,8 @@
 //! wall-clock second.
 
 use crate::table::Table;
-use sst_core::prelude::*;
 use rand::Rng;
+use sst_core::prelude::*;
 
 /// A traffic node: forwards tokens to random neighbors until their TTL
 /// expires; keeps its clock running while it has live tokens.
@@ -148,8 +148,12 @@ pub fn run(p: &Params) -> Table {
             ],
         );
     }
-    t.note("`identical` = 1 when events, end time, and all statistics match the serial run exactly");
-    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    t.note(
+        "`identical` = 1 when events, end time, and all statistics match the serial run exactly",
+    );
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     t.note(format!(
         "host has {host} usable CPU(s); wall-clock speedup requires >1 — determinism holds regardless"
     ));

@@ -54,11 +54,7 @@ fn per_core_problem(nx_total: u64, cores: usize) -> Problem {
     Problem::new(nx.max(4))
 }
 
-fn run_design(
-    cfg: &NodeConfig,
-    app: &str,
-    p: &Params,
-) -> (sst_cpu::node::PhaseResult, TechReport) {
+fn run_design(cfg: &NodeConfig, app: &str, p: &Params) -> (sst_cpu::node::PhaseResult, TechReport) {
     let mut node = Node::new(cfg.clone());
     let prob = per_core_problem(p.nx_total, cfg.cores);
     let streams: Vec<Box<dyn InstrStream>> = (0..cfg.cores)
@@ -140,8 +136,6 @@ mod tests {
     #[test]
     fn bandwidth_delivered_is_higher_on_pim_solver() {
         let t = run(&Params::quick());
-        assert!(
-            t.get("HPCCG solve: PIM", "GB/s") > t.get("HPCCG solve: conventional", "GB/s")
-        );
+        assert!(t.get("HPCCG solve: PIM", "GB/s") > t.get("HPCCG solve: conventional", "GB/s"));
     }
 }

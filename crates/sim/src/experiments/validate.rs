@@ -110,7 +110,10 @@ mod tests {
         let t = run(&Params { quick: true });
         // Memory behavior: predictive.
         assert_eq!(
-            t.get("memory-bandwidth response (solver eff @ max cores)", "verdict"),
+            t.get(
+                "memory-bandwidth response (solver eff @ max cores)",
+                "verdict"
+            ),
             1.0
         );
         assert_eq!(

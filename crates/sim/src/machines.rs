@@ -1,6 +1,7 @@
 //! Machine presets: the testbeds of the studies, as node and network
 //! configurations.
 
+use sst_core::fidelity::Fidelity;
 use sst_core::time::Frequency;
 use sst_cpu::core::CoreConfig;
 use sst_cpu::node::NodeConfig;
@@ -34,6 +35,7 @@ pub fn xe6_node(cores: usize) -> NodeConfig {
             l2_shared: false,
             dram: DramConfig::ddr3_1333(4),
         },
+        fidelity: Fidelity::Analytic,
     }
 }
 
@@ -50,6 +52,7 @@ pub fn nehalem_node(cores: usize, dram: DramConfig) -> NodeConfig {
             l2_shared: false,
             dram,
         },
+        fidelity: Fidelity::Analytic,
     }
 }
 
@@ -72,6 +75,7 @@ pub fn e5_node(cores: usize) -> NodeConfig {
             l2_shared: false,
             dram: DramConfig::ddr3_1600(4),
         },
+        fidelity: Fidelity::Analytic,
     }
 }
 
@@ -95,6 +99,7 @@ pub fn dse_node(issue_width: u32, dram: DramConfig) -> NodeConfig {
             l2_shared: false,
             dram,
         },
+        fidelity: Fidelity::Analytic,
     }
 }
 
@@ -129,6 +134,7 @@ pub fn conventional_node(cores: usize) -> NodeConfig {
             l2_shared: false,
             dram: DramConfig::ddr3_1333(2),
         },
+        fidelity: Fidelity::Analytic,
     }
 }
 
@@ -185,6 +191,7 @@ pub fn pim_node(cores: usize) -> NodeConfig {
             l2_shared: false,
             dram: internal,
         },
+        fidelity: Fidelity::Analytic,
     }
 }
 

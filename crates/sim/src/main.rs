@@ -7,7 +7,11 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:
-  sst experiment <id>|all [--quick] [--json]   regenerate a figure/table
+  sst experiment <id>|all [--quick] [--json] [--fidelity analytic|des]
+                                               regenerate a figure/table
+                                               (--fidelity des re-routes the
+                                               converted experiments through
+                                               the discrete-event backend)
   sst run <config.json> [--until-ms N] [--ranks N]
   sst list-components
   sst list-miniapps
@@ -16,10 +20,47 @@ fn usage() -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// Extract `--fidelity <v>` / `--fidelity=<v>` from `args`, removing the
+/// consumed value so it is not mistaken for a positional argument.
+fn take_fidelity(args: &mut Vec<String>) -> Result<Fidelity, String> {
+    let mut fidelity = Fidelity::default();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(v) = args[i].strip_prefix("--fidelity=") {
+            fidelity = v.parse().map_err(|e| format!("{e}"))?;
+            args.remove(i);
+        } else if args[i] == "--fidelity" {
+            let Some(v) = args.get(i + 1) else {
+                return Err("--fidelity needs a value (analytic|des)".into());
+            };
+            fidelity = v.parse().map_err(|e| format!("{e}"))?;
+            args.drain(i..i + 2);
+        } else {
+            i += 1;
+        }
+    }
+    Ok(fidelity)
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let flags: Vec<&str> = args.iter().map(|s| s.as_str()).filter(|s| s.starts_with("--")).collect();
-    let pos: Vec<&str> = args.iter().map(|s| s.as_str()).filter(|s| !s.starts_with("--")).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let fidelity = match take_fidelity(&mut args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
+        }
+    };
+    let flags: Vec<&str> = args
+        .iter()
+        .map(|s| s.as_str())
+        .filter(|s| s.starts_with("--"))
+        .collect();
+    let pos: Vec<&str> = args
+        .iter()
+        .map(|s| s.as_str())
+        .filter(|s| !s.starts_with("--"))
+        .collect();
     let quick = flags.contains(&"--quick");
     let json = flags.contains(&"--json");
 
@@ -29,13 +70,21 @@ fn main() -> ExitCode {
                 return usage();
             };
             let ids: Vec<&str> = if id == "all" {
-                experiments::ALL.to_vec()
+                if fidelity == Fidelity::Des {
+                    // `all` under DES runs only the converted experiments.
+                    experiments::SUPPORTS_DES.to_vec()
+                } else {
+                    experiments::ALL.to_vec()
+                }
             } else {
                 vec![id]
             };
             for id in ids {
-                eprintln!("[sst] running {id}{}...", if quick { " (quick)" } else { "" });
-                match experiments::run_by_name(id, quick) {
+                eprintln!(
+                    "[sst] running {id} ({fidelity}{})...",
+                    if quick { ", quick" } else { "" }
+                );
+                match experiments::run_by_name(id, quick, fidelity) {
                     Some(tables) => {
                         for t in tables {
                             if json {
@@ -44,6 +93,14 @@ fn main() -> ExitCode {
                                 println!("{t}");
                             }
                         }
+                    }
+                    None if experiments::ALL.contains(&id) => {
+                        eprintln!(
+                            "experiment `{id}` does not support --fidelity {fidelity}; \
+                             converted experiments: {}",
+                            experiments::SUPPORTS_DES.join(", ")
+                        );
+                        return ExitCode::FAILURE;
                     }
                     None => {
                         eprintln!("unknown experiment `{id}`; try `sst list-experiments`");

@@ -132,12 +132,7 @@ impl ValidationStudy {
         for d in &self.diagnostics {
             t.push(
                 d.name.clone(),
-                vec![
-                    d.referent,
-                    d.measurement,
-                    d.metric(),
-                    d.verdict().score(),
-                ],
+                vec![d.referent, d.measurement, d.metric(), d.verdict().score()],
             );
         }
         t.note("verdict column: 1.0 = pass, 0.5 = caution, 0.0 = fail");

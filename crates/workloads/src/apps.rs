@@ -144,7 +144,7 @@ impl InstrStream for MiniMdStream {
             }
         } else if slot < nb3 + 12 {
             // LJ force evaluation chain.
-            if slot % 2 == 0 {
+            if slot.is_multiple_of(2) {
                 Instr::fmul(1)
             } else {
                 Instr::fadd(1)
@@ -234,8 +234,14 @@ pub fn minixyce_comm_script(rank: u32, ranks: u32, steps: u32, compute: SimTime)
     let prev = (rank + ranks - 1) % ranks;
     let mut ops = Vec::new();
     for _ in 0..steps {
-        ops.push(CommOp::Send { to: next, bytes: 64 });
-        ops.push(CommOp::Send { to: prev, bytes: 64 });
+        ops.push(CommOp::Send {
+            to: next,
+            bytes: 64,
+        });
+        ops.push(CommOp::Send {
+            to: prev,
+            bytes: 64,
+        });
         ops.push(CommOp::Recv { from: prev });
         ops.push(CommOp::Recv { from: next });
         ops.push(CommOp::Compute(compute));

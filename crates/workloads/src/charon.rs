@@ -272,7 +272,7 @@ mod tests {
             })
             .collect();
         assert!(sizes.iter().any(|b| *b < 64 << 10));
-        assert!(sizes.iter().any(|b| *b == 64 << 10));
+        assert!(sizes.contains(&(64 << 10)));
     }
 
     #[test]
@@ -280,7 +280,9 @@ mod tests {
         // 4-wide axis: two distinct neighbors.
         let ops = axis_halo(5, [4, 4, 4], 0, 1024);
         assert_eq!(
-            ops.iter().filter(|o| matches!(o, CommOp::Send { .. })).count(),
+            ops.iter()
+                .filter(|o| matches!(o, CommOp::Send { .. }))
+                .count(),
             2
         );
         // Degenerate axis: no exchange.
@@ -288,7 +290,9 @@ mod tests {
         // 2-wide axis: both directions collapse to one neighbor.
         let ops2 = axis_halo(0, [2, 1, 1], 0, 64);
         assert_eq!(
-            ops2.iter().filter(|o| matches!(o, CommOp::Send { .. })).count(),
+            ops2.iter()
+                .filter(|o| matches!(o, CommOp::Send { .. }))
+                .count(),
             1
         );
     }

@@ -67,7 +67,7 @@ pub fn fea(core: usize, p: Problem) -> Box<dyn InstrStream> {
     Box::new(FeaStream::new(
         "minife.fea",
         p.elements(),
-        420, // dense element operator: determinant + Jacobian + diffusion
+        420,           // dense element operator: determinant + Jacobian + diffusion
         p.rows() * 24, // node coordinates
         // Simplified assembly: one matrix, element-ordered scatters reuse
         // an L3-resident band of it.
@@ -90,11 +90,36 @@ fn cg_iteration(core: usize, p: Problem, iter: u64) -> Vec<Box<dyn InstrStream>>
             base,
             core as u64 ^ (iter << 8),
         )) as Box<dyn InstrStream>,
-        Box::new(VectorStream::dot("minife.dot1", n, base + (3 << 34), p.vector_bytes())),
-        Box::new(VectorStream::axpy("minife.axpy1", n, base + (4 << 34), p.vector_bytes())),
-        Box::new(VectorStream::dot("minife.dot2", n, base + (5 << 34), p.vector_bytes())),
-        Box::new(VectorStream::axpy("minife.axpy2", n, base + (6 << 34), p.vector_bytes())),
-        Box::new(VectorStream::axpy("minife.axpy3", n, base + (7 << 34), p.vector_bytes())),
+        Box::new(VectorStream::dot(
+            "minife.dot1",
+            n,
+            base + (3 << 34),
+            p.vector_bytes(),
+        )),
+        Box::new(VectorStream::axpy(
+            "minife.axpy1",
+            n,
+            base + (4 << 34),
+            p.vector_bytes(),
+        )),
+        Box::new(VectorStream::dot(
+            "minife.dot2",
+            n,
+            base + (5 << 34),
+            p.vector_bytes(),
+        )),
+        Box::new(VectorStream::axpy(
+            "minife.axpy2",
+            n,
+            base + (6 << 34),
+            p.vector_bytes(),
+        )),
+        Box::new(VectorStream::axpy(
+            "minife.axpy3",
+            n,
+            base + (7 << 34),
+            p.vector_bytes(),
+        )),
     ]
 }
 
@@ -186,8 +211,7 @@ pub fn gpu_structure_gen_overhead(
 ) -> SimTime {
     let transfer = gpu.pcie_time(p.matrix_bytes());
     // ELL conversion: bandwidth-bound pass over the matrix on device.
-    let convert_s =
-        (2 * p.matrix_bytes()) as f64 / (gpu.mem_bw_gbs * 1e9 * gpu.mem_efficiency);
+    let convert_s = (2 * p.matrix_bytes()) as f64 / (gpu.mem_bw_gbs * 1e9 * gpu.mem_efficiency);
     host_time + transfer + SimTime::ps((convert_s * 1e12) as u64)
 }
 
@@ -239,7 +263,10 @@ mod tests {
     #[test]
     fn comm_script_counts() {
         let ops = cg_comm_script(0, [4, 4, 4], 32 << 10, 10, SimTime::us(100));
-        let sends = ops.iter().filter(|o| matches!(o, CommOp::Send { .. })).count();
+        let sends = ops
+            .iter()
+            .filter(|o| matches!(o, CommOp::Send { .. }))
+            .count();
         let allreduces = ops
             .iter()
             .filter(|o| matches!(o, CommOp::Allreduce { .. }))
@@ -255,7 +282,10 @@ mod tests {
         let raw = run_kernel(&gpu, &gpu_fea_kernel(p, false));
         let opt = run_kernel(&gpu, &gpu_fea_kernel(p, true));
         assert!(raw.spilled_regs_per_thread > 100);
-        assert!(opt.spilled_regs_per_thread >= 512 / 4, "paper: 512B still spilled");
+        assert!(
+            opt.spilled_regs_per_thread >= 512 / 4,
+            "paper: 512B still spilled"
+        );
         assert!(opt.time < raw.time, "tuning must help");
         assert_eq!(opt.limiter, sst_cpu::gpu::Limiter::Memory);
     }

@@ -123,7 +123,9 @@ pub fn all() -> Vec<MiniappInfo> {
 
 /// Look up one entry by (case-insensitive) name.
 pub fn find(name: &str) -> Option<MiniappInfo> {
-    all().into_iter().find(|m| m.name.eq_ignore_ascii_case(name))
+    all()
+        .into_iter()
+        .find(|m| m.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]
@@ -134,8 +136,16 @@ mod tests {
     fn table1_mantevo_entries_present() {
         // The ten Mantevo rows of Table 1.
         for name in [
-            "HPCCG", "miniFE", "phdMesh", "miniMD", "miniXyce", "miniExDyn", "miniITC",
-            "miniGhost", "miniAero", "miniDSMC",
+            "HPCCG",
+            "miniFE",
+            "phdMesh",
+            "miniMD",
+            "miniXyce",
+            "miniExDyn",
+            "miniITC",
+            "miniGhost",
+            "miniAero",
+            "miniDSMC",
         ] {
             assert!(find(name).is_some(), "missing {name}");
         }

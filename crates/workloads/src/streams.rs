@@ -7,9 +7,9 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use sst_cpu::isa::{Instr, InstrStream};
 #[cfg(test)]
 use sst_cpu::isa::Op;
+use sst_cpu::isa::{Instr, InstrStream};
 
 /// Run child streams one after another.
 pub struct SeqStream {
@@ -93,6 +93,10 @@ impl SpmvStream {
     /// Total instructions this stream will emit.
     pub fn len(&self) -> u64 {
         self.rows * Self::instrs_per_row(self.nnz_per_row)
+    }
+    /// True when the stream will emit no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -190,6 +194,10 @@ impl VectorStream {
 
     pub fn len(&self) -> u64 {
         self.n * (self.loads + self.stores + self.flops) as u64
+    }
+    /// True when the stream will emit no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -292,6 +300,10 @@ impl FeaStream {
     pub fn len(&self) -> u64 {
         self.elements * self.instrs_per_element()
     }
+    /// True when the stream will emit no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 impl InstrStream for FeaStream {
@@ -328,8 +340,8 @@ impl InstrStream for FeaStream {
         } else if slot < g + wk + f {
             // Dense element computation: moderate ILP (chains of ~4).
             let k = slot - g - wk;
-            let dep = if k % 4 == 0 { 0 } else { 1 };
-            if k % 2 == 0 {
+            let dep = if k.is_multiple_of(4) { 0 } else { 1 };
+            if k.is_multiple_of(2) {
                 Instr::fmul(dep)
             } else {
                 Instr::fadd(dep)
@@ -337,7 +349,7 @@ impl InstrStream for FeaStream {
         } else if slot < g + wk + f + 2 * self.scatters {
             // Scatter-add: load then store the same random matrix entry.
             let k = slot - g - wk - f;
-            if k % 2 == 0 {
+            if k.is_multiple_of(2) {
                 let off = (self.rng.gen::<u64>() % (self.matrix_span / 8)) * 8;
                 Instr::load(self.matrix_base + off, 0)
             } else {
@@ -375,7 +387,12 @@ pub struct StructGenStream {
 }
 
 impl StructGenStream {
-    pub fn new(label: impl Into<String>, rows: u64, nnz_per_row: u32, base: u64) -> StructGenStream {
+    pub fn new(
+        label: impl Into<String>,
+        rows: u64,
+        nnz_per_row: u32,
+        base: u64,
+    ) -> StructGenStream {
         StructGenStream {
             rows,
             nnz_per_row,
@@ -390,6 +407,10 @@ impl StructGenStream {
     const PER_NNZ: u64 = 8; // 4 alu + 2 map loads + dependent alu + store
     pub fn len(&self) -> u64 {
         self.rows * (Self::PER_NNZ * self.nnz_per_row as u64 + 2)
+    }
+    /// True when the stream will emit no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -407,7 +428,7 @@ impl InstrStream for StructGenStream {
         }
         Some(if slot < Self::PER_NNZ as u32 * self.nnz_per_row {
             match slot % Self::PER_NNZ as u32 {
-                0 | 1 | 2 | 3 => Instr::alu(), // neighbor index arithmetic
+                0..=3 => Instr::alu(), // neighbor index arithmetic
                 4 | 5 => {
                     // connectivity-map lookup (irregular)
                     let off = (self.rng.gen::<u64>() % (self.map_span / 8)) * 8;
@@ -474,6 +495,10 @@ impl StencilStream {
     pub fn len(&self) -> u64 {
         self.points * self.instrs_per_point()
     }
+    /// True when the stream will emit no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 impl InstrStream for StencilStream {
@@ -504,7 +529,7 @@ impl InstrStream for StencilStream {
             // structure of hydro kernels): wide cores can exploit the ILP.
             let k = slot - self.stencil_loads;
             let dep = if k < 6 { 0 } else { 6 };
-            if k % 2 == 0 {
+            if k.is_multiple_of(2) {
                 Instr::fadd(dep)
             } else {
                 Instr::fmul(dep)

@@ -16,8 +16,12 @@ fn main() {
         nx_lulesh: 20,
         hpccg_iters: 4,
         lulesh_steps: 3,
+        fidelity: Default::default(),
     };
-    println!("sweeping {{DDR2, DDR3, GDDR5}} x issue widths {:?}...", params.widths);
+    println!(
+        "sweeping {{DDR2, DDR3, GDDR5}} x issue widths {:?}...",
+        params.widths
+    );
     let points = dse::sweep(&params);
 
     println!("\n{}", dse::fig10(&points, &params));
@@ -34,7 +38,11 @@ fn main() {
         let best_ppw = points
             .iter()
             .filter(|p| p.app == app)
-            .max_by(|a, b| a.report.perf_per_watt().total_cmp(&b.report.perf_per_watt()))
+            .max_by(|a, b| {
+                a.report
+                    .perf_per_watt()
+                    .total_cmp(&b.report.perf_per_watt())
+            })
             .unwrap();
         let best_ppd = points
             .iter()

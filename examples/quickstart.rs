@@ -47,7 +47,11 @@ fn main() {
         CacheComponent::new(CacheConfig::l1d_32k(), SimTime::ns(1)),
     );
     let mem = b.add("mem", MemoryComponent::new(DramConfig::ddr3_1333(2)));
-    b.link((cpu, CoreComponent::MEM), (l1, CacheComponent::CPU), SimTime::ns(1));
+    b.link(
+        (cpu, CoreComponent::MEM),
+        (l1, CacheComponent::CPU),
+        SimTime::ns(1),
+    );
     b.link(
         (l1, CacheComponent::MEM),
         (mem, MemoryComponent::BUS),

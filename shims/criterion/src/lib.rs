@@ -81,7 +81,10 @@ fn run_one(name: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Be
     match b.samples {
         Some((iters, elapsed)) => {
             let ns = elapsed.as_nanos() as f64 / iters as f64;
-            let mut line = format!("{name:<48} time: {:>12}/iter  ({iters} iters)", fmt_duration(ns));
+            let mut line = format!(
+                "{name:<48} time: {:>12}/iter  ({iters} iters)",
+                fmt_duration(ns)
+            );
             if let Some(tp) = throughput {
                 let (count, unit) = match tp {
                     Throughput::Elements(n) => (n, "elem"),

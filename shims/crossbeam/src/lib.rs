@@ -101,10 +101,7 @@ mod tests {
         let (tx, rx) = channel::unbounded::<u32>();
         assert!(rx.recv_timeout(Duration::from_millis(1)).is_err());
         drop(tx);
-        assert!(matches!(
-            rx.recv(),
-            Err(channel::RecvError)
-        ));
+        assert!(matches!(rx.recv(), Err(channel::RecvError)));
     }
 
     #[test]

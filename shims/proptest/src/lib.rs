@@ -248,8 +248,8 @@ pub mod prop {
 
 pub mod prelude {
     pub use crate::{
-        any, collection, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume,
-        proptest, Any, Just, ProptestConfig, SizeRange, Strategy, TestCaseError, TestRng,
+        any, collection, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest,
+        Any, Just, ProptestConfig, SizeRange, Strategy, TestCaseError, TestRng,
     };
 }
 
@@ -428,7 +428,7 @@ mod tests {
         #[test]
         fn tuples_and_any(t in (0i64..100, any::<bool>()), y in any::<u32>()) {
             let (a, _b) = t;
-            prop_assert!(a >= 0 && a < 100);
+            prop_assert!((0..100).contains(&a));
             let _ = y;
         }
 

@@ -628,7 +628,11 @@ serde_tuple!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
 
 impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
     fn to_value(&self) -> Value {
-        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
     }
 }
 impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
@@ -673,7 +677,10 @@ mod tests {
     fn display_is_compact_json() {
         let mut m = Map::new();
         m.insert("a".into(), Value::from(1u64));
-        m.insert("b".into(), Value::Array(vec![Value::Bool(true), Value::Null]));
+        m.insert(
+            "b".into(),
+            Value::Array(vec![Value::Bool(true), Value::Null]),
+        );
         let v = Value::Object(m);
         assert_eq!(v.to_string(), r#"{"a":1,"b":[true,null]}"#);
     }

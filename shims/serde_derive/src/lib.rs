@@ -127,7 +127,8 @@ fn skip_attrs(
 fn skip_vis(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
     if matches!(toks.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
         toks.next();
-        if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis) {
+        if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
             toks.next();
         }
     }

@@ -43,7 +43,10 @@ impl Component for Hopper {
         // Order-sensitive checksum: mixes the rng stream with the token
         // value, so any reordering of deliveries changes the result.
         let r = ctx.rng().gen::<u64>();
-        ctx.add_stat(self.checksum.unwrap(), (r ^ tok.value).wrapping_mul(0x9E37) % 1009);
+        ctx.add_stat(
+            self.checksum.unwrap(),
+            (r ^ tok.value).wrapping_mul(0x9E37) % 1009,
+        );
         if tok.hops_left > 0 {
             let port = PortId((ctx.rng().gen::<u16>()) % self.fanout);
             ctx.send(

@@ -48,14 +48,26 @@ fn chain_system(span: u64) -> SystemBuilder {
     );
     let cpu0 = b.add(
         "cpu0",
-        CoreComponent::new(Box::new(kernel(400, span, 1).stream()), Frequency::ghz(2.0), 2),
+        CoreComponent::new(
+            Box::new(kernel(400, span, 1).stream()),
+            Frequency::ghz(2.0),
+            2,
+        ),
     );
     let l1a = b.add(
         "l1a",
         CacheComponent::new(CacheConfig::l1d_32k(), SimTime::ns(1)),
     );
-    b.link((cpu0, CoreComponent::MEM), (l1a, CacheComponent::CPU), SimTime::ns(1));
-    b.link((l1a, CacheComponent::MEM), (l2, CacheComponent::CPU), SimTime::ns(2));
+    b.link(
+        (cpu0, CoreComponent::MEM),
+        (l1a, CacheComponent::CPU),
+        SimTime::ns(1),
+    );
+    b.link(
+        (l1a, CacheComponent::MEM),
+        (l2, CacheComponent::CPU),
+        SimTime::ns(2),
+    );
     b
 }
 
@@ -64,8 +76,7 @@ fn three_level_chain_counts_consistent() {
     let report = Engine::new(chain_system(1 << 22)).run(RunLimit::Exhaust);
     let mem_ops = report.stats.counter("cpu0", "mem_ops");
     assert_eq!(mem_ops, 400 * 3);
-    let l1_total =
-        report.stats.counter("l1a", "hits") + report.stats.counter("l1a", "misses");
+    let l1_total = report.stats.counter("l1a", "hits") + report.stats.counter("l1a", "misses");
     assert_eq!(l1_total, mem_ops);
     // Everything the L2 saw came from L1 misses (demand fetches +
     // write-backs).
@@ -83,7 +94,12 @@ fn hot_working_set_stays_out_of_dram() {
     let hot = Engine::new(chain_system(8 << 10)).run(RunLimit::Exhaust);
     let cold = Engine::new(chain_system(16 << 20)).run(RunLimit::Exhaust);
     let dram = |r: &SimReport| r.stats.counter("mem", "reads");
-    assert!(dram(&hot) * 4 < dram(&cold), "{} vs {}", dram(&hot), dram(&cold));
+    assert!(
+        dram(&hot) * 4 < dram(&cold),
+        "{} vs {}",
+        dram(&hot),
+        dram(&cold)
+    );
     assert!(hot.end_time < cold.end_time);
 }
 
@@ -148,8 +164,8 @@ fn config_driven_run_respects_time_limit() {
         ]
     }"#;
     let cfg = SystemConfig::from_json(json).unwrap();
-    let report = Engine::new(cfg.build(&full_registry()).unwrap())
-        .run(RunLimit::Until(SimTime::us(50)));
+    let report =
+        Engine::new(cfg.build(&full_registry()).unwrap()).run(RunLimit::Until(SimTime::us(50)));
     assert_eq!(report.end_time, SimTime::us(50));
     assert!(report.events > 0);
 }

@@ -115,7 +115,7 @@ proptest! {
                 1 => { bus.write(core, line); }
                 _ => { bus.evict(core, line); }
             }
-            bus.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+            bus.check_invariants().map_err(TestCaseError::fail)?;
         }
     }
 

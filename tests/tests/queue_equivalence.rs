@@ -7,8 +7,8 @@
 use proptest::prelude::*;
 use sst_core::engine::{EngineOn, HeapEngine};
 use sst_core::event::{ComponentId, EventClass, EventKind, PortId, ScheduledEvent, TieBreak};
-use sst_core::queue::{BinaryHeapQueue, IndexedQueue};
 use sst_core::prelude::*;
+use sst_core::queue::{BinaryHeapQueue, IndexedQueue};
 
 fn ev(t: u64, clock: bool, src: u32, seq: u64) -> ScheduledEvent {
     ScheduledEvent {
@@ -144,7 +144,10 @@ impl Component for Mixer {
     fn on_event(&mut self, _port: PortId, payload: Box<dyn Payload>, ctx: &mut SimCtx<'_>) {
         let tok = downcast::<Tok>(payload);
         let r: u64 = rand::Rng::gen(ctx.rng());
-        ctx.add_stat(self.checksum.unwrap(), (r ^ tok.1).wrapping_mul(0x9E37) % 2003);
+        ctx.add_stat(
+            self.checksum.unwrap(),
+            (r ^ tok.1).wrapping_mul(0x9E37) % 2003,
+        );
         if tok.0 > 0 {
             let port = PortId(rand::Rng::gen::<u16>(ctx.rng()) % self.fanout);
             ctx.send(port, Box::new(Tok(tok.0 - 1, tok.1)));

@@ -17,6 +17,7 @@ fn small_node() -> Node {
         core: CoreConfig::with_width(4, Frequency::ghz(2.0)),
         cores: 1,
         mem: MemHierarchyConfig::typical(DramConfig::ddr3_1333(2)),
+        fidelity: Default::default(),
     })
 }
 
@@ -59,9 +60,8 @@ fn solver_proxies_are_bandwidth_hungrier_than_fea() {
     let p = Problem::new(14);
     let fea = run_one(minife::fea(0, p));
     let solve = run_one(minife::solver(0, p, 2));
-    let intensity = |r: &sst_cpu::node::PhaseResult| {
-        r.mem.dram.bytes as f64 / r.instrs.max(1) as f64
-    };
+    let intensity =
+        |r: &sst_cpu::node::PhaseResult| r.mem.dram.bytes as f64 / r.instrs.max(1) as f64;
     assert!(
         intensity(&solve) > 2.0 * intensity(&fea),
         "solver {} vs fea {}",
@@ -153,13 +153,11 @@ fn nodes_compose_with_power_models() {
         core: CoreConfig::with_width(2, Frequency::ghz(2.0)),
         cores: 2,
         mem: MemHierarchyConfig::typical(DramConfig::ddr3_1333(2)),
+        fidelity: Default::default(),
     };
     let mut node = Node::new(cfg.clone());
     let p = Problem::new(10);
-    let phase = node.run_phase(
-        "cg",
-        vec![hpccg::solver(0, p, 2), hpccg::solver(1, p, 2)],
-    );
+    let phase = node.run_phase("cg", vec![hpccg::solver(0, p, 2), hpccg::solver(1, p, 2)]);
     let report = evaluate(&cfg, &phase, &ProcessCost::n45());
     assert!(report.power_w > 0.5 && report.power_w < 500.0);
     assert!(report.cost_usd > 50.0 && report.cost_usd < 10_000.0);
