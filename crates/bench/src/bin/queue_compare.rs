@@ -182,6 +182,7 @@ fn main() {
         tokens_per_node: 6,
         ttl: 80,
         rank_counts: vec![],
+        telemetry: sst_core::telemetry::TelemetrySpec::disabled(),
     };
     let mut whole_engine = Vec::new();
     for (workload, heap_rate, idx_rate) in [

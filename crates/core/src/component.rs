@@ -13,6 +13,7 @@ use crate::event::{
     SELF_PORT,
 };
 use crate::stats::{StatId, StatsRegistry};
+use crate::telemetry::Tracer;
 use crate::time::SimTime;
 use rand::rngs::SmallRng;
 
@@ -92,6 +93,8 @@ pub struct SimCtx<'a> {
     pub(crate) stats: &'a mut StatsRegistry,
     pub(crate) sink: &'a mut dyn EventSink,
     pub(crate) clock_resumes: &'a mut Vec<ClockId>,
+    /// Active event tracer; `None` unless telemetry tracing is on.
+    pub(crate) tracer: Option<&'a mut Tracer>,
 }
 
 impl<'a> SimCtx<'a> {
@@ -167,6 +170,15 @@ impl<'a> SimCtx<'a> {
                 payload,
             },
         };
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            tr.sched(
+                self.now.as_ps(),
+                self.me.0,
+                link.target.0,
+                link.port.0 as u32,
+                ev.time.as_ps(),
+            );
+        }
         self.sink.push(ev, link.rank);
     }
 
@@ -183,8 +195,27 @@ impl<'a> SimCtx<'a> {
                 payload,
             },
         };
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            tr.sched(
+                self.now.as_ps(),
+                self.me.0,
+                self.me.0,
+                SELF_PORT.0 as u32,
+                ev.time.as_ps(),
+            );
+        }
         let rank = self.me_rank;
         self.sink.push(ev, rank);
+    }
+
+    /// Emit a component-defined trace point (a `mark` record) when tracing
+    /// is active; free otherwise. `label` names the event (e.g. `"miss"`),
+    /// `value` carries one datum (an address, a count, ...).
+    #[inline]
+    pub fn trace_mark(&mut self, label: &'static str, value: u64) {
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            tr.mark(self.now.as_ps(), self.me.0, label, value);
+        }
     }
 
     /// Ask the engine to restart a suspended clock. The first tick lands on

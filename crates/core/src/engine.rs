@@ -10,8 +10,10 @@ use crate::event::{ClockId, ComponentId, EventClass, EventKind, ScheduledEvent, 
 use crate::queue::{BinaryHeapQueue, IndexedQueue, SimQueue};
 use crate::rng::component_rng;
 use crate::stats::{StatsRegistry, StatsSnapshot};
+use crate::telemetry::{EngineProfile, StatsSeries, TelemetrySpec, TelemetryState, Tracer};
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// How long to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +52,14 @@ pub struct SimReport {
     pub epochs: u64,
     /// Final statistics table.
     pub stats: StatsSnapshot,
+    /// Self-profiling results; present only when telemetry profiling was
+    /// requested (`None`/absent otherwise — the zero-overhead guarantee).
+    #[serde(default)]
+    pub profile: Option<EngineProfile>,
+    /// Periodic stats samples; present only when a sampling interval was
+    /// configured on a serial run.
+    #[serde(default)]
+    pub series: Option<StatsSeries>,
 }
 
 impl SimReport {
@@ -82,6 +92,11 @@ pub(crate) struct Kernel {
     pub now: SimTime,
     pub events: u64,
     pub clock_ticks: u64,
+    /// The builder's RNG seed, recorded for run manifests.
+    pub seed: u64,
+    /// Telemetry state; `None` (one pointer null-check on the hot path)
+    /// unless the run was built with an enabled [`TelemetrySpec`].
+    pub tel: Option<Box<TelemetryState>>,
     resume_buf: Vec<ClockId>,
 }
 
@@ -146,8 +161,40 @@ impl Kernel {
             now: SimTime::ZERO,
             events: 0,
             clock_ticks: 0,
+            seed,
+            tel: None,
             resume_buf: Vec::new(),
         }
+    }
+
+    /// Attach per-run telemetry state built from `spec`. `names` is the full
+    /// component-name table (all ranks); `parallel` selects rank-buffered
+    /// tracing and disables sampling.
+    pub fn attach_telemetry(
+        &mut self,
+        spec: &TelemetrySpec,
+        names: Arc<Vec<String>>,
+        parallel: bool,
+    ) {
+        self.tel = spec.make_state(names, parallel);
+    }
+
+    /// Tear down telemetry at end of run: flush the tracer, and return the
+    /// profile and stats series (each `None` when not collected).
+    pub fn finish_telemetry(&mut self) -> (Option<EngineProfile>, Option<StatsSeries>) {
+        let Some(tel) = self.tel.take() else {
+            return (None, None);
+        };
+        let tel = *tel;
+        if let Some(tracer) = tel.tracer {
+            tracer.finish();
+        }
+        let series = tel.sampler.map(|mut s| {
+            s.finish(self.now.as_ps(), &self.stats);
+            s.into_series()
+        });
+        let profile = tel.profiler.map(|p| p.into_profile(&tel.names));
+        (profile, series)
     }
 
     fn is_local(&self, c: ComponentId) -> bool {
@@ -170,38 +217,93 @@ impl Kernel {
 
     /// Run `setup` on every local component (at time zero).
     pub fn setup_all(&mut self, sink: &mut dyn EventSink) {
+        let mut tel = self.tel.take();
         for i in 0..self.slots.len() {
             if self.slots[i].is_some() {
-                self.with_ctx(ComponentId(i as u32), sink, |comp, ctx| comp.setup(ctx));
+                let tracer = tel.as_deref_mut().and_then(|t| t.tracer.as_mut());
+                self.with_ctx(ComponentId(i as u32), sink, tracer, |comp, ctx| {
+                    comp.setup(ctx)
+                });
             }
         }
+        self.tel = tel;
     }
 
     /// Run `finish` on every local component.
     pub fn finish_all(&mut self, sink: &mut dyn EventSink) {
+        let mut tel = self.tel.take();
         for i in 0..self.slots.len() {
             if self.slots[i].is_some() {
-                self.with_ctx(ComponentId(i as u32), sink, |comp, ctx| comp.finish(ctx));
+                let tracer = tel.as_deref_mut().and_then(|t| t.tracer.as_mut());
+                self.with_ctx(ComponentId(i as u32), sink, tracer, |comp, ctx| {
+                    comp.finish(ctx)
+                });
             }
         }
+        self.tel = tel;
     }
 
     /// Deliver one scheduled event (message or clock tick) to its local
     /// target, advancing kernel time to the event time.
+    ///
+    /// The telemetry check is a single `Option` discriminant test: disabled
+    /// runs go straight to the untouched fast path.
+    #[inline]
     pub fn deliver(&mut self, ev: ScheduledEvent, sink: &mut dyn EventSink) {
         debug_assert!(ev.time >= self.now, "event in the past: {ev:?}");
         debug_assert!(self.is_local(ev.target), "event for non-local component");
+        if self.tel.is_some() {
+            return self.deliver_instrumented(ev, sink);
+        }
+        self.deliver_body(ev, sink, None);
+    }
+
+    /// Telemetry-enabled delivery: sample stat boundaries, emit the trace
+    /// record, and time the handler around the shared delivery body.
+    #[cold]
+    fn deliver_instrumented(&mut self, ev: ScheduledEvent, sink: &mut dyn EventSink) {
+        let mut tel = self.tel.take().expect("instrumented path without state");
+        if let Some(s) = tel.sampler.as_mut() {
+            s.observe(ev.time.as_ps(), &self.stats);
+        }
+        if let Some(tr) = tel.tracer.as_mut() {
+            match &ev.kind {
+                EventKind::Message { port, .. } => {
+                    tr.deliver(ev.time.as_ps(), ev.tie.src.0, ev.target.0, port.0 as u32)
+                }
+                EventKind::ClockTick { cycle, .. } => {
+                    tr.clock(ev.time.as_ps(), ev.target.0, *cycle)
+                }
+            }
+        }
+        let target = ev.target.0;
+        let t0 = tel.profiler.is_some().then(std::time::Instant::now);
+        self.deliver_body(ev, sink, tel.tracer.as_mut());
+        if let (Some(p), Some(t0)) = (tel.profiler.as_mut(), t0) {
+            p.record(target, t0.elapsed().as_nanos() as u64);
+        }
+        self.tel = Some(tel);
+    }
+
+    /// The delivery state machine shared by both paths.
+    #[inline]
+    fn deliver_body(
+        &mut self,
+        ev: ScheduledEvent,
+        sink: &mut dyn EventSink,
+        tracer: Option<&mut Tracer>,
+    ) {
         self.now = ev.time;
         match ev.kind {
             EventKind::Message { port, payload } => {
                 self.events += 1;
-                self.with_ctx(ev.target, sink, |comp, ctx| {
+                self.with_ctx(ev.target, sink, tracer, |comp, ctx| {
                     comp.on_event(port, payload, ctx)
                 });
             }
             EventKind::ClockTick { clock, cycle } => {
                 self.clock_ticks += 1;
-                let action = self.with_ctx(ev.target, sink, |comp, ctx| {
+                let action = self.with_ctx(ev.target, sink, tracer, |comp, ctx| {
                     comp.on_clock(clock, cycle, ctx)
                 });
                 let clk = &mut self.clocks[clock.0 as usize];
@@ -222,6 +324,7 @@ impl Kernel {
         &mut self,
         id: ComponentId,
         sink: &mut dyn EventSink,
+        tracer: Option<&mut Tracer>,
         f: impl FnOnce(&mut dyn crate::component::Component, &mut SimCtx<'_>) -> R,
     ) -> R {
         let idx = id.0 as usize;
@@ -241,6 +344,7 @@ impl Kernel {
                 stats: &mut self.stats,
                 sink,
                 clock_resumes: &mut self.resume_buf,
+                tracer,
             };
             f(comp.as_mut(), &mut ctx)
         };
@@ -296,6 +400,7 @@ pub struct EngineOn<Q: SimQueue + EventSink> {
     kernel: Kernel,
     queue: Q,
     started: bool,
+    spec: TelemetrySpec,
 }
 
 /// The serial engine over the default (indexed) queue.
@@ -307,11 +412,25 @@ pub type HeapEngine = EngineOn<BinaryHeapQueue>;
 impl<Q: SimQueue + EventSink> EngineOn<Q> {
     /// Build a serial engine from a system description.
     pub fn new(builder: SystemBuilder) -> EngineOn<Q> {
+        Self::with_telemetry(builder, TelemetrySpec::disabled())
+    }
+
+    /// Build a serial engine with telemetry configured by `spec`. A disabled
+    /// spec behaves exactly like [`EngineOn::new`].
+    pub fn with_telemetry(builder: SystemBuilder, spec: TelemetrySpec) -> EngineOn<Q> {
         let ranks = vec![0u32; builder.comps.len()];
+        let names: Arc<Vec<String>> = if spec.is_enabled() {
+            Arc::new(builder.comps.iter().map(|c| c.name.clone()).collect())
+        } else {
+            Arc::new(Vec::new())
+        };
+        let mut kernel = Kernel::from_builder(builder, &ranks, 0);
+        kernel.attach_telemetry(&spec, names, false);
         EngineOn {
-            kernel: Kernel::from_builder(builder, &ranks, 0),
+            kernel,
             queue: Q::default(),
             started: false,
+            spec,
         }
     }
 
@@ -331,6 +450,11 @@ impl<Q: SimQueue + EventSink> EngineOn<Q> {
         let bound = limit.bound();
         while let Some(ev) = self.queue.pop_until(bound) {
             self.kernel.deliver(ev, &mut self.queue);
+            if let Some(tel) = self.kernel.tel.as_deref_mut() {
+                if let Some(p) = tel.profiler.as_mut() {
+                    p.note_depth(self.queue.len() as u64);
+                }
+            }
         }
         if let RunLimit::Until(t) = limit {
             self.kernel.now = self.kernel.now.max(t);
@@ -352,7 +476,8 @@ impl<Q: SimQueue + EventSink> EngineOn<Q> {
         let t0 = std::time::Instant::now();
         self.step(limit);
         self.kernel.finish_all(&mut self.queue);
-        SimReport {
+        let (profile, series) = self.kernel.finish_telemetry();
+        let report = SimReport {
             end_time: self.kernel.now,
             events: self.kernel.events,
             clock_ticks: self.kernel.clock_ticks,
@@ -360,7 +485,18 @@ impl<Q: SimQueue + EventSink> EngineOn<Q> {
             ranks: 1,
             epochs: 0,
             stats: self.kernel.stats.snapshot(),
-        }
+            profile,
+            series,
+        };
+        self.spec.collect_run(
+            self.kernel.seed,
+            report.events,
+            report.clock_ticks,
+            report.wall_seconds,
+            report.profile.as_ref(),
+            report.series.as_ref(),
+        );
+        report
     }
 }
 

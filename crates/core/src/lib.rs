@@ -53,6 +53,7 @@ pub mod params;
 pub mod queue;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 
 pub use builder::SystemBuilder;
@@ -65,6 +66,9 @@ pub use parallel::ParallelEngine;
 pub use params::{ParamError, Params};
 pub use queue::{BinaryHeapQueue, EventQueue, IndexedQueue, SimQueue};
 pub use stats::{StatId, StatKind, StatsRegistry, StatsSnapshot};
+pub use telemetry::{
+    EngineProfile, RunManifest, StatsSeries, TelemetryOptions, TelemetrySpec, TelemetrySummary,
+};
 pub use time::{Frequency, SimTime};
 
 /// One-line import for component authors and simulation drivers.
@@ -78,5 +82,6 @@ pub mod prelude {
     pub use crate::parallel::ParallelEngine;
     pub use crate::params::Params;
     pub use crate::stats::StatId;
+    pub use crate::telemetry::{TelemetryOptions, TelemetrySpec};
     pub use crate::time::{Frequency, SimTime};
 }

@@ -41,9 +41,11 @@ use crate::engine::{Kernel, RunLimit, SimReport};
 use crate::event::{EventBufPool, ScheduledEvent};
 use crate::queue::EventQueue;
 use crate::stats::StatsRegistry;
+use crate::telemetry::{EngineProfile, RankSyncProfile, TelemetrySpec};
 use crate::time::SimTime;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// How long an idle rank blocks on its inbox before re-checking the global
@@ -88,6 +90,7 @@ pub struct ParallelEngine {
     lookahead: SimTime,
     pair_la: Vec<Vec<Option<SimTime>>>,
     n_ranks: u32,
+    spec: TelemetrySpec,
 }
 
 impl ParallelEngine {
@@ -95,19 +98,41 @@ impl ParallelEngine {
     /// Systems with no cross-rank links use an unbounded lookahead (the ranks
     /// are independent).
     pub fn new(builder: SystemBuilder, n_ranks: u32) -> ParallelEngine {
+        Self::with_telemetry(builder, n_ranks, TelemetrySpec::disabled())
+    }
+
+    /// Partition with telemetry configured by `spec`. Tracing buffers per
+    /// rank and flushes in rank order after the join (deterministic output);
+    /// stats sampling is serial-only and ignored here.
+    pub fn with_telemetry(
+        builder: SystemBuilder,
+        n_ranks: u32,
+        spec: TelemetrySpec,
+    ) -> ParallelEngine {
         assert!(n_ranks > 0, "need at least one rank");
         let ranks = builder.resolve_ranks(n_ranks);
         let lookahead = builder.lookahead(&ranks).unwrap_or(SimTime::MAX);
         let pair_la = builder.pairwise_lookahead(&ranks, n_ranks);
+        let names: Arc<Vec<String>> = if spec.is_enabled() {
+            Arc::new(builder.comps.iter().map(|c| c.name.clone()).collect())
+        } else {
+            Arc::new(Vec::new())
+        };
         // Kernel::from_builder consumes the builder, so clone-free
         // construction needs one pass per rank over a shared spec. Instead we
         // split the builder once: move each component into its rank's kernel.
-        let kernels = split_builder(builder, &ranks, n_ranks);
+        let mut kernels = split_builder(builder, &ranks, n_ranks);
+        if spec.is_enabled() {
+            for k in &mut kernels {
+                k.attach_telemetry(&spec, names.clone(), true);
+            }
+        }
         ParallelEngine {
             kernels,
             lookahead,
             pair_la,
             n_ranks,
+            spec,
         }
     }
 
@@ -144,7 +169,7 @@ impl ParallelEngine {
         let events_recvd = AtomicU64::new(0);
         let all_done = AtomicBool::new(false);
 
-        let mut results: Vec<Option<(Kernel, u64)>> = (0..n).map(|_| None).collect();
+        let mut results: Vec<Option<(Kernel, RankRunInfo)>> = (0..n).map(|_| None).collect();
 
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
@@ -172,18 +197,38 @@ impl ParallelEngine {
         let mut clock_ticks = 0u64;
         let mut end_time = SimTime::ZERO;
         let mut rounds = 0u64;
-        for r in results.into_iter().flatten() {
-            let (kernel, eps) = r;
+        let mut seed = 0u64;
+        let mut profile: Option<EngineProfile> = None;
+        for (rank, r) in results.into_iter().enumerate() {
+            let (mut kernel, info) = r.expect("missing rank result");
+            // Flushes each rank's buffered trace in rank order — the merged
+            // trace file is deterministic because each rank's event order is
+            // (conservative sync guarantees it).
+            let (rank_profile, _series) = kernel.finish_telemetry();
+            if let Some(p) = rank_profile {
+                let agg = profile.get_or_insert_with(EngineProfile::default);
+                agg.components.extend(p.components);
+                agg.queue_depth_hwm = agg.queue_depth_hwm.max(p.queue_depth_hwm);
+                agg.ranks.push(RankSyncProfile {
+                    rank: rank as u32,
+                    sync_rounds: info.rounds,
+                    batches_sent: info.batches_sent,
+                    null_batches_sent: info.null_batches_sent,
+                    events_sent: info.events_shipped,
+                    stall_ns: info.stall_ns,
+                });
+            }
             events += kernel.events;
             clock_ticks += kernel.clock_ticks;
             end_time = end_time.max(kernel.now);
+            seed = kernel.seed;
             stats.absorb(kernel.stats);
-            rounds = rounds.max(eps);
+            rounds = rounds.max(info.rounds);
         }
         if let RunLimit::Until(t) = limit {
             end_time = end_time.max(t);
         }
-        SimReport {
+        let report = SimReport {
             end_time,
             events,
             clock_ticks,
@@ -191,7 +236,18 @@ impl ParallelEngine {
             ranks: self.n_ranks,
             epochs: rounds,
             stats: stats.snapshot(),
-        }
+            profile,
+            series: None,
+        };
+        self.spec.collect_run(
+            seed,
+            report.events,
+            report.clock_ticks,
+            report.wall_seconds,
+            report.profile.as_ref(),
+            None,
+        );
+        report
     }
 }
 
@@ -208,6 +264,9 @@ fn split_builder(builder: SystemBuilder, ranks: &[u32], n_ranks: u32) -> Vec<Ker
         seed,
     } = builder;
 
+    // Keep the real name on every placeholder so cross-rank trace records
+    // resolve the sender's name instead of a synthetic `__remote` label.
+    let names: Vec<String> = comps.iter().map(|c| c.name.clone()).collect();
     let mut per_rank_specs: Vec<Vec<(usize, CompSpec)>> =
         (0..n_ranks).map(|_| Vec::new()).collect();
     for (i, spec) in comps.into_iter().enumerate() {
@@ -237,8 +296,8 @@ fn split_builder(builder: SystemBuilder, ranks: &[u32], n_ranks: u32) -> Vec<Ker
                 .into_iter()
                 .enumerate()
                 .map(|(i, s)| {
-                    s.unwrap_or(CompSpec {
-                        name: format!("__remote{i}"),
+                    s.unwrap_or_else(|| CompSpec {
+                        name: names[i].clone(),
                         comp: Box::new(RemotePlaceholder),
                         rank: ranks[i],
                     })
@@ -289,6 +348,12 @@ struct SyncState {
     last_eot: Vec<u64>,
     /// Announcement rounds executed (reported as `epochs`).
     rounds: u64,
+    /// Batches sent / pure-null batches / cross-rank events, for the sync
+    /// profile (counted unconditionally: one add per announcement, not per
+    /// event).
+    batches_sent: u64,
+    null_batches_sent: u64,
+    events_shipped: u64,
     pool: EventBufPool,
 }
 
@@ -315,6 +380,9 @@ impl SyncState {
             eit,
             last_eot: vec![0; la_row.len()],
             rounds: 0,
+            batches_sent: 0,
+            null_batches_sent: 0,
+            events_shipped: 0,
             pool: EventBufPool::new(),
         }
     }
@@ -367,7 +435,11 @@ impl SyncState {
                 continue;
             }
             let events = std::mem::replace(&mut outbound[s], self.pool.get());
-            if !events.is_empty() {
+            self.batches_sent += 1;
+            if events.is_empty() {
+                self.null_batches_sent += 1;
+            } else {
+                self.events_shipped += events.len() as u64;
                 shared
                     .events_sent
                     .fetch_add(events.len() as u64, Ordering::SeqCst);
@@ -412,6 +484,16 @@ fn globally_idle(shared: &RankShared<'_>) -> bool {
             .all(|t| t.load(Ordering::SeqCst) == u64::MAX)
 }
 
+/// What one rank hands back besides its kernel: sync-protocol counters and
+/// (when profiling) wallclock stall time.
+struct RankRunInfo {
+    rounds: u64,
+    batches_sent: u64,
+    null_batches_sent: u64,
+    events_shipped: u64,
+    stall_ns: u64,
+}
+
 fn run_rank(
     mut kernel: Kernel,
     my_rank: u32,
@@ -419,13 +501,15 @@ fn run_rank(
     la_row: Vec<Option<SimTime>>,
     rx: Receiver<Batch>,
     shared: RankShared<'_>,
-) -> (Kernel, u64) {
+) -> (Kernel, RankRunInfo) {
     let n = la_row.len();
     let mut queue = EventQueue::new();
     let mut staging: Vec<ScheduledEvent> = Vec::new();
     let mut outbound: Vec<Vec<ScheduledEvent>> = (0..n).map(|_| Vec::new()).collect();
     let mut sync = SyncState::new(my_rank, &la_row);
     let bound_ps = bound.as_ps();
+    let profiling = kernel.tel.as_ref().is_some_and(|t| t.profiler.is_some());
+    let mut stall_ns = 0u64;
 
     // Time-zero setup: run setup handlers and start clocks, then ship any
     // cross-rank sends (with the first EOT promises) before the first window.
@@ -470,6 +554,11 @@ fn run_rank(
             for ev in staging.drain(..) {
                 queue.push(ev);
             }
+            if profiling {
+                if let Some(p) = kernel.tel.as_deref_mut().and_then(|t| t.profiler.as_mut()) {
+                    p.note_depth(queue.len() as u64);
+                }
+            }
             worked = true;
         }
 
@@ -501,7 +590,12 @@ fn run_rank(
         // 6. Nothing processable: block until a neighbor advances our EIT
         //    (or the idle poll re-checks termination).
         if !worked {
-            match rx.recv_timeout(IDLE_POLL) {
+            let t_wait = profiling.then(std::time::Instant::now);
+            let res = rx.recv_timeout(IDLE_POLL);
+            if let Some(t) = t_wait {
+                stall_ns += t.elapsed().as_nanos() as u64;
+            }
+            match res {
                 Ok(batch) => sync.absorb(batch, &mut queue, &shared),
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => break,
@@ -522,7 +616,14 @@ fn run_rank(
     if bound != SimTime::MAX {
         kernel.now = kernel.now.max(bound);
     }
-    (kernel, sync.rounds)
+    let info = RankRunInfo {
+        rounds: sync.rounds,
+        batches_sent: sync.batches_sent,
+        null_batches_sent: sync.null_batches_sent,
+        events_shipped: sync.events_shipped,
+        stall_ns,
+    };
+    (kernel, info)
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 //! experiment harnesses consume. This mirrors SST's statistics subsystem
 //! (accumulators / counters / histograms with CSV-style output).
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -165,6 +165,12 @@ impl StatsRegistry {
         self.stats.is_empty()
     }
 
+    /// All registered stats, in registration order. Used by the telemetry
+    /// sampler to walk live values without snapshot cost.
+    pub fn stats(&self) -> &[Stat] {
+        &self.stats
+    }
+
     /// Freeze into a snapshot table.
     ///
     /// A never-sampled accumulator carries `min = +inf` / `max = -inf` as its
@@ -184,29 +190,142 @@ impl StatsRegistry {
                 }
             }
         }
-        StatsSnapshot { stats }
+        StatsSnapshot::from_stats(stats)
     }
 
     /// Merge another registry's stats into this one (used by the parallel
-    /// engine to combine per-rank registries; entries are concatenated, and
-    /// lookups by name see the union).
+    /// engine to combine per-rank registries). Entries with a new
+    /// `(owner, name)` are appended in order; entries duplicating an
+    /// existing key are *merged* into it — counters sum, accumulators
+    /// combine exactly via the parallel Welford formula, histograms add
+    /// bucketwise — so lookups after a merge see the combined statistic
+    /// rather than an arbitrary copy.
+    ///
+    /// Panics if a duplicate key has a different stat kind: that is a
+    /// registration bug, and silently keeping one side would corrupt
+    /// results.
     pub fn absorb(&mut self, other: StatsRegistry) {
-        self.stats.extend(other.stats);
+        use std::collections::HashMap;
+        let mut by_key: HashMap<(String, String), usize> = self
+            .stats
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ((s.owner.clone(), s.name.clone()), i))
+            .collect();
+        for stat in other.stats {
+            match by_key.entry((stat.owner.clone(), stat.name.clone())) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let dst = &mut self.stats[*e.get()];
+                    merge_stat_kind(dst, stat.kind);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(self.stats.len());
+                    self.stats.push(stat);
+                }
+            }
+        }
+    }
+}
+
+/// Merge `src` into `dst.kind`; both must be the same kind.
+fn merge_stat_kind(dst: &mut Stat, src: StatKind) {
+    match (&mut dst.kind, src) {
+        (StatKind::Counter { count }, StatKind::Counter { count: c2 }) => *count += c2,
+        (
+            StatKind::Accumulator {
+                count,
+                sum,
+                min,
+                max,
+                mean,
+                m2,
+            },
+            StatKind::Accumulator {
+                count: nb,
+                sum: sum_b,
+                min: min_b,
+                max: max_b,
+                mean: mean_b,
+                m2: m2_b,
+            },
+        ) => {
+            if nb == 0 {
+                return;
+            }
+            let na = *count;
+            if na == 0 {
+                (*count, *sum, *min, *max, *mean, *m2) = (nb, sum_b, min_b, max_b, mean_b, m2_b);
+                return;
+            }
+            // Chan et al. parallel Welford combination: exact pooled mean
+            // and M2 from the two partitions' moments.
+            let n = na + nb;
+            let delta = mean_b - *mean;
+            *mean += delta * nb as f64 / n as f64;
+            *m2 += m2_b + delta * delta * (na as f64 * nb as f64) / n as f64;
+            *count = n;
+            *sum += sum_b;
+            if min_b < *min {
+                *min = min_b;
+            }
+            if max_b > *max {
+                *max = max_b;
+            }
+        }
+        (
+            StatKind::Histogram { buckets, count },
+            StatKind::Histogram {
+                buckets: b2,
+                count: c2,
+            },
+        ) => {
+            for (a, b) in buckets.iter_mut().zip(b2) {
+                *a += b;
+            }
+            *count += c2;
+        }
+        (dst_kind, src_kind) => panic!(
+            "cannot merge stat `{}`.`{}`: kind mismatch ({dst_kind:?} vs {src_kind:?})",
+            dst.owner, dst.name
+        ),
     }
 }
 
 /// An immutable, serializable table of end-of-run statistics.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Lookups by `(owner, name)` go through an index built once at snapshot
+/// time (binary search over stat indices sorted by key), so harness loops
+/// over large merged registries stay `O(log n)` per call instead of a
+/// linear scan.
+#[derive(Debug, Clone, Default)]
 pub struct StatsSnapshot {
     pub stats: Vec<Stat>,
+    /// Indices into `stats`, sorted by `(owner, name)`. Rebuilt on
+    /// deserialization; not part of the wire format.
+    index: Vec<u32>,
 }
 
 impl StatsSnapshot {
+    /// Build a snapshot over `stats`, constructing the lookup index.
+    pub fn from_stats(stats: Vec<Stat>) -> StatsSnapshot {
+        let mut index: Vec<u32> = (0..stats.len() as u32).collect();
+        index.sort_by(|&a, &b| {
+            let (sa, sb) = (&stats[a as usize], &stats[b as usize]);
+            (sa.owner.as_str(), sa.name.as_str()).cmp(&(sb.owner.as_str(), sb.name.as_str()))
+        });
+        StatsSnapshot { stats, index }
+    }
+
     /// Look up a stat by exact `(owner, name)`.
     pub fn get(&self, owner: &str, name: &str) -> Option<&Stat> {
-        self.stats
-            .iter()
-            .find(|s| s.owner == owner && s.name == name)
+        let pos = self
+            .index
+            .binary_search_by(|&i| {
+                let s = &self.stats[i as usize];
+                (s.owner.as_str(), s.name.as_str()).cmp(&(owner, name))
+            })
+            .ok()?;
+        Some(&self.stats[self.index[pos] as usize])
     }
 
     /// Value of a counter by exact `(owner, name)`; 0 if absent.
@@ -257,6 +376,25 @@ impl StatsSnapshot {
             m.entry(s.owner.as_str()).or_default().push(s);
         }
         m
+    }
+}
+
+// Manual serde impls: the index is derived state and must stay out of the
+// wire format (`{"stats": [...]}`), matching what the old derive emitted.
+impl Serialize for StatsSnapshot {
+    fn to_value(&self) -> Value {
+        let mut m = serde::Map::new();
+        m.insert("stats".to_string(), self.stats.to_value());
+        Value::Object(m)
+    }
+}
+
+impl Deserialize for StatsSnapshot {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        let stats = v
+            .get("stats")
+            .ok_or_else(|| SerdeError::msg("StatsSnapshot: missing field `stats`"))?;
+        Ok(StatsSnapshot::from_stats(Vec::<Stat>::from_value(stats)?))
     }
 }
 
@@ -426,6 +564,166 @@ mod tests {
         r1.absorb(r2);
         let snap = r1.snapshot();
         assert_eq!(snap.sum_counters("n"), 3);
+    }
+
+    #[test]
+    fn absorb_merges_duplicate_counters() {
+        let mut r1 = StatsRegistry::new();
+        let a = r1.counter("node", "visits");
+        r1.add(a, 10);
+        let mut r2 = StatsRegistry::new();
+        let b = r2.counter("node", "visits");
+        r2.add(b, 32);
+        r1.absorb(r2);
+        assert_eq!(r1.len(), 1, "duplicates must merge, not concatenate");
+        let snap = r1.snapshot();
+        assert_eq!(snap.counter("node", "visits"), 42);
+    }
+
+    #[test]
+    fn absorb_merges_accumulators_exactly() {
+        // Parallel Welford: merging two partitions must equal accumulating
+        // the concatenated stream directly.
+        let xs = [2.0, 4.0, 4.0, 4.0];
+        let ys = [5.0, 5.0, 7.0, 9.0];
+        let mut r1 = StatsRegistry::new();
+        let a = r1.accumulator("c", "lat");
+        for &v in &xs {
+            r1.record(a, v);
+        }
+        let mut r2 = StatsRegistry::new();
+        let b = r2.accumulator("c", "lat");
+        for &v in &ys {
+            r2.record(b, v);
+        }
+        let mut direct = StatsRegistry::new();
+        let d = direct.accumulator("c", "lat");
+        for &v in xs.iter().chain(&ys) {
+            direct.record(d, v);
+        }
+        r1.absorb(r2);
+        let merged = r1.snapshot();
+        let reference = direct.snapshot();
+        let (m, r) = (
+            merged.get("c", "lat").unwrap(),
+            reference.get("c", "lat").unwrap(),
+        );
+        if let (
+            StatKind::Accumulator {
+                count: c1,
+                sum: s1,
+                min: lo1,
+                max: hi1,
+                mean: m1,
+                m2: q1,
+            },
+            StatKind::Accumulator {
+                count: c2,
+                sum: s2,
+                min: lo2,
+                max: hi2,
+                mean: m2v,
+                m2: q2,
+            },
+        ) = (&m.kind, &r.kind)
+        {
+            assert_eq!(c1, c2);
+            assert!((s1 - s2).abs() < 1e-9);
+            assert_eq!(lo1, lo2);
+            assert_eq!(hi1, hi2);
+            assert!((m1 - m2v).abs() < 1e-9, "mean {m1} vs {m2v}");
+            assert!((q1 - q2).abs() < 1e-9, "m2 {q1} vs {q2}");
+        } else {
+            panic!("wrong kinds");
+        }
+    }
+
+    #[test]
+    fn absorb_merges_empty_accumulator_sides() {
+        let mut r1 = StatsRegistry::new();
+        r1.accumulator("c", "x");
+        let mut r2 = StatsRegistry::new();
+        let b = r2.accumulator("c", "x");
+        r2.record(b, 3.0);
+        r1.absorb(r2);
+        assert_eq!(r1.snapshot().mean("c", "x"), Some(3.0));
+
+        // And the other way round: non-empty absorbs empty.
+        let mut r3 = StatsRegistry::new();
+        let c = r3.accumulator("c", "x");
+        r3.record(c, 5.0);
+        let mut r4 = StatsRegistry::new();
+        r4.accumulator("c", "x");
+        r3.absorb(r4);
+        assert_eq!(r3.snapshot().mean("c", "x"), Some(5.0));
+    }
+
+    #[test]
+    fn absorb_merges_histograms() {
+        let mut r1 = StatsRegistry::new();
+        let h1 = r1.histogram("c", "sz");
+        r1.sample(h1, 4);
+        let mut r2 = StatsRegistry::new();
+        let h2 = r2.histogram("c", "sz");
+        r2.sample(h2, 4);
+        r2.sample(h2, 1024);
+        r1.absorb(r2);
+        let snap = r1.snapshot();
+        if let StatKind::Histogram { buckets, count } = &snap.get("c", "sz").unwrap().kind {
+            assert_eq!(*count, 3);
+            assert_eq!(buckets[2], 2);
+            assert_eq!(buckets[10], 1);
+        } else {
+            panic!("wrong kind");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "kind mismatch")]
+    fn absorb_rejects_kind_mismatch() {
+        let mut r1 = StatsRegistry::new();
+        r1.counter("c", "x");
+        let mut r2 = StatsRegistry::new();
+        r2.accumulator("c", "x");
+        r1.absorb(r2);
+    }
+
+    #[test]
+    fn snapshot_index_finds_every_entry() {
+        let mut r = StatsRegistry::new();
+        let mut ids = Vec::new();
+        for i in 0..50 {
+            let owner = format!("comp{}", 49 - i); // deliberately unsorted
+            ids.push((owner.clone(), r.counter(&owner, "n")));
+        }
+        for (i, (_, id)) in ids.iter().enumerate() {
+            r.add(*id, i as u64 + 1);
+        }
+        let snap = r.snapshot();
+        for (i, (owner, _)) in ids.iter().enumerate() {
+            assert_eq!(snap.counter(owner, "n"), i as u64 + 1, "owner={owner}");
+        }
+        assert!(snap.get("compX", "n").is_none());
+        assert!(snap.get("comp0", "missing").is_none());
+    }
+
+    #[test]
+    fn snapshot_index_survives_serde_round_trip() {
+        let mut r = StatsRegistry::new();
+        let a = r.counter("b_owner", "n");
+        let b = r.counter("a_owner", "n");
+        r.add(a, 1);
+        r.add(b, 2);
+        let snap = r.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(
+            json.starts_with("{\"stats\":"),
+            "wire format changed: {json}"
+        );
+        assert!(!json.contains("index"), "index leaked into wire: {json}");
+        let back: StatsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.counter("b_owner", "n"), 1);
+        assert_eq!(back.counter("a_owner", "n"), 2);
     }
 
     #[test]

@@ -1,0 +1,1190 @@
+//! Simulator telemetry: event tracing, periodic stats sampling, and engine
+//! self-profiling.
+//!
+//! Telemetry is configured once per run through a [`TelemetrySpec`] — a cheap
+//! clonable handle threaded from the CLI down to every engine the run spins
+//! up. A disabled spec (the default) costs the engine hot path exactly one
+//! pointer null-check per event, so simulations that do not ask for
+//! telemetry pay nothing.
+//!
+//! Three pillars:
+//!
+//! 1. **Event tracing** ([`Tracer`]): every deliver / schedule / clock-tick /
+//!    component mark is appended to a JSONL file (one self-describing JSON
+//!    object per line) and mirrored into Chrome `trace_event` format, so a
+//!    run opens directly in `chrome://tracing` or Perfetto. Per-component
+//!    (exact name or trailing-`*` prefix) and per-kind filters keep traces
+//!    of large runs tractable. Records carry simulated time only — never
+//!    wallclock — so a deterministic simulation produces a bit-identical
+//!    trace on every rerun.
+//! 2. **Periodic stats sampling** ([`StatsSeries`]): at a fixed sim-time
+//!    interval the engine snapshots all registered counters and accumulators
+//!    into a time series. Counters are delta-encoded per interval; the
+//!    sample at boundary `b` reflects every event strictly before `b`.
+//! 3. **Self-profiling** ([`EngineProfile`]): wallclock time spent in each
+//!    component's handlers (event count, total and max nanoseconds), the
+//!    pending-queue depth high-watermark, and — for parallel runs — per-rank
+//!    sync metrics (batches, pure null messages, stall time).
+
+use crate::stats::{StatKind, StatsRegistry};
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+// ---------------------------------------------------------------------------
+// Spec: the user-facing configuration handle
+
+/// Which record kinds a trace captures (bitmask).
+pub const TRACE_DELIVER: u8 = 1 << 0;
+pub const TRACE_SCHED: u8 = 1 << 1;
+pub const TRACE_CLOCK: u8 = 1 << 2;
+pub const TRACE_MARK: u8 = 1 << 3;
+pub const TRACE_ALL: u8 = TRACE_DELIVER | TRACE_SCHED | TRACE_CLOCK | TRACE_MARK;
+
+/// Parse a trace-kind name (`deliver`, `sched`, `clock`, `mark`) into its
+/// mask bit.
+pub fn parse_trace_kind(s: &str) -> Result<u8, String> {
+    match s {
+        "deliver" => Ok(TRACE_DELIVER),
+        "sched" | "schedule" => Ok(TRACE_SCHED),
+        "clock" => Ok(TRACE_CLOCK),
+        "mark" => Ok(TRACE_MARK),
+        other => Err(format!(
+            "unknown trace kind `{other}` (expected deliver|sched|clock|mark)"
+        )),
+    }
+}
+
+/// Everything the CLI can ask for. Feed to [`TelemetrySpec::new`].
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryOptions {
+    /// JSONL trace output path; the Chrome trace lands next to it with a
+    /// `.chrome.json` extension.
+    pub trace_path: Option<PathBuf>,
+    /// Component filter: exact names or trailing-`*` prefixes. `None` traces
+    /// every component.
+    pub trace_components: Option<Vec<String>>,
+    /// Record-kind mask (see [`TRACE_ALL`]).
+    pub trace_kinds: u8,
+    /// Sim-time sampling interval for the stats series.
+    pub stats_interval: Option<SimTime>,
+    /// Collect handler timings, queue high-watermarks, and sync metrics.
+    pub profile: bool,
+}
+
+impl TelemetryOptions {
+    pub fn is_enabled(&self) -> bool {
+        self.trace_path.is_some() || self.stats_interval.is_some() || self.profile
+    }
+}
+
+/// Shared, clonable telemetry configuration. `TelemetrySpec::disabled()`
+/// (also `Default`) turns everything off at zero hot-path cost.
+#[derive(Clone, Default)]
+pub struct TelemetrySpec {
+    shared: Option<Arc<TelemetryShared>>,
+    /// Label attached to collected per-run results (e.g. the experiment id
+    /// or DES phase name).
+    label: Option<Arc<str>>,
+}
+
+impl fmt::Debug for TelemetrySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TelemetrySpec")
+            .field("enabled", &self.shared.is_some())
+            .field("label", &self.label)
+            .finish()
+    }
+}
+
+struct TelemetryShared {
+    trace: Option<TraceShared>,
+    stats_interval: Option<SimTime>,
+    profile: bool,
+    collector: Mutex<Collector>,
+}
+
+struct TraceShared {
+    writer: Mutex<TraceWriter>,
+    components: Option<Vec<String>>,
+    kinds: u8,
+}
+
+impl TelemetrySpec {
+    /// The no-op spec: engines built with it behave exactly as without
+    /// telemetry.
+    pub fn disabled() -> TelemetrySpec {
+        TelemetrySpec::default()
+    }
+
+    /// Open output files and build an active spec. Fails if the trace file
+    /// (or its Chrome sibling) cannot be created.
+    pub fn new(opts: TelemetryOptions) -> io::Result<TelemetrySpec> {
+        if !opts.is_enabled() {
+            return Ok(TelemetrySpec::disabled());
+        }
+        let trace = match &opts.trace_path {
+            Some(path) => Some(TraceShared {
+                writer: Mutex::new(TraceWriter::create(path)?),
+                components: opts.trace_components.clone(),
+                kinds: if opts.trace_kinds == 0 {
+                    TRACE_ALL
+                } else {
+                    opts.trace_kinds
+                },
+            }),
+            None => None,
+        };
+        Ok(TelemetrySpec {
+            shared: Some(Arc::new(TelemetryShared {
+                trace,
+                stats_interval: opts.stats_interval,
+                profile: opts.profile,
+                collector: Mutex::new(Collector::default()),
+            })),
+            label: None,
+        })
+    }
+
+    /// A copy of this spec whose collected results are tagged `label`.
+    /// Labels nest: `spec.labeled("miniFE").labeled("fea")` tags runs as
+    /// `"miniFE/fea"`.
+    pub fn labeled(&self, label: impl AsRef<str>) -> TelemetrySpec {
+        let label = match &self.label {
+            Some(prefix) => Arc::from(format!("{prefix}/{}", label.as_ref())),
+            None => Arc::from(label.as_ref()),
+        };
+        TelemetrySpec {
+            shared: self.shared.clone(),
+            label: Some(label),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    fn label(&self) -> &str {
+        self.label.as_deref().unwrap_or("run")
+    }
+
+    /// Build the per-engine-run mutable state. `parallel` ranks buffer the
+    /// whole trace in memory (flushed in rank order after the join, keeping
+    /// output deterministic) and skip stats sampling, which has no
+    /// rank-merge semantics.
+    pub(crate) fn make_state(
+        &self,
+        names: Arc<Vec<String>>,
+        parallel: bool,
+    ) -> Option<Box<TelemetryState>> {
+        let shared = self.shared.as_ref()?;
+        let tracer = shared.trace.as_ref().map(|t| {
+            Tracer::new(
+                names.clone(),
+                t.components.as_deref(),
+                t.kinds,
+                TraceHandle { spec: self.clone() },
+                parallel,
+            )
+        });
+        let sampler = if parallel {
+            None
+        } else {
+            shared
+                .stats_interval
+                .map(|iv| Sampler::new(iv.as_ps().max(1)))
+        };
+        let profiler = shared.profile.then(|| Profiler::new(names.len()));
+        if tracer.is_none() && sampler.is_none() && profiler.is_none() {
+            return None;
+        }
+        Some(Box::new(TelemetryState {
+            names,
+            tracer,
+            sampler,
+            profiler,
+        }))
+    }
+
+    /// Fold one engine run's results into the spec-wide collector.
+    pub(crate) fn collect_run(
+        &self,
+        seed: u64,
+        events: u64,
+        clock_ticks: u64,
+        wall_seconds: f64,
+        profile: Option<&EngineProfile>,
+        series: Option<&StatsSeries>,
+    ) {
+        let Some(shared) = self.shared.as_ref() else {
+            return;
+        };
+        let mut c = shared.collector.lock().unwrap();
+        c.runs += 1;
+        c.events += events;
+        c.clock_ticks += clock_ticks;
+        c.wall_seconds += wall_seconds;
+        if !c.seeds.contains(&seed) {
+            c.seeds.push(seed);
+        }
+        if let Some(p) = profile {
+            c.profiles.push((self.label().to_string(), p.clone()));
+        }
+        if let Some(s) = series {
+            c.series.push((self.label().to_string(), s.clone()));
+        }
+    }
+
+    /// Flush and close trace outputs (terminating the Chrome JSON array) and
+    /// return the aggregate of everything collected. Call once, at the end
+    /// of the whole run. Returns `None` for a disabled spec.
+    pub fn finish(&self) -> io::Result<Option<TelemetrySummary>> {
+        let Some(shared) = self.shared.as_ref() else {
+            return Ok(None);
+        };
+        let mut trace_records = 0;
+        if let Some(t) = &shared.trace {
+            let mut w = t.writer.lock().unwrap();
+            w.finish()?;
+            trace_records = w.records;
+        }
+        let c = shared.collector.lock().unwrap();
+        Ok(Some(TelemetrySummary {
+            runs: c.runs,
+            events: c.events,
+            clock_ticks: c.clock_ticks,
+            wall_seconds: c.wall_seconds,
+            seeds: c.seeds.clone(),
+            trace_records,
+            profiles: c.profiles.clone(),
+            series: c.series.clone(),
+        }))
+    }
+}
+
+#[derive(Default)]
+struct Collector {
+    runs: u64,
+    events: u64,
+    clock_ticks: u64,
+    wall_seconds: f64,
+    seeds: Vec<u64>,
+    profiles: Vec<(String, EngineProfile)>,
+    series: Vec<(String, StatsSeries)>,
+}
+
+/// Aggregate of every engine run executed under one [`TelemetrySpec`].
+#[derive(Debug, Clone)]
+pub struct TelemetrySummary {
+    pub runs: u64,
+    pub events: u64,
+    pub clock_ticks: u64,
+    pub wall_seconds: f64,
+    pub seeds: Vec<u64>,
+    pub trace_records: u64,
+    /// `(label, profile)` per profiled engine run.
+    pub profiles: Vec<(String, EngineProfile)>,
+    /// `(label, series)` per sampled engine run.
+    pub series: Vec<(String, StatsSeries)>,
+}
+
+// ---------------------------------------------------------------------------
+// Per-engine-run state (lives on the kernel as `Option<Box<TelemetryState>>`)
+
+/// Mutable telemetry state for one engine run. The kernel holds it behind an
+/// `Option<Box<_>>`: disabled runs pay one null-check per delivered event.
+pub(crate) struct TelemetryState {
+    pub names: Arc<Vec<String>>,
+    pub tracer: Option<Tracer>,
+    pub sampler: Option<Sampler>,
+    pub profiler: Option<Profiler>,
+}
+
+// ---------------------------------------------------------------------------
+// Pillar 1: event tracing
+
+/// Buffered trace-record collector for one engine run. Serial engines flush
+/// in chunks; parallel ranks buffer everything and flush after the join.
+pub(crate) struct Tracer {
+    names: Arc<Vec<String>>,
+    /// Per-component pass/drop, compiled from the filter patterns.
+    enabled: Vec<bool>,
+    kinds: u8,
+    buf: Vec<TraceRecord>,
+    handle: TraceHandle,
+    buffer_all: bool,
+}
+
+/// Back-reference from a tracer to its spec's shared writer.
+struct TraceHandle {
+    spec: TelemetrySpec,
+}
+
+impl TraceHandle {
+    fn with_writer(&self, f: impl FnOnce(&mut TraceWriter) -> io::Result<()>) {
+        if let Some(t) = self.spec.shared.as_ref().and_then(|s| s.trace.as_ref()) {
+            let mut w = t.writer.lock().unwrap();
+            if let Err(e) = f(&mut w) {
+                eprintln!("telemetry: trace write failed: {e}");
+            }
+        }
+    }
+}
+
+const TRACE_FLUSH_CHUNK: usize = 8192;
+
+/// `src`/`port` sentinel for "not applicable".
+const NO_ID: u32 = u32::MAX;
+
+#[derive(Clone, Copy)]
+struct TraceRecord {
+    t_ps: u64,
+    kind: u8, // one of the TRACE_* bits
+    src: u32,
+    dst: u32,
+    port: u32,
+    /// sched: delivery time (ps); clock: cycle; mark: value.
+    aux: u64,
+    /// mark label; empty otherwise.
+    label: &'static str,
+}
+
+impl Tracer {
+    fn new(
+        names: Arc<Vec<String>>,
+        patterns: Option<&[String]>,
+        kinds: u8,
+        handle: TraceHandle,
+        buffer_all: bool,
+    ) -> Tracer {
+        let enabled = match patterns {
+            None => vec![true; names.len()],
+            Some(pats) => names
+                .iter()
+                .map(|n| {
+                    pats.iter().any(|p| match p.strip_suffix('*') {
+                        Some(prefix) => n.starts_with(prefix),
+                        None => n == p,
+                    })
+                })
+                .collect(),
+        };
+        Tracer {
+            names,
+            enabled,
+            kinds,
+            buf: Vec::new(),
+            handle,
+            buffer_all,
+        }
+    }
+
+    #[inline]
+    fn comp_on(&self, id: u32) -> bool {
+        self.enabled.get(id as usize).copied().unwrap_or(false)
+    }
+
+    #[inline]
+    fn push(&mut self, rec: TraceRecord) {
+        self.buf.push(rec);
+        if !self.buffer_all && self.buf.len() >= TRACE_FLUSH_CHUNK {
+            self.flush();
+        }
+    }
+
+    pub fn deliver(&mut self, t_ps: u64, src: u32, dst: u32, port: u32) {
+        if self.kinds & TRACE_DELIVER != 0 && (self.comp_on(dst) || self.comp_on(src)) {
+            self.push(TraceRecord {
+                t_ps,
+                kind: TRACE_DELIVER,
+                src,
+                dst,
+                port,
+                aux: 0,
+                label: "",
+            });
+        }
+    }
+
+    pub fn sched(&mut self, t_ps: u64, src: u32, dst: u32, port: u32, at_ps: u64) {
+        if self.kinds & TRACE_SCHED != 0 && (self.comp_on(src) || self.comp_on(dst)) {
+            self.push(TraceRecord {
+                t_ps,
+                kind: TRACE_SCHED,
+                src,
+                dst,
+                port,
+                aux: at_ps,
+                label: "",
+            });
+        }
+    }
+
+    pub fn clock(&mut self, t_ps: u64, comp: u32, cycle: u64) {
+        if self.kinds & TRACE_CLOCK != 0 && self.comp_on(comp) {
+            self.push(TraceRecord {
+                t_ps,
+                kind: TRACE_CLOCK,
+                src: NO_ID,
+                dst: comp,
+                port: NO_ID,
+                aux: cycle,
+                label: "",
+            });
+        }
+    }
+
+    pub fn mark(&mut self, t_ps: u64, comp: u32, label: &'static str, value: u64) {
+        if self.kinds & TRACE_MARK != 0 && self.comp_on(comp) {
+            self.push(TraceRecord {
+                t_ps,
+                kind: TRACE_MARK,
+                src: NO_ID,
+                dst: comp,
+                port: NO_ID,
+                aux: value,
+                label,
+            });
+        }
+    }
+
+    /// Write the buffered records out through the shared writer.
+    pub fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let buf = std::mem::take(&mut self.buf);
+        let names = self.names.clone();
+        self.handle.with_writer(|w| {
+            for rec in &buf {
+                let at =
+                    |id: u32| -> &str { names.get(id as usize).map(String::as_str).unwrap_or("?") };
+                w.write_record(rec, at)?;
+            }
+            Ok(())
+        });
+    }
+
+    /// Flush remaining records; called once at end of run.
+    pub fn finish(mut self) {
+        self.flush();
+    }
+}
+
+/// Owns the two output files. One per [`TelemetrySpec`]; tracers from
+/// concurrent engine runs serialize on the mutex around it.
+struct TraceWriter {
+    jsonl: BufWriter<File>,
+    chrome: BufWriter<File>,
+    chrome_first: bool,
+    chrome_done: bool,
+    /// Chrome `tid` per component name (stable across engine runs).
+    tids: HashMap<String, u32>,
+    records: u64,
+    line: String,
+}
+
+impl TraceWriter {
+    fn create(path: &Path) -> io::Result<TraceWriter> {
+        let jsonl = BufWriter::new(File::create(path)?);
+        let mut chrome = BufWriter::new(File::create(chrome_trace_path(path))?);
+        chrome.write_all(b"{\"traceEvents\":[")?;
+        Ok(TraceWriter {
+            jsonl,
+            chrome,
+            chrome_first: true,
+            chrome_done: false,
+            tids: HashMap::new(),
+            records: 0,
+            line: String::new(),
+        })
+    }
+
+    fn tid(&mut self, name: &str) -> (u32, bool) {
+        let next = self.tids.len() as u32;
+        match self.tids.get(name) {
+            Some(&t) => (t, false),
+            None => {
+                self.tids.insert(name.to_string(), next);
+                (next, true)
+            }
+        }
+    }
+
+    fn write_record<'n>(
+        &mut self,
+        rec: &TraceRecord,
+        name: impl Fn(u32) -> &'n str,
+    ) -> io::Result<()> {
+        self.records += 1;
+        let dst = name(rec.dst);
+
+        // --- JSONL line ---------------------------------------------------
+        let mut line = std::mem::take(&mut self.line);
+        line.clear();
+        let _ = write!(line, "{{\"t\":{}", rec.t_ps);
+        match rec.kind {
+            TRACE_DELIVER => {
+                let _ = write!(line, ",\"k\":\"deliver\",\"src\":");
+                write_json_str(&mut line, name(rec.src));
+                let _ = write!(line, ",\"dst\":");
+                write_json_str(&mut line, dst);
+                let _ = write!(line, ",\"port\":{}", rec.port);
+            }
+            TRACE_SCHED => {
+                let _ = write!(line, ",\"k\":\"sched\",\"src\":");
+                write_json_str(&mut line, name(rec.src));
+                let _ = write!(line, ",\"dst\":");
+                write_json_str(&mut line, dst);
+                let _ = write!(line, ",\"port\":{},\"at\":{}", rec.port, rec.aux);
+            }
+            TRACE_CLOCK => {
+                let _ = write!(line, ",\"k\":\"clock\",\"dst\":");
+                write_json_str(&mut line, dst);
+                let _ = write!(line, ",\"cycle\":{}", rec.aux);
+            }
+            _ => {
+                let _ = write!(line, ",\"k\":\"mark\",\"dst\":");
+                write_json_str(&mut line, dst);
+                let _ = write!(line, ",\"label\":");
+                write_json_str(&mut line, rec.label);
+                let _ = write!(line, ",\"v\":{}", rec.aux);
+            }
+        }
+        line.push_str("}\n");
+        self.jsonl.write_all(line.as_bytes())?;
+
+        // --- Chrome trace_event mirror ------------------------------------
+        let (tid, fresh) = self.tid(dst);
+        if fresh {
+            line.clear();
+            let _ = write!(
+                line,
+                "{}{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"args\":{{\"name\":",
+                if self.chrome_first { "" } else { "," },
+            );
+            self.chrome_first = false;
+            write_json_str(&mut line, dst);
+            line.push_str("}}");
+            self.chrome.write_all(line.as_bytes())?;
+        }
+        line.clear();
+        let _ = write!(
+            line,
+            "{}{{\"name\":",
+            if self.chrome_first { "" } else { "," }
+        );
+        self.chrome_first = false;
+        let evt_name: &str = match rec.kind {
+            TRACE_DELIVER => "deliver",
+            TRACE_SCHED => "sched",
+            TRACE_CLOCK => "clock",
+            _ => rec.label,
+        };
+        write_json_str(&mut line, evt_name);
+        let _ = write!(
+            line,
+            ",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{tid},\"ts\":"
+        );
+        write_us(&mut line, rec.t_ps);
+        match rec.kind {
+            TRACE_DELIVER | TRACE_SCHED => {
+                let _ = write!(line, ",\"args\":{{\"src\":");
+                write_json_str(&mut line, name(rec.src));
+                let _ = write!(line, ",\"port\":{}}}", rec.port);
+            }
+            TRACE_CLOCK => {
+                let _ = write!(line, ",\"args\":{{\"cycle\":{}}}", rec.aux);
+            }
+            _ => {
+                let _ = write!(line, ",\"args\":{{\"v\":{}}}", rec.aux);
+            }
+        }
+        line.push('}');
+        self.chrome.write_all(line.as_bytes())?;
+        self.line = line;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.jsonl.flush()?;
+        if !self.chrome_done {
+            self.chrome_done = true;
+            self.chrome.write_all(b"]}\n")?;
+        }
+        self.chrome.flush()
+    }
+}
+
+/// Derived path for the Chrome mirror of a JSONL trace: the last extension
+/// is replaced with `chrome.json` (`t.jsonl` → `t.chrome.json`).
+pub fn chrome_trace_path(trace: &Path) -> PathBuf {
+    let mut p = trace.to_path_buf();
+    p.set_extension("chrome.json");
+    p
+}
+
+/// Minimal JSON string escaping (component names and labels are plain
+/// identifiers in practice, but stay correct for anything).
+fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Exact decimal rendering of picoseconds as microseconds (Chrome `ts`),
+/// with no float round-trip: `1234567 ps` → `1.234567`.
+fn write_us(out: &mut String, ps: u64) {
+    let whole = ps / 1_000_000;
+    let frac = ps % 1_000_000;
+    if frac == 0 {
+        let _ = write!(out, "{whole}");
+    } else {
+        let mut f = format!("{frac:06}");
+        while f.ends_with('0') {
+            f.pop();
+        }
+        let _ = write!(out, "{whole}.{f}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pillar 2: periodic stats sampling
+
+/// Identifies one tracked statistic in a [`StatsSeries`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeriesKey {
+    pub owner: String,
+    pub name: String,
+}
+
+/// One sample: state of every tracked stat at sim-time boundary `t_ps`,
+/// reflecting all events strictly before the boundary. `counter_deltas[i]`
+/// is the increment of counter `i` since the previous sample (delta
+/// encoding); accumulators record their running count and mean.
+///
+/// Stats registered after a sample was taken extend the key tables; earlier
+/// points simply carry shorter vectors (decode as zero / absent).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    pub t_ps: u64,
+    pub counter_deltas: Vec<u64>,
+    pub accum_counts: Vec<u64>,
+    pub accum_means: Vec<f64>,
+}
+
+/// A serializable time series of periodic stat samples.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StatsSeries {
+    pub interval_ps: u64,
+    pub counters: Vec<SeriesKey>,
+    pub accumulators: Vec<SeriesKey>,
+    pub points: Vec<SeriesPoint>,
+}
+
+impl StatsSeries {
+    /// Decode the delta-encoded counter `(owner, name)` back into absolute
+    /// `(t_ps, value)` pairs. Returns `None` if the counter was never
+    /// tracked.
+    pub fn counter_series(&self, owner: &str, name: &str) -> Option<Vec<(u64, u64)>> {
+        let idx = self
+            .counters
+            .iter()
+            .position(|k| k.owner == owner && k.name == name)?;
+        let mut acc = 0u64;
+        Some(
+            self.points
+                .iter()
+                .map(|p| {
+                    acc += p.counter_deltas.get(idx).copied().unwrap_or(0);
+                    (p.t_ps, acc)
+                })
+                .collect(),
+        )
+    }
+
+    /// Mean of accumulator `(owner, name)` at each sample boundary (`None`
+    /// entries where it had no samples yet).
+    pub fn mean_series(&self, owner: &str, name: &str) -> Option<Vec<(u64, Option<f64>)>> {
+        let idx = self
+            .accumulators
+            .iter()
+            .position(|k| k.owner == owner && k.name == name)?;
+        Some(
+            self.points
+                .iter()
+                .map(|p| {
+                    let mean = match (p.accum_counts.get(idx), p.accum_means.get(idx)) {
+                        (Some(&n), Some(&m)) if n > 0 => Some(m),
+                        _ => None,
+                    };
+                    (p.t_ps, mean)
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Engine-side sampling state.
+pub(crate) struct Sampler {
+    interval: u64,
+    next: u64,
+    /// Registry indices backing `series.counters` / `series.accumulators`.
+    counter_ids: Vec<usize>,
+    accum_ids: Vec<usize>,
+    /// Last absolute counter values, for delta encoding.
+    prev: Vec<u64>,
+    /// How many registry entries have been classified into the id tables.
+    scanned: usize,
+    series: StatsSeries,
+}
+
+impl Sampler {
+    fn new(interval_ps: u64) -> Sampler {
+        Sampler {
+            interval: interval_ps,
+            next: interval_ps,
+            counter_ids: Vec::new(),
+            accum_ids: Vec::new(),
+            prev: Vec::new(),
+            scanned: 0,
+            series: StatsSeries {
+                interval_ps,
+                ..StatsSeries::default()
+            },
+        }
+    }
+
+    /// Called with the time of the event about to be delivered: emits a
+    /// sample for every boundary `<=` that time, so each sample sees exactly
+    /// the events strictly before its boundary.
+    #[inline]
+    pub fn observe(&mut self, t_ps: u64, stats: &StatsRegistry) {
+        while self.next <= t_ps {
+            let at = self.next;
+            self.take(at, stats);
+            self.next = self.next.saturating_add(self.interval);
+        }
+    }
+
+    /// Pick up stats registered since the last sample.
+    fn sync_keys(&mut self, stats: &StatsRegistry) {
+        let all = stats.stats();
+        while self.scanned < all.len() {
+            let s = &all[self.scanned];
+            match &s.kind {
+                StatKind::Counter { .. } => {
+                    self.counter_ids.push(self.scanned);
+                    self.prev.push(0);
+                    self.series.counters.push(SeriesKey {
+                        owner: s.owner.clone(),
+                        name: s.name.clone(),
+                    });
+                }
+                StatKind::Accumulator { .. } => {
+                    self.accum_ids.push(self.scanned);
+                    self.series.accumulators.push(SeriesKey {
+                        owner: s.owner.clone(),
+                        name: s.name.clone(),
+                    });
+                }
+                StatKind::Histogram { .. } => {}
+            }
+            self.scanned += 1;
+        }
+    }
+
+    fn take(&mut self, t_ps: u64, stats: &StatsRegistry) {
+        self.sync_keys(stats);
+        let all = stats.stats();
+        let mut point = SeriesPoint {
+            t_ps,
+            counter_deltas: Vec::with_capacity(self.counter_ids.len()),
+            accum_counts: Vec::with_capacity(self.accum_ids.len()),
+            accum_means: Vec::with_capacity(self.accum_ids.len()),
+        };
+        for (slot, &id) in self.counter_ids.iter().enumerate() {
+            let cur = match &all[id].kind {
+                StatKind::Counter { count } => *count,
+                _ => 0,
+            };
+            point.counter_deltas.push(cur - self.prev[slot]);
+            self.prev[slot] = cur;
+        }
+        for &id in &self.accum_ids {
+            if let StatKind::Accumulator { count, mean, .. } = &all[id].kind {
+                point.accum_counts.push(*count);
+                point.accum_means.push(if *count > 0 { *mean } else { 0.0 });
+            } else {
+                point.accum_counts.push(0);
+                point.accum_means.push(0.0);
+            }
+        }
+        self.series.points.push(point);
+    }
+
+    /// Emit any boundaries still due plus one closing sample at `t_ps`
+    /// (inclusive of every event), so the decoded series reconciles with
+    /// the final stats snapshot.
+    pub fn finish(&mut self, t_ps: u64, stats: &StatsRegistry) {
+        self.observe(t_ps, stats);
+        self.take(t_ps, stats);
+    }
+
+    pub fn into_series(self) -> StatsSeries {
+        self.series
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pillar 3: engine self-profiling
+
+/// Wallclock profile of one engine run, carried in
+/// [`SimReport`](crate::engine::SimReport) when `--profile` is on.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EngineProfile {
+    /// Per-component handler costs (only components that handled events).
+    pub components: Vec<ComponentProfile>,
+    /// Peak pending-event-queue depth observed (max over ranks).
+    pub queue_depth_hwm: u64,
+    /// Parallel-engine sync metrics; empty for serial runs.
+    #[serde(default)]
+    pub ranks: Vec<RankSyncProfile>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComponentProfile {
+    pub name: String,
+    /// Events + clock ticks handled.
+    pub events: u64,
+    /// Total wallclock nanoseconds inside this component's handlers.
+    pub total_ns: u64,
+    /// Slowest single handler invocation, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Null-message-sync behavior of one parallel rank.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RankSyncProfile {
+    pub rank: u32,
+    /// Announcement rounds executed.
+    pub sync_rounds: u64,
+    /// Batches sent to neighbors (events and/or EOT news).
+    pub batches_sent: u64,
+    /// Batches carrying no events — pure null messages.
+    pub null_batches_sent: u64,
+    /// Cross-rank events shipped.
+    pub events_sent: u64,
+    /// Wallclock nanoseconds spent blocked waiting for neighbor input.
+    pub stall_ns: u64,
+}
+
+impl fmt::Display for EngineProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "queue depth high-watermark: {}", self.queue_depth_hwm)?;
+        let mut comps: Vec<&ComponentProfile> = self.components.iter().collect();
+        comps.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+        writeln!(
+            f,
+            "{:<24} {:>12} {:>14} {:>10}",
+            "component", "events", "total_us", "max_us"
+        )?;
+        for c in comps.iter().take(20) {
+            writeln!(
+                f,
+                "{:<24} {:>12} {:>14.1} {:>10.1}",
+                c.name,
+                c.events,
+                c.total_ns as f64 / 1e3,
+                c.max_ns as f64 / 1e3
+            )?;
+        }
+        if comps.len() > 20 {
+            writeln!(f, "... {} more components", comps.len() - 20)?;
+        }
+        for r in &self.ranks {
+            writeln!(
+                f,
+                "rank {}: {} sync rounds, {} batches ({} pure nulls), {} events sent, {:.1} ms stalled",
+                r.rank,
+                r.sync_rounds,
+                r.batches_sent,
+                r.null_batches_sent,
+                r.events_sent,
+                r.stall_ns as f64 / 1e6
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Engine-side profiling counters (dense by component id).
+pub(crate) struct Profiler {
+    events: Vec<u64>,
+    total_ns: Vec<u64>,
+    max_ns: Vec<u64>,
+    queue_hwm: u64,
+}
+
+impl Profiler {
+    fn new(n_comps: usize) -> Profiler {
+        Profiler {
+            events: vec![0; n_comps],
+            total_ns: vec![0; n_comps],
+            max_ns: vec![0; n_comps],
+            queue_hwm: 0,
+        }
+    }
+
+    #[inline]
+    pub fn record(&mut self, comp: u32, ns: u64) {
+        let i = comp as usize;
+        if i < self.events.len() {
+            self.events[i] += 1;
+            self.total_ns[i] += ns;
+            if ns > self.max_ns[i] {
+                self.max_ns[i] = ns;
+            }
+        }
+    }
+
+    #[inline]
+    pub fn note_depth(&mut self, depth: u64) {
+        if depth > self.queue_hwm {
+            self.queue_hwm = depth;
+        }
+    }
+
+    pub fn into_profile(self, names: &[String]) -> EngineProfile {
+        let components = self
+            .events
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| ComponentProfile {
+                name: names.get(i).cloned().unwrap_or_else(|| format!("#{i}")),
+                events: n,
+                total_ns: self.total_ns[i],
+                max_ns: self.max_ns[i],
+            })
+            .collect();
+        EngineProfile {
+            components,
+            queue_depth_hwm: self.queue_hwm,
+            ranks: Vec::new(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Run manifest
+
+/// Reproducibility manifest written alongside telemetry outputs: what was
+/// run, with which configuration, and what it produced.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunManifest {
+    pub schema: String,
+    /// The CLI invocation, joined.
+    pub command: String,
+    /// FNV-1a hash (hex) of the canonicalized configuration.
+    pub config_hash: String,
+    pub fidelity: String,
+    pub quick: bool,
+    /// Distinct RNG seeds used by engine runs.
+    pub seeds: Vec<u64>,
+    pub wall_seconds: f64,
+    pub engine_runs: u64,
+    pub events: u64,
+    pub clock_ticks: u64,
+    pub trace_records: u64,
+    pub trace_path: Option<String>,
+    pub chrome_trace_path: Option<String>,
+    pub stats_series_path: Option<String>,
+}
+
+pub const MANIFEST_SCHEMA: &str = "sst-telemetry-manifest-v1";
+
+/// FNV-1a 64-bit hash, for config fingerprints in manifests.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_delta_encoding_round_trips() {
+        let mut reg = StatsRegistry::new();
+        let c = reg.counter("comp", "hits");
+        let mut s = Sampler::new(100);
+        // boundary 100: 3 events before it
+        reg.add(c, 3);
+        s.observe(150, &reg); // first event at t=150 → sample at 100
+        reg.add(c, 4);
+        s.observe(250, &reg); // sample at 200 sees 3 (t<200 adds happened)...
+        reg.add(c, 5);
+        s.observe(460, &reg); // samples at 300 and 400
+        let series = s.into_series();
+        assert_eq!(series.interval_ps, 100);
+        assert_eq!(series.points.len(), 4);
+        let decoded = series.counter_series("comp", "hits").unwrap();
+        let absolutes: Vec<u64> = decoded.iter().map(|&(_, v)| v).collect();
+        let times: Vec<u64> = decoded.iter().map(|&(t, _)| t).collect();
+        assert_eq!(times, vec![100, 200, 300, 400]);
+        assert_eq!(absolutes, vec![3, 7, 12, 12]);
+        // Deltas really are deltas:
+        assert_eq!(series.points[0].counter_deltas, vec![3]);
+        assert_eq!(series.points[1].counter_deltas, vec![4]);
+        assert_eq!(series.points[2].counter_deltas, vec![5]);
+        assert_eq!(series.points[3].counter_deltas, vec![0]);
+    }
+
+    #[test]
+    fn series_handles_late_registration() {
+        let mut reg = StatsRegistry::new();
+        let c1 = reg.counter("a", "n");
+        let mut s = Sampler::new(10);
+        reg.add(c1, 1);
+        s.observe(10, &reg);
+        // Second counter appears after the first sample.
+        let c2 = reg.counter("b", "n");
+        reg.add(c2, 7);
+        s.observe(20, &reg);
+        let series = s.into_series();
+        assert_eq!(series.counters.len(), 2);
+        assert_eq!(series.points[0].counter_deltas.len(), 1);
+        assert_eq!(series.points[1].counter_deltas.len(), 2);
+        let b = series.counter_series("b", "n").unwrap();
+        assert_eq!(b, vec![(10, 0), (20, 7)]);
+    }
+
+    #[test]
+    fn series_accumulator_means() {
+        let mut reg = StatsRegistry::new();
+        let a = reg.accumulator("c", "lat");
+        let mut s = Sampler::new(100);
+        s.observe(100, &reg); // no samples yet
+        reg.record(a, 4.0);
+        reg.record(a, 6.0);
+        s.observe(200, &reg);
+        let series = s.into_series();
+        let m = series.mean_series("c", "lat").unwrap();
+        assert_eq!(m[0], (100, None));
+        assert_eq!(m[1].0, 200);
+        assert!((m[1].1.unwrap() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_serializes_and_parses() {
+        let mut reg = StatsRegistry::new();
+        let c = reg.counter("x", "n");
+        reg.add(c, 2);
+        let mut s = Sampler::new(50);
+        s.observe(60, &reg);
+        let series = s.into_series();
+        let json = serde_json::to_string(&series).unwrap();
+        let back: StatsSeries = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.counter_series("x", "n").unwrap(), vec![(50, 2)]);
+    }
+
+    #[test]
+    fn trace_kind_parsing() {
+        assert_eq!(parse_trace_kind("deliver").unwrap(), TRACE_DELIVER);
+        assert_eq!(parse_trace_kind("sched").unwrap(), TRACE_SCHED);
+        assert_eq!(parse_trace_kind("clock").unwrap(), TRACE_CLOCK);
+        assert_eq!(parse_trace_kind("mark").unwrap(), TRACE_MARK);
+        assert!(parse_trace_kind("bogus").is_err());
+    }
+
+    #[test]
+    fn component_filter_prefixes() {
+        let names = Arc::new(vec![
+            "core0".to_string(),
+            "core1".to_string(),
+            "l1.0".to_string(),
+        ]);
+        let pats = vec!["core*".to_string(), "l1.0".to_string()];
+        let t = Tracer::new(
+            names,
+            Some(&pats),
+            TRACE_ALL,
+            TraceHandle {
+                spec: TelemetrySpec::disabled(),
+            },
+            false,
+        );
+        assert!(t.comp_on(0) && t.comp_on(1) && t.comp_on(2));
+        let names2 = Arc::new(vec!["core0".to_string(), "dram".to_string()]);
+        let pats2 = vec!["core*".to_string()];
+        let t2 = Tracer::new(
+            names2,
+            Some(&pats2),
+            TRACE_ALL,
+            TraceHandle {
+                spec: TelemetrySpec::disabled(),
+            },
+            false,
+        );
+        assert!(t2.comp_on(0));
+        assert!(!t2.comp_on(1));
+    }
+
+    #[test]
+    fn microsecond_rendering_is_exact() {
+        let mut s = String::new();
+        write_us(&mut s, 1_234_567);
+        assert_eq!(s, "1.234567");
+        s.clear();
+        write_us(&mut s, 2_000_000);
+        assert_eq!(s, "2");
+        s.clear();
+        write_us(&mut s, 500);
+        assert_eq!(s, "0.0005");
+    }
+
+    #[test]
+    fn chrome_path_derivation() {
+        assert_eq!(
+            chrome_trace_path(Path::new("out/t.jsonl")),
+            PathBuf::from("out/t.chrome.json")
+        );
+    }
+
+    #[test]
+    fn fnv_hash_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+
+    #[test]
+    fn disabled_spec_builds_no_state() {
+        let spec = TelemetrySpec::disabled();
+        assert!(!spec.is_enabled());
+        assert!(spec
+            .make_state(Arc::new(vec!["a".to_string()]), false)
+            .is_none());
+        assert!(spec.finish().unwrap().is_none());
+    }
+}

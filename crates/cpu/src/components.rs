@@ -123,6 +123,7 @@ impl CoreComponent {
             ctx.add_stat(self.instrs.unwrap(), batch);
         }
         if self.stream_done && self.outstanding == 0 && self.queued_mem.is_empty() {
+            ctx.trace_mark("stream_done", self.next_req_id);
             ctx.record_stat(self.done_at.unwrap(), (ctx.now() + delay).as_ns_f64());
         }
     }

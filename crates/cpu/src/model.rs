@@ -44,9 +44,17 @@ pub trait CoreModel {
 
 /// Build the node model selected by `cfg.fidelity`.
 pub fn node_model(cfg: NodeConfig) -> Box<dyn CoreModel> {
+    node_model_with(cfg, TelemetrySpec::disabled())
+}
+
+/// As [`node_model`], with a telemetry spec threaded into the DES backend.
+/// Each phase engine runs under `telemetry.labeled(phase_label)`, so trace
+/// files and run manifests attribute records to the phase that produced
+/// them. The analytic backend has no event loop and ignores the spec.
+pub fn node_model_with(cfg: NodeConfig, telemetry: TelemetrySpec) -> Box<dyn CoreModel> {
     match cfg.fidelity {
         Fidelity::Analytic => Box::new(AnalyticNode::new(cfg)),
-        Fidelity::Des => Box::new(DesNode::new(cfg)),
+        Fidelity::Des => Box::new(DesNode::with_telemetry(cfg, telemetry)),
     }
 }
 
@@ -87,13 +95,19 @@ impl CoreModel for AnalyticNode {
 pub struct DesNode {
     cfg: NodeConfig,
     now: SimTime,
+    telemetry: TelemetrySpec,
 }
 
 impl DesNode {
     pub fn new(cfg: NodeConfig) -> DesNode {
+        DesNode::with_telemetry(cfg, TelemetrySpec::disabled())
+    }
+
+    pub fn with_telemetry(cfg: NodeConfig, telemetry: TelemetrySpec) -> DesNode {
         DesNode {
             cfg,
             now: SimTime::ZERO,
+            telemetry,
         }
     }
 }
@@ -128,7 +142,8 @@ impl CoreModel for DesNode {
             ups.push((core, CoreComponent::MEM));
         }
         install_hierarchy(&mut b, &self.cfg.mem, self.cfg.core.freq, &ups);
-        let report = Engine::new(b).run(RunLimit::Exhaust);
+        let report =
+            Engine::with_telemetry(b, self.telemetry.labeled(label)).run(RunLimit::Exhaust);
 
         let period_ns = self.cfg.core.freq.period().as_ns_f64();
         let mut per_core = Vec::with_capacity(active);

@@ -101,6 +101,7 @@ impl Component for CacheComponent {
                     );
                 } else {
                     ctx.add_stat(self.misses.unwrap(), 1);
+                    ctx.trace_mark("miss", line);
                     // The state machine already filled the line and reported
                     // any dirty victim; send that victim downstream as a
                     // fire-and-forget write (its response, if any, matches

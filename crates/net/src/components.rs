@@ -115,6 +115,7 @@ impl TrafficGen {
         }
         self.sent += 1;
         ctx.add_stat(self.sent_stat.unwrap(), 1);
+        ctx.trace_mark("pkt_send", self.sent);
         let pkt = Packet {
             src: self.me,
             dst: self.dst,

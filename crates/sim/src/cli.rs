@@ -1,0 +1,420 @@
+//! Strict command-line parsing for the `sst` binary.
+//!
+//! Every flag is declared here; an unrecognized flag is a usage error (the
+//! binary exits with code 2) rather than being silently ignored. Flags
+//! accept both `--flag value` and `--flag=value` spellings.
+
+use sst_core::telemetry::{parse_trace_kind, TelemetryOptions};
+use sst_core::{Fidelity, SimTime};
+use std::path::PathBuf;
+
+/// Telemetry-related flags shared by `experiment` and `run`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetryCliOpts {
+    /// `--trace <path>`: JSONL trace output (a Chrome `trace_event` sibling
+    /// is written next to it).
+    pub trace: Option<PathBuf>,
+    /// `--trace-comps <a,b,core*>`: component-name filter (exact names or
+    /// trailing-`*` prefixes).
+    pub trace_comps: Option<Vec<String>>,
+    /// `--trace-kinds <deliver,sched,clock,mark>` bit mask; 0 = all.
+    pub trace_kinds: u8,
+    /// `--stats-interval <ms>`: periodic stats sampling period (fractional
+    /// milliseconds of simulated time).
+    pub stats_interval_ms: Option<f64>,
+    /// `--profile`: engine self-profiling.
+    pub profile: bool,
+}
+
+impl TelemetryCliOpts {
+    /// Any telemetry requested at all?
+    pub fn any(&self) -> bool {
+        self.trace.is_some() || self.stats_interval_ms.is_some() || self.profile
+    }
+
+    /// Lower to the engine-level options.
+    pub fn to_options(&self) -> TelemetryOptions {
+        TelemetryOptions {
+            trace_path: self.trace.clone(),
+            trace_components: self.trace_comps.clone(),
+            trace_kinds: self.trace_kinds,
+            stats_interval: self
+                .stats_interval_ms
+                .map(|ms| SimTime(((ms * 1e9).round() as u64).max(1))),
+            profile: self.profile,
+        }
+    }
+}
+
+/// A fully parsed invocation.
+#[derive(Debug, PartialEq)]
+pub enum Cmd {
+    Experiment {
+        id: String,
+        quick: bool,
+        json: bool,
+        fidelity: Fidelity,
+        telemetry: TelemetryCliOpts,
+    },
+    Run {
+        config: String,
+        until_ms: Option<u64>,
+        ranks: u32,
+        telemetry: TelemetryCliOpts,
+    },
+    ListComponents,
+    ListMiniapps,
+    ListExperiments,
+    ValidateTrace {
+        trace: PathBuf,
+        chrome: Option<PathBuf>,
+    },
+}
+
+#[derive(Default)]
+struct Parsed {
+    quick: bool,
+    json: bool,
+    profile: bool,
+    fidelity: Option<Fidelity>,
+    trace: Option<PathBuf>,
+    trace_comps: Option<Vec<String>>,
+    trace_kinds: u8,
+    stats_interval_ms: Option<f64>,
+    until_ms: Option<u64>,
+    ranks: Option<u32>,
+    seen: Vec<&'static str>,
+}
+
+impl Parsed {
+    fn reject_unless(&self, cmd: &str, allowed: &[&str]) -> Result<(), String> {
+        for f in &self.seen {
+            if !allowed.contains(f) {
+                return Err(format!("`sst {cmd}` does not accept --{f}"));
+            }
+        }
+        Ok(())
+    }
+
+    fn telemetry(&self) -> TelemetryCliOpts {
+        TelemetryCliOpts {
+            trace: self.trace.clone(),
+            trace_comps: self.trace_comps.clone(),
+            trace_kinds: self.trace_kinds,
+            stats_interval_ms: self.stats_interval_ms,
+            profile: self.profile,
+        }
+    }
+}
+
+const TELEMETRY_FLAGS: &[&str] = &[
+    "trace",
+    "trace-comps",
+    "trace-kinds",
+    "stats-interval",
+    "profile",
+];
+
+/// Parse `args` (without the program name). Any error is a usage error —
+/// the caller prints it plus the usage text and exits with code 2.
+pub fn parse(args: &[String]) -> Result<Cmd, String> {
+    let mut p = Parsed::default();
+    let mut pos: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        let Some(rest) = a.strip_prefix("--") else {
+            pos.push(a.clone());
+            i += 1;
+            continue;
+        };
+        let (name, inline) = match rest.split_once('=') {
+            Some((n, v)) => (n, Some(v.to_string())),
+            None => (rest, None),
+        };
+        let needs_value = matches!(
+            name,
+            "fidelity"
+                | "trace"
+                | "trace-comps"
+                | "trace-kinds"
+                | "stats-interval"
+                | "until-ms"
+                | "ranks"
+        );
+        let value: Option<String> = if needs_value {
+            match inline {
+                Some(v) => Some(v),
+                None => {
+                    i += 1;
+                    Some(
+                        args.get(i)
+                            .cloned()
+                            .ok_or_else(|| format!("--{name} needs a value"))?,
+                    )
+                }
+            }
+        } else {
+            if inline.is_some() {
+                return Err(format!("--{name} takes no value"));
+            }
+            None
+        };
+        match name {
+            "quick" => {
+                p.quick = true;
+                p.seen.push("quick");
+            }
+            "json" => {
+                p.json = true;
+                p.seen.push("json");
+            }
+            "profile" => {
+                p.profile = true;
+                p.seen.push("profile");
+            }
+            "fidelity" => {
+                p.fidelity = Some(value.unwrap().parse().map_err(|e| format!("{e}"))?);
+                p.seen.push("fidelity");
+            }
+            "trace" => {
+                p.trace = Some(PathBuf::from(value.unwrap()));
+                p.seen.push("trace");
+            }
+            "trace-comps" => {
+                let comps: Vec<String> = value
+                    .unwrap()
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if comps.is_empty() {
+                    return Err("--trace-comps needs at least one component pattern".into());
+                }
+                p.trace_comps = Some(comps);
+                p.seen.push("trace-comps");
+            }
+            "trace-kinds" => {
+                let mut mask = 0u8;
+                for k in value.unwrap().split(',') {
+                    mask |= parse_trace_kind(k.trim())?;
+                }
+                p.trace_kinds = mask;
+                p.seen.push("trace-kinds");
+            }
+            "stats-interval" => {
+                let ms: f64 = value
+                    .unwrap()
+                    .parse()
+                    .map_err(|_| "--stats-interval needs a millisecond count".to_string())?;
+                if !(ms > 0.0 && ms.is_finite()) {
+                    return Err("--stats-interval must be a positive number of ms".into());
+                }
+                p.stats_interval_ms = Some(ms);
+                p.seen.push("stats-interval");
+            }
+            "until-ms" => {
+                p.until_ms = Some(
+                    value
+                        .unwrap()
+                        .parse()
+                        .map_err(|_| "--until-ms needs an integer".to_string())?,
+                );
+                p.seen.push("until-ms");
+            }
+            "ranks" => {
+                let n: u32 = value
+                    .unwrap()
+                    .parse()
+                    .map_err(|_| "--ranks needs an integer".to_string())?;
+                if n == 0 {
+                    return Err("--ranks must be >= 1".into());
+                }
+                p.ranks = Some(n);
+                p.seen.push("ranks");
+            }
+            other => return Err(format!("unknown flag `--{other}`")),
+        }
+        i += 1;
+    }
+
+    let exactly = |n: usize, what: &str| -> Result<(), String> {
+        match pos.len().cmp(&(n + 1)) {
+            std::cmp::Ordering::Less => Err(format!("missing {what}")),
+            std::cmp::Ordering::Greater => Err(format!("unexpected argument `{}`", pos[n + 1])),
+            std::cmp::Ordering::Equal => Ok(()),
+        }
+    };
+
+    let Some(cmd) = pos.first().map(String::as_str) else {
+        return Err("missing command".into());
+    };
+    match cmd {
+        "experiment" => {
+            exactly(1, "experiment id (or `all`)")?;
+            let mut allowed = vec!["quick", "json", "fidelity"];
+            allowed.extend_from_slice(TELEMETRY_FLAGS);
+            p.reject_unless("experiment", &allowed)?;
+            Ok(Cmd::Experiment {
+                id: pos[1].clone(),
+                quick: p.quick,
+                json: p.json,
+                fidelity: p.fidelity.unwrap_or_default(),
+                telemetry: p.telemetry(),
+            })
+        }
+        "run" => {
+            exactly(1, "config path")?;
+            let mut allowed = vec!["until-ms", "ranks"];
+            allowed.extend_from_slice(TELEMETRY_FLAGS);
+            p.reject_unless("run", &allowed)?;
+            Ok(Cmd::Run {
+                config: pos[1].clone(),
+                until_ms: p.until_ms,
+                ranks: p.ranks.unwrap_or(1),
+                telemetry: p.telemetry(),
+            })
+        }
+        "list-components" => {
+            exactly(0, "")?;
+            p.reject_unless("list-components", &[])?;
+            Ok(Cmd::ListComponents)
+        }
+        "list-miniapps" => {
+            exactly(0, "")?;
+            p.reject_unless("list-miniapps", &[])?;
+            Ok(Cmd::ListMiniapps)
+        }
+        "list-experiments" => {
+            exactly(0, "")?;
+            p.reject_unless("list-experiments", &[])?;
+            Ok(Cmd::ListExperiments)
+        }
+        "validate-trace" => {
+            if pos.len() < 2 {
+                return Err("missing trace path".into());
+            }
+            if pos.len() > 3 {
+                return Err(format!("unexpected argument `{}`", pos[3]));
+            }
+            p.reject_unless("validate-trace", &[])?;
+            Ok(Cmd::ValidateTrace {
+                trace: PathBuf::from(&pos[1]),
+                chrome: pos.get(2).map(PathBuf::from),
+            })
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sst_core::telemetry::{TRACE_DELIVER, TRACE_MARK};
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn experiment_with_telemetry_flags() {
+        let cmd = parse(&args(
+            "experiment fig03 --quick --fidelity des --trace t.jsonl \
+             --stats-interval 0.5 --profile --trace-comps core*,l1 \
+             --trace-kinds deliver,mark",
+        ))
+        .unwrap();
+        let Cmd::Experiment {
+            id,
+            quick,
+            fidelity,
+            telemetry,
+            ..
+        } = cmd
+        else {
+            panic!("wrong command")
+        };
+        assert_eq!(id, "fig03");
+        assert!(quick);
+        assert_eq!(fidelity, Fidelity::Des);
+        assert_eq!(
+            telemetry.trace.as_deref(),
+            Some(std::path::Path::new("t.jsonl"))
+        );
+        assert_eq!(telemetry.stats_interval_ms, Some(0.5));
+        assert!(telemetry.profile);
+        assert_eq!(
+            telemetry.trace_comps.as_deref(),
+            Some(&["core*".to_string(), "l1".to_string()][..])
+        );
+        assert_eq!(telemetry.trace_kinds, TRACE_DELIVER | TRACE_MARK);
+        // Fractional ms interval converts to picoseconds.
+        let opts = telemetry.to_options();
+        assert_eq!(opts.stats_interval, Some(SimTime(500_000_000)));
+    }
+
+    #[test]
+    fn equals_spelling_works() {
+        let cmd = parse(&args("experiment fig03 --fidelity=des --trace=x.jsonl")).unwrap();
+        let Cmd::Experiment {
+            fidelity,
+            telemetry,
+            ..
+        } = cmd
+        else {
+            panic!()
+        };
+        assert_eq!(fidelity, Fidelity::Des);
+        assert!(telemetry.trace.is_some());
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        let e = parse(&args("experiment fig03 --frobnicate")).unwrap_err();
+        assert!(e.contains("unknown flag"), "{e}");
+        let e = parse(&args("run cfg.json --quick")).unwrap_err();
+        assert!(e.contains("does not accept"), "{e}");
+    }
+
+    #[test]
+    fn missing_or_extra_positionals_are_rejected() {
+        assert!(parse(&args("experiment")).is_err());
+        assert!(parse(&args("experiment fig03 extra")).is_err());
+        assert!(parse(&args("list-components extra")).is_err());
+        assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn value_flags_need_values() {
+        assert!(parse(&args("experiment fig03 --trace")).is_err());
+        assert!(parse(&args("experiment fig03 --stats-interval abc")).is_err());
+        assert!(parse(&args("experiment fig03 --stats-interval -1")).is_err());
+        assert!(parse(&args("experiment fig03 --profile=yes")).is_err());
+        assert!(parse(&args("experiment fig03 --trace-kinds bogus")).is_err());
+    }
+
+    #[test]
+    fn run_and_validate_parse() {
+        let cmd = parse(&args("run cfg.json --until-ms 5 --ranks 4 --profile")).unwrap();
+        assert_eq!(
+            cmd,
+            Cmd::Run {
+                config: "cfg.json".into(),
+                until_ms: Some(5),
+                ranks: 4,
+                telemetry: TelemetryCliOpts {
+                    profile: true,
+                    ..Default::default()
+                },
+            }
+        );
+        let cmd = parse(&args("validate-trace t.jsonl t.chrome.json")).unwrap();
+        assert_eq!(
+            cmd,
+            Cmd::ValidateTrace {
+                trace: "t.jsonl".into(),
+                chrome: Some("t.chrome.json".into()),
+            }
+        );
+    }
+}

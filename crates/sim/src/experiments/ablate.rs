@@ -78,6 +78,7 @@ fn lookahead_run(latency_ns: u64) -> (u64, f64) {
         tokens_per_node: 6,
         ttl: 120,
         rank_counts: vec![],
+        telemetry: sst_core::telemetry::TelemetrySpec::disabled(),
     };
     let b = super::pdes::build_with_latency(&params, SimTime::ns(latency_ns));
     let report = ParallelEngine::new(b, 2).run(RunLimit::Exhaust);

@@ -1,7 +1,8 @@
 //! Shared plumbing for the experiment runners.
 
+use sst_core::telemetry::TelemetrySpec;
 use sst_cpu::isa::InstrStream;
-use sst_cpu::model::node_model;
+use sst_cpu::model::node_model_with;
 use sst_cpu::node::{NodeConfig, PhaseResult};
 use sst_workloads::Problem;
 
@@ -36,10 +37,30 @@ pub fn run_fea_solver(
     nx: u64,
     solver_iters: u64,
 ) -> (Option<PhaseResult>, PhaseResult) {
+    run_fea_solver_with(
+        cfg,
+        app,
+        cores,
+        nx,
+        solver_iters,
+        &TelemetrySpec::disabled(),
+    )
+}
+
+/// As [`run_fea_solver`], with a telemetry spec threaded into the node
+/// model (effective under DES fidelity; the analytic path ignores it).
+pub fn run_fea_solver_with(
+    cfg: &NodeConfig,
+    app: App,
+    cores: usize,
+    nx: u64,
+    solver_iters: u64,
+    telemetry: &TelemetrySpec,
+) -> (Option<PhaseResult>, PhaseResult) {
     let p = Problem::new(nx);
     // Fidelity dispatch happens here: `cfg.fidelity` selects the analytic
     // lockstep node or the DES component path behind one trait object.
-    let mut node = node_model(cfg.clone());
+    let mut node = node_model_with(cfg.clone(), telemetry.labeled(app.name()));
 
     let fea = match app {
         App::MiniFe => {

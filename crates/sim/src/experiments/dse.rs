@@ -11,8 +11,9 @@
 use crate::machines::{dse_memories, dse_node};
 use crate::table::Table;
 use sst_core::fidelity::Fidelity;
+use sst_core::telemetry::TelemetrySpec;
 use sst_cpu::isa::InstrStream;
-use sst_cpu::model::node_model;
+use sst_cpu::model::node_model_with;
 use sst_power::{evaluate, ProcessCost, TechReport};
 use sst_workloads::Problem;
 
@@ -29,6 +30,8 @@ pub struct Params {
     /// Backend for every design point of the sweep (figs. 10-12 share the
     /// sweep, so `--fidelity des` re-routes all three).
     pub fidelity: Fidelity,
+    /// Telemetry sink for the DES engines (disabled by default).
+    pub telemetry: TelemetrySpec,
 }
 
 impl Default for Params {
@@ -40,6 +43,7 @@ impl Default for Params {
             hpccg_iters: 8,
             lulesh_steps: 5,
             fidelity: Fidelity::Analytic,
+            telemetry: TelemetrySpec::disabled(),
         }
     }
 }
@@ -52,7 +56,7 @@ impl Params {
             nx_lulesh: 24,
             hpccg_iters: 3,
             lulesh_steps: 2,
-            fidelity: Fidelity::Analytic,
+            ..Default::default()
         }
     }
 }
@@ -73,7 +77,8 @@ pub fn sweep(p: &Params) -> Vec<Point> {
         for mem in dse_memories() {
             for &w in &p.widths {
                 let cfg = dse_node(w, mem.clone()).with_fidelity(p.fidelity);
-                let mut node = node_model(cfg.clone());
+                let label = format!("{app}/{}/{w}w", short_mem_name(&mem.name));
+                let mut node = node_model_with(cfg.clone(), p.telemetry.labeled(label));
                 let stream: Box<dyn InstrStream> = match app {
                     "HPCCG" => sst_workloads::hpccg::solver(0, Problem::new(p.nx), p.hpccg_iters),
                     _ => sst_workloads::lulesh::hydro(0, Problem::new(p.nx_lulesh), p.lulesh_steps),

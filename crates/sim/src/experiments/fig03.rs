@@ -6,10 +6,11 @@
 //! it, and miniFE tracks Charon within ~4% — the strongest validation
 //! evidence in the study.
 
-use super::common::{max_rel_diff, run_fea_solver, App};
+use super::common::{max_rel_diff, run_fea_solver_with, App};
 use crate::machines::nehalem_node;
 use crate::table::Table;
 use sst_core::fidelity::Fidelity;
+use sst_core::telemetry::TelemetrySpec;
 use sst_mem::dram::DramConfig;
 
 #[derive(Debug, Clone)]
@@ -23,6 +24,9 @@ pub struct Params {
     /// component/event path; relative rows agree within the bands pinned by
     /// `tests/tests/fidelity_equivalence.rs`).
     pub fidelity: Fidelity,
+    /// Telemetry sink for the DES engines (disabled by default; the
+    /// analytic backend has no event loop to instrument).
+    pub telemetry: TelemetrySpec,
 }
 
 impl Default for Params {
@@ -37,6 +41,7 @@ impl Default for Params {
             nx: 12,
             solver_iters: 8,
             fidelity: Fidelity::Analytic,
+            telemetry: TelemetrySpec::disabled(),
         }
     }
 }
@@ -65,7 +70,9 @@ pub fn run(p: &Params) -> Table {
         for &mts in &p.speeds_mts {
             let cfg = nehalem_node(p.cores, DramConfig::ddr3_speed(mts, p.channels))
                 .with_fidelity(p.fidelity);
-            let (fea, solver) = run_fea_solver(&cfg, app, p.cores, p.nx, p.solver_iters);
+            let telemetry = p.telemetry.labeled(format!("{mts}MTs"));
+            let (fea, solver) =
+                run_fea_solver_with(&cfg, app, p.cores, p.nx, p.solver_iters, &telemetry);
             fea_times.push(fea.expect("fea").time.as_secs_f64());
             sol_times.push(solver.time.as_secs_f64());
         }

@@ -20,6 +20,7 @@ pub mod validate;
 
 use crate::table::Table;
 use sst_core::fidelity::Fidelity;
+use sst_core::telemetry::TelemetrySpec;
 
 /// Experiment ids accepted by the CLI.
 pub const ALL: &[&str] = &[
@@ -37,9 +38,22 @@ pub const SUPPORTS_DES: &[&str] = &["fig03", "fig10", "fig11", "fig12"];
 /// [`SUPPORTS_DES`]. Returns `None` for an unknown id or an unsupported
 /// id/fidelity combination.
 pub fn run_by_name(name: &str, quick: bool, fidelity: Fidelity) -> Option<Vec<Table>> {
+    run_with(name, quick, fidelity, &TelemetrySpec::disabled())
+}
+
+/// As [`run_by_name`], with a telemetry spec threaded into the engine-backed
+/// experiments (DES-fidelity figure runs and the `pdes` scaling study). The
+/// purely analytic experiments have no event loop and ignore it.
+pub fn run_with(
+    name: &str,
+    quick: bool,
+    fidelity: Fidelity,
+    telemetry: &TelemetrySpec,
+) -> Option<Vec<Table>> {
     if fidelity != Fidelity::Analytic && !SUPPORTS_DES.contains(&name) {
         return None;
     }
+    let telemetry = telemetry.labeled(name);
     let tables = match name {
         "fig02" => vec![fig02::run(&pick(
             quick,
@@ -49,6 +63,7 @@ pub fn run_by_name(name: &str, quick: bool, fidelity: Fidelity) -> Option<Vec<Ta
         "fig03" => {
             let mut p = pick(quick, fig03::Params::default(), fig03::Params::quick());
             p.fidelity = fidelity;
+            p.telemetry = telemetry;
             vec![fig03::run(&p)]
         }
         "fig04" => vec![fig04::run(&pick(
@@ -74,6 +89,7 @@ pub fn run_by_name(name: &str, quick: bool, fidelity: Fidelity) -> Option<Vec<Ta
         "fig10" | "fig11" | "fig12" => {
             let mut p = pick(quick, dse::Params::default(), dse::Params::quick());
             p.fidelity = fidelity;
+            p.telemetry = telemetry;
             let points = dse::sweep(&p);
             match name {
                 "fig10" => vec![dse::fig10(&points, &p)],
@@ -81,11 +97,11 @@ pub fn run_by_name(name: &str, quick: bool, fidelity: Fidelity) -> Option<Vec<Ta
                 _ => vec![dse::fig12(&points, &p)],
             }
         }
-        "pdes" => vec![pdes::run(&pick(
-            quick,
-            pdes::Params::default(),
-            pdes::Params::quick(),
-        ))],
+        "pdes" => {
+            let mut p = pick(quick, pdes::Params::default(), pdes::Params::quick());
+            p.telemetry = telemetry;
+            vec![pdes::run(&p)]
+        }
         "ablate" => vec![ablate::run(&pick(
             quick,
             ablate::Params::default(),

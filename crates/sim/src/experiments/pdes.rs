@@ -48,6 +48,10 @@ pub struct Params {
     pub tokens_per_node: u32,
     pub ttl: u32,
     pub rank_counts: Vec<u32>,
+    /// Telemetry sink for the serial and parallel runs (disabled by
+    /// default). Parallel runs contribute per-rank sync metrics to the
+    /// profile.
+    pub telemetry: TelemetrySpec,
 }
 
 impl Default for Params {
@@ -57,6 +61,7 @@ impl Default for Params {
             tokens_per_node: 12,
             ttl: 600,
             rank_counts: vec![1, 2, 4, 8],
+            telemetry: TelemetrySpec::disabled(),
         }
     }
 }
@@ -68,6 +73,7 @@ impl Params {
             tokens_per_node: 4,
             ttl: 60,
             rank_counts: vec![1, 2, 4],
+            ..Default::default()
         }
     }
 }
@@ -119,7 +125,8 @@ pub fn run(p: &Params) -> Table {
         "E11: conservative parallel DES scaling (token traffic on a 2-D torus)",
         &["events", "wall_ms", "Mevents/s", "speedup", "identical"],
     );
-    let serial = Engine::new(build(p)).run(RunLimit::Exhaust);
+    let serial =
+        Engine::with_telemetry(build(p), p.telemetry.labeled("serial")).run(RunLimit::Exhaust);
     let serial_total = serial.stats.sum_counters("forwarded");
     let serial_wall = serial.wall_seconds;
     t.push(
@@ -133,7 +140,12 @@ pub fn run(p: &Params) -> Table {
         ],
     );
     for &ranks in &p.rank_counts {
-        let par = ParallelEngine::new(build(p), ranks).run(RunLimit::Exhaust);
+        let par = ParallelEngine::with_telemetry(
+            build(p),
+            ranks,
+            p.telemetry.labeled(format!("{ranks}ranks")),
+        )
+        .run(RunLimit::Exhaust);
         let same = par.events == serial.events
             && par.end_time == serial.end_time
             && par.stats.sum_counters("forwarded") == serial_total;

@@ -1,189 +1,353 @@
 //! The `sst` command-line driver.
 
+use serde::{Serialize, Value};
 use sst_core::prelude::*;
+use sst_core::telemetry::{
+    chrome_trace_path, fnv1a, RunManifest, TelemetrySummary, MANIFEST_SCHEMA,
+};
+use sst_sim::cli::{self, Cmd, TelemetryCliOpts};
 use sst_sim::{experiments, full_registry};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:
   sst experiment <id>|all [--quick] [--json] [--fidelity analytic|des]
+                 [--trace <path.jsonl>] [--trace-comps <a,core*>]
+                 [--trace-kinds deliver,sched,clock,mark]
+                 [--stats-interval <ms>] [--profile]
                                                regenerate a figure/table
                                                (--fidelity des re-routes the
                                                converted experiments through
-                                               the discrete-event backend)
+                                               the discrete-event backend;
+                                               the telemetry flags trace and
+                                               profile its engine runs)
   sst run <config.json> [--until-ms N] [--ranks N]
+                 [--trace <path.jsonl>] [--trace-comps ...]
+                 [--trace-kinds ...] [--stats-interval <ms>] [--profile]
+  sst validate-trace <trace.jsonl> [<trace.chrome.json>]
+                                               check telemetry output parses
   sst list-components
   sst list-miniapps
-  sst list-experiments"
-    );
-    ExitCode::FAILURE
-}
+  sst list-experiments
 
-/// Extract `--fidelity <v>` / `--fidelity=<v>` from `args`, removing the
-/// consumed value so it is not mistaken for a positional argument.
-fn take_fidelity(args: &mut Vec<String>) -> Result<Fidelity, String> {
-    let mut fidelity = Fidelity::default();
-    let mut i = 0;
-    while i < args.len() {
-        if let Some(v) = args[i].strip_prefix("--fidelity=") {
-            fidelity = v.parse().map_err(|e| format!("{e}"))?;
-            args.remove(i);
-        } else if args[i] == "--fidelity" {
-            let Some(v) = args.get(i + 1) else {
-                return Err("--fidelity needs a value (analytic|des)".into());
-            };
-            fidelity = v.parse().map_err(|e| format!("{e}"))?;
-            args.drain(i..i + 2);
-        } else {
-            i += 1;
-        }
-    }
-    Ok(fidelity)
+Tracing writes JSONL records plus a Chrome trace_event sibling
+(<path>.chrome.json — load it in chrome://tracing or https://ui.perfetto.dev),
+and every telemetry-enabled run writes a <path>.manifest.json run manifest."
+    );
+    // Usage errors (unknown flags, bad values) exit with code 2.
+    ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let fidelity = match take_fidelity(&mut args) {
-        Ok(f) => f,
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match cli::parse(&args) {
+        Ok(c) => c,
         Err(e) => {
-            eprintln!("{e}");
+            eprintln!("error: {e}\n");
             return usage();
         }
     };
-    let flags: Vec<&str> = args
-        .iter()
-        .map(|s| s.as_str())
-        .filter(|s| s.starts_with("--"))
-        .collect();
-    let pos: Vec<&str> = args
-        .iter()
-        .map(|s| s.as_str())
-        .filter(|s| !s.starts_with("--"))
-        .collect();
-    let quick = flags.contains(&"--quick");
-    let json = flags.contains(&"--json");
-
-    match pos.first().copied() {
-        Some("experiment") => {
-            let Some(&id) = pos.get(1) else {
-                return usage();
-            };
-            let ids: Vec<&str> = if id == "all" {
-                if fidelity == Fidelity::Des {
-                    // `all` under DES runs only the converted experiments.
-                    experiments::SUPPORTS_DES.to_vec()
-                } else {
-                    experiments::ALL.to_vec()
-                }
-            } else {
-                vec![id]
-            };
-            for id in ids {
-                eprintln!(
-                    "[sst] running {id} ({fidelity}{})...",
-                    if quick { ", quick" } else { "" }
-                );
-                match experiments::run_by_name(id, quick, fidelity) {
-                    Some(tables) => {
-                        for t in tables {
-                            if json {
-                                println!("{}", t.to_json());
-                            } else {
-                                println!("{t}");
-                            }
-                        }
-                    }
-                    None if experiments::ALL.contains(&id) => {
-                        eprintln!(
-                            "experiment `{id}` does not support --fidelity {fidelity}; \
-                             converted experiments: {}",
-                            experiments::SUPPORTS_DES.join(", ")
-                        );
-                        return ExitCode::FAILURE;
-                    }
-                    None => {
-                        eprintln!("unknown experiment `{id}`; try `sst list-experiments`");
-                        return ExitCode::FAILURE;
-                    }
-                }
-            }
-            ExitCode::SUCCESS
-        }
-        Some("run") => {
-            let Some(&path) = pos.get(1) else {
-                return usage();
-            };
-            let text = match std::fs::read_to_string(path) {
-                Ok(t) => t,
-                Err(e) => {
-                    eprintln!("cannot read {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let cfg = match SystemConfig::from_json(&text) {
-                Ok(c) => c,
-                Err(e) => {
-                    eprintln!("bad config: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let builder = match cfg.build(&full_registry()) {
-                Ok(b) => b,
-                Err(e) => {
-                    eprintln!("cannot build system: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let until = args
-                .iter()
-                .position(|a| a == "--until-ms")
-                .and_then(|i| args.get(i + 1))
-                .and_then(|v| v.parse::<u64>().ok());
-            let limit = match until {
-                Some(ms) => RunLimit::Until(SimTime::ms(ms)),
-                None => RunLimit::Exhaust,
-            };
-            let ranks = args
-                .iter()
-                .position(|a| a == "--ranks")
-                .and_then(|i| args.get(i + 1))
-                .and_then(|v| v.parse::<u32>().ok())
-                .unwrap_or(1);
-            let report = if ranks > 1 {
-                ParallelEngine::new(builder, ranks).run(limit)
-            } else {
-                Engine::new(builder).run(limit)
-            };
-            println!(
-                "simulated {} ({} events, {} clock ticks, {} ranks, {:.1}k events/s)",
-                report.end_time,
-                report.events,
-                report.clock_ticks,
-                report.ranks,
-                report.events_per_sec() / 1e3
-            );
-            println!("{}", report.stats);
-            ExitCode::SUCCESS
-        }
-        Some("list-components") => {
+    match cmd {
+        Cmd::Experiment {
+            id,
+            quick,
+            json,
+            fidelity,
+            telemetry,
+        } => cmd_experiment(&args, &id, quick, json, fidelity, &telemetry),
+        Cmd::Run {
+            config,
+            until_ms,
+            ranks,
+            telemetry,
+        } => cmd_run(&args, &config, until_ms, ranks, &telemetry),
+        Cmd::ValidateTrace { trace, chrome } => cmd_validate_trace(&trace, chrome.as_deref()),
+        Cmd::ListComponents => {
             for (name, desc) in full_registry().list() {
                 println!("{name:<20} {desc}");
             }
             ExitCode::SUCCESS
         }
-        Some("list-miniapps") => {
+        Cmd::ListMiniapps => {
             for m in sst_workloads::all_miniapps() {
                 println!("{:<10} {:?}  {}", m.name, m.status, m.description);
             }
             ExitCode::SUCCESS
         }
-        Some("list-experiments") => {
+        Cmd::ListExperiments => {
             for id in experiments::ALL {
                 println!("{id}");
             }
             ExitCode::SUCCESS
         }
-        _ => usage(),
     }
+}
+
+fn cmd_experiment(
+    args: &[String],
+    id: &str,
+    quick: bool,
+    json: bool,
+    fidelity: Fidelity,
+    tel: &TelemetryCliOpts,
+) -> ExitCode {
+    let spec = match TelemetrySpec::new(tel.to_options()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open telemetry output: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ids: Vec<&str> = if id == "all" {
+        if fidelity == Fidelity::Des {
+            // `all` under DES runs only the converted experiments.
+            experiments::SUPPORTS_DES.to_vec()
+        } else {
+            experiments::ALL.to_vec()
+        }
+    } else {
+        vec![id]
+    };
+    for id in ids {
+        eprintln!(
+            "[sst] running {id} ({fidelity}{})...",
+            if quick { ", quick" } else { "" }
+        );
+        match experiments::run_with(id, quick, fidelity, &spec) {
+            Some(tables) => {
+                for t in tables {
+                    if json {
+                        println!("{}", t.to_json());
+                    } else {
+                        println!("{t}");
+                    }
+                }
+            }
+            None if experiments::ALL.contains(&id) => {
+                eprintln!(
+                    "experiment `{id}` does not support --fidelity {fidelity}; \
+                     converted experiments: {}",
+                    experiments::SUPPORTS_DES.join(", ")
+                );
+                return ExitCode::FAILURE;
+            }
+            None => {
+                eprintln!("unknown experiment `{id}`; try `sst list-experiments`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    finish_telemetry(&spec, tel, args, fidelity, quick)
+}
+
+fn cmd_run(
+    args: &[String],
+    config: &str,
+    until_ms: Option<u64>,
+    ranks: u32,
+    tel: &TelemetryCliOpts,
+) -> ExitCode {
+    let text = match std::fs::read_to_string(config) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {config}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = match SystemConfig::from_json(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bad config: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let builder = match cfg.build(&full_registry()) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot build system: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match TelemetrySpec::new(tel.to_options()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open telemetry output: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let limit = match until_ms {
+        Some(ms) => RunLimit::Until(SimTime::ms(ms)),
+        None => RunLimit::Exhaust,
+    };
+    let report = if ranks > 1 {
+        ParallelEngine::with_telemetry(builder, ranks, spec.labeled("run")).run(limit)
+    } else {
+        Engine::with_telemetry(builder, spec.labeled("run")).run(limit)
+    };
+    println!(
+        "simulated {} ({} events, {} clock ticks, {} ranks, {:.1}k events/s)",
+        report.end_time,
+        report.events,
+        report.clock_ticks,
+        report.ranks,
+        report.events_per_sec() / 1e3
+    );
+    println!("{}", report.stats);
+    finish_telemetry(&spec, tel, args, Fidelity::Des, false)
+}
+
+/// Flush telemetry output, print collected profiles, and write the stats
+/// series plus the run manifest next to the trace (or under `sst_run.*`
+/// when no trace path was given).
+fn finish_telemetry(
+    spec: &TelemetrySpec,
+    tel: &TelemetryCliOpts,
+    args: &[String],
+    fidelity: Fidelity,
+    quick: bool,
+) -> ExitCode {
+    let summary = match spec.finish() {
+        Ok(Some(s)) => s,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("telemetry flush failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (label, profile) in &summary.profiles {
+        eprintln!("[sst] profile {label}:");
+        eprintln!("{profile}");
+    }
+    let base: PathBuf = tel
+        .trace
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("sst_run"));
+    let stats_path = (!summary.series.is_empty()).then(|| with_ext(&base, "stats.json"));
+    if let Some(p) = &stats_path {
+        if let Err(e) = std::fs::write(p, series_json(&summary)) {
+            eprintln!("cannot write {}: {e}", p.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let command = args.join(" ");
+    let canon = format!("sst {command}|fidelity={fidelity}|quick={quick}");
+    let manifest = RunManifest {
+        schema: MANIFEST_SCHEMA.to_string(),
+        command,
+        config_hash: format!("{:016x}", fnv1a(canon.as_bytes())),
+        fidelity: fidelity.to_string(),
+        quick,
+        seeds: summary.seeds.clone(),
+        wall_seconds: summary.wall_seconds,
+        engine_runs: summary.runs,
+        events: summary.events,
+        clock_ticks: summary.clock_ticks,
+        trace_records: summary.trace_records,
+        trace_path: tel.trace.as_ref().map(|p| p.display().to_string()),
+        chrome_trace_path: tel
+            .trace
+            .as_ref()
+            .map(|p| chrome_trace_path(p).display().to_string()),
+        stats_series_path: stats_path.as_ref().map(|p| p.display().to_string()),
+    };
+    let manifest_path = with_ext(&base, "manifest.json");
+    let json = manifest.to_value().to_json_string_pretty();
+    if let Err(e) = std::fs::write(&manifest_path, json) {
+        eprintln!("cannot write {}: {e}", manifest_path.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "[sst] telemetry: {} engine run(s), {} events, {} trace record(s); manifest {}",
+        summary.runs,
+        summary.events,
+        summary.trace_records,
+        manifest_path.display()
+    );
+    ExitCode::SUCCESS
+}
+
+/// `foo.trace.jsonl` + `"stats.json"` -> `foo.trace.stats.json`.
+fn with_ext(base: &Path, ext: &str) -> PathBuf {
+    let mut p = base.to_path_buf();
+    p.set_extension(ext);
+    p
+}
+
+/// The sampled stats series of all runs as one JSON document:
+/// `{"series": [{"label": ..., "interval_ps": ..., "points": [...]}]}`.
+fn series_json(summary: &TelemetrySummary) -> String {
+    let mut arr = Vec::new();
+    for (label, series) in &summary.series {
+        let mut v = series.to_value();
+        if let Value::Object(m) = &mut v {
+            m.insert("label".to_string(), Value::String(label.clone()));
+        }
+        arr.push(v);
+    }
+    let mut top = serde::Map::new();
+    top.insert("series".to_string(), Value::Array(arr));
+    Value::Object(top).to_json_string_pretty()
+}
+
+/// Check a JSONL trace (and its Chrome sibling, given or derived) parses.
+fn cmd_validate_trace(trace: &Path, chrome: Option<&Path>) -> ExitCode {
+    let text = match std::fs::read_to_string(trace) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", trace.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut records = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v: Value = match serde_json::from_str(line) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{}:{}: invalid JSON: {e}", trace.display(), i + 1);
+                return ExitCode::FAILURE;
+            }
+        };
+        let well_formed = v.get("t").and_then(Value::as_u64).is_some()
+            && v.get("k").and_then(Value::as_str).is_some();
+        if !well_formed {
+            eprintln!(
+                "{}:{}: record lacks `t` (sim-time ps) or `k` (kind)",
+                trace.display(),
+                i + 1
+            );
+            return ExitCode::FAILURE;
+        }
+        records += 1;
+    }
+    println!("{}: {records} trace record(s) OK", trace.display());
+
+    let derived = chrome_trace_path(trace);
+    let chrome = chrome.or_else(|| derived.exists().then_some(derived.as_path()));
+    if let Some(cp) = chrome {
+        let text = match std::fs::read_to_string(cp) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", cp.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let v: Value = match serde_json::from_str(&text) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{}: invalid JSON: {e}", cp.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(events) = v.get("traceEvents").and_then(Value::as_array) else {
+            eprintln!("{}: no `traceEvents` array", cp.display());
+            return ExitCode::FAILURE;
+        };
+        println!("{}: {} chrome event(s) OK", cp.display(), events.len());
+    }
+    ExitCode::SUCCESS
 }

@@ -16,7 +16,7 @@ fn main() {
         nx_lulesh: 20,
         hpccg_iters: 4,
         lulesh_steps: 3,
-        fidelity: Default::default(),
+        ..Default::default()
     };
     println!(
         "sweeping {{DDR2, DDR3, GDDR5}} x issue widths {:?}...",

@@ -19,6 +19,7 @@ fn main() {
         tokens_per_node: 16,
         ttl: 800,
         rank_counts,
+        ..Default::default()
     };
     println!(
         "simulating a {0}x{0} torus of traffic components on 1..{1} ranks...\n",

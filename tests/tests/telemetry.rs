@@ -1,0 +1,218 @@
+//! End-to-end telemetry guarantees: bit-identical traces across reruns,
+//! zero-cost disabled mode, profile and stats-series plumbing through both
+//! engines.
+
+use serde_json::Value;
+use sst_core::prelude::*;
+use sst_core::telemetry::TelemetryOptions;
+use std::path::PathBuf;
+
+/// A deterministic token ring: n0 injects one token that makes `hops` trips
+/// around the ring, each node counting and marking every pass.
+struct RingNode {
+    hops: u32,
+    seen: Option<StatId>,
+    val: Option<StatId>,
+}
+
+#[derive(Debug)]
+struct Tok(u32);
+
+impl Component for RingNode {
+    fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+        self.seen = Some(ctx.stat_counter("seen"));
+        self.val = Some(ctx.stat_accumulator("hopval"));
+        if ctx.name() == "n0" {
+            ctx.send(PortId(0), Box::new(Tok(self.hops)));
+        }
+    }
+
+    fn on_event(&mut self, _port: PortId, payload: Box<dyn Payload>, ctx: &mut SimCtx<'_>) {
+        let tok = downcast::<Tok>(payload);
+        ctx.add_stat(self.seen.unwrap(), 1);
+        ctx.record_stat(self.val.unwrap(), tok.0 as f64);
+        ctx.trace_mark("hop", tok.0 as u64);
+        if tok.0 > 0 {
+            ctx.send(PortId(0), Box::new(Tok(tok.0 - 1)));
+        }
+    }
+}
+
+fn ring(nodes: u32, hops: u32) -> SystemBuilder {
+    let mut b = SystemBuilder::new();
+    let ids: Vec<ComponentId> = (0..nodes)
+        .map(|i| {
+            b.add(
+                format!("n{i}"),
+                RingNode {
+                    hops,
+                    seen: None,
+                    val: None,
+                },
+            )
+        })
+        .collect();
+    for i in 0..nodes as usize {
+        let next = (i + 1) % nodes as usize;
+        b.link((ids[i], PortId(0)), (ids[next], PortId(1)), SimTime::ns(10));
+    }
+    b
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sst_tel_{}_{name}", std::process::id()));
+    p
+}
+
+fn trace_spec(path: &std::path::Path) -> TelemetrySpec {
+    TelemetrySpec::new(TelemetryOptions {
+        trace_path: Some(path.to_path_buf()),
+        ..Default::default()
+    })
+    .expect("trace files open")
+}
+
+#[test]
+fn disabled_telemetry_reports_nothing() {
+    let report = Engine::new(ring(4, 100)).run(RunLimit::Exhaust);
+    assert!(report.profile.is_none(), "no profile without --profile");
+    assert!(
+        report.series.is_none(),
+        "no series without --stats-interval"
+    );
+    // A disabled spec collects nothing either.
+    let spec = TelemetrySpec::disabled();
+    let report = Engine::with_telemetry(ring(4, 100), spec.clone()).run(RunLimit::Exhaust);
+    assert!(report.profile.is_none() && report.series.is_none());
+    assert!(spec.finish().unwrap().is_none());
+}
+
+#[test]
+fn golden_trace_is_bit_identical_across_reruns() {
+    let run = |tag: &str| -> (Vec<u8>, Vec<u8>) {
+        let path = tmp(&format!("golden_{tag}.jsonl"));
+        let spec = trace_spec(&path);
+        Engine::with_telemetry(ring(4, 200), spec.clone()).run(RunLimit::Exhaust);
+        spec.finish().unwrap().expect("enabled spec yields summary");
+        let chrome = sst_core::telemetry::chrome_trace_path(&path);
+        let out = (
+            std::fs::read(&path).unwrap(),
+            std::fs::read(&chrome).unwrap(),
+        );
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&chrome).ok();
+        out
+    };
+    let (jsonl_a, chrome_a) = run("a");
+    let (jsonl_b, chrome_b) = run("b");
+    assert!(!jsonl_a.is_empty(), "trace must contain records");
+    assert_eq!(jsonl_a, jsonl_b, "JSONL trace must be bit-identical");
+    assert_eq!(chrome_a, chrome_b, "Chrome trace must be bit-identical");
+}
+
+#[test]
+fn trace_files_parse_and_carry_the_schema() {
+    let path = tmp("schema.jsonl");
+    let spec = trace_spec(&path);
+    Engine::with_telemetry(ring(3, 50), spec.clone()).run(RunLimit::Exhaust);
+    let summary = spec.finish().unwrap().unwrap();
+    assert!(summary.trace_records > 0);
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut records = 0u64;
+    let mut kinds = std::collections::BTreeSet::new();
+    for line in text.lines() {
+        let v: Value = serde_json::from_str(line).expect("every line is JSON");
+        assert!(v.get("t").and_then(Value::as_u64).is_some(), "sim-time ps");
+        kinds.insert(v.get("k").and_then(Value::as_str).unwrap().to_string());
+        records += 1;
+    }
+    assert_eq!(records, summary.trace_records);
+    // The ring exercises sends, deliveries, and explicit marks.
+    for k in ["sched", "deliver", "mark"] {
+        assert!(kinds.contains(k), "missing kind {k}: {kinds:?}");
+    }
+
+    let chrome = sst_core::telemetry::chrome_trace_path(&path);
+    let cv: Value = serde_json::from_str(&std::fs::read_to_string(&chrome).unwrap()).unwrap();
+    let events = cv.get("traceEvents").and_then(Value::as_array).unwrap();
+    assert!(!events.is_empty(), "chrome trace has events");
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&chrome).ok();
+}
+
+#[test]
+fn profile_counts_match_the_run() {
+    let spec = TelemetrySpec::new(TelemetryOptions {
+        profile: true,
+        ..Default::default()
+    })
+    .unwrap();
+    let report = Engine::with_telemetry(ring(4, 100), spec.clone()).run(RunLimit::Exhaust);
+    let profile = report.profile.as_ref().expect("profile requested");
+    let handled: u64 = profile.components.iter().map(|c| c.events).sum();
+    assert_eq!(handled, report.events, "every delivery is attributed");
+    assert!(profile.queue_depth_hwm > 0);
+    assert!(profile.ranks.is_empty(), "serial run has no rank metrics");
+    let total: u64 = profile.components.iter().map(|c| c.total_ns).sum();
+    assert!(total > 0, "handler wallclock time is recorded");
+    let summary = spec.finish().unwrap().unwrap();
+    assert_eq!(summary.profiles.len(), 1);
+    assert_eq!(summary.events, report.events);
+}
+
+#[test]
+fn stats_series_reconciles_with_final_counters() {
+    let spec = TelemetrySpec::new(TelemetryOptions {
+        stats_interval: Some(SimTime::ns(100)),
+        ..Default::default()
+    })
+    .unwrap();
+    let report = Engine::with_telemetry(ring(4, 200), spec.clone()).run(RunLimit::Exhaust);
+    let series = report.series.as_ref().expect("series requested");
+    assert!(series.points.len() > 2, "multiple samples over the run");
+    for owner in ["n0", "n1", "n2", "n3"] {
+        let decoded = series.counter_series(owner, "seen").unwrap();
+        let finals = report.stats.counter(owner, "seen");
+        assert_eq!(decoded.last().unwrap().1, finals, "{owner} reconciles");
+        // Absolute values decoded from deltas must be non-decreasing.
+        assert!(decoded.windows(2).all(|w| w[0].1 <= w[1].1));
+        let means = series.mean_series(owner, "hopval").unwrap();
+        assert_eq!(means.len(), decoded.len());
+    }
+}
+
+#[test]
+fn parallel_profile_has_rank_sync_metrics() {
+    let spec = TelemetrySpec::new(TelemetryOptions {
+        profile: true,
+        ..Default::default()
+    })
+    .unwrap();
+    let report =
+        ParallelEngine::with_telemetry(ring(4, 200), 2, spec.clone()).run(RunLimit::Exhaust);
+    let profile = report.profile.as_ref().expect("profile requested");
+    assert_eq!(profile.ranks.len(), 2, "one sync profile per rank");
+    assert!(profile.ranks.iter().any(|r| r.sync_rounds > 0));
+    let handled: u64 = profile.components.iter().map(|c| c.events).sum();
+    assert_eq!(handled, report.events);
+}
+
+#[test]
+fn parallel_trace_is_deterministic() {
+    let run = |tag: &str| -> Vec<u8> {
+        let path = tmp(&format!("par_{tag}.jsonl"));
+        let spec = trace_spec(&path);
+        ParallelEngine::with_telemetry(ring(4, 150), 2, spec.clone()).run(RunLimit::Exhaust);
+        spec.finish().unwrap().unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(sst_core::telemetry::chrome_trace_path(&path)).ok();
+        bytes
+    };
+    let a = run("a");
+    let b = run("b");
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "parallel trace must be bit-identical across reruns");
+}
