@@ -58,7 +58,7 @@ fn event_queue_ops(c: &mut Criterion) {
                     target: ComponentId(0),
                     kind: EventKind::Message {
                         port: PortId(0),
-                        payload: Box::new(()),
+                        payload: sst_core::event::PayloadSlot::new(()),
                     },
                 });
             }

@@ -16,17 +16,40 @@
 //! 3. **Parallel rank scaling** — the pdes torus workload at 1/2/4 ranks,
 //!    checking that event counts stay identical across rank counts and
 //!    recording honest wall-clock numbers for the host.
+//! 4. **Hot path allocations** — allocations per delivered event through the
+//!    default engine, measured with a counting global allocator. The inline
+//!    `PayloadSlot` + pooled-buffer hot path must stay at or below
+//!    [`HOTPATH_ALLOC_CEILING`]; the binary *asserts* this, so the CI smoke
+//!    run fails if payload boxing creeps back in.
 //!
 //! Results land in `BENCH_queue_compare.json` at the repo root (or the
-//! path given as the first argument).
+//! path given as the first argument). Pass `--quick` for a seconds-scale
+//! smoke run (CI) that still exercises every section and every assert.
 
 use serde::Serialize;
-use sst_bench::ring;
-use sst_core::event::{ComponentId, EventClass, EventKind, PortId, ScheduledEvent, TieBreak};
+use sst_bench::{alloc_track, ring};
+use sst_core::event::{
+    ComponentId, EventClass, EventKind, PayloadSlot, PortId, ScheduledEvent, TieBreak,
+};
 use sst_core::queue::{BinaryHeapQueue, IndexedQueue, SimQueue};
 use sst_core::{EngineOn, ParallelEngine, RunLimit, SimTime};
 use sst_sim::experiments::pdes;
 use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: alloc_track::CountingAlloc = alloc_track::CountingAlloc;
+
+/// Committed ceiling for hot-path allocations per delivered event. The
+/// inline-payload rework brought ring/pdes from ~3.0/3.9 allocs per event
+/// down to (amortized) pool refills only; 1.0 leaves headroom for workload
+/// setup while still catching any per-event box sneaking back.
+const HOTPATH_ALLOC_CEILING: f64 = 1.0;
+
+/// Pre-rework baselines (measured at the PR-3 tree with this same harness),
+/// recorded in the JSON so the before/after is visible without digging
+/// through git history.
+const RING_ALLOCS_PER_EVENT_BEFORE: f64 = 3.0001;
+const PDES_ALLOCS_PER_EVENT_BEFORE: f64 = 3.8953;
 
 /// xorshift64*: fixed-seed, dependency-free randomness for the workload.
 struct Rng(u64);
@@ -51,7 +74,7 @@ fn ev(t: u64, seq: u64) -> ScheduledEvent {
         target: ComponentId(0),
         kind: EventKind::Message {
             port: PortId(0),
-            payload: Box::new(()),
+            payload: PayloadSlot::new(()),
         },
     }
 }
@@ -126,32 +149,87 @@ struct RankResult {
 }
 
 #[derive(Serialize)]
+struct HotpathResult {
+    workload: String,
+    events: u64,
+    allocations: u64,
+    allocs_per_event_before: f64,
+    allocs_per_event: f64,
+    ceiling: f64,
+}
+
+#[derive(Serialize)]
 struct Report {
     bench: String,
     host_cpus: u64,
     hold_model: Vec<HoldResult>,
     whole_engine: Vec<EngineResult>,
     parallel_rank_scaling: Vec<RankResult>,
+    hotpath: Vec<HotpathResult>,
     notes: Vec<String>,
 }
 
+/// One measured engine run with the allocation counter bracketed around it
+/// (system construction and report serialization excluded).
+fn hotpath_run(
+    workload: &str,
+    before: f64,
+    build: impl FnOnce() -> sst_core::SystemBuilder,
+) -> HotpathResult {
+    let engine = EngineOn::<IndexedQueue>::new(build());
+    let a0 = alloc_track::allocations();
+    let report = engine.run(RunLimit::Exhaust);
+    let allocations = alloc_track::allocations() - a0;
+    let r = HotpathResult {
+        workload: workload.to_string(),
+        events: report.events,
+        allocations,
+        allocs_per_event_before: before,
+        allocs_per_event: allocations as f64 / report.events as f64,
+        ceiling: HOTPATH_ALLOC_CEILING,
+    };
+    eprintln!(
+        "[hotpath        ] {:>9} events   {:>9} allocs   {:.4} allocs/event (was {:.4})  ({workload})",
+        r.events, r.allocations, r.allocs_per_event, before
+    );
+    assert!(
+        r.allocs_per_event <= HOTPATH_ALLOC_CEILING,
+        "hot path regressed: {} allocs/event on `{workload}` exceeds the \
+         committed ceiling of {HOTPATH_ALLOC_CEILING}",
+        r.allocs_per_event
+    );
+    r
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_queue_compare.json".to_string());
+    let mut out_path = "BENCH_queue_compare.json".to_string();
+    let mut quick = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = arg;
+        }
+    }
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get() as u64)
         .unwrap_or(1);
 
     // --- 1. hold model at several depths -----------------------------------
-    let ops = 400_000u64;
+    let ops = if quick { 40_000u64 } else { 400_000u64 };
+    let reps = if quick { 1u32 } else { 3 };
+    let hold_depths: &[usize] = if quick {
+        &[256, 4096]
+    } else {
+        &[256, 1024, 4096, 16384]
+    };
     let mut hold = Vec::new();
-    for &depth in &[256usize, 1024, 4096, 16384] {
-        // Best of 3 to shrug off scheduler noise; checksums must agree.
+    for &depth in hold_depths {
+        // Best of `reps` to shrug off scheduler noise; checksums must agree.
         let mut heap_best = 0.0f64;
         let mut idx_best = 0.0f64;
         let mut sums = (0, 0);
-        for _ in 0..3 {
+        for _ in 0..reps {
             let (hr, hs) = hold_model::<BinaryHeapQueue>(depth, ops);
             let (ir, is) = hold_model::<IndexedQueue>(depth, ops);
             heap_best = heap_best.max(hr);
@@ -180,32 +258,36 @@ fn main() {
     let params = pdes::Params {
         side: 12,
         tokens_per_node: 6,
-        ttl: 80,
+        ttl: if quick { 20 } else { 80 },
         rank_counts: vec![],
         telemetry: sst_core::telemetry::TelemetrySpec::disabled(),
     };
+    let ring_hops = if quick { 20_000 } else { 200_000 };
     let mut whole_engine = Vec::new();
     for (workload, heap_rate, idx_rate) in [
         (
-            "ring(64 nodes, 200k hops), queue depth ~1",
-            engine_rate::<BinaryHeapQueue>(3, || ring(64, 200_000)),
-            engine_rate::<IndexedQueue>(3, || ring(64, 200_000)),
+            format!("ring(64 nodes, {ring_hops} hops), queue depth ~1"),
+            engine_rate::<BinaryHeapQueue>(reps, || ring(64, ring_hops)),
+            engine_rate::<IndexedQueue>(reps, || ring(64, ring_hops)),
         ),
         (
-            "pdes torus 12x12, 6 tokens/node, ttl 80, queue depth ~850",
-            engine_rate::<BinaryHeapQueue>(3, || pdes::build(&params)),
-            engine_rate::<IndexedQueue>(3, || pdes::build(&params)),
+            format!(
+                "pdes torus 12x12, 6 tokens/node, ttl {}, queue depth ~850",
+                params.ttl
+            ),
+            engine_rate::<BinaryHeapQueue>(reps, || pdes::build(&params)),
+            engine_rate::<IndexedQueue>(reps, || pdes::build(&params)),
         ),
     ] {
         let r = EngineResult {
-            workload: workload.to_string(),
+            workload,
             heap_events_per_sec: heap_rate,
             indexed_events_per_sec: idx_rate,
             speedup: idx_rate / heap_rate,
         };
         eprintln!(
-            "[engine         ] heap {:>12.0} ev/s   indexed {:>12.0} ev/s   {:.2}x  ({workload})",
-            heap_rate, idx_rate, r.speedup
+            "[engine         ] heap {:>12.0} ev/s   indexed {:>12.0} ev/s   {:.2}x  ({})",
+            heap_rate, idx_rate, r.speedup, r.workload
         );
         whole_engine.push(r);
     }
@@ -218,7 +300,7 @@ fn main() {
         let mut best_rate = 0.0f64;
         let mut best_wall = f64::INFINITY;
         let mut events = 0u64;
-        for _ in 0..3 {
+        for _ in 0..reps {
             let start = Instant::now();
             let report = ParallelEngine::new(pdes::build(&params), ranks).run(RunLimit::Exhaust);
             let wall = start.elapsed().as_secs_f64();
@@ -249,20 +331,40 @@ fn main() {
         scaling.push(r);
     }
 
+    // --- 4. hot path allocations per event ---------------------------------
+    let hotpath = vec![
+        hotpath_run(
+            &format!("ring(64 nodes, {ring_hops} hops)"),
+            RING_ALLOCS_PER_EVENT_BEFORE,
+            || ring(64, ring_hops),
+        ),
+        hotpath_run(
+            &format!("pdes torus 12x12, 6 tokens/node, ttl {}", params.ttl),
+            PDES_ALLOCS_PER_EVENT_BEFORE,
+            || pdes::build(&params),
+        ),
+    ];
+
     let report = Report {
         bench: "queue_compare".to_string(),
         host_cpus,
         hold_model: hold,
         whole_engine,
         parallel_rank_scaling: scaling,
+        hotpath,
         notes: vec![
             "hold model: constant queue depth, pop-min + push-random-future; \
              the regime where heap cost is O(log N) per op and the calendar \
              ring is O(1)."
                 .to_string(),
-            "whole-engine rates include payload boxing and component \
+            "whole-engine rates include payload handling and component \
              dispatch, which dominate; the queue-only gain shows in the \
              hold-model rows."
+                .to_string(),
+            "hotpath rows count heap allocations per delivered event (run \
+             phase only) via a counting global allocator; `before` columns \
+             are the boxed-payload numbers from the PR-3 tree. The binary \
+             asserts allocs/event <= ceiling."
                 .to_string(),
             format!(
                 "host has {host_cpus} CPU(s); with a single CPU the parallel \

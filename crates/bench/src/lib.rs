@@ -2,6 +2,43 @@
 
 use sst_core::prelude::*;
 
+pub mod alloc_track {
+    //! A counting global allocator for allocations-per-event measurements.
+    //!
+    //! Binaries that want the numbers opt in with
+    //! `#[global_allocator] static A: CountingAlloc = CountingAlloc;` —
+    //! the library itself never installs it, so criterion benches and tests
+    //! keep the plain system allocator.
+
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    /// Wraps [`System`], counting every `alloc`/`realloc` call.
+    pub struct CountingAlloc;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    /// Total allocations since process start (monotonic; diff two reads to
+    /// bracket a region).
+    pub fn allocations() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+}
+
 /// A minimal self-propelled component for event-throughput benchmarks:
 /// bounces a token to the next node in a ring.
 pub struct RingNode {
@@ -15,13 +52,13 @@ pub struct Tok(pub u64);
 impl Component for RingNode {
     fn setup(&mut self, ctx: &mut SimCtx<'_>) {
         if self.start {
-            ctx.send(PortId(1), Box::new(Tok(self.hops_left)));
+            ctx.send(PortId(1), Tok(self.hops_left));
         }
     }
-    fn on_event(&mut self, _p: PortId, ev: Box<dyn Payload>, ctx: &mut SimCtx<'_>) {
+    fn on_event(&mut self, _p: PortId, ev: PayloadSlot, ctx: &mut SimCtx<'_>) {
         let t = downcast::<Tok>(ev);
         if t.0 > 0 {
-            ctx.send(PortId(1), Box::new(Tok(t.0 - 1)));
+            ctx.send(PortId(1), Tok(t.0 - 1));
         }
     }
 }

@@ -207,11 +207,11 @@ impl SystemBuilder {
 mod tests {
     use super::*;
     use crate::component::{Component, SimCtx};
-    use crate::event::Payload;
+    use crate::event::PayloadSlot;
 
     struct Dummy;
     impl Component for Dummy {
-        fn on_event(&mut self, _p: PortId, _e: Box<dyn Payload>, _c: &mut SimCtx<'_>) {}
+        fn on_event(&mut self, _p: PortId, _e: PayloadSlot, _c: &mut SimCtx<'_>) {}
     }
 
     #[test]

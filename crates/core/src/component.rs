@@ -9,8 +9,8 @@
 //! possible.
 
 use crate::event::{
-    ClockId, ComponentId, EventClass, EventKind, Payload, PortId, ScheduledEvent, TieBreak,
-    SELF_PORT,
+    ClockId, ComponentId, EventClass, EventKind, Payload, PayloadSlot, PortId, ScheduledEvent,
+    TieBreak, SELF_PORT,
 };
 use crate::stats::{StatId, StatsRegistry};
 use crate::telemetry::Tracer;
@@ -34,7 +34,7 @@ pub trait Component: Send {
     fn setup(&mut self, _ctx: &mut SimCtx<'_>) {}
 
     /// An event arrived on `port`.
-    fn on_event(&mut self, port: PortId, payload: Box<dyn Payload>, ctx: &mut SimCtx<'_>);
+    fn on_event(&mut self, port: PortId, payload: PayloadSlot, ctx: &mut SimCtx<'_>);
 
     /// A registered clock ticked. `cycle` is the absolute cycle index
     /// (time / period).
@@ -143,13 +143,21 @@ impl<'a> SimCtx<'a> {
 
     /// Send `payload` over the link on `port`. Delivery happens after the
     /// link latency. Panics if the port is unconnected (a wiring bug).
-    pub fn send(&mut self, port: PortId, payload: Box<dyn Payload>) {
+    ///
+    /// Small payloads (≤ [`INLINE_PAYLOAD_BYTES`](crate::event::INLINE_PAYLOAD_BYTES)
+    /// bytes) travel inline in the event — no heap allocation.
+    pub fn send<P: Payload>(&mut self, port: PortId, payload: P) {
         self.send_delayed(port, payload, SimTime::ZERO)
     }
 
     /// Send with an additional delay on top of the link latency (e.g. output
     /// serialization time).
-    pub fn send_delayed(&mut self, port: PortId, payload: Box<dyn Payload>, extra: SimTime) {
+    pub fn send_delayed<P: Payload>(&mut self, port: PortId, payload: P, extra: SimTime) {
+        self.send_slot(port, PayloadSlot::new(payload), extra)
+    }
+
+    /// Monomorphization-free inner body of [`send_delayed`](Self::send_delayed).
+    pub fn send_slot(&mut self, port: PortId, payload: PayloadSlot, extra: SimTime) {
         let link = self
             .links
             .get(port.0 as usize)
@@ -184,7 +192,7 @@ impl<'a> SimCtx<'a> {
 
     /// Schedule an event back to this component after `delay` (may be zero;
     /// zero-delay self events run after currently queued same-time events).
-    pub fn schedule_self(&mut self, delay: SimTime, payload: Box<dyn Payload>) {
+    pub fn schedule_self<P: Payload>(&mut self, delay: SimTime, payload: P) {
         let ev = ScheduledEvent {
             time: self.now + delay,
             class: EventClass::Message,
@@ -192,7 +200,7 @@ impl<'a> SimCtx<'a> {
             target: self.me,
             kind: EventKind::Message {
                 port: SELF_PORT,
-                payload,
+                payload: PayloadSlot::new(payload),
             },
         };
         if let Some(tr) = self.tracer.as_deref_mut() {

@@ -189,7 +189,7 @@ impl Component for BoxedComponent {
     fn on_event(
         &mut self,
         port: PortId,
-        payload: Box<dyn crate::event::Payload>,
+        payload: crate::event::PayloadSlot,
         ctx: &mut crate::component::SimCtx<'_>,
     ) {
         self.0.on_event(port, payload, ctx)
@@ -237,7 +237,7 @@ mod tests {
     use super::*;
     use crate::component::SimCtx;
     use crate::engine::{Engine, RunLimit};
-    use crate::event::{downcast, Payload};
+    use crate::event::{downcast, PayloadSlot};
     use crate::stats::StatId;
 
     #[derive(Debug)]
@@ -252,14 +252,14 @@ mod tests {
         fn setup(&mut self, ctx: &mut SimCtx<'_>) {
             self.stat = Some(ctx.stat_counter("echoes"));
             if self.initiate {
-                ctx.send(PortId(0), Box::new(Msg(0)));
+                ctx.send(PortId(0), Msg(0));
             }
         }
-        fn on_event(&mut self, _port: PortId, payload: Box<dyn Payload>, ctx: &mut SimCtx<'_>) {
+        fn on_event(&mut self, _port: PortId, payload: PayloadSlot, ctx: &mut SimCtx<'_>) {
             let m = downcast::<Msg>(payload);
             ctx.add_stat(self.stat.unwrap(), 1);
             if m.0 + 1 < self.copies {
-                ctx.send(PortId(0), Box::new(Msg(m.0 + 1)));
+                ctx.send(PortId(0), Msg(m.0 + 1));
             }
         }
         fn ports(&self) -> &'static [&'static str] {

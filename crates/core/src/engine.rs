@@ -6,7 +6,9 @@
 
 use crate::builder::SystemBuilder;
 use crate::component::{EventSink, LinkEnd, SimCtx, Slot};
-use crate::event::{ClockId, ComponentId, EventClass, EventKind, ScheduledEvent, TieBreak};
+use crate::event::{
+    ClockId, ComponentId, EventBufPool, EventClass, EventKind, ScheduledEvent, TieBreak,
+};
 use crate::queue::{BinaryHeapQueue, IndexedQueue, SimQueue};
 use crate::rng::component_rng;
 use crate::stats::{StatsRegistry, StatsSnapshot};
@@ -258,6 +260,16 @@ impl Kernel {
         self.deliver_body(ev, sink, None);
     }
 
+    /// Delivery with the telemetry check hoisted out: batched loops test
+    /// `tel` once per batch and call this per event on the disabled path.
+    #[inline]
+    pub fn deliver_fast(&mut self, ev: ScheduledEvent, sink: &mut dyn EventSink) {
+        debug_assert!(ev.time >= self.now, "event in the past: {ev:?}");
+        debug_assert!(self.is_local(ev.target), "event for non-local component");
+        debug_assert!(self.tel.is_none(), "fast path with telemetry attached");
+        self.deliver_body(ev, sink, None);
+    }
+
     /// Telemetry-enabled delivery: sample stat boundaries, emit the trace
     /// record, and time the handler around the shared delivery body.
     #[cold]
@@ -401,6 +413,8 @@ pub struct EngineOn<Q: SimQueue + EventSink> {
     queue: Q,
     started: bool,
     spec: TelemetrySpec,
+    /// Recycles the same-time delivery batch buffer across `step` calls.
+    pool: EventBufPool,
 }
 
 /// The serial engine over the default (indexed) queue.
@@ -431,6 +445,7 @@ impl<Q: SimQueue + EventSink> EngineOn<Q> {
             queue: Q::default(),
             started: false,
             spec,
+            pool: EventBufPool::new(),
         }
     }
 
@@ -445,19 +460,55 @@ impl<Q: SimQueue + EventSink> EngineOn<Q> {
     /// Advance the simulation, processing every event with time `<= limit`
     /// (or all events, for `Exhaust`). May be called repeatedly with
     /// increasing limits.
+    ///
+    /// Delivery is batched: each iteration drains the entire run of events
+    /// at the next time instant into a pooled buffer, then delivers them
+    /// back to back. The queue is touched once per instant instead of once
+    /// per event, and the telemetry discriminant is tested once per batch.
+    /// Handlers that push *new* same-time events with earlier keys (lower
+    /// source id) are interleaved correctly via `pop_if_key_before`, an O(1)
+    /// check per batch element.
     pub fn step(&mut self, limit: RunLimit) {
         self.start();
         let bound = limit.bound();
-        while let Some(ev) = self.queue.pop_until(bound) {
-            self.kernel.deliver(ev, &mut self.queue);
-            if let Some(tel) = self.kernel.tel.as_deref_mut() {
-                if let Some(p) = tel.profiler.as_mut() {
-                    p.note_depth(self.queue.len() as u64);
+        let mut batch = self.pool.get();
+        while self.queue.pop_time_run(bound, &mut batch) != 0 {
+            if self.kernel.tel.is_some() {
+                self.deliver_batch_instrumented(&mut batch);
+            } else {
+                for ev in batch.drain(..) {
+                    while let Some(s) = self.queue.pop_if_key_before(ev.key()) {
+                        self.kernel.deliver_fast(s, &mut self.queue);
+                    }
+                    self.kernel.deliver_fast(ev, &mut self.queue);
                 }
             }
         }
+        self.pool.put(batch);
         if let RunLimit::Until(t) = limit {
             self.kernel.now = self.kernel.now.max(t);
+        }
+    }
+
+    /// Telemetry-on flavor of the batch loop: per-event instrumented
+    /// delivery plus per-batch profiler bookkeeping.
+    #[cold]
+    fn deliver_batch_instrumented(&mut self, batch: &mut Vec<ScheduledEvent>) {
+        let n = batch.len() as u64;
+        for ev in batch.drain(..) {
+            while let Some(s) = self.queue.pop_if_key_before(ev.key()) {
+                self.kernel.deliver(s, &mut self.queue);
+            }
+            self.kernel.deliver(ev, &mut self.queue);
+        }
+        if let Some(p) = self
+            .kernel
+            .tel
+            .as_deref_mut()
+            .and_then(|t| t.profiler.as_mut())
+        {
+            p.note_batch(n);
+            p.note_depth(self.queue.len() as u64);
         }
     }
 
@@ -504,7 +555,7 @@ impl<Q: SimQueue + EventSink> EngineOn<Q> {
 mod tests {
     use super::*;
     use crate::component::{ClockAction, Component, SimCtx};
-    use crate::event::{downcast, Payload, PortId, SELF_PORT};
+    use crate::event::{downcast, PayloadSlot, PortId, SELF_PORT};
     use crate::stats::StatId;
     use crate::time::Frequency;
 
@@ -524,15 +575,15 @@ mod tests {
         fn setup(&mut self, ctx: &mut SimCtx<'_>) {
             self.seen = Some(ctx.stat_counter("bounces"));
             if self.start {
-                ctx.send(Self::PORT, Box::new(Ball(0)));
+                ctx.send(Self::PORT, Ball(0));
             }
         }
-        fn on_event(&mut self, port: PortId, payload: Box<dyn Payload>, ctx: &mut SimCtx<'_>) {
+        fn on_event(&mut self, port: PortId, payload: PayloadSlot, ctx: &mut SimCtx<'_>) {
             assert_eq!(port, Self::PORT);
             let ball = downcast::<Ball>(payload);
             ctx.add_stat(self.seen.unwrap(), 1);
             if ball.0 < self.max {
-                ctx.send(Self::PORT, Box::new(Ball(ball.0 + 1)));
+                ctx.send(Self::PORT, Ball(ball.0 + 1));
             }
         }
     }
@@ -606,7 +657,7 @@ mod tests {
         fn setup(&mut self, ctx: &mut SimCtx<'_>) {
             self.stat = Some(ctx.stat_counter("ticks"));
         }
-        fn on_event(&mut self, port: PortId, _p: Box<dyn Payload>, ctx: &mut SimCtx<'_>) {
+        fn on_event(&mut self, port: PortId, _p: PayloadSlot, ctx: &mut SimCtx<'_>) {
             assert_eq!(port, SELF_PORT);
             self.resumed = true;
             ctx.resume_clock(self.clock);
@@ -620,7 +671,7 @@ mod tests {
             self.ticks += 1;
             ctx.add_stat(self.stat.unwrap(), 1);
             if self.ticks == 5 && !self.resumed {
-                ctx.schedule_self(SimTime::ns(100), Box::new(WakeUp));
+                ctx.schedule_self(SimTime::ns(100), WakeUp);
                 ClockAction::Suspend
             } else if self.ticks >= 8 {
                 ClockAction::Suspend
@@ -657,7 +708,7 @@ mod tests {
     fn clock_cycle_numbers_match_time() {
         struct CycleCheck;
         impl Component for CycleCheck {
-            fn on_event(&mut self, _p: PortId, _e: Box<dyn Payload>, _c: &mut SimCtx<'_>) {}
+            fn on_event(&mut self, _p: PortId, _e: PayloadSlot, _c: &mut SimCtx<'_>) {}
             fn on_clock(
                 &mut self,
                 _c: crate::event::ClockId,

@@ -1,13 +1,19 @@
 //! Events and identifiers.
 //!
-//! Everything that flows between components is an [`Event`]: a boxed,
-//! type-erased payload plus routing/ordering metadata managed by the engine.
-//! Components downcast payloads on receipt, which keeps the engine fully
-//! generic over component types (the SST "port/event" model).
+//! Everything that flows between components is an [`Event`]: a type-erased
+//! payload plus routing/ordering metadata managed by the engine. Components
+//! downcast payloads on receipt, which keeps the engine fully generic over
+//! component types (the SST "port/event" model).
+//!
+//! Payloads travel in a [`PayloadSlot`]: small payloads (the common case —
+//! every `cpu`/`mem`/`net` message type fits) are stored *inline* in the
+//! [`ScheduledEvent`], so the steady-state send/deliver path does no heap
+//! allocation at all. Oversized or over-aligned payloads fall back to a box.
 
 use crate::time::SimTime;
-use std::any::Any;
+use std::any::{Any, TypeId};
 use std::fmt;
+use std::mem::{align_of, size_of, ManuallyDrop, MaybeUninit};
 
 /// Identifies a component instance within a simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -49,14 +55,145 @@ impl<T: Any + Send + fmt::Debug> Payload for T {
     }
 }
 
-/// Downcast a boxed payload to a concrete type, panicking with a helpful
-/// message on mismatch. Components use this in `on_event`.
-pub fn downcast<T: Payload>(payload: Box<dyn Payload>) -> Box<T> {
-    let dbg = format!("{:?}", payload);
-    payload.into_any().downcast::<T>().unwrap_or_else(|_| {
+/// Payloads at most this many bytes (and at most word-aligned) are stored
+/// inline in the event instead of boxed. 24 bytes = three machine words,
+/// sized to the largest message type in the standard component crates
+/// (`MemReq` {u64,u64,bool} and `Packet` {u32,u32,u64,SimTime} are both
+/// exactly 24) while keeping `ScheduledEvent` within one cache line.
+pub const INLINE_PAYLOAD_BYTES: usize = 24;
+
+/// Manual vtable for inline payloads: everything the engine needs to drop,
+/// debug-print, and downcast a payload without a heap-allocated `dyn` box.
+/// One `'static` instance exists per payload type (const-promoted).
+struct InlineVtable {
+    type_id: fn() -> TypeId,
+    debug: unsafe fn(*const u8, &mut fmt::Formatter<'_>) -> fmt::Result,
+    drop_in_place: unsafe fn(*mut u8),
+}
+
+/// Word-aligned inline storage for [`INLINE_PAYLOAD_BYTES`] bytes.
+type InlineData = MaybeUninit<[u64; INLINE_PAYLOAD_BYTES / 8]>;
+
+enum SlotRepr {
+    /// A payload of at most [`INLINE_PAYLOAD_BYTES`] bytes, stored in place.
+    Inline {
+        data: InlineData,
+        vt: &'static InlineVtable,
+    },
+    /// The fallback for oversized (or over-aligned) payloads.
+    Boxed(Box<dyn Payload>),
+}
+
+/// An owned, type-erased payload that avoids heap allocation for small
+/// types. Built by [`SimCtx::send`](crate::component::SimCtx::send) and
+/// friends; consumed by [`downcast`] inside
+/// [`Component::on_event`](crate::component::Component::on_event).
+pub struct PayloadSlot(SlotRepr);
+
+impl PayloadSlot {
+    /// Wrap `value`, storing it inline when it fits.
+    #[inline]
+    pub fn new<T: Payload>(value: T) -> PayloadSlot {
+        if size_of::<T>() <= INLINE_PAYLOAD_BYTES && align_of::<T>() <= align_of::<u64>() {
+            unsafe fn debug_raw<T: fmt::Debug>(
+                p: *const u8,
+                f: &mut fmt::Formatter<'_>,
+            ) -> fmt::Result {
+                unsafe { fmt::Debug::fmt(&*(p as *const T), f) }
+            }
+            unsafe fn drop_raw<T>(p: *mut u8) {
+                unsafe { std::ptr::drop_in_place(p as *mut T) }
+            }
+            struct Vt<T>(std::marker::PhantomData<T>);
+            impl<T: Payload> Vt<T> {
+                const VTABLE: InlineVtable = InlineVtable {
+                    type_id: TypeId::of::<T>,
+                    debug: debug_raw::<T>,
+                    drop_in_place: drop_raw::<T>,
+                };
+            }
+            let mut data: InlineData = MaybeUninit::uninit();
+            // SAFETY: size and alignment of T were checked above; the slot
+            // owns the value from here (dropped in Drop or moved out in
+            // try_downcast, exactly once).
+            unsafe { (data.as_mut_ptr() as *mut T).write(value) };
+            PayloadSlot(SlotRepr::Inline {
+                data,
+                vt: &Vt::<T>::VTABLE,
+            })
+        } else {
+            PayloadSlot(SlotRepr::Boxed(Box::new(value)))
+        }
+    }
+
+    /// Is the payload stored inline (no heap allocation)?
+    pub fn is_inline(&self) -> bool {
+        matches!(self.0, SlotRepr::Inline { .. })
+    }
+
+    /// Take the payload out as a `T`, or give the slot back on a type
+    /// mismatch (so the caller can report what it actually held).
+    pub fn try_downcast<T: Payload>(self) -> Result<T, PayloadSlot> {
+        match &self.0 {
+            SlotRepr::Inline { vt, .. } if (vt.type_id)() == TypeId::of::<T>() => {
+                let this = ManuallyDrop::new(self);
+                let SlotRepr::Inline { data, .. } = &this.0 else {
+                    unreachable!()
+                };
+                // SAFETY: type checked above; ManuallyDrop suppresses the
+                // slot's Drop, so ownership transfers to the returned value.
+                Ok(unsafe { (data.as_ptr() as *const T).read() })
+            }
+            SlotRepr::Boxed(b) if (**b).as_any().is::<T>() => {
+                let this = ManuallyDrop::new(self);
+                let SlotRepr::Boxed(b) = &this.0 else {
+                    unreachable!()
+                };
+                // SAFETY: the box is read out exactly once; the slot's Drop
+                // is suppressed by ManuallyDrop.
+                let b = unsafe { std::ptr::read(b) };
+                match b.into_any().downcast::<T>() {
+                    Ok(v) => Ok(*v),
+                    Err(_) => unreachable!("type checked above"),
+                }
+            }
+            _ => Err(self),
+        }
+    }
+}
+
+impl Drop for PayloadSlot {
+    fn drop(&mut self) {
+        if let SlotRepr::Inline { data, vt } = &mut self.0 {
+            // SAFETY: an inline slot that reaches Drop still owns its value
+            // (try_downcast wraps in ManuallyDrop before moving out).
+            unsafe { (vt.drop_in_place)(data.as_mut_ptr() as *mut u8) };
+        }
+    }
+}
+
+impl fmt::Debug for PayloadSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.0 {
+            SlotRepr::Inline { data, vt } => {
+                // SAFETY: the slot owns a live value of the vtable's type.
+                unsafe { (vt.debug)(data.as_ptr() as *const u8, f) }
+            }
+            SlotRepr::Boxed(b) => fmt::Debug::fmt(b, f),
+        }
+    }
+}
+
+/// Downcast a payload slot to a concrete type, panicking with a helpful
+/// message on mismatch. Components use this in `on_event`. The debug
+/// rendering of the payload is built only on the mismatch branch, so the
+/// (overwhelmingly common) success path does zero formatting work.
+pub fn downcast<T: Payload>(payload: PayloadSlot) -> T {
+    payload.try_downcast::<T>().unwrap_or_else(|payload| {
         panic!(
-            "event payload type mismatch: expected {}, got {dbg}",
-            std::any::type_name::<T>()
+            "event payload type mismatch: expected {}, got {:?}",
+            std::any::type_name::<T>(),
+            payload
         )
     })
 }
@@ -82,6 +219,10 @@ pub enum EventClass {
     Message = 1,
 }
 
+/// The total-order key of a scheduled event. Payloads never participate in
+/// ordering.
+pub type EventKey = (SimTime, EventClass, TieBreak);
+
 /// A scheduled occurrence: either a clock tick or a message delivery.
 pub struct ScheduledEvent {
     pub time: SimTime,
@@ -93,10 +234,7 @@ pub struct ScheduledEvent {
 
 pub enum EventKind {
     /// Deliver `payload` to `port` of the target component.
-    Message {
-        port: PortId,
-        payload: Box<dyn Payload>,
-    },
+    Message { port: PortId, payload: PayloadSlot },
     /// Fire the target component's clock handler.
     ClockTick { clock: ClockId, cycle: u64 },
 }
@@ -104,7 +242,7 @@ pub enum EventKind {
 impl ScheduledEvent {
     /// The total-order key. Payloads never participate in ordering.
     #[inline]
-    pub fn key(&self) -> (SimTime, EventClass, TieBreak) {
+    pub fn key(&self) -> EventKey {
         (self.time, self.class, self.tie)
     }
 }
@@ -128,18 +266,24 @@ impl fmt::Debug for ScheduledEvent {
 
 /// A free list of event buffers.
 ///
-/// Hot paths that batch events — cross-rank exchange in the parallel engine,
-/// staging during delivery — would otherwise allocate a fresh `Vec` per
-/// batch. Buffers taken from the pool keep the capacity they grew on earlier
-/// rounds, so steady-state batching does no allocation at all.
+/// Hot paths that batch events — same-time delivery runs in the engines,
+/// cross-rank exchange in the parallel engine — would otherwise allocate a
+/// fresh `Vec` per batch. Buffers taken from the pool keep the capacity they
+/// grew on earlier rounds, so steady-state batching does no allocation at
+/// all.
 #[derive(Default)]
 pub struct EventBufPool {
     free: Vec<Vec<ScheduledEvent>>,
 }
 
 impl EventBufPool {
-    /// Retained buffers are capped so a one-off burst doesn't pin memory.
+    /// Retained buffers are capped in number so a one-off burst doesn't pin
+    /// memory.
     const MAX_FREE: usize = 64;
+    /// ... and in per-buffer size: a buffer whose capacity exceeds this many
+    /// bytes is dropped instead of retained, so a single giant batch can't
+    /// pin its high-water allocation for the rest of the run.
+    const MAX_RETAINED_BYTES: usize = 64 * 1024;
 
     pub fn new() -> Self {
         Self::default()
@@ -153,7 +297,11 @@ impl EventBufPool {
     /// Return a buffer to the pool. Contents are dropped.
     pub fn put(&mut self, mut buf: Vec<ScheduledEvent>) {
         buf.clear();
-        if self.free.len() < Self::MAX_FREE && buf.capacity() > 0 {
+        let bytes = buf.capacity().saturating_mul(size_of::<ScheduledEvent>());
+        if self.free.len() < Self::MAX_FREE
+            && buf.capacity() > 0
+            && bytes <= Self::MAX_RETAINED_BYTES
+        {
             self.free.push(buf);
         }
     }
@@ -168,16 +316,80 @@ mod tests {
 
     #[test]
     fn downcast_roundtrip() {
-        let b: Box<dyn Payload> = Box::new(Ping(7));
+        let b = PayloadSlot::new(Ping(7));
+        assert!(b.is_inline());
         let p = downcast::<Ping>(b);
-        assert_eq!(*p, Ping(7));
+        assert_eq!(p, Ping(7));
     }
 
     #[test]
     #[should_panic(expected = "payload type mismatch")]
     fn downcast_mismatch_panics() {
-        let b: Box<dyn Payload> = Box::new(Ping(7));
+        let b = PayloadSlot::new(Ping(7));
         let _ = downcast::<String>(b);
+    }
+
+    #[test]
+    fn mismatch_message_names_both_types() {
+        let r = std::panic::catch_unwind(|| downcast::<String>(PayloadSlot::new(Ping(9))));
+        let msg = *r.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("expected alloc::string::String"), "{msg}");
+        assert!(msg.contains("Ping(9)"), "{msg}");
+    }
+
+    #[test]
+    fn oversized_payload_falls_back_to_box() {
+        #[derive(Debug, PartialEq)]
+        struct Big([u64; 5]);
+        let b = PayloadSlot::new(Big([1, 2, 3, 4, 5]));
+        assert!(!b.is_inline());
+        assert_eq!(downcast::<Big>(b), Big([1, 2, 3, 4, 5]));
+        // Over-aligned payloads also box, even when they fit by size.
+        #[derive(Debug, PartialEq)]
+        #[repr(align(16))]
+        struct Wide(u64);
+        let w = PayloadSlot::new(Wide(3));
+        assert!(!w.is_inline());
+        assert_eq!(downcast::<Wide>(w), Wide(3));
+    }
+
+    #[test]
+    fn slot_drops_payload_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct Canary;
+        impl Drop for Canary {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        // Dropped while still in the slot.
+        drop(PayloadSlot::new(Canary));
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1);
+        // Moved out by downcast: dropped once, as the concrete value.
+        let c = downcast::<Canary>(PayloadSlot::new(Canary));
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1);
+        drop(c);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 2);
+        // Failed downcast hands the payload back intact; dropping the
+        // returned slot drops the value.
+        let slot = PayloadSlot::new(Canary).try_downcast::<Ping>().unwrap_err();
+        assert_eq!(DROPS.load(Ordering::SeqCst), 2);
+        drop(slot);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn common_message_types_fit_inline() {
+        // The inline threshold exists for these: if this fails, either the
+        // threshold or the message type needs revisiting.
+        assert!(size_of::<(u64, u64, bool)>() <= INLINE_PAYLOAD_BYTES);
+        assert!(size_of::<(u32, u32, u64, u64)>() <= INLINE_PAYLOAD_BYTES);
+        assert!(PayloadSlot::new(()).is_inline());
+        assert!(PayloadSlot::new(0u64).is_inline());
+        assert!(PayloadSlot::new([0u64; 3]).is_inline());
+        assert!(!PayloadSlot::new([0u64; 4]).is_inline());
     }
 
     #[test]
@@ -201,7 +413,7 @@ mod tests {
             target: ComponentId(0),
             kind: EventKind::Message {
                 port: PortId(0),
-                payload: Box::new(()),
+                payload: PayloadSlot::new(()),
             },
         });
         pool.put(b);
@@ -211,6 +423,16 @@ mod tests {
         // Zero-capacity buffers are not worth retaining.
         pool.put(Vec::new());
         assert_eq!(pool.get().capacity(), 0);
+    }
+
+    #[test]
+    fn buf_pool_drops_oversized_buffers() {
+        let mut pool = EventBufPool::new();
+        let over = EventBufPool::MAX_RETAINED_BYTES / size_of::<ScheduledEvent>() + 1;
+        pool.put(Vec::with_capacity(over));
+        assert_eq!(pool.get().capacity(), 0, "giant buffer must not be pinned");
+        pool.put(Vec::with_capacity(over - 1));
+        assert!(pool.get().capacity() >= over - 1, "fitting buffer reused");
     }
 
     #[test]

@@ -26,11 +26,11 @@
 //! struct Bouncer { limit: u32 }
 //! impl Component for Bouncer {
 //!     fn setup(&mut self, ctx: &mut SimCtx<'_>) {
-//!         if ctx.name() == "a" { ctx.send(PortId(0), Box::new(Ping(0))); }
+//!         if ctx.name() == "a" { ctx.send(PortId(0), Ping(0)); }
 //!     }
-//!     fn on_event(&mut self, _p: PortId, ev: Box<dyn Payload>, ctx: &mut SimCtx<'_>) {
+//!     fn on_event(&mut self, _p: PortId, ev: PayloadSlot, ctx: &mut SimCtx<'_>) {
 //!         let ping = downcast::<Ping>(ev);
-//!         if ping.0 < self.limit { ctx.send(PortId(0), Box::new(Ping(ping.0 + 1))); }
+//!         if ping.0 < self.limit { ctx.send(PortId(0), Ping(ping.0 + 1)); }
 //!     }
 //! }
 //!
@@ -60,7 +60,9 @@ pub use builder::SystemBuilder;
 pub use component::{ClockAction, Component, EventSink, SimCtx};
 pub use config::{ComponentRegistry, ConfigError, SystemConfig};
 pub use engine::{Engine, EngineOn, HeapEngine, RunLimit, SimReport};
-pub use event::{downcast, ClockId, ComponentId, Payload, PortId, SELF_PORT};
+pub use event::{
+    downcast, ClockId, ComponentId, Payload, PayloadSlot, PortId, INLINE_PAYLOAD_BYTES, SELF_PORT,
+};
 pub use fidelity::{Fidelity, ParseFidelityError};
 pub use parallel::ParallelEngine;
 pub use params::{ParamError, Params};
@@ -77,7 +79,9 @@ pub mod prelude {
     pub use crate::component::{ClockAction, Component, SimCtx};
     pub use crate::config::{ComponentRegistry, SystemConfig};
     pub use crate::engine::{Engine, RunLimit, SimReport};
-    pub use crate::event::{downcast, ClockId, ComponentId, Payload, PortId, SELF_PORT};
+    pub use crate::event::{
+        downcast, ClockId, ComponentId, Payload, PayloadSlot, PortId, SELF_PORT,
+    };
     pub use crate::fidelity::Fidelity;
     pub use crate::parallel::ParallelEngine;
     pub use crate::params::Params;

@@ -209,6 +209,8 @@ impl ParallelEngine {
                 let agg = profile.get_or_insert_with(EngineProfile::default);
                 agg.components.extend(p.components);
                 agg.queue_depth_hwm = agg.queue_depth_hwm.max(p.queue_depth_hwm);
+                agg.delivery_batches += p.delivery_batches;
+                agg.max_batch_events = agg.max_batch_events.max(p.max_batch_events);
                 agg.ranks.push(RankSyncProfile {
                     rank: rank as u32,
                     sync_rounds: info.rounds,
@@ -316,7 +318,7 @@ impl crate::component::Component for RemotePlaceholder {
     fn on_event(
         &mut self,
         _port: crate::event::PortId,
-        _payload: Box<dyn crate::event::Payload>,
+        _payload: crate::event::PayloadSlot,
         _ctx: &mut crate::component::SimCtx<'_>,
     ) {
         unreachable!("remote placeholder received an event");
@@ -418,11 +420,21 @@ impl SyncState {
 
     /// Send pending cross-rank events and any improved EOT promises.
     /// A batch goes to a neighbor only when there is news for it.
+    ///
+    /// `announce_nulls` gates *pure* null messages (EOT-only batches). While
+    /// a rank is making local progress its EOT improves every iteration, and
+    /// re-announcing each small step is the null-message storm CMB is
+    /// infamous for; deferring them costs neighbors nothing as long as the
+    /// rank announces before it blocks or retires. Two escapes keep
+    /// pipelining tight: an EOT jump of at least the pairwise lookahead is
+    /// announced immediately (it likely unblocks the neighbor's whole next
+    /// window), and event-carrying batches always flush.
     fn flush_and_announce(
         &mut self,
         outbound: &mut [Vec<ScheduledEvent>],
         queue: &EventQueue,
         shared: &RankShared<'_>,
+        announce_nulls: bool,
     ) {
         let next_local = queue.next_time().map_or(u64::MAX, |t| t.as_ps());
         let basis = next_local.min(self.eit_min());
@@ -431,7 +443,10 @@ impl SyncState {
             let s = self.neighbors[i] as usize;
             let eot = basis.saturating_add(self.la_out[s]).max(self.last_eot[s]);
             let has_events = !outbound[s].is_empty();
-            if !has_events && eot == self.last_eot[s] {
+            if !has_events
+                && (eot == self.last_eot[s]
+                    || (!announce_nulls && eot - self.last_eot[s] < self.la_out[s]))
+            {
                 continue;
             }
             let events = std::mem::replace(&mut outbound[s], self.pool.get());
@@ -457,6 +472,29 @@ impl SyncState {
         if announced {
             self.rounds += 1;
         }
+    }
+}
+
+/// Deliver one event through a [`RankSink`] and fold any locally staged
+/// sends straight back into the queue, so follow-up straggler checks see
+/// them. Shared by the batch loop's main and straggler paths.
+#[inline]
+fn deliver_one(
+    kernel: &mut Kernel,
+    ev: ScheduledEvent,
+    my_rank: u32,
+    staging: &mut Vec<ScheduledEvent>,
+    outbound: &mut [Vec<ScheduledEvent>],
+    queue: &mut EventQueue,
+) {
+    let mut sink = RankSink {
+        my_rank,
+        local: staging,
+        outbound,
+    };
+    kernel.deliver(ev, &mut sink);
+    for ev in staging.drain(..) {
+        queue.push(ev);
     }
 }
 
@@ -504,9 +542,15 @@ fn run_rank(
 ) -> (Kernel, RankRunInfo) {
     let n = la_row.len();
     let mut queue = EventQueue::new();
-    let mut staging: Vec<ScheduledEvent> = Vec::new();
-    let mut outbound: Vec<Vec<ScheduledEvent>> = (0..n).map(|_| Vec::new()).collect();
     let mut sync = SyncState::new(my_rank, &la_row);
+    // All working buffers come from (and return to) the rank's pool, so
+    // steady-state exchange and batching allocate nothing: `staging` and
+    // `batch` live for the whole run, `outbound` vectors cycle through the
+    // pool as they are shipped (the receiver's `absorb` returns each spent
+    // `Batch.events` vector to *its* pool).
+    let mut staging: Vec<ScheduledEvent> = sync.pool.get();
+    let mut batch: Vec<ScheduledEvent> = sync.pool.get();
+    let mut outbound: Vec<Vec<ScheduledEvent>> = (0..n).map(|_| sync.pool.get()).collect();
     let bound_ps = bound.as_ps();
     let profiling = kernel.tel.as_ref().is_some_and(|t| t.profiler.is_some());
     let mut stall_ns = 0u64;
@@ -528,52 +572,77 @@ fn run_rank(
     // Flush before publishing idleness: once `next_times` says MAX and the
     // sent/received counters balance, a checker may declare global
     // termination, so no unsent event may exist at that point.
-    sync.flush_and_announce(&mut outbound, &queue, &shared);
+    sync.flush_and_announce(&mut outbound, &queue, &shared, true);
     publish_next(&queue, my_rank, &shared);
 
     loop {
         // 1. Drain whatever neighbors have deposited since last look.
-        while let Ok(batch) = rx.try_recv() {
-            sync.absorb(batch, &mut queue, &shared);
+        while let Ok(incoming) = rx.try_recv() {
+            sync.absorb(incoming, &mut queue, &shared);
         }
 
         // 2. Process the safe window: strictly before the EIT (a neighbor
         //    may still send events *at* the EIT, and same-time events must
         //    enter the queue before tie-break ordering picks among them),
         //    and never past the bound (`Until` is inclusive, matching the
-        //    serial engine).
+        //    serial engine). Deliveries are batched per time instant, same
+        //    as the serial engine's step loop.
         let safe = sync.eit_min().min(bound_ps.saturating_add(1));
         let mut worked = false;
-        while let Some(ev) = queue.pop_before(SimTime::ps(safe)) {
-            let mut sink = RankSink {
-                my_rank,
-                local: &mut staging,
-                outbound: &mut outbound,
-            };
-            kernel.deliver(ev, &mut sink);
-            for ev in staging.drain(..) {
-                queue.push(ev);
-            }
-            if profiling {
-                if let Some(p) = kernel.tel.as_deref_mut().and_then(|t| t.profiler.as_mut()) {
-                    p.note_depth(queue.len() as u64);
+        if safe > 0 {
+            let window = SimTime::ps(safe - 1);
+            while queue.pop_time_run(window, &mut batch) != 0 {
+                let nb = batch.len() as u64;
+                for ev in batch.drain(..) {
+                    while let Some(s) = queue.pop_if_key_before(ev.key()) {
+                        deliver_one(
+                            &mut kernel,
+                            s,
+                            my_rank,
+                            &mut staging,
+                            &mut outbound,
+                            &mut queue,
+                        );
+                    }
+                    deliver_one(
+                        &mut kernel,
+                        ev,
+                        my_rank,
+                        &mut staging,
+                        &mut outbound,
+                        &mut queue,
+                    );
                 }
+                if profiling {
+                    if let Some(p) = kernel.tel.as_deref_mut().and_then(|t| t.profiler.as_mut()) {
+                        p.note_batch(nb);
+                        p.note_depth(queue.len() as u64);
+                    }
+                }
+                worked = true;
             }
-            worked = true;
         }
 
-        // 3. Ship events and improved EOT promises to neighbors, *then*
+        // 3. Decide *now* whether this iteration retires the rank: nothing
+        //    at or below the bound can ever reach it again. The flush below
+        //    must know, because the final EOT promises (which release the
+        //    neighbors) would otherwise be deferred by null coalescing and
+        //    never sent.
+        let next_local = queue.next_time().map_or(u64::MAX, |t| t.as_ps());
+        let retiring = bound_ps != u64::MAX && sync.eit_min() > bound_ps && next_local > bound_ps;
+
+        //    Ship events and improved EOT promises to neighbors, *then*
         //    publish our new earliest time: a rank must never look idle to
         //    the termination check while it holds unsent events (the send
         //    bumps `events_sent`, which keeps the counters unbalanced until
-        //    the receiver absorbs them).
-        sync.flush_and_announce(&mut outbound, &queue, &shared);
+        //    the receiver absorbs them). Pure nulls are deferred while the
+        //    rank is working — it always announces before blocking (below)
+        //    or retiring, so no neighbor starves.
+        sync.flush_and_announce(&mut outbound, &queue, &shared, !worked || retiring);
         publish_next(&queue, my_rank, &shared);
 
-        // 4. Retire when nothing at or below the bound can ever reach this
-        //    rank again. The promises just sent release the neighbors too.
-        let next_local = queue.next_time().map_or(u64::MAX, |t| t.as_ps());
-        if bound_ps != u64::MAX && sync.eit_min() > bound_ps && next_local > bound_ps {
+        // 4. Retire. The promises just sent release the neighbors too.
+        if retiring {
             break;
         }
 
@@ -596,7 +665,7 @@ fn run_rank(
                 stall_ns += t.elapsed().as_nanos() as u64;
             }
             match res {
-                Ok(batch) => sync.absorb(batch, &mut queue, &shared),
+                Ok(incoming) => sync.absorb(incoming, &mut queue, &shared),
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => break,
             }
@@ -630,7 +699,7 @@ fn run_rank(
 mod tests {
     use super::*;
     use crate::component::{Component, SimCtx};
-    use crate::event::{downcast, Payload, PortId};
+    use crate::event::{downcast, PayloadSlot, PortId};
     use crate::stats::StatId;
 
     #[derive(Debug)]
@@ -650,18 +719,15 @@ mod tests {
         fn setup(&mut self, ctx: &mut SimCtx<'_>) {
             self.visits = Some(ctx.stat_counter("visits"));
             if self.start {
-                ctx.send(Self::OUT, Box::new(Token(0)));
+                ctx.send(Self::OUT, Token(0));
             }
         }
-        fn on_event(&mut self, port: PortId, payload: Box<dyn Payload>, ctx: &mut SimCtx<'_>) {
+        fn on_event(&mut self, port: PortId, payload: PayloadSlot, ctx: &mut SimCtx<'_>) {
             assert_eq!(port, Self::IN);
             let tok = downcast::<Token>(payload);
             ctx.add_stat(self.visits.unwrap(), 1);
             if tok.0 < self.laps {
-                ctx.send(
-                    Self::OUT,
-                    Box::new(Token(tok.0 + if self.start { 1 } else { 0 })),
-                );
+                ctx.send(Self::OUT, Token(tok.0 + if self.start { 1 } else { 0 }));
             }
         }
     }

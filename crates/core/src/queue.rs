@@ -31,7 +31,7 @@
 //! correctness: a push below `base` simply lands in `cur`, which is a real
 //! heap. Monotone pushes are what make it *fast*.
 
-use crate::event::{EventClass, ScheduledEvent, TieBreak};
+use crate::event::{EventClass, EventKey, ScheduledEvent, TieBreak};
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -68,6 +68,20 @@ pub trait SimQueue: Default {
     /// Pop the earliest event if its time is strictly `< limit`.
     fn pop_before(&mut self, limit: SimTime) -> Option<ScheduledEvent>;
     fn pop(&mut self) -> Option<ScheduledEvent>;
+    /// Drain the entire run of events sharing the earliest pending time into
+    /// `out` (appending), provided that time is `<= limit`. Returns the
+    /// number drained (0 when nothing qualifies). Events land in `out` in
+    /// delivery order. This is the batched-delivery primitive: engines drain
+    /// one time instant at a time into a pooled buffer and amortize
+    /// per-event queue and telemetry overhead across the batch.
+    fn pop_time_run(&mut self, limit: SimTime, out: &mut Vec<ScheduledEvent>) -> usize;
+    /// Pop the earliest event iff its key is strictly less than `key`.
+    ///
+    /// Engines call this between batch elements to interleave *stragglers* —
+    /// events pushed by handlers inside the batch (zero-delay self events)
+    /// whose key sorts before a not-yet-delivered batch element. O(1) on
+    /// both implementations in the common no-straggler case.
+    fn pop_if_key_before(&mut self, key: EventKey) -> Option<ScheduledEvent>;
     fn len(&self) -> usize;
     fn is_empty(&self) -> bool {
         self.len() == 0
@@ -125,6 +139,26 @@ impl BinaryHeapQueue {
         self.heap.pop().map(|e| e.0)
     }
 
+    pub fn pop_time_run(&mut self, limit: SimTime, out: &mut Vec<ScheduledEvent>) -> usize {
+        let Some(t) = self.next_time().filter(|&t| t <= limit) else {
+            return 0;
+        };
+        let start = out.len();
+        while self.heap.peek().is_some_and(|e| e.0.time == t) {
+            out.push(self.heap.pop().expect("peeked above").0);
+        }
+        out.len() - start
+    }
+
+    #[inline]
+    pub fn pop_if_key_before(&mut self, key: EventKey) -> Option<ScheduledEvent> {
+        if self.heap.peek().is_some_and(|e| e.0.key() < key) {
+            self.heap.pop().map(|e| e.0)
+        } else {
+            None
+        }
+    }
+
     #[inline]
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -155,6 +189,14 @@ impl SimQueue for BinaryHeapQueue {
     #[inline]
     fn pop(&mut self) -> Option<ScheduledEvent> {
         BinaryHeapQueue::pop(self)
+    }
+    #[inline]
+    fn pop_time_run(&mut self, limit: SimTime, out: &mut Vec<ScheduledEvent>) -> usize {
+        BinaryHeapQueue::pop_time_run(self, limit, out)
+    }
+    #[inline]
+    fn pop_if_key_before(&mut self, key: EventKey) -> Option<ScheduledEvent> {
+        BinaryHeapQueue::pop_if_key_before(self, key)
     }
     #[inline]
     fn len(&self) -> usize {
@@ -365,6 +407,118 @@ impl IndexedQueue {
         Some(e)
     }
 
+    /// Drain the whole run of events at the earliest pending time (when
+    /// `<= limit`) into `out`. In the common case — no stragglers in
+    /// `cur_extra` — the run is a contiguous suffix of the sorted active
+    /// bucket, so this is a straight memcpy-style pop loop with no key
+    /// comparisons beyond the time check.
+    pub fn pop_time_run(&mut self, limit: SimTime, out: &mut Vec<ScheduledEvent>) -> usize {
+        if self.cur.is_empty() && self.cur_extra.is_empty() && !self.advance() {
+            return 0;
+        }
+        let t = match (self.cur.last(), self.cur_extra.peek()) {
+            (Some(c), Some(x)) => c.time.min(x.0.time),
+            (Some(c), None) => c.time,
+            (None, Some(x)) => x.0.time,
+            (None, None) => unreachable!("advance() succeeded"),
+        };
+        if t > limit {
+            return 0;
+        }
+        let start = out.len();
+        if self.cur_extra.is_empty() {
+            while self.cur.last().is_some_and(|e| e.time == t) {
+                out.push(self.cur.pop().expect("checked above"));
+            }
+        } else {
+            // Stragglers present: merge the two active-bucket levels with
+            // the same key rule as pop().
+            loop {
+                let take_extra = match (self.cur.last(), self.cur_extra.peek()) {
+                    (Some(c), Some(x)) if c.time == t || x.0.time == t => x.0.key() < c.key(),
+                    (Some(c), None) if c.time == t => false,
+                    (None, Some(x)) if x.0.time == t => true,
+                    _ => break,
+                };
+                let e = if take_extra {
+                    self.cur_extra.pop().expect("peeked above").0
+                } else {
+                    self.cur.pop().expect("peeked above")
+                };
+                out.push(e);
+            }
+        }
+        let n = out.len() - start;
+        self.len -= n;
+        n
+    }
+
+    /// Pop the earliest event iff its key precedes `key`. O(1) whenever the
+    /// active bucket is non-empty — in particular between elements of a
+    /// freshly drained batch, where any qualifying straggler must sit in
+    /// `cur_extra` (later buckets hold strictly later times).
+    #[inline]
+    pub fn pop_if_key_before(&mut self, key: EventKey) -> Option<ScheduledEvent> {
+        let take_extra = match (self.cur.last(), self.cur_extra.peek()) {
+            (Some(c), Some(x)) => {
+                let (ck, xk) = (c.key(), x.0.key());
+                if ck.min(xk) >= key {
+                    return None;
+                }
+                xk < ck
+            }
+            (Some(c), None) => {
+                if c.key() >= key {
+                    return None;
+                }
+                false
+            }
+            (None, Some(x)) => {
+                if x.0.key() >= key {
+                    return None;
+                }
+                true
+            }
+            (None, None) => return self.pop_if_key_before_outside_window(key),
+        };
+        let e = if take_extra {
+            self.cur_extra.pop().expect("peeked above").0
+        } else {
+            self.cur.pop().expect("peeked above")
+        };
+        self.len -= 1;
+        Some(e)
+    }
+
+    /// Cold path of [`pop_if_key_before`](Self::pop_if_key_before): the
+    /// active bucket is empty, so the earliest event (if any) lives in a
+    /// later bucket. A strictly earlier *time* decides outright; on an exact
+    /// time tie the event is popped for a full-key look and pushed back
+    /// (landing in `cur_extra`, which preserves order) when it loses.
+    fn pop_if_key_before_outside_window(&mut self, key: EventKey) -> Option<ScheduledEvent> {
+        // With both active levels empty, every pending event sits in a
+        // bucket strictly after `base`; a probe key at or before `base`'s
+        // bucket therefore cannot be preceded. This is the steady state of
+        // batched delivery (probe time == the just-drained bucket), so it
+        // must stay O(1) — the scan below walks the next bucket's contents.
+        if bucket_of(key.0) <= self.base {
+            return None;
+        }
+        match self.next_time() {
+            Some(t) if t < key.0 => self.pop(),
+            Some(t) if t == key.0 => {
+                let e = self.pop().expect("next_time was Some");
+                if e.key() < key {
+                    Some(e)
+                } else {
+                    self.push(e);
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
     #[inline]
     pub fn len(&self) -> usize {
         self.len
@@ -397,6 +551,14 @@ impl SimQueue for IndexedQueue {
         IndexedQueue::pop(self)
     }
     #[inline]
+    fn pop_time_run(&mut self, limit: SimTime, out: &mut Vec<ScheduledEvent>) -> usize {
+        IndexedQueue::pop_time_run(self, limit, out)
+    }
+    #[inline]
+    fn pop_if_key_before(&mut self, key: EventKey) -> Option<ScheduledEvent> {
+        IndexedQueue::pop_if_key_before(self, key)
+    }
+    #[inline]
     fn len(&self) -> usize {
         IndexedQueue::len(self)
     }
@@ -413,7 +575,7 @@ pub fn key_order(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::{ComponentId, EventKind, PortId};
+    use crate::event::{ComponentId, EventKind, PayloadSlot, PortId};
 
     fn ev(t: u64, class: EventClass, src: u32, seq: u64) -> ScheduledEvent {
         ScheduledEvent {
@@ -426,7 +588,7 @@ mod tests {
             target: ComponentId(0),
             kind: EventKind::Message {
                 port: PortId(0),
-                payload: Box::new(()),
+                payload: PayloadSlot::new(()),
             },
         }
     }
@@ -573,6 +735,81 @@ mod tests {
             }
         }
         assert!(a.is_empty() && b.is_empty());
+    }
+
+    #[test]
+    fn pop_time_run_drains_exactly_one_instant() {
+        fn check<Q: SimQueue>() {
+            let mut q = Q::default();
+            q.push(ev(10, EventClass::Message, 2, 0));
+            q.push(ev(10, EventClass::Clock, 1, 0));
+            q.push(ev(10, EventClass::Message, 1, 5));
+            q.push(ev(20, EventClass::Message, 0, 0));
+            let mut out = Vec::new();
+            // Limit below the earliest instant: nothing drained.
+            assert_eq!(q.pop_time_run(SimTime::ps(9), &mut out), 0);
+            assert_eq!(q.pop_time_run(SimTime::ps(10), &mut out), 3);
+            let keys: Vec<_> = out.iter().map(|e| (e.class, e.tie.src.0)).collect();
+            assert_eq!(
+                keys,
+                vec![
+                    (EventClass::Clock, 1),
+                    (EventClass::Message, 1),
+                    (EventClass::Message, 2)
+                ]
+            );
+            assert_eq!(q.len(), 1, "t=20 event stays queued");
+            out.clear();
+            assert_eq!(q.pop_time_run(SimTime::ps(100), &mut out), 1);
+            assert!(q.is_empty());
+        }
+        check::<BinaryHeapQueue>();
+        check::<IndexedQueue>();
+    }
+
+    #[test]
+    fn pop_if_key_before_interleaves_stragglers() {
+        fn check<Q: SimQueue>() {
+            let mut q = Q::default();
+            q.push(ev(10, EventClass::Message, 3, 0));
+            q.push(ev(10, EventClass::Message, 5, 0));
+            let mut batch = Vec::new();
+            assert_eq!(q.pop_time_run(SimTime::ps(10), &mut batch), 2);
+            // A zero-delay straggler from src 4 lands between the batch
+            // elements; one from src 9 lands after both.
+            q.push(ev(10, EventClass::Message, 4, 0));
+            q.push(ev(10, EventClass::Message, 9, 0));
+            assert!(q.pop_if_key_before(batch[0].key()).is_none(), "src3 first");
+            let s = q.pop_if_key_before(batch[1].key()).expect("src4 < src5");
+            assert_eq!(s.tie.src.0, 4);
+            assert!(q.pop_if_key_before(batch[1].key()).is_none());
+            assert_eq!(q.pop().unwrap().tie.src.0, 9);
+        }
+        check::<BinaryHeapQueue>();
+        check::<IndexedQueue>();
+    }
+
+    #[test]
+    fn pop_if_key_before_crosses_buckets() {
+        // The cold path: active bucket empty, candidate lives in the ring.
+        let mut q = IndexedQueue::new();
+        q.push(ev(5 << SHIFT, EventClass::Message, 1, 0));
+        let probe = |src: u32| {
+            (
+                SimTime::ps(5 << SHIFT),
+                EventClass::Message,
+                TieBreak {
+                    src: ComponentId(src),
+                    seq: 0,
+                },
+            )
+        };
+        // Same time, smaller tie: must not pop (and must not lose the event).
+        assert!(q.pop_if_key_before(probe(0)).is_none());
+        assert_eq!(q.len(), 1);
+        // Same time, larger tie: pops.
+        assert_eq!(q.pop_if_key_before(probe(2)).unwrap().tie.src.0, 1);
+        assert!(q.is_empty());
     }
 
     #[test]

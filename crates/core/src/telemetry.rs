@@ -863,6 +863,13 @@ pub struct EngineProfile {
     pub components: Vec<ComponentProfile>,
     /// Peak pending-event-queue depth observed (max over ranks).
     pub queue_depth_hwm: u64,
+    /// Same-time delivery batches executed (summed over ranks). Each batch
+    /// is one drain of the queue's current time instant.
+    #[serde(default)]
+    pub delivery_batches: u64,
+    /// Largest single delivery batch observed (max over ranks).
+    #[serde(default)]
+    pub max_batch_events: u64,
     /// Parallel-engine sync metrics; empty for serial runs.
     #[serde(default)]
     pub ranks: Vec<RankSyncProfile>,
@@ -898,6 +905,11 @@ pub struct RankSyncProfile {
 impl fmt::Display for EngineProfile {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "queue depth high-watermark: {}", self.queue_depth_hwm)?;
+        writeln!(
+            f,
+            "delivery batches: {} (largest {})",
+            self.delivery_batches, self.max_batch_events
+        )?;
         let mut comps: Vec<&ComponentProfile> = self.components.iter().collect();
         comps.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
         writeln!(
@@ -940,6 +952,8 @@ pub(crate) struct Profiler {
     total_ns: Vec<u64>,
     max_ns: Vec<u64>,
     queue_hwm: u64,
+    batches: u64,
+    max_batch: u64,
 }
 
 impl Profiler {
@@ -949,6 +963,8 @@ impl Profiler {
             total_ns: vec![0; n_comps],
             max_ns: vec![0; n_comps],
             queue_hwm: 0,
+            batches: 0,
+            max_batch: 0,
         }
     }
 
@@ -971,6 +987,15 @@ impl Profiler {
         }
     }
 
+    /// Record one same-time delivery batch of `events` deliveries.
+    #[inline]
+    pub fn note_batch(&mut self, events: u64) {
+        self.batches += 1;
+        if events > self.max_batch {
+            self.max_batch = events;
+        }
+    }
+
     pub fn into_profile(self, names: &[String]) -> EngineProfile {
         let components = self
             .events
@@ -987,6 +1012,8 @@ impl Profiler {
         EngineProfile {
             components,
             queue_depth_hwm: self.queue_hwm,
+            delivery_batches: self.batches,
+            max_batch_events: self.max_batch,
             ranks: Vec::new(),
         }
     }

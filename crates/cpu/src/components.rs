@@ -117,7 +117,7 @@ impl CoreComponent {
             self.next_req_id += 1;
             self.outstanding += 1;
             ctx.add_stat(self.mem_ops.unwrap(), 1);
-            ctx.send_delayed(Self::MEM, Box::new(MemReq { id, addr, write }), delay);
+            ctx.send_delayed(Self::MEM, MemReq { id, addr, write }, delay);
         }
         if batch > 0 {
             ctx.add_stat(self.instrs.unwrap(), batch);
@@ -135,10 +135,10 @@ impl Component for CoreComponent {
         self.mem_ops = Some(ctx.stat_counter("mem_ops"));
         self.done_at = Some(ctx.stat_accumulator("done_at_ns"));
         // Kick off issue after one cycle.
-        ctx.schedule_self(self.freq.period(), Box::new(Resume));
+        ctx.schedule_self(self.freq.period(), Resume);
     }
 
-    fn on_event(&mut self, port: PortId, payload: Box<dyn Payload>, ctx: &mut SimCtx<'_>) {
+    fn on_event(&mut self, port: PortId, payload: PayloadSlot, ctx: &mut SimCtx<'_>) {
         match port {
             SELF_PORT => {
                 let _ = downcast::<Resume>(payload);

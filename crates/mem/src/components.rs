@@ -78,7 +78,7 @@ impl Component for CacheComponent {
         self.coalesced = Some(ctx.stat_counter("coalesced_misses"));
     }
 
-    fn on_event(&mut self, port: PortId, payload: Box<dyn Payload>, ctx: &mut SimCtx<'_>) {
+    fn on_event(&mut self, port: PortId, payload: PayloadSlot, ctx: &mut SimCtx<'_>) {
         match port {
             Self::CPU => {
                 let req = downcast::<MemReq>(payload);
@@ -93,10 +93,10 @@ impl Component for CacheComponent {
                     ctx.add_stat(self.hits.unwrap(), 1);
                     ctx.send_delayed(
                         Self::CPU,
-                        Box::new(MemResp {
+                        MemResp {
                             id: req.id,
                             addr: req.addr,
-                        }),
+                        },
                         self.latency,
                     );
                 } else {
@@ -114,27 +114,27 @@ impl Component for CacheComponent {
                         self.next_downstream_id += 1;
                         ctx.send_delayed(
                             Self::MEM,
-                            Box::new(MemReq {
+                            MemReq {
                                 id,
                                 addr: victim,
                                 write: true,
-                            }),
+                            },
                             self.latency,
                         );
                     }
                     let entry = self.mshrs.entry(line).or_default();
                     let first = entry.is_empty();
-                    entry.push(*req);
+                    entry.push(req);
                     if first {
                         let id = self.next_downstream_id;
                         self.next_downstream_id += 1;
                         ctx.send_delayed(
                             Self::MEM,
-                            Box::new(MemReq {
+                            MemReq {
                                 id,
                                 addr: line,
                                 write: false,
-                            }),
+                            },
                             self.latency,
                         );
                     } else {
@@ -149,10 +149,10 @@ impl Component for CacheComponent {
                     for w in waiters {
                         ctx.send(
                             Self::CPU,
-                            Box::new(MemResp {
+                            MemResp {
                                 id: w.id,
                                 addr: w.addr,
-                            }),
+                            },
                         );
                     }
                 }
@@ -215,7 +215,7 @@ impl Component for MemoryComponent {
         self.latency_stat = Some(ctx.stat_accumulator("latency_ns"));
     }
 
-    fn on_event(&mut self, port: PortId, payload: Box<dyn Payload>, ctx: &mut SimCtx<'_>) {
+    fn on_event(&mut self, port: PortId, payload: PayloadSlot, ctx: &mut SimCtx<'_>) {
         assert_eq!(port, Self::BUS);
         let req = downcast::<MemReq>(payload);
         let now = ctx.now();
@@ -231,10 +231,10 @@ impl Component for MemoryComponent {
         ctx.record_stat(self.latency_stat.unwrap(), (done - now).as_ns_f64());
         ctx.send_delayed(
             Self::BUS,
-            Box::new(MemResp {
+            MemResp {
                 id: req.id,
                 addr: req.addr,
-            }),
+            },
             done - now,
         );
     }
@@ -310,7 +310,7 @@ impl Component for BusComponent {
         self.forwarded = Some(ctx.stat_counter("forwarded"));
     }
 
-    fn on_event(&mut self, port: PortId, payload: Box<dyn Payload>, ctx: &mut SimCtx<'_>) {
+    fn on_event(&mut self, port: PortId, payload: PayloadSlot, ctx: &mut SimCtx<'_>) {
         if port == Self::DOWN {
             let resp = downcast::<MemResp>(payload);
             // Writeback responses whose requester forgot about them match no
@@ -318,10 +318,10 @@ impl Component for BusComponent {
             if let Some((up, orig)) = self.pending.remove(&resp.id) {
                 ctx.send(
                     PortId(up as u16),
-                    Box::new(MemResp {
+                    MemResp {
                         id: orig,
                         addr: resp.addr,
-                    }),
+                    },
                 );
             }
         } else {
@@ -332,11 +332,11 @@ impl Component for BusComponent {
             ctx.add_stat(self.forwarded.unwrap(), 1);
             ctx.send(
                 Self::DOWN,
-                Box::new(MemReq {
+                MemReq {
                     id,
                     addr: req.addr,
                     write: req.write,
-                }),
+                },
             );
         }
     }
@@ -417,14 +417,14 @@ mod tests {
             self.inflight = 100;
             ctx.send(
                 Self::MEM,
-                Box::new(MemReq {
+                MemReq {
                     id: 100,
                     addr,
                     write: false,
-                }),
+                },
             );
         }
-        fn on_event(&mut self, _port: PortId, payload: Box<dyn Payload>, ctx: &mut SimCtx<'_>) {
+        fn on_event(&mut self, _port: PortId, payload: PayloadSlot, ctx: &mut SimCtx<'_>) {
             let resp = downcast::<MemResp>(payload);
             assert_eq!(resp.id, self.inflight);
             ctx.add_stat(self.responses.unwrap(), 1);
@@ -434,11 +434,11 @@ mod tests {
                 self.inflight += 1;
                 ctx.send(
                     Self::MEM,
-                    Box::new(MemReq {
+                    MemReq {
                         id: self.inflight,
                         addr,
                         write: false,
-                    }),
+                    },
                 );
             }
         }

@@ -307,7 +307,7 @@ impl TraceDriver {
             let id = self.next as u64;
             self.next += 1;
             ctx.add_stat(self.issued.unwrap(), 1);
-            ctx.send(Self::MEM, Box::new(MemReq { id, addr, write }));
+            ctx.send(Self::MEM, MemReq { id, addr, write });
         }
     }
 }
@@ -318,7 +318,7 @@ impl Component for TraceDriver {
         self.issue(ctx);
     }
 
-    fn on_event(&mut self, _port: PortId, payload: Box<dyn Payload>, ctx: &mut SimCtx<'_>) {
+    fn on_event(&mut self, _port: PortId, payload: PayloadSlot, ctx: &mut SimCtx<'_>) {
         let _resp = downcast::<MemResp>(payload);
         self.issue(ctx);
     }

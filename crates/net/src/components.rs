@@ -55,7 +55,7 @@ impl Component for FabricComponent {
         self.transit_ns = Some(ctx.stat_accumulator("transit_ns"));
     }
 
-    fn on_event(&mut self, port: PortId, payload: Box<dyn Payload>, ctx: &mut SimCtx<'_>) {
+    fn on_event(&mut self, port: PortId, payload: PayloadSlot, ctx: &mut SimCtx<'_>) {
         let pkt = downcast::<Packet>(payload);
         debug_assert_eq!(port.0 as u32, pkt.src, "packet arrived on wrong port");
         let now = ctx.now();
@@ -64,7 +64,7 @@ impl Component for FabricComponent {
         ctx.record_stat(self.transit_ns.unwrap(), (done - now).as_ns_f64());
         let out = Self::port(pkt.dst);
         if ctx.port_connected(out) {
-            ctx.send_delayed(out, Box::new(*pkt), done - now);
+            ctx.send_delayed(out, pkt, done - now);
         }
     }
 
@@ -122,9 +122,9 @@ impl TrafficGen {
             bytes: self.bytes,
             sent_at: ctx.now(),
         };
-        ctx.send(Self::NET, Box::new(pkt));
+        ctx.send(Self::NET, pkt);
         if self.sent < self.count {
-            ctx.schedule_self(self.gap, Box::new(Fire));
+            ctx.schedule_self(self.gap, Fire);
         }
     }
 }
@@ -135,11 +135,11 @@ impl Component for TrafficGen {
         self.recv_stat = Some(ctx.stat_counter("received"));
         self.rtt = Some(ctx.stat_accumulator("latency_ns"));
         if self.count > 0 {
-            ctx.schedule_self(self.gap, Box::new(Fire));
+            ctx.schedule_self(self.gap, Fire);
         }
     }
 
-    fn on_event(&mut self, port: PortId, payload: Box<dyn Payload>, ctx: &mut SimCtx<'_>) {
+    fn on_event(&mut self, port: PortId, payload: PayloadSlot, ctx: &mut SimCtx<'_>) {
         match port {
             SELF_PORT => {
                 let _ = downcast::<Fire>(payload);

@@ -27,16 +27,16 @@ impl Component for Traffic {
         self.forwarded = Some(ctx.stat_counter("forwarded"));
         for i in 0..self.initial_tokens {
             let port = PortId((i % self.ports as u32) as u16);
-            ctx.send(port, Box::new(Token { ttl: self.ttl }));
+            ctx.send(port, Token { ttl: self.ttl });
         }
     }
 
-    fn on_event(&mut self, _port: PortId, payload: Box<dyn Payload>, ctx: &mut SimCtx<'_>) {
+    fn on_event(&mut self, _port: PortId, payload: PayloadSlot, ctx: &mut SimCtx<'_>) {
         let tok = downcast::<Token>(payload);
         ctx.add_stat(self.forwarded.unwrap(), 1);
         if tok.ttl > 0 {
             let out = PortId(ctx.rng().gen::<u16>() % self.ports);
-            ctx.send(out, Box::new(Token { ttl: tok.ttl - 1 }));
+            ctx.send(out, Token { ttl: tok.ttl - 1 });
         }
     }
 }

@@ -29,15 +29,15 @@ impl Component for Hopper {
             let port = PortId((i as u16) % self.fanout);
             ctx.send(
                 port,
-                Box::new(Tok {
+                Tok {
                     hops_left: self.hops_left_init,
                     value: i as u64 + 1,
-                }),
+                },
             );
         }
     }
 
-    fn on_event(&mut self, _port: PortId, payload: Box<dyn Payload>, ctx: &mut SimCtx<'_>) {
+    fn on_event(&mut self, _port: PortId, payload: PayloadSlot, ctx: &mut SimCtx<'_>) {
         let tok = downcast::<Tok>(payload);
         ctx.add_stat(self.received.unwrap(), 1);
         // Order-sensitive checksum: mixes the rng stream with the token
@@ -51,10 +51,10 @@ impl Component for Hopper {
             let port = PortId((ctx.rng().gen::<u16>()) % self.fanout);
             ctx.send(
                 port,
-                Box::new(Tok {
+                Tok {
                     hops_left: tok.hops_left - 1,
                     value: tok.value,
-                }),
+                },
             );
         }
     }

@@ -6,7 +6,9 @@
 
 use proptest::prelude::*;
 use sst_core::engine::{EngineOn, HeapEngine};
-use sst_core::event::{ComponentId, EventClass, EventKind, PortId, ScheduledEvent, TieBreak};
+use sst_core::event::{
+    ComponentId, EventClass, EventKind, PayloadSlot, PortId, ScheduledEvent, TieBreak,
+};
 use sst_core::prelude::*;
 use sst_core::queue::{BinaryHeapQueue, IndexedQueue};
 
@@ -25,7 +27,7 @@ fn ev(t: u64, clock: bool, src: u32, seq: u64) -> ScheduledEvent {
         target: ComponentId(0),
         kind: EventKind::Message {
             port: PortId(0),
-            payload: Box::new(()),
+            payload: PayloadSlot::new(()),
         },
     }
 }
@@ -138,10 +140,10 @@ impl Component for Mixer {
         self.checksum = Some(ctx.stat_counter("checksum"));
         for i in 0..self.tokens {
             let port = PortId(i as u16 % self.fanout);
-            ctx.send(port, Box::new(Tok(self.hops, i as u64 + 1)));
+            ctx.send(port, Tok(self.hops, i as u64 + 1));
         }
     }
-    fn on_event(&mut self, _port: PortId, payload: Box<dyn Payload>, ctx: &mut SimCtx<'_>) {
+    fn on_event(&mut self, _port: PortId, payload: PayloadSlot, ctx: &mut SimCtx<'_>) {
         let tok = downcast::<Tok>(payload);
         let r: u64 = rand::Rng::gen(ctx.rng());
         ctx.add_stat(
@@ -150,7 +152,7 @@ impl Component for Mixer {
         );
         if tok.0 > 0 {
             let port = PortId(rand::Rng::gen::<u16>(ctx.rng()) % self.fanout);
-            ctx.send(port, Box::new(Tok(tok.0 - 1, tok.1)));
+            ctx.send(port, Tok(tok.0 - 1, tok.1));
         }
     }
 }

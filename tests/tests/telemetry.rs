@@ -23,17 +23,17 @@ impl Component for RingNode {
         self.seen = Some(ctx.stat_counter("seen"));
         self.val = Some(ctx.stat_accumulator("hopval"));
         if ctx.name() == "n0" {
-            ctx.send(PortId(0), Box::new(Tok(self.hops)));
+            ctx.send(PortId(0), Tok(self.hops));
         }
     }
 
-    fn on_event(&mut self, _port: PortId, payload: Box<dyn Payload>, ctx: &mut SimCtx<'_>) {
+    fn on_event(&mut self, _port: PortId, payload: PayloadSlot, ctx: &mut SimCtx<'_>) {
         let tok = downcast::<Tok>(payload);
         ctx.add_stat(self.seen.unwrap(), 1);
         ctx.record_stat(self.val.unwrap(), tok.0 as f64);
         ctx.trace_mark("hop", tok.0 as u64);
         if tok.0 > 0 {
-            ctx.send(PortId(0), Box::new(Tok(tok.0 - 1)));
+            ctx.send(PortId(0), Tok(tok.0 - 1));
         }
     }
 }
@@ -169,7 +169,7 @@ fn stats_series_reconciles_with_final_counters() {
         ..Default::default()
     })
     .unwrap();
-    let report = Engine::with_telemetry(ring(4, 200), spec.clone()).run(RunLimit::Exhaust);
+    let report = Engine::with_telemetry(ring(4, 200), spec).run(RunLimit::Exhaust);
     let series = report.series.as_ref().expect("series requested");
     assert!(series.points.len() > 2, "multiple samples over the run");
     for owner in ["n0", "n1", "n2", "n3"] {
@@ -190,8 +190,7 @@ fn parallel_profile_has_rank_sync_metrics() {
         ..Default::default()
     })
     .unwrap();
-    let report =
-        ParallelEngine::with_telemetry(ring(4, 200), 2, spec.clone()).run(RunLimit::Exhaust);
+    let report = ParallelEngine::with_telemetry(ring(4, 200), 2, spec).run(RunLimit::Exhaust);
     let profile = report.profile.as_ref().expect("profile requested");
     assert_eq!(profile.ranks.len(), 2, "one sync profile per rank");
     assert!(profile.ranks.iter().any(|r| r.sync_rounds > 0));
