@@ -1,0 +1,508 @@
+//! Head-to-head comparison of the rank-partitioning strategies on three
+//! topologies where the cut placement actually matters:
+//!
+//! * **mixed-latency ring** — 64 nodes, a slow 50 ns link every 7th hop and
+//!   5 ns links elsewhere. The natural cuts are the slow links; contiguous
+//!   block splitting lands on fast links and inherits their tiny lookahead.
+//! * **asymmetric torus** — the pdes token-traffic torus with 2 ns vertical
+//!   links and 20 ns horizontal links. Block partitioning cuts row bands
+//!   (the 2 ns links), `latency-cut` rotates the cut onto the 20 ns
+//!   columns, buying 10x the conservative lookahead.
+//! * **hierarchical clusters** — rings of 9 nodes joined by a 40 ns
+//!   gateway ring. Block boundaries land mid-cluster across 1 ns links.
+//!
+//! For every (topology, strategy, rank count) the report records the static
+//! partition quality (cut links, weighted cut, minimum cross-cut lookahead,
+//! load imbalance), the measured sync behavior of a profiled run (sync
+//! rounds, pure null-message batches, stall time), and best-of timed
+//! events/sec — plus an identity check that every strategy reproduces the
+//! serial `SimReport` bit-for-bit.
+//!
+//! A final section closes the measure→repartition→rerun loop on the
+//! hierarchical topology: per-component event counts from a profiled run
+//! are fed back as partition weights, and the resulting load imbalance
+//! (evaluated under the measured weights) must not regress.
+//!
+//! Results land in `BENCH_partition.json` at the repo root (or the path
+//! given as the first argument). Pass `--quick` for a seconds-scale smoke
+//! run (CI) that still exercises every topology and the deterministic
+//! asserts; the wall-clock-sensitive asserts only run at full scale.
+
+use rand::Rng as _;
+use serde::Serialize;
+use sst_core::prelude::*;
+use sst_core::telemetry::EngineProfile;
+use sst_core::PartitionSummary;
+use sst_sim::experiments::pdes;
+use std::time::Instant;
+
+/// A token-forwarding node, like the pdes `Traffic` component but with a
+/// configurable port count so one component serves every topology here.
+struct Hop {
+    ports: u16,
+    tokens: u32,
+    ttl: u32,
+    forwarded: Option<StatId>,
+}
+
+#[derive(Debug)]
+struct Tok {
+    ttl: u32,
+}
+
+impl Component for Hop {
+    fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+        self.forwarded = Some(ctx.stat_counter("forwarded"));
+        for i in 0..self.tokens {
+            let port = PortId((i % self.ports as u32) as u16);
+            ctx.send(port, Tok { ttl: self.ttl });
+        }
+    }
+
+    fn on_event(&mut self, _port: PortId, payload: PayloadSlot, ctx: &mut SimCtx<'_>) {
+        let tok = downcast::<Tok>(payload);
+        ctx.add_stat(self.forwarded.unwrap(), 1);
+        if tok.ttl > 0 {
+            let out = PortId(ctx.rng().gen::<u16>() % self.ports);
+            ctx.send(out, Tok { ttl: tok.ttl - 1 });
+        }
+    }
+}
+
+/// 64-node ring: every 7th link is 50 ns, the rest 5 ns.
+fn mixed_ring(n: u32, tokens: u32, ttl: u32) -> SystemBuilder {
+    let mut b = SystemBuilder::new();
+    let ids: Vec<ComponentId> = (0..n)
+        .map(|i| {
+            b.add(
+                format!("ring{i}"),
+                Hop {
+                    ports: 2,
+                    tokens,
+                    ttl,
+                    forwarded: None,
+                },
+            )
+        })
+        .collect();
+    for i in 0..n {
+        let lat = if i % 7 == 6 {
+            SimTime::ns(50)
+        } else {
+            SimTime::ns(5)
+        };
+        b.link(
+            (ids[i as usize], PortId(0)),
+            (ids[((i + 1) % n) as usize], PortId(1)),
+            lat,
+        );
+    }
+    b
+}
+
+const HIER_CLUSTERS: u32 = 6;
+const HIER_PER: u32 = 9;
+
+/// Six 9-node clusters (1 ns internal rings) joined by a 40 ns gateway
+/// ring. Member 0 of each cluster is the gateway; it carries twice the
+/// token load, so measured weights differ visibly from uniform.
+fn hier(tokens: u32, ttl: u32) -> SystemBuilder {
+    let mut b = SystemBuilder::new();
+    let mut ids = Vec::new();
+    for c in 0..HIER_CLUSTERS {
+        for m in 0..HIER_PER {
+            let gateway = m == 0;
+            ids.push(b.add(
+                format!("c{c}n{m}"),
+                Hop {
+                    ports: if gateway { 4 } else { 2 },
+                    tokens: if gateway { tokens * 2 } else { tokens },
+                    ttl,
+                    forwarded: None,
+                },
+            ));
+        }
+    }
+    let id = |c: u32, m: u32| ids[(c * HIER_PER + m) as usize];
+    for c in 0..HIER_CLUSTERS {
+        for m in 0..HIER_PER {
+            b.link(
+                (id(c, m), PortId(0)),
+                (id(c, (m + 1) % HIER_PER), PortId(1)),
+                SimTime::ns(1),
+            );
+        }
+    }
+    for c in 0..HIER_CLUSTERS {
+        b.link(
+            (id(c, 0), PortId(2)),
+            (id((c + 1) % HIER_CLUSTERS, 0), PortId(3)),
+            SimTime::ns(40),
+        );
+    }
+    b
+}
+
+/// Serialize a report with the fields that legitimately differ between
+/// serial and parallel runs (timing, rank count, sync bookkeeping,
+/// telemetry) zeroed out; what remains must match byte-for-byte.
+fn normalized(mut r: SimReport) -> String {
+    r.wall_seconds = 0.0;
+    r.ranks = 0;
+    r.epochs = 0;
+    r.profile = None;
+    r.series = None;
+    serde_json::to_string(&r).expect("report serializes")
+}
+
+fn profile_spec() -> TelemetrySpec {
+    TelemetrySpec::new(TelemetryOptions {
+        profile: true,
+        ..Default::default()
+    })
+    .expect("profile-only telemetry needs no files")
+}
+
+#[derive(Serialize)]
+struct SerialRow {
+    topology: String,
+    events: u64,
+    events_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct StrategyRow {
+    topology: String,
+    strategy: String,
+    ranks: u32,
+    cut_links: u64,
+    total_links: u64,
+    weighted_cut: u64,
+    total_edge_weight: u64,
+    min_lookahead_ns: Option<f64>,
+    load_imbalance: f64,
+    sync_rounds: u64,
+    null_batches: u64,
+    cross_rank_events: u64,
+    stall_ms: f64,
+    events: u64,
+    events_per_sec: f64,
+    speedup_vs_block: f64,
+    identical_to_serial: bool,
+}
+
+#[derive(Serialize)]
+struct ProfileFeedback {
+    topology: String,
+    ranks: u32,
+    /// Imbalance of the uniform-weight latency-cut partition, evaluated
+    /// under the *measured* per-component event counts.
+    imbalance_uniform: f64,
+    /// Imbalance of the profile-weighted latency-cut partition under the
+    /// same measured counts.
+    imbalance_profiled: f64,
+    profiled_components: u64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: String,
+    host_cpus: u64,
+    serial: Vec<SerialRow>,
+    rows: Vec<StrategyRow>,
+    profile_feedback: ProfileFeedback,
+    notes: Vec<String>,
+}
+
+struct Topo {
+    name: &'static str,
+    build: Box<dyn Fn() -> SystemBuilder>,
+}
+
+fn main() {
+    let mut out_path = "BENCH_partition.json".to_string();
+    let mut quick = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1);
+    let reps = if quick { 1u32 } else { 3 };
+
+    let torus_params = pdes::Params {
+        side: if quick { 8 } else { 16 },
+        tokens_per_node: if quick { 4 } else { 6 },
+        ttl: if quick { 40 } else { 120 },
+        rank_counts: vec![],
+        telemetry: TelemetrySpec::disabled(),
+        partition: Default::default(),
+        profile: None,
+    };
+    let (ring_tokens, ring_ttl) = if quick { (4, 60) } else { (8, 400) };
+    let (hier_tokens, hier_ttl) = if quick { (4, 60) } else { (8, 400) };
+    let topologies = vec![
+        Topo {
+            name: "ring64-mixed-latency",
+            build: Box::new(move || mixed_ring(64, ring_tokens, ring_ttl)),
+        },
+        Topo {
+            name: "torus-asymmetric",
+            build: Box::new(move || pdes::build_with_latency(&torus_params, SimTime::ns(2))),
+        },
+        Topo {
+            name: "hier-6x9",
+            build: Box::new(move || hier(hier_tokens, hier_ttl)),
+        },
+    ];
+
+    let mut serial_rows = Vec::new();
+    let mut rows: Vec<StrategyRow> = Vec::new();
+    for topo in &topologies {
+        // Serial baseline: the identity reference plus a timed rate.
+        let serial_report = Engine::new((topo.build)()).run(RunLimit::Exhaust);
+        let serial_norm = normalized(serial_report.clone());
+        let mut serial_rate = 0.0f64;
+        for _ in 0..reps {
+            let engine = Engine::new((topo.build)());
+            let start = Instant::now();
+            let r = engine.run(RunLimit::Exhaust);
+            serial_rate = serial_rate.max(r.events as f64 / start.elapsed().as_secs_f64());
+        }
+        eprintln!(
+            "[{:<22}] serial {:>9} events   {:>12.0} ev/s",
+            topo.name, serial_report.events, serial_rate
+        );
+        serial_rows.push(SerialRow {
+            topology: topo.name.to_string(),
+            events: serial_report.events,
+            events_per_sec: serial_rate,
+        });
+
+        for ranks in [2u32, 4] {
+            let mut block_rate = 0.0f64;
+            for &strategy in PartitionStrategy::ALL {
+                // Static partition quality + identity check (one run).
+                let engine = ParallelEngine::with_partition(
+                    (topo.build)(),
+                    ranks,
+                    strategy,
+                    None,
+                    TelemetrySpec::disabled(),
+                );
+                let summary: PartitionSummary = engine.partition_summary().clone();
+                let report = engine.run(RunLimit::Exhaust);
+                let identical = normalized(report.clone()) == serial_norm;
+
+                // Sync behavior from one profiled run.
+                let profiled = ParallelEngine::with_partition(
+                    (topo.build)(),
+                    ranks,
+                    strategy,
+                    None,
+                    profile_spec(),
+                )
+                .run(RunLimit::Exhaust);
+                let prof = profiled.profile.expect("profiling was on");
+                let sync_rounds: u64 = prof.ranks.iter().map(|r| r.sync_rounds).sum();
+                let null_batches: u64 = prof.ranks.iter().map(|r| r.null_batches_sent).sum();
+                let cross_events: u64 = prof.ranks.iter().map(|r| r.events_sent).sum();
+                let stall_ms: f64 = prof.ranks.iter().map(|r| r.stall_ns).sum::<u64>() as f64 / 1e6;
+
+                // Timed rate, best of `reps` fresh runs.
+                let mut rate = 0.0f64;
+                for _ in 0..reps {
+                    let engine = ParallelEngine::with_partition(
+                        (topo.build)(),
+                        ranks,
+                        strategy,
+                        None,
+                        TelemetrySpec::disabled(),
+                    );
+                    let start = Instant::now();
+                    let r = engine.run(RunLimit::Exhaust);
+                    rate = rate.max(r.events as f64 / start.elapsed().as_secs_f64());
+                }
+                if strategy == PartitionStrategy::Block {
+                    block_rate = rate;
+                }
+
+                let row = StrategyRow {
+                    topology: topo.name.to_string(),
+                    strategy: strategy.to_string(),
+                    ranks,
+                    cut_links: summary.cut_links,
+                    total_links: summary.total_links,
+                    weighted_cut: summary.weighted_cut,
+                    total_edge_weight: summary.total_edge_weight,
+                    min_lookahead_ns: summary.min_lookahead_ps.map(|ps| ps as f64 / 1e3),
+                    load_imbalance: summary.load_imbalance(),
+                    sync_rounds,
+                    null_batches,
+                    cross_rank_events: cross_events,
+                    stall_ms,
+                    events: report.events,
+                    events_per_sec: rate,
+                    speedup_vs_block: rate / block_rate.max(1e-9),
+                    identical_to_serial: identical,
+                };
+                eprintln!(
+                    "[{:<22}] {:>11} @{} ranks  cut {:>3}/{:<3} w={:<8} la={:>8} ns  \
+                     nulls {:>6}  {:>12.0} ev/s  {:.2}x block  identical={}",
+                    topo.name,
+                    row.strategy,
+                    ranks,
+                    row.cut_links,
+                    row.total_links,
+                    row.weighted_cut,
+                    row.min_lookahead_ns.unwrap_or(f64::NAN),
+                    row.null_batches,
+                    row.events_per_sec,
+                    row.speedup_vs_block,
+                    row.identical_to_serial,
+                );
+                assert!(
+                    row.identical_to_serial,
+                    "{} with {} at {ranks} ranks diverged from the serial report",
+                    topo.name, row.strategy
+                );
+                rows.push(row);
+            }
+        }
+    }
+
+    // Deterministic partition-quality asserts (run in --quick/CI too):
+    // latency-cut must never cut more weighted edge than block on the torus.
+    for ranks in [2u32, 4] {
+        let find = |strategy: &str| {
+            rows.iter()
+                .find(|r| {
+                    r.topology == "torus-asymmetric" && r.strategy == strategy && r.ranks == ranks
+                })
+                .unwrap()
+        };
+        let block = find("block");
+        let lc = find("latency-cut");
+        assert!(
+            lc.weighted_cut <= block.weighted_cut,
+            "latency-cut cut more weighted edge than block on the torus at {ranks} ranks \
+             ({} > {})",
+            lc.weighted_cut,
+            block.weighted_cut,
+        );
+        if !quick {
+            // Wall-clock-sensitive acceptance: fewer pure null messages at 2
+            // and 4 ranks, and >= 1.2x block throughput at 4 ranks.
+            assert!(
+                lc.null_batches < block.null_batches,
+                "latency-cut sent {} null batches vs block's {} at {ranks} ranks",
+                lc.null_batches,
+                block.null_batches,
+            );
+            if ranks == 4 {
+                assert!(
+                    lc.events_per_sec >= 1.2 * block.events_per_sec,
+                    "latency-cut at 4 ranks was {:.0} ev/s vs block's {:.0} (need 1.2x)",
+                    lc.events_per_sec,
+                    block.events_per_sec,
+                );
+            }
+        }
+    }
+
+    // --- profile feedback: measure -> repartition -> compare balance -------
+    // Gateways forward ~2x the events of plain members; feeding the measured
+    // counts back must not worsen (and usually improves) the load balance of
+    // the latency-cut partition *as evaluated under those counts*.
+    let feedback_ranks = 4u32;
+    let profiled = ParallelEngine::with_partition(
+        hier(hier_tokens, hier_ttl),
+        feedback_ranks,
+        PartitionStrategy::LatencyCut,
+        None,
+        profile_spec(),
+    )
+    .run(RunLimit::Exhaust);
+    let profile: EngineProfile = profiled.profile.expect("profiling was on");
+    let measured: Vec<u64> = (0..HIER_CLUSTERS)
+        .flat_map(|c| (0..HIER_PER).map(move |m| format!("c{c}n{m}")))
+        .map(|name| {
+            profile
+                .components
+                .iter()
+                .find(|p| p.name == name)
+                .map(|p| p.events.max(1))
+                .unwrap_or(1)
+        })
+        .collect();
+    let imbalance = |assignments: &[u32]| -> f64 {
+        let mut loads = vec![0u64; feedback_ranks as usize];
+        for (i, &r) in assignments.iter().enumerate() {
+            loads[r as usize] += measured[i];
+        }
+        let total: u64 = loads.iter().sum();
+        *loads.iter().max().unwrap() as f64 * feedback_ranks as f64 / total as f64
+    };
+    let mut uniform_b = hier(hier_tokens, hier_ttl);
+    uniform_b.partition_strategy(PartitionStrategy::LatencyCut);
+    let uniform = uniform_b.partition_summary(feedback_ranks);
+    let mut profiled_b = hier(hier_tokens, hier_ttl);
+    profiled_b.partition_strategy(PartitionStrategy::LatencyCut);
+    let matched = profiled_b.apply_profile_weights(&profile) as u64;
+    let reweighted = profiled_b.partition_summary(feedback_ranks);
+    let feedback = ProfileFeedback {
+        topology: "hier-6x9".to_string(),
+        ranks: feedback_ranks,
+        imbalance_uniform: imbalance(&uniform.assignments),
+        imbalance_profiled: imbalance(&reweighted.assignments),
+        profiled_components: matched,
+    };
+    eprintln!(
+        "[profile feedback      ] hier @4 ranks: imbalance {:.3} (uniform weights) -> {:.3} \
+         (measured weights, {} components)",
+        feedback.imbalance_uniform, feedback.imbalance_profiled, feedback.profiled_components
+    );
+    assert!(
+        feedback.imbalance_profiled <= feedback.imbalance_uniform * 1.05 + 1e-9,
+        "profile-weighted partition worsened measured load balance: {:.4} -> {:.4}",
+        feedback.imbalance_uniform,
+        feedback.imbalance_profiled,
+    );
+
+    let report = Report {
+        bench: "partition_compare".to_string(),
+        host_cpus,
+        serial: serial_rows,
+        rows,
+        profile_feedback: feedback,
+        notes: vec![
+            "weighted_cut sums 1/latency edge costs over cross-rank links; \
+             min_lookahead_ns is the smallest cross-rank link latency — the \
+             conservative sync horizon, so bigger is better."
+                .to_string(),
+            "sync/null/stall columns come from one profiled run; ev/s is the \
+             best of timed unprofiled runs (construction excluded)."
+                .to_string(),
+            format!(
+                "host has {host_cpus} CPU(s); on one CPU the ranks time-slice \
+                 a single core, so throughput gains come from fewer \
+                 conservative sync rounds (bigger lookahead), not concurrency."
+            ),
+            "identical_to_serial compares the full SimReport (events, end \
+             time, every statistic) byte-for-byte after normalizing timing \
+             and rank-count fields; the binary asserts it for every row."
+                .to_string(),
+            "profile_feedback evaluates both latency-cut partitions under \
+             the measured per-component event counts of the hierarchical \
+             topology; feeding the measurement back must not worsen balance."
+                .to_string(),
+        ],
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
+    std::fs::write(&out_path, json + "\n").expect("write bench report");
+    eprintln!("wrote {out_path}");
+}

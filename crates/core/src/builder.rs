@@ -10,6 +10,8 @@
 
 use crate::component::Component;
 use crate::event::{ClockId, ComponentId, PortId};
+use crate::partition::{self, PartitionStrategy, PartitionSummary};
+use crate::telemetry::EngineProfile;
 use crate::time::{Frequency, SimTime};
 
 /// Rank value meaning "let the builder choose".
@@ -19,6 +21,8 @@ pub(crate) struct CompSpec {
     pub name: String,
     pub comp: Box<dyn Component>,
     pub rank: u32,
+    /// Load weight for partition balancing (default 1).
+    pub weight: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -40,6 +44,7 @@ pub struct SystemBuilder {
     pub(crate) links: Vec<LinkSpec>,
     pub(crate) clocks: Vec<ClockSpec>,
     pub(crate) seed: u64,
+    pub(crate) partition: PartitionStrategy,
 }
 
 impl Default for SystemBuilder {
@@ -55,7 +60,43 @@ impl SystemBuilder {
             links: Vec::new(),
             clocks: Vec::new(),
             seed: 0xC0DE_5EED,
+            partition: PartitionStrategy::default(),
         }
+    }
+
+    /// Choose the rank-partitioning strategy used by parallel builds (the
+    /// default is [`PartitionStrategy::Block`], the contiguous split).
+    pub fn partition_strategy(&mut self, strategy: PartitionStrategy) -> &mut Self {
+        self.partition = strategy;
+        self
+    }
+
+    /// The configured partitioning strategy.
+    pub fn partitioning(&self) -> PartitionStrategy {
+        self.partition
+    }
+
+    /// Set the load weight partition balancing uses for one component
+    /// (default 1, i.e. balance component counts). Zero is clamped to 1.
+    pub fn set_weight(&mut self, comp: ComponentId, weight: u64) -> &mut Self {
+        self.comps[comp.0 as usize].weight = weight.max(1);
+        self
+    }
+
+    /// Feed a prior run's [`EngineProfile`] back in as partition weights:
+    /// each component named in the profile gets its handled-event count as
+    /// its load weight (event counts are deterministic across reruns, unlike
+    /// handler wallclock, so the resulting partition is too). Returns how
+    /// many components matched by name — the measure→repartition→rerun loop.
+    pub fn apply_profile_weights(&mut self, profile: &EngineProfile) -> usize {
+        let mut matched = 0usize;
+        for c in &mut self.comps {
+            if let Some(p) = profile.components.iter().find(|p| p.name == c.name) {
+                c.weight = p.events.max(1);
+                matched += 1;
+            }
+        }
+        matched
     }
 
     /// Set the global RNG seed (default is a fixed constant, so unseeded
@@ -88,6 +129,7 @@ impl SystemBuilder {
             name,
             comp: Box::new(comp),
             rank,
+            weight: 1,
         });
         id
     }
@@ -145,24 +187,85 @@ impl SystemBuilder {
         self.comps.len()
     }
 
-    /// Resolve final rank assignments for `n_ranks` partitions: pinned
-    /// components keep their rank (mod n_ranks); auto components are placed
-    /// in contiguous blocks, which keeps locally-wired chains co-resident.
+    /// Resolve final rank assignments for `n_ranks` partitions using the
+    /// configured [`PartitionStrategy`]. Pinned components keep their rank
+    /// under every strategy; a pin outside `0..n_ranks` is a wiring bug and
+    /// panics (it used to be silently wrapped, which moved components to
+    /// ranks nobody asked for).
     pub(crate) fn resolve_ranks(&self, n_ranks: u32) -> Vec<u32> {
-        let n = self.comps.len();
-        let auto_total = self.comps.iter().filter(|c| c.rank == AUTO_RANK).count();
-        let per = auto_total.div_ceil(n_ranks as usize).max(1);
-        let mut auto_idx = 0usize;
-        let mut out = Vec::with_capacity(n);
-        for c in &self.comps {
-            if c.rank == AUTO_RANK {
-                out.push(((auto_idx / per) as u32).min(n_ranks - 1));
-                auto_idx += 1;
-            } else {
-                out.push(c.rank % n_ranks);
+        let pinned: Vec<Option<u32>> = self
+            .comps
+            .iter()
+            .map(|c| {
+                if c.rank == AUTO_RANK {
+                    None
+                } else {
+                    assert!(
+                        c.rank < n_ranks,
+                        "component `{}` is pinned to rank {}, but the run has only \
+                         {n_ranks} rank(s) (valid ranks: 0..={}); pinned ranks are \
+                         never remapped — fix the pin or raise the rank count",
+                        c.name,
+                        c.rank,
+                        n_ranks - 1
+                    );
+                    Some(c.rank)
+                }
+            })
+            .collect();
+        let weights: Vec<u64> = self.comps.iter().map(|c| c.weight).collect();
+        let edges: Vec<(u32, u32, u64)> = self
+            .links
+            .iter()
+            .map(|l| (l.a.0 .0, l.b.0 .0, partition::edge_cost(l.latency)))
+            .collect();
+        partition::assign(&pinned, &weights, &edges, n_ranks, self.partition)
+    }
+
+    /// Describe the partition this builder would produce for `n_ranks`
+    /// ranks: cut-link counts, the weighted cut, the surviving lookahead,
+    /// and per-rank loads.
+    pub fn partition_summary(&self, n_ranks: u32) -> PartitionSummary {
+        let ranks = self.resolve_ranks(n_ranks);
+        self.summary_for(&ranks, n_ranks)
+    }
+
+    pub(crate) fn summary_for(&self, ranks: &[u32], n_ranks: u32) -> PartitionSummary {
+        let mut cut_links = 0u64;
+        let mut weighted_cut = 0u64;
+        let mut total_edge_weight = 0u64;
+        let mut min_lookahead: Option<SimTime> = None;
+        for l in &self.links {
+            let cost = partition::edge_cost(l.latency);
+            total_edge_weight = total_edge_weight.saturating_add(cost);
+            if ranks[l.a.0 .0 as usize] != ranks[l.b.0 .0 as usize] {
+                cut_links += 1;
+                weighted_cut = weighted_cut.saturating_add(cost);
+                min_lookahead = Some(match min_lookahead {
+                    Some(cur) if cur < l.latency => cur,
+                    _ => l.latency,
+                });
             }
         }
-        out
+        let mut rank_loads = vec![0u64; n_ranks as usize];
+        let mut rank_components = vec![0u64; n_ranks as usize];
+        for (i, c) in self.comps.iter().enumerate() {
+            rank_loads[ranks[i] as usize] += c.weight;
+            rank_components[ranks[i] as usize] += 1;
+        }
+        PartitionSummary {
+            strategy: self.partition.to_string(),
+            n_ranks,
+            components: self.comps.len() as u64,
+            cut_links,
+            total_links: self.links.len() as u64,
+            weighted_cut,
+            total_edge_weight,
+            min_lookahead_ps: min_lookahead.map(|t| t.as_ps()),
+            rank_loads,
+            rank_components,
+            assignments: ranks.to_vec(),
+        }
     }
 
     /// Minimum latency over links that cross ranks; `None` if no link
@@ -264,11 +367,84 @@ mod tests {
     #[test]
     fn pinned_ranks_respected() {
         let mut b = SystemBuilder::new();
-        b.add_on_rank("a", Dummy, 3);
+        b.add_on_rank("a", Dummy, 1);
         b.add("b", Dummy);
         let ranks = b.resolve_ranks(2);
-        assert_eq!(ranks[0], 1); // 3 % 2
+        assert_eq!(ranks[0], 1);
         assert_eq!(ranks[1], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pinned to rank 3")]
+    fn pin_beyond_rank_count_is_a_loud_error() {
+        let mut b = SystemBuilder::new();
+        b.add_on_rank("a", Dummy, 3);
+        b.add("b", Dummy);
+        // Used to silently wrap to 3 % 2 == 1; now a build error.
+        b.resolve_ranks(2);
+    }
+
+    #[test]
+    fn strategy_threads_through_resolve() {
+        let mut b = SystemBuilder::new();
+        for i in 0..4 {
+            b.add(format!("c{i}"), Dummy);
+        }
+        b.partition_strategy(crate::partition::PartitionStrategy::RoundRobin);
+        assert_eq!(b.resolve_ranks(2), vec![0, 1, 0, 1]);
+        assert_eq!(
+            b.partitioning(),
+            crate::partition::PartitionStrategy::RoundRobin
+        );
+    }
+
+    #[test]
+    fn summary_reports_cut_and_lookahead() {
+        let mut b = SystemBuilder::new();
+        let a = b.add_on_rank("a", Dummy, 0);
+        let c = b.add_on_rank("c", Dummy, 0);
+        let d = b.add_on_rank("d", Dummy, 1);
+        b.link((a, PortId(0)), (c, PortId(0)), SimTime::ns(1)); // internal
+        b.link((a, PortId(1)), (d, PortId(0)), SimTime::ns(5)); // cut
+        b.link((c, PortId(1)), (d, PortId(1)), SimTime::ns(3)); // cut
+        let s = b.partition_summary(2);
+        assert_eq!(s.cut_links, 2);
+        assert_eq!(s.total_links, 3);
+        assert_eq!(s.min_lookahead_ps, Some(SimTime::ns(3).as_ps()));
+        assert_eq!(s.rank_components, vec![2, 1]);
+        assert_eq!(s.assignments, vec![0, 0, 1]);
+        assert!((s.load_imbalance() - 2.0 * 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_weights_feed_partition_balancing() {
+        use crate::telemetry::{ComponentProfile, EngineProfile};
+        let mut b = SystemBuilder::new();
+        for i in 0..4 {
+            b.add(format!("c{i}"), Dummy);
+        }
+        let profile = EngineProfile {
+            components: vec![
+                ComponentProfile {
+                    name: "c0".into(),
+                    events: 30,
+                    total_ns: 0,
+                    max_ns: 0,
+                },
+                ComponentProfile {
+                    name: "c3".into(),
+                    events: 10,
+                    total_ns: 0,
+                    max_ns: 0,
+                },
+            ],
+            ..EngineProfile::default()
+        };
+        assert_eq!(b.apply_profile_weights(&profile), 2);
+        let s = b.partition_summary(2);
+        // Weights: 30, 1, 1, 10 — block split keeps insertion order, so the
+        // loads reflect the profile-fed weights.
+        assert_eq!(s.rank_loads, vec![31, 11]);
     }
 
     #[test]

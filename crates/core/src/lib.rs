@@ -50,6 +50,7 @@ pub mod event;
 pub mod fidelity;
 pub mod parallel;
 pub mod params;
+pub mod partition;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -66,10 +67,12 @@ pub use event::{
 pub use fidelity::{Fidelity, ParseFidelityError};
 pub use parallel::ParallelEngine;
 pub use params::{ParamError, Params};
+pub use partition::{PartitionStrategy, PartitionSummary};
 pub use queue::{BinaryHeapQueue, EventQueue, IndexedQueue, SimQueue};
 pub use stats::{StatId, StatKind, StatsRegistry, StatsSnapshot};
 pub use telemetry::{
-    EngineProfile, RunManifest, StatsSeries, TelemetryOptions, TelemetrySpec, TelemetrySummary,
+    EngineProfile, ProfileDump, RunManifest, StatsSeries, TelemetryOptions, TelemetrySpec,
+    TelemetrySummary,
 };
 pub use time::{Frequency, SimTime};
 
@@ -85,6 +88,7 @@ pub mod prelude {
     pub use crate::fidelity::Fidelity;
     pub use crate::parallel::ParallelEngine;
     pub use crate::params::Params;
+    pub use crate::partition::{PartitionStrategy, PartitionSummary};
     pub use crate::stats::StatId;
     pub use crate::telemetry::{TelemetryOptions, TelemetrySpec};
     pub use crate::time::{Frequency, SimTime};

@@ -39,6 +39,7 @@ use crate::builder::SystemBuilder;
 use crate::component::EventSink;
 use crate::engine::{Kernel, RunLimit, SimReport};
 use crate::event::{EventBufPool, ScheduledEvent};
+use crate::partition::{PartitionStrategy, PartitionSummary};
 use crate::queue::EventQueue;
 use crate::stats::StatsRegistry;
 use crate::telemetry::{EngineProfile, RankSyncProfile, TelemetrySpec};
@@ -91,6 +92,7 @@ pub struct ParallelEngine {
     pair_la: Vec<Vec<Option<SimTime>>>,
     n_ranks: u32,
     spec: TelemetrySpec,
+    partition: PartitionSummary,
 }
 
 impl ParallelEngine {
@@ -113,6 +115,7 @@ impl ParallelEngine {
         let ranks = builder.resolve_ranks(n_ranks);
         let lookahead = builder.lookahead(&ranks).unwrap_or(SimTime::MAX);
         let pair_la = builder.pairwise_lookahead(&ranks, n_ranks);
+        let partition = builder.summary_for(&ranks, n_ranks);
         let names: Arc<Vec<String>> = if spec.is_enabled() {
             Arc::new(builder.comps.iter().map(|c| c.name.clone()).collect())
         } else {
@@ -133,12 +136,36 @@ impl ParallelEngine {
             pair_la,
             n_ranks,
             spec,
+            partition,
         }
+    }
+
+    /// Build with an explicit [`PartitionStrategy`], optionally applying a
+    /// prior run's [`EngineProfile`] as component load weights first — the
+    /// whole measure→repartition→rerun loop in one call.
+    pub fn with_partition(
+        mut builder: SystemBuilder,
+        n_ranks: u32,
+        strategy: PartitionStrategy,
+        profile: Option<&EngineProfile>,
+        spec: TelemetrySpec,
+    ) -> ParallelEngine {
+        builder.partition_strategy(strategy);
+        if let Some(p) = profile {
+            builder.apply_profile_weights(p);
+        }
+        Self::with_telemetry(builder, n_ranks, spec)
     }
 
     /// Number of ranks.
     pub fn ranks(&self) -> u32 {
         self.n_ranks
+    }
+
+    /// The partition this engine was built on: strategy, cut links, weighted
+    /// cut, surviving lookahead, and per-rank loads.
+    pub fn partition_summary(&self) -> &PartitionSummary {
+        &self.partition
     }
 
     /// The conservative lookahead window (minimum over all rank pairs).
@@ -264,6 +291,7 @@ fn split_builder(builder: SystemBuilder, ranks: &[u32], n_ranks: u32) -> Vec<Ker
         links,
         clocks,
         seed,
+        ..
     } = builder;
 
     // Keep the real name on every placeholder so cross-rank trace records
@@ -302,6 +330,7 @@ fn split_builder(builder: SystemBuilder, ranks: &[u32], n_ranks: u32) -> Vec<Ker
                         name: names[i].clone(),
                         comp: Box::new(RemotePlaceholder),
                         rank: ranks[i],
+                        weight: 1,
                     })
                 })
                 .collect();
@@ -771,6 +800,37 @@ mod tests {
                     serial.stats.counter(&name, "visits"),
                     "ranks={ranks} node={i}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn every_strategy_matches_serial_on_the_ring() {
+        let serial = crate::engine::Engine::new(build_ring(8, 10)).run(RunLimit::Exhaust);
+        for &strategy in PartitionStrategy::ALL {
+            for ranks in [2u32, 3] {
+                let engine = ParallelEngine::with_partition(
+                    build_ring(8, 10),
+                    ranks,
+                    strategy,
+                    None,
+                    TelemetrySpec::disabled(),
+                );
+                let summary = engine.partition_summary().clone();
+                assert_eq!(summary.strategy, strategy.to_string());
+                assert_eq!(summary.n_ranks, ranks);
+                assert_eq!(summary.assignments.len(), 8);
+                let par = engine.run(RunLimit::Exhaust);
+                assert_eq!(par.events, serial.events, "{strategy} ranks={ranks}");
+                assert_eq!(par.end_time, serial.end_time, "{strategy} ranks={ranks}");
+                for i in 0..8 {
+                    let name = format!("node{i}");
+                    assert_eq!(
+                        par.stats.counter(&name, "visits"),
+                        serial.stats.counter(&name, "visits"),
+                        "{strategy} ranks={ranks} node={i}"
+                    );
+                }
             }
         }
     }

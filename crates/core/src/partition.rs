@@ -1,0 +1,679 @@
+//! Topology-aware graph partitioning for the parallel engine.
+//!
+//! How the component graph is cut across ranks determines everything about
+//! parallel performance: every cross-rank link costs null-message traffic,
+//! and the *minimum* cross-rank link latency is the conservative lookahead
+//! that bounds how far a rank may run ahead of its neighbors. Cutting a
+//! low-latency link is therefore the worst possible move — it shrinks the
+//! pairwise lookahead and multiplies synchronization rounds.
+//!
+//! Three strategies:
+//!
+//! * [`PartitionStrategy::Block`] — contiguous blocks in component-insertion
+//!   order (the original behavior, kept as the baseline). Good when the
+//!   builder adds locally-wired chains in order; blind to link latency.
+//! * [`PartitionStrategy::RoundRobin`] — deal components out `0,1,…,n-1,0,…`.
+//!   Maximally balanced and maximally cut; useful as a worst-case foil.
+//! * [`PartitionStrategy::LatencyCut`] — a multilevel edge-cut minimizer.
+//!   Each link gets cost `~1/latency` (see [`edge_cost`]), so the cheapest
+//!   cut crosses the *slowest* links and the surviving lookahead is as large
+//!   as possible. Node weights (uniform by default, or fed back from an
+//!   [`EngineProfile`](crate::telemetry::EngineProfile)) keep rank loads
+//!   balanced.
+//!
+//! The `LatencyCut` pipeline is the classic multilevel scheme: heavy-edge
+//! matching coarsens the graph (merging along the lowest-latency links
+//! first, so tightly-coupled chains become single nodes), a greedy
+//! graph-growing pass partitions the coarsest graph, and a
+//! Kernighan–Lin/Fiduccia–Mattheyses boundary refinement cleans up at every
+//! uncoarsening step. Every loop visits nodes in index order and breaks
+//! ties toward the smallest index, so the result is fully deterministic.
+
+use crate::time::SimTime;
+use std::fmt;
+use std::str::FromStr;
+
+/// How [`SystemBuilder`](crate::builder::SystemBuilder) assigns auto-placed
+/// components to parallel ranks. Pinned components always keep their rank
+/// under every strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionStrategy {
+    /// Contiguous blocks in insertion order (baseline).
+    #[default]
+    Block,
+    /// Deal components out cyclically.
+    RoundRobin,
+    /// Multilevel min-edge-cut with `1/latency` edge costs and
+    /// weight-balanced ranks.
+    LatencyCut,
+}
+
+impl PartitionStrategy {
+    pub const ALL: &'static [PartitionStrategy] = &[
+        PartitionStrategy::Block,
+        PartitionStrategy::RoundRobin,
+        PartitionStrategy::LatencyCut,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            PartitionStrategy::Block => "block",
+            PartitionStrategy::RoundRobin => "round-robin",
+            PartitionStrategy::LatencyCut => "latency-cut",
+        }
+    }
+}
+
+impl fmt::Display for PartitionStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for PartitionStrategy {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "block" => Ok(PartitionStrategy::Block),
+            "round-robin" | "roundrobin" => Ok(PartitionStrategy::RoundRobin),
+            "latency-cut" | "latencycut" => Ok(PartitionStrategy::LatencyCut),
+            other => Err(format!(
+                "unknown partition strategy `{other}` (expected block|round-robin|latency-cut)"
+            )),
+        }
+    }
+}
+
+/// Cost of cutting a link: proportional to `1/latency`, scaled so a 1 ps
+/// link costs 10^12 and even multi-millisecond links cost at least 1.
+/// Minimizing total cut cost therefore prefers cutting slow links, which
+/// maximizes the surviving cross-rank lookahead.
+pub fn edge_cost(latency: SimTime) -> u64 {
+    (1_000_000_000_000 / latency.as_ps().max(1)).max(1)
+}
+
+/// What one partitioning looks like, for benches, manifests, and the pdes
+/// experiment notes.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PartitionSummary {
+    pub strategy: String,
+    pub n_ranks: u32,
+    pub components: u64,
+    /// Links whose endpoints land on different ranks.
+    pub cut_links: u64,
+    pub total_links: u64,
+    /// Sum of [`edge_cost`] over cut links (the objective `LatencyCut`
+    /// minimizes).
+    pub weighted_cut: u64,
+    /// Sum of [`edge_cost`] over all links.
+    pub total_edge_weight: u64,
+    /// Minimum latency over cut links — the conservative lookahead. `None`
+    /// when nothing is cut (ranks fully independent).
+    pub min_lookahead_ps: Option<u64>,
+    /// Component weight per rank (uniform weights count components).
+    pub rank_loads: Vec<u64>,
+    /// Component count per rank.
+    pub rank_components: Vec<u64>,
+    /// The rank of every component, by component id.
+    pub assignments: Vec<u32>,
+}
+
+impl PartitionSummary {
+    /// `max(rank load) / mean(rank load)`: 1.0 is perfect balance.
+    pub fn load_imbalance(&self) -> f64 {
+        let max = self.rank_loads.iter().copied().max().unwrap_or(0) as f64;
+        let sum: u64 = self.rank_loads.iter().sum();
+        if sum == 0 {
+            return 1.0;
+        }
+        max * self.n_ranks as f64 / sum as f64
+    }
+}
+
+/// Assign a rank to every component. `pinned[i]` fixes component `i` (the
+/// caller has already validated pins against `n_ranks`), `weights[i]` is its
+/// load, and `edges` are `(a, b, cost)` with cost from [`edge_cost`].
+pub(crate) fn assign(
+    pinned: &[Option<u32>],
+    weights: &[u64],
+    edges: &[(u32, u32, u64)],
+    n_ranks: u32,
+    strategy: PartitionStrategy,
+) -> Vec<u32> {
+    debug_assert!(n_ranks > 0);
+    debug_assert_eq!(pinned.len(), weights.len());
+    if n_ranks == 1 {
+        return vec![0; pinned.len()];
+    }
+    match strategy {
+        PartitionStrategy::Block => block(pinned, n_ranks),
+        PartitionStrategy::RoundRobin => round_robin(pinned, n_ranks),
+        PartitionStrategy::LatencyCut => latency_cut(pinned, weights, edges, n_ranks),
+    }
+}
+
+fn block(pinned: &[Option<u32>], n_ranks: u32) -> Vec<u32> {
+    let auto_total = pinned.iter().filter(|p| p.is_none()).count();
+    let per = auto_total.div_ceil(n_ranks as usize).max(1);
+    let mut auto_idx = 0usize;
+    pinned
+        .iter()
+        .map(|p| match p {
+            Some(r) => *r,
+            None => {
+                let r = ((auto_idx / per) as u32).min(n_ranks - 1);
+                auto_idx += 1;
+                r
+            }
+        })
+        .collect()
+}
+
+fn round_robin(pinned: &[Option<u32>], n_ranks: u32) -> Vec<u32> {
+    let mut auto_idx = 0u32;
+    pinned
+        .iter()
+        .map(|p| match p {
+            Some(r) => *r,
+            None => {
+                let r = auto_idx % n_ranks;
+                auto_idx += 1;
+                r
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// LatencyCut: multilevel heavy-edge-matching + greedy growing + KL/FM refine
+
+/// One level of the multilevel hierarchy: merged adjacency (parallel edges
+/// summed), node weights, and pin constraints.
+struct Graph {
+    adj: Vec<Vec<(u32, u64)>>,
+    weights: Vec<u64>,
+    pinned: Vec<Option<u32>>,
+}
+
+impl Graph {
+    fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn from_edges(pinned: &[Option<u32>], weights: &[u64], edges: &[(u32, u32, u64)]) -> Graph {
+        let n = pinned.len();
+        let mut adj: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n];
+        for &(a, b, c) in edges {
+            if a == b {
+                continue; // self-loops never cross a cut
+            }
+            adj[a as usize].push((b, c));
+            adj[b as usize].push((a, c));
+        }
+        for list in &mut adj {
+            merge_parallel(list);
+        }
+        Graph {
+            adj,
+            weights: weights.iter().map(|&w| w.max(1)).collect(),
+            pinned: pinned.to_vec(),
+        }
+    }
+}
+
+/// Sum duplicate `(neighbor, cost)` entries in place, leaving the list
+/// sorted by neighbor index (deterministic iteration order).
+fn merge_parallel(list: &mut Vec<(u32, u64)>) {
+    list.sort_unstable_by_key(|&(j, _)| j);
+    let mut out = 0usize;
+    for i in 0..list.len() {
+        if out > 0 && list[out - 1].0 == list[i].0 {
+            list[out - 1].1 = list[out - 1].1.saturating_add(list[i].1);
+        } else {
+            list[out] = list[i];
+            out += 1;
+        }
+    }
+    list.truncate(out);
+}
+
+/// Two nodes may merge during coarsening unless they are pinned to
+/// *different* ranks.
+fn pins_compatible(a: Option<u32>, b: Option<u32>) -> bool {
+    match (a, b) {
+        (Some(x), Some(y)) => x == y,
+        _ => true,
+    }
+}
+
+fn latency_cut(
+    pinned: &[Option<u32>],
+    weights: &[u64],
+    edges: &[(u32, u32, u64)],
+    n_ranks: u32,
+) -> Vec<u32> {
+    let g0 = Graph::from_edges(pinned, weights, edges);
+    let coarse_target = (n_ranks as usize * 8).max(32);
+
+    // Coarsen until small enough or matching stops shrinking the graph.
+    let mut levels = vec![g0];
+    let mut maps: Vec<Vec<u32>> = Vec::new();
+    while levels.last().unwrap().len() > coarse_target {
+        let finer = levels.last().unwrap();
+        let (coarser, map) = coarsen(finer);
+        if coarser.len() * 20 > finer.len() * 19 {
+            break; // < 5% shrink: give up, refine at this size
+        }
+        maps.push(map);
+        levels.push(coarser);
+    }
+
+    // Initial partition on the coarsest level, then refine while projecting
+    // back down the hierarchy.
+    let coarsest = levels.last().unwrap();
+    let mut part = grow_initial(coarsest, n_ranks);
+    refine(coarsest, &mut part, n_ranks);
+    for level in (0..maps.len()).rev() {
+        let finer = &levels[level];
+        let map = &maps[level];
+        let mut fine_part = vec![0u32; finer.len()];
+        for (i, p) in fine_part.iter_mut().enumerate() {
+            *p = part[map[i] as usize];
+        }
+        part = fine_part;
+        refine(finer, &mut part, n_ranks);
+    }
+    part
+}
+
+/// Heavy-edge matching: pair each unmatched node with its unmatched,
+/// pin-compatible neighbor of maximum edge cost (so the lowest-latency links
+/// collapse first and can never be cut at coarser levels). Returns the
+/// coarser graph and the fine→coarse node map.
+fn coarsen(g: &Graph) -> (Graph, Vec<u32>) {
+    let n = g.len();
+    const UNMATCHED: u32 = u32::MAX;
+    let mut partner = vec![UNMATCHED; n];
+    for i in 0..n {
+        if partner[i] != UNMATCHED {
+            continue;
+        }
+        let mut best: Option<(u64, u32)> = None;
+        for &(j, c) in &g.adj[i] {
+            if partner[j as usize] != UNMATCHED
+                || !pins_compatible(g.pinned[i], g.pinned[j as usize])
+            {
+                continue;
+            }
+            if best.is_none_or(|(bc, bj)| c > bc || (c == bc && j < bj)) {
+                best = Some((c, j));
+            }
+        }
+        match best {
+            Some((_, j)) => {
+                partner[i] = j;
+                partner[j as usize] = i as u32;
+            }
+            None => partner[i] = i as u32,
+        }
+    }
+
+    // Coarse ids in order of each pair's lower index.
+    let mut map = vec![UNMATCHED; n];
+    let mut next = 0u32;
+    for i in 0..n {
+        if map[i] != UNMATCHED {
+            continue;
+        }
+        map[i] = next;
+        let j = partner[i] as usize;
+        if j != i {
+            map[j] = next;
+        }
+        next += 1;
+    }
+
+    let coarse_n = next as usize;
+    let mut weights = vec![0u64; coarse_n];
+    let mut pinned = vec![None; coarse_n];
+    for (i, &c) in map.iter().enumerate().take(n) {
+        let c = c as usize;
+        weights[c] = weights[c].saturating_add(g.weights[i]);
+        pinned[c] = pinned[c].or(g.pinned[i]);
+    }
+    let mut adj: Vec<Vec<(u32, u64)>> = vec![Vec::new(); coarse_n];
+    for i in 0..n {
+        let ci = map[i];
+        for &(j, c) in &g.adj[i] {
+            let cj = map[j as usize];
+            if ci != cj {
+                adj[ci as usize].push((cj, c));
+            }
+        }
+    }
+    for list in &mut adj {
+        merge_parallel(list);
+    }
+    (
+        Graph {
+            adj,
+            weights,
+            pinned,
+        },
+        map,
+    )
+}
+
+/// Greedy graph growing: grow one rank's region at a time to its weight
+/// target, always absorbing the frontier node with the strongest connection
+/// to the region (ties to the smallest index). Pinned nodes seed their
+/// rank's region; a rank with no seed starts from the heaviest-connected
+/// unassigned node.
+fn grow_initial(g: &Graph, n_ranks: u32) -> Vec<u32> {
+    let n = g.len();
+    const FREE: u32 = u32::MAX;
+    let mut part = vec![FREE; n];
+    let mut loads = vec![0u64; n_ranks as usize];
+    for (i, p) in part.iter_mut().enumerate().take(n) {
+        if let Some(r) = g.pinned[i] {
+            *p = r;
+            loads[r as usize] += g.weights[i];
+        }
+    }
+    let total: u64 = g.weights.iter().sum();
+    let ideal = total.div_ceil(n_ranks as u64).max(1);
+
+    let mut conn = vec![0u64; n];
+    for r in 0..n_ranks {
+        if r == n_ranks - 1 {
+            for p in part.iter_mut() {
+                if *p == FREE {
+                    *p = r;
+                }
+            }
+            break;
+        }
+        // Seed the frontier from nodes already in r (pins).
+        conn.iter_mut().for_each(|c| *c = 0);
+        for i in 0..n {
+            if part[i] != r {
+                continue;
+            }
+            for &(j, c) in &g.adj[i] {
+                if part[j as usize] == FREE {
+                    conn[j as usize] = conn[j as usize].saturating_add(c);
+                }
+            }
+        }
+        while loads[r as usize] < ideal {
+            // Strongest frontier node, else (fresh region / disconnected
+            // remainder) the unassigned node with the largest incident cost.
+            let mut best: Option<(u64, usize)> = None;
+            for (i, p) in part.iter().enumerate() {
+                if *p == FREE && conn[i] > 0 && best.is_none_or(|(bc, _)| conn[i] > bc) {
+                    best = Some((conn[i], i));
+                }
+            }
+            if best.is_none() {
+                for (i, p) in part.iter().enumerate() {
+                    if *p != FREE {
+                        continue;
+                    }
+                    let incident: u64 = g.adj[i].iter().map(|&(_, c)| c).sum();
+                    if best.is_none_or(|(bc, _)| incident > bc) {
+                        best = Some((incident, i));
+                    }
+                }
+            }
+            let Some((_, pick)) = best else {
+                break; // nothing left unassigned
+            };
+            part[pick] = r;
+            loads[r as usize] += g.weights[pick];
+            conn[pick] = 0;
+            for &(j, c) in &g.adj[pick] {
+                if part[j as usize] == FREE {
+                    conn[j as usize] = conn[j as usize].saturating_add(c);
+                }
+            }
+        }
+    }
+    part
+}
+
+const REFINE_PASSES: usize = 8;
+
+/// KL/FM-style boundary refinement: repeatedly move nodes to the neighbor
+/// rank they are most strongly connected to, when that strictly reduces the
+/// weighted cut (or keeps it equal while strictly improving load balance),
+/// under a `~10%` overload cap. Terminates because each move strictly
+/// decreases `(cut, sum of squared loads)` lexicographically.
+fn refine(g: &Graph, part: &mut [u32], n_ranks: u32) {
+    let n = g.len();
+    let nr = n_ranks as usize;
+    let mut loads = vec![0u64; nr];
+    let mut counts = vec![0u64; nr];
+    for i in 0..n {
+        loads[part[i] as usize] += g.weights[i];
+        counts[part[i] as usize] += 1;
+    }
+    let total: u64 = loads.iter().sum();
+    let cap = (total.saturating_mul(11))
+        .div_ceil(10 * n_ranks as u64)
+        .max(1);
+
+    let mut d = vec![0u64; nr];
+    for _ in 0..REFINE_PASSES {
+        let mut moved = false;
+        for i in 0..n {
+            if g.pinned[i].is_some() || g.adj[i].is_empty() {
+                continue;
+            }
+            let cur = part[i] as usize;
+            if counts[cur] <= 1 {
+                continue; // never empty a rank
+            }
+            d.iter_mut().for_each(|x| *x = 0);
+            for &(j, c) in &g.adj[i] {
+                d[part[j as usize] as usize] = d[part[j as usize] as usize].saturating_add(c);
+            }
+            let w = g.weights[i];
+            let mut best: Option<(u64, usize)> = None;
+            for (s, &ds) in d.iter().enumerate() {
+                if s == cur || ds == 0 || loads[s].saturating_add(w) > cap {
+                    continue;
+                }
+                if best.is_none_or(|(bc, _)| ds > bc) {
+                    best = Some((ds, s));
+                }
+            }
+            let Some((d_ext, s)) = best else {
+                continue;
+            };
+            let d_int = d[cur];
+            let balance_gain = loads[cur] > loads[s].saturating_add(w);
+            if d_ext > d_int || (d_ext == d_int && balance_gain) {
+                part[i] = s as u32;
+                loads[cur] -= w;
+                counts[cur] -= 1;
+                loads[s] += w;
+                counts[s] += 1;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: usize) -> (Vec<Option<u32>>, Vec<u64>) {
+        (vec![None; n], vec![1; n])
+    }
+
+    #[test]
+    fn strategy_parsing_round_trips() {
+        for &s in PartitionStrategy::ALL {
+            assert_eq!(s.name().parse::<PartitionStrategy>().unwrap(), s);
+        }
+        assert!("bogus".parse::<PartitionStrategy>().is_err());
+        assert_eq!(PartitionStrategy::default(), PartitionStrategy::Block);
+    }
+
+    #[test]
+    fn edge_cost_prefers_fast_links() {
+        assert!(edge_cost(SimTime::ns(1)) > edge_cost(SimTime::ns(20)));
+        assert_eq!(edge_cost(SimTime::ms(5)), 200);
+        assert_eq!(edge_cost(SimTime::ms(2000)), 1); // floor at >= 1 s
+        assert_eq!(edge_cost(SimTime::ps(1)), 1_000_000_000_000);
+    }
+
+    #[test]
+    fn block_matches_legacy_contiguous_split() {
+        let (pinned, weights) = uniform(8);
+        let ranks = assign(&pinned, &weights, &[], 4, PartitionStrategy::Block);
+        assert_eq!(ranks, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn round_robin_deals_cyclically() {
+        let (pinned, weights) = uniform(5);
+        let ranks = assign(&pinned, &weights, &[], 2, PartitionStrategy::RoundRobin);
+        assert_eq!(ranks, vec![0, 1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn single_rank_short_circuits() {
+        let pinned = vec![None, Some(0), None];
+        let ranks = assign(&pinned, &[1, 1, 1], &[], 1, PartitionStrategy::LatencyCut);
+        assert_eq!(ranks, vec![0, 0, 0]);
+    }
+
+    /// A chain of 8 nodes: seven 1 ns links and one 100 ns link in the
+    /// middle. The minimum-weighted-cut bipartition must cut exactly the
+    /// slow link.
+    #[test]
+    fn latency_cut_cuts_the_slow_link() {
+        let (pinned, weights) = uniform(8);
+        let mut edges = Vec::new();
+        for i in 0..7u32 {
+            let lat = if i == 3 {
+                SimTime::ns(100)
+            } else {
+                SimTime::ns(1)
+            };
+            edges.push((i, i + 1, edge_cost(lat)));
+        }
+        let ranks = assign(&pinned, &weights, &edges, 2, PartitionStrategy::LatencyCut);
+        for i in 0..4 {
+            assert_eq!(ranks[i], ranks[0], "low half split: {ranks:?}");
+        }
+        for i in 4..8 {
+            assert_eq!(ranks[i], ranks[4], "high half split: {ranks:?}");
+        }
+        assert_ne!(ranks[0], ranks[4], "slow link not cut: {ranks:?}");
+    }
+
+    #[test]
+    fn latency_cut_balances_weighted_load() {
+        // Star-free: 12 isolated pairs, one node of each pair heavy. Every
+        // rank should end within the 10% overload cap of the ideal.
+        let n = 24usize;
+        let pinned = vec![None; n];
+        let weights: Vec<u64> = (0..n).map(|i| if i % 2 == 0 { 5 } else { 1 }).collect();
+        let edges: Vec<(u32, u32, u64)> = (0..12u32)
+            .map(|p| (2 * p, 2 * p + 1, edge_cost(SimTime::ns(1))))
+            .collect();
+        let ranks = assign(&pinned, &weights, &edges, 4, PartitionStrategy::LatencyCut);
+        let mut loads = [0u64; 4];
+        for (i, &r) in ranks.iter().enumerate() {
+            loads[r as usize] += weights[i];
+        }
+        let total: u64 = weights.iter().sum();
+        let cap = (total * 11).div_ceil(10 * 4);
+        for (r, &l) in loads.iter().enumerate() {
+            assert!(l <= cap, "rank {r} overloaded: {loads:?} (cap {cap})");
+            assert!(l > 0, "rank {r} empty: {loads:?}");
+        }
+    }
+
+    #[test]
+    fn pinned_nodes_keep_their_rank_under_every_strategy() {
+        let pinned = vec![Some(2), None, Some(0), None, None, None];
+        let weights = vec![1u64; 6];
+        let edges: Vec<(u32, u32, u64)> = (0..5u32)
+            .map(|i| (i, i + 1, edge_cost(SimTime::ns(1))))
+            .collect();
+        for &s in PartitionStrategy::ALL {
+            let ranks = assign(&pinned, &weights, &edges, 3, s);
+            assert_eq!(ranks[0], 2, "{s}: {ranks:?}");
+            assert_eq!(ranks[2], 0, "{s}: {ranks:?}");
+            assert!(ranks.iter().all(|&r| r < 3), "{s}: {ranks:?}");
+        }
+    }
+
+    #[test]
+    fn latency_cut_is_deterministic() {
+        // A 6x6 torus with mixed latencies, partitioned twice.
+        let side = 6u32;
+        let n = (side * side) as usize;
+        let (pinned, weights) = uniform(n);
+        let idx = |x: u32, y: u32| (y % side) * side + (x % side);
+        let mut edges = Vec::new();
+        for y in 0..side {
+            for x in 0..side {
+                edges.push((idx(x, y), idx(x + 1, y), edge_cost(SimTime::ns(20))));
+                edges.push((idx(x, y), idx(x, y + 1), edge_cost(SimTime::ns(2))));
+            }
+        }
+        let a = assign(&pinned, &weights, &edges, 4, PartitionStrategy::LatencyCut);
+        let b = assign(&pinned, &weights, &edges, 4, PartitionStrategy::LatencyCut);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&r| r < 4));
+    }
+
+    /// On the asymmetric torus (fast vertical links, slow horizontal ones),
+    /// `LatencyCut` must find a cheaper weighted cut than the contiguous
+    /// block split, which slices row bands across the fast links.
+    #[test]
+    fn latency_cut_beats_block_on_asymmetric_torus() {
+        let side = 8u32;
+        let n = (side * side) as usize;
+        let (pinned, weights) = uniform(n);
+        let idx = |x: u32, y: u32| (y % side) * side + (x % side);
+        let mut edges = Vec::new();
+        for y in 0..side {
+            for x in 0..side {
+                edges.push((idx(x, y), idx(x + 1, y), edge_cost(SimTime::ns(20))));
+                edges.push((idx(x, y), idx(x, y + 1), edge_cost(SimTime::ns(2))));
+            }
+        }
+        let cut_of = |ranks: &[u32]| -> u64 {
+            edges
+                .iter()
+                .filter(|&&(a, b, _)| ranks[a as usize] != ranks[b as usize])
+                .map(|&(_, _, c)| c)
+                .sum()
+        };
+        for n_ranks in [2u32, 4] {
+            let block = assign(&pinned, &weights, &edges, n_ranks, PartitionStrategy::Block);
+            let lcut = assign(
+                &pinned,
+                &weights,
+                &edges,
+                n_ranks,
+                PartitionStrategy::LatencyCut,
+            );
+            assert!(
+                cut_of(&lcut) < cut_of(&block),
+                "ranks={n_ranks}: latency-cut {} !< block {}",
+                cut_of(&lcut),
+                cut_of(&block)
+            );
+        }
+    }
+}

@@ -380,11 +380,20 @@ impl StatsSnapshot {
 }
 
 // Manual serde impls: the index is derived state and must stay out of the
-// wire format (`{"stats": [...]}`), matching what the old derive emitted.
+// wire format (`{"stats": [...]}`). Stats are emitted in canonical
+// `(owner, name)` order rather than registration order: the parallel engine
+// absorbs per-rank registries in rank order, so registration order depends
+// on the partition — canonical order is what makes reports from different
+// partitions byte-identical.
 impl Serialize for StatsSnapshot {
     fn to_value(&self) -> Value {
+        let sorted: Vec<Value> = self
+            .index
+            .iter()
+            .map(|&i| self.stats[i as usize].to_value())
+            .collect();
         let mut m = serde::Map::new();
-        m.insert("stats".to_string(), self.stats.to_value());
+        m.insert("stats".to_string(), Value::Array(sorted));
         Value::Object(m)
     }
 }
@@ -551,6 +560,26 @@ mod tests {
         let snap = r.snapshot();
         assert_eq!(snap.sum_counters("hits"), 30);
         assert_eq!(snap.sum_counters_by(|n| n.ends_with("es")), 5);
+    }
+
+    #[test]
+    fn serialized_snapshot_order_is_canonical() {
+        // The same stats registered in opposite orders — as two different
+        // rank partitions would — must serialize byte-identically.
+        let mut r1 = StatsRegistry::new();
+        let a = r1.counter("b", "n");
+        let b = r1.counter("a", "n");
+        r1.add(a, 2);
+        r1.add(b, 3);
+        let mut r2 = StatsRegistry::new();
+        let c = r2.counter("a", "n");
+        let d = r2.counter("b", "n");
+        r2.add(c, 3);
+        r2.add(d, 2);
+        assert_eq!(
+            serde_json::to_string(&r1.snapshot()).unwrap(),
+            serde_json::to_string(&r2.snapshot()).unwrap()
+        );
     }
 
     #[test]

@@ -1043,9 +1043,87 @@ pub struct RunManifest {
     pub trace_path: Option<String>,
     pub chrome_trace_path: Option<String>,
     pub stats_series_path: Option<String>,
+    /// Partition strategy used for parallel runs (`block`, `round-robin`,
+    /// `latency-cut`); absent for serial-only runs.
+    #[serde(default)]
+    pub partition: Option<String>,
+    /// Profile dump fed back in via `--partition-profile`, if any.
+    #[serde(default)]
+    pub partition_profile: Option<String>,
+    /// Engine-profile dump written by this run (feed it back in via
+    /// `--partition-profile` to close the measure→repartition loop).
+    #[serde(default)]
+    pub profile_path: Option<String>,
 }
 
 pub const MANIFEST_SCHEMA: &str = "sst-telemetry-manifest-v1";
+
+// ---------------------------------------------------------------------------
+// Profile dumps: the measure half of the measure→repartition→rerun loop
+
+pub const PROFILE_SCHEMA: &str = "sst-engine-profile-v1";
+
+/// One labeled engine profile inside a [`ProfileDump`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LabeledProfile {
+    pub label: String,
+    pub profile: EngineProfile,
+}
+
+/// On-disk collection of engine profiles from one telemetry run. Written as
+/// `<base>.profile.json`; read back by `--partition-profile` to weight the
+/// partitioner by observed per-component event counts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProfileDump {
+    pub schema: String,
+    pub profiles: Vec<LabeledProfile>,
+}
+
+impl ProfileDump {
+    pub fn new(profiles: &[(String, EngineProfile)]) -> ProfileDump {
+        ProfileDump {
+            schema: PROFILE_SCHEMA.to_string(),
+            profiles: profiles
+                .iter()
+                .map(|(label, profile)| LabeledProfile {
+                    label: label.clone(),
+                    profile: profile.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Collapse every contained profile into one: per-component event counts
+    /// and handler time are summed by name (first-seen order preserved), so a
+    /// dump holding several engine runs still yields stable partition
+    /// weights. Sync metrics are dropped — they describe the *old* partition.
+    pub fn merged(&self) -> EngineProfile {
+        let mut order: Vec<String> = Vec::new();
+        let mut by_name: Vec<ComponentProfile> = Vec::new();
+        let mut merged = EngineProfile::default();
+        for lp in &self.profiles {
+            let p = &lp.profile;
+            merged.queue_depth_hwm = merged.queue_depth_hwm.max(p.queue_depth_hwm);
+            merged.delivery_batches += p.delivery_batches;
+            merged.max_batch_events = merged.max_batch_events.max(p.max_batch_events);
+            for c in &p.components {
+                match order.iter().position(|n| n == &c.name) {
+                    Some(i) => {
+                        by_name[i].events += c.events;
+                        by_name[i].total_ns += c.total_ns;
+                        by_name[i].max_ns = by_name[i].max_ns.max(c.max_ns);
+                    }
+                    None => {
+                        order.push(c.name.clone());
+                        by_name.push(c.clone());
+                    }
+                }
+            }
+        }
+        merged.components = by_name;
+        merged
+    }
+}
 
 /// FNV-1a 64-bit hash, for config fingerprints in manifests.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
@@ -1060,6 +1138,58 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn profile_dump_merges_by_component_name() {
+        let p1 = EngineProfile {
+            components: vec![
+                ComponentProfile {
+                    name: "a".into(),
+                    events: 10,
+                    total_ns: 100,
+                    max_ns: 7,
+                },
+                ComponentProfile {
+                    name: "b".into(),
+                    events: 2,
+                    total_ns: 20,
+                    max_ns: 9,
+                },
+            ],
+            queue_depth_hwm: 4,
+            delivery_batches: 3,
+            max_batch_events: 2,
+            ranks: Vec::new(),
+        };
+        let p2 = EngineProfile {
+            components: vec![ComponentProfile {
+                name: "a".into(),
+                events: 5,
+                total_ns: 50,
+                max_ns: 30,
+            }],
+            queue_depth_hwm: 9,
+            delivery_batches: 1,
+            max_batch_events: 6,
+            ranks: Vec::new(),
+        };
+        let dump = ProfileDump::new(&[("run1".to_string(), p1), ("run2".to_string(), p2)]);
+        assert_eq!(dump.schema, PROFILE_SCHEMA);
+        let m = dump.merged();
+        assert_eq!(m.components.len(), 2);
+        assert_eq!(m.components[0].name, "a");
+        assert_eq!(m.components[0].events, 15);
+        assert_eq!(m.components[0].max_ns, 30);
+        assert_eq!(m.components[1].events, 2);
+        assert_eq!(m.queue_depth_hwm, 9);
+        assert_eq!(m.delivery_batches, 4);
+
+        // And the on-disk form round-trips.
+        let json = serde_json::to_value(&dump).unwrap().to_json_string_pretty();
+        let back: ProfileDump = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.profiles.len(), 2);
+        assert_eq!(back.merged().components[0].events, 15);
+    }
 
     #[test]
     fn series_delta_encoding_round_trips() {

@@ -5,7 +5,7 @@
 //! accept both `--flag value` and `--flag=value` spellings.
 
 use sst_core::telemetry::{parse_trace_kind, TelemetryOptions};
-use sst_core::{Fidelity, SimTime};
+use sst_core::{Fidelity, PartitionStrategy, SimTime};
 use std::path::PathBuf;
 
 /// Telemetry-related flags shared by `experiment` and `run`.
@@ -46,6 +46,23 @@ impl TelemetryCliOpts {
     }
 }
 
+/// Partitioning flags shared by `experiment` and `run`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PartitionCliOpts {
+    /// `--partition <block|round-robin|latency-cut>`.
+    pub strategy: Option<PartitionStrategy>,
+    /// `--partition-profile <profile.json>`: a `<base>.profile.json` dump
+    /// from an earlier `--profile` run; per-component event counts become
+    /// partition weights.
+    pub profile: Option<PathBuf>,
+}
+
+impl PartitionCliOpts {
+    pub fn any(&self) -> bool {
+        self.strategy.is_some() || self.profile.is_some()
+    }
+}
+
 /// A fully parsed invocation.
 #[derive(Debug, PartialEq)]
 pub enum Cmd {
@@ -54,12 +71,15 @@ pub enum Cmd {
         quick: bool,
         json: bool,
         fidelity: Fidelity,
+        ranks: Option<u32>,
+        partition: PartitionCliOpts,
         telemetry: TelemetryCliOpts,
     },
     Run {
         config: String,
         until_ms: Option<u64>,
         ranks: u32,
+        partition: PartitionCliOpts,
         telemetry: TelemetryCliOpts,
     },
     ListComponents,
@@ -83,6 +103,8 @@ struct Parsed {
     stats_interval_ms: Option<f64>,
     until_ms: Option<u64>,
     ranks: Option<u32>,
+    partition: Option<PartitionStrategy>,
+    partition_profile: Option<PathBuf>,
     seen: Vec<&'static str>,
 }
 
@@ -103,6 +125,13 @@ impl Parsed {
             trace_kinds: self.trace_kinds,
             stats_interval_ms: self.stats_interval_ms,
             profile: self.profile,
+        }
+    }
+
+    fn partition_opts(&self) -> PartitionCliOpts {
+        PartitionCliOpts {
+            strategy: self.partition,
+            profile: self.partition_profile.clone(),
         }
     }
 }
@@ -141,6 +170,8 @@ pub fn parse(args: &[String]) -> Result<Cmd, String> {
                 | "stats-interval"
                 | "until-ms"
                 | "ranks"
+                | "partition"
+                | "partition-profile"
         );
         let value: Option<String> = if needs_value {
             match inline {
@@ -233,6 +264,14 @@ pub fn parse(args: &[String]) -> Result<Cmd, String> {
                 p.ranks = Some(n);
                 p.seen.push("ranks");
             }
+            "partition" => {
+                p.partition = Some(value.unwrap().parse::<PartitionStrategy>()?);
+                p.seen.push("partition");
+            }
+            "partition-profile" => {
+                p.partition_profile = Some(PathBuf::from(value.unwrap()));
+                p.seen.push("partition-profile");
+            }
             other => return Err(format!("unknown flag `--{other}`")),
         }
         i += 1;
@@ -252,7 +291,14 @@ pub fn parse(args: &[String]) -> Result<Cmd, String> {
     match cmd {
         "experiment" => {
             exactly(1, "experiment id (or `all`)")?;
-            let mut allowed = vec!["quick", "json", "fidelity"];
+            let mut allowed = vec![
+                "quick",
+                "json",
+                "fidelity",
+                "ranks",
+                "partition",
+                "partition-profile",
+            ];
             allowed.extend_from_slice(TELEMETRY_FLAGS);
             p.reject_unless("experiment", &allowed)?;
             Ok(Cmd::Experiment {
@@ -260,18 +306,21 @@ pub fn parse(args: &[String]) -> Result<Cmd, String> {
                 quick: p.quick,
                 json: p.json,
                 fidelity: p.fidelity.unwrap_or_default(),
+                ranks: p.ranks,
+                partition: p.partition_opts(),
                 telemetry: p.telemetry(),
             })
         }
         "run" => {
             exactly(1, "config path")?;
-            let mut allowed = vec!["until-ms", "ranks"];
+            let mut allowed = vec!["until-ms", "ranks", "partition", "partition-profile"];
             allowed.extend_from_slice(TELEMETRY_FLAGS);
             p.reject_unless("run", &allowed)?;
             Ok(Cmd::Run {
                 config: pos[1].clone(),
                 until_ms: p.until_ms,
                 ranks: p.ranks.unwrap_or(1),
+                partition: p.partition_opts(),
                 telemetry: p.telemetry(),
             })
         }
@@ -402,6 +451,7 @@ mod tests {
                 config: "cfg.json".into(),
                 until_ms: Some(5),
                 ranks: 4,
+                partition: PartitionCliOpts::default(),
                 telemetry: TelemetryCliOpts {
                     profile: true,
                     ..Default::default()
@@ -416,5 +466,37 @@ mod tests {
                 chrome: Some("t.chrome.json".into()),
             }
         );
+    }
+
+    #[test]
+    fn partition_flags_parse() {
+        let cmd = parse(&args(
+            "experiment pdes --ranks 4 --partition latency-cut --partition-profile prof.json",
+        ))
+        .unwrap();
+        let Cmd::Experiment {
+            ranks, partition, ..
+        } = cmd
+        else {
+            panic!("wrong command")
+        };
+        assert_eq!(ranks, Some(4));
+        assert_eq!(partition.strategy, Some(PartitionStrategy::LatencyCut));
+        assert_eq!(
+            partition.profile.as_deref(),
+            Some(std::path::Path::new("prof.json"))
+        );
+        assert!(partition.any());
+
+        let cmd = parse(&args("run cfg.json --ranks 2 --partition=round-robin")).unwrap();
+        let Cmd::Run { partition, .. } = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(partition.strategy, Some(PartitionStrategy::RoundRobin));
+
+        let e = parse(&args("experiment pdes --partition frobnicate")).unwrap_err();
+        assert!(e.contains("unknown partition strategy"), "{e}");
+        let e = parse(&args("list-components --partition block")).unwrap_err();
+        assert!(e.contains("does not accept"), "{e}");
     }
 }

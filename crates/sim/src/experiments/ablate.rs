@@ -79,6 +79,8 @@ fn lookahead_run(latency_ns: u64) -> (u64, f64) {
         ttl: 120,
         rank_counts: vec![],
         telemetry: sst_core::telemetry::TelemetrySpec::disabled(),
+        partition: Default::default(),
+        profile: None,
     };
     let b = super::pdes::build_with_latency(&params, SimTime::ns(latency_ns));
     let report = ParallelEngine::new(b, 2).run(RunLimit::Exhaust);

@@ -20,7 +20,8 @@ pub mod validate;
 
 use crate::table::Table;
 use sst_core::fidelity::Fidelity;
-use sst_core::telemetry::TelemetrySpec;
+use sst_core::telemetry::{EngineProfile, TelemetrySpec};
+use sst_core::PartitionStrategy;
 
 /// Experiment ids accepted by the CLI.
 pub const ALL: &[&str] = &[
@@ -41,6 +42,23 @@ pub fn run_by_name(name: &str, quick: bool, fidelity: Fidelity) -> Option<Vec<Ta
     run_with(name, quick, fidelity, &TelemetrySpec::disabled())
 }
 
+/// Parallel-engine knobs the CLI can override on engine-backed experiments
+/// (currently only `pdes` honors them — the figure experiments run serial
+/// engines). `ranks` replaces the experiment's rank sweep with one count;
+/// `partition`/`profile` select and weight the rank partitioner.
+#[derive(Debug, Clone, Default)]
+pub struct EngineTuning {
+    pub ranks: Option<u32>,
+    pub partition: Option<PartitionStrategy>,
+    pub profile: Option<EngineProfile>,
+}
+
+impl EngineTuning {
+    pub fn any(&self) -> bool {
+        self.ranks.is_some() || self.partition.is_some() || self.profile.is_some()
+    }
+}
+
 /// As [`run_by_name`], with a telemetry spec threaded into the engine-backed
 /// experiments (DES-fidelity figure runs and the `pdes` scaling study). The
 /// purely analytic experiments have no event loop and ignore it.
@@ -49,6 +67,20 @@ pub fn run_with(
     quick: bool,
     fidelity: Fidelity,
     telemetry: &TelemetrySpec,
+) -> Option<Vec<Table>> {
+    run_with_tuning(name, quick, fidelity, telemetry, &EngineTuning::default())
+}
+
+/// As [`run_with`], plus parallel-engine tuning for the experiments that
+/// take it. The CLI rejects tuning flags for experiments that ignore them,
+/// so an `EngineTuning` arriving here for a non-`pdes` id is a caller bug,
+/// not a user error — it is silently unused.
+pub fn run_with_tuning(
+    name: &str,
+    quick: bool,
+    fidelity: Fidelity,
+    telemetry: &TelemetrySpec,
+    tuning: &EngineTuning,
 ) -> Option<Vec<Table>> {
     if fidelity != Fidelity::Analytic && !SUPPORTS_DES.contains(&name) {
         return None;
@@ -100,6 +132,13 @@ pub fn run_with(
         "pdes" => {
             let mut p = pick(quick, pdes::Params::default(), pdes::Params::quick());
             p.telemetry = telemetry;
+            if let Some(n) = tuning.ranks {
+                p.rank_counts = vec![n];
+            }
+            if let Some(s) = tuning.partition {
+                p.partition = s;
+            }
+            p.profile = tuning.profile.clone();
             vec![pdes::run(&p)]
         }
         "ablate" => vec![ablate::run(&pick(

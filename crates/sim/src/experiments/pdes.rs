@@ -52,6 +52,11 @@ pub struct Params {
     /// default). Parallel runs contribute per-rank sync metrics to the
     /// profile.
     pub telemetry: TelemetrySpec,
+    /// How to split the torus over ranks (`--partition`).
+    pub partition: PartitionStrategy,
+    /// Measured per-component event counts fed back in as partition weights
+    /// (`--partition-profile`).
+    pub profile: Option<sst_core::telemetry::EngineProfile>,
 }
 
 impl Default for Params {
@@ -62,6 +67,8 @@ impl Default for Params {
             ttl: 600,
             rank_counts: vec![1, 2, 4, 8],
             telemetry: TelemetrySpec::disabled(),
+            partition: PartitionStrategy::default(),
+            profile: None,
         }
     }
 }
@@ -139,13 +146,28 @@ pub fn run(p: &Params) -> Table {
             1.0,
         ],
     );
+    let mut cut_notes: Vec<String> = Vec::new();
     for &ranks in &p.rank_counts {
-        let par = ParallelEngine::with_telemetry(
+        let engine = ParallelEngine::with_partition(
             build(p),
             ranks,
+            p.partition,
+            p.profile.as_ref(),
             p.telemetry.labeled(format!("{ranks}ranks")),
-        )
-        .run(RunLimit::Exhaust);
+        );
+        if ranks > 1 {
+            let s = engine.partition_summary();
+            cut_notes.push(format!(
+                "partition {} @ {ranks} ranks: {}/{} links cut, lookahead {}",
+                s.strategy,
+                s.cut_links,
+                s.total_links,
+                s.min_lookahead_ps
+                    .map(|ps| SimTime(ps).to_string())
+                    .unwrap_or_else(|| "inf".into()),
+            ));
+        }
+        let par = engine.run(RunLimit::Exhaust);
         let same = par.events == serial.events
             && par.end_time == serial.end_time
             && par.stats.sum_counters("forwarded") == serial_total;
@@ -163,6 +185,9 @@ pub fn run(p: &Params) -> Table {
     t.note(
         "`identical` = 1 when events, end time, and all statistics match the serial run exactly",
     );
+    for n in cut_notes {
+        t.note(n);
+    }
     let host = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -186,6 +211,24 @@ mod tests {
                 "{} diverged from serial",
                 row.label
             );
+        }
+    }
+
+    #[test]
+    fn every_partition_strategy_stays_identical() {
+        for &strategy in PartitionStrategy::ALL {
+            let mut p = Params::quick();
+            p.rank_counts = vec![2, 4];
+            p.partition = strategy;
+            let t = run(&p);
+            for row in &t.rows {
+                assert_eq!(
+                    *row.values.last().unwrap(),
+                    1.0,
+                    "{strategy}: {} diverged from serial",
+                    row.label
+                );
+            }
         }
     }
 

@@ -3,9 +3,11 @@
 use serde::{Serialize, Value};
 use sst_core::prelude::*;
 use sst_core::telemetry::{
-    chrome_trace_path, fnv1a, RunManifest, TelemetrySummary, MANIFEST_SCHEMA,
+    chrome_trace_path, fnv1a, EngineProfile, ProfileDump, RunManifest, TelemetrySummary,
+    MANIFEST_SCHEMA, PROFILE_SCHEMA,
 };
-use sst_sim::cli::{self, Cmd, TelemetryCliOpts};
+use sst_sim::cli::{self, Cmd, PartitionCliOpts, TelemetryCliOpts};
+use sst_sim::experiments::EngineTuning;
 use sst_sim::{experiments, full_registry};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -14,6 +16,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:
   sst experiment <id>|all [--quick] [--json] [--fidelity analytic|des]
+                 [--ranks N] [--partition block|round-robin|latency-cut]
+                 [--partition-profile <run.profile.json>]
                  [--trace <path.jsonl>] [--trace-comps <a,core*>]
                  [--trace-kinds deliver,sched,clock,mark]
                  [--stats-interval <ms>] [--profile]
@@ -22,8 +26,12 @@ fn usage() -> ExitCode {
                                                converted experiments through
                                                the discrete-event backend;
                                                the telemetry flags trace and
-                                               profile its engine runs)
+                                               profile its engine runs; the
+                                               ranks/partition flags tune the
+                                               pdes scaling study)
   sst run <config.json> [--until-ms N] [--ranks N]
+                 [--partition block|round-robin|latency-cut]
+                 [--partition-profile <run.profile.json>]
                  [--trace <path.jsonl>] [--trace-comps ...]
                  [--trace-kinds ...] [--stats-interval <ms>] [--profile]
   sst validate-trace <trace.jsonl> [<trace.chrome.json>]
@@ -34,7 +42,9 @@ fn usage() -> ExitCode {
 
 Tracing writes JSONL records plus a Chrome trace_event sibling
 (<path>.chrome.json — load it in chrome://tracing or https://ui.perfetto.dev),
-and every telemetry-enabled run writes a <path>.manifest.json run manifest."
+and every telemetry-enabled run writes a <path>.manifest.json run manifest.
+--profile also writes a <path>.profile.json dump; feed it back in with
+--partition-profile to weight the partitioner by measured event counts."
     );
     // Usage errors (unknown flags, bad values) exit with code 2.
     ExitCode::from(2)
@@ -55,14 +65,19 @@ fn main() -> ExitCode {
             quick,
             json,
             fidelity,
+            ranks,
+            partition,
             telemetry,
-        } => cmd_experiment(&args, &id, quick, json, fidelity, &telemetry),
+        } => cmd_experiment(
+            &args, &id, quick, json, fidelity, ranks, &partition, &telemetry,
+        ),
         Cmd::Run {
             config,
             until_ms,
             ranks,
+            partition,
             telemetry,
-        } => cmd_run(&args, &config, until_ms, ranks, &telemetry),
+        } => cmd_run(&args, &config, until_ms, ranks, &partition, &telemetry),
         Cmd::ValidateTrace { trace, chrome } => cmd_validate_trace(&trace, chrome.as_deref()),
         Cmd::ListComponents => {
             for (name, desc) in full_registry().list() {
@@ -85,14 +100,39 @@ fn main() -> ExitCode {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn cmd_experiment(
     args: &[String],
     id: &str,
     quick: bool,
     json: bool,
     fidelity: Fidelity,
+    ranks: Option<u32>,
+    partition: &PartitionCliOpts,
     tel: &TelemetryCliOpts,
 ) -> ExitCode {
+    if (ranks.is_some() || partition.any()) && id != "pdes" {
+        eprintln!(
+            "--ranks/--partition/--partition-profile only apply to the `pdes` \
+             scaling study (the figure experiments run serial engines); got `{id}`"
+        );
+        return ExitCode::FAILURE;
+    }
+    let profile = match &partition.profile {
+        Some(path) => match load_partition_profile(path) {
+            Ok(p) => Some(p),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let tuning = EngineTuning {
+        ranks,
+        partition: partition.strategy,
+        profile,
+    };
     let spec = match TelemetrySpec::new(tel.to_options()) {
         Ok(s) => s,
         Err(e) => {
@@ -115,7 +155,7 @@ fn cmd_experiment(
             "[sst] running {id} ({fidelity}{})...",
             if quick { ", quick" } else { "" }
         );
-        match experiments::run_with(id, quick, fidelity, &spec) {
+        match experiments::run_with_tuning(id, quick, fidelity, &spec, &tuning) {
             Some(tables) => {
                 for t in tables {
                     if json {
@@ -139,7 +179,7 @@ fn cmd_experiment(
             }
         }
     }
-    finish_telemetry(&spec, tel, args, fidelity, quick)
+    finish_telemetry(&spec, tel, partition, args, fidelity, quick)
 }
 
 fn cmd_run(
@@ -147,6 +187,7 @@ fn cmd_run(
     config: &str,
     until_ms: Option<u64>,
     ranks: u32,
+    partition: &PartitionCliOpts,
     tel: &TelemetryCliOpts,
 ) -> ExitCode {
     let text = match std::fs::read_to_string(config) {
@@ -163,13 +204,31 @@ fn cmd_run(
             return ExitCode::FAILURE;
         }
     };
-    let builder = match cfg.build(&full_registry()) {
+    let mut builder = match cfg.build(&full_registry()) {
         Ok(b) => b,
         Err(e) => {
             eprintln!("cannot build system: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(s) = partition.strategy {
+        builder.partition_strategy(s);
+    }
+    if let Some(path) = &partition.profile {
+        match load_partition_profile(path) {
+            Ok(p) => {
+                let matched = builder.apply_profile_weights(&p);
+                eprintln!(
+                    "[sst] partition profile {}: weighted {matched} component(s)",
+                    path.display()
+                );
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let spec = match TelemetrySpec::new(tel.to_options()) {
         Ok(s) => s,
         Err(e) => {
@@ -195,7 +254,25 @@ fn cmd_run(
         report.events_per_sec() / 1e3
     );
     println!("{}", report.stats);
-    finish_telemetry(&spec, tel, args, Fidelity::Des, false)
+    finish_telemetry(&spec, tel, partition, args, Fidelity::Des, false)
+}
+
+/// Read a `<base>.profile.json` dump written by an earlier `--profile` run
+/// and merge its engine profiles into one weight source.
+fn load_partition_profile(path: &Path) -> Result<EngineProfile, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read partition profile {}: {e}", path.display()))?;
+    let dump: ProfileDump = serde_json::from_str(&text)
+        .map_err(|e| format!("{}: not a profile dump: {e}", path.display()))?;
+    if dump.schema != PROFILE_SCHEMA {
+        return Err(format!(
+            "{}: schema `{}` is not `{PROFILE_SCHEMA}` — pass the .profile.json \
+             written by a --profile run",
+            path.display(),
+            dump.schema
+        ));
+    }
+    Ok(dump.merged())
 }
 
 /// Flush telemetry output, print collected profiles, and write the stats
@@ -204,6 +281,7 @@ fn cmd_run(
 fn finish_telemetry(
     spec: &TelemetrySpec,
     tel: &TelemetryCliOpts,
+    partition: &PartitionCliOpts,
     args: &[String],
     fidelity: Fidelity,
     quick: bool,
@@ -231,6 +309,19 @@ fn finish_telemetry(
             return ExitCode::FAILURE;
         }
     }
+    let profile_path = (!summary.profiles.is_empty()).then(|| with_ext(&base, "profile.json"));
+    if let Some(p) = &profile_path {
+        let dump = ProfileDump::new(&summary.profiles);
+        let json = serde_json::to_string_pretty(&dump).expect("profile dump serializes");
+        if let Err(e) = std::fs::write(p, json) {
+            eprintln!("cannot write {}: {e}", p.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "[sst] profile dump {} — feed it back with --partition-profile",
+            p.display()
+        );
+    }
     let command = args.join(" ");
     let canon = format!("sst {command}|fidelity={fidelity}|quick={quick}");
     let manifest = RunManifest {
@@ -251,6 +342,9 @@ fn finish_telemetry(
             .as_ref()
             .map(|p| chrome_trace_path(p).display().to_string()),
         stats_series_path: stats_path.as_ref().map(|p| p.display().to_string()),
+        partition: partition.strategy.map(|s| s.to_string()),
+        partition_profile: partition.profile.as_ref().map(|p| p.display().to_string()),
+        profile_path: profile_path.as_ref().map(|p| p.display().to_string()),
     };
     let manifest_path = with_ext(&base, "manifest.json");
     let json = manifest.to_value().to_json_string_pretty();

@@ -1,0 +1,138 @@
+//! Partition-invariance differential tests: a conservative parallel run
+//! must serialize to the byte-identical `SimReport` for *every* partition
+//! strategy at every rank count — the partition decides how fast the answer
+//! arrives, never what the answer is. Exercised on the two engine-backed
+//! workload families: the pdes token-traffic torus and a fig03-style DES
+//! node (cores + cache hierarchy + DRAM).
+
+use sst_core::prelude::*;
+use sst_cpu::{AddrPattern, CoreComponent, CoreConfig, InstrStream, KernelSpec};
+use sst_mem::{install_hierarchy, DramConfig, MemHierarchyConfig};
+use sst_sim::experiments::pdes;
+
+/// Serialize a report with the fields that legitimately differ between
+/// serial and parallel runs (timing, rank count, sync bookkeeping,
+/// telemetry) zeroed; everything else must match byte-for-byte.
+fn normalized(mut r: SimReport) -> String {
+    r.wall_seconds = 0.0;
+    r.ranks = 0;
+    r.epochs = 0;
+    r.profile = None;
+    r.series = None;
+    serde_json::to_string(&r).expect("report serializes")
+}
+
+/// Run `build()` serially, then under every strategy at 1/2/4 ranks, and
+/// require byte-identical normalized reports throughout.
+fn assert_partition_invariant(what: &str, build: impl Fn() -> SystemBuilder) {
+    let serial = Engine::new(build()).run(RunLimit::Exhaust);
+    assert!(serial.events > 100, "{what}: workload too trivial to trust");
+    let reference = normalized(serial);
+    for &strategy in PartitionStrategy::ALL {
+        for ranks in [1u32, 2, 4] {
+            let mut b = build();
+            b.partition_strategy(strategy);
+            let par = ParallelEngine::new(b, ranks).run(RunLimit::Exhaust);
+            assert_eq!(
+                normalized(par),
+                reference,
+                "{what}: {strategy} at {ranks} ranks diverged from the serial report"
+            );
+        }
+    }
+}
+
+fn stream_kernel(core: usize, iters: u64) -> Box<dyn InstrStream> {
+    let base = (core as u64 + 1) << 32;
+    Box::new(
+        KernelSpec {
+            label: format!("stream{core}"),
+            iters,
+            loads: 2,
+            stores: 1,
+            flops: 2,
+            ialu: 1,
+            flop_dep: 0,
+            load_pattern: AddrPattern::Stream {
+                base,
+                stride: 8,
+                span: 1 << 16,
+            },
+            store_pattern: AddrPattern::Stream {
+                base: base + (1 << 28),
+                stride: 8,
+                span: 1 << 16,
+            },
+            mispredict_every: 0,
+            seed: core as u64,
+        }
+        .stream(),
+    )
+}
+
+/// A fig03-style DES node: four cores feeding a shared cache hierarchy,
+/// exactly the system `DesNode::run_phase` assembles.
+fn des_node() -> SystemBuilder {
+    let core_cfg = CoreConfig::with_width(2, Frequency::ghz(2.0));
+    let mem_cfg = MemHierarchyConfig::typical(DramConfig::ddr3_1333(2));
+    let mut b = SystemBuilder::new();
+    let mut ups = Vec::new();
+    for i in 0..4 {
+        let core = b.add(
+            format!("core{i}"),
+            CoreComponent::from_config(stream_kernel(i, 250), &core_cfg),
+        );
+        ups.push((core, CoreComponent::MEM));
+    }
+    install_hierarchy(&mut b, &mem_cfg, core_cfg.freq, &ups);
+    b
+}
+
+#[test]
+fn pdes_torus_is_partition_invariant() {
+    assert_partition_invariant("pdes torus", || pdes::build(&pdes::Params::quick()));
+}
+
+#[test]
+fn des_node_is_partition_invariant() {
+    assert_partition_invariant("fig03 DES node", des_node);
+}
+
+#[test]
+fn profile_weights_do_not_change_results() {
+    // Closing the feedback loop must also be result-neutral: rerun the
+    // torus under latency-cut with the measured profile fed back in and
+    // require the same bytes again.
+    let p = pdes::Params::quick();
+    let spec = TelemetrySpec::new(TelemetryOptions {
+        profile: true,
+        ..Default::default()
+    })
+    .expect("profile-only telemetry needs no files");
+    let profiled = ParallelEngine::with_partition(
+        pdes::build(&p),
+        2,
+        PartitionStrategy::LatencyCut,
+        None,
+        spec,
+    )
+    .run(RunLimit::Exhaust);
+    let profile = profiled.profile.expect("profiling was on");
+
+    let reference = normalized(Engine::new(pdes::build(&p)).run(RunLimit::Exhaust));
+    for ranks in [2u32, 4] {
+        let rerun = ParallelEngine::with_partition(
+            pdes::build(&p),
+            ranks,
+            PartitionStrategy::LatencyCut,
+            Some(&profile),
+            TelemetrySpec::disabled(),
+        )
+        .run(RunLimit::Exhaust);
+        assert_eq!(
+            normalized(rerun),
+            reference,
+            "profile-guided latency-cut at {ranks} ranks diverged from serial"
+        );
+    }
+}
