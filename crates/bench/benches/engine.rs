@@ -27,6 +27,7 @@ fn parallel_rank_scaling(c: &mut Criterion) {
         tokens_per_node: 6,
         ttl: 80,
         rank_counts: vec![],
+        ..pdes::Params::default()
     };
     let mut g = c.benchmark_group("engine/parallel");
     g.sample_size(10);

@@ -11,6 +11,7 @@ fn bench_fig02(c: &mut Criterion) {
         core_counts: vec![1, 4],
         nx: 8,
         solver_iters: 2,
+        ..fig02::Params::default()
     };
     c.benchmark_group("figures")
         .sample_size(10)
@@ -26,6 +27,7 @@ fn bench_fig03(c: &mut Criterion) {
         cores: 2,
         nx: 8,
         solver_iters: 2,
+        ..fig03::Params::default()
     };
     c.benchmark_group("figures")
         .sample_size(10)
@@ -38,6 +40,7 @@ fn bench_fig04(c: &mut Criterion) {
     let p = fig04::Params {
         nx: 16,
         solver_iters: 1,
+        ..fig04::Params::default()
     };
     c.benchmark_group("figures")
         .sample_size(10)
@@ -64,6 +67,7 @@ fn bench_fig08(c: &mut Criterion) {
         nx_per_core: 8,
         cpu_cores: 2,
         solver_iters: 1,
+        ..fig08::Params::default()
     };
     c.benchmark_group("figures")
         .sample_size(10)
@@ -79,6 +83,7 @@ fn bench_fig09(c: &mut Criterion) {
         xnobel_ranks: vec![27],
         steps: 1,
         ranks_per_node: 4,
+        ..fig09::Params::default()
     };
     c.benchmark_group("figures")
         .sample_size(10)
@@ -95,6 +100,7 @@ fn bench_fig10_11_12(c: &mut Criterion) {
         nx_lulesh: 12,
         hpccg_iters: 2,
         lulesh_steps: 1,
+        ..dse::Params::default()
     };
     c.benchmark_group("figures")
         .sample_size(10)
@@ -114,6 +120,7 @@ fn bench_pdes(c: &mut Criterion) {
         tokens_per_node: 4,
         ttl: 40,
         rank_counts: vec![2],
+        ..pdes::Params::default()
     };
     c.benchmark_group("figures")
         .sample_size(10)

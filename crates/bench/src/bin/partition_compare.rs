@@ -242,6 +242,7 @@ fn main() {
         telemetry: TelemetrySpec::disabled(),
         partition: Default::default(),
         profile: None,
+        checkpoint: None,
     };
     let (ring_tokens, ring_ttl) = if quick { (4, 60) } else { (8, 400) };
     let (hier_tokens, hier_ttl) = if quick { (4, 60) } else { (8, 400) };

@@ -280,6 +280,7 @@ fn main() {
         telemetry: sst_core::telemetry::TelemetrySpec::disabled(),
         partition: Default::default(),
         profile: None,
+        checkpoint: None,
     };
     let ring_hops = if quick { 20_000 } else { 200_000 };
     let mut whole_engine = Vec::new();

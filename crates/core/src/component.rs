@@ -49,6 +49,23 @@ pub trait Component: Send {
     fn ports(&self) -> &'static [&'static str] {
         &[]
     }
+
+    /// Serialize this component's mutable simulation state for a checkpoint.
+    ///
+    /// The default (`Value::Null`) is correct for components whose only
+    /// state between events is setup-assigned wiring (stat ids, port
+    /// counts): restore re-runs `setup` to rebuild those. Components with
+    /// evolving state (caches, queues, cursors) must override this *and*
+    /// [`Component::load_state`], walking any hash maps in a canonical key
+    /// order so identical states serialize identically.
+    fn save_state(&self) -> serde_json::Value {
+        serde_json::Value::Null
+    }
+
+    /// Restore state captured by [`Component::save_state`]. Called after
+    /// `setup`, so setup-assigned fields (registered `StatId`s, codecs)
+    /// are live and must not be clobbered.
+    fn load_state(&mut self, _state: &serde_json::Value) {}
 }
 
 /// The far end of a link, as seen from one port.

@@ -208,6 +208,12 @@ impl Component for BoxedComponent {
     fn ports(&self) -> &'static [&'static str] {
         self.0.ports()
     }
+    fn save_state(&self) -> serde_json::Value {
+        self.0.save_state()
+    }
+    fn load_state(&mut self, state: &serde_json::Value) {
+        self.0.load_state(state)
+    }
 }
 
 fn resolve_endpoint(

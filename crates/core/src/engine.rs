@@ -11,10 +11,15 @@ use crate::event::{
 };
 use crate::queue::{BinaryHeapQueue, IndexedQueue, SimQueue};
 use crate::rng::component_rng;
+use crate::snapshot::{self, ComponentSnap, Snapshot, SNAPSHOT_SCHEMA};
 use crate::stats::{StatsRegistry, StatsSnapshot};
-use crate::telemetry::{EngineProfile, StatsSeries, TelemetrySpec, TelemetryState, Tracer};
+use crate::telemetry::{
+    EngineProfile, Sampler, StatsSeries, TelemetrySpec, TelemetryState, Tracer,
+};
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize, Value};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// How long to run.
@@ -62,6 +67,11 @@ pub struct SimReport {
     /// configured on a serial run.
     #[serde(default)]
     pub series: Option<StatsSeries>,
+    /// Canonical FNV-1a hash of the final simulation state; present only
+    /// when the run went through a checkpointing entry point
+    /// ([`EngineOn::run_with_checkpoints`] or its parallel counterpart).
+    #[serde(default)]
+    pub final_state_hash: Option<String>,
 }
 
 impl SimReport {
@@ -201,6 +211,82 @@ impl Kernel {
 
     fn is_local(&self, c: ComponentId) -> bool {
         self.slots.get(c.0 as usize).is_some_and(|s| s.is_some())
+    }
+
+    /// Capture every local component's state, sorted by name (the canonical
+    /// snapshot order, independent of id assignment and rank layout).
+    pub(crate) fn capture_components(&self) -> Vec<ComponentSnap> {
+        let mut snaps: Vec<ComponentSnap> = self
+            .slots
+            .iter()
+            .flatten()
+            .map(|slot| {
+                snapshot::component_snap(
+                    &slot.name,
+                    slot.rng.state(),
+                    slot.send_seq,
+                    slot.comp.as_deref().expect("capture during delivery"),
+                )
+            })
+            .collect();
+        snaps.sort_by(|a, b| a.name.cmp(&b.name));
+        snaps
+    }
+
+    /// Clock activity flags indexed by global `ClockId`. Only the owning
+    /// rank's flag is ever true, so a parallel capture merges per-rank
+    /// tables with a plain element-wise OR.
+    pub(crate) fn capture_clock_flags(&self) -> Vec<bool> {
+        self.clocks.iter().map(|c| c.active).collect()
+    }
+
+    /// Overwrite local component state (RNG stream, send-sequence cursor,
+    /// [`Component::load_state`](crate::component::Component::load_state))
+    /// from snapshot entries, matched by name. Must run *after* `setup_all`
+    /// so setup-assigned wiring is live. Returns how many entries applied;
+    /// callers check coverage (every snapshot entry must land on exactly one
+    /// rank). Panics if a local component has no snapshot entry.
+    pub(crate) fn restore_components(&mut self, comps: &[ComponentSnap]) -> usize {
+        let by_name: HashMap<&str, &ComponentSnap> =
+            comps.iter().map(|c| (c.name.as_str(), c)).collect();
+        let mut applied = 0;
+        for slot in self.slots.iter_mut().flatten() {
+            let Some(cs) = by_name.get(slot.name.as_str()) else {
+                panic!(
+                    "snapshot has no state for component `{}`; \
+                     does the rebuilt system match the snapshotted one?",
+                    slot.name
+                );
+            };
+            let rng_state: [u64; 4] =
+                cs.rng.as_slice().try_into().unwrap_or_else(|_| {
+                    panic!("malformed rng state for component `{}`", slot.name)
+                });
+            slot.rng = SmallRng::from_state(rng_state);
+            slot.send_seq = cs.send_seq;
+            slot.comp
+                .as_mut()
+                .expect("restore during delivery")
+                .load_state(&cs.state);
+            applied += 1;
+        }
+        applied
+    }
+
+    /// Restore clock activity flags for locally owned clocks. (Non-local
+    /// flags are never read, but keeping them false mirrors `start_clocks`.)
+    pub(crate) fn restore_clocks(&mut self, flags: &[bool]) {
+        assert_eq!(
+            flags.len(),
+            self.clocks.len(),
+            "snapshot clock table does not match the rebuilt system"
+        );
+        let slots = &self.slots;
+        for (clk, &f) in self.clocks.iter_mut().zip(flags) {
+            if slots.get(clk.comp.0 as usize).is_some_and(|s| s.is_some()) {
+                clk.active = f;
+            }
+        }
     }
 
     /// Schedule the first tick of every local clock.
@@ -470,7 +556,17 @@ impl<Q: SimQueue + EventSink> EngineOn<Q> {
     /// check per batch element.
     pub fn step(&mut self, limit: RunLimit) {
         self.start();
-        let bound = limit.bound();
+        self.step_bounded(limit.bound());
+        if let RunLimit::Until(t) = limit {
+            self.kernel.now = self.kernel.now.max(t);
+        }
+    }
+
+    /// Deliver every event with time `<= bound`, *without* the final
+    /// clamp of `now` to the bound. Intermediate checkpoint legs use this
+    /// directly: a capture must see `now` at the last delivered event, the
+    /// same value an uninterrupted run would have carried through.
+    fn step_bounded(&mut self, bound: SimTime) {
         let mut batch = self.pool.get();
         while self.queue.pop_time_run(bound, &mut batch) != 0 {
             if self.kernel.tel.is_some() {
@@ -485,9 +581,6 @@ impl<Q: SimQueue + EventSink> EngineOn<Q> {
             }
         }
         self.pool.put(batch);
-        if let RunLimit::Until(t) = limit {
-            self.kernel.now = self.kernel.now.max(t);
-        }
     }
 
     /// Telemetry-on flavor of the batch loop: per-event instrumented
@@ -510,6 +603,159 @@ impl<Q: SimQueue + EventSink> EngineOn<Q> {
             p.note_batch(n);
             p.note_depth(self.queue.len() as u64);
         }
+    }
+
+    /// Capture a complete, sealed [`Snapshot`] of the engine at the current
+    /// instant. Non-destructive: every drained event goes straight back into
+    /// the queue and the run can continue. Panics if the queue holds a
+    /// payload type with no [registered codec](crate::snapshot::register_payload).
+    ///
+    /// `origin` is an opaque rebuild recipe echoed into the snapshot for the
+    /// CLI `restore` command; it does not affect the state hash.
+    pub fn checkpoint(&mut self, origin: Option<&Value>) -> Snapshot {
+        self.start();
+        // Flush buffered trace records so the on-disk prefix covers
+        // everything up to this instant — a restored run's trace appended to
+        // that prefix reproduces the uninterrupted trace exactly.
+        if let Some(tr) = self
+            .kernel
+            .tel
+            .as_deref_mut()
+            .and_then(|t| t.tracer.as_mut())
+        {
+            tr.flush();
+        }
+        let mut queue_snaps = Vec::with_capacity(self.queue.len());
+        let mut drained = Vec::with_capacity(self.queue.len());
+        while let Some(ev) = self.queue.pop() {
+            let (snap, ev) = snapshot::encode_event(ev);
+            queue_snaps.push(snap);
+            drained.push(ev);
+        }
+        for ev in drained {
+            SimQueue::push(&mut self.queue, ev);
+        }
+        let sampler = self
+            .kernel
+            .tel
+            .as_deref()
+            .and_then(|t| t.sampler.as_ref())
+            .map(|s| s.save());
+        let mut snap = Snapshot {
+            schema: SNAPSHOT_SCHEMA.to_string(),
+            time_ps: self.kernel.now.as_ps(),
+            seed: self.kernel.seed,
+            events: self.kernel.events,
+            clock_ticks: self.kernel.clock_ticks,
+            components: self.kernel.capture_components(),
+            clocks: self.kernel.capture_clock_flags(),
+            queue: queue_snaps,
+            stats: self.kernel.stats.checkpoint_stats(),
+            sampler,
+            origin: origin.cloned(),
+            state_hash: String::new(),
+        };
+        snap.seal();
+        snap
+    }
+
+    /// Rebuild an engine from `builder` and overwrite its state from a
+    /// snapshot of the *same* system. `setup` runs first (registering stats
+    /// and payload codecs), then the fresh initial events are discarded —
+    /// each boxed payload dropping exactly once — and replaced by the
+    /// snapshot's queue. Running the result to the original limit produces
+    /// a report bit-identical to the uninterrupted run's.
+    pub fn restore(builder: SystemBuilder, spec: TelemetrySpec, snap: &Snapshot) -> EngineOn<Q> {
+        let mut eng = Self::with_telemetry(builder, spec);
+        eng.start();
+        while eng.queue.pop().is_some() {}
+        let applied = eng.kernel.restore_components(&snap.components);
+        assert_eq!(
+            applied,
+            snap.components.len(),
+            "snapshot component names do not match the rebuilt system"
+        );
+        eng.kernel.restore_clocks(&snap.clocks);
+        let stats_applied = eng.kernel.stats.restore_values(&snap.stats);
+        assert_eq!(
+            stats_applied,
+            snap.stats.len(),
+            "snapshot statistics do not match the rebuilt system"
+        );
+        eng.kernel.now = SimTime::ps(snap.time_ps);
+        eng.kernel.events = snap.events;
+        eng.kernel.clock_ticks = snap.clock_ticks;
+        if let Some(s) = &snap.sampler {
+            if let Some(tel) = eng.kernel.tel.as_deref_mut() {
+                if tel.sampler.is_some() {
+                    tel.sampler = Some(Sampler::restore(s));
+                }
+            }
+        }
+        for es in &snap.queue {
+            SimQueue::push(&mut eng.queue, snapshot::decode_event(es));
+        }
+        eng
+    }
+
+    /// Run like [`run`](Self::run), capturing a sealed snapshot at every
+    /// `every`-aligned boundary of simulated time (each capture happens
+    /// after the last event at or before the boundary, so it matches the
+    /// state an uninterrupted run carries through that instant). `sink`
+    /// receives each intermediate snapshot; the report additionally carries
+    /// the sealed hash of the *final* state, which requires payload codecs
+    /// for anything still queued at the end.
+    pub fn run_with_checkpoints(
+        mut self,
+        limit: RunLimit,
+        every: Option<SimTime>,
+        origin: Option<&Value>,
+        sink: &mut dyn FnMut(Snapshot),
+    ) -> SimReport {
+        let t0 = std::time::Instant::now();
+        self.start();
+        let bound = limit.bound();
+        if let Some(every) = every {
+            assert!(every.as_ps() > 0, "checkpoint interval must be positive");
+            while let Some(next_t) = self.queue.next_time() {
+                if next_t > bound {
+                    break;
+                }
+                // The earliest pending event's boundary; strictly past the
+                // previous target, so every iteration makes progress.
+                let target = SimTime::ps(next_t.as_ps().div_ceil(every.as_ps()) * every.as_ps());
+                if target >= bound {
+                    break;
+                }
+                self.step_bounded(target);
+                sink(self.checkpoint(origin));
+            }
+        }
+        self.step(limit);
+        let final_state_hash = Some(self.checkpoint(origin).state_hash);
+        self.kernel.finish_all(&mut self.queue);
+        let (profile, series) = self.kernel.finish_telemetry();
+        let report = SimReport {
+            end_time: self.kernel.now,
+            events: self.kernel.events,
+            clock_ticks: self.kernel.clock_ticks,
+            wall_seconds: t0.elapsed().as_secs_f64(),
+            ranks: 1,
+            epochs: 0,
+            stats: self.kernel.stats.snapshot(),
+            profile,
+            series,
+            final_state_hash,
+        };
+        self.spec.collect_run(
+            self.kernel.seed,
+            report.events,
+            report.clock_ticks,
+            report.wall_seconds,
+            report.profile.as_ref(),
+            report.series.as_ref(),
+        );
+        report
     }
 
     /// Current simulated time.
@@ -538,6 +784,7 @@ impl<Q: SimQueue + EventSink> EngineOn<Q> {
             stats: self.kernel.stats.snapshot(),
             profile,
             series,
+            final_state_hash: None,
         };
         self.spec.collect_run(
             self.kernel.seed,
@@ -753,6 +1000,166 @@ mod tests {
         let report = Engine::new(b).run(RunLimit::Exhaust);
         assert!(report.events_per_sec() > 0.0);
         assert!(report.events_per_sec().is_finite());
+    }
+
+    #[derive(Debug, Serialize, Deserialize)]
+    struct SnapBall(u32);
+
+    /// PingPong with a payload codec and evolving state, for checkpoint
+    /// round-trip tests.
+    struct SnapPong {
+        max: u32,
+        bounced: u32,
+        seen: Option<StatId>,
+        start: bool,
+    }
+    impl Component for SnapPong {
+        fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+            crate::snapshot::register_payload::<SnapBall>("engine.test-ball");
+            self.seen = Some(ctx.stat_counter("bounces"));
+            if self.start {
+                ctx.send(PingPong::PORT, SnapBall(0));
+            }
+        }
+        fn on_event(&mut self, _port: PortId, payload: PayloadSlot, ctx: &mut SimCtx<'_>) {
+            let ball = downcast::<SnapBall>(payload);
+            self.bounced += 1;
+            ctx.add_stat(self.seen.unwrap(), 1);
+            if ball.0 < self.max {
+                ctx.send(PingPong::PORT, SnapBall(ball.0 + 1));
+            }
+        }
+        fn save_state(&self) -> serde_json::Value {
+            SnapPongState {
+                bounced: self.bounced,
+            }
+            .to_value()
+        }
+        fn load_state(&mut self, state: &serde_json::Value) {
+            self.bounced = SnapPongState::from_value(state).unwrap().bounced;
+        }
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct SnapPongState {
+        bounced: u32,
+    }
+
+    fn snap_system() -> SystemBuilder {
+        let mut b = SystemBuilder::new();
+        let a = b.add(
+            "ping",
+            SnapPong {
+                max: 9,
+                bounced: 0,
+                seen: None,
+                start: true,
+            },
+        );
+        let c = b.add(
+            "pong",
+            SnapPong {
+                max: 9,
+                bounced: 0,
+                seen: None,
+                start: false,
+            },
+        );
+        b.link((a, PingPong::PORT), (c, PingPong::PORT), SimTime::ns(5));
+        b
+    }
+
+    #[test]
+    fn checkpoint_restore_is_bit_identical() {
+        let plain = Engine::new(snap_system()).run_with_checkpoints(
+            RunLimit::Exhaust,
+            None,
+            None,
+            &mut |_| {},
+        );
+
+        let mut snaps = Vec::new();
+        let chk = Engine::new(snap_system()).run_with_checkpoints(
+            RunLimit::Exhaust,
+            Some(SimTime::ns(12)),
+            None,
+            &mut |s| snaps.push(s),
+        );
+        // Checkpointing must not perturb the run itself.
+        assert_eq!(chk.end_time, plain.end_time);
+        assert_eq!(chk.final_state_hash, plain.final_state_hash);
+        assert!(!snaps.is_empty(), "expected intermediate checkpoints");
+
+        // Identical runs agree on every checkpoint hash (hash stability).
+        let mut again = Vec::new();
+        Engine::new(snap_system()).run_with_checkpoints(
+            RunLimit::Exhaust,
+            Some(SimTime::ns(12)),
+            None,
+            &mut |s| again.push(s),
+        );
+        let hashes: Vec<&str> = snaps.iter().map(|s| s.state_hash.as_str()).collect();
+        let hashes2: Vec<&str> = again.iter().map(|s| s.state_hash.as_str()).collect();
+        assert_eq!(hashes, hashes2);
+
+        // Restore from every checkpoint; each finishes bit-identically.
+        for snap in &snaps {
+            let restored = Engine::restore(
+                snap_system(),
+                crate::telemetry::TelemetrySpec::disabled(),
+                snap,
+            )
+            .run_with_checkpoints(RunLimit::Exhaust, None, None, &mut |_| {});
+            assert_eq!(restored.end_time, plain.end_time);
+            assert_eq!(restored.events, plain.events);
+            assert_eq!(restored.clock_ticks, plain.clock_ticks);
+            assert_eq!(restored.final_state_hash, plain.final_state_hash);
+            assert_eq!(
+                serde_json::to_string(&restored.stats).unwrap(),
+                serde_json::to_string(&plain.stats).unwrap()
+            );
+        }
+
+        // A snapshot survives its own JSON round trip.
+        let text = snaps[0].to_json_pretty();
+        let back = Snapshot::from_json(&text).unwrap();
+        assert_eq!(back.state_hash, snaps[0].state_hash);
+        let restored = Engine::restore(
+            snap_system(),
+            crate::telemetry::TelemetrySpec::disabled(),
+            &back,
+        )
+        .run_with_checkpoints(RunLimit::Exhaust, None, None, &mut |_| {});
+        assert_eq!(restored.final_state_hash, plain.final_state_hash);
+    }
+
+    #[test]
+    fn checkpoints_do_not_disturb_until_runs() {
+        // `Until` clamps `now` at the end; intermediate captures must not.
+        let plain = Engine::new(snap_system()).run(RunLimit::Until(SimTime::ns(31)));
+        let mut snaps = Vec::new();
+        let chk = Engine::new(snap_system()).run_with_checkpoints(
+            RunLimit::Until(SimTime::ns(31)),
+            Some(SimTime::ns(7)),
+            None,
+            &mut |s| snaps.push(s),
+        );
+        assert_eq!(chk.end_time, plain.end_time);
+        assert_eq!(chk.events, plain.events);
+        for s in &snaps {
+            // Captures sit at delivered-event instants, never at the bound.
+            assert!(s.time_ps < SimTime::ns(31).as_ps());
+            assert_eq!(s.time_ps % SimTime::ns(5).as_ps(), 0);
+        }
+        let restored = Engine::restore(
+            snap_system(),
+            crate::telemetry::TelemetrySpec::disabled(),
+            snaps.last().unwrap(),
+        )
+        .run_with_checkpoints(RunLimit::Until(SimTime::ns(31)), None, None, &mut |_| {});
+        assert_eq!(restored.end_time, plain.end_time);
+        assert_eq!(restored.events, plain.events);
+        assert_eq!(restored.final_state_hash, chk.final_state_hash);
     }
 
     #[test]

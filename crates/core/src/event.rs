@@ -131,6 +131,16 @@ impl PayloadSlot {
         matches!(self.0, SlotRepr::Inline { .. })
     }
 
+    /// The `TypeId` of the payload the slot currently holds, regardless of
+    /// representation. Lets the snapshot layer look up the registered codec
+    /// for an in-queue payload without guessing at its concrete type.
+    pub fn payload_type_id(&self) -> TypeId {
+        match &self.0 {
+            SlotRepr::Inline { vt, .. } => (vt.type_id)(),
+            SlotRepr::Boxed(b) => (**b).as_any().type_id(),
+        }
+    }
+
     /// Take the payload out as a `T`, or give the slot back on a type
     /// mismatch (so the caller can report what it actually held).
     pub fn try_downcast<T: Payload>(self) -> Result<T, PayloadSlot> {

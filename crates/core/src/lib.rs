@@ -53,6 +53,7 @@ pub mod params;
 pub mod partition;
 pub mod queue;
 pub mod rng;
+pub mod snapshot;
 pub mod stats;
 pub mod telemetry;
 pub mod time;
@@ -69,6 +70,7 @@ pub use parallel::ParallelEngine;
 pub use params::{ParamError, Params};
 pub use partition::{PartitionStrategy, PartitionSummary};
 pub use queue::{BinaryHeapQueue, EventQueue, IndexedQueue, SimQueue};
+pub use snapshot::{register_payload, Snapshot, SNAPSHOT_SCHEMA};
 pub use stats::{StatId, StatKind, StatsRegistry, StatsSnapshot};
 pub use telemetry::{
     EngineProfile, ProfileDump, RunManifest, StatsSeries, TelemetryOptions, TelemetrySpec,
@@ -89,6 +91,7 @@ pub mod prelude {
     pub use crate::parallel::ParallelEngine;
     pub use crate::params::Params;
     pub use crate::partition::{PartitionStrategy, PartitionSummary};
+    pub use crate::snapshot::{register_payload, Snapshot};
     pub use crate::stats::StatId;
     pub use crate::telemetry::{TelemetryOptions, TelemetrySpec};
     pub use crate::time::{Frequency, SimTime};

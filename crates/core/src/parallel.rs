@@ -41,10 +41,12 @@ use crate::engine::{Kernel, RunLimit, SimReport};
 use crate::event::{EventBufPool, ScheduledEvent};
 use crate::partition::{PartitionStrategy, PartitionSummary};
 use crate::queue::EventQueue;
-use crate::stats::StatsRegistry;
+use crate::snapshot::{self, ComponentSnap, EventSnap, Snapshot, SNAPSHOT_SCHEMA};
+use crate::stats::{Stat, StatsRegistry};
 use crate::telemetry::{EngineProfile, RankSyncProfile, TelemetrySpec};
 use crate::time::SimTime;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use serde::Value;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -85,9 +87,49 @@ impl EventSink for RankSink<'_> {
     }
 }
 
+/// Routes time-zero (and restore-time) pushes from the main thread into the
+/// owning rank's queue; `u32::MAX` (engine-internal clock ticks, self
+/// events) means "the rank currently being set up".
+struct MultiSink<'a> {
+    queues: &'a mut [EventQueue],
+    current: u32,
+}
+
+impl EventSink for MultiSink<'_> {
+    fn push(&mut self, ev: ScheduledEvent, target_rank: u32) {
+        let r = if target_rank == u32::MAX {
+            self.current
+        } else {
+            target_rank
+        };
+        self.queues[r as usize].push(ev);
+    }
+}
+
+/// Swallows events pushed by `finish` handlers (which must not simulate).
+struct DiscardSink;
+impl EventSink for DiscardSink {
+    fn push(&mut self, _ev: ScheduledEvent, _target_rank: u32) {}
+}
+
 /// The parallel engine: one [`Kernel`] per rank plus the channel fabric.
+///
+/// The run is executed in *segments*: worker threads own the kernels and
+/// queues for one conservative window `(base, bound]`, retire at the bound,
+/// and hand everything back to the main thread — which may capture a
+/// checkpoint (a globally quiesced cut) and launch the next segment. An
+/// uninterrupted run is simply one segment to the limit.
 pub struct ParallelEngine {
     kernels: Vec<Kernel>,
+    /// Per-rank pending-event queues; persist across segments.
+    queues: Vec<EventQueue>,
+    started: bool,
+    /// All queued events are strictly later than this (the previous
+    /// segment's bound, or the restored snapshot's instant); seeds each
+    /// segment's initial EIT promises.
+    base: SimTime,
+    /// Per-rank sync counters accumulated across segments.
+    infos: Vec<RankRunInfo>,
     lookahead: SimTime,
     pair_la: Vec<Vec<Option<SimTime>>>,
     n_ranks: u32,
@@ -130,8 +172,14 @@ impl ParallelEngine {
                 k.attach_telemetry(&spec, names.clone(), true);
             }
         }
+        let queues = (0..n_ranks).map(|_| EventQueue::new()).collect();
+        let infos = (0..n_ranks).map(|_| RankRunInfo::default()).collect();
         ParallelEngine {
             kernels,
+            queues,
+            started: false,
+            base: SimTime::ZERO,
+            infos,
             lookahead,
             pair_la,
             n_ranks,
@@ -173,13 +221,34 @@ impl ParallelEngine {
         self.lookahead
     }
 
-    /// Run the simulation to `limit` and report. Statistics from all ranks
-    /// are merged (rank order) into one snapshot.
-    pub fn run(self, limit: RunLimit) -> SimReport {
-        let t0 = std::time::Instant::now();
-        let n = self.n_ranks as usize;
-        let bound = limit.bound();
+    /// Time-zero setup on the main thread: run every rank's `setup`
+    /// handlers and start its clocks, routing pushes straight into the
+    /// owning rank's queue (no channels are needed before threads exist).
+    fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for rank in 0..self.n_ranks as usize {
+            let mut sink = MultiSink {
+                queues: &mut self.queues,
+                current: rank as u32,
+            };
+            self.kernels[rank].setup_all(&mut sink);
+            self.kernels[rank].start_clocks(&mut sink);
+        }
+    }
 
+    /// Earliest pending event time across all rank queues.
+    fn next_time(&self) -> Option<SimTime> {
+        self.queues.iter().filter_map(|q| q.next_time()).min()
+    }
+
+    /// Run one conservative segment: every event with time `<= bound` is
+    /// delivered, after which the system is globally quiescent at the bound
+    /// (kernels and queues are back in `self`, channels fully drained).
+    fn run_segment(&mut self, bound: SimTime) {
+        let n = self.n_ranks as usize;
         let mut receivers: Vec<Option<Receiver<Batch>>> = Vec::with_capacity(n);
         let mut senders: Vec<Sender<Batch>> = Vec::with_capacity(n);
         for _ in 0..n {
@@ -195,12 +264,16 @@ impl ParallelEngine {
         let events_sent = AtomicU64::new(0);
         let events_recvd = AtomicU64::new(0);
         let all_done = AtomicBool::new(false);
+        let base = self.base;
 
-        let mut results: Vec<Option<(Kernel, RankRunInfo)>> = (0..n).map(|_| None).collect();
+        type RankResult = (Kernel, EventQueue, Receiver<Batch>, RankRunInfo);
+        let mut results: Vec<Option<RankResult>> = (0..n).map(|_| None).collect();
 
+        let kernels: Vec<Kernel> = self.kernels.drain(..).collect();
+        let queues: Vec<EventQueue> = self.queues.drain(..).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
-            for (rank, kernel) in self.kernels.into_iter().enumerate() {
+            for (rank, (kernel, queue)) in kernels.into_iter().zip(queues).enumerate() {
                 let rx = receivers[rank].take().expect("receiver taken once");
                 let shared = RankShared {
                     senders: &senders,
@@ -210,14 +283,218 @@ impl ParallelEngine {
                     all_done: &all_done,
                 };
                 let la_row = self.pair_la[rank].clone();
-                handles.push(
-                    scope.spawn(move || run_rank(kernel, rank as u32, bound, la_row, rx, shared)),
-                );
+                handles.push(scope.spawn(move || {
+                    run_rank(kernel, queue, rank as u32, bound, base, la_row, rx, shared)
+                }));
             }
             for (rank, h) in handles.into_iter().enumerate() {
                 results[rank] = Some(h.join().expect("rank thread panicked"));
             }
         });
+
+        for (rank, r) in results.into_iter().enumerate() {
+            let (kernel, mut queue, rx, info) = r.expect("missing rank result");
+            // A rank retires as soon as nothing at or below the bound can
+            // reach it; neighbors may still have shipped it later events.
+            // Those sit in its channel — fold them into the queue so the
+            // next segment (or the stitched checkpoint) sees them.
+            while let Ok(batch) = rx.try_recv() {
+                for ev in batch.events {
+                    debug_assert!(ev.time > bound, "late event at or below the bound");
+                    queue.push(ev);
+                }
+            }
+            self.infos[rank].accumulate(&info);
+            self.kernels.push(kernel);
+            self.queues.push(queue);
+        }
+        if bound != SimTime::MAX {
+            self.base = bound;
+        }
+    }
+
+    /// Capture a stitched, sealed [`Snapshot`] across all ranks. Only valid
+    /// between segments (the main thread owns kernels and queues). The
+    /// document — components by name, one merged queue in total delivery
+    /// order, stats by `(owner, name)` — is byte-identical to the serial
+    /// engine's capture of the same instant.
+    pub fn checkpoint(&mut self, origin: Option<&Value>) -> Snapshot {
+        self.start();
+        let mut components: Vec<ComponentSnap> = Vec::new();
+        let mut clocks: Vec<bool> = Vec::new();
+        let mut events = 0u64;
+        let mut clock_ticks = 0u64;
+        let mut time = SimTime::ZERO;
+        for k in &self.kernels {
+            components.extend(k.capture_components());
+            let flags = k.capture_clock_flags();
+            if clocks.is_empty() {
+                clocks = flags;
+            } else {
+                // Each clock is owned by exactly one rank; everyone else
+                // reports `false`, so OR stitches the global table.
+                for (c, f) in clocks.iter_mut().zip(flags) {
+                    *c |= f;
+                }
+            }
+            events += k.events;
+            clock_ticks += k.clock_ticks;
+            time = time.max(k.now);
+        }
+        components.sort_by(|a, b| a.name.cmp(&b.name));
+
+        let mut stats: Vec<Stat> = Vec::new();
+        for k in &self.kernels {
+            stats.extend(k.stats.checkpoint_stats());
+        }
+        stats.sort_by(|a, b| (&a.owner, &a.name).cmp(&(&b.owner, &b.name)));
+
+        let mut drained: Vec<(usize, EventSnap, ScheduledEvent)> = Vec::new();
+        for (rank, q) in self.queues.iter_mut().enumerate() {
+            while let Some(ev) = q.pop() {
+                let (snap, ev) = snapshot::encode_event(ev);
+                drained.push((rank, snap, ev));
+            }
+        }
+        // Per-rank pops are already ordered; a global sort by the full
+        // event key merges them into the serial engine's delivery order.
+        drained.sort_by_key(|(_, _, ev)| ev.key());
+        let mut queue = Vec::with_capacity(drained.len());
+        for (rank, snap, ev) in drained {
+            queue.push(snap);
+            self.queues[rank].push(ev);
+        }
+
+        let mut snap = Snapshot {
+            schema: SNAPSHOT_SCHEMA.to_string(),
+            time_ps: time.as_ps(),
+            seed: self.kernels[0].seed,
+            events,
+            clock_ticks,
+            components,
+            clocks,
+            queue,
+            stats,
+            sampler: None,
+            origin: origin.cloned(),
+            state_hash: String::new(),
+        };
+        snap.seal();
+        snap
+    }
+
+    /// Overwrite this (not yet started) engine's state from a snapshot of
+    /// the same system — captured by either engine, at any rank count.
+    /// `setup` runs first (registering stats and payload codecs), the fresh
+    /// initial events are discarded, and each snapshot event is routed to
+    /// its target's owning rank.
+    pub fn restore(mut self, snap: &Snapshot) -> ParallelEngine {
+        assert!(!self.started, "restore must precede the first run");
+        self.start();
+        for q in &mut self.queues {
+            while q.pop().is_some() {}
+        }
+        let mut applied = 0;
+        let mut stats_applied = 0;
+        for k in &mut self.kernels {
+            applied += k.restore_components(&snap.components);
+            k.restore_clocks(&snap.clocks);
+            stats_applied += k.stats.restore_values(&snap.stats);
+            k.now = SimTime::ps(snap.time_ps);
+            k.events = 0;
+            k.clock_ticks = 0;
+        }
+        assert_eq!(
+            applied,
+            snap.components.len(),
+            "snapshot component names do not match the rebuilt system"
+        );
+        assert_eq!(
+            stats_applied,
+            snap.stats.len(),
+            "snapshot statistics do not match the rebuilt system"
+        );
+        // Totals live on rank 0; the report sums across ranks.
+        self.kernels[0].events = snap.events;
+        self.kernels[0].clock_ticks = snap.clock_ticks;
+        for es in &snap.queue {
+            let ev = snapshot::decode_event(es);
+            let rank = (0..self.n_ranks as usize)
+                .find(|&r| {
+                    self.kernels[r]
+                        .slots
+                        .get(ev.target.0 as usize)
+                        .is_some_and(|s| s.is_some())
+                })
+                .unwrap_or_else(|| {
+                    panic!("snapshot event targets unknown component {:?}", ev.target)
+                });
+            self.queues[rank].push(ev);
+        }
+        self.base = SimTime::ps(snap.time_ps);
+        self
+    }
+
+    /// Run the simulation to `limit` and report. Statistics from all ranks
+    /// are merged (rank order) into one snapshot.
+    pub fn run(self, limit: RunLimit) -> SimReport {
+        self.run_impl(limit, None, None, &mut |_| {}, false)
+    }
+
+    /// Run like [`run`](Self::run), pausing at every `every`-aligned
+    /// boundary of simulated time for a stitched checkpoint (see
+    /// [`checkpoint`](Self::checkpoint)); the report carries the final
+    /// state hash, which requires payload codecs for anything still queued
+    /// at the end. Snapshots are identical to the serial engine's at the
+    /// same instants.
+    pub fn run_with_checkpoints(
+        self,
+        limit: RunLimit,
+        every: Option<SimTime>,
+        origin: Option<&Value>,
+        sink: &mut dyn FnMut(Snapshot),
+    ) -> SimReport {
+        self.run_impl(limit, every, origin, sink, true)
+    }
+
+    fn run_impl(
+        mut self,
+        limit: RunLimit,
+        every: Option<SimTime>,
+        origin: Option<&Value>,
+        sink: &mut dyn FnMut(Snapshot),
+        want_hash: bool,
+    ) -> SimReport {
+        let t0 = std::time::Instant::now();
+        self.start();
+        let bound = limit.bound();
+        if let Some(every) = every {
+            assert!(every.as_ps() > 0, "checkpoint interval must be positive");
+            while let Some(next_t) = self.next_time() {
+                if next_t > bound {
+                    break;
+                }
+                let target = SimTime::ps(next_t.as_ps().div_ceil(every.as_ps()) * every.as_ps());
+                if target >= bound {
+                    break;
+                }
+                self.run_segment(target);
+                sink(self.checkpoint(origin));
+            }
+        }
+        self.run_segment(bound);
+
+        // Clamp to the bound first (matching the serial engine's `step`), so
+        // the final capture and the finish handlers see the same instant.
+        if bound != SimTime::MAX {
+            for k in &mut self.kernels {
+                k.now = k.now.max(bound);
+            }
+        }
+        let final_state_hash = want_hash.then(|| self.checkpoint(origin).state_hash);
+        for k in &mut self.kernels {
+            k.finish_all(&mut DiscardSink);
+        }
 
         let mut stats = StatsRegistry::new();
         let mut events = 0u64;
@@ -226,8 +503,8 @@ impl ParallelEngine {
         let mut rounds = 0u64;
         let mut seed = 0u64;
         let mut profile: Option<EngineProfile> = None;
-        for (rank, r) in results.into_iter().enumerate() {
-            let (mut kernel, info) = r.expect("missing rank result");
+        for (rank, mut kernel) in self.kernels.into_iter().enumerate() {
+            let info = &self.infos[rank];
             // Flushes each rank's buffered trace in rank order — the merged
             // trace file is deterministic because each rank's event order is
             // (conservative sync guarantees it).
@@ -267,6 +544,7 @@ impl ParallelEngine {
             stats: stats.snapshot(),
             profile,
             series: None,
+            final_state_hash,
         };
         self.spec.collect_run(
             seed,
@@ -389,7 +667,7 @@ struct SyncState {
 }
 
 impl SyncState {
-    fn new(my_rank: u32, la_row: &[Option<SimTime>]) -> SyncState {
+    fn new(my_rank: u32, la_row: &[Option<SimTime>], base: u64) -> SyncState {
         let neighbors: Vec<u32> = la_row
             .iter()
             .enumerate()
@@ -399,11 +677,12 @@ impl SyncState {
             .iter()
             .map(|la| la.map_or(u64::MAX, |t| t.as_ps()))
             .collect();
-        // A neighbor's first event arrives no earlier than its lookahead to
-        // us (it cannot send before time zero); links are symmetric so the
-        // outbound lookahead doubles as the inbound one. Non-neighbors never
-        // send, so their EIT contribution is infinite.
-        let eit = la_out.clone();
+        // A neighbor's first event arrives no earlier than the segment base
+        // plus its lookahead to us (every pending event is strictly past the
+        // base, and it cannot send before processing one); links are
+        // symmetric so the outbound lookahead doubles as the inbound one.
+        // Non-neighbors never send, so their EIT contribution is infinite.
+        let eit = la_out.iter().map(|&la| base.saturating_add(la)).collect();
         SyncState {
             my_rank,
             neighbors,
@@ -552,7 +831,8 @@ fn globally_idle(shared: &RankShared<'_>) -> bool {
 }
 
 /// What one rank hands back besides its kernel: sync-protocol counters and
-/// (when profiling) wallclock stall time.
+/// (when profiling) wallclock stall time. Accumulated across segments.
+#[derive(Default)]
 struct RankRunInfo {
     rounds: u64,
     batches_sent: u64,
@@ -561,17 +841,37 @@ struct RankRunInfo {
     stall_ns: u64,
 }
 
+impl RankRunInfo {
+    fn accumulate(&mut self, seg: &RankRunInfo) {
+        self.rounds += seg.rounds;
+        self.batches_sent += seg.batches_sent;
+        self.null_batches_sent += seg.null_batches_sent;
+        self.events_shipped += seg.events_shipped;
+        self.stall_ns += seg.stall_ns;
+    }
+}
+
+/// Run one rank over one conservative segment `(base, bound]`. The kernel
+/// and queue arrive already set up (time-zero work happens on the main
+/// thread); the rank delivers every local event with time `<= bound`, then
+/// retires and hands everything — including its receiver, which may still
+/// hold post-bound events from neighbors — back to the main thread. No
+/// finalization happens here: `finish` handlers, the `Until` time clamp,
+/// and telemetry teardown run on the main thread after the *last* segment,
+/// so an intermediate capture sees `now` at the last delivered event.
+#[allow(clippy::too_many_arguments)]
 fn run_rank(
     mut kernel: Kernel,
+    mut queue: EventQueue,
     my_rank: u32,
     bound: SimTime,
+    base: SimTime,
     la_row: Vec<Option<SimTime>>,
     rx: Receiver<Batch>,
     shared: RankShared<'_>,
-) -> (Kernel, RankRunInfo) {
+) -> (Kernel, EventQueue, Receiver<Batch>, RankRunInfo) {
     let n = la_row.len();
-    let mut queue = EventQueue::new();
-    let mut sync = SyncState::new(my_rank, &la_row);
+    let mut sync = SyncState::new(my_rank, &la_row, base.as_ps());
     // All working buffers come from (and return to) the rank's pool, so
     // steady-state exchange and batching allocate nothing: `staging` and
     // `batch` live for the whole run, `outbound` vectors cycle through the
@@ -584,23 +884,10 @@ fn run_rank(
     let profiling = kernel.tel.as_ref().is_some_and(|t| t.profiler.is_some());
     let mut stall_ns = 0u64;
 
-    // Time-zero setup: run setup handlers and start clocks, then ship any
-    // cross-rank sends (with the first EOT promises) before the first window.
-    {
-        let mut sink = RankSink {
-            my_rank,
-            local: &mut staging,
-            outbound: &mut outbound,
-        };
-        kernel.setup_all(&mut sink);
-        kernel.start_clocks(&mut sink);
-    }
-    for ev in staging.drain(..) {
-        queue.push(ev);
-    }
-    // Flush before publishing idleness: once `next_times` says MAX and the
-    // sent/received counters balance, a checker may declare global
-    // termination, so no unsent event may exist at that point.
+    // Announce the first EOT promises and publish the earliest local time
+    // before touching the queue; flushing first matters because once
+    // `next_times` says MAX and the sent/received counters balance, a
+    // checker may declare global termination.
     sync.flush_and_announce(&mut outbound, &queue, &shared, true);
     publish_next(&queue, my_rank, &shared);
 
@@ -701,19 +988,6 @@ fn run_rank(
         }
     }
 
-    // Finalize. `finish` must not send events; anything pushed here is
-    // simply dropped with the staging buffer.
-    {
-        let mut sink = RankSink {
-            my_rank,
-            local: &mut staging,
-            outbound: &mut outbound,
-        };
-        kernel.finish_all(&mut sink);
-    }
-    if bound != SimTime::MAX {
-        kernel.now = kernel.now.max(bound);
-    }
     let info = RankRunInfo {
         rounds: sync.rounds,
         batches_sent: sync.batches_sent,
@@ -721,7 +995,7 @@ fn run_rank(
         events_shipped: sync.events_shipped,
         stall_ns,
     };
-    (kernel, info)
+    (kernel, queue, rx, info)
 }
 
 #[cfg(test)]
@@ -932,6 +1206,125 @@ mod tests {
                 serial.stats.counter(name, "visits"),
                 "node={name}"
             );
+        }
+    }
+
+    #[derive(Debug, serde::Serialize, serde::Deserialize)]
+    struct SnapTok(u64);
+
+    /// RingNode with a registered payload codec, for checkpoint tests.
+    struct SnapRing {
+        laps: u64,
+        start: bool,
+        visits: Option<StatId>,
+    }
+    impl Component for SnapRing {
+        fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+            crate::snapshot::register_payload::<SnapTok>("parallel.test-tok");
+            self.visits = Some(ctx.stat_counter("visits"));
+            if self.start {
+                ctx.send(RingNode::OUT, SnapTok(0));
+            }
+        }
+        fn on_event(&mut self, port: PortId, payload: PayloadSlot, ctx: &mut SimCtx<'_>) {
+            assert_eq!(port, RingNode::IN);
+            let tok = downcast::<SnapTok>(payload);
+            ctx.add_stat(self.visits.unwrap(), 1);
+            if tok.0 < self.laps {
+                ctx.send(
+                    RingNode::OUT,
+                    SnapTok(tok.0 + if self.start { 1 } else { 0 }),
+                );
+            }
+        }
+    }
+
+    fn build_snap_ring(nodes: u32, laps: u64) -> SystemBuilder {
+        let mut b = SystemBuilder::new();
+        let ids: Vec<_> = (0..nodes)
+            .map(|i| {
+                b.add(
+                    format!("node{i}"),
+                    SnapRing {
+                        laps,
+                        start: i == 0,
+                        visits: None,
+                    },
+                )
+            })
+            .collect();
+        for i in 0..nodes as usize {
+            let next = (i + 1) % nodes as usize;
+            b.link(
+                (ids[i], RingNode::OUT),
+                (ids[next], RingNode::IN),
+                SimTime::ns(7),
+            );
+        }
+        b
+    }
+
+    #[test]
+    fn parallel_checkpoints_match_serial_byte_for_byte() {
+        let every = Some(SimTime::ns(40));
+        let mut serial_snaps = Vec::new();
+        let serial = crate::engine::Engine::new(build_snap_ring(8, 10)).run_with_checkpoints(
+            RunLimit::Exhaust,
+            every,
+            None,
+            &mut |s| serial_snaps.push(s),
+        );
+        assert!(!serial_snaps.is_empty());
+        for ranks in [1u32, 2, 3] {
+            let mut par_snaps = Vec::new();
+            let par = ParallelEngine::new(build_snap_ring(8, 10), ranks).run_with_checkpoints(
+                RunLimit::Exhaust,
+                every,
+                None,
+                &mut |s| par_snaps.push(s),
+            );
+            assert_eq!(
+                par.final_state_hash, serial.final_state_hash,
+                "ranks={ranks}"
+            );
+            assert_eq!(par_snaps.len(), serial_snaps.len(), "ranks={ranks}");
+            for (p, s) in par_snaps.iter().zip(&serial_snaps) {
+                // Not just the hash: the whole canonical document must match.
+                assert_eq!(
+                    p.to_json_pretty(),
+                    s.to_json_pretty(),
+                    "ranks={ranks} t={}",
+                    s.time_ps
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_restore_from_serial_snapshot_is_bit_identical() {
+        let plain = crate::engine::Engine::new(build_snap_ring(8, 10)).run(RunLimit::Exhaust);
+        let mut snaps = Vec::new();
+        crate::engine::Engine::new(build_snap_ring(8, 10)).run_with_checkpoints(
+            RunLimit::Exhaust,
+            Some(SimTime::ns(100)),
+            None,
+            &mut |s| snaps.push(s),
+        );
+        let mid = &snaps[snaps.len() / 2];
+        for ranks in [2u32, 3] {
+            let restored = ParallelEngine::new(build_snap_ring(8, 10), ranks)
+                .restore(mid)
+                .run_with_checkpoints(RunLimit::Exhaust, None, None, &mut |_| {});
+            assert_eq!(restored.events, plain.events, "ranks={ranks}");
+            assert_eq!(restored.end_time, plain.end_time, "ranks={ranks}");
+            for i in 0..8 {
+                let name = format!("node{i}");
+                assert_eq!(
+                    restored.stats.counter(&name, "visits"),
+                    plain.stats.counter(&name, "visits"),
+                    "ranks={ranks} node={i}"
+                );
+            }
         }
     }
 

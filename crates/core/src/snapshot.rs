@@ -1,0 +1,525 @@
+//! Engine checkpoint/restore: a versioned, canonical, hashable capture of
+//! everything a simulation needs to resume bit-identically.
+//!
+//! A [`Snapshot`] records, at one instant of simulated time:
+//!
+//! - every component's serialized state ([`Component::save_state`]), RNG
+//!   stream, and send-sequence cursor, sorted by component *name* so the
+//!   document is independent of registration order;
+//! - the full pending event queue — including in-flight payloads, encoded
+//!   through the [payload codec registry](register_payload) — in the engine's
+//!   total delivery order;
+//! - clock activity flags, the raw statistics registry (sorted by
+//!   `(owner, name)`, matching the canonical `StatsSnapshot` ordering), and
+//!   the stats-sampler cursor when periodic sampling is on.
+//!
+//! Component ids, clock ids, and event tie-breaks are global and identical
+//! across the serial and parallel engines (the partitioner preserves the
+//! full id space on every rank), so events serialize their raw ids and a
+//! parallel run's stitched snapshot is byte-identical to the serial
+//! engine's at the same instant.
+//!
+//! Every sealed snapshot carries a canonical FNV-1a `state_hash` over its
+//! own canonical JSON rendering with the hash, the [`Snapshot::origin`]
+//! echo, and the sampler cursor cleared — so the hash is a pure function of
+//! *simulation* state and two runs of the same system agree on it at every
+//! checkpoint regardless of how they were invoked.
+//!
+//! # Payload codecs
+//!
+//! Event payloads are type-erased in the queue, so checkpointing needs a
+//! way back to concrete types. Components call
+//! [`register_payload::<T>("name")`](register_payload) in `setup()` for
+//! every payload type they send; restore re-runs `setup()` before decoding,
+//! so the codecs a snapshot needs are always registered by the time they
+//! are looked up. Checkpointing a queue that holds an *unregistered*
+//! payload type panics with the offending payload's debug rendering —
+//! loudly, because silently dropping an in-flight event could never restore
+//! bit-identically.
+
+use crate::component::Component;
+use crate::event::{
+    ClockId, ComponentId, EventClass, EventKind, Payload, PayloadSlot, PortId, ScheduledEvent,
+    TieBreak,
+};
+use crate::stats::Stat;
+use crate::telemetry::{fnv1a, StatsSeries};
+use crate::time::SimTime;
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+use std::any::TypeId;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Version tag carried by every snapshot document.
+pub const SNAPSHOT_SCHEMA: &str = "sst-snapshot-v1";
+
+// ---------------------------------------------------------------------------
+// Payload codec registry
+
+struct Codec {
+    name: String,
+    encode: fn(PayloadSlot) -> (Value, PayloadSlot),
+    decode: fn(&Value) -> Result<PayloadSlot, SerdeError>,
+}
+
+#[derive(Default)]
+struct Registry {
+    by_type: HashMap<TypeId, usize>,
+    by_name: HashMap<String, usize>,
+    codecs: Vec<Codec>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+/// Register a payload codec for `P` under `name`. Idempotent: repeated
+/// registration of the same type under the same name is free, so components
+/// can (and should) call this unconditionally from `setup()`. Registering
+/// two different types under one name, or one type under two names, is a
+/// wiring bug and panics.
+pub fn register_payload<P>(name: &str)
+where
+    P: Payload + Serialize + Deserialize,
+{
+    fn encode<P: Payload + Serialize>(slot: PayloadSlot) -> (Value, PayloadSlot) {
+        let p = slot
+            .try_downcast::<P>()
+            .unwrap_or_else(|s| panic!("payload codec type mismatch: slot held {s:?}"));
+        let v = p.to_value();
+        (v, PayloadSlot::new(p))
+    }
+    fn decode<P: Payload + Deserialize>(v: &Value) -> Result<PayloadSlot, SerdeError> {
+        Ok(PayloadSlot::new(P::from_value(v)?))
+    }
+    let mut reg = registry().lock().unwrap();
+    let tid = TypeId::of::<P>();
+    match (reg.by_type.get(&tid), reg.by_name.get(name)) {
+        (Some(&i), Some(&j)) if i == j => {} // already registered, consistent
+        (None, None) => {
+            let idx = reg.codecs.len();
+            reg.codecs.push(Codec {
+                name: name.to_string(),
+                encode: encode::<P>,
+                decode: decode::<P>,
+            });
+            reg.by_type.insert(tid, idx);
+            reg.by_name.insert(name.to_string(), idx);
+        }
+        (Some(&i), _) => panic!(
+            "payload codec conflict: type already registered as `{}`, now `{name}`",
+            reg.codecs[i].name
+        ),
+        (None, Some(_)) => {
+            panic!("payload codec conflict: name `{name}` already bound to a different type")
+        }
+    }
+}
+
+/// Encode an in-queue payload through its registered codec. Returns the
+/// codec name, the serialized value, and the (rebuilt) slot so the event can
+/// go back into the queue untouched. Panics if no codec is registered for
+/// the payload's type — see the module docs.
+pub(crate) fn encode_payload(slot: PayloadSlot) -> (String, Value, PayloadSlot) {
+    let tid = slot.payload_type_id();
+    let reg = registry().lock().unwrap();
+    let Some(&idx) = reg.by_type.get(&tid) else {
+        panic!(
+            "cannot checkpoint: no payload codec registered for in-queue payload {slot:?}; \
+             call sst_core::snapshot::register_payload::<T>(\"name\") in the sender's setup()"
+        );
+    };
+    let (name, encode) = (reg.codecs[idx].name.clone(), reg.codecs[idx].encode);
+    drop(reg);
+    let (value, slot) = encode(slot);
+    (name, value, slot)
+}
+
+/// Decode a payload serialized by [`encode_payload`]. Panics on an unknown
+/// codec name (the snapshot came from a system whose components never ran
+/// `setup()` here) or a malformed payload value.
+pub(crate) fn decode_payload(name: &str, value: &Value) -> PayloadSlot {
+    let reg = registry().lock().unwrap();
+    let Some(&idx) = reg.by_name.get(name) else {
+        panic!(
+            "cannot restore: no payload codec registered under `{name}`; \
+             does the rebuilt system match the snapshotted one?"
+        );
+    };
+    let decode = reg.codecs[idx].decode;
+    drop(reg);
+    decode(value).unwrap_or_else(|e| panic!("malformed `{name}` payload in snapshot: {e:?}"))
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot document
+
+/// One component's captured state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComponentSnap {
+    /// Instance name — the stable cross-shape key.
+    pub name: String,
+    /// Raw xoshiro256++ state of the per-component RNG stream.
+    pub rng: Vec<u64>,
+    /// Send-sequence cursor (the deterministic tie-break counter).
+    pub send_seq: u64,
+    /// Component-defined state from [`Component::save_state`].
+    pub state: Value,
+}
+
+/// One pending event, in the engine's total delivery order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EventSnap {
+    pub time_ps: u64,
+    /// 0 = clock tick, 1 = message (the [`EventClass`] delivery priority).
+    pub class: u8,
+    /// Tie-break: sending component id and its send sequence number.
+    pub src: u32,
+    pub seq: u64,
+    pub target: u32,
+    pub kind: EventKindSnap,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum EventKindSnap {
+    Message {
+        port: u16,
+        /// Registered payload codec name.
+        codec: String,
+        payload: Value,
+    },
+    Clock {
+        clock: u32,
+        cycle: u64,
+    },
+}
+
+/// Stats-sampler cursor (serial runs with `--stats-interval` only), so a
+/// restored run continues the series exactly where the checkpoint left it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SamplerSnap {
+    pub interval: u64,
+    pub next: u64,
+    pub counter_ids: Vec<u64>,
+    pub accum_ids: Vec<u64>,
+    pub prev: Vec<u64>,
+    pub scanned: u64,
+    pub series: StatsSeries,
+}
+
+/// A complete engine checkpoint. See the module docs for the canonical
+/// ordering guarantees that make the document — and its hash — identical
+/// across engine shapes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Snapshot {
+    pub schema: String,
+    /// Simulated time of the capture: the timestamp of the last delivered
+    /// event (every queued event is strictly later).
+    pub time_ps: u64,
+    pub seed: u64,
+    /// Events delivered so far (summed across ranks).
+    pub events: u64,
+    /// Clock ticks fired so far (summed across ranks).
+    pub clock_ticks: u64,
+    /// Per-component state, sorted by name.
+    pub components: Vec<ComponentSnap>,
+    /// Clock activity flags, indexed by global `ClockId`.
+    pub clocks: Vec<bool>,
+    /// The pending event queue in total delivery order.
+    pub queue: Vec<EventSnap>,
+    /// Raw statistics registry, sorted by `(owner, name)`.
+    pub stats: Vec<Stat>,
+    /// Sampler cursor; `None` when sampling is off (always, for parallel
+    /// runs). Excluded from the state hash.
+    #[serde(default)]
+    pub sampler: Option<SamplerSnap>,
+    /// How to rebuild the system this snapshot came from (CLI `restore`
+    /// reads it). Opaque to the engine; excluded from the state hash.
+    #[serde(default)]
+    pub origin: Option<Value>,
+    /// Canonical FNV-1a hash (hex) of the snapshot with `state_hash`,
+    /// `origin`, and `sampler` cleared. Filled in by [`Snapshot::seal`].
+    #[serde(default)]
+    pub state_hash: String,
+}
+
+impl Snapshot {
+    /// The canonical hash of the simulation state this snapshot captures.
+    /// Invocation-specific fields (`origin`, `sampler`) and the hash slot
+    /// itself are cleared first, so serial and parallel captures of the
+    /// same instant hash identically.
+    pub fn compute_state_hash(&self) -> String {
+        let mut canon = self.clone();
+        canon.state_hash = String::new();
+        canon.origin = None;
+        canon.sampler = None;
+        format!(
+            "{:016x}",
+            fnv1a(canon.to_value().to_json_string().as_bytes())
+        )
+    }
+
+    /// Fill in `state_hash`.
+    pub fn seal(&mut self) {
+        self.state_hash = self.compute_state_hash();
+    }
+
+    /// Pretty JSON rendering, for on-disk checkpoints.
+    pub fn to_json_pretty(&self) -> String {
+        self.to_value().to_json_string_pretty()
+    }
+
+    /// Parse a snapshot document, rejecting unknown schema versions.
+    pub fn from_json(text: &str) -> Result<Snapshot, SerdeError> {
+        let snap: Snapshot = serde_json::from_str(text)?;
+        if snap.schema != SNAPSHOT_SCHEMA {
+            return Err(SerdeError::msg(format!(
+                "unsupported snapshot schema `{}` (expected `{SNAPSHOT_SCHEMA}`)",
+                snap.schema
+            )));
+        }
+        Ok(snap)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Event encode/decode
+
+/// Serialize one drained event and hand it back intact (payload round-trips
+/// through its codec without being consumed).
+pub(crate) fn encode_event(ev: ScheduledEvent) -> (EventSnap, ScheduledEvent) {
+    let ScheduledEvent {
+        time,
+        class,
+        tie,
+        target,
+        kind,
+    } = ev;
+    let (kind_snap, kind) = match kind {
+        EventKind::Message { port, payload } => {
+            let (codec, value, payload) = encode_payload(payload);
+            (
+                EventKindSnap::Message {
+                    port: port.0,
+                    codec,
+                    payload: value,
+                },
+                EventKind::Message { port, payload },
+            )
+        }
+        EventKind::ClockTick { clock, cycle } => (
+            EventKindSnap::Clock {
+                clock: clock.0,
+                cycle,
+            },
+            EventKind::ClockTick { clock, cycle },
+        ),
+    };
+    let snap = EventSnap {
+        time_ps: time.as_ps(),
+        class: class as u8,
+        src: tie.src.0,
+        seq: tie.seq,
+        target: target.0,
+        kind: kind_snap,
+    };
+    let ev = ScheduledEvent {
+        time,
+        class,
+        tie,
+        target,
+        kind,
+    };
+    (snap, ev)
+}
+
+/// Rebuild a live event from its snapshot form.
+pub(crate) fn decode_event(snap: &EventSnap) -> ScheduledEvent {
+    let class = match snap.class {
+        0 => EventClass::Clock,
+        _ => EventClass::Message,
+    };
+    let kind = match &snap.kind {
+        EventKindSnap::Message {
+            port,
+            codec,
+            payload,
+        } => EventKind::Message {
+            port: PortId(*port),
+            payload: decode_payload(codec, payload),
+        },
+        EventKindSnap::Clock { clock, cycle } => EventKind::ClockTick {
+            clock: ClockId(*clock),
+            cycle: *cycle,
+        },
+    };
+    ScheduledEvent {
+        time: SimTime(snap.time_ps),
+        class,
+        tie: TieBreak {
+            src: ComponentId(snap.src),
+            seq: snap.seq,
+        },
+        target: ComponentId(snap.target),
+        kind,
+    }
+}
+
+/// Capture one component's state triple. Shared by the serial and parallel
+/// capture paths.
+pub(crate) fn component_snap(
+    name: &str,
+    rng_state: [u64; 4],
+    send_seq: u64,
+    comp: &dyn Component,
+) -> ComponentSnap {
+    ComponentSnap {
+        name: name.to_string(),
+        rng: rng_state.to_vec(),
+        send_seq,
+        state: comp.save_state(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventClass;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct TestTok {
+        ttl: u32,
+        tag: u64,
+    }
+
+    fn event(tok: TestTok) -> ScheduledEvent {
+        ScheduledEvent {
+            time: SimTime::ns(5),
+            class: EventClass::Message,
+            tie: TieBreak {
+                src: ComponentId(3),
+                seq: 17,
+            },
+            target: ComponentId(4),
+            kind: EventKind::Message {
+                port: PortId(2),
+                payload: PayloadSlot::new(tok),
+            },
+        }
+    }
+
+    #[test]
+    fn payload_codec_round_trips_and_is_idempotent() {
+        register_payload::<TestTok>("snap.test-tok");
+        register_payload::<TestTok>("snap.test-tok"); // idempotent
+        let (snap, ev) = encode_event(event(TestTok { ttl: 9, tag: 0xAB }));
+        // The original event survives encoding intact.
+        let EventKind::Message { payload, .. } = ev.kind else {
+            panic!("kind changed")
+        };
+        assert_eq!(
+            payload.try_downcast::<TestTok>().unwrap(),
+            TestTok { ttl: 9, tag: 0xAB }
+        );
+        // And the snapshot decodes to an equal event.
+        let back = decode_event(&snap);
+        assert_eq!(back.key(), (SimTime::ns(5), EventClass::Message, ev.tie));
+        assert_eq!(back.target, ComponentId(4));
+        let EventKind::Message { port, payload } = back.kind else {
+            panic!("wrong kind")
+        };
+        assert_eq!(port, PortId(2));
+        assert_eq!(
+            payload.try_downcast::<TestTok>().unwrap(),
+            TestTok { ttl: 9, tag: 0xAB }
+        );
+    }
+
+    #[test]
+    fn clock_events_round_trip_without_codecs() {
+        let ev = ScheduledEvent {
+            time: SimTime::ps(42),
+            class: EventClass::Clock,
+            tie: TieBreak {
+                src: ComponentId(1),
+                seq: 6,
+            },
+            target: ComponentId(1),
+            kind: EventKind::ClockTick {
+                clock: ClockId(6),
+                cycle: 12,
+            },
+        };
+        let (snap, _) = encode_event(ev);
+        let back = decode_event(&snap);
+        assert_eq!(back.class, EventClass::Clock);
+        let EventKind::ClockTick { clock, cycle } = back.kind else {
+            panic!("wrong kind")
+        };
+        assert_eq!((clock, cycle), (ClockId(6), 12));
+    }
+
+    #[test]
+    #[should_panic(expected = "no payload codec registered")]
+    fn unregistered_payload_panics_loudly() {
+        #[derive(Debug)]
+        struct Never(#[allow(dead_code)] u8);
+        let _ = encode_payload(PayloadSlot::new(Never(1)));
+    }
+
+    #[test]
+    fn state_hash_ignores_origin_and_sampler() {
+        let mut snap = Snapshot {
+            schema: SNAPSHOT_SCHEMA.to_string(),
+            time_ps: 100,
+            seed: 7,
+            events: 3,
+            clock_ticks: 0,
+            components: vec![],
+            clocks: vec![],
+            queue: vec![],
+            stats: vec![],
+            sampler: None,
+            origin: None,
+            state_hash: String::new(),
+        };
+        snap.seal();
+        let h = snap.state_hash.clone();
+        snap.origin = Some(Value::String("anything".into()));
+        assert_eq!(snap.compute_state_hash(), h);
+        snap.time_ps = 101;
+        assert_ne!(snap.compute_state_hash(), h);
+    }
+
+    #[test]
+    fn snapshot_json_round_trips_and_checks_schema() {
+        let mut snap = Snapshot {
+            schema: SNAPSHOT_SCHEMA.to_string(),
+            time_ps: 55,
+            seed: 1,
+            events: 2,
+            clock_ticks: 3,
+            components: vec![ComponentSnap {
+                name: "a".into(),
+                rng: vec![1, 2, 3, 4],
+                send_seq: 9,
+                state: Value::Null,
+            }],
+            clocks: vec![true, false],
+            queue: vec![],
+            stats: vec![],
+            sampler: None,
+            origin: None,
+            state_hash: String::new(),
+        };
+        snap.seal();
+        let text = snap.to_json_pretty();
+        let back = Snapshot::from_json(&text).expect("round trip");
+        assert_eq!(back.state_hash, snap.state_hash);
+        assert_eq!(back.compute_state_hash(), snap.state_hash);
+        assert_eq!(back.components[0].rng, vec![1, 2, 3, 4]);
+        let bad = text.replace(SNAPSHOT_SCHEMA, "sst-snapshot-v999");
+        assert!(Snapshot::from_json(&bad).is_err());
+    }
+}

@@ -193,6 +193,85 @@ impl StatsRegistry {
         StatsSnapshot::from_stats(stats)
     }
 
+    /// Clone the live stats for a checkpoint, in canonical `(owner, name)`
+    /// order — *not* registration order, which follows component setup
+    /// order and would make the serial engine's snapshot bytes disagree
+    /// with a parallel rank-stitched capture of the same instant.
+    ///
+    /// Identical to the live values except that zero-count accumulators'
+    /// `min`/`max` identity values (±inf) are normalized to 0 — JSON cannot
+    /// carry non-finite floats — and [`StatsRegistry::restore_values`]
+    /// reverses that normalization exactly (a zero-count accumulator's
+    /// min/max are *always* the identities). Populated stats round-trip
+    /// bit-exactly: floats serialize via Rust's shortest-round-trip
+    /// rendering.
+    pub fn checkpoint_stats(&self) -> Vec<Stat> {
+        let mut stats = self.stats.clone();
+        for s in &mut stats {
+            if let StatKind::Accumulator {
+                count, min, max, ..
+            } = &mut s.kind
+            {
+                if *count == 0 {
+                    *min = 0.0;
+                    *max = 0.0;
+                }
+            }
+        }
+        stats.sort_by(|a, b| (&a.owner, &a.name).cmp(&(&b.owner, &b.name)));
+        stats
+    }
+
+    /// Overwrite live values from a checkpoint, matching entries by
+    /// `(owner, name)` so the saved order (canonical) and the live
+    /// registration order (shape-dependent) need not agree. Saved entries
+    /// with no live counterpart are skipped — a parallel rank's registry
+    /// holds only its own components' stats — and the number of entries
+    /// applied is returned so the caller can verify full coverage across
+    /// ranks. Panics on a kind mismatch (the rebuilt system differs from
+    /// the snapshotted one).
+    pub fn restore_values(&mut self, saved: &[Stat]) -> usize {
+        use std::collections::HashMap;
+        let by_key: HashMap<(String, String), usize> = self
+            .stats
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ((s.owner.clone(), s.name.clone()), i))
+            .collect();
+        let mut applied = 0;
+        for s in saved {
+            let Some(&i) = by_key.get(&(s.owner.clone(), s.name.clone())) else {
+                continue;
+            };
+            let dst = &mut self.stats[i];
+            let same_kind = matches!(
+                (&dst.kind, &s.kind),
+                (StatKind::Counter { .. }, StatKind::Counter { .. })
+                    | (StatKind::Accumulator { .. }, StatKind::Accumulator { .. })
+                    | (StatKind::Histogram { .. }, StatKind::Histogram { .. })
+            );
+            assert!(
+                same_kind,
+                "cannot restore stat `{}`.`{}`: kind mismatch ({:?} vs {:?})",
+                s.owner, s.name, dst.kind, s.kind
+            );
+            dst.kind = s.kind.clone();
+            if let StatKind::Accumulator {
+                count, min, max, ..
+            } = &mut dst.kind
+            {
+                if *count == 0 {
+                    // Undo the checkpoint normalization back to the live
+                    // identity values.
+                    *min = f64::INFINITY;
+                    *max = f64::NEG_INFINITY;
+                }
+            }
+            applied += 1;
+        }
+        applied
+    }
+
     /// Merge another registry's stats into this one (used by the parallel
     /// engine to combine per-rank registries). Entries with a new
     /// `(owner, name)` are appended in order; entries duplicating an
@@ -791,6 +870,65 @@ mod tests {
         } else {
             panic!("wrong kind");
         }
+    }
+
+    #[test]
+    fn checkpoint_stats_round_trip_restores_live_values() {
+        let mut r = StatsRegistry::new();
+        let c = r.counter("comp", "hits");
+        let a = r.accumulator("comp", "lat");
+        r.accumulator("comp", "untouched");
+        let h = r.histogram("comp", "sz");
+        r.add(c, 7);
+        r.record(a, 2.5);
+        r.record(a, -1.25);
+        r.sample(h, 100);
+        let saved = r.checkpoint_stats();
+        // Fresh registry, registered in a different (canonical-breaking)
+        // order, as a restore after setup would produce.
+        let mut fresh = StatsRegistry::new();
+        let h2 = fresh.histogram("comp", "sz");
+        let untouched = fresh.accumulator("comp", "untouched");
+        fresh.accumulator("comp", "lat");
+        fresh.counter("comp", "hits");
+        assert_eq!(fresh.restore_values(&saved), 4);
+        assert_eq!(
+            serde_json::to_string(&fresh.snapshot()).unwrap(),
+            serde_json::to_string(&r.snapshot()).unwrap()
+        );
+        // The zero-count accumulator got its live ±inf identities back:
+        // a new sample must set min and max, not compare against 0.
+        fresh.record(untouched, 5.0);
+        if let StatKind::Accumulator { min, max, .. } =
+            &fresh.snapshot().get("comp", "untouched").unwrap().kind
+        {
+            assert_eq!((*min, *max), (5.0, 5.0));
+        } else {
+            panic!("wrong kind");
+        }
+        // And updates continue from the restored values.
+        fresh.sample(h2, 1);
+        if let StatKind::Histogram { count, .. } = &fresh.snapshot().get("comp", "sz").unwrap().kind
+        {
+            assert_eq!(*count, 2);
+        } else {
+            panic!("wrong kind");
+        }
+    }
+
+    #[test]
+    fn restore_values_skips_foreign_keys_and_counts_applied() {
+        let mut full = StatsRegistry::new();
+        let a = full.counter("a", "n");
+        let b = full.counter("b", "n");
+        full.add(a, 1);
+        full.add(b, 2);
+        let saved = full.checkpoint_stats();
+        // A rank registry holding only component `b`.
+        let mut rank = StatsRegistry::new();
+        rank.counter("b", "n");
+        assert_eq!(rank.restore_values(&saved), 1);
+        assert_eq!(rank.snapshot().counter("b", "n"), 2);
     }
 
     #[test]

@@ -850,6 +850,34 @@ impl Sampler {
     pub fn into_series(self) -> StatsSeries {
         self.series
     }
+
+    /// Capture the full sampler cursor for a checkpoint, so a restored run
+    /// continues the series exactly (including delta-encoding baselines and
+    /// the late-registration scan position).
+    pub(crate) fn save(&self) -> crate::snapshot::SamplerSnap {
+        crate::snapshot::SamplerSnap {
+            interval: self.interval,
+            next: self.next,
+            counter_ids: self.counter_ids.iter().map(|&i| i as u64).collect(),
+            accum_ids: self.accum_ids.iter().map(|&i| i as u64).collect(),
+            prev: self.prev.clone(),
+            scanned: self.scanned as u64,
+            series: self.series.clone(),
+        }
+    }
+
+    /// Rebuild a sampler from a checkpointed cursor.
+    pub(crate) fn restore(snap: &crate::snapshot::SamplerSnap) -> Sampler {
+        Sampler {
+            interval: snap.interval,
+            next: snap.next,
+            counter_ids: snap.counter_ids.iter().map(|&i| i as usize).collect(),
+            accum_ids: snap.accum_ids.iter().map(|&i| i as usize).collect(),
+            prev: snap.prev.clone(),
+            scanned: snap.scanned as usize,
+            series: snap.series.clone(),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1054,6 +1082,26 @@ pub struct RunManifest {
     /// `--partition-profile` to close the measure→repartition loop).
     #[serde(default)]
     pub profile_path: Option<String>,
+    /// Snapshots written by this run (`--checkpoint-every`), in capture
+    /// order.
+    #[serde(default)]
+    pub checkpoints: Vec<CheckpointEntry>,
+    /// Canonical FNV-1a state hash of the simulation's final state.
+    /// Present whenever checkpointing was requested — including on a
+    /// `restore` run, so restored and uninterrupted manifests can be
+    /// diffed directly.
+    #[serde(default)]
+    pub final_state_hash: Option<String>,
+}
+
+/// One checkpoint recorded in a [`RunManifest`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CheckpointEntry {
+    /// Which engine run wrote it (e.g. `serial`, `r2`).
+    pub label: String,
+    pub time_ps: u64,
+    pub path: String,
+    pub state_hash: String,
 }
 
 pub const MANIFEST_SCHEMA: &str = "sst-telemetry-manifest-v1";

@@ -49,8 +49,25 @@ impl SimTime {
 
     /// Construct from a fractional nanosecond count (rounded to the nearest
     /// picosecond). Useful for configs expressed in ns.
+    ///
+    /// A NaN or negative input is a bug in the caller: it trips a
+    /// `debug_assert!` in debug builds and clamps to zero with a warning in
+    /// release builds (the old behavior silently saturated through `as u64`).
+    /// Inputs beyond `u64::MAX` picoseconds saturate to [`SimTime::MAX`].
     #[inline]
     pub fn ns_f64(ns: f64) -> Self {
+        debug_assert!(
+            ns >= 0.0,
+            "SimTime::ns_f64: expected a non-negative nanosecond count, got {ns}"
+        );
+        if ns.is_nan() || ns < 0.0 {
+            // NaN or negative in a release build: clamp loudly instead of
+            // letting the float->int cast quietly produce 0.
+            eprintln!("warning: SimTime::ns_f64({ns}) is not a valid time; clamping to 0");
+            return SimTime::ZERO;
+        }
+        // `as u64` saturates at u64::MAX, which is the documented overflow
+        // behavior (+inf lands there too).
         SimTime((ns * 1_000.0).round() as u64)
     }
 
@@ -189,9 +206,16 @@ pub struct Frequency {
 }
 
 impl Frequency {
+    /// Construct from Hz. Zero, negative, NaN, and infinite frequencies have
+    /// no meaningful period and are rejected outright — the old code let
+    /// `+inf` through (`inf > 0.0`) and produced a nonsense 0-then-clamped
+    /// period.
     #[inline]
     pub fn hz(hz: f64) -> Self {
-        assert!(hz > 0.0, "frequency must be positive");
+        assert!(
+            hz.is_finite() && hz > 0.0,
+            "frequency must be positive and finite, got {hz} Hz"
+        );
         Frequency { hz }
     }
     #[inline]
@@ -224,15 +248,27 @@ impl Frequency {
     }
 
     /// Number of whole cycles elapsed in `span` at this frequency.
+    ///
+    /// Computed from the exact frequency rather than the rounded
+    /// per-cycle period, so frequencies with a non-integer-picosecond
+    /// period (3 GHz → 333.3̅ ps) don't drift by one cycle every few
+    /// thousand: `cycles_in(1ms)` at 3 GHz is exactly 3 000 000, where
+    /// dividing by the rounded 333 ps period gave 3 003 003.
     #[inline]
     pub fn cycles_in(self, span: SimTime) -> u64 {
-        span.0 / self.period().0
+        (span.0 as f64 * self.hz / 1e12) as u64
     }
 
-    /// The duration of `cycles` clock cycles.
+    /// The duration of `cycles` clock cycles, computed from the exact
+    /// frequency in one step. Rounding the period to a whole picosecond
+    /// first and multiplying would accumulate the per-period rounding
+    /// error `cycles` times over (10⁶ cycles at 3 GHz came out 333 µs
+    /// instead of 333.333 µs). Note the engine's *clock ticks* still
+    /// advance by the integer-picosecond [`Frequency::period`]; this
+    /// method is for latency math, where the exact answer matters.
     #[inline]
     pub fn cycles(self, cycles: u64) -> SimTime {
-        self.period() * cycles
+        SimTime((cycles as f64 * 1e12 / self.hz).round() as u64)
     }
 }
 
@@ -286,6 +322,72 @@ mod tests {
         assert_eq!(f.cycles(4), SimTime::ns(2));
         assert_eq!(f.cycles_in(SimTime::ns(2)), 4);
         assert_eq!(f.cycles_in(SimTime::ps(499)), 0);
+    }
+
+    #[test]
+    fn non_integer_period_does_not_drift() {
+        // 3 GHz has a 333.3̅ ps period. A million cycles is 333 333 333.3̅ ps;
+        // multiplying the *rounded* period like the old code did would have
+        // produced 333 000 000 ps — a third of a microsecond short.
+        let f = Frequency::ghz(3.0);
+        assert_eq!(f.cycles(1_000_000), SimTime::ps(333_333_333));
+        // And the inverse direction: one simulated millisecond really is
+        // three million cycles, not 3 003 003.
+        assert_eq!(f.cycles_in(SimTime::ms(1)), 3_000_000);
+        // The rounded tick period is still what the engine clocks by.
+        assert_eq!(f.period(), SimTime::ps(333));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-negative nanosecond count")]
+    fn ns_f64_rejects_negative_in_debug() {
+        let _ = SimTime::ns_f64(-1.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-negative nanosecond count")]
+    fn ns_f64_rejects_nan_in_debug() {
+        let _ = SimTime::ns_f64(f64::NAN);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn ns_f64_clamps_invalid_in_release() {
+        assert_eq!(SimTime::ns_f64(-1.0), SimTime::ZERO);
+        assert_eq!(SimTime::ns_f64(f64::NAN), SimTime::ZERO);
+    }
+
+    #[test]
+    fn ns_f64_saturates_on_overflow() {
+        // > u64::MAX picoseconds saturates instead of wrapping.
+        assert_eq!(SimTime::ns_f64(1e30), SimTime::MAX);
+        assert_eq!(SimTime::ns_f64(f64::INFINITY), SimTime::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn frequency_rejects_zero() {
+        let _ = Frequency::hz(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn frequency_rejects_negative() {
+        let _ = Frequency::ghz(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn frequency_rejects_infinite() {
+        let _ = Frequency::hz(f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn frequency_rejects_nan() {
+        let _ = Frequency::hz(f64::NAN);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::core::CoreConfig;
 use crate::isa::{InstrStream, Op};
+use serde::{Deserialize, Serialize, Value};
 use sst_core::config::ConfigError;
 use sst_core::prelude::*;
 use sst_mem::components::{MemReq, MemResp};
@@ -37,7 +38,7 @@ pub struct CoreComponent {
 }
 
 /// Self-scheduled "continue issuing" marker.
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 struct Resume;
 
 impl CoreComponent {
@@ -129,8 +130,25 @@ impl CoreComponent {
     }
 }
 
+/// Checkpoint form of [`CoreComponent`]: issue-engine cursors plus the
+/// stream's own saved cursor.
+#[derive(Serialize, Deserialize)]
+struct CoreComponentState {
+    outstanding: u32,
+    next_req_id: u64,
+    queued_mem: Vec<(u64, bool)>,
+    stream_done: bool,
+    flops: u64,
+    loads: u64,
+    stores: u64,
+    stream: Value,
+}
+
 impl Component for CoreComponent {
     fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+        register_payload::<Resume>("cpu.resume");
+        register_payload::<MemReq>("mem.req");
+        register_payload::<MemResp>("mem.resp");
         self.instrs = Some(ctx.stat_counter("instrs"));
         self.mem_ops = Some(ctx.stat_counter("mem_ops"));
         self.done_at = Some(ctx.stat_accumulator("done_at_ns"));
@@ -167,6 +185,32 @@ impl Component for CoreComponent {
 
     fn ports(&self) -> &'static [&'static str] {
         &["mem"]
+    }
+
+    fn save_state(&self) -> Value {
+        CoreComponentState {
+            outstanding: self.outstanding,
+            next_req_id: self.next_req_id,
+            queued_mem: self.queued_mem.iter().copied().collect(),
+            stream_done: self.stream_done,
+            flops: self.flops,
+            loads: self.loads,
+            stores: self.stores,
+            stream: self.stream.save_state(),
+        }
+        .to_value()
+    }
+
+    fn load_state(&mut self, state: &Value) {
+        let s = CoreComponentState::from_value(state).expect("malformed cpu.core state");
+        self.outstanding = s.outstanding;
+        self.next_req_id = s.next_req_id;
+        self.queued_mem = s.queued_mem.into_iter().collect();
+        self.stream_done = s.stream_done;
+        self.flops = s.flops;
+        self.loads = s.loads;
+        self.stores = s.stores;
+        self.stream.load_state(&s.stream);
     }
 }
 

@@ -9,7 +9,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// Operation classes the timing model distinguishes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -117,6 +117,17 @@ pub trait InstrStream: Send {
     fn label(&self) -> &str {
         "stream"
     }
+
+    /// Serialize the stream's cursor (position, per-stream RNG) for an
+    /// engine checkpoint. The default `Null` is only correct for streams
+    /// with no mutable state; resumable streams must override this *and*
+    /// [`InstrStream::load_state`].
+    fn save_state(&self) -> Value {
+        Value::Null
+    }
+
+    /// Restore a cursor captured by [`InstrStream::save_state`].
+    fn load_state(&mut self, _state: &Value) {}
 }
 
 impl InstrStream for Box<dyn InstrStream> {
@@ -125,6 +136,12 @@ impl InstrStream for Box<dyn InstrStream> {
     }
     fn label(&self) -> &str {
         (**self).label()
+    }
+    fn save_state(&self) -> Value {
+        (**self).save_state()
+    }
+    fn load_state(&mut self, state: &Value) {
+        (**self).load_state(state)
     }
 }
 
@@ -145,6 +162,13 @@ impl TraceStream {
     }
 }
 
+/// Checkpoint cursor for [`TraceStream`] (the trace itself is part of the
+/// rebuilt system, not the snapshot).
+#[derive(Serialize, Deserialize)]
+struct TraceCursor {
+    pos: u64,
+}
+
 impl InstrStream for TraceStream {
     fn next_instr(&mut self) -> Option<Instr> {
         let i = self.instrs.get(self.pos).copied();
@@ -153,6 +177,16 @@ impl InstrStream for TraceStream {
     }
     fn label(&self) -> &str {
         &self.label
+    }
+    fn save_state(&self) -> Value {
+        TraceCursor {
+            pos: self.pos as u64,
+        }
+        .to_value()
+    }
+    fn load_state(&mut self, state: &Value) {
+        let c = TraceCursor::from_value(state).expect("malformed trace-stream cursor");
+        self.pos = c.pos as usize;
     }
 }
 
@@ -281,6 +315,42 @@ impl InstrStream for SyntheticStream {
     fn label(&self) -> &str {
         &self.spec.label
     }
+
+    fn save_state(&self) -> Value {
+        SyntheticCursor {
+            iter: self.iter,
+            slot: self.slot,
+            load_k: self.load_k,
+            store_k: self.store_k,
+            rng: self.rng.state().to_vec(),
+        }
+        .to_value()
+    }
+
+    fn load_state(&mut self, state: &Value) {
+        let c = SyntheticCursor::from_value(state).expect("malformed synthetic-stream cursor");
+        self.iter = c.iter;
+        self.slot = c.slot;
+        self.load_k = c.load_k;
+        self.store_k = c.store_k;
+        let rng: [u64; 4] = c
+            .rng
+            .try_into()
+            .expect("synthetic-stream cursor: RNG state must be 4 words");
+        self.rng = SmallRng::from_state(rng);
+    }
+}
+
+/// Checkpoint cursor for [`SyntheticStream`]: generation indices plus the
+/// raw xoshiro state, so a restored stream continues the same address
+/// sequence. The spec itself is rebuilt with the system.
+#[derive(Serialize, Deserialize)]
+struct SyntheticCursor {
+    iter: u64,
+    slot: u32,
+    load_k: u64,
+    store_k: u64,
+    rng: Vec<u64>,
 }
 
 #[cfg(test)]

@@ -100,13 +100,23 @@ impl Outcome {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 struct Line {
     tag: u64,
     valid: bool,
     dirty: bool,
     /// LRU stamp; larger = more recently used.
     stamp: u64,
+}
+
+/// The cache's mutable state (tags, LRU stamps, counters), detached from its
+/// immutable geometry, for engine checkpoints. Geometry is rebuilt from the
+/// config at restore time and must match.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheState {
+    lines: Vec<Line>,
+    next_stamp: u64,
+    stats: CacheStats,
 }
 
 /// Hit/miss/traffic counters.
@@ -273,6 +283,31 @@ impl Cache {
             }
         }
         None
+    }
+
+    /// Capture the mutable state for a checkpoint.
+    pub fn save_state(&self) -> CacheState {
+        CacheState {
+            lines: self.lines.clone(),
+            next_stamp: self.next_stamp,
+            stats: self.stats,
+        }
+    }
+
+    /// Restore state captured by [`Cache::save_state`]. The receiving cache
+    /// must have the same geometry (panics otherwise — a restore into a
+    /// differently-configured system is a wiring bug).
+    pub fn load_state(&mut self, state: &CacheState) {
+        assert_eq!(
+            state.lines.len(),
+            self.lines.len(),
+            "cache snapshot geometry mismatch: {} lines saved, {} configured",
+            state.lines.len(),
+            self.lines.len()
+        );
+        self.lines = state.lines.clone();
+        self.next_stamp = state.next_stamp;
+        self.stats = state.stats;
     }
 
     /// Number of currently valid lines (diagnostics / invariants).

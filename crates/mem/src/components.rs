@@ -5,14 +5,15 @@
 //! `cpu → cache → cache → memory` chains from the same underlying
 //! state machines used by the immediate-mode facade.
 
-use crate::cache::{Access, Cache, CacheConfig};
-use crate::dram::{DramConfig, DramSystem};
+use crate::cache::{Access, Cache, CacheConfig, CacheState};
+use crate::dram::{DramConfig, DramState, DramSystem};
+use serde::{Deserialize, Serialize, Value};
 use sst_core::config::ConfigError;
 use sst_core::prelude::*;
 use std::collections::HashMap;
 
 /// A memory request traveling toward memory.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MemReq {
     /// Requester-chosen id, echoed in the response.
     pub id: u64,
@@ -21,10 +22,18 @@ pub struct MemReq {
 }
 
 /// A completed request traveling back toward the CPU.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MemResp {
     pub id: u64,
     pub addr: u64,
+}
+
+/// Register the memory-protocol payload codecs so in-flight [`MemReq`]s and
+/// [`MemResp`]s survive engine checkpoints. Every component that sends them
+/// calls this from `setup()`; registration is idempotent.
+fn register_mem_payloads() {
+    register_payload::<MemReq>("mem.req");
+    register_payload::<MemResp>("mem.resp");
 }
 
 /// A single cache level as a DES component.
@@ -71,8 +80,18 @@ impl CacheComponent {
     }
 }
 
+/// Checkpoint form of [`CacheComponent`]: MSHRs flattened to a vector
+/// sorted by line address so identical states serialize identically.
+#[derive(Serialize, Deserialize)]
+struct CacheComponentState {
+    cache: CacheState,
+    mshrs: Vec<(u64, Vec<MemReq>)>,
+    next_downstream_id: u64,
+}
+
 impl Component for CacheComponent {
     fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+        register_mem_payloads();
         self.hits = Some(ctx.stat_counter("hits"));
         self.misses = Some(ctx.stat_counter("misses"));
         self.coalesced = Some(ctx.stat_counter("coalesced_misses"));
@@ -182,6 +201,30 @@ impl Component for CacheComponent {
     fn ports(&self) -> &'static [&'static str] {
         &["cpu", "mem"]
     }
+
+    fn save_state(&self) -> Value {
+        // Walk the MSHR map in line-address order: HashMap iteration order
+        // would leak allocator state into the snapshot bytes.
+        let mut mshrs: Vec<(u64, Vec<MemReq>)> = self
+            .mshrs
+            .iter()
+            .map(|(line, waiters)| (*line, waiters.clone()))
+            .collect();
+        mshrs.sort_by_key(|(line, _)| *line);
+        CacheComponentState {
+            cache: self.cache.save_state(),
+            mshrs,
+            next_downstream_id: self.next_downstream_id,
+        }
+        .to_value()
+    }
+
+    fn load_state(&mut self, state: &Value) {
+        let s = CacheComponentState::from_value(state).expect("malformed mem.cache state");
+        self.cache.load_state(&s.cache);
+        self.mshrs = s.mshrs.into_iter().collect();
+        self.next_downstream_id = s.next_downstream_id;
+    }
 }
 
 /// A DRAM memory controller as a DES component.
@@ -210,6 +253,7 @@ impl MemoryComponent {
 
 impl Component for MemoryComponent {
     fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+        register_mem_payloads();
         self.reads = Some(ctx.stat_counter("reads"));
         self.writes = Some(ctx.stat_counter("writes"));
         self.latency_stat = Some(ctx.stat_accumulator("latency_ns"));
@@ -258,6 +302,15 @@ impl Component for MemoryComponent {
     fn ports(&self) -> &'static [&'static str] {
         &["bus"]
     }
+
+    fn save_state(&self) -> Value {
+        self.dram.save_state().to_value()
+    }
+
+    fn load_state(&mut self, state: &Value) {
+        let s = DramState::from_value(state).expect("malformed mem.dram state");
+        self.dram.load_state(&s);
+    }
 }
 
 /// A fan-in bus: up to [`BusComponent::MAX_UP`] upstream requesters share one
@@ -305,8 +358,17 @@ impl Default for BusComponent {
     }
 }
 
+/// Checkpoint form of [`BusComponent`]: the pending table flattened in
+/// bus-id order (canonical, allocator-independent).
+#[derive(Serialize, Deserialize)]
+struct BusComponentState {
+    pending: Vec<(u64, u64, u64)>,
+    next_id: u64,
+}
+
 impl Component for BusComponent {
     fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+        register_mem_payloads();
         self.forwarded = Some(ctx.stat_counter("forwarded"));
     }
 
@@ -346,6 +408,30 @@ impl Component for BusComponent {
             "up0", "up1", "up2", "up3", "up4", "up5", "up6", "up7", "up8", "up9", "up10", "up11",
             "up12", "up13", "up14", "up15", "down",
         ]
+    }
+
+    fn save_state(&self) -> Value {
+        let mut pending: Vec<(u64, u64, u64)> = self
+            .pending
+            .iter()
+            .map(|(bus_id, (up, orig))| (*bus_id, *up as u64, *orig))
+            .collect();
+        pending.sort_by_key(|(bus_id, ..)| *bus_id);
+        BusComponentState {
+            pending,
+            next_id: self.next_id,
+        }
+        .to_value()
+    }
+
+    fn load_state(&mut self, state: &Value) {
+        let s = BusComponentState::from_value(state).expect("malformed mem.bus state");
+        self.pending = s
+            .pending
+            .into_iter()
+            .map(|(bus_id, up, orig)| (bus_id, (up as usize, orig)))
+            .collect();
+        self.next_id = s.next_id;
     }
 }
 

@@ -221,7 +221,7 @@ pub enum RowOutcome {
     Conflict,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 struct Bank {
     open_row: Option<u64>,
     /// Earliest time the bank can accept a new column/row command (ps).
@@ -256,10 +256,19 @@ impl DramStats {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Channel {
     banks: Vec<Bank>,
     bus_free_at: u64,
+}
+
+/// The DRAM subsystem's mutable state (open rows, bank/bus horizons,
+/// counters) for engine checkpoints. Timings and geometry are rebuilt from
+/// the config at restore time and must match.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DramState {
+    channels: Vec<Channel>,
+    stats: DramStats,
 }
 
 /// The DRAM subsystem: all channels of one node's memory.
@@ -383,6 +392,33 @@ impl DramSystem {
         self.stats.bytes += self.cfg.burst_bytes();
 
         (SimTime::ps(done), outcome)
+    }
+
+    /// Capture the mutable state for a checkpoint.
+    pub fn save_state(&self) -> DramState {
+        DramState {
+            channels: self.channels.clone(),
+            stats: self.stats,
+        }
+    }
+
+    /// Restore state captured by [`DramSystem::save_state`]; panics if the
+    /// snapshot's organization differs from this system's config.
+    pub fn load_state(&mut self, state: &DramState) {
+        assert_eq!(
+            state.channels.len(),
+            self.channels.len(),
+            "DRAM snapshot channel count mismatch"
+        );
+        for (live, saved) in self.channels.iter().zip(&state.channels) {
+            assert_eq!(
+                saved.banks.len(),
+                live.banks.len(),
+                "DRAM snapshot bank count mismatch"
+            );
+        }
+        self.channels = state.channels.clone();
+        self.stats = state.stats;
     }
 
     /// Unloaded row-hit latency (CAS + burst).

@@ -314,6 +314,8 @@ impl TraceDriver {
 
 impl Component for TraceDriver {
     fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+        register_payload::<MemReq>("mem.req");
+        register_payload::<MemResp>("mem.resp");
         self.issued = Some(ctx.stat_counter("issued"));
         self.issue(ctx);
     }
@@ -325,6 +327,14 @@ impl Component for TraceDriver {
 
     fn ports(&self) -> &'static [&'static str] {
         &["mem"]
+    }
+
+    fn save_state(&self) -> serde::Value {
+        serde::Serialize::to_value(&(self.next as u64))
+    }
+
+    fn load_state(&mut self, state: &serde::Value) {
+        self.next = state.as_u64().expect("malformed trace-driver state") as usize;
     }
 }
 

@@ -10,13 +10,14 @@
 //!   packets and records end-to-end latencies. Useful both as a workload
 //!   stand-in and as a network stress tool (the `sst run` path).
 
-use crate::network::{NetConfig, Network};
+use crate::network::{NetConfig, Network, NetworkState};
 use crate::topology::Torus3D;
+use serde::{Deserialize, Serialize, Value};
 use sst_core::config::ConfigError;
 use sst_core::prelude::*;
 
 /// A packet crossing the fabric.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Packet {
     pub src: u32,
     pub dst: u32,
@@ -51,6 +52,7 @@ impl FabricComponent {
 
 impl Component for FabricComponent {
     fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+        register_net_payloads();
         self.delivered = Some(ctx.stat_counter("delivered"));
         self.transit_ns = Some(ctx.stat_accumulator("transit_ns"));
     }
@@ -73,6 +75,15 @@ impl Component for FabricComponent {
         // systems wire fabric ports programmatically by index.
         &["p0", "p1", "p2", "p3", "p4", "p5", "p6", "p7"]
     }
+
+    fn save_state(&self) -> Value {
+        self.net.save_state().to_value()
+    }
+
+    fn load_state(&mut self, state: &Value) {
+        let s = NetworkState::from_value(state).expect("malformed net.fabric state");
+        self.net.load_state(&s);
+    }
 }
 
 /// A scripted traffic endpoint: sends `count` packets of `bytes` to `dst`
@@ -89,8 +100,15 @@ pub struct TrafficGen {
     rtt: Option<StatId>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 struct Fire;
+
+/// Register the network payload codecs for engine checkpoints; called from
+/// every sender's `setup()` (idempotent).
+fn register_net_payloads() {
+    register_payload::<Packet>("net.packet");
+    register_payload::<Fire>("net.fire");
+}
 
 impl TrafficGen {
     pub const NET: PortId = PortId(0);
@@ -129,8 +147,16 @@ impl TrafficGen {
     }
 }
 
+/// Checkpoint form of [`TrafficGen`]: just the send cursor — the script
+/// itself (dst/bytes/count/gap) is rebuilt with the system.
+#[derive(Serialize, Deserialize)]
+struct TrafficGenState {
+    sent: u64,
+}
+
 impl Component for TrafficGen {
     fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+        register_net_payloads();
         self.sent_stat = Some(ctx.stat_counter("sent"));
         self.recv_stat = Some(ctx.stat_counter("received"));
         self.rtt = Some(ctx.stat_accumulator("latency_ns"));
@@ -156,6 +182,15 @@ impl Component for TrafficGen {
 
     fn ports(&self) -> &'static [&'static str] {
         &["net"]
+    }
+
+    fn save_state(&self) -> Value {
+        TrafficGenState { sent: self.sent }.to_value()
+    }
+
+    fn load_state(&mut self, state: &Value) {
+        let s = TrafficGenState::from_value(state).expect("malformed net.traffic state");
+        self.sent = s.sent;
     }
 }
 

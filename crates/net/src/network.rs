@@ -104,6 +104,16 @@ pub struct Network {
     pub stats: NetStats,
 }
 
+/// Checkpoint form of [`Network`]: busy horizons and counters, with the
+/// per-link map flattened in link-id order so identical states serialize
+/// identically. Topology and config are rebuilt with the system.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkState {
+    nic_free: Vec<u64>,
+    link_free: Vec<(LinkId, u64)>,
+    stats: NetStats,
+}
+
 impl Network {
     pub fn new(topo: Box<dyn Topology>, cfg: NetConfig) -> Network {
         let n = topo.nodes() as usize;
@@ -169,6 +179,33 @@ impl Network {
         self.stats.hops += route.len() as u64;
         self.stats.latency_ps_sum += (done - now).as_ps() as u128;
         done
+    }
+
+    /// Capture the mutable state for a checkpoint.
+    pub fn save_state(&self) -> NetworkState {
+        // Canonical order: HashMap iteration would leak allocator state
+        // into the snapshot bytes.
+        let mut link_free: Vec<(LinkId, u64)> =
+            self.link_free.iter().map(|(l, t)| (*l, *t)).collect();
+        link_free.sort_by_key(|(l, _)| l.0);
+        NetworkState {
+            nic_free: self.nic_free.clone(),
+            link_free,
+            stats: self.stats,
+        }
+    }
+
+    /// Restore state captured by [`Network::save_state`]; panics if the
+    /// snapshot came from a different-sized topology.
+    pub fn load_state(&mut self, state: &NetworkState) {
+        assert_eq!(
+            state.nic_free.len(),
+            self.nic_free.len(),
+            "network snapshot node count mismatch"
+        );
+        self.nic_free = state.nic_free.clone();
+        self.link_free = state.link_free.iter().copied().collect();
+        self.stats = state.stats;
     }
 
     /// Unloaded small-message latency between two nodes (diagnostics).

@@ -63,6 +63,29 @@ impl PartitionCliOpts {
     }
 }
 
+/// Checkpointing flags shared by `experiment`, `run`, and `restore`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CheckpointCliOpts {
+    /// `--checkpoint-every <ms>`: snapshot period in simulated milliseconds
+    /// (fractional values allowed).
+    pub every_ms: Option<f64>,
+    /// `--checkpoint-dir <dir>`: where `<label>-t<ps>.snap.json` files land
+    /// (default `checkpoints/`).
+    pub dir: Option<PathBuf>,
+}
+
+impl CheckpointCliOpts {
+    pub fn any(&self) -> bool {
+        self.every_ms.is_some() || self.dir.is_some()
+    }
+
+    /// The cadence as engine time (ps), when checkpointing was requested.
+    pub fn every(&self) -> Option<SimTime> {
+        self.every_ms
+            .map(|ms| SimTime(((ms * 1e9).round() as u64).max(1)))
+    }
+}
+
 /// A fully parsed invocation.
 #[derive(Debug, PartialEq)]
 pub enum Cmd {
@@ -74,6 +97,7 @@ pub enum Cmd {
         ranks: Option<u32>,
         partition: PartitionCliOpts,
         telemetry: TelemetryCliOpts,
+        checkpoint: CheckpointCliOpts,
     },
     Run {
         config: String,
@@ -81,6 +105,17 @@ pub enum Cmd {
         ranks: u32,
         partition: PartitionCliOpts,
         telemetry: TelemetryCliOpts,
+        checkpoint: CheckpointCliOpts,
+    },
+    /// Resume a run from a `.snap.json` checkpoint written by `run` or
+    /// `experiment pdes`.
+    Restore {
+        snapshot: PathBuf,
+        until_ms: Option<u64>,
+        /// Rank count for the resumed run; `None` = the origin's (or serial).
+        ranks: Option<u32>,
+        telemetry: TelemetryCliOpts,
+        checkpoint: CheckpointCliOpts,
     },
     ListComponents,
     ListMiniapps,
@@ -105,6 +140,8 @@ struct Parsed {
     ranks: Option<u32>,
     partition: Option<PartitionStrategy>,
     partition_profile: Option<PathBuf>,
+    checkpoint_every_ms: Option<f64>,
+    checkpoint_dir: Option<PathBuf>,
     seen: Vec<&'static str>,
 }
 
@@ -134,6 +171,18 @@ impl Parsed {
             profile: self.partition_profile.clone(),
         }
     }
+
+    /// A destination without a cadence is meaningless, so reject it rather
+    /// than silently checkpointing never.
+    fn checkpoint_opts(&self) -> Result<CheckpointCliOpts, String> {
+        if self.checkpoint_dir.is_some() && self.checkpoint_every_ms.is_none() {
+            return Err("--checkpoint-dir needs --checkpoint-every".into());
+        }
+        Ok(CheckpointCliOpts {
+            every_ms: self.checkpoint_every_ms,
+            dir: self.checkpoint_dir.clone(),
+        })
+    }
 }
 
 const TELEMETRY_FLAGS: &[&str] = &[
@@ -143,6 +192,8 @@ const TELEMETRY_FLAGS: &[&str] = &[
     "stats-interval",
     "profile",
 ];
+
+const CHECKPOINT_FLAGS: &[&str] = &["checkpoint-every", "checkpoint-dir"];
 
 /// Parse `args` (without the program name). Any error is a usage error —
 /// the caller prints it plus the usage text and exits with code 2.
@@ -172,6 +223,8 @@ pub fn parse(args: &[String]) -> Result<Cmd, String> {
                 | "ranks"
                 | "partition"
                 | "partition-profile"
+                | "checkpoint-every"
+                | "checkpoint-dir"
         );
         let value: Option<String> = if needs_value {
             match inline {
@@ -272,6 +325,21 @@ pub fn parse(args: &[String]) -> Result<Cmd, String> {
                 p.partition_profile = Some(PathBuf::from(value.unwrap()));
                 p.seen.push("partition-profile");
             }
+            "checkpoint-every" => {
+                let ms: f64 = value
+                    .unwrap()
+                    .parse()
+                    .map_err(|_| "--checkpoint-every needs a millisecond count".to_string())?;
+                if !(ms > 0.0 && ms.is_finite()) {
+                    return Err("--checkpoint-every must be a positive number of ms".into());
+                }
+                p.checkpoint_every_ms = Some(ms);
+                p.seen.push("checkpoint-every");
+            }
+            "checkpoint-dir" => {
+                p.checkpoint_dir = Some(PathBuf::from(value.unwrap()));
+                p.seen.push("checkpoint-dir");
+            }
             other => return Err(format!("unknown flag `--{other}`")),
         }
         i += 1;
@@ -300,6 +368,7 @@ pub fn parse(args: &[String]) -> Result<Cmd, String> {
                 "partition-profile",
             ];
             allowed.extend_from_slice(TELEMETRY_FLAGS);
+            allowed.extend_from_slice(CHECKPOINT_FLAGS);
             p.reject_unless("experiment", &allowed)?;
             Ok(Cmd::Experiment {
                 id: pos[1].clone(),
@@ -309,12 +378,14 @@ pub fn parse(args: &[String]) -> Result<Cmd, String> {
                 ranks: p.ranks,
                 partition: p.partition_opts(),
                 telemetry: p.telemetry(),
+                checkpoint: p.checkpoint_opts()?,
             })
         }
         "run" => {
             exactly(1, "config path")?;
             let mut allowed = vec!["until-ms", "ranks", "partition", "partition-profile"];
             allowed.extend_from_slice(TELEMETRY_FLAGS);
+            allowed.extend_from_slice(CHECKPOINT_FLAGS);
             p.reject_unless("run", &allowed)?;
             Ok(Cmd::Run {
                 config: pos[1].clone(),
@@ -322,6 +393,21 @@ pub fn parse(args: &[String]) -> Result<Cmd, String> {
                 ranks: p.ranks.unwrap_or(1),
                 partition: p.partition_opts(),
                 telemetry: p.telemetry(),
+                checkpoint: p.checkpoint_opts()?,
+            })
+        }
+        "restore" => {
+            exactly(1, "snapshot path")?;
+            let mut allowed = vec!["until-ms", "ranks"];
+            allowed.extend_from_slice(TELEMETRY_FLAGS);
+            allowed.extend_from_slice(CHECKPOINT_FLAGS);
+            p.reject_unless("restore", &allowed)?;
+            Ok(Cmd::Restore {
+                snapshot: PathBuf::from(&pos[1]),
+                until_ms: p.until_ms,
+                ranks: p.ranks,
+                telemetry: p.telemetry(),
+                checkpoint: p.checkpoint_opts()?,
             })
         }
         "list-components" => {
@@ -456,6 +542,7 @@ mod tests {
                     profile: true,
                     ..Default::default()
                 },
+                checkpoint: CheckpointCliOpts::default(),
             }
         );
         let cmd = parse(&args("validate-trace t.jsonl t.chrome.json")).unwrap();
@@ -497,6 +584,68 @@ mod tests {
         let e = parse(&args("experiment pdes --partition frobnicate")).unwrap_err();
         assert!(e.contains("unknown partition strategy"), "{e}");
         let e = parse(&args("list-components --partition block")).unwrap_err();
+        assert!(e.contains("does not accept"), "{e}");
+    }
+
+    #[test]
+    fn checkpoint_flags_parse() {
+        let cmd = parse(&args(
+            "run cfg.json --checkpoint-every 0.25 --checkpoint-dir snaps",
+        ))
+        .unwrap();
+        let Cmd::Run { checkpoint, .. } = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(checkpoint.every_ms, Some(0.25));
+        assert_eq!(
+            checkpoint.dir.as_deref(),
+            Some(std::path::Path::new("snaps"))
+        );
+        assert!(checkpoint.any());
+        // Fractional ms cadence converts to picoseconds.
+        assert_eq!(checkpoint.every(), Some(SimTime(250_000_000)));
+
+        let cmd = parse(&args("experiment pdes --quick --checkpoint-every=1")).unwrap();
+        let Cmd::Experiment { checkpoint, .. } = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(checkpoint.every_ms, Some(1.0));
+        assert_eq!(checkpoint.dir, None);
+
+        let e = parse(&args("run cfg.json --checkpoint-every 0")).unwrap_err();
+        assert!(e.contains("positive"), "{e}");
+        let e = parse(&args("run cfg.json --checkpoint-dir snaps")).unwrap_err();
+        assert!(e.contains("needs --checkpoint-every"), "{e}");
+        let e = parse(&args("validate-trace t.jsonl --checkpoint-every 1")).unwrap_err();
+        assert!(e.contains("does not accept"), "{e}");
+    }
+
+    #[test]
+    fn restore_parses() {
+        let cmd = parse(&args(
+            "restore snaps/run-t5000.snap.json --ranks 2 --until-ms 9 \
+             --stats-interval 1 --checkpoint-every 2 --checkpoint-dir snaps2",
+        ))
+        .unwrap();
+        let Cmd::Restore {
+            snapshot,
+            until_ms,
+            ranks,
+            telemetry,
+            checkpoint,
+        } = cmd
+        else {
+            panic!("wrong command")
+        };
+        assert_eq!(snapshot, PathBuf::from("snaps/run-t5000.snap.json"));
+        assert_eq!(until_ms, Some(9));
+        assert_eq!(ranks, Some(2));
+        assert_eq!(telemetry.stats_interval_ms, Some(1.0));
+        assert_eq!(checkpoint.every_ms, Some(2.0));
+
+        assert!(parse(&args("restore")).is_err());
+        assert!(parse(&args("restore a.snap.json extra")).is_err());
+        let e = parse(&args("restore a.snap.json --partition block")).unwrap_err();
         assert!(e.contains("does not accept"), "{e}");
     }
 }

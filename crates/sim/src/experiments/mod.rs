@@ -20,8 +20,10 @@ pub mod validate;
 
 use crate::table::Table;
 use sst_core::fidelity::Fidelity;
-use sst_core::telemetry::{EngineProfile, TelemetrySpec};
-use sst_core::PartitionStrategy;
+use sst_core::telemetry::{CheckpointEntry, EngineProfile, TelemetrySpec};
+use sst_core::{PartitionStrategy, SimTime, Snapshot};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 
 /// Experiment ids accepted by the CLI.
 pub const ALL: &[&str] = &[
@@ -51,11 +53,77 @@ pub struct EngineTuning {
     pub ranks: Option<u32>,
     pub partition: Option<PartitionStrategy>,
     pub profile: Option<EngineProfile>,
+    /// Checkpoint cadence/destination (`--checkpoint-every`/`--checkpoint-dir`).
+    pub checkpoint: Option<CheckpointPlan>,
 }
 
 impl EngineTuning {
     pub fn any(&self) -> bool {
         self.ranks.is_some() || self.partition.is_some() || self.profile.is_some()
+    }
+}
+
+/// Where and how often an engine-backed experiment writes checkpoints.
+/// Shared (via `Arc`) between the experiment's engine runs and the CLI, so
+/// the manifest can list every snapshot file after the runs complete.
+#[derive(Debug, Clone)]
+pub struct CheckpointPlan {
+    /// Simulated-time snapshot cadence.
+    pub every: SimTime,
+    /// Directory snapshot files are written into (must already exist).
+    pub dir: PathBuf,
+    records: Arc<Mutex<Vec<CheckpointEntry>>>,
+    final_hash: Arc<Mutex<Option<String>>>,
+}
+
+impl CheckpointPlan {
+    pub fn new(every: SimTime, dir: PathBuf) -> CheckpointPlan {
+        CheckpointPlan {
+            every,
+            dir,
+            records: Arc::new(Mutex::new(Vec::new())),
+            final_hash: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// Write `snap` to `<dir>/<label>-t<time_ps>.snap.json` and record a
+    /// manifest row. IO failure panics: a silently missing checkpoint file
+    /// defeats the point of asking for one.
+    pub fn store(&self, label: &str, snap: &Snapshot) {
+        let path = self
+            .dir
+            .join(format!("{label}-t{}.snap.json", snap.time_ps));
+        std::fs::write(&path, snap.to_json_pretty())
+            .unwrap_or_else(|e| panic!("cannot write checkpoint {}: {e}", path.display()));
+        self.records.lock().unwrap().push(CheckpointEntry {
+            label: label.to_string(),
+            time_ps: snap.time_ps,
+            path: path.display().to_string(),
+            state_hash: snap.state_hash.clone(),
+        });
+    }
+
+    /// Record a run's final sealed state hash. Every engine run under one
+    /// plan simulates the same system to the same limit, so disagreement is
+    /// a determinism failure and panics.
+    pub fn note_final(&self, label: &str, hash: &str) {
+        let mut slot = self.final_hash.lock().unwrap();
+        match &*slot {
+            Some(prev) => assert_eq!(
+                prev, hash,
+                "final state hash diverged at `{label}`: runs under one checkpoint \
+                 plan must agree"
+            ),
+            None => *slot = Some(hash.to_string()),
+        }
+    }
+
+    /// Manifest rows and the agreed final hash, for the run manifest.
+    pub fn take_records(&self) -> (Vec<CheckpointEntry>, Option<String>) {
+        (
+            self.records.lock().unwrap().clone(),
+            self.final_hash.lock().unwrap().clone(),
+        )
     }
 }
 
@@ -139,6 +207,7 @@ pub fn run_with_tuning(
                 p.partition = s;
             }
             p.profile = tuning.profile.clone();
+            p.checkpoint = tuning.checkpoint.clone();
             vec![pdes::run(&p)]
         }
         "ablate" => vec![ablate::run(&pick(

@@ -4,8 +4,10 @@
 //! *bit-identical* to the serial run while delivering more events per
 //! wall-clock second.
 
+use super::CheckpointPlan;
 use crate::table::Table;
 use rand::Rng;
+use serde::{Deserialize, Serialize, Value};
 use sst_core::prelude::*;
 
 /// A traffic node: forwards tokens to random neighbors until their TTL
@@ -17,13 +19,14 @@ struct Traffic {
     forwarded: Option<StatId>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Serialize, Deserialize)]
 struct Token {
     ttl: u32,
 }
 
 impl Component for Traffic {
     fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+        register_payload::<Token>("pdes.token");
         self.forwarded = Some(ctx.stat_counter("forwarded"));
         for i in 0..self.initial_tokens {
             let port = PortId((i % self.ports as u32) as u16);
@@ -57,6 +60,10 @@ pub struct Params {
     /// Measured per-component event counts fed back in as partition weights
     /// (`--partition-profile`).
     pub profile: Option<sst_core::telemetry::EngineProfile>,
+    /// Snapshot cadence/destination; every engine run (serial and each rank
+    /// count) checkpoints on the same simulated-time boundaries, so the
+    /// resulting files are byte-comparable across engines.
+    pub checkpoint: Option<CheckpointPlan>,
 }
 
 impl Default for Params {
@@ -69,6 +76,7 @@ impl Default for Params {
             telemetry: TelemetrySpec::disabled(),
             partition: PartitionStrategy::default(),
             profile: None,
+            checkpoint: None,
         }
     }
 }
@@ -127,13 +135,62 @@ pub fn build_with_latency(p: &Params, south_latency: SimTime) -> SystemBuilder {
     b
 }
 
+/// Rebuild recipe stamped into every pdes snapshot: the build parameters
+/// `sst restore` needs to call [`build`] again.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct PdesOrigin {
+    pub kind: String,
+    pub side: u32,
+    pub tokens_per_node: u32,
+    pub ttl: u32,
+}
+
+/// `origin.kind` tag of pdes snapshots.
+pub const ORIGIN_KIND: &str = "pdes";
+
+/// The origin document stamped into checkpoints of `p`'s system.
+pub fn origin(p: &Params) -> Value {
+    PdesOrigin {
+        kind: ORIGIN_KIND.to_string(),
+        side: p.side,
+        tokens_per_node: p.tokens_per_node,
+        ttl: p.ttl,
+    }
+    .to_value()
+}
+
+/// Parameters reconstructed from a snapshot's origin (engine knobs at their
+/// defaults — they do not affect the simulated system).
+pub fn params_from_origin(o: &PdesOrigin) -> Params {
+    Params {
+        side: o.side,
+        tokens_per_node: o.tokens_per_node,
+        ttl: o.ttl,
+        ..Params::default()
+    }
+}
+
 pub fn run(p: &Params) -> Table {
     let mut t = Table::cols(
         "E11: conservative parallel DES scaling (token traffic on a 2-D torus)",
         &["events", "wall_ms", "Mevents/s", "speedup", "identical"],
     );
-    let serial =
-        Engine::with_telemetry(build(p), p.telemetry.labeled("serial")).run(RunLimit::Exhaust);
+    let origin = origin(p);
+    let serial = {
+        let eng = Engine::with_telemetry(build(p), p.telemetry.labeled("serial"));
+        match &p.checkpoint {
+            Some(plan) => eng.run_with_checkpoints(
+                RunLimit::Exhaust,
+                Some(plan.every),
+                Some(&origin),
+                &mut |s| plan.store("serial", &s),
+            ),
+            None => eng.run(RunLimit::Exhaust),
+        }
+    };
+    if let (Some(plan), Some(h)) = (&p.checkpoint, &serial.final_state_hash) {
+        plan.note_final("serial", h);
+    }
     let serial_total = serial.stats.sum_counters("forwarded");
     let serial_wall = serial.wall_seconds;
     t.push(
@@ -167,10 +224,23 @@ pub fn run(p: &Params) -> Table {
                     .unwrap_or_else(|| "inf".into()),
             ));
         }
-        let par = engine.run(RunLimit::Exhaust);
+        let label = format!("{ranks}ranks");
+        let par = match &p.checkpoint {
+            Some(plan) => engine.run_with_checkpoints(
+                RunLimit::Exhaust,
+                Some(plan.every),
+                Some(&origin),
+                &mut |s| plan.store(&label, &s),
+            ),
+            None => engine.run(RunLimit::Exhaust),
+        };
+        if let (Some(plan), Some(h)) = (&p.checkpoint, &par.final_state_hash) {
+            plan.note_final(&label, h);
+        }
         let same = par.events == serial.events
             && par.end_time == serial.end_time
-            && par.stats.sum_counters("forwarded") == serial_total;
+            && par.stats.sum_counters("forwarded") == serial_total
+            && par.final_state_hash == serial.final_state_hash;
         t.push(
             format!("{ranks} ranks"),
             vec![

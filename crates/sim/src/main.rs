@@ -1,13 +1,13 @@
 //! The `sst` command-line driver.
 
-use serde::{Serialize, Value};
+use serde::{Deserialize, Serialize, Value};
 use sst_core::prelude::*;
 use sst_core::telemetry::{
-    chrome_trace_path, fnv1a, EngineProfile, ProfileDump, RunManifest, TelemetrySummary,
-    MANIFEST_SCHEMA, PROFILE_SCHEMA,
+    chrome_trace_path, fnv1a, CheckpointEntry, EngineProfile, ProfileDump, RunManifest,
+    TelemetrySummary, MANIFEST_SCHEMA, PROFILE_SCHEMA,
 };
-use sst_sim::cli::{self, Cmd, PartitionCliOpts, TelemetryCliOpts};
-use sst_sim::experiments::EngineTuning;
+use sst_sim::cli::{self, CheckpointCliOpts, Cmd, PartitionCliOpts, TelemetryCliOpts};
+use sst_sim::experiments::{pdes, CheckpointPlan, EngineTuning};
 use sst_sim::{experiments, full_registry};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -34,6 +34,13 @@ fn usage() -> ExitCode {
                  [--partition-profile <run.profile.json>]
                  [--trace <path.jsonl>] [--trace-comps ...]
                  [--trace-kinds ...] [--stats-interval <ms>] [--profile]
+                 [--checkpoint-every <ms>] [--checkpoint-dir <dir>]
+  sst restore <snapshot.snap.json> [--until-ms N] [--ranks N]
+                 [--trace ...] [--stats-interval <ms>] [--profile]
+                 [--checkpoint-every <ms>] [--checkpoint-dir <dir>]
+                                               resume a checkpointed run; the
+                                               resumed run is bit-identical
+                                               to the uninterrupted one
   sst validate-trace <trace.jsonl> [<trace.chrome.json>]
                                                check telemetry output parses
   sst list-components
@@ -44,7 +51,11 @@ Tracing writes JSONL records plus a Chrome trace_event sibling
 (<path>.chrome.json — load it in chrome://tracing or https://ui.perfetto.dev),
 and every telemetry-enabled run writes a <path>.manifest.json run manifest.
 --profile also writes a <path>.profile.json dump; feed it back in with
---partition-profile to weight the partitioner by measured event counts."
+--partition-profile to weight the partitioner by measured event counts.
+--checkpoint-every writes sealed <label>-t<ps>.snap.json snapshots (default
+dir `checkpoints/`) whose canonical state hashes land in the manifest;
+`sst experiment pdes --checkpoint-every ...` checkpoints the scaling study
+(all its engines must agree on every hash)."
     );
     // Usage errors (unknown flags, bad values) exit with code 2.
     ExitCode::from(2)
@@ -68,8 +79,17 @@ fn main() -> ExitCode {
             ranks,
             partition,
             telemetry,
+            checkpoint,
         } => cmd_experiment(
-            &args, &id, quick, json, fidelity, ranks, &partition, &telemetry,
+            &args,
+            &id,
+            quick,
+            json,
+            fidelity,
+            ranks,
+            &partition,
+            &telemetry,
+            &checkpoint,
         ),
         Cmd::Run {
             config,
@@ -77,7 +97,23 @@ fn main() -> ExitCode {
             ranks,
             partition,
             telemetry,
-        } => cmd_run(&args, &config, until_ms, ranks, &partition, &telemetry),
+            checkpoint,
+        } => cmd_run(
+            &args,
+            &config,
+            until_ms,
+            ranks,
+            &partition,
+            &telemetry,
+            &checkpoint,
+        ),
+        Cmd::Restore {
+            snapshot,
+            until_ms,
+            ranks,
+            telemetry,
+            checkpoint,
+        } => cmd_restore(&args, &snapshot, until_ms, ranks, &telemetry, &checkpoint),
         Cmd::ValidateTrace { trace, chrome } => cmd_validate_trace(&trace, chrome.as_deref()),
         Cmd::ListComponents => {
             for (name, desc) in full_registry().list() {
@@ -110,14 +146,23 @@ fn cmd_experiment(
     ranks: Option<u32>,
     partition: &PartitionCliOpts,
     tel: &TelemetryCliOpts,
+    checkpoint: &CheckpointCliOpts,
 ) -> ExitCode {
-    if (ranks.is_some() || partition.any()) && id != "pdes" {
+    if (ranks.is_some() || partition.any() || checkpoint.any()) && id != "pdes" {
         eprintln!(
-            "--ranks/--partition/--partition-profile only apply to the `pdes` \
-             scaling study (the figure experiments run serial engines); got `{id}`"
+            "--ranks/--partition/--partition-profile/--checkpoint-every only \
+             apply to the `pdes` scaling study (the figure experiments run \
+             serial engines); got `{id}`"
         );
         return ExitCode::FAILURE;
     }
+    let plan = match checkpoint_plan(checkpoint) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let profile = match &partition.profile {
         Some(path) => match load_partition_profile(path) {
             Ok(p) => Some(p),
@@ -132,6 +177,7 @@ fn cmd_experiment(
         ranks,
         partition: partition.strategy,
         profile,
+        checkpoint: plan.clone(),
     };
     let spec = match TelemetrySpec::new(tel.to_options()) {
         Ok(s) => s,
@@ -179,7 +225,23 @@ fn cmd_experiment(
             }
         }
     }
-    finish_telemetry(&spec, tel, partition, args, fidelity, quick)
+    let (checkpoints, final_hash) = plan_records(&plan);
+    if let Some(h) = &final_hash {
+        eprintln!(
+            "[sst] final state hash {h} ({} checkpoint file(s))",
+            checkpoints.len()
+        );
+    }
+    finish_telemetry(
+        &spec,
+        tel,
+        partition,
+        args,
+        fidelity,
+        quick,
+        checkpoints,
+        final_hash,
+    )
 }
 
 fn cmd_run(
@@ -189,6 +251,7 @@ fn cmd_run(
     ranks: u32,
     partition: &PartitionCliOpts,
     tel: &TelemetryCliOpts,
+    checkpoint: &CheckpointCliOpts,
 ) -> ExitCode {
     let text = match std::fs::read_to_string(config) {
         Ok(t) => t,
@@ -240,10 +303,38 @@ fn cmd_run(
         Some(ms) => RunLimit::Until(SimTime::ms(ms)),
         None => RunLimit::Exhaust,
     };
+    let plan = match checkpoint_plan(checkpoint) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The rebuild recipe travels inside every snapshot, so `sst restore`
+    // needs no access to the original config file.
+    let origin = ConfigOrigin {
+        kind: CONFIG_ORIGIN_KIND.to_string(),
+        config: cfg.to_value(),
+        until_ms,
+        ranks,
+    }
+    .to_value();
     let report = if ranks > 1 {
-        ParallelEngine::with_telemetry(builder, ranks, spec.labeled("run")).run(limit)
+        let eng = ParallelEngine::with_telemetry(builder, ranks, spec.labeled("run"));
+        match &plan {
+            Some(pl) => eng.run_with_checkpoints(limit, Some(pl.every), Some(&origin), &mut |s| {
+                pl.store("run", &s)
+            }),
+            None => eng.run(limit),
+        }
     } else {
-        Engine::with_telemetry(builder, spec.labeled("run")).run(limit)
+        let eng = Engine::with_telemetry(builder, spec.labeled("run"));
+        match &plan {
+            Some(pl) => eng.run_with_checkpoints(limit, Some(pl.every), Some(&origin), &mut |s| {
+                pl.store("run", &s)
+            }),
+            None => eng.run(limit),
+        }
     };
     println!(
         "simulated {} ({} events, {} clock ticks, {} ranks, {:.1}k events/s)",
@@ -254,7 +345,209 @@ fn cmd_run(
         report.events_per_sec() / 1e3
     );
     println!("{}", report.stats);
-    finish_telemetry(&spec, tel, partition, args, Fidelity::Des, false)
+    if let (Some(pl), Some(h)) = (&plan, &report.final_state_hash) {
+        pl.note_final("run", h);
+    }
+    if let Some(h) = &report.final_state_hash {
+        println!("final state hash {h}");
+    }
+    let (checkpoints, final_hash) = plan_records(&plan);
+    finish_telemetry(
+        &spec,
+        tel,
+        partition,
+        args,
+        Fidelity::Des,
+        false,
+        checkpoints,
+        final_hash,
+    )
+}
+
+/// `origin.kind` tag of `sst run` snapshots.
+const CONFIG_ORIGIN_KIND: &str = "config";
+
+/// Rebuild recipe stamped into `sst run` snapshots: the parsed config
+/// document itself plus the run shape.
+#[derive(Serialize, Deserialize)]
+struct ConfigOrigin {
+    kind: String,
+    config: Value,
+    #[serde(default)]
+    until_ms: Option<u64>,
+    ranks: u32,
+}
+
+/// Lower the checkpoint flags into a [`CheckpointPlan`], creating the
+/// snapshot directory.
+fn checkpoint_plan(c: &CheckpointCliOpts) -> Result<Option<CheckpointPlan>, String> {
+    let Some(every) = c.every() else {
+        return Ok(None);
+    };
+    let dir = c
+        .dir
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("checkpoints"));
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| format!("cannot create checkpoint dir {}: {e}", dir.display()))?;
+    Ok(Some(CheckpointPlan::new(every, dir)))
+}
+
+/// Manifest rows + agreed final hash out of an optional plan.
+fn plan_records(plan: &Option<CheckpointPlan>) -> (Vec<CheckpointEntry>, Option<String>) {
+    plan.as_ref().map(|p| p.take_records()).unwrap_or_default()
+}
+
+/// Resume a run from a snapshot written by `cmd_run` or the pdes study,
+/// dispatching on the snapshot's embedded origin recipe.
+fn cmd_restore(
+    args: &[String],
+    snapshot: &Path,
+    until_ms: Option<u64>,
+    ranks: Option<u32>,
+    tel: &TelemetryCliOpts,
+    checkpoint: &CheckpointCliOpts,
+) -> ExitCode {
+    let text = match std::fs::read_to_string(snapshot) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", snapshot.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let snap = match Snapshot::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{}: not a snapshot: {e}", snapshot.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(origin) = snap.origin.clone() else {
+        eprintln!(
+            "{}: snapshot carries no origin recipe — it was captured \
+             programmatically; rebuild the system and use the engine restore \
+             API instead",
+            snapshot.display()
+        );
+        return ExitCode::FAILURE;
+    };
+    let kind = origin.get("kind").and_then(Value::as_str).unwrap_or("");
+    let (builder, limit, run_ranks) = match kind {
+        CONFIG_ORIGIN_KIND => {
+            let o = match ConfigOrigin::from_value(&origin) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("{}: malformed config origin: {e}", snapshot.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            let cfg = match SystemConfig::from_value(&o.config) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("{}: malformed embedded config: {e}", snapshot.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            let builder = match cfg.build(&full_registry()) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("cannot rebuild system: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let limit = match until_ms.or(o.until_ms) {
+                Some(ms) => RunLimit::Until(SimTime::ms(ms)),
+                None => RunLimit::Exhaust,
+            };
+            (builder, limit, ranks.unwrap_or(o.ranks))
+        }
+        pdes::ORIGIN_KIND => {
+            let o = match pdes::PdesOrigin::from_value(&origin) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("{}: malformed pdes origin: {e}", snapshot.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            let p = pdes::params_from_origin(&o);
+            let limit = match until_ms {
+                Some(ms) => RunLimit::Until(SimTime::ms(ms)),
+                None => RunLimit::Exhaust,
+            };
+            (pdes::build(&p), limit, ranks.unwrap_or(1))
+        }
+        other => {
+            eprintln!("{}: unknown origin kind `{other}`", snapshot.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match TelemetrySpec::new(tel.to_options()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open telemetry output: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let plan = match checkpoint_plan(checkpoint) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Always run the hash-carrying variant: a restored run exists to be
+    // compared against its uninterrupted twin.
+    let every = plan.as_ref().map(|p| p.every);
+    let mut sink = |s: Snapshot| {
+        if let Some(pl) = &plan {
+            pl.store("restore", &s);
+        }
+    };
+    let report = if run_ranks > 1 {
+        ParallelEngine::with_telemetry(builder, run_ranks, spec.labeled("restore"))
+            .restore(&snap)
+            .run_with_checkpoints(limit, every, Some(&origin), &mut sink)
+    } else {
+        Engine::restore(builder, spec.labeled("restore"), &snap).run_with_checkpoints(
+            limit,
+            every,
+            Some(&origin),
+            &mut sink,
+        )
+    };
+    println!(
+        "resumed {} at {} (state hash {})",
+        snapshot.display(),
+        SimTime::ps(snap.time_ps),
+        snap.state_hash
+    );
+    println!(
+        "simulated {} ({} events, {} clock ticks, {} ranks, {:.1}k events/s)",
+        report.end_time,
+        report.events,
+        report.clock_ticks,
+        report.ranks,
+        report.events_per_sec() / 1e3
+    );
+    println!("{}", report.stats);
+    if let (Some(pl), Some(h)) = (&plan, &report.final_state_hash) {
+        pl.note_final("restore", h);
+    }
+    if let Some(h) = &report.final_state_hash {
+        println!("final state hash {h}");
+    }
+    let (checkpoints, plan_hash) = plan_records(&plan);
+    let final_hash = plan_hash.or_else(|| report.final_state_hash.clone());
+    finish_telemetry(
+        &spec,
+        tel,
+        &PartitionCliOpts::default(),
+        args,
+        Fidelity::Des,
+        false,
+        checkpoints,
+        final_hash,
+    )
 }
 
 /// Read a `<base>.profile.json` dump written by an earlier `--profile` run
@@ -278,6 +571,7 @@ fn load_partition_profile(path: &Path) -> Result<EngineProfile, String> {
 /// Flush telemetry output, print collected profiles, and write the stats
 /// series plus the run manifest next to the trace (or under `sst_run.*`
 /// when no trace path was given).
+#[allow(clippy::too_many_arguments)]
 fn finish_telemetry(
     spec: &TelemetrySpec,
     tel: &TelemetryCliOpts,
@@ -285,6 +579,8 @@ fn finish_telemetry(
     args: &[String],
     fidelity: Fidelity,
     quick: bool,
+    checkpoints: Vec<CheckpointEntry>,
+    final_state_hash: Option<String>,
 ) -> ExitCode {
     let summary = match spec.finish() {
         Ok(Some(s)) => s,
@@ -345,6 +641,8 @@ fn finish_telemetry(
         partition: partition.strategy.map(|s| s.to_string()),
         partition_profile: partition.profile.as_ref().map(|p| p.display().to_string()),
         profile_path: profile_path.as_ref().map(|p| p.display().to_string()),
+        checkpoints,
+        final_state_hash,
     };
     let manifest_path = with_ext(&base, "manifest.json");
     let json = manifest.to_value().to_json_string_pretty();

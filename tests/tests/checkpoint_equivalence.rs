@@ -1,0 +1,446 @@
+//! Differential checkpoint/restore guarantees: interrupting a run at any
+//! snapshot boundary and resuming — on the serial engine or on a parallel
+//! engine with a different rank count — must reproduce the uninterrupted
+//! run bit-exactly: same `SimReport`, same final state hash, same trace
+//! suffix. Also the satellite regression: two identical runs write
+//! byte-identical snapshot documents at every checkpoint (no container
+//! iteration order may leak into the bytes), and a drop-counting boxed
+//! payload proves the encode/decode path neither leaks nor double-drops
+//! in-queue events across a restore.
+
+use proptest::prelude::*;
+use sst_core::prelude::*;
+use sst_core::telemetry::TelemetryOptions;
+use sst_cpu::components::CoreComponent;
+use sst_cpu::isa::{AddrPattern, KernelSpec};
+use sst_mem::components::{CacheComponent, MemoryComponent};
+use sst_mem::{CacheConfig, DramConfig};
+use sst_sim::experiments::pdes;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Mutex;
+
+/// Everything in a report except machine-dependent fields (wall clock) and
+/// run-shape fields (ranks/epochs), with stats sorted by key, plus the
+/// sealed final state hash. Bit-exact: floats go through their JSON
+/// rendering unrounded.
+fn fingerprint(report: &SimReport) -> (SimTime, u64, u64, Vec<String>, Option<String>) {
+    let mut stats: Vec<String> = report
+        .stats
+        .stats
+        .iter()
+        .map(|s| serde_json::to_string(s).expect("stat serializes"))
+        .collect();
+    stats.sort();
+    (
+        report.end_time,
+        report.events,
+        report.clock_ticks,
+        stats,
+        report.final_state_hash.clone(),
+    )
+}
+
+fn pdes_params() -> pdes::Params {
+    let mut p = pdes::Params::quick();
+    p.side = 6;
+    p.tokens_per_node = 3;
+    p.ttl = 40;
+    p
+}
+
+const EVERY: SimTime = SimTime(200_000); // 200 ns of simulated time
+
+/// Run the pdes torus uninterrupted on the serial engine, capturing every
+/// `every`-aligned snapshot along the way.
+fn serial_baseline(p: &pdes::Params, every: SimTime) -> (SimReport, Vec<Snapshot>) {
+    let mut snaps = Vec::new();
+    let report = Engine::with_telemetry(pdes::build(p), TelemetrySpec::disabled())
+        .run_with_checkpoints(RunLimit::Exhaust, Some(every), None, &mut |s| snaps.push(s));
+    (report, snaps)
+}
+
+#[test]
+fn serial_restore_is_bit_identical_at_every_checkpoint() {
+    let p = pdes_params();
+    let (baseline, snaps) = serial_baseline(&p, EVERY);
+    assert!(
+        snaps.len() >= 3,
+        "workload too short to checkpoint: {} snapshot(s)",
+        snaps.len()
+    );
+    for snap in &snaps {
+        let resumed = Engine::restore(pdes::build(&p), TelemetrySpec::disabled(), snap)
+            .run_with_checkpoints(RunLimit::Exhaust, None, None, &mut |_| {});
+        assert_eq!(
+            fingerprint(&resumed),
+            fingerprint(&baseline),
+            "restore from t={} diverged",
+            snap.time_ps
+        );
+    }
+}
+
+#[test]
+fn cross_engine_restore_matches_serial() {
+    let p = pdes_params();
+    let (baseline, snaps) = serial_baseline(&p, EVERY);
+    let mid = &snaps[snaps.len() / 2];
+
+    // A serial-captured snapshot resumes on parallel engines of any shape.
+    for ranks in [2, 4] {
+        let resumed = ParallelEngine::new(pdes::build(&p), ranks)
+            .restore(mid)
+            .run_with_checkpoints(RunLimit::Exhaust, None, None, &mut |_| {});
+        assert_eq!(
+            fingerprint(&resumed),
+            fingerprint(&baseline),
+            "{ranks}-rank restore from t={} diverged",
+            mid.time_ps
+        );
+    }
+
+    // And a parallel-captured snapshot resumes on the serial engine.
+    let mut par_snaps = Vec::new();
+    let par = ParallelEngine::new(pdes::build(&p), 2).run_with_checkpoints(
+        RunLimit::Exhaust,
+        Some(EVERY),
+        None,
+        &mut |s| par_snaps.push(s),
+    );
+    assert_eq!(fingerprint(&par), fingerprint(&baseline));
+    let resumed = Engine::restore(
+        pdes::build(&p),
+        TelemetrySpec::disabled(),
+        &par_snaps[par_snaps.len() / 2],
+    )
+    .run_with_checkpoints(RunLimit::Exhaust, None, None, &mut |_| {});
+    assert_eq!(fingerprint(&resumed), fingerprint(&baseline));
+}
+
+/// Satellite regression for the hash-stability sweep: identical runs must
+/// write byte-identical snapshot documents at every checkpoint — across
+/// reruns (allocator state, HashMap seeds) and across engines (stats
+/// registration order vs canonical order).
+#[test]
+fn snapshot_bytes_are_stable_across_reruns_and_engines() {
+    let p = pdes_params();
+    let (_, a) = serial_baseline(&p, EVERY);
+    let (_, b) = serial_baseline(&p, EVERY);
+    let render = |snaps: &[Snapshot]| -> Vec<(u64, String)> {
+        snaps
+            .iter()
+            .map(|s| (s.time_ps, s.to_json_pretty()))
+            .collect()
+    };
+    assert_eq!(render(&a), render(&b), "rerun changed the snapshot bytes");
+
+    let mut par_snaps = Vec::new();
+    ParallelEngine::new(pdes::build(&p), 2).run_with_checkpoints(
+        RunLimit::Exhaust,
+        Some(EVERY),
+        None,
+        &mut |s| par_snaps.push(s),
+    );
+    assert_eq!(
+        render(&a),
+        render(&par_snaps),
+        "parallel capture bytes differ from serial"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// A cpu+mem DES node: clocked core, cache, DRAM — RNG streams, MSHR maps,
+// bank state, and stream cursors all have to survive the round trip.
+
+fn cpu_mem_node(iters: u64) -> SystemBuilder {
+    let spec = KernelSpec {
+        label: "k".into(),
+        iters,
+        loads: 2,
+        stores: 1,
+        flops: 4,
+        ialu: 2,
+        flop_dep: 0,
+        load_pattern: AddrPattern::Stream {
+            base: 0,
+            stride: 64,
+            span: 16 << 10,
+        },
+        store_pattern: AddrPattern::Stream {
+            base: 1 << 30,
+            stride: 64,
+            span: 16 << 10,
+        },
+        mispredict_every: 0,
+        seed: 9,
+    };
+    let mut b = SystemBuilder::new();
+    let cpu = b.add(
+        "cpu0",
+        CoreComponent::new(Box::new(spec.stream()), Frequency::ghz(2.0), 4),
+    );
+    let l1 = b.add(
+        "l1",
+        CacheComponent::new(CacheConfig::l1d_32k(), SimTime::ns(1)),
+    );
+    let mem = b.add("mem", MemoryComponent::new(DramConfig::ddr3_1333(2)));
+    b.link(
+        (cpu, CoreComponent::MEM),
+        (l1, CacheComponent::CPU),
+        SimTime::ns(1),
+    );
+    b.link(
+        (l1, CacheComponent::MEM),
+        (mem, MemoryComponent::BUS),
+        SimTime::ns(4),
+    );
+    b
+}
+
+#[test]
+fn cpu_mem_node_restores_bit_identically() {
+    let every = SimTime::us(1);
+    let mut snaps = Vec::new();
+    let baseline = Engine::with_telemetry(cpu_mem_node(800), TelemetrySpec::disabled())
+        .run_with_checkpoints(RunLimit::Exhaust, Some(every), None, &mut |s| snaps.push(s));
+    assert!(snaps.len() >= 2, "workload too short: {}", snaps.len());
+    for snap in &snaps {
+        let resumed = Engine::restore(cpu_mem_node(800), TelemetrySpec::disabled(), snap)
+            .run_with_checkpoints(RunLimit::Exhaust, None, None, &mut |_| {});
+        assert_eq!(
+            fingerprint(&resumed),
+            fingerprint(&baseline),
+            "cpu+mem restore from t={} diverged",
+            snap.time_ps
+        );
+    }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sst_ckpt_{}_{name}", std::process::id()));
+    p
+}
+
+fn trace_spec(path: &std::path::Path) -> TelemetrySpec {
+    TelemetrySpec::new(TelemetryOptions {
+        trace_path: Some(path.to_path_buf()),
+        ..Default::default()
+    })
+    .expect("trace files open")
+}
+
+/// Trace records with a sim-time strictly past `t_ps`. Everything written
+/// after the checkpoint instant carries a later timestamp (records are
+/// stamped with `now` at write time), so this is exactly the suffix a
+/// restored run must reproduce.
+fn trace_after(path: &std::path::Path, t_ps: u64) -> Vec<String> {
+    let text = std::fs::read_to_string(path).expect("trace readable");
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter(|l| {
+            let v: serde_json::Value = serde_json::from_str(l).expect("trace line parses");
+            v.get("t")
+                .and_then(serde_json::Value::as_u64)
+                .expect("t field")
+                > t_ps
+        })
+        .map(String::from)
+        .collect()
+}
+
+#[test]
+fn restored_trace_is_the_exact_suffix_of_the_uninterrupted_trace() {
+    let full_path = tmp("full.jsonl");
+    let rest_path = tmp("rest.jsonl");
+
+    let mut snaps = Vec::new();
+    let full_spec = trace_spec(&full_path);
+    let baseline = Engine::with_telemetry(cpu_mem_node(400), full_spec.labeled("node"))
+        .run_with_checkpoints(RunLimit::Exhaust, Some(SimTime::us(1)), None, &mut |s| {
+            snaps.push(s)
+        });
+    full_spec.finish().unwrap();
+    assert!(snaps.len() >= 2);
+    let mid = &snaps[snaps.len() / 2];
+
+    let rest_spec = trace_spec(&rest_path);
+    let resumed = Engine::restore(cpu_mem_node(400), rest_spec.labeled("node"), mid)
+        .run_with_checkpoints(RunLimit::Exhaust, None, None, &mut |_| {});
+    rest_spec.finish().unwrap();
+    assert_eq!(fingerprint(&resumed), fingerprint(&baseline));
+
+    let suffix = trace_after(&full_path, mid.time_ps);
+    let restored = trace_after(&rest_path, 0);
+    assert!(!suffix.is_empty(), "checkpoint fell after the last record");
+    assert_eq!(
+        restored, suffix,
+        "restored trace is not the byte-exact suffix of the uninterrupted one"
+    );
+
+    for p in [&full_path, &rest_path] {
+        std::fs::remove_file(p).ok();
+        std::fs::remove_file(sst_core::telemetry::chrome_trace_path(p)).ok();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Drop accounting across encode/decode: a boxed (oversized) payload with a
+// population counter proves a checkpointed queue neither leaks nor
+// double-drops — including the fresh initial events a restore discards.
+
+static LIVE: AtomicI64 = AtomicI64::new(0);
+static DROP_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+/// 40 bytes — past the 24-byte inline boundary, so it rides the boxed path.
+#[derive(Debug)]
+struct BigTok {
+    hops: u64,
+    value: u64,
+    pad: (u64, u64, u64),
+}
+
+impl BigTok {
+    fn new(hops: u64, value: u64) -> BigTok {
+        LIVE.fetch_add(1, Ordering::SeqCst);
+        BigTok {
+            hops,
+            value,
+            pad: (value ^ 0x5A5A, value ^ 0xA5A5, 0x42),
+        }
+    }
+}
+
+impl Drop for BigTok {
+    fn drop(&mut self) {
+        LIVE.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+// Hand-written codec impls so deserialization funnels through `new` and the
+// population count stays balanced (a derive would construct fields
+// directly, bypassing the counter).
+impl serde::Serialize for BigTok {
+    fn to_value(&self) -> serde::Value {
+        (self.hops, self.value).to_value()
+    }
+}
+
+impl serde::Deserialize for BigTok {
+    fn from_value(v: &serde::Value) -> Result<BigTok, serde::Error> {
+        let (hops, value) = <(u64, u64)>::from_value(v)?;
+        Ok(BigTok::new(hops, value))
+    }
+}
+
+struct BigNode {
+    inject: u32,
+    hops: u64,
+    seen: Option<StatId>,
+}
+
+impl Component for BigNode {
+    fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+        register_payload::<BigTok>("test.bigtok");
+        self.seen = Some(ctx.stat_counter("seen"));
+        for i in 0..self.inject {
+            ctx.send(PortId(0), BigTok::new(self.hops, i as u64 + 1));
+        }
+    }
+
+    fn on_event(&mut self, _port: PortId, payload: PayloadSlot, ctx: &mut SimCtx<'_>) {
+        let tok = downcast::<BigTok>(payload);
+        debug_assert_eq!(tok.pad.0, tok.value ^ 0x5A5A, "boxed bytes corrupted");
+        ctx.add_stat(self.seen.unwrap(), 1);
+        if tok.hops > 0 {
+            ctx.send(PortId(0), BigTok::new(tok.hops - 1, tok.value));
+        }
+    }
+}
+
+fn big_ring(n: usize, inject: u32, hops: u64) -> SystemBuilder {
+    let mut b = SystemBuilder::new();
+    let ids: Vec<ComponentId> = (0..n)
+        .map(|i| {
+            b.add(
+                format!("big{i}"),
+                BigNode {
+                    inject,
+                    hops,
+                    seen: None,
+                },
+            )
+        })
+        .collect();
+    for i in 0..n {
+        b.link(
+            (ids[i], PortId(0)),
+            (ids[(i + 1) % n], PortId(1)),
+            SimTime::ns(7),
+        );
+    }
+    b
+}
+
+#[test]
+fn boxed_payloads_drop_exactly_once_across_restore() {
+    let _guard = DROP_TEST_LOCK.lock().unwrap();
+    LIVE.store(0, Ordering::SeqCst);
+
+    let mut snaps = Vec::new();
+    let baseline = Engine::with_telemetry(big_ring(5, 3, 60), TelemetrySpec::disabled())
+        .run_with_checkpoints(RunLimit::Exhaust, Some(SimTime::ns(100)), None, &mut |s| {
+            snaps.push(s)
+        });
+    assert_eq!(
+        LIVE.load(Ordering::SeqCst),
+        0,
+        "checkpointed run leaked or double-dropped"
+    );
+    assert!(snaps.len() >= 2);
+    let mid = snaps[snaps.len() / 2].clone();
+    assert!(
+        !mid.queue.is_empty(),
+        "mid-run snapshot should hold in-flight tokens"
+    );
+    drop(snaps);
+
+    let resumed = Engine::restore(big_ring(5, 3, 60), TelemetrySpec::disabled(), &mid)
+        .run_with_checkpoints(RunLimit::Exhaust, None, None, &mut |_| {});
+    drop(mid);
+    assert_eq!(
+        LIVE.load(Ordering::SeqCst),
+        0,
+        "restored run leaked or double-dropped"
+    );
+    assert_eq!(fingerprint(&resumed), fingerprint(&baseline));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random checkpoint cadence, random workload shape: restoring from any
+    /// boundary reproduces the uninterrupted run, serial and 2-rank alike.
+    #[test]
+    fn restore_equivalence_holds_for_random_cadences(
+        every_ns in 50u64..2_000,
+        side in 4u32..7,
+        ttl in 10u32..60,
+    ) {
+        let mut p = pdes_params();
+        p.side = side;
+        p.ttl = ttl;
+        let every = SimTime::ns(every_ns);
+        let (baseline, snaps) = serial_baseline(&p, every);
+        if let Some(snap) = snaps.last() {
+            let serial = Engine::restore(pdes::build(&p), TelemetrySpec::disabled(), snap)
+                .run_with_checkpoints(RunLimit::Exhaust, None, None, &mut |_| {});
+            prop_assert_eq!(fingerprint(&serial), fingerprint(&baseline));
+            let par = ParallelEngine::new(pdes::build(&p), 2)
+                .restore(snap)
+                .run_with_checkpoints(RunLimit::Exhaust, None, None, &mut |_| {});
+            prop_assert_eq!(fingerprint(&par), fingerprint(&baseline));
+        }
+    }
+}
