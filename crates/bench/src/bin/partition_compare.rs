@@ -241,6 +241,8 @@ fn main() {
         rank_counts: vec![],
         telemetry: TelemetrySpec::disabled(),
         partition: Default::default(),
+        transport: Default::default(),
+        sync: Default::default(),
         profile: None,
         checkpoint: None,
     };

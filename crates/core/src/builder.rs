@@ -119,19 +119,41 @@ impl SystemBuilder {
         comp: impl Component + 'static,
         rank: u32,
     ) -> ComponentId {
+        self.add_boxed(name.into(), Box::new(comp), rank)
+    }
+
+    /// Add an already-boxed component (the [`LazySystem`] materialization
+    /// path, where components arrive as trait objects).
+    pub fn add_boxed(&mut self, name: String, comp: Box<dyn Component>, rank: u32) -> ComponentId {
         let id = ComponentId(self.comps.len() as u32);
-        let name = name.into();
         assert!(
             !self.comps.iter().any(|c| c.name == name),
             "duplicate component name `{name}`"
         );
         self.comps.push(CompSpec {
             name,
-            comp: Box::new(comp),
+            comp,
             rank,
             weight: 1,
         });
         id
+    }
+
+    /// Eagerly materialize a [`LazySystem`] into a regular builder. This
+    /// deliberately defeats the streaming construction path (O(n) boxed
+    /// components and links are built up front), so it is only suitable for
+    /// small instances — its purpose is differential testing: a lazy build
+    /// and the materialized build of the same topology must be bit-identical.
+    pub fn materialize(sys: &dyn LazySystem) -> SystemBuilder {
+        let mut b = SystemBuilder::new();
+        b.seed(sys.seed());
+        for i in 0..sys.component_count() {
+            b.add_boxed(sys.component_name(i), sys.create(i), AUTO_RANK);
+        }
+        sys.for_each_link(&mut |l| {
+            b.link(l.a, l.b, l.latency);
+        });
+        b
     }
 
     /// Connect two ports with a bidirectional link of the given latency.
@@ -304,6 +326,108 @@ impl SystemBuilder {
         }
         m
     }
+}
+
+/// One undirected link streamed out of a [`LazySystem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LazyLink {
+    pub a: (ComponentId, PortId),
+    pub b: (ComponentId, PortId),
+    pub latency: SimTime,
+}
+
+/// A system described *generatively* instead of stored.
+///
+/// A [`SystemBuilder`] holds every boxed component and link in memory, which
+/// caps it well short of the 10⁵–10⁶-component graphs the parallel engine is
+/// meant to host. A `LazySystem` instead computes names, components, and
+/// links on demand from the topology parameters: construction streams each
+/// component once (straight into its owning rank's dense slot table) and
+/// each link once, so peak memory is proportional to the *local* partition,
+/// not the whole graph.
+///
+/// Determinism contract: ids are dense `0..component_count()`, and
+/// `component_name`/`create` must be pure functions of the index so that a
+/// lazy build, a [`SystemBuilder::materialize`] build, and a serial run all
+/// produce bit-identical simulations (per-component RNG streams are seeded
+/// from `seed()` and the index, exactly like the eager path). Lazy systems
+/// have no clocks: components drive themselves with initial events.
+pub trait LazySystem {
+    /// Total number of components in the topology.
+    fn component_count(&self) -> u32;
+    /// Unique, stable instance name for component `i`.
+    fn component_name(&self, i: u32) -> String;
+    /// Construct component `i`.
+    fn create(&self, i: u32) -> Box<dyn Component>;
+    /// Stream every undirected link exactly once.
+    fn for_each_link(&self, f: &mut dyn FnMut(LazyLink));
+    /// Topology-aware rank placement (default: contiguous block split, which
+    /// matches [`PartitionStrategy::Block`] on the eager path).
+    fn rank_of(&self, i: u32, n_ranks: u32) -> u32 {
+        let n = self.component_count() as u64;
+        let per = n.div_ceil(n_ranks as u64).max(1);
+        ((i as u64 / per) as u32).min(n_ranks - 1)
+    }
+    /// Global RNG seed (defaults to the builder's fixed constant).
+    fn seed(&self) -> u64 {
+        0xC0DE_5EED
+    }
+}
+
+/// Cross-rank metrics for a lazy system, from one pass over the link
+/// stream: global minimum lookahead, the per-pair lookahead matrix, and a
+/// [`PartitionSummary`] (weight 1 per component — lazy systems carry no
+/// profile weights).
+pub(crate) fn lazy_partition_metrics(
+    sys: &dyn LazySystem,
+    ranks: &[u32],
+    n_ranks: u32,
+) -> (Option<SimTime>, Vec<Vec<Option<SimTime>>>, PartitionSummary) {
+    let n = n_ranks as usize;
+    let mut pair_la = vec![vec![None; n]; n];
+    let mut lookahead: Option<SimTime> = None;
+    let mut cut_links = 0u64;
+    let mut total_links = 0u64;
+    let mut weighted_cut = 0u64;
+    let mut total_edge_weight = 0u64;
+    sys.for_each_link(&mut |l| {
+        let ra = ranks[l.a.0 .0 as usize] as usize;
+        let rb = ranks[l.b.0 .0 as usize] as usize;
+        let cost = partition::edge_cost(l.latency);
+        total_links += 1;
+        total_edge_weight = total_edge_weight.saturating_add(cost);
+        if ra != rb {
+            cut_links += 1;
+            weighted_cut = weighted_cut.saturating_add(cost);
+            if lookahead.is_none_or(|cur| l.latency < cur) {
+                lookahead = Some(l.latency);
+            }
+            for (x, y) in [(ra, rb), (rb, ra)] {
+                let cell: &mut Option<SimTime> = &mut pair_la[x][y];
+                if cell.is_none_or(|cur| l.latency < cur) {
+                    *cell = Some(l.latency);
+                }
+            }
+        }
+    });
+    let mut rank_components = vec![0u64; n];
+    for &r in ranks {
+        rank_components[r as usize] += 1;
+    }
+    let summary = PartitionSummary {
+        strategy: "topology".to_string(),
+        n_ranks,
+        components: ranks.len() as u64,
+        cut_links,
+        total_links,
+        weighted_cut,
+        total_edge_weight,
+        min_lookahead_ps: lookahead.map(|t| t.as_ps()),
+        rank_loads: rank_components.clone(),
+        rank_components,
+        assignments: ranks.to_vec(),
+    };
+    (lookahead, pair_la, summary)
 }
 
 #[cfg(test)]

@@ -89,6 +89,9 @@ pub trait EventSink {
 
 /// Everything owned by the engine on behalf of one component.
 pub(crate) struct Slot {
+    /// Global component id (slots are stored densely per rank, so the index
+    /// into the slot table is *not* the id).
+    pub id: ComponentId,
     pub name: String,
     pub comp: Option<Box<dyn Component>>,
     pub rng: SmallRng,

@@ -97,8 +97,13 @@ pub(crate) struct ClockState {
 
 /// Component state container plus the delivery state machine.
 pub(crate) struct Kernel {
-    /// Sparse by `ComponentId`: `None` for components owned by other ranks.
-    pub slots: Vec<Option<Slot>>,
+    /// Global `ComponentId` → index into `slots`; `u32::MAX` marks
+    /// components owned by other ranks. Four bytes per component per rank
+    /// instead of a full (mostly `None`) `Option<Slot>`, which is what makes
+    /// 10⁵–10⁶-component systems across tens of ranks feasible.
+    slot_index: Vec<u32>,
+    /// Densely packed slots for locally owned components only.
+    pub slots: Vec<Slot>,
     pub stats: StatsRegistry,
     pub clocks: Vec<ClockState>,
     pub now: SimTime,
@@ -113,10 +118,31 @@ pub(crate) struct Kernel {
 }
 
 impl Kernel {
-    /// Build the kernel for `my_rank`, keeping only locally owned components.
-    /// (`my_rank = 0` with `ranks` all zero builds the serial kernel.)
-    pub fn from_builder(builder: SystemBuilder, ranks: &[u32], my_rank: u32) -> Kernel {
+    /// An empty kernel shell: no local slots yet, every id mapped non-local.
+    fn empty(seed: u64, n_comps: usize) -> Kernel {
+        Kernel {
+            slot_index: vec![u32::MAX; n_comps],
+            slots: Vec::new(),
+            stats: StatsRegistry::new(),
+            clocks: Vec::new(),
+            now: SimTime::ZERO,
+            events: 0,
+            clock_ticks: 0,
+            seed,
+            tel: None,
+            resume_buf: Vec::new(),
+        }
+    }
+
+    /// Build one kernel per rank in a single pass over the system: the full
+    /// per-component link tables are computed once, then each boxed
+    /// component *moves* into its owning rank's kernel. No placeholder
+    /// components, no per-rank copies of the builder. Every kernel carries
+    /// the full clock table (clocks are indexed by global `ClockId`); only
+    /// the owning rank ever activates an entry.
+    pub fn build_all(builder: SystemBuilder, ranks: &[u32], n_ranks: u32) -> Vec<Kernel> {
         let n = builder.comps.len();
+        debug_assert_eq!(ranks.len(), n);
         // Per-component port link tables.
         let mut link_tables: Vec<Vec<Option<LinkEnd>>> = vec![Vec::new(); n];
         let mut set_end = |from: (ComponentId, crate::event::PortId),
@@ -140,43 +166,92 @@ impl Kernel {
         }
 
         let seed = builder.seed;
-        let mut slots: Vec<Option<Slot>> = Vec::with_capacity(n);
+        let mut kernels: Vec<Kernel> = (0..n_ranks).map(|_| Kernel::empty(seed, n)).collect();
+        for k in &mut kernels {
+            k.clocks = builder
+                .clocks
+                .iter()
+                .map(|c| ClockState {
+                    comp: c.comp,
+                    period: c.period,
+                    active: false,
+                })
+                .collect();
+        }
         for (i, (spec, table)) in builder.comps.into_iter().zip(link_tables).enumerate() {
-            if ranks[i] == my_rank {
-                slots.push(Some(Slot {
-                    name: spec.name,
-                    comp: Some(spec.comp),
-                    rng: component_rng(seed, i as u32),
-                    send_seq: 0,
-                    links: table,
-                    rank: my_rank,
-                }));
-            } else {
-                slots.push(None);
-            }
+            let k = &mut kernels[ranks[i] as usize];
+            k.slot_index[i] = k.slots.len() as u32;
+            k.slots.push(Slot {
+                id: ComponentId(i as u32),
+                name: spec.name,
+                comp: Some(spec.comp),
+                rng: component_rng(seed, i as u32),
+                send_seq: 0,
+                links: table,
+                rank: ranks[i],
+            });
         }
+        kernels
+    }
 
-        let clocks = builder
-            .clocks
-            .iter()
-            .map(|c| ClockState {
-                comp: c.comp,
-                period: c.period,
-                active: false,
-            })
-            .collect();
-
-        Kernel {
-            slots,
-            stats: StatsRegistry::new(),
-            clocks,
-            now: SimTime::ZERO,
-            events: 0,
-            clock_ticks: 0,
-            seed,
-            tel: None,
-            resume_buf: Vec::new(),
+    /// Build one kernel per rank from a [`LazySystem`], never materializing
+    /// an eager component/link `Vec` for the whole graph: components are
+    /// created one at a time straight into their owning rank's dense slot
+    /// table, and links are streamed once, wiring both endpoints in place.
+    /// Lazy systems have no clocks.
+    pub fn build_all_lazy(
+        sys: &dyn crate::builder::LazySystem,
+        ranks: &[u32],
+        n_ranks: u32,
+    ) -> Vec<Kernel> {
+        let n = sys.component_count() as usize;
+        debug_assert_eq!(ranks.len(), n);
+        let seed = sys.seed();
+        let mut kernels: Vec<Kernel> = (0..n_ranks).map(|_| Kernel::empty(seed, n)).collect();
+        for i in 0..n as u32 {
+            let k = &mut kernels[ranks[i as usize] as usize];
+            k.slot_index[i as usize] = k.slots.len() as u32;
+            k.slots.push(Slot {
+                id: ComponentId(i),
+                name: sys.component_name(i),
+                comp: Some(sys.create(i)),
+                rng: component_rng(seed, i),
+                send_seq: 0,
+                links: Vec::new(),
+                rank: ranks[i as usize],
+            });
         }
+        sys.for_each_link(&mut |l: crate::builder::LazyLink| {
+            assert!(
+                l.latency.as_ps() > 0,
+                "zero-latency links are not allowed (lookahead would vanish)"
+            );
+            assert!(l.a != l.b, "component {} linked a port to itself", l.a.0 .0);
+            let mut set = |from: (ComponentId, crate::event::PortId),
+                           to: (ComponentId, crate::event::PortId)| {
+                let k = &mut kernels[ranks[from.0 .0 as usize] as usize];
+                let sidx = k.slot_index[from.0 .0 as usize] as usize;
+                let slot = &mut k.slots[sidx];
+                let p = from.1 .0 as usize;
+                if slot.links.len() <= p {
+                    slot.links.resize(p + 1, None);
+                }
+                assert!(
+                    slot.links[p].is_none(),
+                    "port {p} of component `{}` is linked twice",
+                    slot.name
+                );
+                slot.links[p] = Some(LinkEnd {
+                    target: to.0,
+                    port: to.1,
+                    latency: l.latency,
+                    rank: ranks[to.0 .0 as usize],
+                });
+            };
+            set(l.a, l.b);
+            set(l.b, l.a);
+        });
+        kernels
     }
 
     /// Attach per-run telemetry state built from `spec`. `names` is the full
@@ -209,8 +284,10 @@ impl Kernel {
         (profile, series)
     }
 
-    fn is_local(&self, c: ComponentId) -> bool {
-        self.slots.get(c.0 as usize).is_some_and(|s| s.is_some())
+    pub(crate) fn is_local(&self, c: ComponentId) -> bool {
+        self.slot_index
+            .get(c.0 as usize)
+            .is_some_and(|&k| k != u32::MAX)
     }
 
     /// Capture every local component's state, sorted by name (the canonical
@@ -219,7 +296,6 @@ impl Kernel {
         let mut snaps: Vec<ComponentSnap> = self
             .slots
             .iter()
-            .flatten()
             .map(|slot| {
                 snapshot::component_snap(
                     &slot.name,
@@ -250,7 +326,7 @@ impl Kernel {
         let by_name: HashMap<&str, &ComponentSnap> =
             comps.iter().map(|c| (c.name.as_str(), c)).collect();
         let mut applied = 0;
-        for slot in self.slots.iter_mut().flatten() {
+        for slot in self.slots.iter_mut() {
             let Some(cs) = by_name.get(slot.name.as_str()) else {
                 panic!(
                     "snapshot has no state for component `{}`; \
@@ -281,9 +357,12 @@ impl Kernel {
             self.clocks.len(),
             "snapshot clock table does not match the rebuilt system"
         );
-        let slots = &self.slots;
+        let slot_index = &self.slot_index;
         for (clk, &f) in self.clocks.iter_mut().zip(flags) {
-            if slots.get(clk.comp.0 as usize).is_some_and(|s| s.is_some()) {
+            if slot_index
+                .get(clk.comp.0 as usize)
+                .is_some_and(|&k| k != u32::MAX)
+            {
                 clk.active = f;
             }
         }
@@ -291,11 +370,11 @@ impl Kernel {
 
     /// Schedule the first tick of every local clock.
     pub fn start_clocks(&mut self, sink: &mut dyn EventSink) {
+        let slot_index = &self.slot_index;
         for (i, clk) in self.clocks.iter_mut().enumerate() {
-            if self
-                .slots
+            if slot_index
                 .get(clk.comp.0 as usize)
-                .is_some_and(|s| s.is_some())
+                .is_some_and(|&k| k != u32::MAX)
             {
                 clk.active = true;
                 sink.push(clock_tick(clk, ClockId(i as u32), clk.period), u32::MAX);
@@ -306,13 +385,10 @@ impl Kernel {
     /// Run `setup` on every local component (at time zero).
     pub fn setup_all(&mut self, sink: &mut dyn EventSink) {
         let mut tel = self.tel.take();
-        for i in 0..self.slots.len() {
-            if self.slots[i].is_some() {
-                let tracer = tel.as_deref_mut().and_then(|t| t.tracer.as_mut());
-                self.with_ctx(ComponentId(i as u32), sink, tracer, |comp, ctx| {
-                    comp.setup(ctx)
-                });
-            }
+        for k in 0..self.slots.len() {
+            let id = self.slots[k].id;
+            let tracer = tel.as_deref_mut().and_then(|t| t.tracer.as_mut());
+            self.with_ctx(id, sink, tracer, |comp, ctx| comp.setup(ctx));
         }
         self.tel = tel;
     }
@@ -320,13 +396,10 @@ impl Kernel {
     /// Run `finish` on every local component.
     pub fn finish_all(&mut self, sink: &mut dyn EventSink) {
         let mut tel = self.tel.take();
-        for i in 0..self.slots.len() {
-            if self.slots[i].is_some() {
-                let tracer = tel.as_deref_mut().and_then(|t| t.tracer.as_mut());
-                self.with_ctx(ComponentId(i as u32), sink, tracer, |comp, ctx| {
-                    comp.finish(ctx)
-                });
-            }
+        for k in 0..self.slots.len() {
+            let id = self.slots[k].id;
+            let tracer = tel.as_deref_mut().and_then(|t| t.tracer.as_mut());
+            self.with_ctx(id, sink, tracer, |comp, ctx| comp.finish(ctx));
         }
         self.tel = tel;
     }
@@ -425,10 +498,11 @@ impl Kernel {
         tracer: Option<&mut Tracer>,
         f: impl FnOnce(&mut dyn crate::component::Component, &mut SimCtx<'_>) -> R,
     ) -> R {
-        let idx = id.0 as usize;
-        let slot = self.slots[idx]
-            .as_mut()
-            .unwrap_or_else(|| panic!("component {id} is not local"));
+        let idx = match self.slot_index.get(id.0 as usize) {
+            Some(&k) if k != u32::MAX => k as usize,
+            _ => panic!("component {id} is not local"),
+        };
+        let slot = &mut self.slots[idx];
         let mut comp = slot.comp.take().expect("re-entrant component delivery");
         let r = {
             let mut ctx = SimCtx {
@@ -446,7 +520,7 @@ impl Kernel {
             };
             f(comp.as_mut(), &mut ctx)
         };
-        self.slots[idx].as_mut().unwrap().comp = Some(comp);
+        self.slots[idx].comp = Some(comp);
 
         // Apply clock resumes outside the ctx borrow.
         while let Some(cid) = self.resume_buf.pop() {
@@ -524,7 +598,9 @@ impl<Q: SimQueue + EventSink> EngineOn<Q> {
         } else {
             Arc::new(Vec::new())
         };
-        let mut kernel = Kernel::from_builder(builder, &ranks, 0);
+        let mut kernel = Kernel::build_all(builder, &ranks, 1)
+            .pop()
+            .expect("serial build yields one kernel");
         kernel.attach_telemetry(&spec, names, false);
         EngineOn {
             kernel,

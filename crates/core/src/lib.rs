@@ -58,7 +58,7 @@ pub mod stats;
 pub mod telemetry;
 pub mod time;
 
-pub use builder::SystemBuilder;
+pub use builder::{LazyLink, LazySystem, SystemBuilder};
 pub use component::{ClockAction, Component, EventSink, SimCtx};
 pub use config::{ComponentRegistry, ConfigError, SystemConfig};
 pub use engine::{Engine, EngineOn, HeapEngine, RunLimit, SimReport};
@@ -66,7 +66,7 @@ pub use event::{
     downcast, ClockId, ComponentId, Payload, PayloadSlot, PortId, INLINE_PAYLOAD_BYTES, SELF_PORT,
 };
 pub use fidelity::{Fidelity, ParseFidelityError};
-pub use parallel::ParallelEngine;
+pub use parallel::{ParallelConfig, ParallelEngine, SyncMode, TransportKind};
 pub use params::{ParamError, Params};
 pub use partition::{PartitionStrategy, PartitionSummary};
 pub use queue::{BinaryHeapQueue, EventQueue, IndexedQueue, SimQueue};
@@ -80,7 +80,7 @@ pub use time::{Frequency, SimTime};
 
 /// One-line import for component authors and simulation drivers.
 pub mod prelude {
-    pub use crate::builder::SystemBuilder;
+    pub use crate::builder::{LazyLink, LazySystem, SystemBuilder};
     pub use crate::component::{ClockAction, Component, SimCtx};
     pub use crate::config::{ComponentRegistry, SystemConfig};
     pub use crate::engine::{Engine, RunLimit, SimReport};
@@ -88,7 +88,7 @@ pub mod prelude {
         downcast, ClockId, ComponentId, Payload, PayloadSlot, PortId, SELF_PORT,
     };
     pub use crate::fidelity::Fidelity;
-    pub use crate::parallel::ParallelEngine;
+    pub use crate::parallel::{ParallelConfig, ParallelEngine, SyncMode, TransportKind};
     pub use crate::params::Params;
     pub use crate::partition::{PartitionStrategy, PartitionSummary};
     pub use crate::snapshot::{register_payload, Snapshot};

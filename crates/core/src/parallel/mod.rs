@@ -6,63 +6,67 @@
 //! cross-rank link cannot arrive before `t + L`, where `L` is the minimum
 //! latency of the links joining the two ranks (the pairwise *lookahead*).
 //!
-//! # Synchronization: null messages over neighbor channels
+//! # Synchronization: null messages over neighbor transports
 //!
-//! Ranks exchange [`Batch`] messages over channels, and **only with ranks
-//! they share a link with** — there is no global barrier. Each batch carries
-//! any cross-rank events plus an *earliest output time* (EOT) promise: "I
-//! will never again send you an event with time `< eot`". A rank tracks the
-//! latest EOT received from each neighbor; the minimum over neighbors is its
-//! *earliest input time* (EIT), and every local event strictly before the
-//! EIT is safe to process — no neighbor can invalidate it. This is the
-//! classic Chandy–Misra–Bryant null-message protocol.
+//! Ranks exchange [`Batch`](transport::Batch) messages through a pluggable
+//! [`RankEndpoint`](transport::RankEndpoint) (selected by [`TransportKind`]),
+//! and **only with ranks they share a link with** — there is no global
+//! barrier. Each batch carries any cross-rank events plus an *earliest
+//! output time* (EOT) promise: "I will never again send you an event with
+//! time `< eot`". A rank tracks the latest EOT received from each neighbor;
+//! the minimum over neighbors is its *earliest input time* (EIT), and every
+//! local event strictly before the EIT is safe to process — no neighbor can
+//! invalidate it. This is the classic Chandy–Misra–Bryant null-message
+//! protocol.
 //!
 //! A rank's EOT to neighbor `s` is `la(me,s) + min(next local event, EIT)`:
 //! any future send happens while processing an event no earlier than that
 //! basis, and arrives at least the pairwise lookahead later. EOTs are
-//! re-announced only when they increase, so idle neighbor pairs exchange a
-//! bounded trickle of nulls rather than a barrier storm, and ranks with no
-//! common link exchange nothing at all.
+//! re-announced only when they increase — and under [`SyncMode::Adaptive`]
+//! small improvements are deferred while the rank is busy (see [`sync`]) —
+//! so idle neighbor pairs exchange a bounded trickle of nulls rather than a
+//! barrier storm, and ranks with no common link exchange nothing at all.
 //!
 //! Termination: for bounded runs a rank retires once its EIT and next local
 //! event both pass the bound (its final EOT promise, already sent, releases
 //! its neighbors). For exhaustive runs, counters of cross-rank events sent
 //! and received detect the global "all idle, nothing in flight" state.
+//! These counters live in process-shared atomics under *every* transport —
+//! they are the termination detector, not part of event movement.
 //!
 //! Determinism: event ordering uses the same `(time, class, tie)` total
 //! order as the serial engine, and a rank only processes time `t` once every
 //! event with time `< EIT > t` has arrived, so a parallel run produces
-//! *bit-identical* statistics to the serial run of the same system.
-//! Integration tests assert this.
+//! *bit-identical* statistics to the serial run of the same system — under
+//! every transport and both sync modes. Integration tests assert this.
 
-use crate::builder::SystemBuilder;
+mod sync;
+mod transport;
+
+pub use sync::SyncMode;
+pub use transport::TransportKind;
+
+use crate::builder::{LazySystem, SystemBuilder};
 use crate::component::EventSink;
 use crate::engine::{Kernel, RunLimit, SimReport};
-use crate::event::{EventBufPool, ScheduledEvent};
+use crate::event::ScheduledEvent;
 use crate::partition::{PartitionStrategy, PartitionSummary};
 use crate::queue::EventQueue;
 use crate::snapshot::{self, ComponentSnap, EventSnap, Snapshot, SNAPSHOT_SCHEMA};
 use crate::stats::{Stat, StatsRegistry};
 use crate::telemetry::{EngineProfile, RankSyncProfile, TelemetrySpec};
 use crate::time::SimTime;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use serde::Value;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use sync::{globally_idle, publish_next, RankRunInfo, RankShared, SyncState};
+use transport::{RankEndpoint, Recv};
 
 /// How long an idle rank blocks on its inbox before re-checking the global
 /// termination state. Progress never depends on this: any EIT advance
 /// arrives as a message and wakes the receiver immediately.
 const IDLE_POLL: Duration = Duration::from_micros(200);
-
-/// One hop of the synchronization protocol: zero or more cross-rank events
-/// plus an EOT promise (in ps). An empty `events` is a pure null message.
-struct Batch {
-    from: u32,
-    events: Vec<ScheduledEvent>,
-    eot: u64,
-}
 
 /// Routes pushed events: local ones into a staging buffer (drained into the
 /// rank's queue after each handler, since the queue is being popped at the
@@ -112,13 +116,51 @@ impl EventSink for DiscardSink {
     fn push(&mut self, _ev: ScheduledEvent, _target_rank: u32) {}
 }
 
-/// The parallel engine: one [`Kernel`] per rank plus the channel fabric.
+/// Everything configurable about a parallel run. Construct with
+/// `..ParallelConfig::default()` and override what matters:
+///
+/// ```ignore
+/// let eng = ParallelEngine::with_config(builder, ParallelConfig {
+///     ranks: 8,
+///     transport: TransportKind::TcpLoopback,
+///     ..ParallelConfig::default()
+/// });
+/// ```
+pub struct ParallelConfig {
+    pub ranks: u32,
+    pub transport: TransportKind,
+    pub sync: SyncMode,
+    /// Partition strategy override (eager builds only; lazy systems place
+    /// components via [`LazySystem::rank_of`]).
+    pub partition: Option<PartitionStrategy>,
+    /// A prior run's profile applied as component load weights — the
+    /// measure→repartition→rerun loop (eager builds only).
+    pub profile: Option<EngineProfile>,
+    pub telemetry: TelemetrySpec,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            ranks: 1,
+            transport: TransportKind::default(),
+            sync: SyncMode::default(),
+            partition: None,
+            profile: None,
+            telemetry: TelemetrySpec::disabled(),
+        }
+    }
+}
+
+/// The parallel engine: one [`Kernel`] per rank plus the transport fabric.
 ///
 /// The run is executed in *segments*: worker threads own the kernels and
 /// queues for one conservative window `(base, bound]`, retire at the bound,
 /// and hand everything back to the main thread — which may capture a
 /// checkpoint (a globally quiesced cut) and launch the next segment. An
-/// uninterrupted run is simply one segment to the limit.
+/// uninterrupted run is simply one segment to the limit. The transport
+/// fabric is built fresh per segment and fully drained at its end, so
+/// checkpoints never race in-flight wire traffic.
 pub struct ParallelEngine {
     kernels: Vec<Kernel>,
     /// Per-rank pending-event queues; persist across segments.
@@ -133,16 +175,25 @@ pub struct ParallelEngine {
     lookahead: SimTime,
     pair_la: Vec<Vec<Option<SimTime>>>,
     n_ranks: u32,
+    transport: TransportKind,
+    sync: SyncMode,
     spec: TelemetrySpec,
     partition: PartitionSummary,
 }
 
 impl ParallelEngine {
-    /// Partition the system over `n_ranks` ranks. Panics if `n_ranks == 0`.
-    /// Systems with no cross-rank links use an unbounded lookahead (the ranks
-    /// are independent).
+    /// Partition the system over `n_ranks` ranks with the default transport
+    /// and sync mode. Panics if `n_ranks == 0` or exceeds the component
+    /// count. Systems with no cross-rank links use an unbounded lookahead
+    /// (the ranks are independent).
     pub fn new(builder: SystemBuilder, n_ranks: u32) -> ParallelEngine {
-        Self::with_telemetry(builder, n_ranks, TelemetrySpec::disabled())
+        Self::with_config(
+            builder,
+            ParallelConfig {
+                ranks: n_ranks,
+                ..ParallelConfig::default()
+            },
+        )
     }
 
     /// Partition with telemetry configured by `spec`. Tracing buffers per
@@ -153,27 +204,114 @@ impl ParallelEngine {
         n_ranks: u32,
         spec: TelemetrySpec,
     ) -> ParallelEngine {
-        assert!(n_ranks > 0, "need at least one rank");
-        let ranks = builder.resolve_ranks(n_ranks);
+        Self::with_config(
+            builder,
+            ParallelConfig {
+                ranks: n_ranks,
+                telemetry: spec,
+                ..ParallelConfig::default()
+            },
+        )
+    }
+
+    /// Build with an explicit [`PartitionStrategy`], optionally applying a
+    /// prior run's [`EngineProfile`] as component load weights first — the
+    /// whole measure→repartition→rerun loop in one call.
+    pub fn with_partition(
+        builder: SystemBuilder,
+        n_ranks: u32,
+        strategy: PartitionStrategy,
+        profile: Option<&EngineProfile>,
+        spec: TelemetrySpec,
+    ) -> ParallelEngine {
+        Self::with_config(
+            builder,
+            ParallelConfig {
+                ranks: n_ranks,
+                partition: Some(strategy),
+                profile: profile.cloned(),
+                telemetry: spec,
+                ..ParallelConfig::default()
+            },
+        )
+    }
+
+    /// The fully general eager entry point.
+    pub fn with_config(mut builder: SystemBuilder, cfg: ParallelConfig) -> ParallelEngine {
+        assert!(cfg.ranks > 0, "need at least one rank");
+        check_rank_count(cfg.ranks, builder.component_count());
+        if let Some(strategy) = cfg.partition {
+            builder.partition_strategy(strategy);
+        }
+        if let Some(p) = &cfg.profile {
+            builder.apply_profile_weights(p);
+        }
+        let ranks = builder.resolve_ranks(cfg.ranks);
         let lookahead = builder.lookahead(&ranks).unwrap_or(SimTime::MAX);
-        let pair_la = builder.pairwise_lookahead(&ranks, n_ranks);
-        let partition = builder.summary_for(&ranks, n_ranks);
-        let names: Arc<Vec<String>> = if spec.is_enabled() {
+        let pair_la = builder.pairwise_lookahead(&ranks, cfg.ranks);
+        let partition = builder.summary_for(&ranks, cfg.ranks);
+        let names: Arc<Vec<String>> = if cfg.telemetry.is_enabled() {
             Arc::new(builder.comps.iter().map(|c| c.name.clone()).collect())
         } else {
             Arc::new(Vec::new())
         };
-        // Kernel::from_builder consumes the builder, so clone-free
-        // construction needs one pass per rank over a shared spec. Instead we
-        // split the builder once: move each component into its rank's kernel.
-        let mut kernels = split_builder(builder, &ranks, n_ranks);
-        if spec.is_enabled() {
+        let kernels = Kernel::build_all(builder, &ranks, cfg.ranks);
+        Self::assemble(kernels, names, lookahead, pair_la, partition, cfg)
+    }
+
+    /// Build from a [`LazySystem`] without ever materializing the whole
+    /// graph: components stream one at a time into their owning rank's
+    /// dense slot table, links are streamed twice (once for lookahead and
+    /// partition metrics, once for wiring), and peak memory is the per-rank
+    /// slot tables — never an eager `Vec` of boxed components plus a link
+    /// list on the side.
+    ///
+    /// Placement comes from [`LazySystem::rank_of`]; `cfg.partition` and
+    /// `cfg.profile` are ignored (there is no global graph to repartition).
+    pub fn lazy(sys: &dyn LazySystem, cfg: ParallelConfig) -> ParallelEngine {
+        assert!(cfg.ranks > 0, "need at least one rank");
+        let n = sys.component_count();
+        check_rank_count(cfg.ranks, n as usize);
+        let ranks: Vec<u32> = (0..n)
+            .map(|i| {
+                let r = sys.rank_of(i, cfg.ranks);
+                assert!(
+                    r < cfg.ranks,
+                    "LazySystem::rank_of({i}) returned rank {r}, valid ranks are 0..{}",
+                    cfg.ranks
+                );
+                r
+            })
+            .collect();
+        let (lookahead, pair_la, partition) =
+            crate::builder::lazy_partition_metrics(sys, &ranks, cfg.ranks);
+        let lookahead = lookahead.unwrap_or(SimTime::MAX);
+        let names: Arc<Vec<String>> = if cfg.telemetry.is_enabled() {
+            Arc::new((0..n).map(|i| sys.component_name(i)).collect())
+        } else {
+            Arc::new(Vec::new())
+        };
+        let kernels = Kernel::build_all_lazy(sys, &ranks, cfg.ranks);
+        Self::assemble(kernels, names, lookahead, pair_la, partition, cfg)
+    }
+
+    /// Shared tail of every constructor: telemetry attachment and field
+    /// assembly.
+    fn assemble(
+        mut kernels: Vec<Kernel>,
+        names: Arc<Vec<String>>,
+        lookahead: SimTime,
+        pair_la: Vec<Vec<Option<SimTime>>>,
+        partition: PartitionSummary,
+        cfg: ParallelConfig,
+    ) -> ParallelEngine {
+        if cfg.telemetry.is_enabled() {
             for k in &mut kernels {
-                k.attach_telemetry(&spec, names.clone(), true);
+                k.attach_telemetry(&cfg.telemetry, names.clone(), true);
             }
         }
-        let queues = (0..n_ranks).map(|_| EventQueue::new()).collect();
-        let infos = (0..n_ranks).map(|_| RankRunInfo::default()).collect();
+        let queues = (0..cfg.ranks).map(|_| EventQueue::new()).collect();
+        let infos = (0..cfg.ranks).map(|_| RankRunInfo::default()).collect();
         ParallelEngine {
             kernels,
             queues,
@@ -182,32 +320,27 @@ impl ParallelEngine {
             infos,
             lookahead,
             pair_la,
-            n_ranks,
-            spec,
+            n_ranks: cfg.ranks,
+            transport: cfg.transport,
+            sync: cfg.sync,
+            spec: cfg.telemetry,
             partition,
         }
-    }
-
-    /// Build with an explicit [`PartitionStrategy`], optionally applying a
-    /// prior run's [`EngineProfile`] as component load weights first — the
-    /// whole measure→repartition→rerun loop in one call.
-    pub fn with_partition(
-        mut builder: SystemBuilder,
-        n_ranks: u32,
-        strategy: PartitionStrategy,
-        profile: Option<&EngineProfile>,
-        spec: TelemetrySpec,
-    ) -> ParallelEngine {
-        builder.partition_strategy(strategy);
-        if let Some(p) = profile {
-            builder.apply_profile_weights(p);
-        }
-        Self::with_telemetry(builder, n_ranks, spec)
     }
 
     /// Number of ranks.
     pub fn ranks(&self) -> u32 {
         self.n_ranks
+    }
+
+    /// The transport backend this engine will run on.
+    pub fn transport(&self) -> TransportKind {
+        self.transport
+    }
+
+    /// The epoch synchronization mode.
+    pub fn sync_mode(&self) -> SyncMode {
+        self.sync
     }
 
     /// The partition this engine was built on: strategy, cut links, weighted
@@ -223,7 +356,7 @@ impl ParallelEngine {
 
     /// Time-zero setup on the main thread: run every rank's `setup`
     /// handlers and start its clocks, routing pushes straight into the
-    /// owning rank's queue (no channels are needed before threads exist).
+    /// owning rank's queue (no transport is needed before threads exist).
     fn start(&mut self) {
         if self.started {
             return;
@@ -246,16 +379,11 @@ impl ParallelEngine {
 
     /// Run one conservative segment: every event with time `<= bound` is
     /// delivered, after which the system is globally quiescent at the bound
-    /// (kernels and queues are back in `self`, channels fully drained).
+    /// (kernels and queues are back in `self`, the transport fully drained
+    /// and torn down).
     fn run_segment(&mut self, bound: SimTime) {
         let n = self.n_ranks as usize;
-        let mut receivers: Vec<Option<Receiver<Batch>>> = Vec::with_capacity(n);
-        let mut senders: Vec<Sender<Batch>> = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = unbounded();
-            senders.push(tx);
-            receivers.push(Some(rx));
-        }
+        let endpoints = transport::connect(self.transport, self.n_ranks, &self.pair_la);
         // Start at 0, not MAX: "idle" must be a claim a rank has actually
         // made, or a fast-starting rank could observe peers that have not
         // yet published their first event time and declare the whole run
@@ -265,18 +393,20 @@ impl ParallelEngine {
         let events_recvd = AtomicU64::new(0);
         let all_done = AtomicBool::new(false);
         let base = self.base;
+        let mode = self.sync;
+        let global_la = self.lookahead.as_ps();
 
-        type RankResult = (Kernel, EventQueue, Receiver<Batch>, RankRunInfo);
+        type RankResult = (Kernel, EventQueue, Box<dyn RankEndpoint>, RankRunInfo);
         let mut results: Vec<Option<RankResult>> = (0..n).map(|_| None).collect();
 
         let kernels: Vec<Kernel> = self.kernels.drain(..).collect();
         let queues: Vec<EventQueue> = self.queues.drain(..).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
-            for (rank, (kernel, queue)) in kernels.into_iter().zip(queues).enumerate() {
-                let rx = receivers[rank].take().expect("receiver taken once");
+            for (rank, ((kernel, queue), ep)) in
+                kernels.into_iter().zip(queues).zip(endpoints).enumerate()
+            {
                 let shared = RankShared {
-                    senders: &senders,
                     next_times: &next_times,
                     events_sent: &events_sent,
                     events_recvd: &events_recvd,
@@ -284,7 +414,18 @@ impl ParallelEngine {
                 };
                 let la_row = self.pair_la[rank].clone();
                 handles.push(scope.spawn(move || {
-                    run_rank(kernel, queue, rank as u32, bound, base, la_row, rx, shared)
+                    run_rank(
+                        kernel,
+                        queue,
+                        rank as u32,
+                        bound,
+                        base,
+                        la_row,
+                        mode,
+                        global_la,
+                        ep,
+                        shared,
+                    )
                 }));
             }
             for (rank, h) in handles.into_iter().enumerate() {
@@ -292,18 +433,27 @@ impl ParallelEngine {
             }
         });
 
+        // Two-phase transport drain: every endpoint announces "no more
+        // frames" first, then each collects what is still in flight.
+        // Interleaving the phases per endpoint would deadlock a wire
+        // transport: finishing rank 0 would block on rank 1's FIN while
+        // rank 1's FIN waits for its own finish call.
+        for r in results.iter_mut().flatten() {
+            r.2.begin_drain();
+        }
         for (rank, r) in results.into_iter().enumerate() {
-            let (kernel, mut queue, rx, info) = r.expect("missing rank result");
+            let (kernel, mut queue, mut ep, info) = r.expect("missing rank result");
             // A rank retires as soon as nothing at or below the bound can
             // reach it; neighbors may still have shipped it later events.
-            // Those sit in its channel — fold them into the queue so the
+            // Those sit in the transport — fold them into the queue so the
             // next segment (or the stitched checkpoint) sees them.
-            while let Ok(batch) = rx.try_recv() {
+            ep.finish_drain(&mut |batch| {
                 for ev in batch.events {
                     debug_assert!(ev.time > bound, "late event at or below the bound");
                     queue.push(ev);
                 }
-            }
+            });
+            drop(ep);
             self.infos[rank].accumulate(&info);
             self.kernels.push(kernel);
             self.queues.push(queue);
@@ -420,12 +570,7 @@ impl ParallelEngine {
         for es in &snap.queue {
             let ev = snapshot::decode_event(es);
             let rank = (0..self.n_ranks as usize)
-                .find(|&r| {
-                    self.kernels[r]
-                        .slots
-                        .get(ev.target.0 as usize)
-                        .is_some_and(|s| s.is_some())
-                })
+                .find(|&r| self.kernels[r].is_local(ev.target))
                 .unwrap_or_else(|| {
                     panic!("snapshot event targets unknown component {:?}", ev.target)
                 });
@@ -521,6 +666,9 @@ impl ParallelEngine {
                     batches_sent: info.batches_sent,
                     null_batches_sent: info.null_batches_sent,
                     events_sent: info.events_shipped,
+                    barriers_skipped: info.barriers_skipped,
+                    epochs_widened: info.epochs_widened,
+                    stall_rounds: info.stall_rounds,
                     stall_ns: info.stall_ns,
                 });
             }
@@ -558,229 +706,16 @@ impl ParallelEngine {
     }
 }
 
-/// Move each component of `builder` into the kernel of its rank.
-fn split_builder(builder: SystemBuilder, ranks: &[u32], n_ranks: u32) -> Vec<Kernel> {
-    // Rebuild per-rank builders is wasteful; instead construct one kernel per
-    // rank directly from shared link/clock tables and move the boxed
-    // components to their owners.
-    use crate::builder::{ClockSpec, CompSpec, LinkSpec};
-    let SystemBuilder {
-        comps,
-        links,
-        clocks,
-        seed,
-        ..
-    } = builder;
-
-    // Keep the real name on every placeholder so cross-rank trace records
-    // resolve the sender's name instead of a synthetic `__remote` label.
-    let names: Vec<String> = comps.iter().map(|c| c.name.clone()).collect();
-    let mut per_rank_specs: Vec<Vec<(usize, CompSpec)>> =
-        (0..n_ranks).map(|_| Vec::new()).collect();
-    for (i, spec) in comps.into_iter().enumerate() {
-        per_rank_specs[ranks[i] as usize].push((i, spec));
-    }
-
-    let links: Vec<LinkSpec> = links;
-    let clocks: Vec<ClockSpec> = clocks;
-    let total = ranks.len();
-
-    per_rank_specs
-        .into_iter()
-        .enumerate()
-        .map(|(rank, specs)| {
-            // Reassemble a builder view holding only this rank's components
-            // but the full id space, then reuse Kernel::from_builder.
-            let mut b = SystemBuilder::new();
-            b.seed(seed);
-            // Fill with placeholders to preserve ids; real components where
-            // owned. Kernel::from_builder skips non-local ids entirely, so
-            // the placeholder is never touched.
-            let mut slot_specs: Vec<Option<CompSpec>> = (0..total).map(|_| None).collect();
-            for (i, spec) in specs {
-                slot_specs[i] = Some(spec);
-            }
-            b.comps = slot_specs
-                .into_iter()
-                .enumerate()
-                .map(|(i, s)| {
-                    s.unwrap_or_else(|| CompSpec {
-                        name: names[i].clone(),
-                        comp: Box::new(RemotePlaceholder),
-                        rank: ranks[i],
-                        weight: 1,
-                    })
-                })
-                .collect();
-            b.links = links.clone();
-            b.clocks = clocks.clone();
-            Kernel::from_builder(b, ranks, rank as u32)
-        })
-        .collect()
-}
-
-/// Stand-in for components owned by other ranks; never invoked.
-struct RemotePlaceholder;
-impl crate::component::Component for RemotePlaceholder {
-    fn on_event(
-        &mut self,
-        _port: crate::event::PortId,
-        _payload: crate::event::PayloadSlot,
-        _ctx: &mut crate::component::SimCtx<'_>,
-    ) {
-        unreachable!("remote placeholder received an event");
-    }
-}
-
-/// Shared coordination state borrowed by every rank thread.
-#[derive(Clone, Copy)]
-struct RankShared<'a> {
-    senders: &'a [Sender<Batch>],
-    /// Each rank's earliest pending local event time (ps), for termination.
-    next_times: &'a [AtomicU64],
-    /// Cross-rank events sent / fully absorbed, for in-flight detection.
-    events_sent: &'a AtomicU64,
-    events_recvd: &'a AtomicU64,
-    all_done: &'a AtomicBool,
-}
-
-/// Per-rank synchronization state for the null-message protocol.
-struct SyncState {
-    my_rank: u32,
-    /// Ranks I share at least one link with, in ascending order.
-    neighbors: Vec<u32>,
-    /// Pairwise lookahead to each rank (ps); `u64::MAX` for non-neighbors.
-    la_out: Vec<u64>,
-    /// Latest EOT promise received from each rank (ps).
-    eit: Vec<u64>,
-    /// Last EOT announced to each rank, to suppress no-news nulls.
-    last_eot: Vec<u64>,
-    /// Announcement rounds executed (reported as `epochs`).
-    rounds: u64,
-    /// Batches sent / pure-null batches / cross-rank events, for the sync
-    /// profile (counted unconditionally: one add per announcement, not per
-    /// event).
-    batches_sent: u64,
-    null_batches_sent: u64,
-    events_shipped: u64,
-    pool: EventBufPool,
-}
-
-impl SyncState {
-    fn new(my_rank: u32, la_row: &[Option<SimTime>], base: u64) -> SyncState {
-        let neighbors: Vec<u32> = la_row
-            .iter()
-            .enumerate()
-            .filter_map(|(s, la)| la.map(|_| s as u32))
-            .collect();
-        let la_out: Vec<u64> = la_row
-            .iter()
-            .map(|la| la.map_or(u64::MAX, |t| t.as_ps()))
-            .collect();
-        // A neighbor's first event arrives no earlier than the segment base
-        // plus its lookahead to us (every pending event is strictly past the
-        // base, and it cannot send before processing one); links are
-        // symmetric so the outbound lookahead doubles as the inbound one.
-        // Non-neighbors never send, so their EIT contribution is infinite.
-        let eit = la_out.iter().map(|&la| base.saturating_add(la)).collect();
-        SyncState {
-            my_rank,
-            neighbors,
-            la_out,
-            eit,
-            last_eot: vec![0; la_row.len()],
-            rounds: 0,
-            batches_sent: 0,
-            null_batches_sent: 0,
-            events_shipped: 0,
-            pool: EventBufPool::new(),
-        }
-    }
-
-    /// Earliest time a neighbor could still send me an event.
-    fn eit_min(&self) -> u64 {
-        self.neighbors
-            .iter()
-            .map(|&s| self.eit[s as usize])
-            .min()
-            .unwrap_or(u64::MAX)
-    }
-
-    /// Fold one received batch into the queue and the EIT table.
-    fn absorb(&mut self, batch: Batch, queue: &mut EventQueue, shared: &RankShared<'_>) {
-        let from = batch.from as usize;
-        debug_assert!(batch.eot >= self.eit[from], "EOT promises must be monotone");
-        let n_events = batch.events.len() as u64;
-        let mut events = batch.events;
-        for ev in events.drain(..) {
-            queue.push(ev);
-        }
-        self.pool.put(events);
-        self.eit[from] = self.eit[from].max(batch.eot);
-        if n_events > 0 {
-            // Publish the new earliest local time *before* acknowledging the
-            // events, so a termination check that sees balanced counters also
-            // sees this rank as busy (see the ordering argument in `idle`).
-            publish_next(queue, self.my_rank, shared);
-            shared.events_recvd.fetch_add(n_events, Ordering::SeqCst);
-        }
-    }
-
-    /// Send pending cross-rank events and any improved EOT promises.
-    /// A batch goes to a neighbor only when there is news for it.
-    ///
-    /// `announce_nulls` gates *pure* null messages (EOT-only batches). While
-    /// a rank is making local progress its EOT improves every iteration, and
-    /// re-announcing each small step is the null-message storm CMB is
-    /// infamous for; deferring them costs neighbors nothing as long as the
-    /// rank announces before it blocks or retires. Two escapes keep
-    /// pipelining tight: an EOT jump of at least the pairwise lookahead is
-    /// announced immediately (it likely unblocks the neighbor's whole next
-    /// window), and event-carrying batches always flush.
-    fn flush_and_announce(
-        &mut self,
-        outbound: &mut [Vec<ScheduledEvent>],
-        queue: &EventQueue,
-        shared: &RankShared<'_>,
-        announce_nulls: bool,
-    ) {
-        let next_local = queue.next_time().map_or(u64::MAX, |t| t.as_ps());
-        let basis = next_local.min(self.eit_min());
-        let mut announced = false;
-        for i in 0..self.neighbors.len() {
-            let s = self.neighbors[i] as usize;
-            let eot = basis.saturating_add(self.la_out[s]).max(self.last_eot[s]);
-            let has_events = !outbound[s].is_empty();
-            if !has_events
-                && (eot == self.last_eot[s]
-                    || (!announce_nulls && eot - self.last_eot[s] < self.la_out[s]))
-            {
-                continue;
-            }
-            let events = std::mem::replace(&mut outbound[s], self.pool.get());
-            self.batches_sent += 1;
-            if events.is_empty() {
-                self.null_batches_sent += 1;
-            } else {
-                self.events_shipped += events.len() as u64;
-                shared
-                    .events_sent
-                    .fetch_add(events.len() as u64, Ordering::SeqCst);
-            }
-            self.last_eot[s] = eot;
-            // A closed channel means the peer already retired (past the
-            // bound); it no longer needs events or promises.
-            let _ = shared.senders[s].send(Batch {
-                from: self.my_rank,
-                events,
-                eot,
-            });
-            announced = true;
-        }
-        if announced {
-            self.rounds += 1;
-        }
-    }
+/// Idle ranks are a configuration error, not a silent inefficiency: a rank
+/// with no components still joins every synchronization round. (An empty
+/// system on one rank is allowed — it runs zero events serially.)
+fn check_rank_count(n_ranks: u32, n_comps: usize) {
+    assert!(
+        (n_ranks as usize) <= n_comps.max(1),
+        "cannot split {n_comps} component(s) across {n_ranks} ranks: every rank \
+         needs at least one component (idle ranks only add synchronization \
+         traffic) — lower the rank count (--ranks) or grow the system"
+    );
 }
 
 /// Deliver one event through a [`RankSink`] and fold any locally staged
@@ -806,55 +741,10 @@ fn deliver_one(
     }
 }
 
-fn publish_next(queue: &EventQueue, my_rank: u32, shared: &RankShared<'_>) {
-    let next = queue.next_time().map_or(u64::MAX, |t| t.as_ps());
-    shared.next_times[my_rank as usize].store(next, Ordering::SeqCst);
-}
-
-/// Global termination check for exhaustive runs, valid only when this rank
-/// is itself idle: every rank idle and no cross-rank events in flight.
-///
-/// Read order matters: receives are counted *after* their events are
-/// published in `next_times` (see `absorb`), so reading `recvd` before
-/// `sent` before `next_times` guarantees that balanced counters plus
-/// all-idle really is a global quiescent state — any message sent before
-/// our `sent` read was absorbed before our `recvd` read, and its effect on
-/// the owner's `next_times` is visible to the later reads.
-fn globally_idle(shared: &RankShared<'_>) -> bool {
-    let recvd = shared.events_recvd.load(Ordering::SeqCst);
-    let sent = shared.events_sent.load(Ordering::SeqCst);
-    recvd == sent
-        && shared
-            .next_times
-            .iter()
-            .all(|t| t.load(Ordering::SeqCst) == u64::MAX)
-}
-
-/// What one rank hands back besides its kernel: sync-protocol counters and
-/// (when profiling) wallclock stall time. Accumulated across segments.
-#[derive(Default)]
-struct RankRunInfo {
-    rounds: u64,
-    batches_sent: u64,
-    null_batches_sent: u64,
-    events_shipped: u64,
-    stall_ns: u64,
-}
-
-impl RankRunInfo {
-    fn accumulate(&mut self, seg: &RankRunInfo) {
-        self.rounds += seg.rounds;
-        self.batches_sent += seg.batches_sent;
-        self.null_batches_sent += seg.null_batches_sent;
-        self.events_shipped += seg.events_shipped;
-        self.stall_ns += seg.stall_ns;
-    }
-}
-
 /// Run one rank over one conservative segment `(base, bound]`. The kernel
 /// and queue arrive already set up (time-zero work happens on the main
 /// thread); the rank delivers every local event with time `<= bound`, then
-/// retires and hands everything — including its receiver, which may still
+/// retires and hands everything — including its endpoint, which may still
 /// hold post-bound events from neighbors — back to the main thread. No
 /// finalization happens here: `finish` handlers, the `Until` time clamp,
 /// and telemetry teardown run on the main thread after the *last* segment,
@@ -867,11 +757,13 @@ fn run_rank(
     bound: SimTime,
     base: SimTime,
     la_row: Vec<Option<SimTime>>,
-    rx: Receiver<Batch>,
+    mode: SyncMode,
+    global_la: u64,
+    mut ep: Box<dyn RankEndpoint>,
     shared: RankShared<'_>,
-) -> (Kernel, EventQueue, Receiver<Batch>, RankRunInfo) {
+) -> (Kernel, EventQueue, Box<dyn RankEndpoint>, RankRunInfo) {
     let n = la_row.len();
-    let mut sync = SyncState::new(my_rank, &la_row, base.as_ps());
+    let mut sync = SyncState::new(my_rank, &la_row, base.as_ps(), mode, global_la);
     // All working buffers come from (and return to) the rank's pool, so
     // steady-state exchange and batching allocate nothing: `staging` and
     // `batch` live for the whole run, `outbound` vectors cycle through the
@@ -882,18 +774,19 @@ fn run_rank(
     let mut outbound: Vec<Vec<ScheduledEvent>> = (0..n).map(|_| sync.pool.get()).collect();
     let bound_ps = bound.as_ps();
     let profiling = kernel.tel.as_ref().is_some_and(|t| t.profiler.is_some());
+    let mut stall_rounds = 0u64;
     let mut stall_ns = 0u64;
 
     // Announce the first EOT promises and publish the earliest local time
     // before touching the queue; flushing first matters because once
     // `next_times` says MAX and the sent/received counters balance, a
     // checker may declare global termination.
-    sync.flush_and_announce(&mut outbound, &queue, &shared, true);
+    sync.flush_and_announce(&mut outbound, &queue, &shared, ep.as_mut(), true);
     publish_next(&queue, my_rank, &shared);
 
     loop {
         // 1. Drain whatever neighbors have deposited since last look.
-        while let Ok(incoming) = rx.try_recv() {
+        while let Some(incoming) = ep.try_recv() {
             sync.absorb(incoming, &mut queue, &shared);
         }
 
@@ -954,7 +847,13 @@ fn run_rank(
         //    the receiver absorbs them). Pure nulls are deferred while the
         //    rank is working — it always announces before blocking (below)
         //    or retiring, so no neighbor starves.
-        sync.flush_and_announce(&mut outbound, &queue, &shared, !worked || retiring);
+        sync.flush_and_announce(
+            &mut outbound,
+            &queue,
+            &shared,
+            ep.as_mut(),
+            !worked || retiring,
+        );
         publish_next(&queue, my_rank, &shared);
 
         // 4. Retire. The promises just sent release the neighbors too.
@@ -975,15 +874,16 @@ fn run_rank(
         // 6. Nothing processable: block until a neighbor advances our EIT
         //    (or the idle poll re-checks termination).
         if !worked {
+            stall_rounds += 1;
             let t_wait = profiling.then(std::time::Instant::now);
-            let res = rx.recv_timeout(IDLE_POLL);
+            let res = ep.recv_timeout(IDLE_POLL);
             if let Some(t) = t_wait {
                 stall_ns += t.elapsed().as_nanos() as u64;
             }
             match res {
-                Ok(incoming) => sync.absorb(incoming, &mut queue, &shared),
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => break,
+                Recv::Batch(incoming) => sync.absorb(incoming, &mut queue, &shared),
+                Recv::Timeout => {}
+                Recv::Closed => break,
             }
         }
     }
@@ -993,9 +893,12 @@ fn run_rank(
         batches_sent: sync.batches_sent,
         null_batches_sent: sync.null_batches_sent,
         events_shipped: sync.events_shipped,
+        barriers_skipped: sync.barriers_skipped,
+        epochs_widened: sync.epochs_widened,
+        stall_rounds,
         stall_ns,
     };
-    (kernel, queue, rx, info)
+    (kernel, queue, ep, info)
 }
 
 #[cfg(test)]
@@ -1110,6 +1013,24 @@ mod tests {
     }
 
     #[test]
+    fn fixed_epoch_sync_matches_serial() {
+        let serial = crate::engine::Engine::new(build_ring(8, 10)).run(RunLimit::Exhaust);
+        for ranks in [2u32, 4] {
+            let par = ParallelEngine::with_config(
+                build_ring(8, 10),
+                ParallelConfig {
+                    ranks,
+                    sync: SyncMode::FixedEpoch,
+                    ..ParallelConfig::default()
+                },
+            )
+            .run(RunLimit::Exhaust);
+            assert_eq!(par.events, serial.events, "ranks={ranks}");
+            assert_eq!(par.end_time, serial.end_time, "ranks={ranks}");
+        }
+    }
+
+    #[test]
     fn run_until_parallel_matches_serial() {
         let limit = RunLimit::Until(SimTime::ns(200));
         let serial = crate::engine::Engine::new(build_ring(6, 1_000_000)).run(limit);
@@ -1155,6 +1076,12 @@ mod tests {
         let par = ParallelEngine::new(build_ring(4, 3), 1).run(RunLimit::Exhaust);
         assert_eq!(par.events, serial.events);
         assert_eq!(par.end_time, serial.end_time);
+    }
+
+    #[test]
+    #[should_panic(expected = "every rank needs at least one component")]
+    fn more_ranks_than_components_is_a_loud_error() {
+        ParallelEngine::new(build_ring(4, 3), 5);
     }
 
     #[test]
@@ -1212,7 +1139,8 @@ mod tests {
     #[derive(Debug, serde::Serialize, serde::Deserialize)]
     struct SnapTok(u64);
 
-    /// RingNode with a registered payload codec, for checkpoint tests.
+    /// RingNode with a registered payload codec, for checkpoint tests and
+    /// the TCP transport (whose wire format uses the codec registry).
     struct SnapRing {
         laps: u64,
         start: bool,
@@ -1265,6 +1193,35 @@ mod tests {
     }
 
     #[test]
+    fn tcp_transport_matches_serial_on_the_ring() {
+        let serial = crate::engine::Engine::new(build_snap_ring(8, 10)).run(RunLimit::Exhaust);
+        for ranks in [2u32, 3] {
+            for sync in [SyncMode::Adaptive, SyncMode::FixedEpoch] {
+                let par = ParallelEngine::with_config(
+                    build_snap_ring(8, 10),
+                    ParallelConfig {
+                        ranks,
+                        transport: TransportKind::TcpLoopback,
+                        sync,
+                        ..ParallelConfig::default()
+                    },
+                )
+                .run(RunLimit::Exhaust);
+                assert_eq!(par.events, serial.events, "ranks={ranks} sync={sync}");
+                assert_eq!(par.end_time, serial.end_time, "ranks={ranks} sync={sync}");
+                for i in 0..8 {
+                    let name = format!("node{i}");
+                    assert_eq!(
+                        par.stats.counter(&name, "visits"),
+                        serial.stats.counter(&name, "visits"),
+                        "ranks={ranks} sync={sync} node={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn parallel_checkpoints_match_serial_byte_for_byte() {
         let every = Some(SimTime::ns(40));
         let mut serial_snaps = Vec::new();
@@ -1297,6 +1254,33 @@ mod tests {
                     s.time_ps
                 );
             }
+        }
+    }
+
+    #[test]
+    fn tcp_checkpoints_match_shared_mem_byte_for_byte() {
+        let every = Some(SimTime::ns(40));
+        let mut shm_snaps = Vec::new();
+        let shm = ParallelEngine::new(build_snap_ring(8, 10), 2).run_with_checkpoints(
+            RunLimit::Exhaust,
+            every,
+            None,
+            &mut |s| shm_snaps.push(s),
+        );
+        let mut tcp_snaps = Vec::new();
+        let tcp = ParallelEngine::with_config(
+            build_snap_ring(8, 10),
+            ParallelConfig {
+                ranks: 2,
+                transport: TransportKind::TcpLoopback,
+                ..ParallelConfig::default()
+            },
+        )
+        .run_with_checkpoints(RunLimit::Exhaust, every, None, &mut |s| tcp_snaps.push(s));
+        assert_eq!(tcp.final_state_hash, shm.final_state_hash);
+        assert_eq!(tcp_snaps.len(), shm_snaps.len());
+        for (t, s) in tcp_snaps.iter().zip(&shm_snaps) {
+            assert_eq!(t.to_json_pretty(), s.to_json_pretty(), "t={}", s.time_ps);
         }
     }
 
@@ -1380,5 +1364,83 @@ mod tests {
         let par = ParallelEngine::new(b, 2).run(limit);
         assert_eq!(par.events, serial.events);
         assert_eq!(par.end_time, serial.end_time);
+    }
+
+    /// A lazily generated ring, for streaming-construction equivalence.
+    struct LazyRing {
+        nodes: u32,
+        laps: u64,
+    }
+    impl LazySystem for LazyRing {
+        fn component_count(&self) -> u32 {
+            self.nodes
+        }
+        fn component_name(&self, i: u32) -> String {
+            format!("node{i}")
+        }
+        fn create(&self, i: u32) -> Box<dyn Component> {
+            Box::new(RingNode {
+                laps: self.laps,
+                start: i == 0,
+                visits: None,
+            })
+        }
+        fn for_each_link(&self, f: &mut dyn FnMut(crate::builder::LazyLink)) {
+            for i in 0..self.nodes {
+                let next = (i + 1) % self.nodes;
+                f(crate::builder::LazyLink {
+                    a: (crate::event::ComponentId(i), RingNode::OUT),
+                    b: (crate::event::ComponentId(next), RingNode::IN),
+                    latency: SimTime::ns(7),
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_build_matches_materialized_and_serial() {
+        let sys = LazyRing { nodes: 8, laps: 10 };
+        let serial =
+            crate::engine::Engine::new(SystemBuilder::materialize(&sys)).run(RunLimit::Exhaust);
+        for ranks in [1u32, 2, 4] {
+            let par = ParallelEngine::lazy(
+                &sys,
+                ParallelConfig {
+                    ranks,
+                    ..ParallelConfig::default()
+                },
+            )
+            .run(RunLimit::Exhaust);
+            assert_eq!(par.events, serial.events, "ranks={ranks}");
+            assert_eq!(par.end_time, serial.end_time, "ranks={ranks}");
+            for i in 0..8 {
+                let name = format!("node{i}");
+                assert_eq!(
+                    par.stats.counter(&name, "visits"),
+                    serial.stats.counter(&name, "visits"),
+                    "ranks={ranks} node={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_partition_metrics_match_engine_accessors() {
+        let sys = LazyRing { nodes: 8, laps: 10 };
+        let eng = ParallelEngine::lazy(
+            &sys,
+            ParallelConfig {
+                ranks: 4,
+                ..ParallelConfig::default()
+            },
+        );
+        assert_eq!(eng.lookahead(), SimTime::ns(7));
+        let s = eng.partition_summary();
+        assert_eq!(s.components, 8);
+        assert_eq!(s.total_links, 8);
+        assert_eq!(s.rank_components, vec![2, 2, 2, 2]);
+        // Block placement of a ring cuts one link per rank boundary (the
+        // wrap-around closes the fourth).
+        assert_eq!(s.cut_links, 4);
     }
 }

@@ -1,0 +1,353 @@
+//! Per-rank synchronization state for the null-message protocol, and the
+//! epoch policy ([`SyncMode`]) that decides *when* EOT promises go out.
+//!
+//! # Adaptive epochs vs fixed epochs
+//!
+//! The classic conservative baseline re-announces every EOT improvement to
+//! every neighbor, with the *global* minimum lookahead as the promise
+//! basis — effectively a fixed-width epoch everyone marches through in
+//! lock-step. [`SyncMode::FixedEpoch`] implements exactly that, as the
+//! measurable control.
+//!
+//! [`SyncMode::Adaptive`] layers three optimizations on the same protocol,
+//! none of which weakens a promise (so results stay bit-identical):
+//!
+//! * **per-pair lookahead** — each neighbor's promise uses the minimum
+//!   latency of the links *that pair* shares, so a tightly coupled pair no
+//!   longer throttles a loosely coupled one (its epochs are wider);
+//! * **barrier skipping** — pure-null announcements are deferred while the
+//!   rank is making local progress; a skipped announcement is counted in
+//!   `barriers_skipped`. Liveness: the rank always announces before it
+//!   blocks or retires, so no neighbor waits on a promise that never comes;
+//! * **epoch widening** — an EOT jump of at least the pairwise lookahead is
+//!   announced immediately even mid-work (it widens the neighbor's next
+//!   safe window by a whole epoch or more), counted in `epochs_widened`.
+//!
+//! Both modes batch each round's announcements through one
+//! [`RankEndpoint::flush`](super::transport::RankEndpoint::flush) call, so
+//! a wire-backed transport pays one syscall per peer per round, not one per
+//! announcement.
+
+use super::transport::{Batch, RankEndpoint};
+use crate::event::{EventBufPool, ScheduledEvent};
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Epoch synchronization policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncMode {
+    /// Conservative baseline: global-minimum lookahead for every promise,
+    /// every EOT improvement announced immediately.
+    FixedEpoch,
+    /// Per-pair lookahead, deferred nulls, immediate wide jumps (the
+    /// default). Bit-identical results, measurably less sync traffic.
+    #[default]
+    Adaptive,
+}
+
+impl SyncMode {
+    pub const ALL: &'static [SyncMode] = &[SyncMode::FixedEpoch, SyncMode::Adaptive];
+}
+
+impl std::fmt::Display for SyncMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SyncMode::FixedEpoch => "fixed",
+            SyncMode::Adaptive => "adaptive",
+        })
+    }
+}
+
+impl std::str::FromStr for SyncMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<SyncMode, String> {
+        match s {
+            "fixed" | "fixed-epoch" => Ok(SyncMode::FixedEpoch),
+            "adaptive" => Ok(SyncMode::Adaptive),
+            other => Err(format!(
+                "unknown sync mode `{other}` (expected `fixed` or `adaptive`)"
+            )),
+        }
+    }
+}
+
+/// Shared coordination state borrowed by every rank thread. Kept in process
+/// memory under every transport: it is the *termination detector*, not part
+/// of event movement (a distributed backend would replace it with its own
+/// reduction; the transport trait deliberately does not own it).
+#[derive(Clone, Copy)]
+pub(crate) struct RankShared<'a> {
+    /// Each rank's earliest pending local event time (ps), for termination.
+    pub next_times: &'a [AtomicU64],
+    /// Cross-rank events sent / fully absorbed, for in-flight detection.
+    pub events_sent: &'a AtomicU64,
+    pub events_recvd: &'a AtomicU64,
+    pub all_done: &'a AtomicBool,
+}
+
+/// Per-rank synchronization state for the null-message protocol.
+pub(crate) struct SyncState {
+    my_rank: u32,
+    mode: SyncMode,
+    /// Ranks I share at least one link with, in ascending order.
+    neighbors: Vec<u32>,
+    /// Lookahead used for promises to each rank (ps); `u64::MAX` for
+    /// non-neighbors. Pairwise under `Adaptive`, the global minimum under
+    /// `FixedEpoch` (weaker but still correct promises — the control).
+    la_out: Vec<u64>,
+    /// Latest EOT promise received from each rank (ps).
+    eit: Vec<u64>,
+    /// Last EOT announced to each rank, to suppress no-news nulls.
+    last_eot: Vec<u64>,
+    /// Announcement rounds executed (reported as `epochs`).
+    pub rounds: u64,
+    /// Batches sent / pure-null batches / cross-rank events, for the sync
+    /// profile (counted unconditionally: one add per announcement, not per
+    /// event).
+    pub batches_sent: u64,
+    pub null_batches_sent: u64,
+    pub events_shipped: u64,
+    /// Pure-null announcements suppressed by adaptive deferral.
+    pub barriers_skipped: u64,
+    /// Null announcements whose EOT jump spanned at least one pairwise
+    /// lookahead — epochs the neighbor got to skip entirely.
+    pub epochs_widened: u64,
+    pub pool: EventBufPool,
+}
+
+impl SyncState {
+    /// `global_la` is the minimum lookahead over *all* rank pairs (ps); it
+    /// replaces the pairwise values under [`SyncMode::FixedEpoch`].
+    pub fn new(
+        my_rank: u32,
+        la_row: &[Option<SimTime>],
+        base: u64,
+        mode: SyncMode,
+        global_la: u64,
+    ) -> SyncState {
+        let neighbors: Vec<u32> = la_row
+            .iter()
+            .enumerate()
+            .filter_map(|(s, la)| la.map(|_| s as u32))
+            .collect();
+        let la_out: Vec<u64> = la_row
+            .iter()
+            .map(|la| match (mode, la) {
+                (_, None) => u64::MAX,
+                (SyncMode::Adaptive, Some(t)) => t.as_ps(),
+                (SyncMode::FixedEpoch, Some(_)) => global_la,
+            })
+            .collect();
+        // A neighbor's first event arrives no earlier than the segment base
+        // plus its lookahead to us (every pending event is strictly past the
+        // base, and it cannot send before processing one); links are
+        // symmetric so the outbound lookahead doubles as the inbound one.
+        // Non-neighbors never send, so their EIT contribution is infinite.
+        // Under FixedEpoch both sides seed with the same (smaller) global
+        // value, so the seed is conservative there too.
+        let eit = la_out.iter().map(|&la| base.saturating_add(la)).collect();
+        SyncState {
+            my_rank,
+            mode,
+            neighbors,
+            la_out,
+            eit,
+            last_eot: vec![0; la_row.len()],
+            rounds: 0,
+            batches_sent: 0,
+            null_batches_sent: 0,
+            events_shipped: 0,
+            barriers_skipped: 0,
+            epochs_widened: 0,
+            pool: EventBufPool::new(),
+        }
+    }
+
+    /// Earliest time a neighbor could still send me an event.
+    pub fn eit_min(&self) -> u64 {
+        self.neighbors
+            .iter()
+            .map(|&s| self.eit[s as usize])
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Fold one received batch into the queue and the EIT table.
+    pub fn absorb(&mut self, batch: Batch, queue: &mut EventQueue, shared: &RankShared<'_>) {
+        let from = batch.from as usize;
+        debug_assert!(batch.eot >= self.eit[from], "EOT promises must be monotone");
+        let n_events = batch.events.len() as u64;
+        let mut events = batch.events;
+        for ev in events.drain(..) {
+            queue.push(ev);
+        }
+        self.pool.put(events);
+        self.eit[from] = self.eit[from].max(batch.eot);
+        if n_events > 0 {
+            // Publish the new earliest local time *before* acknowledging the
+            // events, so a termination check that sees balanced counters also
+            // sees this rank as busy (see the ordering argument in
+            // `globally_idle`).
+            publish_next(queue, self.my_rank, shared);
+            shared.events_recvd.fetch_add(n_events, Ordering::SeqCst);
+        }
+    }
+
+    /// Send pending cross-rank events and any improved EOT promises through
+    /// the endpoint, then flush it (one wire push per round). A batch goes
+    /// to a neighbor only when there is news for it.
+    ///
+    /// `announce_nulls` gates *pure* null messages (EOT-only batches) under
+    /// [`SyncMode::Adaptive`]. While a rank is making local progress its EOT
+    /// improves every iteration, and re-announcing each small step is the
+    /// null-message storm CMB is infamous for; deferring them costs
+    /// neighbors nothing as long as the rank announces before it blocks or
+    /// retires. Two escapes keep pipelining tight: an EOT jump of at least
+    /// the pairwise lookahead is announced immediately (it widens the
+    /// neighbor's whole next window), and event-carrying batches always
+    /// flush. [`SyncMode::FixedEpoch`] announces everything, every round.
+    pub fn flush_and_announce(
+        &mut self,
+        outbound: &mut [Vec<ScheduledEvent>],
+        queue: &EventQueue,
+        shared: &RankShared<'_>,
+        ep: &mut dyn RankEndpoint,
+        announce_nulls: bool,
+    ) {
+        let adaptive = self.mode == SyncMode::Adaptive;
+        let announce_nulls = announce_nulls || !adaptive;
+        let next_local = queue.next_time().map_or(u64::MAX, |t| t.as_ps());
+        let basis = next_local.min(self.eit_min());
+        let mut announced = false;
+        for i in 0..self.neighbors.len() {
+            let s = self.neighbors[i] as usize;
+            let eot = basis.saturating_add(self.la_out[s]).max(self.last_eot[s]);
+            let has_events = !outbound[s].is_empty();
+            if !has_events {
+                if eot == self.last_eot[s] {
+                    continue;
+                }
+                let jump = eot - self.last_eot[s];
+                if !announce_nulls && jump < self.la_out[s] {
+                    self.barriers_skipped += 1;
+                    continue;
+                }
+                if adaptive && self.last_eot[s] != 0 && jump >= self.la_out[s] {
+                    self.epochs_widened += 1;
+                }
+            }
+            let events = std::mem::replace(&mut outbound[s], self.pool.get());
+            self.batches_sent += 1;
+            if events.is_empty() {
+                self.null_batches_sent += 1;
+            } else {
+                self.events_shipped += events.len() as u64;
+                shared
+                    .events_sent
+                    .fetch_add(events.len() as u64, Ordering::SeqCst);
+            }
+            self.last_eot[s] = eot;
+            ep.send(
+                s as u32,
+                Batch {
+                    from: self.my_rank,
+                    events,
+                    eot,
+                },
+            );
+            announced = true;
+        }
+        if announced {
+            self.rounds += 1;
+            // One wire push per announcement round: a buffering transport
+            // coalesces all of this round's batches per peer. Never deferred
+            // past this call — an unflushed promise could stall a neighbor
+            // forever (liveness).
+            ep.flush();
+        }
+    }
+}
+
+pub(crate) fn publish_next(queue: &EventQueue, my_rank: u32, shared: &RankShared<'_>) {
+    let next = queue.next_time().map_or(u64::MAX, |t| t.as_ps());
+    shared.next_times[my_rank as usize].store(next, Ordering::SeqCst);
+}
+
+/// Global termination check for exhaustive runs, valid only when this rank
+/// is itself idle: every rank idle and no cross-rank events in flight.
+///
+/// Read order matters: receives are counted *after* their events are
+/// published in `next_times` (see `absorb`), so reading `recvd` before
+/// `sent` before `next_times` guarantees that balanced counters plus
+/// all-idle really is a global quiescent state — any message sent before
+/// our `sent` read was absorbed before our `recvd` read, and its effect on
+/// the owner's `next_times` is visible to the later reads.
+pub(crate) fn globally_idle(shared: &RankShared<'_>) -> bool {
+    let recvd = shared.events_recvd.load(Ordering::SeqCst);
+    let sent = shared.events_sent.load(Ordering::SeqCst);
+    recvd == sent
+        && shared
+            .next_times
+            .iter()
+            .all(|t| t.load(Ordering::SeqCst) == u64::MAX)
+}
+
+/// What one rank hands back besides its kernel: sync-protocol counters and
+/// (when profiling) wallclock stall time. Accumulated across segments.
+#[derive(Default)]
+pub(crate) struct RankRunInfo {
+    pub rounds: u64,
+    pub batches_sent: u64,
+    pub null_batches_sent: u64,
+    pub events_shipped: u64,
+    pub barriers_skipped: u64,
+    pub epochs_widened: u64,
+    /// Times the rank blocked waiting for a neighbor's promise.
+    pub stall_rounds: u64,
+    pub stall_ns: u64,
+}
+
+impl RankRunInfo {
+    pub fn accumulate(&mut self, seg: &RankRunInfo) {
+        self.rounds += seg.rounds;
+        self.batches_sent += seg.batches_sent;
+        self.null_batches_sent += seg.null_batches_sent;
+        self.events_shipped += seg.events_shipped;
+        self.barriers_skipped += seg.barriers_skipped;
+        self.epochs_widened += seg.epochs_widened;
+        self.stall_rounds += seg.stall_rounds;
+        self.stall_ns += seg.stall_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_mode_parses_and_prints() {
+        assert_eq!("fixed".parse::<SyncMode>().unwrap(), SyncMode::FixedEpoch);
+        assert_eq!(
+            "fixed-epoch".parse::<SyncMode>().unwrap(),
+            SyncMode::FixedEpoch
+        );
+        assert_eq!("adaptive".parse::<SyncMode>().unwrap(), SyncMode::Adaptive);
+        assert!("lax".parse::<SyncMode>().is_err());
+        assert_eq!(SyncMode::FixedEpoch.to_string(), "fixed");
+        assert_eq!(SyncMode::Adaptive.to_string(), "adaptive");
+    }
+
+    #[test]
+    fn fixed_epoch_uses_global_lookahead() {
+        let la_row = vec![None, Some(SimTime::ns(10)), Some(SimTime::ns(3))];
+        let adaptive = SyncState::new(0, &la_row, 0, SyncMode::Adaptive, SimTime::ns(3).as_ps());
+        let fixed = SyncState::new(0, &la_row, 0, SyncMode::FixedEpoch, SimTime::ns(3).as_ps());
+        // Adaptive seeds each neighbor's EIT with the pairwise lookahead;
+        // fixed collapses both to the global minimum.
+        assert_eq!(adaptive.eit[1], SimTime::ns(10).as_ps());
+        assert_eq!(fixed.eit[1], SimTime::ns(3).as_ps());
+        assert_eq!(adaptive.eit[2], fixed.eit[2]);
+        assert_eq!(adaptive.eit_min(), fixed.eit_min());
+    }
+}

@@ -1,0 +1,487 @@
+//! The rank transport seam: how batches move between ranks.
+//!
+//! Everything that crosses a rank boundary — cross-rank events, EOT/null
+//! announcements, end-of-segment drains — moves through a [`RankEndpoint`],
+//! one per rank per segment. The synchronization *protocol* (what to send,
+//! when it is safe to process) lives in [`sync`](super::sync) and the rank
+//! loop; the transport only moves bytes, which is what makes the backends
+//! substitutable:
+//!
+//! * [`TransportKind::SharedMem`] — the in-process baseline: one crossbeam
+//!   channel per rank, batches move by pointer. Zero-copy, zero-serialize.
+//! * [`TransportKind::TcpLoopback`] — every neighbor pair gets a real TCP
+//!   connection over 127.0.0.1 and batches are serialized into
+//!   length-prefixed JSON frames. Deliberately *not* fast: it exists to
+//!   prove the seam carries everything the protocol needs (a distributed
+//!   backend slots in behind the same trait), and to let the differential
+//!   suite assert bit-identical results across a genuine wire.
+//!
+//! # Framing (TCP)
+//!
+//! Each frame is `[u32 little-endian payload length][payload]`, where the
+//! payload is the JSON encoding of a [`WireBatch`]: sender rank, EOT promise
+//! (ps), a FIN flag, and the events encoded with the same payload-codec
+//! registry checkpoints use ([`register_payload`](crate::snapshot::register_payload)
+//! is therefore required for any payload that crosses ranks over TCP).
+//! TCP's per-stream FIFO preserves the only ordering the conservative
+//! protocol needs — per-pair EOT monotonicity; arrival interleaving across
+//! different peers is irrelevant.
+//!
+//! # Drain handshake
+//!
+//! Segment teardown is two-phase across *all* endpoints: first every
+//! endpoint announces FIN to its peers ([`RankEndpoint::begin_drain`]),
+//! then each collects in-flight batches until every peer's FIN has arrived
+//! ([`RankEndpoint::finish_drain`]). Interleaving the phases per endpoint
+//! would deadlock the TCP backend (two peers each waiting for the other's
+//! FIN before sending their own).
+
+use crate::event::ScheduledEvent;
+use crate::snapshot::{self, EventSnap};
+use crate::time::SimTime;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use serde::{Deserialize, Serialize};
+use std::io::{BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One hop of the synchronization protocol: zero or more cross-rank events
+/// plus an EOT promise (in ps). An empty `events` is a pure null message.
+pub(crate) struct Batch {
+    pub from: u32,
+    pub events: Vec<ScheduledEvent>,
+    pub eot: u64,
+}
+
+/// Which transport backend carries cross-rank traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// In-process crossbeam channels (the default; batches move by pointer).
+    #[default]
+    SharedMem,
+    /// Length-prefixed JSON frames over per-pair TCP loopback connections.
+    /// Requires registered payload codecs, exactly like checkpointing.
+    TcpLoopback,
+}
+
+impl TransportKind {
+    pub const ALL: &'static [TransportKind] =
+        &[TransportKind::SharedMem, TransportKind::TcpLoopback];
+}
+
+impl std::fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TransportKind::SharedMem => "shm",
+            TransportKind::TcpLoopback => "tcp",
+        })
+    }
+}
+
+impl std::str::FromStr for TransportKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<TransportKind, String> {
+        match s {
+            "shm" | "shared-mem" | "shared" => Ok(TransportKind::SharedMem),
+            "tcp" | "tcp-loopback" => Ok(TransportKind::TcpLoopback),
+            other => Err(format!(
+                "unknown transport `{other}` (expected `shm` or `tcp`)"
+            )),
+        }
+    }
+}
+
+/// Outcome of a blocking receive with a timeout.
+pub(crate) enum Recv {
+    Batch(Batch),
+    Timeout,
+    Closed,
+}
+
+/// One rank's handle on the transport fabric for one segment.
+///
+/// Contract: `send` enqueues a batch toward a *neighbor* rank (ranks that
+/// share no link never address each other); `flush` pushes any buffered
+/// wire writes out — the rank loop calls it once per announcement round, so
+/// a backend may coalesce all of a round's EOT announcements into one
+/// syscall per peer, but must never hold traffic across a blocking wait
+/// (liveness: an unflushed promise can release a stalled neighbor).
+pub(crate) trait RankEndpoint: Send {
+    fn send(&mut self, to: u32, batch: Batch);
+    /// Push buffered frames to the wire. No-op for shared memory.
+    fn flush(&mut self);
+    fn try_recv(&mut self) -> Option<Batch>;
+    fn recv_timeout(&mut self, timeout: Duration) -> Recv;
+    /// Phase 1 of segment teardown (main thread, all ranks joined): tell
+    /// every peer this endpoint will send nothing further this segment.
+    fn begin_drain(&mut self);
+    /// Phase 2: deliver every batch still in flight to `sink`, returning
+    /// once all peers' `begin_drain` announcements have been seen.
+    fn finish_drain(&mut self, sink: &mut dyn FnMut(Batch));
+}
+
+/// Build the segment's transport fabric: one endpoint per rank. `pair_la`
+/// (the pairwise lookahead matrix) doubles as the neighbor map — the TCP
+/// backend only opens connections between ranks that actually exchange
+/// traffic.
+pub(crate) fn connect(
+    kind: TransportKind,
+    n_ranks: u32,
+    pair_la: &[Vec<Option<SimTime>>],
+) -> Vec<Box<dyn RankEndpoint>> {
+    match kind {
+        TransportKind::SharedMem => connect_shared_mem(n_ranks),
+        TransportKind::TcpLoopback => connect_tcp(n_ranks, pair_la),
+    }
+}
+
+// --- shared memory -------------------------------------------------------
+
+struct SharedMemEndpoint {
+    senders: Vec<Sender<Batch>>,
+    rx: Receiver<Batch>,
+}
+
+impl RankEndpoint for SharedMemEndpoint {
+    fn send(&mut self, to: u32, batch: Batch) {
+        // A closed channel means the peer's endpoint was already dropped
+        // (cannot happen mid-segment; defensive for teardown ordering).
+        let _ = self.senders[to as usize].send(batch);
+    }
+
+    fn flush(&mut self) {}
+
+    fn try_recv(&mut self) -> Option<Batch> {
+        self.rx.try_recv().ok()
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Recv {
+        match self.rx.recv_timeout(timeout) {
+            Ok(b) => Recv::Batch(b),
+            Err(RecvTimeoutError::Timeout) => Recv::Timeout,
+            Err(RecvTimeoutError::Disconnected) => Recv::Closed,
+        }
+    }
+
+    fn begin_drain(&mut self) {}
+
+    fn finish_drain(&mut self, sink: &mut dyn FnMut(Batch)) {
+        // All rank threads joined before the drain: every send happened
+        // before this call, so a non-blocking sweep sees everything.
+        while let Ok(b) = self.rx.try_recv() {
+            sink(b);
+        }
+    }
+}
+
+fn connect_shared_mem(n_ranks: u32) -> Vec<Box<dyn RankEndpoint>> {
+    let n = n_ranks as usize;
+    let mut txs = Vec::with_capacity(n);
+    let mut rxs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    rxs.into_iter()
+        .map(|rx| {
+            Box::new(SharedMemEndpoint {
+                senders: txs.clone(),
+                rx,
+            }) as Box<dyn RankEndpoint>
+        })
+        .collect()
+}
+
+// --- TCP loopback --------------------------------------------------------
+
+/// The on-wire batch: events encoded through the snapshot payload-codec
+/// registry (non-destructive on the sender; rebuilt with fresh boxes on the
+/// receiver, bit-identical by the same argument as checkpoint restore).
+#[derive(Serialize, Deserialize)]
+struct WireBatch {
+    from: u32,
+    eot: u64,
+    fin: bool,
+    events: Vec<EventSnap>,
+}
+
+enum TcpMsg {
+    Batch(Batch),
+    Fin,
+}
+
+struct TcpEndpoint {
+    me: u32,
+    /// Buffered writer per neighbor rank; `None` for non-neighbors.
+    writers: Vec<Option<BufWriter<TcpStream>>>,
+    inbox_rx: Receiver<TcpMsg>,
+    /// Keeps the inbox open even with zero peers or exited readers, so an
+    /// idle rank sees `Timeout` (like shared memory), never `Closed`.
+    _inbox_tx: Sender<TcpMsg>,
+    readers: Vec<JoinHandle<()>>,
+    fins_seen: usize,
+}
+
+fn write_frame(w: &mut BufWriter<TcpStream>, wire: &WireBatch) {
+    let json = serde_json::to_string(wire).expect("wire batch serializes");
+    let bytes = json.as_bytes();
+    w.write_all(&(bytes.len() as u32).to_le_bytes())
+        .and_then(|_| w.write_all(bytes))
+        .expect("tcp transport write failed");
+}
+
+impl RankEndpoint for TcpEndpoint {
+    fn send(&mut self, to: u32, batch: Batch) {
+        let events: Vec<EventSnap> = batch
+            .events
+            .into_iter()
+            .map(|ev| snapshot::encode_event(ev).0)
+            .collect();
+        let wire = WireBatch {
+            from: batch.from,
+            eot: batch.eot,
+            fin: false,
+            events,
+        };
+        let w = self.writers[to as usize]
+            .as_mut()
+            .unwrap_or_else(|| panic!("rank {} sent to non-neighbor rank {to}", self.me));
+        write_frame(w, &wire);
+    }
+
+    fn flush(&mut self) {
+        for w in self.writers.iter_mut().flatten() {
+            w.flush().expect("tcp transport flush failed");
+        }
+    }
+
+    fn try_recv(&mut self) -> Option<Batch> {
+        loop {
+            match self.inbox_rx.try_recv() {
+                Ok(TcpMsg::Batch(b)) => return Some(b),
+                Ok(TcpMsg::Fin) => self.fins_seen += 1,
+                Err(_) => return None,
+            }
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Recv {
+        match self.inbox_rx.recv_timeout(timeout) {
+            Ok(TcpMsg::Batch(b)) => Recv::Batch(b),
+            Ok(TcpMsg::Fin) => {
+                self.fins_seen += 1;
+                Recv::Timeout
+            }
+            Err(RecvTimeoutError::Timeout) => Recv::Timeout,
+            Err(RecvTimeoutError::Disconnected) => Recv::Closed,
+        }
+    }
+
+    fn begin_drain(&mut self) {
+        let me = self.me;
+        for w in self.writers.iter_mut().flatten() {
+            write_frame(
+                w,
+                &WireBatch {
+                    from: me,
+                    eot: 0,
+                    fin: true,
+                    events: Vec::new(),
+                },
+            );
+            w.flush().expect("tcp transport FIN flush failed");
+        }
+    }
+
+    fn finish_drain(&mut self, sink: &mut dyn FnMut(Batch)) {
+        // Per-stream FIFO: a peer's FIN is the last thing its reader
+        // forwards, so once every peer's FIN is counted nothing else can be
+        // in flight.
+        let expected = self.writers.iter().flatten().count();
+        while self.fins_seen < expected {
+            match self.inbox_rx.recv_timeout(Duration::from_secs(30)) {
+                Ok(TcpMsg::Batch(b)) => sink(b),
+                Ok(TcpMsg::Fin) => self.fins_seen += 1,
+                Err(_) => panic!("tcp transport drain timed out waiting for a peer FIN"),
+            }
+        }
+        for h in self.readers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, tx: Sender<TcpMsg>) {
+    let mut len_buf = [0u8; 4];
+    loop {
+        // A clean EOF here means the peer endpoint was dropped after its
+        // FIN; anything mid-frame is a transport bug.
+        if stream.read_exact(&mut len_buf).is_err() {
+            return;
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        let mut buf = vec![0u8; len];
+        stream.read_exact(&mut buf).expect("truncated tcp frame");
+        let text = std::str::from_utf8(&buf).expect("tcp frame is not utf-8");
+        let wire: WireBatch = serde_json::from_str(text).expect("malformed tcp frame");
+        if wire.fin {
+            let _ = tx.send(TcpMsg::Fin);
+            return;
+        }
+        let events: Vec<ScheduledEvent> = wire.events.iter().map(snapshot::decode_event).collect();
+        let ok = tx.send(TcpMsg::Batch(Batch {
+            from: wire.from,
+            events,
+            eot: wire.eot,
+        }));
+        if ok.is_err() {
+            return;
+        }
+    }
+}
+
+fn connect_tcp(n_ranks: u32, pair_la: &[Vec<Option<SimTime>>]) -> Vec<Box<dyn RankEndpoint>> {
+    let n = n_ranks as usize;
+    let inboxes: Vec<(Sender<TcpMsg>, Receiver<TcpMsg>)> = (0..n).map(|_| unbounded()).collect();
+    let mut writers: Vec<Vec<Option<BufWriter<TcpStream>>>> =
+        (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+    let mut readers: Vec<Vec<JoinHandle<()>>> = (0..n).map(|_| Vec::new()).collect();
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind tcp loopback");
+    let addr = listener.local_addr().expect("loopback address");
+    for (r, row) in pair_la.iter().enumerate() {
+        for (s, la) in row.iter().enumerate().skip(r + 1) {
+            if la.is_none() {
+                continue;
+            }
+            // The connect completes through the listener's backlog, so the
+            // sequential connect-then-accept cannot deadlock, and with a
+            // single setup thread the accepted stream is always the one
+            // just connected.
+            let a = TcpStream::connect(addr).expect("connect tcp loopback");
+            let (b, _) = listener.accept().expect("accept tcp loopback");
+            for (me, stream) in [(r, a), (s, b)] {
+                let peer = if me == r { s } else { r };
+                stream.set_nodelay(true).expect("set nodelay");
+                let read_half = stream.try_clone().expect("clone tcp stream");
+                writers[me][peer] = Some(BufWriter::new(stream));
+                let tx = inboxes[me].0.clone();
+                readers[me].push(std::thread::spawn(move || reader_loop(read_half, tx)));
+            }
+        }
+    }
+
+    inboxes
+        .into_iter()
+        .zip(writers)
+        .zip(readers)
+        .enumerate()
+        .map(|(me, (((tx, rx), writers), readers))| {
+            Box::new(TcpEndpoint {
+                me: me as u32,
+                writers,
+                inbox_rx: rx,
+                _inbox_tx: tx,
+                readers,
+                fins_seen: 0,
+            }) as Box<dyn RankEndpoint>
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transport_kind_parses_and_prints() {
+        for (text, kind) in [
+            ("shm", TransportKind::SharedMem),
+            ("shared-mem", TransportKind::SharedMem),
+            ("tcp", TransportKind::TcpLoopback),
+            ("tcp-loopback", TransportKind::TcpLoopback),
+        ] {
+            assert_eq!(text.parse::<TransportKind>().unwrap(), kind);
+        }
+        assert!("mpi".parse::<TransportKind>().is_err());
+        assert_eq!(TransportKind::SharedMem.to_string(), "shm");
+        assert_eq!(TransportKind::TcpLoopback.to_string(), "tcp");
+    }
+
+    #[test]
+    fn shared_mem_round_trip_and_drain() {
+        let mut eps = connect(TransportKind::SharedMem, 2, &[vec![], vec![]]);
+        let (a, b) = eps.split_at_mut(1);
+        a[0].send(
+            1,
+            Batch {
+                from: 0,
+                events: Vec::new(),
+                eot: 42,
+            },
+        );
+        a[0].flush();
+        match b[0].recv_timeout(Duration::from_secs(1)) {
+            Recv::Batch(batch) => {
+                assert_eq!(batch.from, 0);
+                assert_eq!(batch.eot, 42);
+            }
+            _ => panic!("expected a batch"),
+        }
+        for e in eps.iter_mut() {
+            e.begin_drain();
+        }
+        for e in eps.iter_mut() {
+            e.finish_drain(&mut |_| panic!("nothing should remain"));
+        }
+    }
+
+    #[test]
+    fn tcp_loopback_round_trip_and_drain() {
+        use crate::time::SimTime;
+        let la = Some(SimTime::ns(1));
+        let pair_la = vec![vec![None, la], vec![la, None]];
+        let mut eps = connect(TransportKind::TcpLoopback, 2, &pair_la);
+        let (a, b) = eps.split_at_mut(1);
+        a[0].send(
+            1,
+            Batch {
+                from: 0,
+                events: Vec::new(),
+                eot: 7,
+            },
+        );
+        a[0].flush();
+        match b[0].recv_timeout(Duration::from_secs(5)) {
+            Recv::Batch(batch) => {
+                assert_eq!(batch.from, 0);
+                assert_eq!(batch.eot, 7);
+                assert!(batch.events.is_empty());
+            }
+            _ => panic!("expected a batch over tcp"),
+        }
+        // Unflushed frames must not be visible yet.
+        b[0].send(
+            0,
+            Batch {
+                from: 1,
+                events: Vec::new(),
+                eot: 9,
+            },
+        );
+        assert!(a[0].try_recv().is_none());
+        b[0].flush();
+        match a[0].recv_timeout(Duration::from_secs(5)) {
+            Recv::Batch(batch) => assert_eq!(batch.eot, 9),
+            _ => panic!("expected the flushed batch"),
+        }
+        for e in eps.iter_mut() {
+            e.begin_drain();
+        }
+        for e in eps.iter_mut() {
+            e.finish_drain(&mut |_| panic!("nothing should remain"));
+        }
+    }
+}

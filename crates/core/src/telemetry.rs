@@ -926,6 +926,17 @@ pub struct RankSyncProfile {
     pub null_batches_sent: u64,
     /// Cross-rank events shipped.
     pub events_sent: u64,
+    /// Pure-null announcements suppressed by adaptive sync (the EOT gain
+    /// was below the pairwise lookahead while the rank was busy).
+    #[serde(default)]
+    pub barriers_skipped: u64,
+    /// EOT jumps of at least the pairwise lookahead announced immediately —
+    /// each one hands the neighbor a whole widened epoch in one message.
+    #[serde(default)]
+    pub epochs_widened: u64,
+    /// Times the rank blocked on its inbox with nothing safe to process.
+    #[serde(default)]
+    pub stall_rounds: u64,
     /// Wallclock nanoseconds spent blocked waiting for neighbor input.
     pub stall_ns: u64,
 }
@@ -961,12 +972,16 @@ impl fmt::Display for EngineProfile {
         for r in &self.ranks {
             writeln!(
                 f,
-                "rank {}: {} sync rounds, {} batches ({} pure nulls), {} events sent, {:.1} ms stalled",
+                "rank {}: {} sync rounds, {} batches ({} pure nulls), {} events sent, \
+                 {} barriers skipped, {} epochs widened, {} stall rounds ({:.1} ms stalled)",
                 r.rank,
                 r.sync_rounds,
                 r.batches_sent,
                 r.null_batches_sent,
                 r.events_sent,
+                r.barriers_skipped,
+                r.epochs_widened,
+                r.stall_rounds,
                 r.stall_ns as f64 / 1e6
             )?;
         }

@@ -21,4 +21,7 @@ pub use components::{FabricComponent, Packet, TrafficGen};
 pub use model::{fabric_model, AnalyticFabric, DesFabric, FabricModel, FabricRunResult, Flow};
 pub use mpi::{halo_exchange_3d, CommOp, MpiRun, MpiSim};
 pub use network::{NetConfig, NetStats, Network};
-pub use topology::{FatTree, LinkId, Route, Topology, Torus3D};
+pub use topology::{
+    FatTree, LazyDragonfly, LazyFatTree, LazyTorus, LazyTraffic, LinkId, Route, Topology, Torus3D,
+    TrafficNode,
+};

@@ -5,6 +5,12 @@
 //! contention. Two families from the machines in the study are provided:
 //! the 3-D torus (Cray XE6 "Gemini", Red Sky) and the two-level fat tree
 //! (InfiniBand clusters).
+//!
+//! The second half of the module holds the **lazy component-graph
+//! generators** ([`LazyTorus`], [`LazyDragonfly`], [`LazyFatTree`]): full
+//! discrete-event systems of [`TrafficNode`]s, streamed into the parallel
+//! engine through [`LazySystem`] so million-component machines build
+//! without an eager boxed-component vector.
 
 use serde::{Deserialize, Serialize};
 
@@ -54,6 +60,11 @@ impl Torus3D {
         Torus3D {
             dims: [dims[0], dims[1], dims[2]],
         }
+    }
+
+    /// The three dimension sizes.
+    pub fn dims(&self) -> [u32; 3] {
+        self.dims
     }
 
     #[inline]
@@ -216,6 +227,415 @@ impl Topology for FatTree {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Lazy component-graph generators
+//
+// The [`Topology`] trait above describes *routes* for the timing model; the
+// generators below describe *component graphs* for full discrete-event
+// simulation. They implement [`LazySystem`], so the parallel engine streams
+// components straight into per-rank slot tables — a 10^6-node torus never
+// exists as one eager `Vec<Box<dyn Component>>`, and peak memory scales
+// with the largest rank, not the whole machine.
+//
+// Every node is a [`TrafficNode`]: it seeds a configurable number of tokens
+// at time zero and forwards each arriving token out a random live port
+// until its TTL expires. The per-component RNG is seeded by component id,
+// so serial, shared-memory-parallel, and TCP-parallel runs of the same
+// shape are bit-identical.
+
+use rand::Rng;
+use sst_core::prelude::*;
+
+/// A token bouncing through a generated topology.
+#[derive(Debug, Serialize, Deserialize)]
+struct LazyTok {
+    ttl: u32,
+}
+
+/// The workload node used by every lazy generator: round-robins
+/// `initial_tokens` over its live ports at setup, then forwards each
+/// arriving token out a uniformly random live port with the TTL
+/// decremented. Stateless between events, so the default (null) checkpoint
+/// body is correct.
+pub struct TrafficNode {
+    /// The ports this node is actually wired on (varies per node: torus
+    /// nodes in degenerate dims, dragonfly routers without a global link,
+    /// fat-tree terminals).
+    live_ports: Vec<PortId>,
+    initial_tokens: u32,
+    ttl: u32,
+    forwarded: Option<StatId>,
+}
+
+impl TrafficNode {
+    pub fn new(live_ports: Vec<PortId>, initial_tokens: u32, ttl: u32) -> TrafficNode {
+        TrafficNode {
+            live_ports,
+            initial_tokens,
+            ttl,
+            forwarded: None,
+        }
+    }
+}
+
+impl Component for TrafficNode {
+    fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+        register_payload::<LazyTok>("net.token");
+        self.forwarded = Some(ctx.stat_counter("forwarded"));
+        if self.live_ports.is_empty() {
+            return;
+        }
+        for i in 0..self.initial_tokens {
+            let port = self.live_ports[i as usize % self.live_ports.len()];
+            ctx.send(port, LazyTok { ttl: self.ttl });
+        }
+    }
+
+    fn on_event(&mut self, _port: PortId, payload: PayloadSlot, ctx: &mut SimCtx<'_>) {
+        let tok = downcast::<LazyTok>(payload);
+        ctx.add_stat(self.forwarded.unwrap(), 1);
+        if tok.ttl > 0 {
+            let out = self.live_ports[ctx.rng().gen::<u32>() as usize % self.live_ports.len()];
+            ctx.send(out, LazyTok { ttl: tok.ttl - 1 });
+        }
+    }
+}
+
+/// Traffic knobs shared by every lazy generator.
+#[derive(Debug, Clone, Copy)]
+pub struct LazyTraffic {
+    pub tokens_per_node: u32,
+    pub ttl: u32,
+    /// Uniform link latency — it is also the parallel lookahead.
+    pub latency: SimTime,
+}
+
+impl Default for LazyTraffic {
+    fn default() -> Self {
+        LazyTraffic {
+            tokens_per_node: 2,
+            ttl: 40,
+            latency: SimTime::ns(20),
+        }
+    }
+}
+
+/// Lazy 3-D torus of [`TrafficNode`]s. Node `i` sits at
+/// `(i % x, (i / x) % y, i / (x*y))`; port `2*dim` points +1 in `dim`,
+/// `2*dim + 1` points -1. Size-1 dimensions are unwired; size-2 dimensions
+/// get two parallel links per pair (each node's +port to the neighbor's
+/// -port), keeping every port distinct.
+///
+/// The default block [`LazySystem::rank_of`] slices the row-major id space
+/// into contiguous z-slabs — exactly the hand partition the eager pdes
+/// experiment uses, so cross-rank links are the z-direction ones.
+#[derive(Debug, Clone)]
+pub struct LazyTorus {
+    dims: [u32; 3],
+    pub traffic: LazyTraffic,
+}
+
+impl LazyTorus {
+    pub fn new(x: u32, y: u32, z: u32, traffic: LazyTraffic) -> LazyTorus {
+        assert!(x >= 1 && y >= 1 && z >= 1);
+        LazyTorus {
+            dims: [x, y, z],
+            traffic,
+        }
+    }
+
+    /// The most-cubic torus holding at least `n` nodes.
+    pub fn fitting(n: u32, traffic: LazyTraffic) -> LazyTorus {
+        let d = Torus3D::fitting(n).dims();
+        LazyTorus::new(d[0], d[1], d[2], traffic)
+    }
+
+    pub fn dims(&self) -> [u32; 3] {
+        self.dims
+    }
+
+    #[inline]
+    fn coords(&self, node: u32) -> [u32; 3] {
+        let [x, y, _] = self.dims;
+        [node % x, (node / x) % y, node / (x * y)]
+    }
+
+    #[inline]
+    fn node_at(&self, c: [u32; 3]) -> u32 {
+        c[0] + c[1] * self.dims[0] + c[2] * self.dims[0] * self.dims[1]
+    }
+
+    fn live_ports(&self) -> Vec<PortId> {
+        let mut ports = Vec::new();
+        for dim in 0..3 {
+            if self.dims[dim] > 1 {
+                ports.push(PortId(2 * dim as u16));
+                ports.push(PortId(2 * dim as u16 + 1));
+            }
+        }
+        ports
+    }
+}
+
+impl LazySystem for LazyTorus {
+    fn component_count(&self) -> u32 {
+        self.dims.iter().product()
+    }
+
+    fn component_name(&self, i: u32) -> String {
+        format!("n{i}")
+    }
+
+    fn create(&self, _i: u32) -> Box<dyn Component> {
+        Box::new(TrafficNode::new(
+            self.live_ports(),
+            self.traffic.tokens_per_node,
+            self.traffic.ttl,
+        ))
+    }
+
+    fn for_each_link(&self, f: &mut dyn FnMut(LazyLink)) {
+        let n = self.component_count();
+        for node in 0..n {
+            let c = self.coords(node);
+            for dim in 0..3 {
+                if self.dims[dim] <= 1 {
+                    continue;
+                }
+                let mut p = c;
+                p[dim] = (c[dim] + 1) % self.dims[dim];
+                f(LazyLink {
+                    a: (ComponentId(node), PortId(2 * dim as u16)),
+                    b: (ComponentId(self.node_at(p)), PortId(2 * dim as u16 + 1)),
+                    latency: self.traffic.latency,
+                });
+            }
+        }
+    }
+}
+
+/// Lazy dragonfly of [`TrafficNode`] routers: `groups` groups of
+/// `routers_per_group` routers. Within a group the routers are fully
+/// connected (local port = peer's in-group index); router `r` of group `i`
+/// carries the global link to every group `j != i` with `j % a == r`
+/// (global port = `a + j`), the standard balanced arrangement.
+#[derive(Debug, Clone)]
+pub struct LazyDragonfly {
+    groups: u32,
+    routers_per_group: u32,
+    pub traffic: LazyTraffic,
+}
+
+impl LazyDragonfly {
+    pub fn new(groups: u32, routers_per_group: u32, traffic: LazyTraffic) -> LazyDragonfly {
+        assert!(groups >= 1 && routers_per_group >= 1);
+        LazyDragonfly {
+            groups,
+            routers_per_group,
+            traffic,
+        }
+    }
+
+    /// A dragonfly with `a = g` holding at least `n` routers (the balanced
+    /// square arrangement).
+    pub fn fitting(n: u32, traffic: LazyTraffic) -> LazyDragonfly {
+        let side = (n as f64).sqrt().ceil().max(1.0) as u32;
+        LazyDragonfly::new(side, side, traffic)
+    }
+
+    pub fn shape(&self) -> (u32, u32) {
+        (self.groups, self.routers_per_group)
+    }
+
+    fn live_ports(&self, i: u32) -> Vec<PortId> {
+        let a = self.routers_per_group;
+        let (group, local) = (i / a, i % a);
+        let mut ports = Vec::new();
+        for peer in 0..a {
+            if peer != local {
+                ports.push(PortId(peer as u16));
+            }
+        }
+        for j in 0..self.groups {
+            if j != group && j % a == local {
+                ports.push(PortId((a + j) as u16));
+            }
+        }
+        ports
+    }
+}
+
+impl LazySystem for LazyDragonfly {
+    fn component_count(&self) -> u32 {
+        self.groups * self.routers_per_group
+    }
+
+    fn component_name(&self, i: u32) -> String {
+        let a = self.routers_per_group;
+        format!("g{}r{}", i / a, i % a)
+    }
+
+    fn create(&self, i: u32) -> Box<dyn Component> {
+        Box::new(TrafficNode::new(
+            self.live_ports(i),
+            self.traffic.tokens_per_node,
+            self.traffic.ttl,
+        ))
+    }
+
+    fn for_each_link(&self, f: &mut dyn FnMut(LazyLink)) {
+        let a = self.routers_per_group;
+        // Local all-to-all within each group.
+        for g in 0..self.groups {
+            for i in 0..a {
+                for j in (i + 1)..a {
+                    f(LazyLink {
+                        a: (ComponentId(g * a + i), PortId(j as u16)),
+                        b: (ComponentId(g * a + j), PortId(i as u16)),
+                        latency: self.traffic.latency,
+                    });
+                }
+            }
+        }
+        // One global link per group pair, attached to the responsible
+        // router on each side.
+        for i in 0..self.groups {
+            for j in (i + 1)..self.groups {
+                f(LazyLink {
+                    a: (ComponentId(i * a + j % a), PortId((a + j) as u16)),
+                    b: (ComponentId(j * a + i % a), PortId((a + i) as u16)),
+                    latency: self.traffic.latency,
+                });
+            }
+        }
+    }
+
+    /// Groups are contiguous in the id space, so the default block split
+    /// already keeps them together; made explicit for documentation.
+    fn rank_of(&self, i: u32, n_ranks: u32) -> u32 {
+        let n = self.component_count();
+        let per = n.div_ceil(n_ranks).max(1);
+        (i / per).min(n_ranks - 1)
+    }
+}
+
+/// Lazy two-level fat tree of [`TrafficNode`]s: `leaves * nodes_per_leaf`
+/// terminals (ids first), then the leaf switches, then the spines.
+/// Terminal port 0 goes up to its leaf; a leaf's ports are `m` down-ports
+/// followed by `s` up-ports; a spine has one port per leaf.
+#[derive(Debug, Clone)]
+pub struct LazyFatTree {
+    leaves: u32,
+    nodes_per_leaf: u32,
+    spines: u32,
+    pub traffic: LazyTraffic,
+}
+
+impl LazyFatTree {
+    pub fn new(leaves: u32, nodes_per_leaf: u32, spines: u32, traffic: LazyTraffic) -> LazyFatTree {
+        assert!(leaves >= 1 && nodes_per_leaf >= 1 && spines >= 1);
+        // Port ids are u16: a leaf needs m + s ports, a spine needs L.
+        assert!(nodes_per_leaf + spines <= u16::MAX as u32 && leaves <= u16::MAX as u32);
+        LazyFatTree {
+            leaves,
+            nodes_per_leaf,
+            spines,
+            traffic,
+        }
+    }
+
+    /// A full-bisection two-level tree for at least `n` terminals with
+    /// 36-port switches (18 down / 18 up).
+    pub fn fitting(n: u32, traffic: LazyTraffic) -> LazyFatTree {
+        let per = 18u32;
+        let leaves = n.div_ceil(per).max(1);
+        LazyFatTree::new(leaves, per, leaves, traffic)
+    }
+
+    pub fn shape(&self) -> (u32, u32, u32) {
+        (self.leaves, self.nodes_per_leaf, self.spines)
+    }
+
+    fn terminals(&self) -> u32 {
+        self.leaves * self.nodes_per_leaf
+    }
+
+    fn leaf_id(&self, l: u32) -> u32 {
+        self.terminals() + l
+    }
+
+    fn spine_id(&self, s: u32) -> u32 {
+        self.terminals() + self.leaves + s
+    }
+}
+
+impl LazySystem for LazyFatTree {
+    fn component_count(&self) -> u32 {
+        self.terminals() + self.leaves + self.spines
+    }
+
+    fn component_name(&self, i: u32) -> String {
+        let t = self.terminals();
+        if i < t {
+            format!("t{i}")
+        } else if i < t + self.leaves {
+            format!("leaf{}", i - t)
+        } else {
+            format!("spine{}", i - t - self.leaves)
+        }
+    }
+
+    fn create(&self, i: u32) -> Box<dyn Component> {
+        let t = self.terminals();
+        let (ports, tokens) = if i < t {
+            // Terminals inject the traffic; switches only forward.
+            (vec![PortId(0)], self.traffic.tokens_per_node)
+        } else if i < t + self.leaves {
+            let m = self.nodes_per_leaf as u16;
+            let s = self.spines as u16;
+            ((0..m + s).map(PortId).collect(), 0)
+        } else {
+            ((0..self.leaves as u16).map(PortId).collect(), 0)
+        };
+        Box::new(TrafficNode::new(ports, tokens, self.traffic.ttl))
+    }
+
+    fn for_each_link(&self, f: &mut dyn FnMut(LazyLink)) {
+        let m = self.nodes_per_leaf;
+        for term in 0..self.terminals() {
+            let leaf = term / m;
+            f(LazyLink {
+                a: (ComponentId(term), PortId(0)),
+                b: (ComponentId(self.leaf_id(leaf)), PortId((term % m) as u16)),
+                latency: self.traffic.latency,
+            });
+        }
+        for l in 0..self.leaves {
+            for sp in 0..self.spines {
+                f(LazyLink {
+                    a: (ComponentId(self.leaf_id(l)), PortId((m + sp) as u16)),
+                    b: (ComponentId(self.spine_id(sp)), PortId(l as u16)),
+                    latency: self.traffic.latency,
+                });
+            }
+        }
+    }
+
+    /// Keep each leaf and its terminals on one rank (the terminal↔leaf
+    /// links are the bulk of the graph); spread leaves and spines evenly.
+    fn rank_of(&self, i: u32, n_ranks: u32) -> u32 {
+        let t = self.terminals();
+        let (nr, l, of) = (n_ranks as u64, self.leaves as u64, self.spines as u64);
+        if i < t {
+            ((i / self.nodes_per_leaf) as u64 * nr / l) as u32
+        } else if i < t + self.leaves {
+            ((i - t) as u64 * nr / l) as u32
+        } else {
+            ((i - t - self.leaves) as u64 * nr / of) as u32
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,5 +758,117 @@ mod tests {
             "spine selection should spread: {}",
             used.len()
         );
+    }
+
+    // -- lazy generators --------------------------------------------------
+
+    fn quick_traffic() -> LazyTraffic {
+        LazyTraffic {
+            tokens_per_node: 2,
+            ttl: 24,
+            latency: SimTime::ns(10),
+        }
+    }
+
+    /// Serial-materialized vs lazy-parallel, across transports: every run
+    /// of the same generated system must be bit-identical.
+    fn assert_lazy_matches_serial(sys: &dyn LazySystem) {
+        let serial = Engine::new(SystemBuilder::materialize(sys)).run(RunLimit::Exhaust);
+        assert!(serial.events > 0, "workload must be non-trivial");
+        for ranks in [1u32, 2, 4] {
+            for transport in [TransportKind::SharedMem, TransportKind::TcpLoopback] {
+                let cfg = ParallelConfig {
+                    ranks,
+                    transport,
+                    ..ParallelConfig::default()
+                };
+                let report = ParallelEngine::lazy(sys, cfg).run(RunLimit::Exhaust);
+                assert_eq!(
+                    (serial.events, serial.end_time, serial.clock_ticks),
+                    (report.events, report.end_time, report.clock_ticks),
+                    "{ranks} ranks over {transport} diverged from serial"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_torus_matches_serial_on_all_transports() {
+        assert_lazy_matches_serial(&LazyTorus::new(4, 3, 2, quick_traffic()));
+    }
+
+    #[test]
+    fn lazy_dragonfly_matches_serial_on_all_transports() {
+        assert_lazy_matches_serial(&LazyDragonfly::new(5, 4, quick_traffic()));
+    }
+
+    #[test]
+    fn lazy_fat_tree_matches_serial_on_all_transports() {
+        assert_lazy_matches_serial(&LazyFatTree::new(4, 3, 2, quick_traffic()));
+    }
+
+    #[test]
+    fn degenerate_torus_dims_stay_consistent() {
+        // A 6x1x1 torus is a ring: size-1 dims must not emit links.
+        let sys = LazyTorus::new(6, 1, 1, quick_traffic());
+        let mut links = 0;
+        sys.for_each_link(&mut |l| {
+            assert_ne!(l.a.0, l.b.0);
+            links += 1;
+        });
+        assert_eq!(links, 6);
+        assert_lazy_matches_serial(&sys);
+    }
+
+    #[test]
+    fn dragonfly_links_are_exact() {
+        let (g, a) = (6u32, 3u32);
+        let sys = LazyDragonfly::new(g, a, quick_traffic());
+        let mut links = 0;
+        let mut seen = std::collections::HashSet::new();
+        sys.for_each_link(&mut |l| {
+            assert!(seen.insert((l.a.0, l.a.1)), "port reused: {:?}", l.a);
+            assert!(seen.insert((l.b.0, l.b.1)), "port reused: {:?}", l.b);
+            links += 1;
+        });
+        // g groups of a-choose-2 local links + one global per group pair.
+        assert_eq!(links, g * a * (a - 1) / 2 + g * (g - 1) / 2);
+    }
+
+    /// The acceptance-criterion smoke: a >=10^5-component torus streams
+    /// through the lazy path and partitions over 16 ranks without ever
+    /// materializing an eager component vector.
+    #[test]
+    fn lazy_torus_scales_to_1e5_components() {
+        let sys = LazyTorus::fitting(100_000, quick_traffic());
+        let n: u32 = sys.dims().iter().product();
+        assert!(n >= 100_000, "fitting() returned only {n} nodes");
+        let engine = ParallelEngine::lazy(
+            &sys,
+            ParallelConfig {
+                ranks: 16,
+                ..ParallelConfig::default()
+            },
+        );
+        let s = engine.partition_summary();
+        assert_eq!(s.components, n as u64);
+        assert_eq!(s.rank_components.len(), 16);
+        assert!(s.rank_components.iter().all(|&c| c > 0));
+        assert_eq!(s.min_lookahead_ps, Some(SimTime::ns(10).as_ps()));
+    }
+
+    #[test]
+    fn fat_tree_rank_of_keeps_terminals_with_their_leaf() {
+        let sys = LazyFatTree::new(8, 4, 4, quick_traffic());
+        let n = sys.component_count();
+        for ranks in [2u32, 4] {
+            for i in 0..n {
+                assert!(sys.rank_of(i, ranks) < ranks);
+            }
+            for term in 0..sys.terminals() {
+                let leaf = sys.leaf_id(term / sys.nodes_per_leaf);
+                assert_eq!(sys.rank_of(term, ranks), sys.rank_of(leaf, ranks));
+            }
+        }
     }
 }

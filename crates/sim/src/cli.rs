@@ -4,8 +4,9 @@
 //! binary exits with code 2) rather than being silently ignored. Flags
 //! accept both `--flag value` and `--flag=value` spellings.
 
+use crate::experiments::topo::TOPOS;
 use sst_core::telemetry::{parse_trace_kind, TelemetryOptions};
-use sst_core::{Fidelity, PartitionStrategy, SimTime};
+use sst_core::{Fidelity, PartitionStrategy, SimTime, SyncMode, TransportKind};
 use std::path::PathBuf;
 
 /// Telemetry-related flags shared by `experiment` and `run`.
@@ -96,6 +97,15 @@ pub enum Cmd {
         fidelity: Fidelity,
         ranks: Option<u32>,
         partition: PartitionCliOpts,
+        /// `--transport shm|tcp`: cross-rank event backend.
+        transport: Option<TransportKind>,
+        /// `--sync fixed|adaptive`: epoch synchronization policy.
+        sync: Option<SyncMode>,
+        /// `--topo torus|dragonfly|fat-tree`: lazy-topology family (the
+        /// `topo` experiment only).
+        topo: Option<String>,
+        /// `--topo-nodes N`: minimum component count for `--topo`.
+        topo_nodes: Option<u32>,
         telemetry: TelemetryCliOpts,
         checkpoint: CheckpointCliOpts,
     },
@@ -104,6 +114,8 @@ pub enum Cmd {
         until_ms: Option<u64>,
         ranks: u32,
         partition: PartitionCliOpts,
+        transport: Option<TransportKind>,
+        sync: Option<SyncMode>,
         telemetry: TelemetryCliOpts,
         checkpoint: CheckpointCliOpts,
     },
@@ -140,6 +152,10 @@ struct Parsed {
     ranks: Option<u32>,
     partition: Option<PartitionStrategy>,
     partition_profile: Option<PathBuf>,
+    transport: Option<TransportKind>,
+    sync: Option<SyncMode>,
+    topo: Option<String>,
+    topo_nodes: Option<u32>,
     checkpoint_every_ms: Option<f64>,
     checkpoint_dir: Option<PathBuf>,
     seen: Vec<&'static str>,
@@ -223,6 +239,10 @@ pub fn parse(args: &[String]) -> Result<Cmd, String> {
                 | "ranks"
                 | "partition"
                 | "partition-profile"
+                | "transport"
+                | "sync"
+                | "topo"
+                | "topo-nodes"
                 | "checkpoint-every"
                 | "checkpoint-dir"
         );
@@ -325,6 +345,36 @@ pub fn parse(args: &[String]) -> Result<Cmd, String> {
                 p.partition_profile = Some(PathBuf::from(value.unwrap()));
                 p.seen.push("partition-profile");
             }
+            "transport" => {
+                p.transport = Some(value.unwrap().parse::<TransportKind>()?);
+                p.seen.push("transport");
+            }
+            "sync" => {
+                p.sync = Some(value.unwrap().parse::<SyncMode>()?);
+                p.seen.push("sync");
+            }
+            "topo" => {
+                let v = value.unwrap();
+                if !TOPOS.contains(&v.as_str()) {
+                    return Err(format!(
+                        "unknown topology `{v}` (expected {})",
+                        TOPOS.join("|")
+                    ));
+                }
+                p.topo = Some(v);
+                p.seen.push("topo");
+            }
+            "topo-nodes" => {
+                let n: u32 = value
+                    .unwrap()
+                    .parse()
+                    .map_err(|_| "--topo-nodes needs an integer".to_string())?;
+                if n == 0 {
+                    return Err("--topo-nodes must be >= 1".into());
+                }
+                p.topo_nodes = Some(n);
+                p.seen.push("topo-nodes");
+            }
             "checkpoint-every" => {
                 let ms: f64 = value
                     .unwrap()
@@ -366,6 +416,10 @@ pub fn parse(args: &[String]) -> Result<Cmd, String> {
                 "ranks",
                 "partition",
                 "partition-profile",
+                "transport",
+                "sync",
+                "topo",
+                "topo-nodes",
             ];
             allowed.extend_from_slice(TELEMETRY_FLAGS);
             allowed.extend_from_slice(CHECKPOINT_FLAGS);
@@ -377,13 +431,24 @@ pub fn parse(args: &[String]) -> Result<Cmd, String> {
                 fidelity: p.fidelity.unwrap_or_default(),
                 ranks: p.ranks,
                 partition: p.partition_opts(),
+                transport: p.transport,
+                sync: p.sync,
+                topo: p.topo.clone(),
+                topo_nodes: p.topo_nodes,
                 telemetry: p.telemetry(),
                 checkpoint: p.checkpoint_opts()?,
             })
         }
         "run" => {
             exactly(1, "config path")?;
-            let mut allowed = vec!["until-ms", "ranks", "partition", "partition-profile"];
+            let mut allowed = vec![
+                "until-ms",
+                "ranks",
+                "partition",
+                "partition-profile",
+                "transport",
+                "sync",
+            ];
             allowed.extend_from_slice(TELEMETRY_FLAGS);
             allowed.extend_from_slice(CHECKPOINT_FLAGS);
             p.reject_unless("run", &allowed)?;
@@ -392,6 +457,8 @@ pub fn parse(args: &[String]) -> Result<Cmd, String> {
                 until_ms: p.until_ms,
                 ranks: p.ranks.unwrap_or(1),
                 partition: p.partition_opts(),
+                transport: p.transport,
+                sync: p.sync,
                 telemetry: p.telemetry(),
                 checkpoint: p.checkpoint_opts()?,
             })
@@ -538,6 +605,8 @@ mod tests {
                 until_ms: Some(5),
                 ranks: 4,
                 partition: PartitionCliOpts::default(),
+                transport: None,
+                sync: None,
                 telemetry: TelemetryCliOpts {
                     profile: true,
                     ..Default::default()
@@ -584,6 +653,69 @@ mod tests {
         let e = parse(&args("experiment pdes --partition frobnicate")).unwrap_err();
         assert!(e.contains("unknown partition strategy"), "{e}");
         let e = parse(&args("list-components --partition block")).unwrap_err();
+        assert!(e.contains("does not accept"), "{e}");
+    }
+
+    #[test]
+    fn transport_and_sync_flags_parse() {
+        let cmd = parse(&args(
+            "experiment pdes --quick --ranks 4 --transport tcp --sync fixed",
+        ))
+        .unwrap();
+        let Cmd::Experiment {
+            transport, sync, ..
+        } = cmd
+        else {
+            panic!("wrong command")
+        };
+        assert_eq!(transport, Some(TransportKind::TcpLoopback));
+        assert_eq!(sync, Some(SyncMode::FixedEpoch));
+
+        let cmd = parse(&args(
+            "run cfg.json --ranks 2 --transport=shm --sync=adaptive",
+        ))
+        .unwrap();
+        let Cmd::Run {
+            transport, sync, ..
+        } = cmd
+        else {
+            panic!("wrong command")
+        };
+        assert_eq!(transport, Some(TransportKind::SharedMem));
+        assert_eq!(sync, Some(SyncMode::Adaptive));
+
+        let e = parse(&args("experiment pdes --transport carrier-pigeon")).unwrap_err();
+        assert!(e.contains("unknown transport"), "{e}");
+        let e = parse(&args("experiment pdes --sync optimistic")).unwrap_err();
+        assert!(e.contains("unknown sync mode"), "{e}");
+        let e = parse(&args("restore a.snap.json --transport tcp")).unwrap_err();
+        assert!(e.contains("does not accept"), "{e}");
+    }
+
+    #[test]
+    fn topo_flags_parse() {
+        let cmd = parse(&args(
+            "experiment topo --quick --topo dragonfly --topo-nodes 4096",
+        ))
+        .unwrap();
+        let Cmd::Experiment {
+            id,
+            topo,
+            topo_nodes,
+            ..
+        } = cmd
+        else {
+            panic!("wrong command")
+        };
+        assert_eq!(id, "topo");
+        assert_eq!(topo.as_deref(), Some("dragonfly"));
+        assert_eq!(topo_nodes, Some(4096));
+
+        let e = parse(&args("experiment topo --topo hypercube")).unwrap_err();
+        assert!(e.contains("unknown topology"), "{e}");
+        let e = parse(&args("experiment topo --topo-nodes 0")).unwrap_err();
+        assert!(e.contains(">= 1"), "{e}");
+        let e = parse(&args("run cfg.json --topo torus")).unwrap_err();
         assert!(e.contains("does not accept"), "{e}");
     }
 

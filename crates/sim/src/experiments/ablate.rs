@@ -80,6 +80,8 @@ fn lookahead_run(latency_ns: u64) -> (u64, f64) {
         rank_counts: vec![],
         telemetry: sst_core::telemetry::TelemetrySpec::disabled(),
         partition: Default::default(),
+        transport: Default::default(),
+        sync: Default::default(),
         profile: None,
         checkpoint: None,
     };

@@ -16,19 +16,20 @@ pub mod fig08;
 pub mod fig09;
 pub mod pdes;
 pub mod pim;
+pub mod topo;
 pub mod validate;
 
 use crate::table::Table;
 use sst_core::fidelity::Fidelity;
 use sst_core::telemetry::{CheckpointEntry, EngineProfile, TelemetrySpec};
-use sst_core::{PartitionStrategy, SimTime, Snapshot};
+use sst_core::{PartitionStrategy, SimTime, Snapshot, SyncMode, TransportKind};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
 /// Experiment ids accepted by the CLI.
 pub const ALL: &[&str] = &[
     "fig02", "fig03", "fig04", "fig05", "fig08", "fig09", "fig10", "fig11", "fig12", "pdes",
-    "validate", "ablate", "pim",
+    "topo", "validate", "ablate", "pim",
 ];
 
 /// Experiments that accept `--fidelity des` (the rest are analytic-only and
@@ -45,21 +46,33 @@ pub fn run_by_name(name: &str, quick: bool, fidelity: Fidelity) -> Option<Vec<Ta
 }
 
 /// Parallel-engine knobs the CLI can override on engine-backed experiments
-/// (currently only `pdes` honors them — the figure experiments run serial
+/// (`pdes` and `topo` honor them — the figure experiments run serial
 /// engines). `ranks` replaces the experiment's rank sweep with one count;
-/// `partition`/`profile` select and weight the rank partitioner.
+/// `partition`/`profile` select and weight the rank partitioner;
+/// `transport`/`sync` pick the cross-rank backend and epoch policy;
+/// `topo`/`topo_nodes` reshape the lazy-topology study.
 #[derive(Debug, Clone, Default)]
 pub struct EngineTuning {
     pub ranks: Option<u32>,
     pub partition: Option<PartitionStrategy>,
     pub profile: Option<EngineProfile>,
+    pub transport: Option<TransportKind>,
+    pub sync: Option<SyncMode>,
+    /// Topology family for the `topo` experiment (`--topo`).
+    pub topo: Option<String>,
+    /// Minimum component count for the `topo` experiment (`--topo-nodes`).
+    pub topo_nodes: Option<u32>,
     /// Checkpoint cadence/destination (`--checkpoint-every`/`--checkpoint-dir`).
     pub checkpoint: Option<CheckpointPlan>,
 }
 
 impl EngineTuning {
     pub fn any(&self) -> bool {
-        self.ranks.is_some() || self.partition.is_some() || self.profile.is_some()
+        self.ranks.is_some()
+            || self.partition.is_some()
+            || self.profile.is_some()
+            || self.transport.is_some()
+            || self.sync.is_some()
     }
 }
 
@@ -206,9 +219,35 @@ pub fn run_with_tuning(
             if let Some(s) = tuning.partition {
                 p.partition = s;
             }
+            if let Some(tr) = tuning.transport {
+                p.transport = tr;
+            }
+            if let Some(sy) = tuning.sync {
+                p.sync = sy;
+            }
             p.profile = tuning.profile.clone();
             p.checkpoint = tuning.checkpoint.clone();
             vec![pdes::run(&p)]
+        }
+        "topo" => {
+            let mut p = pick(quick, topo::Params::default(), topo::Params::quick());
+            p.telemetry = telemetry;
+            if let Some(n) = tuning.ranks {
+                p.rank_counts = vec![n];
+            }
+            if let Some(tr) = tuning.transport {
+                p.transport = tr;
+            }
+            if let Some(sy) = tuning.sync {
+                p.sync = sy;
+            }
+            if let Some(k) = &tuning.topo {
+                p.topo = k.clone();
+            }
+            if let Some(n) = tuning.topo_nodes {
+                p.nodes = n;
+            }
+            vec![topo::run(&p)]
         }
         "ablate" => vec![ablate::run(&pick(
             quick,

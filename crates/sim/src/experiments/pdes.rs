@@ -57,6 +57,10 @@ pub struct Params {
     pub telemetry: TelemetrySpec,
     /// How to split the torus over ranks (`--partition`).
     pub partition: PartitionStrategy,
+    /// Which backend carries cross-rank traffic (`--transport`).
+    pub transport: TransportKind,
+    /// Epoch synchronization policy (`--sync`).
+    pub sync: SyncMode,
     /// Measured per-component event counts fed back in as partition weights
     /// (`--partition-profile`).
     pub profile: Option<sst_core::telemetry::EngineProfile>,
@@ -75,6 +79,8 @@ impl Default for Params {
             rank_counts: vec![1, 2, 4, 8],
             telemetry: TelemetrySpec::disabled(),
             partition: PartitionStrategy::default(),
+            transport: TransportKind::default(),
+            sync: SyncMode::default(),
             profile: None,
             checkpoint: None,
         }
@@ -205,12 +211,16 @@ pub fn run(p: &Params) -> Table {
     );
     let mut cut_notes: Vec<String> = Vec::new();
     for &ranks in &p.rank_counts {
-        let engine = ParallelEngine::with_partition(
+        let engine = ParallelEngine::with_config(
             build(p),
-            ranks,
-            p.partition,
-            p.profile.as_ref(),
-            p.telemetry.labeled(format!("{ranks}ranks")),
+            ParallelConfig {
+                ranks,
+                transport: p.transport,
+                sync: p.sync,
+                partition: Some(p.partition),
+                profile: p.profile.clone(),
+                telemetry: p.telemetry.labeled(format!("{ranks}ranks")),
+            },
         );
         if ranks > 1 {
             let s = engine.partition_summary();
@@ -255,6 +265,10 @@ pub fn run(p: &Params) -> Table {
     t.note(
         "`identical` = 1 when events, end time, and all statistics match the serial run exactly",
     );
+    t.note(format!(
+        "parallel runs use the `{}` transport with `{}` epoch sync",
+        p.transport, p.sync
+    ));
     for n in cut_notes {
         t.note(n);
     }
@@ -299,6 +313,23 @@ mod tests {
                     row.label
                 );
             }
+        }
+    }
+
+    #[test]
+    fn tcp_transport_and_fixed_sync_stay_identical() {
+        let mut p = Params::quick();
+        p.rank_counts = vec![2];
+        p.transport = TransportKind::TcpLoopback;
+        p.sync = SyncMode::FixedEpoch;
+        let t = run(&p);
+        for row in &t.rows {
+            assert_eq!(
+                *row.values.last().unwrap(),
+                1.0,
+                "{} diverged from serial over tcp/fixed",
+                row.label
+            );
         }
     }
 

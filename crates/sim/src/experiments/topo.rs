@@ -1,0 +1,207 @@
+//! E12 — lazy topologies at scale: the parallel engine consuming a
+//! [`LazySystem`] instead of an eager [`SystemBuilder`].
+//!
+//! A parametric generator (3-D torus, dragonfly, or two-level fat tree of
+//! [`sst_net::TrafficNode`]s) streams 10^2..10^6 components directly into
+//! per-rank slot tables; the experiment sweeps rank counts over one shape
+//! and checks every run agrees bit-for-bit with a reference run (the
+//! materialized serial engine at quick scale, the first parallel run at
+//! full scale, where a serial replay would dominate the wall clock).
+
+use crate::table::Table;
+use sst_core::prelude::*;
+use sst_net::{LazyDragonfly, LazyFatTree, LazyTorus, LazyTraffic};
+
+/// Topology names accepted by `--topo`.
+pub const TOPOS: &[&str] = &["torus", "dragonfly", "fat-tree"];
+
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// One of [`TOPOS`].
+    pub topo: String,
+    /// Minimum component count; the generator rounds up to a balanced
+    /// shape (`--topo-nodes`).
+    pub nodes: u32,
+    pub rank_counts: Vec<u32>,
+    pub transport: TransportKind,
+    pub sync: SyncMode,
+    pub traffic: LazyTraffic,
+    /// Also materialize the graph and run it serially as the reference
+    /// (feasible at quick scale only).
+    pub check_serial: bool,
+    pub telemetry: TelemetrySpec,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            topo: "torus".into(),
+            nodes: 100_000,
+            rank_counts: vec![4, 8, 16],
+            transport: TransportKind::default(),
+            sync: SyncMode::default(),
+            traffic: LazyTraffic::default(),
+            check_serial: false,
+            telemetry: TelemetrySpec::disabled(),
+        }
+    }
+}
+
+impl Params {
+    pub fn quick() -> Params {
+        Params {
+            nodes: 512,
+            rank_counts: vec![1, 2, 4],
+            traffic: LazyTraffic {
+                tokens_per_node: 2,
+                ttl: 24,
+                latency: SimTime::ns(20),
+            },
+            check_serial: true,
+            ..Params::default()
+        }
+    }
+}
+
+/// Instantiate the named generator at (at least) `nodes` components.
+pub fn build_lazy(topo: &str, nodes: u32, traffic: LazyTraffic) -> Box<dyn LazySystem> {
+    match topo {
+        "torus" => Box::new(LazyTorus::fitting(nodes, traffic)),
+        "dragonfly" => Box::new(LazyDragonfly::fitting(nodes, traffic)),
+        "fat-tree" => Box::new(LazyFatTree::fitting(nodes, traffic)),
+        other => panic!("unknown topology `{other}` (expected {})", TOPOS.join("|")),
+    }
+}
+
+/// Everything that must agree between two runs of the same system.
+#[derive(PartialEq)]
+struct Signature {
+    events: u64,
+    end_time: SimTime,
+    clock_ticks: u64,
+    forwarded: u64,
+    final_state_hash: Option<String>,
+}
+
+impl Signature {
+    fn of(rep: &SimReport) -> Signature {
+        Signature {
+            events: rep.events,
+            end_time: rep.end_time,
+            clock_ticks: rep.clock_ticks,
+            forwarded: rep.stats.sum_counters("forwarded"),
+            final_state_hash: rep.final_state_hash.clone(),
+        }
+    }
+}
+
+fn push_row(t: &mut Table, label: String, rep: &SimReport, reference: &mut Option<Signature>) {
+    let sig = Signature::of(rep);
+    let same = match reference {
+        Some(r) => *r == sig,
+        None => {
+            *reference = Some(sig);
+            true
+        }
+    };
+    t.push(
+        label,
+        vec![
+            rep.events as f64,
+            rep.wall_seconds * 1e3,
+            rep.events_per_sec() / 1e6,
+            same as u64 as f64,
+        ],
+    );
+}
+
+pub fn run(p: &Params) -> Table {
+    let sys = build_lazy(&p.topo, p.nodes, p.traffic);
+    let n = sys.component_count();
+    let mut t = Table::cols(
+        format!(
+            "E12: lazy-built {} ({n} components) on the `{}` transport, `{}` sync",
+            p.topo, p.transport, p.sync
+        ),
+        &["events", "wall_ms", "Mevents/s", "identical"],
+    );
+    let mut reference: Option<Signature> = None;
+    if p.check_serial {
+        let rep = Engine::with_telemetry(
+            SystemBuilder::materialize(sys.as_ref()),
+            p.telemetry.labeled("serial"),
+        )
+        .run(RunLimit::Exhaust);
+        push_row(&mut t, "serial".into(), &rep, &mut reference);
+    }
+    for &ranks in &p.rank_counts {
+        let cfg = ParallelConfig {
+            ranks,
+            transport: p.transport,
+            sync: p.sync,
+            telemetry: p.telemetry.labeled(format!("{ranks}ranks")),
+            ..ParallelConfig::default()
+        };
+        let rep = ParallelEngine::lazy(sys.as_ref(), cfg).run(RunLimit::Exhaust);
+        push_row(&mut t, format!("{ranks} ranks"), &rep, &mut reference);
+    }
+    t.note(
+        "`identical` = 1 when events, end time, ticks, stats, and state hash \
+         match the reference (first) row",
+    );
+    t.note(format!(
+        "components stream through LazySystem::create into per-rank slot \
+         tables — no eager {n}-element component vector is ever built"
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_all_identical(t: &Table) {
+        assert!(t.rows.len() >= 2);
+        for row in &t.rows {
+            assert_eq!(
+                *row.values.last().unwrap(),
+                1.0,
+                "{} diverged from the reference run",
+                row.label
+            );
+        }
+    }
+
+    #[test]
+    fn quick_torus_matches_serial_across_ranks() {
+        let t = run(&Params::quick());
+        assert_all_identical(&t);
+    }
+
+    #[test]
+    fn every_topology_matches_serial() {
+        for topo in TOPOS {
+            let mut p = Params::quick();
+            p.topo = topo.to_string();
+            p.nodes = 96;
+            p.rank_counts = vec![2, 4];
+            assert_all_identical(&run(&p));
+        }
+    }
+
+    #[test]
+    fn tcp_and_fixed_sync_stay_identical() {
+        let mut p = Params::quick();
+        p.nodes = 64;
+        p.rank_counts = vec![2];
+        p.transport = TransportKind::TcpLoopback;
+        p.sync = SyncMode::FixedEpoch;
+        assert_all_identical(&run(&p));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown topology")]
+    fn unknown_topology_is_a_loud_error() {
+        build_lazy("hypercube", 64, LazyTraffic::default());
+    }
+}

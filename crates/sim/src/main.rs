@@ -18,6 +18,8 @@ fn usage() -> ExitCode {
   sst experiment <id>|all [--quick] [--json] [--fidelity analytic|des]
                  [--ranks N] [--partition block|round-robin|latency-cut]
                  [--partition-profile <run.profile.json>]
+                 [--transport shm|tcp] [--sync fixed|adaptive]
+                 [--topo torus|dragonfly|fat-tree] [--topo-nodes N]
                  [--trace <path.jsonl>] [--trace-comps <a,core*>]
                  [--trace-kinds deliver,sched,clock,mark]
                  [--stats-interval <ms>] [--profile]
@@ -27,11 +29,14 @@ fn usage() -> ExitCode {
                                                the discrete-event backend;
                                                the telemetry flags trace and
                                                profile its engine runs; the
-                                               ranks/partition flags tune the
-                                               pdes scaling study)
+                                               ranks/partition/transport/sync
+                                               flags tune the pdes and topo
+                                               scaling studies; --topo picks
+                                               the lazy topology family)
   sst run <config.json> [--until-ms N] [--ranks N]
                  [--partition block|round-robin|latency-cut]
                  [--partition-profile <run.profile.json>]
+                 [--transport shm|tcp] [--sync fixed|adaptive]
                  [--trace <path.jsonl>] [--trace-comps ...]
                  [--trace-kinds ...] [--stats-interval <ms>] [--profile]
                  [--checkpoint-every <ms>] [--checkpoint-dir <dir>]
@@ -78,6 +83,10 @@ fn main() -> ExitCode {
             fidelity,
             ranks,
             partition,
+            transport,
+            sync,
+            topo,
+            topo_nodes,
             telemetry,
             checkpoint,
         } => cmd_experiment(
@@ -86,7 +95,16 @@ fn main() -> ExitCode {
             quick,
             json,
             fidelity,
-            ranks,
+            EngineTuning {
+                ranks,
+                partition: partition.strategy,
+                profile: None,
+                transport,
+                sync,
+                topo,
+                topo_nodes,
+                checkpoint: None,
+            },
             &partition,
             &telemetry,
             &checkpoint,
@@ -96,6 +114,8 @@ fn main() -> ExitCode {
             until_ms,
             ranks,
             partition,
+            transport,
+            sync,
             telemetry,
             checkpoint,
         } => cmd_run(
@@ -103,6 +123,8 @@ fn main() -> ExitCode {
             &config,
             until_ms,
             ranks,
+            transport,
+            sync,
             &partition,
             &telemetry,
             &checkpoint,
@@ -143,17 +165,30 @@ fn cmd_experiment(
     quick: bool,
     json: bool,
     fidelity: Fidelity,
-    ranks: Option<u32>,
+    mut tuning: EngineTuning,
     partition: &PartitionCliOpts,
     tel: &TelemetryCliOpts,
     checkpoint: &CheckpointCliOpts,
 ) -> ExitCode {
-    if (ranks.is_some() || partition.any() || checkpoint.any()) && id != "pdes" {
+    if (partition.any() || checkpoint.any()) && id != "pdes" {
         eprintln!(
-            "--ranks/--partition/--partition-profile/--checkpoint-every only \
-             apply to the `pdes` scaling study (the figure experiments run \
-             serial engines); got `{id}`"
+            "--partition/--partition-profile/--checkpoint-every only apply to \
+             the `pdes` scaling study; got `{id}`"
         );
+        return ExitCode::FAILURE;
+    }
+    let engine_flags =
+        tuning.ranks.is_some() || tuning.transport.is_some() || tuning.sync.is_some();
+    if engine_flags && id != "pdes" && id != "topo" {
+        eprintln!(
+            "--ranks/--transport/--sync only apply to the engine-backed \
+             `pdes` and `topo` studies (the figure experiments run serial \
+             engines); got `{id}`"
+        );
+        return ExitCode::FAILURE;
+    }
+    if (tuning.topo.is_some() || tuning.topo_nodes.is_some()) && id != "topo" {
+        eprintln!("--topo/--topo-nodes only apply to the `topo` study; got `{id}`");
         return ExitCode::FAILURE;
     }
     let plan = match checkpoint_plan(checkpoint) {
@@ -163,7 +198,8 @@ fn cmd_experiment(
             return ExitCode::FAILURE;
         }
     };
-    let profile = match &partition.profile {
+    tuning.checkpoint = plan.clone();
+    tuning.profile = match &partition.profile {
         Some(path) => match load_partition_profile(path) {
             Ok(p) => Some(p),
             Err(e) => {
@@ -172,12 +208,6 @@ fn cmd_experiment(
             }
         },
         None => None,
-    };
-    let tuning = EngineTuning {
-        ranks,
-        partition: partition.strategy,
-        profile,
-        checkpoint: plan.clone(),
     };
     let spec = match TelemetrySpec::new(tel.to_options()) {
         Ok(s) => s,
@@ -244,15 +274,22 @@ fn cmd_experiment(
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn cmd_run(
     args: &[String],
     config: &str,
     until_ms: Option<u64>,
     ranks: u32,
+    transport: Option<TransportKind>,
+    sync: Option<SyncMode>,
     partition: &PartitionCliOpts,
     tel: &TelemetryCliOpts,
     checkpoint: &CheckpointCliOpts,
 ) -> ExitCode {
+    if (transport.is_some() || sync.is_some()) && ranks <= 1 {
+        eprintln!("--transport/--sync tune the parallel engine; pass --ranks > 1");
+        return ExitCode::FAILURE;
+    }
     let text = match std::fs::read_to_string(config) {
         Ok(t) => t,
         Err(e) => {
@@ -320,7 +357,16 @@ fn cmd_run(
     }
     .to_value();
     let report = if ranks > 1 {
-        let eng = ParallelEngine::with_telemetry(builder, ranks, spec.labeled("run"));
+        let eng = ParallelEngine::with_config(
+            builder,
+            ParallelConfig {
+                ranks,
+                transport: transport.unwrap_or_default(),
+                sync: sync.unwrap_or_default(),
+                telemetry: spec.labeled("run"),
+                ..ParallelConfig::default()
+            },
+        );
         match &plan {
             Some(pl) => eng.run_with_checkpoints(limit, Some(pl.every), Some(&origin), &mut |s| {
                 pl.store("run", &s)

@@ -182,9 +182,16 @@ fn stepped_execution_equals_single_run() {
 }
 
 #[test]
-fn many_ranks_more_than_components_is_fine() {
-    // More ranks than components must still work (some ranks idle).
+fn one_component_per_rank_is_the_thinnest_legal_split() {
     let serial = Engine::new(build(3, 4, 2, 2, 20)).run(RunLimit::Exhaust);
-    let par = ParallelEngine::new(build(3, 4, 2, 2, 20), 8).run(RunLimit::Exhaust);
+    let par = ParallelEngine::new(build(3, 4, 2, 2, 20), 4).run(RunLimit::Exhaust);
     assert_eq!(snapshot_sums(&serial), snapshot_sums(&par));
+}
+
+#[test]
+#[should_panic(expected = "cannot split 4 component(s) across 8 ranks")]
+fn more_ranks_than_components_is_a_loud_error() {
+    // Idle ranks would only add synchronization traffic, so the engine
+    // refuses to spawn them instead of silently wasting sync rounds.
+    ParallelEngine::new(build(3, 4, 2, 2, 20), 8);
 }

@@ -1,0 +1,151 @@
+//! Differential transport guarantees: the transport backend moves bytes,
+//! never semantics. The pdes token-traffic torus must produce bit-identical
+//! results — same report, same stats, same sealed state hash, same snapshot
+//! *bytes* — whether cross-rank events travel by shared-memory channel or
+//! by length-prefixed TCP-loopback frames, at every rank count and under
+//! both epoch-sync policies, including checkpoint/restore round-trips that
+//! cross from one transport to the other.
+
+use sst_core::prelude::*;
+use sst_sim::experiments::pdes;
+
+/// Everything in a report except machine-dependent fields (wall clock) and
+/// run-shape fields (ranks/epochs), with stats sorted by key, plus the
+/// sealed final state hash.
+fn fingerprint(report: &SimReport) -> (SimTime, u64, u64, Vec<String>, Option<String>) {
+    let mut stats: Vec<String> = report
+        .stats
+        .stats
+        .iter()
+        .map(|s| serde_json::to_string(s).expect("stat serializes"))
+        .collect();
+    stats.sort();
+    (
+        report.end_time,
+        report.events,
+        report.clock_ticks,
+        stats,
+        report.final_state_hash.clone(),
+    )
+}
+
+fn pdes_params() -> pdes::Params {
+    let mut p = pdes::Params::quick();
+    p.side = 6;
+    p.tokens_per_node = 3;
+    p.ttl = 40;
+    p
+}
+
+const EVERY: SimTime = SimTime(200_000); // 200 ns of simulated time
+
+fn config(ranks: u32, transport: TransportKind, sync: SyncMode) -> ParallelConfig {
+    ParallelConfig {
+        ranks,
+        transport,
+        sync,
+        ..ParallelConfig::default()
+    }
+}
+
+/// Run the torus on the given transport/sync at `ranks`, checkpointing on
+/// the shared cadence.
+fn parallel_run(
+    p: &pdes::Params,
+    ranks: u32,
+    transport: TransportKind,
+    sync: SyncMode,
+) -> (SimReport, Vec<Snapshot>) {
+    let mut snaps = Vec::new();
+    let report = ParallelEngine::with_config(pdes::build(p), config(ranks, transport, sync))
+        .run_with_checkpoints(RunLimit::Exhaust, Some(EVERY), None, &mut |s| snaps.push(s));
+    (report, snaps)
+}
+
+#[test]
+fn every_transport_and_sync_matches_serial_at_2_4_8_ranks() {
+    let p = pdes_params();
+    let serial =
+        Engine::with_telemetry(pdes::build(&p), TelemetrySpec::disabled()).run(RunLimit::Exhaust);
+    assert!(serial.events > 1000, "workload too small to be probative");
+    for &ranks in &[2u32, 4, 8] {
+        for &transport in TransportKind::ALL {
+            for &sync in SyncMode::ALL {
+                let report =
+                    ParallelEngine::with_config(pdes::build(&p), config(ranks, transport, sync))
+                        .run(RunLimit::Exhaust);
+                assert_eq!(
+                    fingerprint(&report),
+                    fingerprint(&serial),
+                    "{ranks} ranks over {transport}/{sync} diverged from serial"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn snapshot_bytes_are_identical_across_transports() {
+    let p = pdes_params();
+    for &ranks in &[2u32, 4, 8] {
+        let (shm_report, shm_snaps) =
+            parallel_run(&p, ranks, TransportKind::SharedMem, SyncMode::Adaptive);
+        let (tcp_report, tcp_snaps) =
+            parallel_run(&p, ranks, TransportKind::TcpLoopback, SyncMode::Adaptive);
+        assert_eq!(fingerprint(&shm_report), fingerprint(&tcp_report));
+        assert!(
+            shm_snaps.len() >= 3,
+            "workload too short to checkpoint: {} snapshot(s)",
+            shm_snaps.len()
+        );
+        assert_eq!(shm_snaps.len(), tcp_snaps.len());
+        for (a, b) in shm_snaps.iter().zip(&tcp_snaps) {
+            assert_eq!(a.time_ps, b.time_ps);
+            assert_eq!(
+                a.to_json_pretty(),
+                b.to_json_pretty(),
+                "snapshot bytes diverged between transports at t={} ({ranks} ranks)",
+                a.time_ps
+            );
+        }
+    }
+}
+
+/// A snapshot captured under one transport resumes under the other (and
+/// under serial) and still lands on the uninterrupted run bit-exactly.
+#[test]
+fn checkpoint_round_trips_cross_transports() {
+    let p = pdes_params();
+    // The hash-carrying run variant, so the sealed final hash participates
+    // in every comparison below.
+    let baseline = Engine::with_telemetry(pdes::build(&p), TelemetrySpec::disabled())
+        .run_with_checkpoints(RunLimit::Exhaust, None, None, &mut |_| {});
+    for &capture in TransportKind::ALL {
+        let (_, snaps) = parallel_run(&p, 4, capture, SyncMode::Adaptive);
+        let mid = &snaps[snaps.len() / 2];
+        for &resume in TransportKind::ALL {
+            for &ranks in &[2u32, 8] {
+                let resumed = ParallelEngine::with_config(
+                    pdes::build(&p),
+                    config(ranks, resume, SyncMode::Adaptive),
+                )
+                .restore(mid)
+                .run_with_checkpoints(RunLimit::Exhaust, None, None, &mut |_| {});
+                assert_eq!(
+                    fingerprint(&resumed),
+                    fingerprint(&baseline),
+                    "capture on {capture}, resume on {resume} at {ranks} ranks \
+                     diverged from t={}",
+                    mid.time_ps
+                );
+            }
+        }
+        let resumed = Engine::restore(pdes::build(&p), TelemetrySpec::disabled(), mid)
+            .run_with_checkpoints(RunLimit::Exhaust, None, None, &mut |_| {});
+        assert_eq!(
+            fingerprint(&resumed),
+            fingerprint(&baseline),
+            "capture on {capture}, serial resume diverged"
+        );
+    }
+}
