@@ -245,6 +245,7 @@ fn main() {
         sync: Default::default(),
         profile: None,
         checkpoint: None,
+        live: None,
     };
     let (ring_tokens, ring_ttl) = if quick { (4, 60) } else { (8, 400) };
     let (hier_tokens, hier_ttl) = if quick { (4, 60) } else { (8, 400) };

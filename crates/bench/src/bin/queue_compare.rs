@@ -365,6 +365,7 @@ fn main() {
         sync: Default::default(),
         profile: None,
         checkpoint: None,
+        live: None,
     };
     let ring_hops = if quick { 20_000 } else { 200_000 };
     let mut whole_engine = Vec::new();

@@ -13,6 +13,7 @@ use crate::queue::{BinaryHeapQueue, IndexedQueue, SimQueue};
 use crate::rng::component_rng;
 use crate::snapshot::{self, ComponentSnap, Snapshot, SNAPSHOT_SCHEMA};
 use crate::stats::{StatsRegistry, StatsSnapshot};
+use crate::telemetry::live::{LiveMetrics, RankLive};
 use crate::telemetry::{
     EngineProfile, Sampler, StatsSeries, TelemetrySpec, TelemetryState, Tracer,
 };
@@ -575,6 +576,10 @@ pub struct EngineOn<Q: SimQueue + EventSink> {
     spec: TelemetrySpec,
     /// Recycles the same-time delivery batch buffer across `step` calls.
     pool: EventBufPool,
+    /// Live-metrics registry plus this engine's rank-0 slice; `None` (the
+    /// default) costs the batch loop one discriminant check, like `tel`.
+    live: Option<(Arc<LiveMetrics>, Arc<RankLive>)>,
+    live_label: String,
 }
 
 /// The serial engine over the default (indexed) queue.
@@ -608,7 +613,17 @@ impl<Q: SimQueue + EventSink> EngineOn<Q> {
             started: false,
             spec,
             pool: EventBufPool::new(),
+            live: None,
+            live_label: String::new(),
         }
+    }
+
+    /// Publish in-flight progress into `metrics` (serial runs report as
+    /// rank 0). `label` names the run segment in `/status`. Detached by
+    /// default; attaching does not change delivery order or results.
+    pub fn attach_live_metrics(&mut self, metrics: &Arc<LiveMetrics>, label: &str) {
+        self.live = Some((Arc::clone(metrics), metrics.rank(0)));
+        self.live_label = label.to_string();
     }
 
     fn start(&mut self) {
@@ -616,6 +631,26 @@ impl<Q: SimQueue + EventSink> EngineOn<Q> {
             self.started = true;
             self.kernel.setup_all(&mut self.queue);
             self.kernel.start_clocks(&mut self.queue);
+        }
+    }
+
+    /// Arm the live registry for this run segment (no-op when detached).
+    fn live_begin(&self, limit: RunLimit) {
+        if let Some((metrics, _)) = &self.live {
+            let bound = match limit {
+                RunLimit::Until(t) => Some(t),
+                RunLimit::Exhaust => None,
+            };
+            metrics.begin_run(&self.live_label, bound);
+        }
+    }
+
+    /// Publish final sim-time and stand the watchdog down (no-op when
+    /// detached).
+    fn live_finish(&self) {
+        if let Some((metrics, rank)) = &self.live {
+            rank.batch(self.kernel.now, 0, self.queue.len());
+            metrics.note_finished();
         }
     }
 
@@ -644,7 +679,11 @@ impl<Q: SimQueue + EventSink> EngineOn<Q> {
     /// same value an uninterrupted run would have carried through.
     fn step_bounded(&mut self, bound: SimTime) {
         let mut batch = self.pool.get();
-        while self.queue.pop_time_run(bound, &mut batch) != 0 {
+        loop {
+            let n = self.queue.pop_time_run(bound, &mut batch);
+            if n == 0 {
+                break;
+            }
             if self.kernel.tel.is_some() {
                 self.deliver_batch_instrumented(&mut batch);
             } else {
@@ -654,6 +693,9 @@ impl<Q: SimQueue + EventSink> EngineOn<Q> {
                     }
                     self.kernel.deliver_fast(ev, &mut self.queue);
                 }
+            }
+            if let Some((_, rank)) = &self.live {
+                rank.batch(self.kernel.now, n as u64, self.queue.len());
             }
         }
         self.pool.put(batch);
@@ -790,6 +832,7 @@ impl<Q: SimQueue + EventSink> EngineOn<Q> {
     ) -> SimReport {
         let t0 = std::time::Instant::now();
         self.start();
+        self.live_begin(limit);
         let bound = limit.bound();
         if let Some(every) = every {
             assert!(every.as_ps() > 0, "checkpoint interval must be positive");
@@ -808,6 +851,7 @@ impl<Q: SimQueue + EventSink> EngineOn<Q> {
             }
         }
         self.step(limit);
+        self.live_finish();
         let final_state_hash = Some(self.checkpoint(origin).state_hash);
         self.kernel.finish_all(&mut self.queue);
         let (profile, series) = self.kernel.finish_telemetry();
@@ -847,7 +891,10 @@ impl<Q: SimQueue + EventSink> EngineOn<Q> {
     /// Run to the limit, finalize components, and report.
     pub fn run(mut self, limit: RunLimit) -> SimReport {
         let t0 = std::time::Instant::now();
+        self.start();
+        self.live_begin(limit);
         self.step(limit);
+        self.live_finish();
         self.kernel.finish_all(&mut self.queue);
         let (profile, series) = self.kernel.finish_telemetry();
         let report = SimReport {

@@ -72,6 +72,7 @@ pub use partition::{PartitionStrategy, PartitionSummary};
 pub use queue::{BinaryHeapQueue, EventQueue, IndexedQueue, SimQueue};
 pub use snapshot::{register_payload, Snapshot, SNAPSHOT_SCHEMA};
 pub use stats::{StatId, StatKind, StatsRegistry, StatsSnapshot};
+pub use telemetry::live::{LiveMetrics, MetricsServer, WatchdogCfg};
 pub use telemetry::{
     EngineProfile, ProfileDump, RunManifest, StatsSeries, TelemetryOptions, TelemetrySpec,
     TelemetrySummary,
@@ -93,6 +94,7 @@ pub mod prelude {
     pub use crate::partition::{PartitionStrategy, PartitionSummary};
     pub use crate::snapshot::{register_payload, Snapshot};
     pub use crate::stats::StatId;
+    pub use crate::telemetry::live::{LiveMetrics, MetricsServer, WatchdogCfg};
     pub use crate::telemetry::{TelemetryOptions, TelemetrySpec};
     pub use crate::time::{Frequency, SimTime};
 }

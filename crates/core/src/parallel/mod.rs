@@ -54,6 +54,7 @@ use crate::partition::{PartitionStrategy, PartitionSummary};
 use crate::queue::EventQueue;
 use crate::snapshot::{self, ComponentSnap, EventSnap, Snapshot, SNAPSHOT_SCHEMA};
 use crate::stats::{Stat, StatsRegistry};
+use crate::telemetry::live::{LiveMetrics, RankLive};
 use crate::telemetry::{EngineProfile, RankSyncProfile, TelemetrySpec};
 use crate::time::SimTime;
 use serde::Value;
@@ -137,6 +138,10 @@ pub struct ParallelConfig {
     /// measure→repartition→rerun loop (eager builds only).
     pub profile: Option<EngineProfile>,
     pub telemetry: TelemetrySpec,
+    /// Live-metrics registry; ranks publish in-flight progress into it
+    /// (see [`crate::telemetry::live`]). `None` (the default) keeps the
+    /// rank loop at one discriminant check per iteration.
+    pub live: Option<Arc<LiveMetrics>>,
 }
 
 impl Default for ParallelConfig {
@@ -148,6 +153,7 @@ impl Default for ParallelConfig {
             partition: None,
             profile: None,
             telemetry: TelemetrySpec::disabled(),
+            live: None,
         }
     }
 }
@@ -179,6 +185,7 @@ pub struct ParallelEngine {
     sync: SyncMode,
     spec: TelemetrySpec,
     partition: PartitionSummary,
+    live: Option<Arc<LiveMetrics>>,
 }
 
 impl ParallelEngine {
@@ -325,6 +332,7 @@ impl ParallelEngine {
             sync: cfg.sync,
             spec: cfg.telemetry,
             partition,
+            live: cfg.live,
         }
     }
 
@@ -383,7 +391,12 @@ impl ParallelEngine {
     /// and torn down).
     fn run_segment(&mut self, bound: SimTime) {
         let n = self.n_ranks as usize;
-        let endpoints = transport::connect(self.transport, self.n_ranks, &self.pair_la);
+        let transport_live = self
+            .live
+            .as_ref()
+            .map(|m| m.transport(&self.transport.to_string()));
+        let endpoints =
+            transport::connect(self.transport, self.n_ranks, &self.pair_la, transport_live);
         // Start at 0, not MAX: "idle" must be a claim a rank has actually
         // made, or a fast-starting rank could observe peers that have not
         // yet published their first event time and declare the whole run
@@ -413,6 +426,7 @@ impl ParallelEngine {
                     all_done: &all_done,
                 };
                 let la_row = self.pair_la[rank].clone();
+                let live = self.live.as_ref().map(|m| m.rank(rank as u32));
                 handles.push(scope.spawn(move || {
                     run_rank(
                         kernel,
@@ -425,6 +439,7 @@ impl ParallelEngine {
                         global_la,
                         ep,
                         shared,
+                        live,
                     )
                 }));
             }
@@ -612,6 +627,13 @@ impl ParallelEngine {
     ) -> SimReport {
         let t0 = std::time::Instant::now();
         self.start();
+        if let Some(m) = &self.live {
+            let target = match limit {
+                RunLimit::Until(t) => Some(t),
+                RunLimit::Exhaust => None,
+            };
+            m.begin_run(&format!("{}ranks", self.n_ranks), target);
+        }
         let bound = limit.bound();
         if let Some(every) = every {
             assert!(every.as_ps() > 0, "checkpoint interval must be positive");
@@ -628,6 +650,9 @@ impl ParallelEngine {
             }
         }
         self.run_segment(bound);
+        if let Some(m) = &self.live {
+            m.note_finished();
+        }
 
         // Clamp to the bound first (matching the serial engine's `step`), so
         // the final capture and the finish handlers see the same instant.
@@ -761,6 +786,7 @@ fn run_rank(
     global_la: u64,
     mut ep: Box<dyn RankEndpoint>,
     shared: RankShared<'_>,
+    live: Option<Arc<RankLive>>,
 ) -> (Kernel, EventQueue, Box<dyn RankEndpoint>, RankRunInfo) {
     let n = la_row.len();
     let mut sync = SyncState::new(my_rank, &la_row, base.as_ps(), mode, global_la);
@@ -798,10 +824,12 @@ fn run_rank(
         //    as the serial engine's step loop.
         let safe = sync.eit_min().min(bound_ps.saturating_add(1));
         let mut worked = false;
+        let mut delivered = 0u64;
         if safe > 0 {
             let window = SimTime::ps(safe - 1);
             while queue.pop_time_run(window, &mut batch) != 0 {
                 let nb = batch.len() as u64;
+                delivered += nb;
                 for ev in batch.drain(..) {
                     while let Some(s) = queue.pop_if_key_before(ev.key()) {
                         deliver_one(
@@ -839,6 +867,19 @@ fn run_rank(
         //    never sent.
         let next_local = queue.next_time().map_or(u64::MAX, |t| t.as_ps());
         let retiring = bound_ps != u64::MAX && sync.eit_min() > bound_ps && next_local > bound_ps;
+
+        //    Publish in-flight progress — one discriminant check per loop
+        //    iteration when live metrics are detached, relaxed atomic
+        //    stores when attached.
+        if let Some(l) = &live {
+            l.batch(kernel.now, delivered, queue.len());
+            l.sync_counters(
+                stall_rounds,
+                sync.null_batches_sent,
+                sync.batches_sent,
+                sync.events_shipped,
+            );
+        }
 
         //    Ship events and improved EOT promises to neighbors, *then*
         //    publish our new earliest time: a rank must never look idle to
@@ -888,6 +929,16 @@ fn run_rank(
         }
     }
 
+    if let Some(l) = &live {
+        l.batch(kernel.now, 0, queue.len());
+        l.sync_counters(
+            stall_rounds,
+            sync.null_batches_sent,
+            sync.batches_sent,
+            sync.events_shipped,
+        );
+        l.retire();
+    }
     let info = RankRunInfo {
         rounds: sync.rounds,
         batches_sent: sync.batches_sent,

@@ -38,11 +38,13 @@
 
 use crate::event::ScheduledEvent;
 use crate::snapshot::{self, EventSnap};
+use crate::telemetry::live::TransportLive;
 use crate::time::SimTime;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use serde::{Deserialize, Serialize};
 use std::io::{BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -129,10 +131,11 @@ pub(crate) fn connect(
     kind: TransportKind,
     n_ranks: u32,
     pair_la: &[Vec<Option<SimTime>>],
+    live: Option<Arc<TransportLive>>,
 ) -> Vec<Box<dyn RankEndpoint>> {
     match kind {
-        TransportKind::SharedMem => connect_shared_mem(n_ranks),
-        TransportKind::TcpLoopback => connect_tcp(n_ranks, pair_la),
+        TransportKind::SharedMem => connect_shared_mem(n_ranks, live),
+        TransportKind::TcpLoopback => connect_tcp(n_ranks, pair_la, live),
     }
 }
 
@@ -141,10 +144,15 @@ pub(crate) fn connect(
 struct SharedMemEndpoint {
     senders: Vec<Sender<Batch>>,
     rx: Receiver<Batch>,
+    live: Option<Arc<TransportLive>>,
 }
 
 impl RankEndpoint for SharedMemEndpoint {
     fn send(&mut self, to: u32, batch: Batch) {
+        if let Some(l) = &self.live {
+            // No wire to measure: report the in-memory payload moved.
+            l.sent((batch.events.len() * std::mem::size_of::<ScheduledEvent>()) as u64);
+        }
         // A closed channel means the peer's endpoint was already dropped
         // (cannot happen mid-segment; defensive for teardown ordering).
         let _ = self.senders[to as usize].send(batch);
@@ -175,7 +183,10 @@ impl RankEndpoint for SharedMemEndpoint {
     }
 }
 
-fn connect_shared_mem(n_ranks: u32) -> Vec<Box<dyn RankEndpoint>> {
+fn connect_shared_mem(
+    n_ranks: u32,
+    live: Option<Arc<TransportLive>>,
+) -> Vec<Box<dyn RankEndpoint>> {
     let n = n_ranks as usize;
     let mut txs = Vec::with_capacity(n);
     let mut rxs = Vec::with_capacity(n);
@@ -189,6 +200,7 @@ fn connect_shared_mem(n_ranks: u32) -> Vec<Box<dyn RankEndpoint>> {
             Box::new(SharedMemEndpoint {
                 senders: txs.clone(),
                 rx,
+                live: live.clone(),
             }) as Box<dyn RankEndpoint>
         })
         .collect()
@@ -222,14 +234,17 @@ struct TcpEndpoint {
     _inbox_tx: Sender<TcpMsg>,
     readers: Vec<JoinHandle<()>>,
     fins_seen: usize,
+    live: Option<Arc<TransportLive>>,
 }
 
-fn write_frame(w: &mut BufWriter<TcpStream>, wire: &WireBatch) {
+/// Write one length-prefixed frame, returning the exact wire bytes.
+fn write_frame(w: &mut BufWriter<TcpStream>, wire: &WireBatch) -> u64 {
     let json = serde_json::to_string(wire).expect("wire batch serializes");
     let bytes = json.as_bytes();
     w.write_all(&(bytes.len() as u32).to_le_bytes())
         .and_then(|_| w.write_all(bytes))
         .expect("tcp transport write failed");
+    4 + bytes.len() as u64
 }
 
 impl RankEndpoint for TcpEndpoint {
@@ -248,7 +263,10 @@ impl RankEndpoint for TcpEndpoint {
         let w = self.writers[to as usize]
             .as_mut()
             .unwrap_or_else(|| panic!("rank {} sent to non-neighbor rank {to}", self.me));
-        write_frame(w, &wire);
+        let wrote = write_frame(w, &wire);
+        if let Some(l) = &self.live {
+            l.sent(wrote);
+        }
     }
 
     fn flush(&mut self) {
@@ -282,7 +300,7 @@ impl RankEndpoint for TcpEndpoint {
     fn begin_drain(&mut self) {
         let me = self.me;
         for w in self.writers.iter_mut().flatten() {
-            write_frame(
+            let wrote = write_frame(
                 w,
                 &WireBatch {
                     from: me,
@@ -291,6 +309,9 @@ impl RankEndpoint for TcpEndpoint {
                     events: Vec::new(),
                 },
             );
+            if let Some(l) = &self.live {
+                l.sent(wrote);
+            }
             w.flush().expect("tcp transport FIN flush failed");
         }
     }
@@ -342,7 +363,11 @@ fn reader_loop(mut stream: TcpStream, tx: Sender<TcpMsg>) {
     }
 }
 
-fn connect_tcp(n_ranks: u32, pair_la: &[Vec<Option<SimTime>>]) -> Vec<Box<dyn RankEndpoint>> {
+fn connect_tcp(
+    n_ranks: u32,
+    pair_la: &[Vec<Option<SimTime>>],
+    live: Option<Arc<TransportLive>>,
+) -> Vec<Box<dyn RankEndpoint>> {
     let n = n_ranks as usize;
     let inboxes: Vec<(Sender<TcpMsg>, Receiver<TcpMsg>)> = (0..n).map(|_| unbounded()).collect();
     let mut writers: Vec<Vec<Option<BufWriter<TcpStream>>>> =
@@ -386,6 +411,7 @@ fn connect_tcp(n_ranks: u32, pair_la: &[Vec<Option<SimTime>>]) -> Vec<Box<dyn Ra
                 _inbox_tx: tx,
                 readers,
                 fins_seen: 0,
+                live: live.clone(),
             }) as Box<dyn RankEndpoint>
         })
         .collect()
@@ -412,7 +438,7 @@ mod tests {
 
     #[test]
     fn shared_mem_round_trip_and_drain() {
-        let mut eps = connect(TransportKind::SharedMem, 2, &[vec![], vec![]]);
+        let mut eps = connect(TransportKind::SharedMem, 2, &[vec![], vec![]], None);
         let (a, b) = eps.split_at_mut(1);
         a[0].send(
             1,
@@ -443,7 +469,7 @@ mod tests {
         use crate::time::SimTime;
         let la = Some(SimTime::ns(1));
         let pair_la = vec![vec![None, la], vec![la, None]];
-        let mut eps = connect(TransportKind::TcpLoopback, 2, &pair_la);
+        let mut eps = connect(TransportKind::TcpLoopback, 2, &pair_la, None);
         let (a, b) = eps.split_at_mut(1);
         a[0].send(
             1,

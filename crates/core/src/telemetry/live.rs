@@ -1,0 +1,979 @@
+//! Live observability: in-flight metrics sampled while a run executes.
+//!
+//! The post-mortem telemetry pillars (tracing, stats series, profiling) only
+//! speak after a run exits; this module is the *online* fourth pillar. A
+//! [`LiveMetrics`] registry holds lock-light counters and gauges — plain
+//! relaxed atomics — that the engines update once per delivery batch, and a
+//! background sampler thread turns those raw values into rates, rank-skew
+//! histograms, and watchdog liveness checks on a wallclock cadence.
+//!
+//! The hot-path contract matches tracing exactly: a disabled run carries an
+//! `Option<Arc<RankLive>>` that is `None`, costing one discriminant check per
+//! delivery batch and zero allocations. When enabled, updates are relaxed
+//! atomic stores/adds — no locks, no syscalls — so `queue_compare` ratios and
+//! bit-identical differential suites are unaffected either way.
+//!
+//! [`serve`] exposes the registry over a std-`TcpListener` HTTP thread (no
+//! external dependencies): Prometheus text format at `/metrics`, a JSON run
+//! summary at `/status`. This endpoint is the serving seam a future
+//! `sst serve` daemon reuses.
+
+use crate::time::SimTime;
+use std::fmt::Write as _;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Schema tag stamped into `/status` documents.
+pub const STATUS_SCHEMA: &str = "sst-live-status-v1";
+
+/// How often the sampler thread recomputes rates and runs watchdog checks.
+const SAMPLE_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Smoothing factor for the exponential moving averages behind
+/// `events_per_second` and the sim-time rate that feeds the ETA.
+const RATE_ALPHA: f64 = 0.3;
+
+// ---------------------------------------------------------------------------
+// Per-rank hot-path handle
+
+/// The per-rank slice of the live registry. Engines hold an
+/// `Option<Arc<RankLive>>` and call [`RankLive::batch`] once per delivery
+/// batch; everything else is read by the sampler/server threads.
+pub struct RankLive {
+    pub rank: u32,
+    now_ps: AtomicU64,
+    events: AtomicU64,
+    queue_depth: AtomicU64,
+    stall_rounds: AtomicU64,
+    null_batches: AtomicU64,
+    batches_sent: AtomicU64,
+    events_sent: AtomicU64,
+    retired: AtomicBool,
+    stalled: AtomicBool,
+}
+
+impl RankLive {
+    fn new(rank: u32) -> RankLive {
+        RankLive {
+            rank,
+            now_ps: AtomicU64::new(0),
+            events: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            stall_rounds: AtomicU64::new(0),
+            null_batches: AtomicU64::new(0),
+            batches_sent: AtomicU64::new(0),
+            events_sent: AtomicU64::new(0),
+            retired: AtomicBool::new(false),
+            stalled: AtomicBool::new(false),
+        }
+    }
+
+    /// Record a delivery batch: the rank's committed sim-time, how many
+    /// events it just delivered, and its current pending-queue depth.
+    #[inline]
+    pub fn batch(&self, now: SimTime, delivered: u64, queue_depth: usize) {
+        self.now_ps.store(now.0, Ordering::Relaxed);
+        self.events.fetch_add(delivered, Ordering::Relaxed);
+        self.queue_depth
+            .store(queue_depth as u64, Ordering::Relaxed);
+    }
+
+    /// Mirror the conservative-sync counters (maintained as plain fields on
+    /// the sync state) into the registry. The sources are monotonic, so
+    /// absolute stores keep the exported counters monotonic too.
+    #[inline]
+    pub fn sync_counters(&self, stall_rounds: u64, nulls: u64, batches: u64, events_sent: u64) {
+        self.stall_rounds.store(stall_rounds, Ordering::Relaxed);
+        self.null_batches.store(nulls, Ordering::Relaxed);
+        self.batches_sent.store(batches, Ordering::Relaxed);
+        self.events_sent.store(events_sent, Ordering::Relaxed);
+    }
+
+    /// Mark the rank as retired (done with the current run segment); the
+    /// watchdog stops expecting its GVT to advance.
+    pub fn retire(&self) {
+        self.retired.store(true, Ordering::Relaxed);
+        self.stalled.store(false, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transport counters
+
+/// Per-backend transport counters, shared with every [`RankEndpoint`]
+/// instance of that backend.
+///
+/// [`RankEndpoint`]: crate::parallel::transport::RankEndpoint
+pub struct TransportLive {
+    label: &'static str,
+    batches: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl TransportLive {
+    fn new(label: &'static str) -> Arc<TransportLive> {
+        Arc::new(TransportLive {
+            label,
+            batches: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        })
+    }
+
+    /// Record one outbound batch of `bytes` payload. For the TCP backend the
+    /// byte count is the exact wire-frame size; the shared-memory backend
+    /// reports an in-memory estimate (events moved × event footprint).
+    #[inline]
+    pub fn sent(&self, bytes: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Skew histogram
+
+/// Lock-free fixed-bucket histogram of per-rank lag behind the furthest
+/// rank, in picoseconds. Bucket bounds are decades from 1 ns to 1 s.
+struct SkewHistogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl SkewHistogram {
+    fn new() -> SkewHistogram {
+        // 1 ns, 10 ns, ... 1 s — plus the implicit +Inf bucket.
+        let bounds: Vec<u64> = (3..=12).map(|p| 10u64.pow(p)).collect();
+        let buckets = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        SkewHistogram {
+            bounds,
+            buckets,
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, v: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The registry
+
+struct Rates {
+    last: Option<(Instant, u64, u64)>,
+    ev_per_sec: f64,
+    ps_per_sec: f64,
+}
+
+/// The run-wide live registry. One per process; shared (`Arc`) between the
+/// CLI, every engine the run spins up, the HTTP server thread, and the
+/// sampler/watchdog thread.
+pub struct LiveMetrics {
+    start: Instant,
+    manifest_hash: Mutex<String>,
+    label: Mutex<String>,
+    target_ps: AtomicU64,
+    finished: AtomicBool,
+    ranks: Mutex<Vec<Arc<RankLive>>>,
+    shm: Arc<TransportLive>,
+    tcp: Arc<TransportLive>,
+    skew: SkewHistogram,
+    rates: Mutex<Rates>,
+}
+
+impl std::fmt::Debug for LiveMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Params structs holding an `Arc<LiveMetrics>` derive Debug; the
+        // registry itself is all atomics, so a marker is enough.
+        f.write_str("LiveMetrics")
+    }
+}
+
+/// Point-in-time view of one rank, as computed by [`LiveMetrics::sample`].
+pub struct RankSnap {
+    pub rank: u32,
+    pub now_ps: u64,
+    pub events: u64,
+    pub queue_depth: u64,
+    pub stall_rounds: u64,
+    pub null_batches: u64,
+    pub batches_sent: u64,
+    pub events_sent: u64,
+    pub lag_ps: u64,
+    pub retired: bool,
+    pub stalled: bool,
+}
+
+/// Point-in-time view of the whole registry.
+pub struct LiveSnapshot {
+    pub uptime_s: f64,
+    pub events: u64,
+    pub gvt_ps: u64,
+    pub ev_per_sec: f64,
+    pub ps_per_sec: f64,
+    pub target_ps: u64,
+    pub finished: bool,
+    pub ranks: Vec<RankSnap>,
+}
+
+impl LiveSnapshot {
+    /// Fraction of the bounded run completed, if a bound is known.
+    pub fn progress(&self) -> Option<f64> {
+        if self.target_ps == 0 {
+            return None;
+        }
+        Some((self.gvt_ps as f64 / self.target_ps as f64).min(1.0))
+    }
+
+    /// Estimated wallclock seconds to completion from the sim-time rate.
+    pub fn eta_seconds(&self) -> Option<f64> {
+        if self.target_ps == 0 || self.ps_per_sec <= 0.0 || self.finished {
+            return None;
+        }
+        Some(self.target_ps.saturating_sub(self.gvt_ps) as f64 / self.ps_per_sec)
+    }
+}
+
+impl Default for LiveMetrics {
+    fn default() -> Self {
+        LiveMetrics::new()
+    }
+}
+
+impl LiveMetrics {
+    pub fn new() -> LiveMetrics {
+        LiveMetrics {
+            start: Instant::now(),
+            manifest_hash: Mutex::new(String::new()),
+            label: Mutex::new(String::new()),
+            target_ps: AtomicU64::new(0),
+            finished: AtomicBool::new(false),
+            ranks: Mutex::new(Vec::new()),
+            shm: TransportLive::new("shm"),
+            tcp: TransportLive::new("tcp"),
+            skew: SkewHistogram::new(),
+            rates: Mutex::new(Rates {
+                last: None,
+                ev_per_sec: 0.0,
+                ps_per_sec: 0.0,
+            }),
+        }
+    }
+
+    /// Get-or-create the handle for `rank`. Called at engine start, never on
+    /// the hot path, so the mutex is fine.
+    pub fn rank(&self, rank: u32) -> Arc<RankLive> {
+        let mut ranks = self.ranks.lock().unwrap();
+        if let Some(r) = ranks.iter().find(|r| r.rank == rank) {
+            return Arc::clone(r);
+        }
+        let r = Arc::new(RankLive::new(rank));
+        ranks.push(Arc::clone(&r));
+        ranks.sort_by_key(|r| r.rank);
+        r
+    }
+
+    /// The shared counter block for a transport backend (`"tcp"`, else shm).
+    pub fn transport(&self, label: &str) -> Arc<TransportLive> {
+        match label {
+            "tcp" => Arc::clone(&self.tcp),
+            _ => Arc::clone(&self.shm),
+        }
+    }
+
+    /// Stamp the run-manifest config hash surfaced in `/status`.
+    pub fn set_manifest_hash(&self, hash: &str) {
+        *self.manifest_hash.lock().unwrap() = hash.to_string();
+    }
+
+    /// Begin (or re-begin, for multi-engine experiments) a run segment:
+    /// reset per-run gauges and the watchdog arming, keep counters
+    /// accumulating.
+    pub fn begin_run(&self, label: &str, bound: Option<SimTime>) {
+        *self.label.lock().unwrap() = label.to_string();
+        self.target_ps
+            .store(bound.map(|t| t.0).unwrap_or(0), Ordering::Relaxed);
+        self.finished.store(false, Ordering::Relaxed);
+        for r in self.ranks.lock().unwrap().iter() {
+            r.now_ps.store(0, Ordering::Relaxed);
+            r.queue_depth.store(0, Ordering::Relaxed);
+            r.retired.store(false, Ordering::Relaxed);
+            r.stalled.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// Mark the current run segment done; the watchdog stands down.
+    pub fn note_finished(&self) {
+        self.finished.store(true, Ordering::Relaxed);
+        for r in self.ranks.lock().unwrap().iter() {
+            r.retire();
+        }
+    }
+
+    /// Compute a consistent snapshot and refresh the rate EMAs when enough
+    /// wallclock has passed since the previous sample.
+    pub fn sample(&self) -> LiveSnapshot {
+        let ranks = self.ranks.lock().unwrap();
+        let mut snaps: Vec<RankSnap> = ranks
+            .iter()
+            .map(|r| RankSnap {
+                rank: r.rank,
+                now_ps: r.now_ps.load(Ordering::Relaxed),
+                events: r.events.load(Ordering::Relaxed),
+                queue_depth: r.queue_depth.load(Ordering::Relaxed),
+                stall_rounds: r.stall_rounds.load(Ordering::Relaxed),
+                null_batches: r.null_batches.load(Ordering::Relaxed),
+                batches_sent: r.batches_sent.load(Ordering::Relaxed),
+                events_sent: r.events_sent.load(Ordering::Relaxed),
+                lag_ps: 0,
+                retired: r.retired.load(Ordering::Relaxed),
+                stalled: r.stalled.load(Ordering::Relaxed),
+            })
+            .collect();
+        drop(ranks);
+        let max_now = snaps.iter().map(|r| r.now_ps).max().unwrap_or(0);
+        let live_min = snaps.iter().filter(|r| !r.retired).map(|r| r.now_ps).min();
+        let gvt_ps = live_min.unwrap_or(max_now);
+        for s in &mut snaps {
+            s.lag_ps = max_now.saturating_sub(s.now_ps);
+        }
+        let events: u64 = snaps.iter().map(|r| r.events).sum();
+
+        let mut rates = self.rates.lock().unwrap();
+        let now = Instant::now();
+        match rates.last {
+            Some((t0, ev0, gvt0)) => {
+                let dt = now.duration_since(t0).as_secs_f64();
+                if dt >= 0.05 {
+                    let ev_rate = events.saturating_sub(ev0) as f64 / dt;
+                    let ps_rate = gvt_ps.saturating_sub(gvt0) as f64 / dt;
+                    rates.ev_per_sec = RATE_ALPHA * ev_rate + (1.0 - RATE_ALPHA) * rates.ev_per_sec;
+                    rates.ps_per_sec = RATE_ALPHA * ps_rate + (1.0 - RATE_ALPHA) * rates.ps_per_sec;
+                    rates.last = Some((now, events, gvt_ps));
+                }
+            }
+            None => rates.last = Some((now, events, gvt_ps)),
+        }
+        LiveSnapshot {
+            uptime_s: self.start.elapsed().as_secs_f64(),
+            events,
+            gvt_ps,
+            ev_per_sec: rates.ev_per_sec,
+            ps_per_sec: rates.ps_per_sec,
+            target_ps: self.target_ps.load(Ordering::Relaxed),
+            finished: self.finished.load(Ordering::Relaxed),
+            ranks: snaps,
+        }
+    }
+
+    /// Render the registry in Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        let snap = self.sample();
+        let mut o = String::with_capacity(2048);
+        let _ = writeln!(o, "# HELP sst_up Whether the simulator process is alive.");
+        let _ = writeln!(o, "# TYPE sst_up gauge\nsst_up 1");
+        let _ = writeln!(
+            o,
+            "# HELP sst_uptime_seconds Wallclock seconds since metrics started."
+        );
+        let _ = writeln!(o, "# TYPE sst_uptime_seconds gauge");
+        let _ = writeln!(o, "sst_uptime_seconds {:.3}", snap.uptime_s);
+        let _ = writeln!(
+            o,
+            "# HELP sst_run_finished Whether the current run segment has completed."
+        );
+        let _ = writeln!(o, "# TYPE sst_run_finished gauge");
+        let _ = writeln!(o, "sst_run_finished {}", snap.finished as u8);
+        let _ = writeln!(
+            o,
+            "# HELP sst_events_total Events and clock ticks delivered, all ranks."
+        );
+        let _ = writeln!(o, "# TYPE sst_events_total counter");
+        let _ = writeln!(o, "sst_events_total {}", snap.events);
+        let _ = writeln!(o, "# HELP sst_events_per_second Smoothed delivery rate.");
+        let _ = writeln!(o, "# TYPE sst_events_per_second gauge");
+        let _ = writeln!(o, "sst_events_per_second {:.1}", snap.ev_per_sec);
+        let _ = writeln!(
+            o,
+            "# HELP sst_gvt_ps Committed global virtual time in picoseconds."
+        );
+        let _ = writeln!(o, "# TYPE sst_gvt_ps gauge");
+        let _ = writeln!(o, "sst_gvt_ps {}", snap.gvt_ps);
+        let _ = writeln!(
+            o,
+            "# HELP sst_target_ps Run bound in picoseconds (0 = run to exhaustion)."
+        );
+        let _ = writeln!(o, "# TYPE sst_target_ps gauge");
+        let _ = writeln!(o, "sst_target_ps {}", snap.target_ps);
+        let _ = writeln!(
+            o,
+            "# HELP sst_sim_time_per_second_ps Smoothed GVT advance rate."
+        );
+        let _ = writeln!(o, "# TYPE sst_sim_time_per_second_ps gauge");
+        let _ = writeln!(o, "sst_sim_time_per_second_ps {:.0}", snap.ps_per_sec);
+
+        let _ = writeln!(
+            o,
+            "# HELP sst_rank_sim_time_ps Per-rank committed sim-time."
+        );
+        let _ = writeln!(o, "# TYPE sst_rank_sim_time_ps gauge");
+        for r in &snap.ranks {
+            let _ = writeln!(
+                o,
+                "sst_rank_sim_time_ps{{rank=\"{}\"}} {}",
+                r.rank, r.now_ps
+            );
+        }
+        let _ = writeln!(
+            o,
+            "# HELP sst_rank_events_total Per-rank delivered events and ticks."
+        );
+        let _ = writeln!(o, "# TYPE sst_rank_events_total counter");
+        for r in &snap.ranks {
+            let _ = writeln!(
+                o,
+                "sst_rank_events_total{{rank=\"{}\"}} {}",
+                r.rank, r.events
+            );
+        }
+        let _ = writeln!(
+            o,
+            "# HELP sst_rank_queue_depth Per-rank pending-queue depth."
+        );
+        let _ = writeln!(o, "# TYPE sst_rank_queue_depth gauge");
+        for r in &snap.ranks {
+            let _ = writeln!(
+                o,
+                "sst_rank_queue_depth{{rank=\"{}\"}} {}",
+                r.rank, r.queue_depth
+            );
+        }
+        let _ = writeln!(
+            o,
+            "# HELP sst_rank_lag_ps Sim-time lag behind the furthest rank."
+        );
+        let _ = writeln!(o, "# TYPE sst_rank_lag_ps gauge");
+        for r in &snap.ranks {
+            let _ = writeln!(o, "sst_rank_lag_ps{{rank=\"{}\"}} {}", r.rank, r.lag_ps);
+        }
+        let _ = writeln!(
+            o,
+            "# HELP sst_rank_stall_rounds_total Sync rounds spent waiting with no work."
+        );
+        let _ = writeln!(o, "# TYPE sst_rank_stall_rounds_total counter");
+        for r in &snap.ranks {
+            let _ = writeln!(
+                o,
+                "sst_rank_stall_rounds_total{{rank=\"{}\"}} {}",
+                r.rank, r.stall_rounds
+            );
+        }
+        let _ = writeln!(
+            o,
+            "# HELP sst_rank_null_batches_total Pure null-message batches sent."
+        );
+        let _ = writeln!(o, "# TYPE sst_rank_null_batches_total counter");
+        for r in &snap.ranks {
+            let _ = writeln!(
+                o,
+                "sst_rank_null_batches_total{{rank=\"{}\"}} {}",
+                r.rank, r.null_batches
+            );
+        }
+        let _ = writeln!(
+            o,
+            "# HELP sst_rank_batches_total Event batches sent to neighbor ranks."
+        );
+        let _ = writeln!(o, "# TYPE sst_rank_batches_total counter");
+        for r in &snap.ranks {
+            let _ = writeln!(
+                o,
+                "sst_rank_batches_total{{rank=\"{}\"}} {}",
+                r.rank, r.batches_sent
+            );
+        }
+        let _ = writeln!(
+            o,
+            "# HELP sst_rank_events_sent_total Cross-rank events shipped."
+        );
+        let _ = writeln!(o, "# TYPE sst_rank_events_sent_total counter");
+        for r in &snap.ranks {
+            let _ = writeln!(
+                o,
+                "sst_rank_events_sent_total{{rank=\"{}\"}} {}",
+                r.rank, r.events_sent
+            );
+        }
+        let _ = writeln!(
+            o,
+            "# HELP sst_rank_stalled Watchdog verdict: GVT stopped advancing."
+        );
+        let _ = writeln!(o, "# TYPE sst_rank_stalled gauge");
+        for r in &snap.ranks {
+            let _ = writeln!(
+                o,
+                "sst_rank_stalled{{rank=\"{}\"}} {}",
+                r.rank, r.stalled as u8
+            );
+        }
+        let _ = writeln!(o, "# HELP sst_rank_retired Rank finished its run segment.");
+        let _ = writeln!(o, "# TYPE sst_rank_retired gauge");
+        for r in &snap.ranks {
+            let _ = writeln!(
+                o,
+                "sst_rank_retired{{rank=\"{}\"}} {}",
+                r.rank, r.retired as u8
+            );
+        }
+
+        let _ = writeln!(
+            o,
+            "# HELP sst_transport_batches_total Batches pushed into a transport backend."
+        );
+        let _ = writeln!(o, "# TYPE sst_transport_batches_total counter");
+        let _ = writeln!(
+            o,
+            "# HELP sst_transport_bytes_total Payload bytes pushed into a transport backend."
+        );
+        let _ = writeln!(o, "# TYPE sst_transport_bytes_total counter");
+        for t in [&self.shm, &self.tcp] {
+            let _ = writeln!(
+                o,
+                "sst_transport_batches_total{{transport=\"{}\"}} {}",
+                t.label,
+                t.batches.load(Ordering::Relaxed)
+            );
+            let _ = writeln!(
+                o,
+                "sst_transport_bytes_total{{transport=\"{}\"}} {}",
+                t.label,
+                t.bytes.load(Ordering::Relaxed)
+            );
+        }
+
+        let _ = writeln!(
+            o,
+            "# HELP sst_rank_skew_ps Sampled per-rank lag behind the furthest rank."
+        );
+        let _ = writeln!(o, "# TYPE sst_rank_skew_ps histogram");
+        let mut cumulative = 0u64;
+        for (i, b) in self.skew.bounds.iter().enumerate() {
+            cumulative += self.skew.buckets[i].load(Ordering::Relaxed);
+            let _ = writeln!(o, "sst_rank_skew_ps_bucket{{le=\"{b}\"}} {cumulative}");
+        }
+        cumulative += self.skew.buckets[self.skew.bounds.len()].load(Ordering::Relaxed);
+        let _ = writeln!(o, "sst_rank_skew_ps_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(
+            o,
+            "sst_rank_skew_ps_sum {}",
+            self.skew.sum.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            o,
+            "sst_rank_skew_ps_count {}",
+            self.skew.count.load(Ordering::Relaxed)
+        );
+        o
+    }
+
+    /// Render the `/status` JSON document.
+    pub fn render_status(&self) -> String {
+        let snap = self.sample();
+        let mut o = String::with_capacity(512);
+        o.push('{');
+        let _ = write!(o, "\"schema\":\"{STATUS_SCHEMA}\"");
+        let _ = write!(
+            o,
+            ",\"manifest_hash\":\"{}\"",
+            self.manifest_hash.lock().unwrap()
+        );
+        let _ = write!(o, ",\"label\":\"{}\"", self.label.lock().unwrap());
+        let _ = write!(o, ",\"uptime_seconds\":{:.3}", snap.uptime_s);
+        let _ = write!(o, ",\"finished\":{}", snap.finished);
+        let _ = write!(o, ",\"events\":{}", snap.events);
+        let _ = write!(o, ",\"events_per_second\":{:.1}", snap.ev_per_sec);
+        let _ = write!(o, ",\"gvt_ps\":{}", snap.gvt_ps);
+        let _ = write!(o, ",\"target_ps\":{}", snap.target_ps);
+        match snap.progress() {
+            Some(p) => {
+                let _ = write!(o, ",\"progress\":{:.4}", p);
+            }
+            None => o.push_str(",\"progress\":null"),
+        }
+        match snap.eta_seconds() {
+            Some(eta) => {
+                let _ = write!(o, ",\"eta_seconds\":{:.1}", eta);
+            }
+            None => o.push_str(",\"eta_seconds\":null"),
+        }
+        let _ = write!(o, ",\"sim_time_per_second_ps\":{:.0}", snap.ps_per_sec);
+        let _ = write!(o, ",\"ranks\":{}", snap.ranks.len());
+        let stalled: Vec<String> = snap
+            .ranks
+            .iter()
+            .filter(|r| r.stalled)
+            .map(|r| r.rank.to_string())
+            .collect();
+        let _ = write!(o, ",\"stalled_ranks\":[{}]", stalled.join(","));
+        o.push('}');
+        o
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog
+
+/// Rank-health watchdog policy: a non-retired rank whose committed sim-time
+/// has not advanced for `stall_after` wallclock is reported as stalled.
+#[derive(Debug, Clone, Copy)]
+pub struct WatchdogCfg {
+    pub stall_after: Duration,
+}
+
+impl Default for WatchdogCfg {
+    fn default() -> Self {
+        WatchdogCfg {
+            stall_after: Duration::from_secs(10),
+        }
+    }
+}
+
+struct WatchState {
+    rank: u32,
+    last_ps: u64,
+    since: Instant,
+    warned: bool,
+}
+
+/// One sampler/watchdog pass: feed the skew histogram and flip per-rank
+/// stall verdicts, emitting structured warnings on transitions.
+fn watchdog_pass(metrics: &LiveMetrics, cfg: &WatchdogCfg, states: &mut Vec<WatchState>) {
+    let snap = metrics.sample();
+    let active = !snap.finished && snap.ranks.iter().any(|r| !r.retired);
+    for r in &snap.ranks {
+        if active && !r.retired {
+            metrics.skew.observe(r.lag_ps);
+        }
+        let st = match states.iter_mut().find(|s| s.rank == r.rank) {
+            Some(s) => s,
+            None => {
+                states.push(WatchState {
+                    rank: r.rank,
+                    last_ps: r.now_ps,
+                    since: Instant::now(),
+                    warned: false,
+                });
+                continue;
+            }
+        };
+        if r.now_ps != st.last_ps || r.retired || snap.finished {
+            if st.warned && r.now_ps != st.last_ps {
+                eprintln!(
+                    "{{\"warn\":\"rank-recovered\",\"rank\":{},\"sim_time_ps\":{},\"gvt_ps\":{}}}",
+                    r.rank, r.now_ps, snap.gvt_ps
+                );
+            }
+            st.last_ps = r.now_ps;
+            st.since = Instant::now();
+            st.warned = false;
+            if let Some(h) = metrics.rank_handle(r.rank) {
+                h.stalled.store(false, Ordering::Relaxed);
+            }
+            continue;
+        }
+        let stuck = st.since.elapsed();
+        if stuck >= cfg.stall_after && !st.warned {
+            st.warned = true;
+            if let Some(h) = metrics.rank_handle(r.rank) {
+                h.stalled.store(true, Ordering::Relaxed);
+            }
+            eprintln!(
+                "{{\"warn\":\"rank-stalled\",\"rank\":{},\"sim_time_ps\":{},\"gvt_ps\":{},\"stalled_for_s\":{:.1},\"stall_after_s\":{:.1}}}",
+                r.rank,
+                r.now_ps,
+                snap.gvt_ps,
+                stuck.as_secs_f64(),
+                cfg.stall_after.as_secs_f64()
+            );
+        }
+    }
+}
+
+impl LiveMetrics {
+    fn rank_handle(&self, rank: u32) -> Option<Arc<RankLive>> {
+        self.ranks
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|r| r.rank == rank)
+            .cloned()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HTTP endpoint
+
+/// A running metrics endpoint: the HTTP accept thread plus the
+/// sampler/watchdog thread. Dropping it shuts both down.
+pub struct MetricsServer {
+    /// The bound address — port 0 requests resolve here.
+    pub addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    sampler: Option<JoinHandle<()>>,
+}
+
+/// Bind `addr` (e.g. `127.0.0.1:9464`; port 0 picks a free port) and start
+/// serving `/metrics` (Prometheus text) and `/status` (JSON) from `metrics`,
+/// with `watchdog` liveness checks on a wallclock cadence.
+pub fn serve(
+    metrics: Arc<LiveMetrics>,
+    addr: &str,
+    watchdog: WatchdogCfg,
+) -> io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    let stop = Arc::clone(&shutdown);
+    let m = Arc::clone(&metrics);
+    let accept = std::thread::Builder::new()
+        .name("sst-metrics-http".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                if let Ok(stream) = conn {
+                    let _ = handle_conn(stream, &m);
+                }
+            }
+        })?;
+
+    let stop = Arc::clone(&shutdown);
+    let m = Arc::clone(&metrics);
+    let sampler = std::thread::Builder::new()
+        .name("sst-metrics-watchdog".into())
+        .spawn(move || {
+            let mut states: Vec<WatchState> = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                watchdog_pass(&m, &watchdog, &mut states);
+                std::thread::sleep(SAMPLE_INTERVAL);
+            }
+        })?;
+
+    Ok(MetricsServer {
+        addr: local,
+        shutdown,
+        accept: Some(accept),
+        sampler: Some(sampler),
+    })
+}
+
+impl MetricsServer {
+    /// Stop both threads and wait for them.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.sampler.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_conn(stream: TcpStream, metrics: &LiveMetrics) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request = String::new();
+    reader.read_line(&mut request)?;
+    let path = request.split_whitespace().nth(1).unwrap_or("/");
+    // Drain the remaining request headers before responding.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let (status, ctype, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            metrics.render_prometheus(),
+        ),
+        "/status" | "/" => ("200 OK", "application/json", metrics.render_status()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found: try /metrics or /status\n".to_string(),
+        ),
+    };
+    let mut stream = stream;
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// Scrape helper used by tests (and usable by tooling): GET `path` from a
+/// running [`MetricsServer`] and return the response body.
+pub fn http_get(addr: SocketAddr, path: &str) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: sst\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    match response.split_once("\r\n\r\n") {
+        Some((_, body)) => Ok(body.to_string()),
+        None => Ok(response),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_registration_is_idempotent_and_sorted() {
+        let m = LiveMetrics::new();
+        let a = m.rank(2);
+        let b = m.rank(0);
+        let c = m.rank(2);
+        assert!(Arc::ptr_eq(&a, &c));
+        assert_eq!(b.rank, 0);
+        let snap = m.sample();
+        assert_eq!(
+            snap.ranks.iter().map(|r| r.rank).collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+    }
+
+    #[test]
+    fn gvt_is_min_over_live_ranks_and_lag_tracks_max() {
+        let m = LiveMetrics::new();
+        let r0 = m.rank(0);
+        let r1 = m.rank(1);
+        r0.batch(SimTime(100), 5, 3);
+        r1.batch(SimTime(40), 2, 1);
+        let snap = m.sample();
+        assert_eq!(snap.gvt_ps, 40);
+        assert_eq!(snap.events, 7);
+        assert_eq!(snap.ranks[1].lag_ps, 60);
+        // A retired rank no longer holds GVT back.
+        r1.retire();
+        assert_eq!(m.sample().gvt_ps, 100);
+    }
+
+    #[test]
+    fn progress_and_eta_need_a_target() {
+        let m = LiveMetrics::new();
+        let r = m.rank(0);
+        r.batch(SimTime(500), 1, 0);
+        assert!(m.sample().progress().is_none());
+        m.begin_run("run", Some(SimTime(1000)));
+        // begin_run resets gauges; re-advance.
+        r.batch(SimTime(500), 1, 0);
+        let snap = m.sample();
+        assert_eq!(snap.progress(), Some(0.5));
+    }
+
+    #[test]
+    fn prometheus_render_covers_per_rank_and_transport_metrics() {
+        let m = LiveMetrics::new();
+        let r = m.rank(0);
+        r.batch(SimTime(1234), 10, 2);
+        r.sync_counters(3, 4, 5, 6);
+        m.transport("tcp").sent(128);
+        let text = m.render_prometheus();
+        assert!(text.contains("sst_events_total 10"));
+        assert!(text.contains("sst_rank_sim_time_ps{rank=\"0\"} 1234"));
+        assert!(text.contains("sst_rank_stall_rounds_total{rank=\"0\"} 3"));
+        assert!(text.contains("sst_rank_null_batches_total{rank=\"0\"} 4"));
+        assert!(text.contains("sst_transport_bytes_total{transport=\"tcp\"} 128"));
+        assert!(text.contains("sst_rank_skew_ps_bucket{le=\"+Inf\"}"));
+    }
+
+    #[test]
+    fn status_json_reports_progress_and_stalls() {
+        let m = LiveMetrics::new();
+        m.set_manifest_hash("abcd1234");
+        m.begin_run("torus", Some(SimTime(2000)));
+        m.rank(0).batch(SimTime(1000), 4, 0);
+        let json = m.render_status();
+        assert!(json.contains("\"schema\":\"sst-live-status-v1\""));
+        assert!(json.contains("\"manifest_hash\":\"abcd1234\""));
+        assert!(json.contains("\"progress\":0.5000"));
+        assert!(json.contains("\"stalled_ranks\":[]"));
+    }
+
+    #[test]
+    fn http_endpoint_serves_metrics_and_status() {
+        let m = Arc::new(LiveMetrics::new());
+        m.rank(0).batch(SimTime(77), 9, 1);
+        let mut server = serve(Arc::clone(&m), "127.0.0.1:0", WatchdogCfg::default()).unwrap();
+        let body = http_get(server.addr, "/metrics").unwrap();
+        assert!(body.contains("sst_events_total 9"));
+        let status = http_get(server.addr, "/status").unwrap();
+        assert!(status.contains("\"events\":9"));
+        let missing = http_get(server.addr, "/nope").unwrap();
+        assert!(missing.contains("not found"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn watchdog_flags_stuck_ranks_and_rearms_on_advance() {
+        let m = LiveMetrics::new();
+        let r = m.rank(0);
+        r.batch(SimTime(10), 1, 0);
+        let cfg = WatchdogCfg {
+            stall_after: Duration::from_millis(0),
+        };
+        let mut states = Vec::new();
+        // First pass seeds the state, second pass observes no advance.
+        watchdog_pass(&m, &cfg, &mut states);
+        watchdog_pass(&m, &cfg, &mut states);
+        assert!(m.sample().ranks[0].stalled);
+        // Advancing sim-time clears the verdict.
+        r.batch(SimTime(20), 1, 0);
+        watchdog_pass(&m, &cfg, &mut states);
+        assert!(!m.sample().ranks[0].stalled);
+        // A retired rank is never flagged.
+        r.retire();
+        watchdog_pass(&m, &cfg, &mut states);
+        watchdog_pass(&m, &cfg, &mut states);
+        assert!(!m.sample().ranks[0].stalled);
+    }
+}

@@ -26,6 +26,8 @@
 //!    pending-queue depth high-watermark, and — for parallel runs — per-rank
 //!    sync metrics (batches, pure null messages, stall time).
 
+pub mod live;
+
 use crate::stats::{StatKind, StatsRegistry};
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
@@ -1107,6 +1109,11 @@ pub struct RunManifest {
     /// diffed directly.
     #[serde(default)]
     pub final_state_hash: Option<String>,
+    /// Free-form one-line observations about the run, one per entry — e.g.
+    /// the adaptive-sync counters of each parallel rank. Greppable without
+    /// parsing the profile dump.
+    #[serde(default)]
+    pub notes: Vec<String>,
 }
 
 /// One checkpoint recorded in a [`RunManifest`].
@@ -1120,6 +1127,9 @@ pub struct CheckpointEntry {
 }
 
 pub const MANIFEST_SCHEMA: &str = "sst-telemetry-manifest-v1";
+
+/// Schema tag of the `<base>.stats.json` sampled-series document.
+pub const SERIES_SCHEMA: &str = "sst-stats-series-v1";
 
 // ---------------------------------------------------------------------------
 // Profile dumps: the measure half of the measure→repartition→rerun loop

@@ -1,0 +1,805 @@
+//! Post-hoc trace analysis: critical-path extraction and bottleneck tables.
+//!
+//! `sst analyze <trace.jsonl>` replays the causal structure recorded by the
+//! tracer and answers two questions the live metrics endpoint cannot:
+//!
+//! 1. **What is the critical path?** Every `sched` record is a dependency
+//!    edge — the handler running at `t` on `src` scheduled a delivery onto
+//!    `dst` at `at`. Chaining each `deliver` back through the `sched` that
+//!    produced it (and each `clock` tick through the component's own prior
+//!    work) yields a DAG whose longest path is the sequence of events that
+//!    bounds how fast the simulated system could possibly have run — adding
+//!    ranks cannot shorten it. The analyzer reports that path with
+//!    per-component attribution: which components the simulation's forward
+//!    progress actually serializes through.
+//! 2. **Where did the wallclock go?** Given the `.profile.json` dump from
+//!    the same run (`--profile-dump`, or the trace's sibling file found
+//!    automatically), the report merges per-component handler wallclock with
+//!    each rank's sync-wait share into one bottleneck table: hot handlers on
+//!    one axis, ranks that spent their time blocked on neighbors on the
+//!    other.
+//!
+//! The chain reconstruction is O(records log records) time and
+//! O(delivers + clocks) memory: records sort by sim-time (stable, so
+//! same-instant records keep their causal file order), `sched` edges wait in
+//! a pending map keyed by `(dst, at, port)`, and every `deliver`/`clock`
+//! appends one arena node carrying its chain depth and a parent pointer for
+//! the final walk-back.
+
+use serde::{Map, Number, Value};
+use sst_core::telemetry::{ProfileDump, PROFILE_SCHEMA};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Schema tag stamped into every JSON report.
+pub const ANALYZE_SCHEMA: &str = "sst-analyze-report-v1";
+
+/// One hop on the reconstructed critical path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hop {
+    pub t_ps: u64,
+    pub component: String,
+    /// `"deliver"` or `"clock"`.
+    pub kind: &'static str,
+}
+
+/// Everything extracted from one trace file.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    pub records: u64,
+    pub delivers: u64,
+    pub scheds: u64,
+    pub clocks: u64,
+    /// The longest causal chain, in time order.
+    pub path: Vec<Hop>,
+    /// `(component, hops on the critical path)`, descending by hops.
+    pub attribution: Vec<(String, u64)>,
+}
+
+impl Analysis {
+    /// Sim-time covered by the critical path (last hop minus first).
+    pub fn span_ps(&self) -> u64 {
+        match (self.path.first(), self.path.last()) {
+            (Some(a), Some(b)) => b.t_ps - a.t_ps,
+            _ => 0,
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Kind {
+    Sched {
+        src: u32,
+        dst: u32,
+        at: u64,
+        port: u64,
+    },
+    Deliver {
+        dst: u32,
+        port: u64,
+    },
+    Clock {
+        dst: u32,
+    },
+}
+
+struct Rec {
+    t: u64,
+    kind: Kind,
+}
+
+/// Arena node: one executed event (`deliver` or `clock`) on some chain.
+struct Node {
+    comp: u32,
+    t: u64,
+    clock: bool,
+    depth: u64,
+    parent: Option<u32>,
+}
+
+fn intern(names: &mut Vec<String>, idx: &mut HashMap<String, u32>, name: &str) -> u32 {
+    if let Some(&i) = idx.get(name) {
+        return i;
+    }
+    let i = names.len() as u32;
+    names.push(name.to_string());
+    idx.insert(name.to_string(), i);
+    i
+}
+
+/// Reconstruct the causal chains of a JSONL trace and return the longest.
+/// Invalid JSON or a record missing `t`/`k` is an error; records whose kind
+/// carries no causality (`mark`, future kinds) are skipped.
+pub fn analyze_trace_text(text: &str) -> Result<Analysis, String> {
+    let mut names: Vec<String> = Vec::new();
+    let mut name_idx: HashMap<String, u32> = HashMap::new();
+    let mut recs: Vec<Rec> = Vec::new();
+    let mut records = 0u64;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v: Value =
+            serde_json::from_str(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let t = v
+            .get("t")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("line {}: record lacks `t`", lineno + 1))?;
+        let k = v
+            .get("k")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {}: record lacks `k`", lineno + 1))?
+            .to_string();
+        records += 1;
+        let port = v.get("port").and_then(Value::as_u64).unwrap_or(0);
+        let mut comp = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_str)
+                .map(|s| intern(&mut names, &mut name_idx, s))
+        };
+        let kind = match k.as_str() {
+            "sched" => {
+                let (Some(src), Some(dst), Some(at)) = (
+                    comp("src"),
+                    comp("dst"),
+                    v.get("at").and_then(Value::as_u64),
+                ) else {
+                    continue; // malformed sched: drop the edge, not the run
+                };
+                Kind::Sched { src, dst, at, port }
+            }
+            "deliver" => {
+                let Some(dst) = comp("dst") else { continue };
+                Kind::Deliver { dst, port }
+            }
+            "clock" => {
+                let Some(dst) = comp("dst") else { continue };
+                Kind::Clock { dst }
+            }
+            _ => continue,
+        };
+        recs.push(Rec { t, kind });
+    }
+    Ok(build_chains(names, recs, records))
+}
+
+fn build_chains(names: Vec<String>, mut recs: Vec<Rec>, records: u64) -> Analysis {
+    // Stable by sim-time: same-instant records keep file order, which is the
+    // causal order the tracer wrote them in (a deliver precedes the scheds
+    // its handler emits at the same timestamp).
+    recs.sort_by_key(|r| r.t);
+
+    let mut nodes: Vec<Node> = Vec::new();
+    // Longest chain currently ending at each component (arena index).
+    let mut best: Vec<Option<u32>> = vec![None; names.len()];
+    // Pending sched edges waiting for their delivery: (dst, at, port) ->
+    // (depth at src, parent node). Deeper wins on collision.
+    let mut pending: HashMap<(u32, u64, u64), (u64, Option<u32>)> = HashMap::new();
+
+    let mut delivers = 0u64;
+    let mut scheds = 0u64;
+    let mut clocks = 0u64;
+    let depth_of = |nodes: &[Node], b: Option<u32>| b.map_or(0, |i| nodes[i as usize].depth);
+
+    for rec in &recs {
+        match rec.kind {
+            Kind::Sched { src, dst, at, port } => {
+                scheds += 1;
+                let d = depth_of(&nodes, best[src as usize]);
+                let entry = pending.entry((dst, at, port)).or_insert((0, None));
+                if d >= entry.0 {
+                    *entry = (d, best[src as usize]);
+                }
+            }
+            Kind::Deliver { dst, port } => {
+                delivers += 1;
+                // No pending edge (setup-time sends, filtered traces) starts
+                // a fresh chain.
+                let (d, parent) = pending.remove(&(dst, rec.t, port)).unwrap_or((0, None));
+                let depth = d + 1;
+                let idx = nodes.len() as u32;
+                nodes.push(Node {
+                    comp: dst,
+                    t: rec.t,
+                    clock: false,
+                    depth,
+                    parent,
+                });
+                if depth > depth_of(&nodes, best[dst as usize]) {
+                    best[dst as usize] = Some(idx);
+                }
+            }
+            Kind::Clock { dst } => {
+                clocks += 1;
+                // A tick extends the component's own longest chain: the tick
+                // handler observes all state the prior chain produced.
+                let parent = best[dst as usize];
+                let depth = depth_of(&nodes, parent) + 1;
+                let idx = nodes.len() as u32;
+                nodes.push(Node {
+                    comp: dst,
+                    t: rec.t,
+                    clock: true,
+                    depth,
+                    parent,
+                });
+                best[dst as usize] = Some(idx);
+            }
+        }
+    }
+
+    // Walk back from the globally deepest node.
+    let tip = best
+        .iter()
+        .flatten()
+        .copied()
+        .max_by_key(|&i| nodes[i as usize].depth);
+    let mut path = Vec::new();
+    let mut cursor = tip;
+    while let Some(i) = cursor {
+        let n = &nodes[i as usize];
+        path.push(Hop {
+            t_ps: n.t,
+            component: names[n.comp as usize].clone(),
+            kind: if n.clock { "clock" } else { "deliver" },
+        });
+        cursor = n.parent;
+    }
+    path.reverse();
+
+    let mut counts: HashMap<&str, u64> = HashMap::new();
+    for h in &path {
+        *counts.entry(h.component.as_str()).or_insert(0) += 1;
+    }
+    let mut attribution: Vec<(String, u64)> = counts
+        .into_iter()
+        .map(|(n, c)| (n.to_string(), c))
+        .collect();
+    attribution.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+
+    Analysis {
+        records,
+        delivers,
+        scheds,
+        clocks,
+        path,
+        attribution,
+    }
+}
+
+// --- bottleneck table ------------------------------------------------------
+
+/// One row of the handler-wallclock table.
+#[derive(Debug, Clone)]
+pub struct HandlerRow {
+    pub name: String,
+    pub events: u64,
+    pub total_ns: u64,
+    pub max_ns: u64,
+    /// Share of all handler wallclock in the dump.
+    pub share: f64,
+    /// Hops this component contributes to the critical path.
+    pub path_hops: u64,
+}
+
+/// One row of the per-rank sync table.
+#[derive(Debug, Clone)]
+pub struct RankRow {
+    pub label: String,
+    pub rank: u32,
+    pub sync_rounds: u64,
+    pub stall_rounds: u64,
+    pub stall_ns: u64,
+    pub barriers_skipped: u64,
+    pub epochs_widened: u64,
+    /// Estimated share of the rank's wallclock spent blocked on neighbors:
+    /// `stall / (stall + handler_time / n_ranks)`. The handler term divides
+    /// the run's total handler time evenly because the dump does not record
+    /// per-rank handler time — treat it as a ranking signal, not a
+    /// measurement.
+    pub wait_share: f64,
+}
+
+/// Merge a profile dump with the critical-path attribution.
+pub fn bottlenecks(dump: &ProfileDump, analysis: &Analysis) -> (Vec<HandlerRow>, Vec<RankRow>) {
+    let merged = dump.merged();
+    let total_ns: u64 = merged.components.iter().map(|c| c.total_ns).sum();
+    let hops: HashMap<&str, u64> = analysis
+        .attribution
+        .iter()
+        .map(|(n, c)| (n.as_str(), *c))
+        .collect();
+    let mut handlers: Vec<HandlerRow> = merged
+        .components
+        .iter()
+        .map(|c| HandlerRow {
+            name: c.name.clone(),
+            events: c.events,
+            total_ns: c.total_ns,
+            max_ns: c.max_ns,
+            share: if total_ns > 0 {
+                c.total_ns as f64 / total_ns as f64
+            } else {
+                0.0
+            },
+            path_hops: hops.get(c.name.as_str()).copied().unwrap_or(0),
+        })
+        .collect();
+    handlers.sort_by(|a, b| {
+        b.total_ns
+            .cmp(&a.total_ns)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+
+    let mut ranks = Vec::new();
+    for lp in &dump.profiles {
+        if lp.profile.ranks.is_empty() {
+            continue;
+        }
+        let handler_ns: u64 = lp.profile.components.iter().map(|c| c.total_ns).sum();
+        let per_rank_ns = handler_ns as f64 / lp.profile.ranks.len() as f64;
+        for r in &lp.profile.ranks {
+            let denom = r.stall_ns as f64 + per_rank_ns;
+            ranks.push(RankRow {
+                label: lp.label.clone(),
+                rank: r.rank,
+                sync_rounds: r.sync_rounds,
+                stall_rounds: r.stall_rounds,
+                stall_ns: r.stall_ns,
+                barriers_skipped: r.barriers_skipped,
+                epochs_widened: r.epochs_widened,
+                wait_share: if denom > 0.0 {
+                    r.stall_ns as f64 / denom
+                } else {
+                    0.0
+                },
+            });
+        }
+    }
+    (handlers, ranks)
+}
+
+// --- report rendering ------------------------------------------------------
+
+fn num(v: u64) -> Value {
+    Value::Number(Number::from_u64(v))
+}
+
+fn fnum(v: f64) -> Value {
+    Value::Number(Number::from_f64(v))
+}
+
+/// The full report as a JSON value (`sst-analyze-report-v1`).
+pub fn report_value(
+    trace: &Path,
+    analysis: &Analysis,
+    tables: Option<&(Vec<HandlerRow>, Vec<RankRow>)>,
+    top: usize,
+) -> Value {
+    let mut root = Map::new();
+    root.insert("schema".into(), Value::String(ANALYZE_SCHEMA.into()));
+    root.insert("trace".into(), Value::String(trace.display().to_string()));
+    root.insert("records".into(), num(analysis.records));
+    root.insert("delivers".into(), num(analysis.delivers));
+    root.insert("scheds".into(), num(analysis.scheds));
+    root.insert("clocks".into(), num(analysis.clocks));
+
+    let mut cp = Map::new();
+    cp.insert("length".into(), num(analysis.path.len() as u64));
+    cp.insert("span_ps".into(), num(analysis.span_ps()));
+    if let (Some(a), Some(b)) = (analysis.path.first(), analysis.path.last()) {
+        cp.insert("start_ps".into(), num(a.t_ps));
+        cp.insert("end_ps".into(), num(b.t_ps));
+    }
+    cp.insert(
+        "components".into(),
+        Value::Array(
+            analysis
+                .attribution
+                .iter()
+                .map(|(name, hops)| {
+                    let mut m = Map::new();
+                    m.insert("component".into(), Value::String(name.clone()));
+                    m.insert("hops".into(), num(*hops));
+                    Value::Object(m)
+                })
+                .collect(),
+        ),
+    );
+    // The path itself can be enormous; ship only head and tail.
+    let hop_val = |h: &Hop| {
+        let mut m = Map::new();
+        m.insert("t_ps".into(), num(h.t_ps));
+        m.insert("component".into(), Value::String(h.component.clone()));
+        m.insert("kind".into(), Value::String(h.kind.into()));
+        Value::Object(m)
+    };
+    cp.insert(
+        "head".into(),
+        Value::Array(analysis.path.iter().take(top).map(hop_val).collect()),
+    );
+    // Tail starts no earlier than where head ended, so the two never overlap.
+    let tail_from = analysis
+        .path
+        .len()
+        .saturating_sub(top)
+        .max(top)
+        .min(analysis.path.len());
+    cp.insert(
+        "tail".into(),
+        Value::Array(analysis.path[tail_from..].iter().map(hop_val).collect()),
+    );
+    root.insert("critical_path".into(), Value::Object(cp));
+
+    if let Some((handlers, ranks)) = tables {
+        let mut b = Map::new();
+        b.insert(
+            "handlers".into(),
+            Value::Array(
+                handlers
+                    .iter()
+                    .take(top)
+                    .map(|h| {
+                        let mut m = Map::new();
+                        m.insert("component".into(), Value::String(h.name.clone()));
+                        m.insert("events".into(), num(h.events));
+                        m.insert("total_ns".into(), num(h.total_ns));
+                        m.insert("max_ns".into(), num(h.max_ns));
+                        m.insert("share".into(), fnum(h.share));
+                        m.insert("path_hops".into(), num(h.path_hops));
+                        Value::Object(m)
+                    })
+                    .collect(),
+            ),
+        );
+        b.insert(
+            "ranks".into(),
+            Value::Array(
+                ranks
+                    .iter()
+                    .map(|r| {
+                        let mut m = Map::new();
+                        m.insert("label".into(), Value::String(r.label.clone()));
+                        m.insert("rank".into(), num(r.rank as u64));
+                        m.insert("sync_rounds".into(), num(r.sync_rounds));
+                        m.insert("stall_rounds".into(), num(r.stall_rounds));
+                        m.insert("stall_ns".into(), num(r.stall_ns));
+                        m.insert("barriers_skipped".into(), num(r.barriers_skipped));
+                        m.insert("epochs_widened".into(), num(r.epochs_widened));
+                        m.insert("wait_share".into(), fnum(r.wait_share));
+                        Value::Object(m)
+                    })
+                    .collect(),
+            ),
+        );
+        root.insert("bottlenecks".into(), Value::Object(b));
+    }
+    Value::Object(root)
+}
+
+/// Human-readable report.
+pub fn render_text(
+    trace: &Path,
+    analysis: &Analysis,
+    tables: Option<&(Vec<HandlerRow>, Vec<RankRow>)>,
+    top: usize,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace {}: {} record(s) ({} deliver, {} sched, {} clock)",
+        trace.display(),
+        analysis.records,
+        analysis.delivers,
+        analysis.scheds,
+        analysis.clocks
+    );
+    let _ = writeln!(
+        out,
+        "critical path: {} hop(s) spanning {} ps",
+        analysis.path.len(),
+        analysis.span_ps()
+    );
+    if let (Some(a), Some(b)) = (analysis.path.first(), analysis.path.last()) {
+        let _ = writeln!(
+            out,
+            "  starts t={} ps at {} ({}), ends t={} ps at {} ({})",
+            a.t_ps, a.component, a.kind, b.t_ps, b.component, b.kind
+        );
+    }
+    if !analysis.attribution.is_empty() {
+        let _ = writeln!(out, "  per-component attribution (top {top}):");
+        let _ = writeln!(out, "    {:<28} {:>10} {:>7}", "component", "hops", "share");
+        for (name, hops) in analysis.attribution.iter().take(top) {
+            let share = *hops as f64 / analysis.path.len().max(1) as f64;
+            let _ = writeln!(out, "    {name:<28} {hops:>10} {:>6.1}%", share * 100.0);
+        }
+    }
+    if let Some((handlers, ranks)) = tables {
+        let _ = writeln!(out, "handler wallclock (top {top}):");
+        let _ = writeln!(
+            out,
+            "    {:<28} {:>10} {:>10} {:>9} {:>6} {:>9}",
+            "component", "events", "total_ms", "max_us", "share", "path_hops"
+        );
+        for h in handlers.iter().take(top) {
+            let _ = writeln!(
+                out,
+                "    {:<28} {:>10} {:>10.3} {:>9.1} {:>5.1}% {:>9}",
+                h.name,
+                h.events,
+                h.total_ns as f64 / 1e6,
+                h.max_ns as f64 / 1e3,
+                h.share * 100.0,
+                h.path_hops
+            );
+        }
+        if !ranks.is_empty() {
+            let _ = writeln!(
+                out,
+                "rank sync-wait (wait_share is an even-split estimate):"
+            );
+            let _ = writeln!(
+                out,
+                "    {:<12} {:>4} {:>9} {:>9} {:>10} {:>8} {:>7} {:>6}",
+                "run", "rank", "rounds", "stalls", "stall_ms", "skipped", "widened", "wait"
+            );
+            for r in ranks {
+                let _ = writeln!(
+                    out,
+                    "    {:<12} {:>4} {:>9} {:>9} {:>10.3} {:>8} {:>7} {:>5.1}%",
+                    r.label,
+                    r.rank,
+                    r.sync_rounds,
+                    r.stall_rounds,
+                    r.stall_ns as f64 / 1e6,
+                    r.barriers_skipped,
+                    r.epochs_widened,
+                    r.wait_share * 100.0
+                );
+            }
+        }
+    } else {
+        let _ = writeln!(
+            out,
+            "no profile dump found (pass --profile-dump or run with --profile) — \
+             bottleneck tables skipped"
+        );
+    }
+    out
+}
+
+// --- CLI entry point -------------------------------------------------------
+
+/// `foo.trace.jsonl` -> `foo.trace.profile.json` (the sibling a `--profile`
+/// run writes next to its trace).
+fn sibling_profile(trace: &Path) -> PathBuf {
+    let mut p = trace.to_path_buf();
+    p.set_extension("profile.json");
+    p
+}
+
+fn load_dump(path: &Path) -> Result<ProfileDump, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read profile dump {}: {e}", path.display()))?;
+    let dump: ProfileDump = serde_json::from_str(&text)
+        .map_err(|e| format!("{}: not a profile dump: {e}", path.display()))?;
+    if dump.schema != PROFILE_SCHEMA {
+        return Err(format!(
+            "{}: schema `{}` is not `{PROFILE_SCHEMA}`",
+            path.display(),
+            dump.schema
+        ));
+    }
+    Ok(dump)
+}
+
+/// Run the `sst analyze` subcommand. Prints the text report (or, with
+/// `json`, the JSON report) to stdout; `report` additionally writes the JSON
+/// report to a file.
+pub fn run(
+    trace: &Path,
+    profile_dump: Option<&Path>,
+    report: Option<&Path>,
+    top: usize,
+    json: bool,
+) -> Result<(), String> {
+    let text = std::fs::read_to_string(trace)
+        .map_err(|e| format!("cannot read {}: {e}", trace.display()))?;
+    let analysis = analyze_trace_text(&text).map_err(|e| format!("{}: {e}", trace.display()))?;
+    let dump = match profile_dump {
+        Some(p) => Some(load_dump(p)?), // explicitly named: must parse
+        None => {
+            let sib = sibling_profile(trace);
+            if sib.exists() {
+                Some(load_dump(&sib)?)
+            } else {
+                None
+            }
+        }
+    };
+    let tables = dump.as_ref().map(|d| bottlenecks(d, &analysis));
+    let value = report_value(trace, &analysis, tables.as_ref(), top);
+    if let Some(path) = report {
+        std::fs::write(path, value.to_json_string_pretty())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!("[sst] analyze report {}", path.display());
+    }
+    if json {
+        println!("{}", value.to_json_string_pretty());
+    } else {
+        print!("{}", render_text(trace, &analysis, tables.as_ref(), top));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sst_core::telemetry::{ComponentProfile, EngineProfile, RankSyncProfile};
+
+    fn line_sched(t: u64, src: &str, dst: &str, port: u64, at: u64) -> String {
+        format!(r#"{{"t":{t},"k":"sched","src":"{src}","dst":"{dst}","port":{port},"at":{at}}}"#)
+    }
+    fn line_deliver(t: u64, src: &str, dst: &str, port: u64) -> String {
+        format!(r#"{{"t":{t},"k":"deliver","src":"{src}","dst":"{dst}","port":{port}}}"#)
+    }
+
+    #[test]
+    fn chains_link_sched_to_deliver() {
+        // a -> b -> c, one hop each, plus an unrelated single delivery on d.
+        let text = [
+            line_deliver(100, "env", "a", 0),
+            line_sched(100, "a", "b", 0, 200),
+            line_deliver(150, "env", "d", 0),
+            line_deliver(200, "a", "b", 0),
+            line_sched(200, "b", "c", 1, 350),
+            line_deliver(350, "b", "c", 1),
+        ]
+        .join("\n");
+        let a = analyze_trace_text(&text).unwrap();
+        assert_eq!(a.records, 6);
+        assert_eq!(a.delivers, 4);
+        assert_eq!(a.scheds, 2);
+        let comps: Vec<&str> = a.path.iter().map(|h| h.component.as_str()).collect();
+        assert_eq!(comps, ["a", "b", "c"]);
+        assert_eq!(a.span_ps(), 250);
+        assert_eq!(a.attribution.len(), 3);
+        assert!(a.attribution.iter().all(|(_, c)| *c == 1));
+    }
+
+    #[test]
+    fn clock_ticks_extend_self_chains() {
+        let text = [
+            r#"{"t":0,"k":"clock","dst":"cpu","cycle":0}"#.to_string(),
+            r#"{"t":1000,"k":"clock","dst":"cpu","cycle":1}"#.to_string(),
+            r#"{"t":2000,"k":"clock","dst":"cpu","cycle":2}"#.to_string(),
+            line_deliver(500, "env", "nic", 0),
+        ]
+        .join("\n");
+        let a = analyze_trace_text(&text).unwrap();
+        assert_eq!(a.clocks, 3);
+        assert_eq!(a.path.len(), 3);
+        assert!(a
+            .path
+            .iter()
+            .all(|h| h.component == "cpu" && h.kind == "clock"));
+        assert_eq!(a.attribution[0], ("cpu".to_string(), 3));
+    }
+
+    #[test]
+    fn deeper_sched_edge_wins_on_collision() {
+        // Two scheds target (c, 300, 0); the one whose source has the longer
+        // chain must carry the path.
+        let text = [
+            line_deliver(10, "env", "a", 0),
+            line_sched(10, "a", "b", 0, 20),
+            line_deliver(20, "a", "b", 0),
+            line_sched(20, "b", "c", 0, 300), // depth 2 source
+            line_deliver(15, "env", "x", 0),
+            line_sched(15, "x", "c", 0, 300), // depth 1 source
+            line_deliver(300, "b", "c", 0),
+        ]
+        .join("\n");
+        let a = analyze_trace_text(&text).unwrap();
+        let comps: Vec<&str> = a.path.iter().map(|h| h.component.as_str()).collect();
+        assert_eq!(comps, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn marks_and_unknown_kinds_are_ignored() {
+        let text = [
+            r#"{"t":5,"k":"mark","dst":"a","label":"warm","v":1}"#.to_string(),
+            line_deliver(10, "env", "a", 0),
+            r#"{"t":11,"k":"someday","dst":"a"}"#.to_string(),
+        ]
+        .join("\n");
+        let a = analyze_trace_text(&text).unwrap();
+        assert_eq!(a.records, 3);
+        assert_eq!(a.path.len(), 1);
+    }
+
+    #[test]
+    fn invalid_lines_error() {
+        assert!(analyze_trace_text("not json").is_err());
+        assert!(analyze_trace_text(r#"{"k":"deliver"}"#).is_err());
+        assert!(analyze_trace_text("").unwrap().path.is_empty());
+    }
+
+    fn test_dump() -> ProfileDump {
+        let profile = EngineProfile {
+            components: vec![
+                ComponentProfile {
+                    name: "a".into(),
+                    events: 10,
+                    total_ns: 3_000_000,
+                    max_ns: 900,
+                },
+                ComponentProfile {
+                    name: "b".into(),
+                    events: 5,
+                    total_ns: 1_000_000,
+                    max_ns: 500,
+                },
+            ],
+            ranks: vec![RankSyncProfile {
+                rank: 0,
+                sync_rounds: 7,
+                batches_sent: 4,
+                null_batches_sent: 2,
+                events_sent: 9,
+                barriers_skipped: 1,
+                epochs_widened: 2,
+                stall_rounds: 3,
+                stall_ns: 4_000_000,
+            }],
+            ..EngineProfile::default()
+        };
+        ProfileDump::new(&[("2ranks".to_string(), profile)])
+    }
+
+    #[test]
+    fn bottleneck_tables_merge_profile_and_path() {
+        let text = [
+            line_deliver(100, "env", "a", 0),
+            line_sched(100, "a", "b", 0, 200),
+            line_deliver(200, "a", "b", 0),
+        ]
+        .join("\n");
+        let analysis = analyze_trace_text(&text).unwrap();
+        let (handlers, ranks) = bottlenecks(&test_dump(), &analysis);
+        assert_eq!(handlers[0].name, "a"); // hottest first
+        assert!((handlers[0].share - 0.75).abs() < 1e-9);
+        assert_eq!(handlers[0].path_hops, 1);
+        assert_eq!(ranks.len(), 1);
+        assert_eq!(ranks[0].stall_rounds, 3);
+        // 4ms stall vs 4ms handler-even-split: 50% wait share.
+        assert!((ranks[0].wait_share - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_value_shape() {
+        let text = [
+            line_deliver(100, "env", "a", 0),
+            line_sched(100, "a", "b", 0, 200),
+            line_deliver(200, "a", "b", 0),
+        ]
+        .join("\n");
+        let analysis = analyze_trace_text(&text).unwrap();
+        let tables = bottlenecks(&test_dump(), &analysis);
+        let v = report_value(Path::new("t.jsonl"), &analysis, Some(&tables), 10);
+        assert_eq!(
+            v.get("schema").and_then(Value::as_str),
+            Some(ANALYZE_SCHEMA)
+        );
+        let cp = v.get("critical_path").unwrap();
+        assert_eq!(cp.get("length").and_then(Value::as_u64), Some(2));
+        assert_eq!(cp.get("span_ps").and_then(Value::as_u64), Some(100));
+        let b = v.get("bottlenecks").unwrap();
+        assert!(b.get("handlers").and_then(Value::as_array).is_some());
+        let txt = render_text(Path::new("t.jsonl"), &analysis, Some(&tables), 10);
+        assert!(txt.contains("critical path: 2 hop(s)"));
+        assert!(txt.contains("handler wallclock"));
+    }
+}

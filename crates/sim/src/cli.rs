@@ -87,6 +87,25 @@ impl CheckpointCliOpts {
     }
 }
 
+/// Live-metrics flags shared by `experiment` and `run`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsCliOpts {
+    /// `--metrics-addr <host:port>`: serve Prometheus `/metrics` and JSON
+    /// `/status` over HTTP while the run executes (port 0 picks a free
+    /// port; the bound address is printed at startup).
+    pub addr: Option<String>,
+    /// `--watchdog-secs <s>`: flag a rank as stalled when its committed
+    /// sim-time stops advancing for this many wallclock seconds
+    /// (default 10).
+    pub watchdog_secs: Option<f64>,
+}
+
+impl MetricsCliOpts {
+    pub fn any(&self) -> bool {
+        self.addr.is_some()
+    }
+}
+
 /// A fully parsed invocation.
 #[derive(Debug, PartialEq)]
 pub enum Cmd {
@@ -108,6 +127,7 @@ pub enum Cmd {
         topo_nodes: Option<u32>,
         telemetry: TelemetryCliOpts,
         checkpoint: CheckpointCliOpts,
+        metrics: MetricsCliOpts,
     },
     Run {
         config: String,
@@ -118,6 +138,7 @@ pub enum Cmd {
         sync: Option<SyncMode>,
         telemetry: TelemetryCliOpts,
         checkpoint: CheckpointCliOpts,
+        metrics: MetricsCliOpts,
     },
     /// Resume a run from a `.snap.json` checkpoint written by `run` or
     /// `experiment pdes`.
@@ -135,6 +156,20 @@ pub enum Cmd {
     ValidateTrace {
         trace: PathBuf,
         chrome: Option<PathBuf>,
+    },
+    /// Post-hoc critical-path and bottleneck analysis over a trace JSONL
+    /// (and, when present, its sibling profile dump).
+    Analyze {
+        trace: PathBuf,
+        /// `--profile-dump <path>`: explicit `<base>.profile.json`; by
+        /// default the sibling of the trace is used when it exists.
+        profile_dump: Option<PathBuf>,
+        /// `--report <path>`: also write the JSON report here.
+        report: Option<PathBuf>,
+        /// `--top <n>`: rows in the bottleneck/attribution tables.
+        top: usize,
+        /// `--json`: print the JSON report to stdout instead of text.
+        json: bool,
     },
 }
 
@@ -158,6 +193,11 @@ struct Parsed {
     topo_nodes: Option<u32>,
     checkpoint_every_ms: Option<f64>,
     checkpoint_dir: Option<PathBuf>,
+    metrics_addr: Option<String>,
+    watchdog_secs: Option<f64>,
+    profile_dump: Option<PathBuf>,
+    report: Option<PathBuf>,
+    top: Option<usize>,
     seen: Vec<&'static str>,
 }
 
@@ -199,6 +239,18 @@ impl Parsed {
             dir: self.checkpoint_dir.clone(),
         })
     }
+
+    /// A watchdog policy without an endpoint has nothing to report through,
+    /// so reject it rather than silently watching nothing.
+    fn metrics_opts(&self) -> Result<MetricsCliOpts, String> {
+        if self.watchdog_secs.is_some() && self.metrics_addr.is_none() {
+            return Err("--watchdog-secs needs --metrics-addr".into());
+        }
+        Ok(MetricsCliOpts {
+            addr: self.metrics_addr.clone(),
+            watchdog_secs: self.watchdog_secs,
+        })
+    }
 }
 
 const TELEMETRY_FLAGS: &[&str] = &[
@@ -210,6 +262,8 @@ const TELEMETRY_FLAGS: &[&str] = &[
 ];
 
 const CHECKPOINT_FLAGS: &[&str] = &["checkpoint-every", "checkpoint-dir"];
+
+const METRICS_FLAGS: &[&str] = &["metrics-addr", "watchdog-secs"];
 
 /// Parse `args` (without the program name). Any error is a usage error —
 /// the caller prints it plus the usage text and exits with code 2.
@@ -245,6 +299,11 @@ pub fn parse(args: &[String]) -> Result<Cmd, String> {
                 | "topo-nodes"
                 | "checkpoint-every"
                 | "checkpoint-dir"
+                | "metrics-addr"
+                | "watchdog-secs"
+                | "profile-dump"
+                | "report"
+                | "top"
         );
         let value: Option<String> = if needs_value {
             match inline {
@@ -390,6 +449,44 @@ pub fn parse(args: &[String]) -> Result<Cmd, String> {
                 p.checkpoint_dir = Some(PathBuf::from(value.unwrap()));
                 p.seen.push("checkpoint-dir");
             }
+            "metrics-addr" => {
+                let v = value.unwrap();
+                if !v.contains(':') {
+                    return Err("--metrics-addr needs a host:port address".into());
+                }
+                p.metrics_addr = Some(v);
+                p.seen.push("metrics-addr");
+            }
+            "watchdog-secs" => {
+                let s: f64 = value
+                    .unwrap()
+                    .parse()
+                    .map_err(|_| "--watchdog-secs needs a second count".to_string())?;
+                if !(s > 0.0 && s.is_finite()) {
+                    return Err("--watchdog-secs must be a positive number of seconds".into());
+                }
+                p.watchdog_secs = Some(s);
+                p.seen.push("watchdog-secs");
+            }
+            "profile-dump" => {
+                p.profile_dump = Some(PathBuf::from(value.unwrap()));
+                p.seen.push("profile-dump");
+            }
+            "report" => {
+                p.report = Some(PathBuf::from(value.unwrap()));
+                p.seen.push("report");
+            }
+            "top" => {
+                let n: usize = value
+                    .unwrap()
+                    .parse()
+                    .map_err(|_| "--top needs an integer".to_string())?;
+                if n == 0 {
+                    return Err("--top must be >= 1".into());
+                }
+                p.top = Some(n);
+                p.seen.push("top");
+            }
             other => return Err(format!("unknown flag `--{other}`")),
         }
         i += 1;
@@ -423,6 +520,7 @@ pub fn parse(args: &[String]) -> Result<Cmd, String> {
             ];
             allowed.extend_from_slice(TELEMETRY_FLAGS);
             allowed.extend_from_slice(CHECKPOINT_FLAGS);
+            allowed.extend_from_slice(METRICS_FLAGS);
             p.reject_unless("experiment", &allowed)?;
             Ok(Cmd::Experiment {
                 id: pos[1].clone(),
@@ -437,6 +535,7 @@ pub fn parse(args: &[String]) -> Result<Cmd, String> {
                 topo_nodes: p.topo_nodes,
                 telemetry: p.telemetry(),
                 checkpoint: p.checkpoint_opts()?,
+                metrics: p.metrics_opts()?,
             })
         }
         "run" => {
@@ -451,6 +550,7 @@ pub fn parse(args: &[String]) -> Result<Cmd, String> {
             ];
             allowed.extend_from_slice(TELEMETRY_FLAGS);
             allowed.extend_from_slice(CHECKPOINT_FLAGS);
+            allowed.extend_from_slice(METRICS_FLAGS);
             p.reject_unless("run", &allowed)?;
             Ok(Cmd::Run {
                 config: pos[1].clone(),
@@ -461,6 +561,7 @@ pub fn parse(args: &[String]) -> Result<Cmd, String> {
                 sync: p.sync,
                 telemetry: p.telemetry(),
                 checkpoint: p.checkpoint_opts()?,
+                metrics: p.metrics_opts()?,
             })
         }
         "restore" => {
@@ -503,6 +604,17 @@ pub fn parse(args: &[String]) -> Result<Cmd, String> {
             Ok(Cmd::ValidateTrace {
                 trace: PathBuf::from(&pos[1]),
                 chrome: pos.get(2).map(PathBuf::from),
+            })
+        }
+        "analyze" => {
+            exactly(1, "trace path")?;
+            p.reject_unless("analyze", &["profile-dump", "report", "top", "json"])?;
+            Ok(Cmd::Analyze {
+                trace: PathBuf::from(&pos[1]),
+                profile_dump: p.profile_dump.clone(),
+                report: p.report.clone(),
+                top: p.top.unwrap_or(10),
+                json: p.json,
             })
         }
         other => Err(format!("unknown command `{other}`")),
@@ -612,6 +724,7 @@ mod tests {
                     ..Default::default()
                 },
                 checkpoint: CheckpointCliOpts::default(),
+                metrics: MetricsCliOpts::default(),
             }
         );
         let cmd = parse(&args("validate-trace t.jsonl t.chrome.json")).unwrap();
@@ -749,6 +862,71 @@ mod tests {
         let e = parse(&args("run cfg.json --checkpoint-dir snaps")).unwrap_err();
         assert!(e.contains("needs --checkpoint-every"), "{e}");
         let e = parse(&args("validate-trace t.jsonl --checkpoint-every 1")).unwrap_err();
+        assert!(e.contains("does not accept"), "{e}");
+    }
+
+    #[test]
+    fn metrics_flags_parse() {
+        let cmd = parse(&args(
+            "run cfg.json --ranks 4 --metrics-addr 127.0.0.1:9464 --watchdog-secs 2.5",
+        ))
+        .unwrap();
+        let Cmd::Run { metrics, .. } = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(metrics.addr.as_deref(), Some("127.0.0.1:9464"));
+        assert_eq!(metrics.watchdog_secs, Some(2.5));
+        assert!(metrics.any());
+
+        let cmd = parse(&args("experiment pdes --quick --metrics-addr=127.0.0.1:0")).unwrap();
+        let Cmd::Experiment { metrics, .. } = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(metrics.addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(metrics.watchdog_secs, None);
+
+        let e = parse(&args("run cfg.json --metrics-addr nocolon")).unwrap_err();
+        assert!(e.contains("host:port"), "{e}");
+        let e = parse(&args("run cfg.json --watchdog-secs 5")).unwrap_err();
+        assert!(e.contains("needs --metrics-addr"), "{e}");
+        let e = parse(&args(
+            "run cfg.json --metrics-addr 127.0.0.1:0 --watchdog-secs 0",
+        ))
+        .unwrap_err();
+        assert!(e.contains("positive"), "{e}");
+        let e = parse(&args("validate-trace t.jsonl --metrics-addr 127.0.0.1:0")).unwrap_err();
+        assert!(e.contains("does not accept"), "{e}");
+    }
+
+    #[test]
+    fn analyze_parses() {
+        let cmd = parse(&args(
+            "analyze t.jsonl --profile-dump t.profile.json --report out.json --top 5 --json",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Cmd::Analyze {
+                trace: "t.jsonl".into(),
+                profile_dump: Some("t.profile.json".into()),
+                report: Some("out.json".into()),
+                top: 5,
+                json: true,
+            }
+        );
+
+        let cmd = parse(&args("analyze t.jsonl")).unwrap();
+        let Cmd::Analyze { top, json, .. } = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(top, 10);
+        assert!(!json);
+
+        assert!(parse(&args("analyze")).is_err());
+        assert!(parse(&args("analyze a.jsonl b.jsonl")).is_err());
+        let e = parse(&args("analyze t.jsonl --top 0")).unwrap_err();
+        assert!(e.contains(">= 1"), "{e}");
+        let e = parse(&args("analyze t.jsonl --ranks 2")).unwrap_err();
         assert!(e.contains("does not accept"), "{e}");
     }
 

@@ -64,6 +64,9 @@ pub struct EngineTuning {
     pub topo_nodes: Option<u32>,
     /// Checkpoint cadence/destination (`--checkpoint-every`/`--checkpoint-dir`).
     pub checkpoint: Option<CheckpointPlan>,
+    /// Live metrics registry backing a `--metrics-addr` endpoint; the
+    /// engine-backed experiments report into it while they run.
+    pub live: Option<Arc<sst_core::LiveMetrics>>,
 }
 
 impl EngineTuning {
@@ -227,6 +230,7 @@ pub fn run_with_tuning(
             }
             p.profile = tuning.profile.clone();
             p.checkpoint = tuning.checkpoint.clone();
+            p.live = tuning.live.clone();
             vec![pdes::run(&p)]
         }
         "topo" => {
@@ -247,6 +251,7 @@ pub fn run_with_tuning(
             if let Some(n) = tuning.topo_nodes {
                 p.nodes = n;
             }
+            p.live = tuning.live.clone();
             vec![topo::run(&p)]
         }
         "ablate" => vec![ablate::run(&pick(

@@ -68,6 +68,9 @@ pub struct Params {
     /// count) checkpoints on the same simulated-time boundaries, so the
     /// resulting files are byte-comparable across engines.
     pub checkpoint: Option<CheckpointPlan>,
+    /// Live metrics registry shared with a `--metrics-addr` endpoint; every
+    /// engine run (serial and each rank count) reports into it in turn.
+    pub live: Option<std::sync::Arc<LiveMetrics>>,
 }
 
 impl Default for Params {
@@ -83,6 +86,7 @@ impl Default for Params {
             sync: SyncMode::default(),
             profile: None,
             checkpoint: None,
+            live: None,
         }
     }
 }
@@ -183,7 +187,10 @@ pub fn run(p: &Params) -> Table {
     );
     let origin = origin(p);
     let serial = {
-        let eng = Engine::with_telemetry(build(p), p.telemetry.labeled("serial"));
+        let mut eng = Engine::with_telemetry(build(p), p.telemetry.labeled("serial"));
+        if let Some(m) = &p.live {
+            eng.attach_live_metrics(m, "serial");
+        }
         match &p.checkpoint {
             Some(plan) => eng.run_with_checkpoints(
                 RunLimit::Exhaust,
@@ -220,6 +227,7 @@ pub fn run(p: &Params) -> Table {
                 partition: Some(p.partition),
                 profile: p.profile.clone(),
                 telemetry: p.telemetry.labeled(format!("{ranks}ranks")),
+                live: p.live.clone(),
             },
         );
         if ranks > 1 {

@@ -30,6 +30,8 @@ pub struct Params {
     /// (feasible at quick scale only).
     pub check_serial: bool,
     pub telemetry: TelemetrySpec,
+    /// Live metrics registry shared with a `--metrics-addr` endpoint.
+    pub live: Option<std::sync::Arc<LiveMetrics>>,
 }
 
 impl Default for Params {
@@ -43,6 +45,7 @@ impl Default for Params {
             traffic: LazyTraffic::default(),
             check_serial: false,
             telemetry: TelemetrySpec::disabled(),
+            live: None,
         }
     }
 }
@@ -127,11 +130,14 @@ pub fn run(p: &Params) -> Table {
     );
     let mut reference: Option<Signature> = None;
     if p.check_serial {
-        let rep = Engine::with_telemetry(
+        let mut eng = Engine::with_telemetry(
             SystemBuilder::materialize(sys.as_ref()),
             p.telemetry.labeled("serial"),
-        )
-        .run(RunLimit::Exhaust);
+        );
+        if let Some(m) = &p.live {
+            eng.attach_live_metrics(m, "serial");
+        }
+        let rep = eng.run(RunLimit::Exhaust);
         push_row(&mut t, "serial".into(), &rep, &mut reference);
     }
     for &ranks in &p.rank_counts {
@@ -140,6 +146,7 @@ pub fn run(p: &Params) -> Table {
             transport: p.transport,
             sync: p.sync,
             telemetry: p.telemetry.labeled(format!("{ranks}ranks")),
+            live: p.live.clone(),
             ..ParallelConfig::default()
         };
         let rep = ParallelEngine::lazy(sys.as_ref(), cfg).run(RunLimit::Exhaust);

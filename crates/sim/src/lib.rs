@@ -14,6 +14,7 @@
 //! sst list-miniapps             # the Table-1 workload registry
 //! ```
 
+pub mod analyze;
 pub mod cli;
 pub mod experiments;
 pub mod machines;

@@ -3,14 +3,17 @@
 use serde::{Deserialize, Serialize, Value};
 use sst_core::prelude::*;
 use sst_core::telemetry::{
-    chrome_trace_path, fnv1a, CheckpointEntry, EngineProfile, ProfileDump, RunManifest,
-    TelemetrySummary, MANIFEST_SCHEMA, PROFILE_SCHEMA,
+    chrome_trace_path, fnv1a, live, CheckpointEntry, EngineProfile, ProfileDump, RunManifest,
+    TelemetrySummary, MANIFEST_SCHEMA, PROFILE_SCHEMA, SERIES_SCHEMA,
 };
-use sst_sim::cli::{self, CheckpointCliOpts, Cmd, PartitionCliOpts, TelemetryCliOpts};
+use sst_sim::cli::{
+    self, CheckpointCliOpts, Cmd, MetricsCliOpts, PartitionCliOpts, TelemetryCliOpts,
+};
 use sst_sim::experiments::{pdes, CheckpointPlan, EngineTuning};
-use sst_sim::{experiments, full_registry};
+use sst_sim::{analyze, experiments, full_registry};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -23,6 +26,7 @@ fn usage() -> ExitCode {
                  [--trace <path.jsonl>] [--trace-comps <a,core*>]
                  [--trace-kinds deliver,sched,clock,mark]
                  [--stats-interval <ms>] [--profile]
+                 [--metrics-addr host:port] [--watchdog-secs S]
                                                regenerate a figure/table
                                                (--fidelity des re-routes the
                                                converted experiments through
@@ -40,6 +44,7 @@ fn usage() -> ExitCode {
                  [--trace <path.jsonl>] [--trace-comps ...]
                  [--trace-kinds ...] [--stats-interval <ms>] [--profile]
                  [--checkpoint-every <ms>] [--checkpoint-dir <dir>]
+                 [--metrics-addr host:port] [--watchdog-secs S]
   sst restore <snapshot.snap.json> [--until-ms N] [--ranks N]
                  [--trace ...] [--stats-interval <ms>] [--profile]
                  [--checkpoint-every <ms>] [--checkpoint-dir <dir>]
@@ -48,6 +53,13 @@ fn usage() -> ExitCode {
                                                to the uninterrupted one
   sst validate-trace <trace.jsonl> [<trace.chrome.json>]
                                                check telemetry output parses
+                                               (including any sibling
+                                               .stats.json/.profile.json;
+                                               schema mismatches exit 2)
+  sst analyze <trace.jsonl> [--profile-dump <run.profile.json>]
+                 [--report <path.json>] [--top N] [--json]
+                                               extract the critical path and
+                                               bottleneck tables from a trace
   sst list-components
   sst list-miniapps
   sst list-experiments
@@ -60,7 +72,11 @@ and every telemetry-enabled run writes a <path>.manifest.json run manifest.
 --checkpoint-every writes sealed <label>-t<ps>.snap.json snapshots (default
 dir `checkpoints/`) whose canonical state hashes land in the manifest;
 `sst experiment pdes --checkpoint-every ...` checkpoints the scaling study
-(all its engines must agree on every hash)."
+(all its engines must agree on every hash).
+--metrics-addr serves live Prometheus metrics at /metrics and a JSON run
+status at /status while the engines run (pdes/topo experiments and
+`sst run`); --watchdog-secs tunes how long a rank's GVT may sit still
+before a structured stall warning (default 10s)."
     );
     // Usage errors (unknown flags, bad values) exit with code 2.
     ExitCode::from(2)
@@ -89,6 +105,7 @@ fn main() -> ExitCode {
             topo_nodes,
             telemetry,
             checkpoint,
+            metrics,
         } => cmd_experiment(
             &args,
             &id,
@@ -104,10 +121,12 @@ fn main() -> ExitCode {
                 topo,
                 topo_nodes,
                 checkpoint: None,
+                live: None,
             },
             &partition,
             &telemetry,
             &checkpoint,
+            &metrics,
         ),
         Cmd::Run {
             config,
@@ -118,6 +137,7 @@ fn main() -> ExitCode {
             sync,
             telemetry,
             checkpoint,
+            metrics,
         } => cmd_run(
             &args,
             &config,
@@ -128,6 +148,7 @@ fn main() -> ExitCode {
             &partition,
             &telemetry,
             &checkpoint,
+            &metrics,
         ),
         Cmd::Restore {
             snapshot,
@@ -137,6 +158,25 @@ fn main() -> ExitCode {
             checkpoint,
         } => cmd_restore(&args, &snapshot, until_ms, ranks, &telemetry, &checkpoint),
         Cmd::ValidateTrace { trace, chrome } => cmd_validate_trace(&trace, chrome.as_deref()),
+        Cmd::Analyze {
+            trace,
+            profile_dump,
+            report,
+            top,
+            json,
+        } => match analyze::run(
+            &trace,
+            profile_dump.as_deref(),
+            report.as_deref(),
+            top,
+            json,
+        ) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
         Cmd::ListComponents => {
             for (name, desc) in full_registry().list() {
                 println!("{name:<20} {desc}");
@@ -169,11 +209,19 @@ fn cmd_experiment(
     partition: &PartitionCliOpts,
     tel: &TelemetryCliOpts,
     checkpoint: &CheckpointCliOpts,
+    metrics: &MetricsCliOpts,
 ) -> ExitCode {
     if (partition.any() || checkpoint.any()) && id != "pdes" {
         eprintln!(
             "--partition/--partition-profile/--checkpoint-every only apply to \
              the `pdes` scaling study; got `{id}`"
+        );
+        return ExitCode::FAILURE;
+    }
+    if metrics.any() && id != "pdes" && id != "topo" {
+        eprintln!(
+            "--metrics-addr/--watchdog-secs only apply to the engine-backed \
+             `pdes` and `topo` studies; got `{id}`"
         );
         return ExitCode::FAILURE;
     }
@@ -216,6 +264,15 @@ fn cmd_experiment(
             return ExitCode::FAILURE;
         }
     };
+    // Lives until function exit: dropping the server stops its threads.
+    let metrics_srv = match start_metrics(metrics, args, fidelity, quick) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    tuning.live = metrics_srv.as_ref().map(|(m, _)| m.clone());
     let ids: Vec<&str> = if id == "all" {
         if fidelity == Fidelity::Des {
             // `all` under DES runs only the converted experiments.
@@ -285,6 +342,7 @@ fn cmd_run(
     partition: &PartitionCliOpts,
     tel: &TelemetryCliOpts,
     checkpoint: &CheckpointCliOpts,
+    metrics: &MetricsCliOpts,
 ) -> ExitCode {
     if (transport.is_some() || sync.is_some()) && ranks <= 1 {
         eprintln!("--transport/--sync tune the parallel engine; pass --ranks > 1");
@@ -340,6 +398,14 @@ fn cmd_run(
         Some(ms) => RunLimit::Until(SimTime::ms(ms)),
         None => RunLimit::Exhaust,
     };
+    let metrics_srv = match start_metrics(metrics, args, Fidelity::Des, false) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let live = metrics_srv.as_ref().map(|(m, _)| m.clone());
     let plan = match checkpoint_plan(checkpoint) {
         Ok(p) => p,
         Err(e) => {
@@ -364,6 +430,7 @@ fn cmd_run(
                 transport: transport.unwrap_or_default(),
                 sync: sync.unwrap_or_default(),
                 telemetry: spec.labeled("run"),
+                live,
                 ..ParallelConfig::default()
             },
         );
@@ -374,7 +441,10 @@ fn cmd_run(
             None => eng.run(limit),
         }
     } else {
-        let eng = Engine::with_telemetry(builder, spec.labeled("run"));
+        let mut eng = Engine::with_telemetry(builder, spec.labeled("run"));
+        if let Some(m) = &live {
+            eng.attach_live_metrics(m, "run");
+        }
         match &plan {
             Some(pl) => eng.run_with_checkpoints(limit, Some(pl.every), Some(&origin), &mut |s| {
                 pl.store("run", &s)
@@ -408,6 +478,39 @@ fn cmd_run(
         checkpoints,
         final_hash,
     )
+}
+
+/// Stand up the live metrics registry plus its HTTP endpoint when
+/// `--metrics-addr` was given. The returned server owns the endpoint's
+/// threads; keep it alive for the duration of the run. The manifest hash
+/// published on `/status` is computed exactly as [`finish_telemetry`]
+/// computes `config_hash`, so a scraper can correlate the live run with the
+/// manifest written at exit.
+fn start_metrics(
+    metrics: &MetricsCliOpts,
+    args: &[String],
+    fidelity: Fidelity,
+    quick: bool,
+) -> Result<Option<(Arc<LiveMetrics>, MetricsServer)>, String> {
+    let Some(addr) = &metrics.addr else {
+        return Ok(None);
+    };
+    let m = Arc::new(LiveMetrics::new());
+    let canon = format!("sst {}|fidelity={fidelity}|quick={quick}", args.join(" "));
+    m.set_manifest_hash(&format!("{:016x}", fnv1a(canon.as_bytes())));
+    let watchdog = match metrics.watchdog_secs {
+        Some(s) => WatchdogCfg {
+            stall_after: std::time::Duration::from_secs_f64(s),
+        },
+        None => WatchdogCfg::default(),
+    };
+    let srv = live::serve(m.clone(), addr, watchdog)
+        .map_err(|e| format!("cannot serve metrics on {addr}: {e}"))?;
+    eprintln!(
+        "[sst] live metrics: http://{}/metrics (run status: /status)",
+        srv.addr
+    );
+    Ok(Some((m, srv)))
 }
 
 /// `origin.kind` tag of `sst run` snapshots.
@@ -666,6 +769,18 @@ fn finish_telemetry(
     }
     let command = args.join(" ");
     let canon = format!("sst {command}|fidelity={fidelity}|quick={quick}");
+    // Per-rank adaptive-sync counters as greppable one-liners: the full
+    // numbers live in the profile dump, but `grep sync: *.manifest.json`
+    // answers "did adaptive sync do anything" without parsing it.
+    let mut notes = Vec::new();
+    for (label, profile) in &summary.profiles {
+        for r in &profile.ranks {
+            notes.push(format!(
+                "sync: {label} rank {}: barriers_skipped={} epochs_widened={} stall_rounds={}",
+                r.rank, r.barriers_skipped, r.epochs_widened, r.stall_rounds
+            ));
+        }
+    }
     let manifest = RunManifest {
         schema: MANIFEST_SCHEMA.to_string(),
         command,
@@ -689,6 +804,7 @@ fn finish_telemetry(
         profile_path: profile_path.as_ref().map(|p| p.display().to_string()),
         checkpoints,
         final_state_hash,
+        notes,
     };
     let manifest_path = with_ext(&base, "manifest.json");
     let json = manifest.to_value().to_json_string_pretty();
@@ -725,6 +841,10 @@ fn series_json(summary: &TelemetrySummary) -> String {
         arr.push(v);
     }
     let mut top = serde::Map::new();
+    top.insert(
+        "schema".to_string(),
+        Value::String(SERIES_SCHEMA.to_string()),
+    );
     top.insert("series".to_string(), Value::Array(arr));
     Value::Object(top).to_json_string_pretty()
 }
@@ -786,6 +906,72 @@ fn cmd_validate_trace(trace: &Path, chrome: Option<&Path>) -> ExitCode {
             return ExitCode::FAILURE;
         };
         println!("{}: {} chrome event(s) OK", cp.display(), events.len());
+    }
+
+    // Telemetry runs write a stats series and a profile dump next to the
+    // trace; when present they are part of the run's output contract, so
+    // validate their schema tags too. A version mismatch exits 2 (usage
+    // class: the reader and the writer disagree on the format).
+    let stats = with_ext(trace, "stats.json");
+    if stats.exists() {
+        let text = match std::fs::read_to_string(&stats) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", stats.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let v: Value = match serde_json::from_str(&text) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{}: invalid JSON: {e}", stats.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let schema = v.get("schema").and_then(Value::as_str).unwrap_or("");
+        if schema != SERIES_SCHEMA {
+            eprintln!(
+                "{}: schema `{schema}` is not `{SERIES_SCHEMA}`",
+                stats.display()
+            );
+            return ExitCode::from(2);
+        }
+        let n = v
+            .get("series")
+            .and_then(Value::as_array)
+            .map(Vec::len)
+            .unwrap_or(0);
+        println!("{}: {n} stats series OK", stats.display());
+    }
+    let profile = with_ext(trace, "profile.json");
+    if profile.exists() {
+        let text = match std::fs::read_to_string(&profile) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", profile.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let dump: ProfileDump = match serde_json::from_str(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("{}: not a profile dump: {e}", profile.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        if dump.schema != PROFILE_SCHEMA {
+            eprintln!(
+                "{}: schema `{}` is not `{PROFILE_SCHEMA}`",
+                profile.display(),
+                dump.schema
+            );
+            return ExitCode::from(2);
+        }
+        println!(
+            "{}: {} engine profile(s) OK",
+            profile.display(),
+            dump.profiles.len()
+        );
     }
     ExitCode::SUCCESS
 }

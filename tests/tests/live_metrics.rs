@@ -1,0 +1,152 @@
+//! Live-metrics contract tests: the observability layer must never perturb
+//! the simulation.
+//!
+//! Two halves of the contract from DESIGN.md:
+//! * **Zero overhead when enabled, on the hot path**: every per-batch update
+//!   a reporting engine makes is a handful of relaxed atomic stores — no
+//!   allocation, no locking. Measured with the `sst-bench` counting
+//!   allocator installed as this binary's global allocator.
+//! * **Bit-identity**: attaching a registry (and serving it over HTTP)
+//!   changes no simulation result — serial and parallel runs produce the
+//!   same events, end time, and statistics with metrics on or off.
+
+use sst_bench::alloc_track;
+use sst_core::prelude::*;
+use sst_core::telemetry::live::{self, WatchdogCfg};
+use sst_sim::experiments::pdes;
+use std::sync::Arc;
+
+#[global_allocator]
+static ALLOC: alloc_track::CountingAlloc = alloc_track::CountingAlloc;
+
+/// The allocation counter is process-global, so the harness's default
+/// parallelism would let one test's allocations pollute another's delta:
+/// every test in this binary serializes on this lock.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn tiny() -> pdes::Params {
+    pdes::Params {
+        side: 6,
+        tokens_per_node: 2,
+        ttl: 40,
+        rank_counts: vec![2, 4],
+        ..pdes::Params::quick()
+    }
+}
+
+/// The per-batch update path — what the serial engine and every parallel
+/// rank call once per delivery batch — must not allocate once handles exist.
+#[test]
+fn live_updates_do_not_allocate() {
+    let _guard = SERIAL.lock().unwrap();
+    let m = Arc::new(LiveMetrics::new());
+    let rank = m.rank(0);
+    let transport = m.transport("shm");
+    m.begin_run("alloc-test", Some(SimTime::ms(1)));
+    // Warm-up: first calls may lazily touch nothing, but keep the pattern of
+    // the queue_compare harness anyway.
+    rank.batch(SimTime::ns(1), 3, 5);
+    rank.sync_counters(0, 0, 0, 0);
+    transport.sent(64);
+
+    let a0 = alloc_track::allocations();
+    for i in 0..10_000u64 {
+        rank.batch(SimTime::ns(i), 4, 7);
+        rank.sync_counters(i, i, i, i);
+        transport.sent(128);
+    }
+    let grew = alloc_track::allocations() - a0;
+    assert_eq!(
+        grew, 0,
+        "live metric updates allocated {grew} times on the hot path"
+    );
+}
+
+/// With no registry attached (the default), back-to-back runs of the same
+/// system allocate identically — the disabled path is one branch, no state.
+#[test]
+fn disabled_live_path_allocates_identically() {
+    let _guard = SERIAL.lock().unwrap();
+    let p = pdes::Params {
+        rank_counts: vec![],
+        ..tiny()
+    };
+    let run_once = || {
+        let a0 = alloc_track::allocations();
+        let rep = Engine::new(pdes::build(&p)).run(RunLimit::Exhaust);
+        (alloc_track::allocations() - a0, rep.events)
+    };
+    // First run pays one-time costs (payload codec registration, lazily
+    // sized arenas); compare the two runs after it.
+    let _ = run_once();
+    let (a1, e1) = run_once();
+    let (a2, e2) = run_once();
+    assert_eq!(e1, e2);
+    assert_eq!(
+        a1, a2,
+        "identical runs without live metrics allocated differently ({a1} vs {a2})"
+    );
+}
+
+/// Serial results are bit-identical with and without a live registry (and
+/// live HTTP endpoint) attached.
+#[test]
+fn serial_run_is_identical_with_metrics_attached() {
+    let _guard = SERIAL.lock().unwrap();
+    let p = pdes::Params {
+        rank_counts: vec![],
+        ..tiny()
+    };
+    let bare = Engine::new(pdes::build(&p)).run(RunLimit::Exhaust);
+
+    let m = Arc::new(LiveMetrics::new());
+    let srv = live::serve(m.clone(), "127.0.0.1:0", WatchdogCfg::default()).unwrap();
+    let mut eng = Engine::new(pdes::build(&p));
+    eng.attach_live_metrics(&m, "serial");
+    let live_rep = eng.run(RunLimit::Exhaust);
+
+    assert_eq!(bare.events, live_rep.events);
+    assert_eq!(bare.end_time, live_rep.end_time);
+    assert_eq!(bare.clock_ticks, live_rep.clock_ticks);
+    assert_eq!(
+        bare.stats.sum_counters("forwarded"),
+        live_rep.stats.sum_counters("forwarded")
+    );
+
+    // And the endpoint saw the run: the scrape carries nonzero totals.
+    let body = live::http_get(srv.addr, "/metrics").unwrap();
+    assert!(body.contains("sst_events_total"));
+    let events = body
+        .lines()
+        .find(|l| l.starts_with("sst_events_total"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap();
+    assert!(events > 0.0, "endpoint reported zero events: {body}");
+    let status = live::http_get(srv.addr, "/status").unwrap();
+    assert!(status.contains("sst-live-status-v1"));
+}
+
+/// The scaling study stays bit-identical across serial/2/4 ranks while a
+/// registry observes every engine — the `identical` column is computed
+/// against the serial run inside the same process.
+#[test]
+fn parallel_runs_stay_identical_with_metrics_attached() {
+    let _guard = SERIAL.lock().unwrap();
+    let mut with_live = tiny();
+    with_live.live = Some(Arc::new(LiveMetrics::new()));
+    let t = pdes::run(&with_live);
+    for row in &t.rows {
+        assert_eq!(
+            *row.values.last().unwrap(),
+            1.0,
+            "{} diverged from serial with live metrics attached",
+            row.label
+        );
+    }
+    // The same study without a registry sees the same event totals.
+    let bare = pdes::run(&tiny());
+    assert_eq!(t.get("serial", "events"), bare.get("serial", "events"));
+    assert_eq!(t.get("2 ranks", "events"), bare.get("2 ranks", "events"));
+    assert_eq!(t.get("4 ranks", "events"), bare.get("4 ranks", "events"));
+}
