@@ -1,0 +1,55 @@
+//! Profiling harness: run the pdes torus workload repeatedly on one engine
+//! flavor so a sampling profiler sees only the steady-state hot path.
+//! `cargo run --release --example prof_torus -- [plain-heap|plain-indexed|spec] [reps]`
+
+use sst_core::prelude::*;
+use sst_core::HeapEngine;
+use sst_sim::experiments::pdes;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flavor = args.get(1).map(String::as_str).unwrap_or("spec");
+    let reps: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let mut p = pdes::Params::quick();
+    p.side = 12;
+    p.tokens_per_node = 6;
+    p.ttl = 80;
+    let mut total = 0u64;
+    let mut dt = std::time::Duration::ZERO;
+    for _ in 0..reps {
+        let mut b = pdes::build(&p);
+        // Construct outside the timed region: the rows compare steady-state
+        // simulation rate, not graph-build cost (identical across flavors).
+        let report = match flavor {
+            "plain-heap" => {
+                b.specialize(false);
+                let e = HeapEngine::with_telemetry(b, TelemetrySpec::disabled());
+                let t0 = std::time::Instant::now();
+                let r = e.run(RunLimit::Exhaust);
+                dt += t0.elapsed();
+                r
+            }
+            "plain-indexed" => {
+                b.specialize(false);
+                let e = Engine::with_telemetry(b, TelemetrySpec::disabled());
+                let t0 = std::time::Instant::now();
+                let r = e.run(RunLimit::Exhaust);
+                dt += t0.elapsed();
+                r
+            }
+            _ => {
+                b.specialize(true);
+                let e = AutoEngine::with_telemetry(b, TelemetrySpec::disabled());
+                let t0 = std::time::Instant::now();
+                let r = e.run(RunLimit::Exhaust);
+                dt += t0.elapsed();
+                r
+            }
+        };
+        total += report.events + report.clock_ticks;
+    }
+    println!(
+        "{flavor}: {total} events in {dt:?} = {:.0} ev/s",
+        total as f64 / dt.as_secs_f64()
+    );
+}

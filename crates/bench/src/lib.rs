@@ -46,11 +46,12 @@ pub struct RingNode {
     pub start: bool,
 }
 
-#[derive(Debug)]
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
 pub struct Tok(pub u64);
 
 impl Component for RingNode {
     fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+        register_payload::<Tok>("bench.tok");
         if self.start {
             ctx.send(PortId(1), Tok(self.hops_left));
         }
@@ -61,6 +62,88 @@ impl Component for RingNode {
             ctx.send(PortId(1), Tok(t.0 - 1));
         }
     }
+    fn fuse_key(&self) -> Option<FuseKey> {
+        Some(FuseKey::of::<Self>())
+    }
+    fn fuse_into(self: Box<Self>, group: &mut dyn FusedGroup) -> u32 {
+        sst_core::specialize::absorb(group, *self)
+    }
+}
+
+/// A pure constant-latency forwarder: counts the event and passes the
+/// payload through unchanged. Opts into chain flattening, so a specialized
+/// build folds a run of repeaters into a single queue push.
+pub struct Repeater {
+    forwarded: Option<StatId>,
+}
+
+impl Repeater {
+    pub const IN: PortId = PortId(0);
+    pub const OUT: PortId = PortId(1);
+
+    pub fn new() -> Self {
+        Repeater { forwarded: None }
+    }
+}
+
+impl Default for Repeater {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Component for Repeater {
+    fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+        self.forwarded = Some(ctx.stat_counter("forwarded"));
+    }
+    fn on_event(&mut self, port: PortId, ev: PayloadSlot, ctx: &mut SimCtx<'_>) {
+        // This handler is the chain_forward contract, spelled out: one
+        // counter bump, one unchanged pass-through, nothing else. It runs on
+        // generic paths (--no-specialize, telemetry); folded deliveries
+        // replicate it inline.
+        assert_eq!(port, Self::IN);
+        ctx.add_stat(self.forwarded.unwrap(), 1);
+        ctx.send_slot(Self::OUT, ev, SimTime::ZERO);
+    }
+    fn ports(&self) -> &'static [&'static str] {
+        &["in", "out"]
+    }
+    fn chain_forward(&self) -> Option<ChainSpec> {
+        Some(ChainSpec {
+            in_port: Self::IN,
+            out_port: Self::OUT,
+            stat: Some("forwarded"),
+        })
+    }
+}
+
+/// Build a cycle of one [`RingNode`] head plus `n_repeaters` [`Repeater`]s:
+/// the head launches a token that crosses every repeater, comes back, and
+/// is relaunched `laps` times. The chain-flattening stress workload — an
+/// unfused run pays one queue round-trip per repeater per lap.
+pub fn chain(n_repeaters: u32, laps: u64) -> SystemBuilder {
+    assert!(n_repeaters >= 1);
+    let mut b = SystemBuilder::new();
+    let head = b.add(
+        "head",
+        RingNode {
+            hops_left: laps,
+            start: true,
+        },
+    );
+    let reps: Vec<_> = (0..n_repeaters)
+        .map(|i| b.add(format!("r{i}"), Repeater::new()))
+        .collect();
+    b.link((head, PortId(1)), (reps[0], Repeater::IN), SimTime::ns(10));
+    for w in reps.windows(2) {
+        b.link((w[0], Repeater::OUT), (w[1], Repeater::IN), SimTime::ns(10));
+    }
+    b.link(
+        (reps[n_repeaters as usize - 1], Repeater::OUT),
+        (head, PortId(0)),
+        SimTime::ns(10),
+    );
+    b
 }
 
 /// Build a ring of `n` nodes carrying one token for `hops` hops.
@@ -95,5 +178,58 @@ mod tests {
     fn ring_runs() {
         let report = Engine::new(ring(8, 100)).run(RunLimit::Exhaust);
         assert_eq!(report.events, 101);
+    }
+
+    fn stats_json(r: &SimReport) -> String {
+        serde_json::to_string(&r.stats).unwrap()
+    }
+
+    #[test]
+    fn fused_ring_matches_unfused() {
+        let mut f = ring(8, 100);
+        f.specialize(true);
+        let mut u = ring(8, 100);
+        u.specialize(false);
+        let fused = Engine::new(f).run(RunLimit::Exhaust);
+        let plain = Engine::new(u).run(RunLimit::Exhaust);
+        assert!(fused.specialized && !plain.specialized);
+        assert_eq!(fused.events, plain.events);
+        assert_eq!(fused.end_time, plain.end_time);
+        assert_eq!(stats_json(&fused), stats_json(&plain));
+    }
+
+    #[test]
+    fn chain_folds_and_matches_unfused() {
+        let mut f = chain(6, 50);
+        f.specialize(true);
+        let mut u = chain(6, 50);
+        u.specialize(false);
+        let fused = Engine::new(f).run(RunLimit::Exhaust);
+        let plain = Engine::new(u).run(RunLimit::Exhaust);
+        // Token values laps..=0 each cross 6 repeaters + the head.
+        assert_eq!(plain.events, 51 * 7);
+        assert_eq!(fused.events, plain.events);
+        assert_eq!(fused.end_time, plain.end_time);
+        assert_eq!(fused.clock_ticks, plain.clock_ticks);
+        assert_eq!(stats_json(&fused), stats_json(&plain));
+        assert_eq!(fused.stats.counter("r0", "forwarded"), 51);
+    }
+
+    #[test]
+    fn chain_until_limit_matches_unfused() {
+        // Step bounds cut chains mid-fold; `now`, counts, and stats must
+        // still agree with the unfused run at every intermediate bound.
+        for ns in [5, 35, 70, 105, 200] {
+            let mut f = chain(4, 20);
+            f.specialize(true);
+            let mut u = chain(4, 20);
+            u.specialize(false);
+            let limit = RunLimit::Until(SimTime::ns(ns));
+            let fused = Engine::new(f).run(limit);
+            let plain = Engine::new(u).run(limit);
+            assert_eq!(fused.events, plain.events, "at {ns}ns");
+            assert_eq!(fused.end_time, plain.end_time, "at {ns}ns");
+            assert_eq!(stats_json(&fused), stats_json(&plain), "at {ns}ns");
+        }
     }
 }

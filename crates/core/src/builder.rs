@@ -45,6 +45,7 @@ pub struct SystemBuilder {
     pub(crate) clocks: Vec<ClockSpec>,
     pub(crate) seed: u64,
     pub(crate) partition: PartitionStrategy,
+    pub(crate) specialize: bool,
 }
 
 impl Default for SystemBuilder {
@@ -61,7 +62,18 @@ impl SystemBuilder {
             clocks: Vec::new(),
             seed: 0xC0DE_5EED,
             partition: PartitionStrategy::default(),
+            specialize: crate::specialize::default_enabled(),
         }
+    }
+
+    /// Enable or disable the build-time specialization pass (fusion + chain
+    /// flattening; see [`crate::specialize`]) for engines built from this
+    /// builder. Defaults to the process-wide setting
+    /// ([`crate::specialize::default_enabled`]); tests comparing fused vs
+    /// unfused runs should set this explicitly rather than flip the global.
+    pub fn specialize(&mut self, on: bool) -> &mut Self {
+        self.specialize = on;
+        self
     }
 
     /// Choose the rank-partitioning strategy used by parallel builds (the
@@ -147,6 +159,7 @@ impl SystemBuilder {
     pub fn materialize(sys: &dyn LazySystem) -> SystemBuilder {
         let mut b = SystemBuilder::new();
         b.seed(sys.seed());
+        b.specialize(sys.specialize());
         for i in 0..sys.component_count() {
             b.add_boxed(sys.component_name(i), sys.create(i), AUTO_RANK);
         }
@@ -371,6 +384,11 @@ pub trait LazySystem {
     /// Global RNG seed (defaults to the builder's fixed constant).
     fn seed(&self) -> u64 {
         0xC0DE_5EED
+    }
+    /// Whether engines built from this system run the build-time
+    /// specialization pass (defaults to the process-wide setting).
+    fn specialize(&self) -> bool {
+        crate::specialize::default_enabled()
     }
 }
 

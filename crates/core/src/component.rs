@@ -66,6 +66,31 @@ pub trait Component: Send {
     /// `setup`, so setup-assigned fields (registered `StatId`s, codecs)
     /// are live and must not be clobbered.
     fn load_state(&mut self, _state: &serde_json::Value) {}
+
+    /// Opt into build-time fusion: homogeneous arrays of components whose
+    /// `fuse_key` names the same concrete type collapse into one
+    /// struct-of-arrays group with a monomorphized delivery loop. The only
+    /// valid implementation is `Some(FuseKey::of::<Self>())`, paired with an
+    /// override of [`Component::fuse_into`]. Fusion is semantically
+    /// invisible — any component may opt in.
+    fn fuse_key(&self) -> Option<crate::specialize::FuseKey> {
+        None
+    }
+
+    /// Move `self` into `group` and return the member index. Implementations
+    /// are always the single line `crate::specialize::absorb(group, *self)`
+    /// (with the right crate path). Only called when [`Component::fuse_key`]
+    /// returned `Some`; the default is therefore unreachable.
+    fn fuse_into(self: Box<Self>, _group: &mut dyn crate::specialize::FusedGroup) -> u32 {
+        unreachable!("fuse_into must be overridden when fuse_key is Some")
+    }
+
+    /// Opt into chain flattening by declaring this component a pure
+    /// constant-latency forwarder. See [`ChainSpec`](crate::specialize::ChainSpec)
+    /// for the behavioral contract this asserts.
+    fn chain_forward(&self) -> Option<crate::specialize::ChainSpec> {
+        None
+    }
 }
 
 /// The far end of a link, as seen from one port.
@@ -87,18 +112,67 @@ pub trait EventSink {
     fn push(&mut self, ev: ScheduledEvent, target_rank: u32);
 }
 
-/// Everything owned by the engine on behalf of one component.
+/// Where a slot's component state lives: its own box (the general case), or
+/// a member of a fused struct-of-arrays group (after specialization). The
+/// `Boxed` option is `None` only transiently, while the component is out on
+/// loan to a delivery.
+pub(crate) enum CompState {
+    Boxed(Option<Box<dyn Component>>),
+    Fused { group: u32, member: u32 },
+}
+
+/// Everything owned by the engine on behalf of one component. Fusion moves
+/// only the component *state* into the group; identity (id, name), the RNG
+/// stream, the send-sequence cursor, and the link table stay here so fused
+/// members keep per-member determinism, snapshots, and attribution.
 pub(crate) struct Slot {
     /// Global component id (slots are stored densely per rank, so the index
     /// into the slot table is *not* the id).
     pub id: ComponentId,
     pub name: String,
-    pub comp: Option<Box<dyn Component>>,
+    pub comp: CompState,
     pub rng: SmallRng,
     pub send_seq: u64,
     /// Per-port link table; `None` = unconnected port.
     pub links: Vec<Option<LinkEnd>>,
     pub rank: u32,
+}
+
+/// Where a [`SimCtx`] pushes sent events. A two-variant enum rather than a
+/// `&mut dyn EventSink`: the specialized delivery paths thread a concrete
+/// queue handle through, so a fused member's `send` compiles to one
+/// predictable branch plus an inlined concrete push instead of an indirect
+/// call per event. Generic paths use the `Dyn` variant and behave exactly as
+/// the trait object did.
+pub(crate) enum CtxSink<'a> {
+    /// Generic engines, instrumented delivery, parallel outboxes.
+    Dyn(&'a mut dyn EventSink),
+    /// Specialized delivery: a concrete queue backend plus the batch-instant
+    /// straggler watch (see `specialize::BatchCtx`). A push at or before
+    /// `now` is the only thing that can create a straggler mid-batch; the
+    /// flag lets the batch loop skip the per-event queue peek until then.
+    Instant {
+        queue: crate::specialize::SinkRef<'a>,
+        now: SimTime,
+        pushed_at_now: &'a mut bool,
+    },
+}
+
+impl CtxSink<'_> {
+    #[inline]
+    pub(crate) fn push(&mut self, ev: ScheduledEvent, target_rank: u32) {
+        match self {
+            CtxSink::Dyn(s) => s.push(ev, target_rank),
+            CtxSink::Instant {
+                queue,
+                now,
+                pushed_at_now,
+            } => {
+                **pushed_at_now |= ev.time <= *now;
+                queue.push(ev, target_rank);
+            }
+        }
+    }
 }
 
 /// The component's window into the simulation, passed to every handler.
@@ -111,7 +185,7 @@ pub struct SimCtx<'a> {
     pub(crate) rng: &'a mut SmallRng,
     pub(crate) send_seq: &'a mut u64,
     pub(crate) stats: &'a mut StatsRegistry,
-    pub(crate) sink: &'a mut dyn EventSink,
+    pub(crate) sink: CtxSink<'a>,
     pub(crate) clock_resumes: &'a mut Vec<ClockId>,
     /// Active event tracer; `None` unless telemetry tracing is on.
     pub(crate) tracer: Option<&'a mut Tracer>,

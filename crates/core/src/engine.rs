@@ -5,13 +5,14 @@
 //! engine. The serial engine is simply a kernel plus one event queue.
 
 use crate::builder::SystemBuilder;
-use crate::component::{EventSink, LinkEnd, SimCtx, Slot};
+use crate::component::{CompState, EventSink, LinkEnd, SimCtx, Slot};
 use crate::event::{
     ClockId, ComponentId, EventBufPool, EventClass, EventKind, ScheduledEvent, TieBreak,
 };
-use crate::queue::{BinaryHeapQueue, IndexedQueue, SimQueue};
+use crate::queue::{AutoQueue, BinaryHeapQueue, IndexedQueue, SimQueue};
 use crate::rng::component_rng;
 use crate::snapshot::{self, ComponentSnap, Snapshot, SNAPSHOT_SCHEMA};
+use crate::specialize::{BatchCtx, ForwardSpec, FusedGroup};
 use crate::stats::{StatsRegistry, StatsSnapshot};
 use crate::telemetry::live::{LiveMetrics, RankLive};
 use crate::telemetry::{
@@ -73,6 +74,15 @@ pub struct SimReport {
     /// ([`EngineOn::run_with_checkpoints`] or its parallel counterpart).
     #[serde(default)]
     pub final_state_hash: Option<String>,
+    /// Pending-event queue backend the run used (`"heap"`, `"indexed"`, or
+    /// `"heap->indexed"` when [`AutoQueue`] migrated mid-run). Absent in
+    /// reports from older versions.
+    #[serde(default)]
+    pub queue_backend: Option<String>,
+    /// Whether the build-time specialization pass (component fusion + chain
+    /// flattening; see [`crate::specialize`]) ran on this build.
+    #[serde(default)]
+    pub specialized: bool,
 }
 
 impl SimReport {
@@ -102,7 +112,7 @@ pub(crate) struct Kernel {
     /// components owned by other ranks. Four bytes per component per rank
     /// instead of a full (mostly `None`) `Option<Slot>`, which is what makes
     /// 10⁵–10⁶-component systems across tens of ranks feasible.
-    slot_index: Vec<u32>,
+    pub(crate) slot_index: Vec<u32>,
     /// Densely packed slots for locally owned components only.
     pub slots: Vec<Slot>,
     pub stats: StatsRegistry,
@@ -115,7 +125,19 @@ pub(crate) struct Kernel {
     /// Telemetry state; `None` (one pointer null-check on the hot path)
     /// unless the run was built with an enabled [`TelemetrySpec`].
     pub tel: Option<Box<TelemetryState>>,
-    resume_buf: Vec<ClockId>,
+    pub(crate) resume_buf: Vec<ClockId>,
+    /// Fused component groups created by the specialization pass; `None`
+    /// entries are groups out on loan to a delivery.
+    pub(crate) groups: Vec<Option<Box<dyn FusedGroup>>>,
+    /// Per-slot chain-forwarding specs (parallel to `slots`); empty when the
+    /// specialization pass did not run.
+    pub(crate) forward: Vec<Option<ForwardSpec>>,
+    /// Whether the specialization pass ran on this kernel.
+    pub specialized: bool,
+    /// High-water mark of chain-folded delivery times: folded hops deliver
+    /// ahead of `now` (legal because forwarders touch no shared state), so
+    /// the batch loop folds this back into `now` at each step boundary.
+    pub(crate) fold_hwm: SimTime,
 }
 
 impl Kernel {
@@ -132,6 +154,10 @@ impl Kernel {
             seed,
             tel: None,
             resume_buf: Vec::new(),
+            groups: Vec::new(),
+            forward: Vec::new(),
+            specialized: false,
+            fold_hwm: SimTime::ZERO,
         }
     }
 
@@ -167,6 +193,7 @@ impl Kernel {
         }
 
         let seed = builder.seed;
+        let specialize = builder.specialize;
         let mut kernels: Vec<Kernel> = (0..n_ranks).map(|_| Kernel::empty(seed, n)).collect();
         for k in &mut kernels {
             k.clocks = builder
@@ -185,12 +212,18 @@ impl Kernel {
             k.slots.push(Slot {
                 id: ComponentId(i as u32),
                 name: spec.name,
-                comp: Some(spec.comp),
+                comp: CompState::Boxed(Some(spec.comp)),
                 rng: component_rng(seed, i as u32),
                 send_seq: 0,
                 links: table,
                 rank: ranks[i],
             });
+        }
+        if specialize {
+            // Per-kernel, so fusion groups split at rank boundaries for free.
+            for k in &mut kernels {
+                crate::specialize::specialize_kernel(k);
+            }
         }
         kernels
     }
@@ -215,7 +248,7 @@ impl Kernel {
             k.slots.push(Slot {
                 id: ComponentId(i),
                 name: sys.component_name(i),
-                comp: Some(sys.create(i)),
+                comp: CompState::Boxed(Some(sys.create(i))),
                 rng: component_rng(seed, i),
                 send_seq: 0,
                 links: Vec::new(),
@@ -252,6 +285,11 @@ impl Kernel {
             set(l.a, l.b);
             set(l.b, l.a);
         });
+        if sys.specialize() {
+            for k in &mut kernels {
+                crate::specialize::specialize_kernel(k);
+            }
+        }
         kernels
     }
 
@@ -298,12 +336,14 @@ impl Kernel {
             .slots
             .iter()
             .map(|slot| {
-                snapshot::component_snap(
-                    &slot.name,
-                    slot.rng.state(),
-                    slot.send_seq,
-                    slot.comp.as_deref().expect("capture during delivery"),
-                )
+                let comp: &dyn crate::component::Component = match &slot.comp {
+                    CompState::Boxed(b) => b.as_deref().expect("capture during delivery"),
+                    CompState::Fused { group, member } => self.groups[*group as usize]
+                        .as_deref()
+                        .expect("capture during delivery")
+                        .member_ref(*member),
+                };
+                snapshot::component_snap(&slot.name, slot.rng.state(), slot.send_seq, comp)
             })
             .collect();
         snaps.sort_by(|a, b| a.name.cmp(&b.name));
@@ -327,6 +367,7 @@ impl Kernel {
         let by_name: HashMap<&str, &ComponentSnap> =
             comps.iter().map(|c| (c.name.as_str(), c)).collect();
         let mut applied = 0;
+        let groups = &mut self.groups;
         for slot in self.slots.iter_mut() {
             let Some(cs) = by_name.get(slot.name.as_str()) else {
                 panic!(
@@ -341,10 +382,17 @@ impl Kernel {
                 });
             slot.rng = SmallRng::from_state(rng_state);
             slot.send_seq = cs.send_seq;
-            slot.comp
-                .as_mut()
-                .expect("restore during delivery")
-                .load_state(&cs.state);
+            match &mut slot.comp {
+                CompState::Boxed(b) => b
+                    .as_mut()
+                    .expect("restore during delivery")
+                    .load_state(&cs.state),
+                CompState::Fused { group, member } => groups[*group as usize]
+                    .as_mut()
+                    .expect("restore during delivery")
+                    .member_mut(*member)
+                    .load_state(&cs.state),
+            }
             applied += 1;
         }
         applied
@@ -383,7 +431,8 @@ impl Kernel {
         }
     }
 
-    /// Run `setup` on every local component (at time zero).
+    /// Run `setup` on every local component (at time zero), then resolve
+    /// chain-forwarding stat handles against the freshly registered stats.
     pub fn setup_all(&mut self, sink: &mut dyn EventSink) {
         let mut tel = self.tel.take();
         for k in 0..self.slots.len() {
@@ -392,6 +441,7 @@ impl Kernel {
             self.with_ctx(id, sink, tracer, |comp, ctx| comp.setup(ctx));
         }
         self.tel = tel;
+        crate::specialize::resolve_forward_stats(self);
     }
 
     /// Run `finish` on every local component.
@@ -503,9 +553,28 @@ impl Kernel {
             Some(&k) if k != u32::MAX => k as usize,
             _ => panic!("component {id} is not local"),
         };
-        let slot = &mut self.slots[idx];
-        let mut comp = slot.comp.take().expect("re-entrant component delivery");
+        // Take the component (or its whole fused group) out of the kernel so
+        // the context can borrow the rest; put it back after the call.
+        enum How {
+            Boxed(Box<dyn crate::component::Component>),
+            Fused {
+                grp: Box<dyn FusedGroup>,
+                gid: u32,
+                member: u32,
+            },
+        }
+        let mut how = match &mut self.slots[idx].comp {
+            CompState::Boxed(b) => How::Boxed(b.take().expect("re-entrant component delivery")),
+            CompState::Fused { group, member } => {
+                let (gid, member) = (*group, *member);
+                let grp = self.groups[gid as usize]
+                    .take()
+                    .expect("re-entrant fused-group delivery");
+                How::Fused { grp, gid, member }
+            }
+        };
         let r = {
+            let slot = &mut self.slots[idx];
             let mut ctx = SimCtx {
                 now: self.now,
                 me: id,
@@ -515,13 +584,20 @@ impl Kernel {
                 rng: &mut slot.rng,
                 send_seq: &mut slot.send_seq,
                 stats: &mut self.stats,
-                sink,
+                sink: crate::component::CtxSink::Dyn(sink),
                 clock_resumes: &mut self.resume_buf,
                 tracer,
             };
-            f(comp.as_mut(), &mut ctx)
+            let comp: &mut dyn crate::component::Component = match &mut how {
+                How::Boxed(b) => b.as_mut(),
+                How::Fused { grp, member, .. } => grp.member_mut(*member),
+            };
+            f(comp, &mut ctx)
         };
-        self.slots[idx].comp = Some(comp);
+        match how {
+            How::Boxed(b) => self.slots[idx].comp = CompState::Boxed(Some(b)),
+            How::Fused { grp, gid, .. } => self.groups[gid as usize] = Some(grp),
+        }
 
         // Apply clock resumes outside the ctx borrow.
         while let Some(cid) = self.resume_buf.pop() {
@@ -537,7 +613,7 @@ impl Kernel {
     }
 }
 
-fn clock_tick(clk: &ClockState, id: ClockId, time: SimTime) -> ScheduledEvent {
+pub(crate) fn clock_tick(clk: &ClockState, id: ClockId, time: SimTime) -> ScheduledEvent {
     ScheduledEvent {
         time,
         class: EventClass::Clock,
@@ -567,6 +643,13 @@ impl EventSink for BinaryHeapQueue {
     }
 }
 
+impl EventSink for AutoQueue {
+    #[inline]
+    fn push(&mut self, ev: ScheduledEvent, _target_rank: u32) {
+        AutoQueue::push(self, ev);
+    }
+}
+
 /// The serial discrete-event engine, generic over the pending-event queue.
 /// Use the [`Engine`] alias unless differentially testing queues.
 pub struct EngineOn<Q: SimQueue + EventSink> {
@@ -587,6 +670,11 @@ pub type Engine = EngineOn<IndexedQueue>;
 
 /// The serial engine over the reference heap queue, for comparisons.
 pub type HeapEngine = EngineOn<BinaryHeapQueue>;
+
+/// The serial engine over the depth-adaptive queue: starts on the heap and
+/// migrates to the indexed queue if the pending set grows past the measured
+/// crossover. The right default when the workload's queue depth is unknown.
+pub type AutoEngine = EngineOn<AutoQueue>;
 
 impl<Q: SimQueue + EventSink> EngineOn<Q> {
     /// Build a serial engine from a system description.
@@ -685,7 +773,11 @@ impl<Q: SimQueue + EventSink> EngineOn<Q> {
                 break;
             }
             if self.kernel.tel.is_some() {
+                // Instrumented runs keep the generic path (fusion and folding
+                // bypassed) so traces stay per member and byte-identical.
                 self.deliver_batch_instrumented(&mut batch);
+            } else if self.kernel.specialized {
+                self.deliver_batch_specialized(&mut batch, bound);
             } else {
                 for ev in batch.drain(..) {
                     while let Some(s) = self.queue.pop_if_key_before(ev.key()) {
@@ -698,7 +790,215 @@ impl<Q: SimQueue + EventSink> EngineOn<Q> {
                 rank.batch(self.kernel.now, n as u64, self.queue.len());
             }
         }
+        // Chain-folded hops may have delivered past the last batch instant
+        // (never past `bound`); an unfused run's `now` would sit on the last
+        // of them.
+        self.kernel.now = self.kernel.now.max(self.kernel.fold_hwm);
         self.pool.put(batch);
+    }
+
+    /// Batch delivery on a specialized kernel: runs of events targeting the
+    /// same fused group go through the group's monomorphized loop (one
+    /// virtual call per run), chain-forwarder targets fold inline, and
+    /// everything else takes the generic per-event path. Equivalent to the
+    /// generic loop event for event — stragglers included.
+    fn deliver_batch_specialized(&mut self, batch: &mut Vec<ScheduledEvent>, bound: SimTime) {
+        // All batch elements share one time instant, and that instant was
+        // fully drained before delivery began — so a straggler can only
+        // exist after some handler pushes *at* the instant. Until then every
+        // straggler peek is provably `None` and skipped. Fused deliveries
+        // track pushes precisely through the `CtxSink::Instant` sentinel;
+        // generic and folded deliveries push untracked, so they set the flag
+        // conservatively.
+        let mut pushed_at_instant = false;
+        let mut i = 0;
+        while i < batch.len() {
+            if pushed_at_instant {
+                while let Some(s) = self.queue.pop_if_key_before(batch[i].key()) {
+                    self.deliver_one_specialized(s, bound);
+                }
+            }
+            let fused = match self.kernel.slot_index.get(batch[i].target.0 as usize) {
+                Some(&k) if k != u32::MAX => match self.kernel.slots[k as usize].comp {
+                    CompState::Fused { group, member }
+                        if matches!(batch[i].kind, EventKind::Message { .. }) =>
+                    {
+                        Some((k as usize, group, member))
+                    }
+                    _ => None,
+                },
+                _ => None,
+            };
+            let Some((si, gid, member)) = fused else {
+                let ev = crate::specialize::take_event(&mut batch[i]);
+                self.deliver_one_specialized(ev, bound);
+                pushed_at_instant = true;
+                i += 1;
+                continue;
+            };
+            self.kernel.now = batch[i].time;
+            let mut grp = self.kernel.groups[gid as usize]
+                .take()
+                .expect("re-entrant fused-group delivery");
+            // Does the run extend past this event? A lone fused event — the
+            // shallow-queue regime, e.g. a ring token — takes the flat
+            // single-delivery entry, whose cost matches a generic boxed
+            // delivery; real runs amortize the batch context instead.
+            let run = batch.get(i + 1).is_some_and(|nx| {
+                matches!(nx.kind, EventKind::Message { .. })
+                    && matches!(
+                        self.kernel.slot_index.get(nx.target.0 as usize),
+                        Some(&k) if k != u32::MAX && matches!(
+                            self.kernel.slots[k as usize].comp,
+                            CompState::Fused { group, .. } if group == gid
+                        )
+                    )
+            });
+            if !run {
+                let kind = crate::specialize::take_kind(&mut batch[i]);
+                let now = self.kernel.now;
+                let k = &mut self.kernel;
+                grp.deliver_one(
+                    member,
+                    now,
+                    kind,
+                    crate::specialize::OneCtx {
+                        slot: &mut k.slots[si],
+                        stats: &mut k.stats,
+                        clock_resumes: &mut k.resume_buf,
+                        sink: crate::component::CtxSink::Instant {
+                            queue: self.queue.sink_ref(),
+                            now,
+                            pushed_at_now: &mut pushed_at_instant,
+                        },
+                    },
+                );
+                k.events += 1;
+                k.groups[gid as usize] = Some(grp);
+                if !self.kernel.resume_buf.is_empty() {
+                    self.apply_clock_resumes();
+                }
+                i += 1;
+                continue;
+            }
+            let mut ctx = BatchCtx {
+                slot_index: &self.kernel.slot_index,
+                slots: &mut self.kernel.slots,
+                stats: &mut self.kernel.stats,
+                clocks: &mut self.kernel.clocks,
+                resume_buf: &mut self.kernel.resume_buf,
+                now: self.kernel.now,
+                events: 0,
+                queue: self.queue.sink_ref(),
+                pushed_at_now: &mut pushed_at_instant,
+                group_id: gid,
+                pending: None,
+            };
+            let consumed = grp.deliver_batch(batch, i, si as u32, member, &mut ctx);
+            let (events, pending) = (ctx.events, ctx.pending.take());
+            drop(ctx);
+            self.kernel.events += events;
+            self.kernel.groups[gid as usize] = Some(grp);
+            i += consumed;
+            if let Some(s) = pending {
+                // A straggler stopped the group loop; it precedes batch[i].
+                self.deliver_one_specialized(s, bound);
+            }
+        }
+        batch.clear();
+    }
+
+    /// Drain clock-resume requests queued by a fused single delivery;
+    /// mirrors the drain at the tail of `Kernel::with_ctx`.
+    #[cold]
+    fn apply_clock_resumes(&mut self) {
+        while let Some(cid) = self.kernel.resume_buf.pop() {
+            let clk = &mut self.kernel.clocks[cid.0 as usize];
+            if !clk.active {
+                clk.active = true;
+                let next = (self.kernel.now / clk.period + 1) * clk.period.as_ps();
+                SimQueue::push(&mut self.queue, clock_tick(clk, cid, SimTime::ps(next)));
+            }
+        }
+    }
+
+    /// Single-event delivery on the specialized path: chain-forwarder
+    /// targets fold, everything else (including fused members hit as
+    /// stragglers) goes through the generic kernel delivery.
+    fn deliver_one_specialized(&mut self, ev: ScheduledEvent, bound: SimTime) {
+        if let EventKind::Message { port, .. } = ev.kind {
+            if let Some(&k) = self.kernel.slot_index.get(ev.target.0 as usize) {
+                if k != u32::MAX {
+                    if let Some(spec) = self.kernel.forward[k as usize] {
+                        assert_eq!(
+                            port, spec.in_port,
+                            "chain-forward component `{}` received an event on a port \
+                             other than its declared in-port — the chain_forward \
+                             contract is violated",
+                            self.kernel.slots[k as usize].name
+                        );
+                        return self.fold_chain(ev, spec, bound);
+                    }
+                }
+            }
+        }
+        self.kernel.deliver_fast(ev, &mut self.queue);
+    }
+
+    /// Deliver an event to a chain forwarder by performing the forwarder's
+    /// entire contracted behavior inline — count, re-stamp with the
+    /// forwarder's send sequence, add the link latency — and keep walking
+    /// while the next hop is also a local forwarder inside this step's
+    /// bound. One queue push replaces N round-trips. Hops that would land
+    /// past `bound` (or past the cycle cap) queue the exact intermediate
+    /// event an unfused run would have pending, so step-boundary queue
+    /// state, checkpoints, and hashes agree.
+    fn fold_chain(&mut self, mut ev: ScheduledEvent, mut spec: ForwardSpec, bound: SimTime) {
+        /// Walk cap: bounds folding on forwarder-only cycles (the head of
+        /// any real chain breaks the walk; this is a safety net).
+        const MAX_FOLD_HOPS: u32 = 64;
+        let mut hops = 0u32;
+        loop {
+            let k = self.kernel.slot_index[ev.target.0 as usize] as usize;
+            let slot = &mut self.kernel.slots[k];
+            self.kernel.events += 1;
+            self.kernel.fold_hwm = self.kernel.fold_hwm.max(ev.time);
+            if let Some(sid) = spec.stat {
+                self.kernel.stats.add(sid, 1);
+            }
+            let seq = slot.send_seq;
+            slot.send_seq += 1;
+            let EventKind::Message { payload, .. } = ev.kind else {
+                unreachable!("forwarders only receive messages");
+            };
+            ev = ScheduledEvent {
+                time: ev.time + spec.out.latency,
+                class: EventClass::Message,
+                tie: TieBreak { src: slot.id, seq },
+                target: spec.out.target,
+                kind: EventKind::Message {
+                    port: spec.out.port,
+                    payload,
+                },
+            };
+            hops += 1;
+            if hops >= MAX_FOLD_HOPS || ev.time > bound {
+                break;
+            }
+            let next = match self.kernel.slot_index.get(ev.target.0 as usize) {
+                Some(&k) if k != u32::MAX => self.kernel.forward[k as usize],
+                _ => None,
+            };
+            match next {
+                // Only keep folding when the hop arrives on the next
+                // forwarder's declared in-port; anything else queues the
+                // event (and the in-port assert catches contract breaks at
+                // delivery).
+                Some(ns) if ns.in_port == spec.out.port => spec = ns,
+                _ => break,
+            }
+        }
+        SimQueue::push(&mut self.queue, ev);
     }
 
     /// Telemetry-on flavor of the batch loop: per-event instrumented
@@ -866,6 +1166,8 @@ impl<Q: SimQueue + EventSink> EngineOn<Q> {
             profile,
             series,
             final_state_hash,
+            queue_backend: Some(self.queue.backend_name().to_string()),
+            specialized: self.kernel.specialized,
         };
         self.spec.collect_run(
             self.kernel.seed,
@@ -908,6 +1210,8 @@ impl<Q: SimQueue + EventSink> EngineOn<Q> {
             profile,
             series,
             final_state_hash: None,
+            queue_backend: Some(self.queue.backend_name().to_string()),
+            specialized: self.kernel.specialized,
         };
         self.spec.collect_run(
             self.kernel.seed,

@@ -54,6 +54,7 @@ pub mod partition;
 pub mod queue;
 pub mod rng;
 pub mod snapshot;
+pub mod specialize;
 pub mod stats;
 pub mod telemetry;
 pub mod time;
@@ -61,7 +62,7 @@ pub mod time;
 pub use builder::{LazyLink, LazySystem, SystemBuilder};
 pub use component::{ClockAction, Component, EventSink, SimCtx};
 pub use config::{ComponentRegistry, ConfigError, SystemConfig};
-pub use engine::{Engine, EngineOn, HeapEngine, RunLimit, SimReport};
+pub use engine::{AutoEngine, Engine, EngineOn, HeapEngine, RunLimit, SimReport};
 pub use event::{
     downcast, ClockId, ComponentId, Payload, PayloadSlot, PortId, INLINE_PAYLOAD_BYTES, SELF_PORT,
 };
@@ -69,8 +70,9 @@ pub use fidelity::{Fidelity, ParseFidelityError};
 pub use parallel::{ParallelConfig, ParallelEngine, SyncMode, TransportKind};
 pub use params::{ParamError, Params};
 pub use partition::{PartitionStrategy, PartitionSummary};
-pub use queue::{BinaryHeapQueue, EventQueue, IndexedQueue, SimQueue};
+pub use queue::{AutoQueue, BinaryHeapQueue, EventQueue, IndexedQueue, SimQueue};
 pub use snapshot::{register_payload, Snapshot, SNAPSHOT_SCHEMA};
+pub use specialize::{ChainSpec, FuseKey, FusedGroup};
 pub use stats::{StatId, StatKind, StatsRegistry, StatsSnapshot};
 pub use telemetry::live::{LiveMetrics, MetricsServer, WatchdogCfg};
 pub use telemetry::{
@@ -84,7 +86,7 @@ pub mod prelude {
     pub use crate::builder::{LazyLink, LazySystem, SystemBuilder};
     pub use crate::component::{ClockAction, Component, SimCtx};
     pub use crate::config::{ComponentRegistry, SystemConfig};
-    pub use crate::engine::{Engine, RunLimit, SimReport};
+    pub use crate::engine::{AutoEngine, Engine, RunLimit, SimReport};
     pub use crate::event::{
         downcast, ClockId, ComponentId, Payload, PayloadSlot, PortId, SELF_PORT,
     };
@@ -93,6 +95,7 @@ pub mod prelude {
     pub use crate::params::Params;
     pub use crate::partition::{PartitionStrategy, PartitionSummary};
     pub use crate::snapshot::{register_payload, Snapshot};
+    pub use crate::specialize::{ChainSpec, FuseKey, FusedGroup};
     pub use crate::stats::StatId;
     pub use crate::telemetry::live::{LiveMetrics, MetricsServer, WatchdogCfg};
     pub use crate::telemetry::{TelemetryOptions, TelemetrySpec};

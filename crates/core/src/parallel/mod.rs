@@ -673,6 +673,7 @@ impl ParallelEngine {
         let mut rounds = 0u64;
         let mut seed = 0u64;
         let mut profile: Option<EngineProfile> = None;
+        let specialized = self.kernels.iter().any(|k| k.specialized);
         for (rank, mut kernel) in self.kernels.into_iter().enumerate() {
             let info = &self.infos[rank];
             // Flushes each rank's buffered trace in rank order — the merged
@@ -718,6 +719,8 @@ impl ParallelEngine {
             profile,
             series: None,
             final_state_hash,
+            queue_backend: Some("indexed".to_string()),
+            specialized,
         };
         self.spec.collect_run(
             seed,

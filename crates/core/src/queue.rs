@@ -86,6 +86,13 @@ pub trait SimQueue: Default {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+    /// A concrete-backend handle for fused batch delivery (see
+    /// [`SinkRef`](crate::specialize::SinkRef)); lets the monomorphized group
+    /// loop push without a virtual call per event.
+    fn sink_ref(&mut self) -> crate::specialize::SinkRef<'_>;
+    /// The backend actually in use, for run manifests and bench metadata.
+    /// [`AutoQueue`] reports `"heap->indexed"` after migrating.
+    fn backend_name(&self) -> &'static str;
 }
 
 /// The engine's default queue.
@@ -202,6 +209,13 @@ impl SimQueue for BinaryHeapQueue {
     fn len(&self) -> usize {
         BinaryHeapQueue::len(self)
     }
+    #[inline]
+    fn sink_ref(&mut self) -> crate::specialize::SinkRef<'_> {
+        crate::specialize::SinkRef::Heap(self)
+    }
+    fn backend_name(&self) -> &'static str {
+        "heap"
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -220,6 +234,22 @@ const WORDS: usize = RING / 64;
 #[inline]
 fn bucket_of(t: SimTime) -> u64 {
     t.as_ps() >> SHIFT
+}
+
+/// The total-order key of an event, packed into one integer — valid only for
+/// comparing events *within one bucket* (equal `time >> SHIFT`), where the
+/// low `SHIFT` time bits plus the class bit and the `(src, seq)` tie-break
+/// decide the full `(time, class, tie)` order. One unsigned compare replaces
+/// a lexicographic walk whose time/class legs are usually equal (events in a
+/// bucket bunch at the same instant), so the per-bucket sort runs on
+/// predictable branches. Layout: `time_low:10 | class:1 | src:32 | seq:64`.
+#[inline]
+fn packed_bucket_key(e: &ScheduledEvent) -> u128 {
+    let t = e.time.as_ps() & ((1u64 << SHIFT) - 1);
+    ((t as u128) << 97)
+        | ((e.class as u128) << 96)
+        | ((e.tie.src.0 as u128) << 64)
+        | e.tie.seq as u128
 }
 
 /// A deterministic min-priority event queue indexed by delivery time.
@@ -249,6 +279,23 @@ pub struct IndexedQueue {
     /// in-window case).
     far: BinaryHeap<HeapEntry>,
     len: usize,
+    /// Reused `(packed key, index)` buffer for the per-bucket sort: ordering
+    /// is decided on these 32-byte pairs, then applied to the 80-byte events
+    /// with one cycle-walk of swaps, instead of dragging the events
+    /// themselves through the sort.
+    sort_scratch: Vec<(u128, u32)>,
+    /// False only while `sort_scratch` holds a computed-but-unapplied
+    /// permutation of `cur` (between [`build_perm`](Self::build_perm) and
+    /// either [`apply_perm`](Self::apply_perm) or the gather fast path of
+    /// [`pop_time_run`](Self::pop_time_run)). Always true at public method
+    /// boundaries, so peeks may trust `cur`'s order.
+    cur_sorted: bool,
+    /// Grown-and-drained bucket allocations awaiting reuse. The window only
+    /// moves forward, so a drained slot's capacity would otherwise idle a
+    /// full ring wrap while the bucket at the push frontier re-grows from
+    /// zero through the whole realloc ladder; `push` seeds empty buckets
+    /// from this pool instead.
+    spare: Vec<Vec<ScheduledEvent>>,
 }
 
 impl Default for IndexedQueue {
@@ -262,6 +309,9 @@ impl Default for IndexedQueue {
             base: 0,
             far: BinaryHeap::new(),
             len: 0,
+            sort_scratch: Vec::new(),
+            cur_sorted: true,
+            spare: Vec::new(),
         }
     }
 }
@@ -279,7 +329,13 @@ impl IndexedQueue {
             self.cur_extra.push(HeapEntry(ev));
         } else if b - self.base < RING as u64 {
             let slot = (b & MASK) as usize;
-            self.ring[slot].push(ev);
+            let bucket = &mut self.ring[slot];
+            if bucket.capacity() == 0 {
+                if let Some(recycled) = self.spare.pop() {
+                    *bucket = recycled;
+                }
+            }
+            bucket.push(ev);
             self.occ[slot / 64] |= 1u64 << (slot % 64);
             self.ring_count += 1;
         } else {
@@ -330,19 +386,85 @@ impl IndexedQueue {
         if let Some((rb, slot)) = ringb {
             if rb == nb {
                 self.ring_count -= self.ring[slot].len();
-                // Swap recycles capacity in both directions: `cur` takes the
-                // bucket's contents, the bucket keeps `cur`'s old allocation.
+                // `cur` takes the bucket's contents; the bucket's slot gives
+                // up `cur`'s old allocation to the spare pool, where the next
+                // frontier bucket picks it up (this slot itself won't see a
+                // push again until the window wraps all the way around).
                 std::mem::swap(&mut self.cur, &mut self.ring[slot]);
                 self.occ[slot / 64] &= !(1u64 << (slot % 64));
+                let freed = std::mem::take(&mut self.ring[slot]);
+                if freed.capacity() > 0 && self.spare.len() < 4 {
+                    self.spare.push(freed);
+                }
             }
         }
         while self.far.peek().is_some_and(|e| bucket_of(e.0.time) == nb) {
             let e = self.far.pop().unwrap();
             self.cur.push(e.0);
         }
-        self.cur
-            .sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
+        // Decide the order on compact keys now; defer *moving* the events
+        // until a consumer actually needs sorted `cur` — a full single-
+        // instant drain ([`pop_time_run`]) gathers through the permutation
+        // instead and never pays the reorder.
+        self.build_perm();
         true
+    }
+
+    /// Compute the descending sort permutation of the freshly drained active
+    /// bucket into `sort_scratch`. Keys within one bucket pack into a `u128`
+    /// ([`packed_bucket_key`]), so the order is decided on a compact
+    /// `(key, source index)` array without touching the 80-byte events.
+    /// Leaves `cur_sorted = false` (perm computed, not applied) unless the
+    /// bucket is trivially sorted.
+    fn build_perm(&mut self) {
+        let n = self.cur.len();
+        if n < 2 {
+            self.cur_sorted = true;
+            return;
+        }
+        let perm = &mut self.sort_scratch;
+        perm.clear();
+        perm.extend(
+            self.cur
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (packed_bucket_key(e), i as u32)),
+        );
+        perm.sort_unstable_by_key(|&(key, _)| std::cmp::Reverse(key));
+        self.cur_sorted = false;
+    }
+
+    /// Apply the pending permutation: `cur[p] <- old cur[perm[p]]` for every
+    /// position `p`, walking each permutation cycle once (visited entries
+    /// marked `u32::MAX`) — O(n) event moves total, versus O(n log n) had
+    /// the events gone through the sort. Afterwards `cur` is descending
+    /// (minimum at the back).
+    fn apply_perm(&mut self) {
+        let n = self.cur.len();
+        let perm = &mut self.sort_scratch;
+        for start in 0..n {
+            if perm[start].1 == u32::MAX {
+                continue;
+            }
+            let mut i = start;
+            loop {
+                let j = perm[i].1 as usize;
+                perm[i].1 = u32::MAX;
+                if j == start {
+                    break;
+                }
+                self.cur.swap(i, j);
+                i = j;
+            }
+        }
+        self.cur_sorted = true;
+    }
+
+    #[inline]
+    fn ensure_sorted(&mut self) {
+        if !self.cur_sorted {
+            self.apply_perm();
+        }
     }
 
     /// Earliest pending event time, if any. O(1) while the active bucket is
@@ -392,6 +514,7 @@ impl IndexedQueue {
         if self.cur.is_empty() && self.cur_extra.is_empty() && !self.advance() {
             return None;
         }
+        self.ensure_sorted();
         // Both levels hold `bucket <= base`; take the smaller full key.
         let take_extra = match (self.cur.last(), self.cur_extra.peek()) {
             (Some(c), Some(x)) => x.0.key() < c.key(),
@@ -413,8 +536,47 @@ impl IndexedQueue {
     /// bucket, so this is a straight memcpy-style pop loop with no key
     /// comparisons beyond the time check.
     pub fn pop_time_run(&mut self, limit: SimTime, out: &mut Vec<ScheduledEvent>) -> usize {
-        if self.cur.is_empty() && self.cur_extra.is_empty() && !self.advance() {
-            return 0;
+        if self.cur.is_empty() && self.cur_extra.is_empty() {
+            if !self.advance() {
+                return 0;
+            }
+            if !self.cur_sorted {
+                // Freshly drained bucket with its permutation still pending.
+                // If the whole bucket is one drainable instant — every bucket
+                // is, for any workload with event spacing above the bucket
+                // width — gather each event once, permutation-order, straight
+                // into `out`: the reorder of `cur` and the element-by-element
+                // drain both disappear.
+                let n = self.cur.len();
+                let perm = &self.sort_scratch;
+                let tmin = self.cur[perm[n - 1].1 as usize].time;
+                if tmin > limit {
+                    self.apply_perm();
+                    return 0;
+                }
+                if self.cur[perm[0].1 as usize].time == tmin {
+                    let start = out.len();
+                    out.reserve(n);
+                    // SAFETY: `perm` holds each index in `0..n` exactly once,
+                    // so every element of `cur` is moved out exactly once;
+                    // `set_len(0)` then relinquishes ownership without
+                    // dropping, and `out`'s new length is backed by the `n`
+                    // writes into its reserved tail.
+                    unsafe {
+                        let src = self.cur.as_ptr();
+                        let dst = out.as_mut_ptr().add(start);
+                        for (k, &(_, idx)) in perm.iter().rev().enumerate() {
+                            std::ptr::copy_nonoverlapping(src.add(idx as usize), dst.add(k), 1);
+                        }
+                        self.cur.set_len(0);
+                        out.set_len(start + n);
+                    }
+                    self.cur_sorted = true;
+                    self.len -= n;
+                    return n;
+                }
+                self.apply_perm();
+            }
         }
         let t = match (self.cur.last(), self.cur_extra.peek()) {
             (Some(c), Some(x)) => c.time.min(x.0.time),
@@ -427,8 +589,16 @@ impl IndexedQueue {
         }
         let start = out.len();
         if self.cur_extra.is_empty() {
-            while self.cur.last().is_some_and(|e| e.time == t) {
-                out.push(self.cur.pop().expect("checked above"));
+            // Sorted descending, so if the *front* (maximum key) matches `t`
+            // the whole bucket is one instant — drain it wholesale, back to
+            // front, with no per-element time checks. Sub-nanosecond-period
+            // workloads hit this on nearly every bucket.
+            if self.cur.first().is_some_and(|e| e.time == t) {
+                out.extend(self.cur.drain(..).rev());
+            } else {
+                while self.cur.last().is_some_and(|e| e.time == t) {
+                    out.push(self.cur.pop().expect("checked above"));
+                }
             }
         } else {
             // Stragglers present: merge the two active-bucket levels with
@@ -561,6 +731,198 @@ impl SimQueue for IndexedQueue {
     #[inline]
     fn len(&self) -> usize {
         IndexedQueue::len(self)
+    }
+    #[inline]
+    fn sink_ref(&mut self) -> crate::specialize::SinkRef<'_> {
+        crate::specialize::SinkRef::Indexed(self)
+    }
+    fn backend_name(&self) -> &'static str {
+        "indexed"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AutoQueue — depth-adaptive backend selection.
+// ---------------------------------------------------------------------------
+
+/// Pending-set depth at which [`AutoQueue`] migrates from the heap to the
+/// calendar queue. DESIGN.md §5.2's hold-model sweep puts the crossover
+/// between depth 64 (1.13×) and 256 (1.50× for indexed); shallow queues —
+/// e.g. a ring with one token in flight — stay on the heap, whose tiny
+/// working set wins there.
+const AUTO_MIGRATE_DEPTH: usize = 192;
+
+// One long-lived instance per engine: the variants' size difference is
+// irrelevant, and boxing the calendar queue would put a pointer chase on
+// every push/pop.
+#[allow(clippy::large_enum_variant)]
+enum AutoInner {
+    Heap(BinaryHeapQueue),
+    Indexed(IndexedQueue),
+}
+
+/// A queue that picks its backend from the workload's observed depth: starts
+/// as a [`BinaryHeapQueue`], and the first time the pending set outgrows
+/// [`AUTO_MIGRATE_DEPTH`] it drains into an [`IndexedQueue`] and stays
+/// there. The migration moves events in pop order through the same total
+/// order both backends share, so the delivered event sequence — and thus
+/// every downstream byte — is identical to either fixed backend.
+pub struct AutoQueue {
+    inner: AutoInner,
+    migrated: bool,
+}
+
+impl Default for AutoQueue {
+    fn default() -> Self {
+        AutoQueue {
+            inner: AutoInner::Heap(BinaryHeapQueue::new()),
+            migrated: false,
+        }
+    }
+}
+
+impl AutoQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[cold]
+    fn migrate(&mut self) {
+        let AutoInner::Heap(heap) = &mut self.inner else {
+            return;
+        };
+        let mut indexed = IndexedQueue::new();
+        let mut heap = std::mem::take(heap);
+        while let Some(ev) = heap.pop() {
+            indexed.push(ev);
+        }
+        self.inner = AutoInner::Indexed(indexed);
+        self.migrated = true;
+    }
+
+    #[inline]
+    pub fn push(&mut self, ev: ScheduledEvent) {
+        match &mut self.inner {
+            AutoInner::Heap(q) => {
+                q.push(ev);
+                if q.len() > AUTO_MIGRATE_DEPTH {
+                    self.migrate();
+                }
+            }
+            AutoInner::Indexed(q) => q.push(ev),
+        }
+    }
+
+    #[inline]
+    pub fn next_time(&self) -> Option<SimTime> {
+        match &self.inner {
+            AutoInner::Heap(q) => q.next_time(),
+            AutoInner::Indexed(q) => q.next_time(),
+        }
+    }
+
+    #[inline]
+    pub fn pop_until(&mut self, limit: SimTime) -> Option<ScheduledEvent> {
+        match &mut self.inner {
+            AutoInner::Heap(q) => q.pop_until(limit),
+            AutoInner::Indexed(q) => q.pop_until(limit),
+        }
+    }
+
+    #[inline]
+    pub fn pop_before(&mut self, limit: SimTime) -> Option<ScheduledEvent> {
+        match &mut self.inner {
+            AutoInner::Heap(q) => q.pop_before(limit),
+            AutoInner::Indexed(q) => q.pop_before(limit),
+        }
+    }
+
+    #[inline]
+    pub fn pop(&mut self) -> Option<ScheduledEvent> {
+        match &mut self.inner {
+            AutoInner::Heap(q) => q.pop(),
+            AutoInner::Indexed(q) => q.pop(),
+        }
+    }
+
+    #[inline]
+    pub fn pop_time_run(&mut self, limit: SimTime, out: &mut Vec<ScheduledEvent>) -> usize {
+        match &mut self.inner {
+            AutoInner::Heap(q) => q.pop_time_run(limit, out),
+            AutoInner::Indexed(q) => q.pop_time_run(limit, out),
+        }
+    }
+
+    #[inline]
+    pub fn pop_if_key_before(&mut self, key: EventKey) -> Option<ScheduledEvent> {
+        match &mut self.inner {
+            AutoInner::Heap(q) => q.pop_if_key_before(key),
+            AutoInner::Indexed(q) => q.pop_if_key_before(key),
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            AutoInner::Heap(q) => q.len(),
+            AutoInner::Indexed(q) => q.len(),
+        }
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `"heap"` until migration, `"heap->indexed"` after.
+    pub fn backend_name(&self) -> &'static str {
+        if self.migrated {
+            "heap->indexed"
+        } else {
+            "heap"
+        }
+    }
+}
+
+impl SimQueue for AutoQueue {
+    #[inline]
+    fn push(&mut self, ev: ScheduledEvent) {
+        AutoQueue::push(self, ev)
+    }
+    #[inline]
+    fn next_time(&self) -> Option<SimTime> {
+        AutoQueue::next_time(self)
+    }
+    #[inline]
+    fn pop_until(&mut self, limit: SimTime) -> Option<ScheduledEvent> {
+        AutoQueue::pop_until(self, limit)
+    }
+    #[inline]
+    fn pop_before(&mut self, limit: SimTime) -> Option<ScheduledEvent> {
+        AutoQueue::pop_before(self, limit)
+    }
+    #[inline]
+    fn pop(&mut self) -> Option<ScheduledEvent> {
+        AutoQueue::pop(self)
+    }
+    #[inline]
+    fn pop_time_run(&mut self, limit: SimTime, out: &mut Vec<ScheduledEvent>) -> usize {
+        AutoQueue::pop_time_run(self, limit, out)
+    }
+    #[inline]
+    fn pop_if_key_before(&mut self, key: EventKey) -> Option<ScheduledEvent> {
+        AutoQueue::pop_if_key_before(self, key)
+    }
+    #[inline]
+    fn len(&self) -> usize {
+        AutoQueue::len(self)
+    }
+    #[inline]
+    fn sink_ref(&mut self) -> crate::specialize::SinkRef<'_> {
+        crate::specialize::SinkRef::Auto(self)
+    }
+    fn backend_name(&self) -> &'static str {
+        AutoQueue::backend_name(self)
     }
 }
 
@@ -810,6 +1172,44 @@ mod tests {
         // Same time, larger tie: pops.
         assert_eq!(q.pop_if_key_before(probe(2)).unwrap().tie.src.0, 1);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn auto_queue_migrates_and_stays_ordered() {
+        let mut auto = AutoQueue::new();
+        let mut reference = BinaryHeapQueue::new();
+        assert_eq!(auto.backend_name(), "heap");
+        // Push enough to cross the migration depth, with duplicate times and
+        // mixed classes so ordering across the migration is exercised.
+        for i in 0..(AUTO_MIGRATE_DEPTH as u64 + 100) {
+            let class = if i % 5 == 0 {
+                EventClass::Clock
+            } else {
+                EventClass::Message
+            };
+            let e = ev(i % 97 * 1000, class, (i % 7) as u32, i);
+            auto.push(e);
+            reference.push(ev(i % 97 * 1000, class, (i % 7) as u32, i));
+        }
+        assert_eq!(auto.backend_name(), "heap->indexed");
+        assert_eq!(auto.len(), AUTO_MIGRATE_DEPTH + 100);
+        loop {
+            match (auto.pop(), reference.pop()) {
+                (None, None) => break,
+                (a, b) => assert_eq!(a.unwrap().key(), b.unwrap().key()),
+            }
+        }
+        assert!(auto.is_empty());
+    }
+
+    #[test]
+    fn auto_queue_shallow_stays_heap() {
+        let mut auto = AutoQueue::new();
+        for i in 0..1000u64 {
+            auto.push(ev(i, EventClass::Message, 0, i));
+            auto.pop();
+        }
+        assert_eq!(auto.backend_name(), "heap");
     }
 
     #[test]

@@ -1,0 +1,563 @@
+//! Build-time static graph specialization.
+//!
+//! Structural simulation graphs are overwhelmingly *regular*: a torus is one
+//! router component stamped out `side²` times, a memory system is one bank
+//! model stamped out per bank. The generic engine pays for that generality on
+//! every delivery — a virtual `on_event` dispatch through a boxed trait
+//! object, a `SimCtx` assembled per event, a virtual queue push per send.
+//! This module recovers the regularity at build time, after the graph is
+//! wired but before `setup` runs:
+//!
+//! * **Fusion** ([`specialize_kernel`], part a): every homogeneous array of
+//!   components that opts in via [`Component::fuse_key`] is collapsed into
+//!   one [`SoaGroup`] holding the member state in a contiguous
+//!   struct-of-arrays vector. Delivery to any member of the group enters a
+//!   *monomorphized* batch loop ([`FusedGroup::deliver_batch`]) that inlines
+//!   the concrete `on_event` and the concrete queue push — one virtual call
+//!   per consecutive run of fused events instead of one (or more) per event.
+//! * **Chain flattening** (part b): components that declare themselves pure
+//!   constant-latency forwarders via [`Component::chain_forward`] get a
+//!   [`ForwardSpec`]: the engine performs their entire delivery (stat bump,
+//!   send-sequence assignment, latency fold) inline while walking the chain,
+//!   so an event crosses N forwarders with one queue round-trip instead of N.
+//! * **Queue auto-selection** (part c): [`AutoQueue`](crate::queue::AutoQueue)
+//!   picks the backend from the observed pending-set depth; see `queue.rs`.
+//!
+//! # Bit-identity
+//!
+//! Specialization is a *speed* transformation, never a semantic one. The
+//! fused batch loop performs exactly the per-event work of the generic path
+//! (straggler interleave via `pop_if_key_before`, per-member RNG/send-seq/
+//! stats, clock-resume draining), and members keep their own `Slot` — name,
+//! id, RNG stream, sequence cursor, link table — so snapshots, stats labels,
+//! and trace/profile attribution are per member, unchanged. Fusion is
+//! per-kernel, so parallel builds split groups at rank boundaries for free
+//! (slots are densely packed per rank).
+//!
+//! Chain flattening is legal only when every event the forwarder ever
+//! receives arrives on its declared in-port (enforced structurally: exactly
+//! the two declared ports may be wired, and violations of the behavioral
+//! contract panic at delivery). Folded hops assign the forwarder's send
+//! sequence early — at chain-head delivery time — which preserves the
+//! unfused assignment order because all traffic into the chain funnels
+//! through the head in queue order and equal-latency FIFO links keep it.
+//! Folding never advances a hop past the engine's current step bound: a hop
+//! that would land beyond the bound queues the *exact* event the unfused run
+//! would have queued, so queue contents — and therefore checkpoints and
+//! their state hashes — agree at every step boundary.
+//!
+//! Instrumented runs (tracing/profiling/sampling) keep the generic delivery
+//! path: traces stay per member and byte-identical to unfused runs.
+
+use crate::component::{CompState, Component, CtxSink, EventSink, LinkEnd, SimCtx, Slot};
+use crate::engine::{ClockState, Kernel};
+use crate::event::{
+    ClockId, ComponentId, EventClass, EventKey, EventKind, PortId, ScheduledEvent, TieBreak,
+};
+use crate::queue::{AutoQueue, BinaryHeapQueue, IndexedQueue};
+use crate::stats::{StatId, StatsRegistry};
+use crate::time::SimTime;
+use std::any::{Any, TypeId};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide default for whether builds specialize. `SystemBuilder::new`
+/// and `LazySystem::specialize` read it; the CLI's `--no-specialize` clears
+/// it at startup. Tests that need a specific setting must use the explicit
+/// per-builder flag instead of toggling this (tests run concurrently).
+static SPECIALIZE_DEFAULT: AtomicBool = AtomicBool::new(true);
+
+/// Set the process-wide specialization default (CLI opt-out hook).
+pub fn set_default(enabled: bool) {
+    SPECIALIZE_DEFAULT.store(enabled, Ordering::Relaxed);
+}
+
+/// The process-wide specialization default.
+pub fn default_enabled() -> bool {
+    SPECIALIZE_DEFAULT.load(Ordering::Relaxed)
+}
+
+/// Fusion opt-in token returned by [`Component::fuse_key`]. Components of
+/// the same concrete type (same `TypeId`) fuse into one group per kernel.
+pub struct FuseKey {
+    pub(crate) type_id: TypeId,
+    pub(crate) make: fn() -> Box<dyn FusedGroup>,
+}
+
+impl FuseKey {
+    /// The key for concrete component type `T`. A component's `fuse_key`
+    /// must name its own type: `FuseKey::of::<Self>()`.
+    pub fn of<T: Component + 'static>() -> FuseKey {
+        FuseKey {
+            type_id: TypeId::of::<T>(),
+            make: || Box::new(SoaGroup::<T>::new()),
+        }
+    }
+}
+
+/// Chain-flattening opt-in returned by [`Component::chain_forward`].
+///
+/// Declaring this is a behavioral contract: the component's `on_event` for
+/// `in_port` does exactly two things — bump the named counter (if any) once,
+/// and re-send the received payload *unchanged* on `out_port` with no extra
+/// delay (`ctx.send_slot(out_port, payload, SimTime::ZERO)`) — touching no
+/// other state, no RNG, no clocks, and it never receives events on any other
+/// port. The engine then performs that work inline while folding the chain.
+#[derive(Debug, Clone, Copy)]
+pub struct ChainSpec {
+    pub in_port: PortId,
+    pub out_port: PortId,
+    /// Name of the counter (registered in `setup` via `stat_counter`) bumped
+    /// once per forwarded event; `None` if the component keeps none.
+    pub stat: Option<&'static str>,
+}
+
+/// Resolved per-slot forwarding entry: arrival port, outgoing link, and the
+/// counter to bump per hop. Built by [`specialize_kernel`]; the stat id is
+/// resolved after `setup` (when stats exist) by [`resolve_forward_stats`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ForwardSpec {
+    pub(crate) in_port: PortId,
+    pub(crate) out: LinkEnd,
+    pub(crate) stat_name: Option<&'static str>,
+    pub(crate) stat: Option<StatId>,
+}
+
+/// A concrete-backend queue handle threaded into fused batch delivery. The
+/// enum match compiles to one predictable branch per push — the active
+/// variant never changes within a batch — letting LLVM inline the concrete
+/// push where a `&mut dyn EventSink` would force an indirect call.
+pub enum SinkRef<'a> {
+    Indexed(&'a mut IndexedQueue),
+    Heap(&'a mut BinaryHeapQueue),
+    Auto(&'a mut AutoQueue),
+}
+
+impl EventSink for SinkRef<'_> {
+    #[inline]
+    fn push(&mut self, ev: ScheduledEvent, _target_rank: u32) {
+        match self {
+            SinkRef::Indexed(q) => q.push(ev),
+            SinkRef::Heap(q) => q.push(ev),
+            SinkRef::Auto(q) => q.push(ev),
+        }
+    }
+}
+
+impl SinkRef<'_> {
+    #[inline]
+    pub(crate) fn pop_if_key_before(&mut self, key: EventKey) -> Option<ScheduledEvent> {
+        match self {
+            SinkRef::Indexed(q) => q.pop_if_key_before(key),
+            SinkRef::Heap(q) => q.pop_if_key_before(key),
+            SinkRef::Auto(q) => q.pop_if_key_before(key),
+        }
+    }
+
+    /// A shorter-lived handle to the same queue, so a per-delivery `SimCtx`
+    /// can take the sink by value while the batch loop keeps its own.
+    #[inline]
+    pub(crate) fn reborrow(&mut self) -> SinkRef<'_> {
+        match self {
+            SinkRef::Indexed(q) => SinkRef::Indexed(q),
+            SinkRef::Heap(q) => SinkRef::Heap(q),
+            SinkRef::Auto(q) => SinkRef::Auto(q),
+        }
+    }
+}
+
+/// Kernel state a fused group's batch loop needs, borrow-split from the
+/// kernel exactly like [`SimCtx`] is for a single delivery.
+pub struct BatchCtx<'a> {
+    pub(crate) slot_index: &'a [u32],
+    pub(crate) slots: &'a mut [Slot],
+    pub(crate) stats: &'a mut StatsRegistry,
+    pub(crate) clocks: &'a mut [ClockState],
+    pub(crate) resume_buf: &'a mut Vec<ClockId>,
+    pub(crate) now: SimTime,
+    /// Message deliveries performed by the group loop; folded into
+    /// `Kernel::events` by the caller.
+    pub(crate) events: u64,
+    pub(crate) queue: SinkRef<'a>,
+    /// Straggler sentinel, borrowed from the engine's per-batch local. A
+    /// straggler — an event that must interleave *between* elements of the
+    /// batch being delivered — can only exist once some handler pushes at
+    /// the batch instant itself (the instant was fully drained before
+    /// delivery began, so everything else pending is strictly later).
+    /// Monotone within a batch: set by the first push with `time <= now`,
+    /// never cleared (an early straggler may surface many elements later).
+    pub(crate) pushed_at_now: &'a mut bool,
+    /// The group being delivered to; the loop stops at the first event whose
+    /// target is not a member of this group.
+    pub(crate) group_id: u32,
+    /// A straggler that must be delivered before the next batch element;
+    /// the group loop stops and hands it back to the generic outer loop.
+    pub(crate) pending: Option<ScheduledEvent>,
+}
+
+impl BatchCtx<'_> {
+    /// Rare path: a fused member resumed a clock. Mirrors the drain in
+    /// `Kernel::with_ctx` exactly.
+    #[cold]
+    fn apply_clock_resumes(&mut self) {
+        while let Some(cid) = self.resume_buf.pop() {
+            let clk = &mut self.clocks[cid.0 as usize];
+            if !clk.active {
+                clk.active = true;
+                // Strictly after `now` by construction, so this push can
+                // never create a straggler — no sentinel update needed.
+                let next = (self.now / clk.period + 1) * clk.period.as_ps();
+                self.queue.push(
+                    crate::engine::clock_tick(clk, cid, SimTime::ps(next)),
+                    u32::MAX,
+                );
+            }
+        }
+    }
+}
+
+/// A fused homogeneous component array. Implemented by [`SoaGroup`]; boxed
+/// one per group in the kernel. Object-safe so the kernel can hold mixed
+/// member types, but each *implementation* is monomorphic over the member.
+pub trait FusedGroup: Send {
+    /// Borrow member `m` as a plain component (snapshot capture, generic
+    /// delivery on instrumented/parallel paths).
+    fn member_ref(&self, m: u32) -> &dyn Component;
+    /// Mutable flavor of [`member_ref`](Self::member_ref).
+    fn member_mut(&mut self, m: u32) -> &mut dyn Component;
+    /// Downcast hook for [`absorb`].
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+    fn len(&self) -> u32;
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Deliver the longest consecutive run of `batch[start..]` whose targets
+    /// are members of this group, starting at `start`; `(first_slot,
+    /// first_member)` is the caller's already-resolved location of
+    /// `batch[start]`'s target. Returns the number of batch elements consumed
+    /// (at least 1). Performs the same per-event work as the generic loop —
+    /// straggler checks included — but with the member's `on_event` and the
+    /// queue push statically dispatched.
+    fn deliver_batch(
+        &mut self,
+        batch: &mut [ScheduledEvent],
+        start: usize,
+        first_slot: u32,
+        first_member: u32,
+        ctx: &mut BatchCtx<'_>,
+    ) -> usize;
+    /// Deliver one event (already reduced to its instant and
+    /// [`EventKind::Message`] body) to `member` with its `on_event`
+    /// statically dispatched but none of the batch machinery. Engines use
+    /// this for a run of length one — e.g. a ring with a single token in
+    /// flight — where the cost must match a generic boxed delivery, not a
+    /// one-event batch. The caller counts the event and drains clock
+    /// resumes, exactly as it does around the generic path.
+    fn deliver_one(&mut self, member: u32, now: SimTime, kind: EventKind, ctx: OneCtx<'_>);
+}
+
+/// Kernel state for a single fused delivery ([`FusedGroup::deliver_one`]),
+/// borrow-split from the kernel exactly like [`SimCtx`] is.
+pub struct OneCtx<'a> {
+    pub(crate) slot: &'a mut Slot,
+    pub(crate) stats: &'a mut StatsRegistry,
+    pub(crate) clock_resumes: &'a mut Vec<ClockId>,
+    pub(crate) sink: CtxSink<'a>,
+}
+
+/// Struct-of-arrays member storage for one fused component type: the boxed
+/// per-slot `dyn Component`s collapse into one contiguous `Vec<T>` that the
+/// batch loop walks without pointer chasing.
+pub struct SoaGroup<T: Component + 'static> {
+    members: Vec<T>,
+}
+
+impl<T: Component + 'static> SoaGroup<T> {
+    pub(crate) fn new() -> Self {
+        SoaGroup {
+            members: Vec::new(),
+        }
+    }
+}
+
+/// Move `comp` into `group` (which must be the [`SoaGroup`] of `T`, i.e. the
+/// group made by this component's own [`FuseKey`]); returns the member
+/// index. This is the one-line body of every [`Component::fuse_into`]
+/// implementation.
+pub fn absorb<T: Component + 'static>(group: &mut dyn FusedGroup, comp: T) -> u32 {
+    let g = group
+        .as_any_mut()
+        .downcast_mut::<SoaGroup<T>>()
+        .expect("fuse_into group does not match the component's fuse_key type");
+    g.members.push(comp);
+    (g.members.len() - 1) as u32
+}
+
+impl<T: Component + 'static> FusedGroup for SoaGroup<T> {
+    fn member_ref(&self, m: u32) -> &dyn Component {
+        &self.members[m as usize]
+    }
+
+    fn member_mut(&mut self, m: u32) -> &mut dyn Component {
+        &mut self.members[m as usize]
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn len(&self) -> u32 {
+        self.members.len() as u32
+    }
+
+    fn deliver_batch(
+        &mut self,
+        batch: &mut [ScheduledEvent],
+        start: usize,
+        first_slot: u32,
+        first_member: u32,
+        ctx: &mut BatchCtx<'_>,
+    ) -> usize {
+        let (mut si, mut member) = (first_slot as usize, first_member);
+        let mut i = start;
+        loop {
+            let EventKind::Message { port, payload } = take_kind(&mut batch[i]) else {
+                unreachable!("clock tick delivered to a fused member (clock owners never fuse)");
+            };
+            ctx.events += 1;
+            let slot = &mut ctx.slots[si];
+            {
+                let mut sim = SimCtx {
+                    now: ctx.now,
+                    me: slot.id,
+                    me_rank: slot.rank,
+                    name: &slot.name,
+                    links: &slot.links,
+                    rng: &mut slot.rng,
+                    send_seq: &mut slot.send_seq,
+                    stats: ctx.stats,
+                    sink: CtxSink::Instant {
+                        queue: ctx.queue.reborrow(),
+                        now: ctx.now,
+                        pushed_at_now: &mut *ctx.pushed_at_now,
+                    },
+                    clock_resumes: ctx.resume_buf,
+                    tracer: None,
+                };
+                self.members[member as usize].on_event(port, payload, &mut sim);
+            }
+            if !ctx.resume_buf.is_empty() {
+                ctx.apply_clock_resumes();
+            }
+            i += 1;
+            if i >= batch.len() {
+                break;
+            }
+            let target = batch[i].target;
+            si = match ctx.slot_index.get(target.0 as usize) {
+                Some(&k) if k != u32::MAX => k as usize,
+                _ => break,
+            };
+            member = match ctx.slots[si].comp {
+                CompState::Fused { group, member } if group == ctx.group_id => member,
+                _ => break,
+            };
+            // Only a push at the batch instant can have created a straggler;
+            // until one happens (the `CtxSink::Instant` sentinel watches) the
+            // queue peek is provably `None` and skipped. The outer loop
+            // checked stragglers for `batch[start]` already.
+            if *ctx.pushed_at_now {
+                if let Some(s) = ctx.queue.pop_if_key_before(batch[i].key()) {
+                    ctx.pending = Some(s);
+                    break;
+                }
+            }
+        }
+        i - start
+    }
+
+    fn deliver_one(&mut self, member: u32, now: SimTime, kind: EventKind, ctx: OneCtx<'_>) {
+        let EventKind::Message { port, payload } = kind else {
+            unreachable!("clock tick delivered to a fused member (clock owners never fuse)");
+        };
+        let OneCtx {
+            slot,
+            stats,
+            clock_resumes,
+            sink,
+        } = ctx;
+        let mut sim = SimCtx {
+            now,
+            me: slot.id,
+            me_rank: slot.rank,
+            name: &slot.name,
+            links: &slot.links,
+            rng: &mut slot.rng,
+            send_seq: &mut slot.send_seq,
+            stats,
+            sink,
+            clock_resumes,
+            tracer: None,
+        };
+        self.members[member as usize].on_event(port, payload, &mut sim);
+    }
+}
+
+/// Swap just the event *body* out of the batch buffer (the key fields stay —
+/// run detection never looks at them again once delivery starts). Half the
+/// traffic of [`take_event`] for paths that only need the payload.
+#[inline]
+pub(crate) fn take_kind(slot: &mut ScheduledEvent) -> EventKind {
+    std::mem::replace(
+        &mut slot.kind,
+        EventKind::ClockTick {
+            clock: ClockId(0),
+            cycle: 0,
+        },
+    )
+}
+
+/// Swap an event out of the batch buffer, leaving a payload-free dummy.
+#[inline]
+pub(crate) fn take_event(slot: &mut ScheduledEvent) -> ScheduledEvent {
+    std::mem::replace(
+        slot,
+        ScheduledEvent {
+            time: SimTime::ZERO,
+            class: EventClass::Clock,
+            tie: TieBreak {
+                src: ComponentId(0),
+                seq: 0,
+            },
+            target: ComponentId(0),
+            kind: EventKind::ClockTick {
+                clock: ClockId(0),
+                cycle: 0,
+            },
+        },
+    )
+}
+
+/// Minimum number of same-type opt-in components before fusing pays for the
+/// group indirection.
+const MIN_GROUP_SIZE: u32 = 2;
+
+/// The build-time specialization pass. Runs per kernel, after links are
+/// wired and before `setup`; parallel builds call it once per rank, which is
+/// what splits fusion groups at rank boundaries (slots are per-rank dense).
+///
+/// Legality rules enforced here (see DESIGN.md §11):
+/// * components that own a clock never fuse and never forward (clock ticks
+///   must take the generic path);
+/// * a forwarder must have exactly its declared in/out ports wired (distinct
+///   ports, both connected, nothing else) — the structural half of the
+///   single-ingress requirement;
+/// * forwarding wins over fusion when a component declares both.
+pub(crate) fn specialize_kernel(k: &mut Kernel) {
+    let clock_owned: HashSet<u32> = k.clocks.iter().map(|c| c.comp.0).collect();
+
+    // (b) chain forwarding: resolve ChainSpecs against the wired link table.
+    let mut forward: Vec<Option<ForwardSpec>> = vec![None; k.slots.len()];
+    for (i, slot) in k.slots.iter().enumerate() {
+        if clock_owned.contains(&slot.id.0) {
+            continue;
+        }
+        let CompState::Boxed(Some(comp)) = &slot.comp else {
+            continue;
+        };
+        let Some(spec) = comp.chain_forward() else {
+            continue;
+        };
+        if spec.in_port == spec.out_port {
+            continue;
+        }
+        let declared = |p: usize| p == spec.in_port.0 as usize || p == spec.out_port.0 as usize;
+        let wired_ok = slot
+            .links
+            .iter()
+            .enumerate()
+            .all(|(p, l)| l.is_some() == declared(p))
+            && slot.links.len() > spec.in_port.0.max(spec.out_port.0) as usize;
+        if !wired_ok {
+            continue;
+        }
+        let out = slot.links[spec.out_port.0 as usize].expect("out port checked wired");
+        forward[i] = Some(ForwardSpec {
+            in_port: spec.in_port,
+            out,
+            stat_name: spec.stat,
+            stat: None,
+        });
+    }
+
+    // (a) fusion: count opt-in candidates per concrete type, then absorb
+    // every type that clears the threshold, in slot order (slot order ==
+    // member order, a determinism invariant snapshots rely on).
+    let mut counts: HashMap<TypeId, u32> = HashMap::new();
+    for (i, slot) in k.slots.iter().enumerate() {
+        if forward[i].is_some() || clock_owned.contains(&slot.id.0) {
+            continue;
+        }
+        if let CompState::Boxed(Some(comp)) = &slot.comp {
+            if let Some(key) = comp.fuse_key() {
+                *counts.entry(key.type_id).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut groups: Vec<Option<Box<dyn FusedGroup>>> = Vec::new();
+    let mut group_of: HashMap<TypeId, u32> = HashMap::new();
+    for (i, slot) in k.slots.iter_mut().enumerate() {
+        if forward[i].is_some() || clock_owned.contains(&slot.id.0) {
+            continue;
+        }
+        let (type_id, make) = match &slot.comp {
+            CompState::Boxed(Some(comp)) => match comp.fuse_key() {
+                Some(key) if counts.get(&key.type_id).copied().unwrap_or(0) >= MIN_GROUP_SIZE => {
+                    (key.type_id, key.make)
+                }
+                _ => continue,
+            },
+            _ => continue,
+        };
+        let gid = *group_of.entry(type_id).or_insert_with(|| {
+            groups.push(Some(make()));
+            (groups.len() - 1) as u32
+        });
+        let taken = std::mem::replace(
+            &mut slot.comp,
+            CompState::Fused {
+                group: gid,
+                member: u32::MAX,
+            },
+        );
+        let CompState::Boxed(Some(boxed)) = taken else {
+            unreachable!("matched Boxed(Some) above");
+        };
+        let member = boxed.fuse_into(groups[gid as usize].as_deref_mut().expect("group live"));
+        slot.comp = CompState::Fused { group: gid, member };
+    }
+
+    k.groups = groups;
+    k.forward = forward;
+    k.specialized = true;
+}
+
+/// Resolve forwarding stat names to live [`StatId`]s. Must run after
+/// `setup` (the registry is append-only and setup does the registering). A
+/// declared stat that setup never registered voids that slot's ForwardSpec:
+/// the generic path then does whatever the component actually does, keeping
+/// bit-identity over speed.
+pub(crate) fn resolve_forward_stats(k: &mut Kernel) {
+    for i in 0..k.forward.len() {
+        let Some(spec) = &k.forward[i] else { continue };
+        let Some(name) = spec.stat_name else { continue };
+        match k.stats.find(&k.slots[i].name, name) {
+            Some(id) => {
+                if let Some(spec) = &mut k.forward[i] {
+                    spec.stat = Some(id);
+                }
+            }
+            None => k.forward[i] = None,
+        }
+    }
+}

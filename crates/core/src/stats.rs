@@ -95,6 +95,17 @@ impl StatsRegistry {
         self.register(owner, name, StatKind::histogram())
     }
 
+    /// Look up an already registered stat by owner and name. Registration is
+    /// append-only (re-registering duplicates), so post-setup passes that
+    /// need a component's stat — e.g. chain-flattening resolving its per-hop
+    /// counter — must find the one setup made rather than register anew.
+    pub fn find(&self, owner: &str, name: &str) -> Option<StatId> {
+        self.stats
+            .iter()
+            .position(|s| s.owner == owner && s.name == name)
+            .map(|i| StatId(i as u32))
+    }
+
     /// Increment a counter by `n`.
     #[inline]
     pub fn add(&mut self, id: StatId, n: u64) {

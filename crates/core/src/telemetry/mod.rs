@@ -1109,6 +1109,16 @@ pub struct RunManifest {
     /// diffed directly.
     #[serde(default)]
     pub final_state_hash: Option<String>,
+    /// Whether build-time graph specialization (fusion, chain flattening,
+    /// queue auto-selection) was enabled for this invocation; `None` on
+    /// manifests written before the knob existed.
+    #[serde(default)]
+    pub specialize: Option<bool>,
+    /// Queue backend the (serial) engine actually ran on — `heap`,
+    /// `indexed`, or `heap->indexed` when the auto queue migrated. Absent
+    /// for multi-engine invocations like experiment sweeps.
+    #[serde(default)]
+    pub queue_backend: Option<String>,
     /// Free-form one-line observations about the run, one per entry — e.g.
     /// the adaptive-sync counters of each parallel rank. Greppable without
     /// parsing the profile dump.

@@ -192,6 +192,13 @@ impl Component for TrafficGen {
         let s = TrafficGenState::from_value(state).expect("malformed net.traffic state");
         self.sent = s.sent;
     }
+
+    fn fuse_key(&self) -> Option<FuseKey> {
+        Some(FuseKey::of::<Self>())
+    }
+    fn fuse_into(self: Box<Self>, group: &mut dyn FusedGroup) -> u32 {
+        sst_core::specialize::absorb(group, *self)
+    }
 }
 
 /// Register the network components for JSON-config simulations (a small

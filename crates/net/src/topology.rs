@@ -299,6 +299,13 @@ impl Component for TrafficNode {
             ctx.send(out, LazyTok { ttl: tok.ttl - 1 });
         }
     }
+
+    fn fuse_key(&self) -> Option<FuseKey> {
+        Some(FuseKey::of::<Self>())
+    }
+    fn fuse_into(self: Box<Self>, group: &mut dyn FusedGroup) -> u32 {
+        sst_core::specialize::absorb(group, *self)
+    }
 }
 
 /// Traffic knobs shared by every lazy generator.

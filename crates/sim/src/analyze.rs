@@ -11,7 +11,12 @@
 //!    bounds how fast the simulated system could possibly have run — adding
 //!    ranks cannot shorten it. The analyzer reports that path with
 //!    per-component attribution: which components the simulation's forward
-//!    progress actually serializes through.
+//!    progress actually serializes through. Traces from specialized runs
+//!    still record one hop per fused-group *member* (instrumented runs take
+//!    the generic delivery path), so attribution names every member
+//!    individually; on top of that the analyzer flags constant-latency
+//!    forwarder runs on the path — the structures the specializer fuses and
+//!    folds (DESIGN.md §11) — as chains, with per-member hop counts.
 //! 2. **Where did the wallclock go?** Given the `.profile.json` dump from
 //!    the same run (`--profile-dump`, or the trace's sibling file found
 //!    automatically), the report merges per-component handler wallclock with
@@ -44,6 +49,22 @@ pub struct Hop {
     pub kind: &'static str,
 }
 
+/// A maximal run of consecutive `deliver` hops on the critical path with
+/// constant inter-hop latency through more than one component — the
+/// signature of a forwarder chain the specializer folds (DESIGN.md §11).
+/// Members are reported individually so a fused chain never reads as one
+/// opaque blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainRun {
+    pub start_ps: u64,
+    pub end_ps: u64,
+    pub latency_ps: u64,
+    /// Total hops in the run (counting the entry hop).
+    pub hops: u64,
+    /// `(component, hops inside this run)`, in first-appearance order.
+    pub members: Vec<(String, u64)>,
+}
+
 /// Everything extracted from one trace file.
 #[derive(Debug, Clone)]
 pub struct Analysis {
@@ -55,6 +76,8 @@ pub struct Analysis {
     pub path: Vec<Hop>,
     /// `(component, hops on the critical path)`, descending by hops.
     pub attribution: Vec<(String, u64)>,
+    /// Constant-latency forwarder runs detected on the path.
+    pub chains: Vec<ChainRun>,
 }
 
 impl Analysis {
@@ -258,6 +281,7 @@ fn build_chains(names: Vec<String>, mut recs: Vec<Rec>, records: u64) -> Analysi
         .collect();
     attribution.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
 
+    let chains = detect_chains(&path);
     Analysis {
         records,
         delivers,
@@ -265,7 +289,60 @@ fn build_chains(names: Vec<String>, mut recs: Vec<Rec>, records: u64) -> Analysi
         clocks,
         path,
         attribution,
+        chains,
     }
+}
+
+/// Minimum hops before a constant-latency run is reported as a chain —
+/// below this, "constant" is indistinguishable from coincidence.
+const CHAIN_MIN_HOPS: usize = 4;
+
+/// Scan the critical path for maximal runs of consecutive `deliver` hops
+/// whose inter-hop latency is constant (zero-latency runs count: those are
+/// exactly what chain folding elides). Clock ticks break a run, as does a
+/// latency change; a run confined to a single component is a self-loop, not
+/// a forwarder chain, and is dropped.
+fn detect_chains(path: &[Hop]) -> Vec<ChainRun> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < path.len() {
+        if path[i].kind != "deliver" || path[i + 1].kind != "deliver" {
+            i += 1;
+            continue;
+        }
+        let latency = path[i + 1].t_ps - path[i].t_ps;
+        let mut j = i + 1;
+        while j + 1 < path.len()
+            && path[j + 1].kind == "deliver"
+            && path[j + 1].t_ps - path[j].t_ps == latency
+        {
+            j += 1;
+        }
+        let hops = j - i + 1;
+        if hops >= CHAIN_MIN_HOPS {
+            let mut members: Vec<(String, u64)> = Vec::new();
+            for h in &path[i..=j] {
+                match members.iter_mut().find(|(n, _)| *n == h.component) {
+                    Some((_, c)) => *c += 1,
+                    None => members.push((h.component.clone(), 1)),
+                }
+            }
+            if members.len() >= 2 {
+                out.push(ChainRun {
+                    start_ps: path[i].t_ps,
+                    end_ps: path[j].t_ps,
+                    latency_ps: latency,
+                    hops: hops as u64,
+                    members,
+                });
+            }
+            // The run's last hop may start the next run at a new latency.
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    out
 }
 
 // --- bottleneck table ------------------------------------------------------
@@ -430,6 +507,37 @@ pub fn report_value(
         "tail".into(),
         Value::Array(analysis.path[tail_from..].iter().map(hop_val).collect()),
     );
+    cp.insert(
+        "chains".into(),
+        Value::Array(
+            analysis
+                .chains
+                .iter()
+                .map(|c| {
+                    let mut m = Map::new();
+                    m.insert("start_ps".into(), num(c.start_ps));
+                    m.insert("end_ps".into(), num(c.end_ps));
+                    m.insert("latency_ps".into(), num(c.latency_ps));
+                    m.insert("hops".into(), num(c.hops));
+                    m.insert(
+                        "members".into(),
+                        Value::Array(
+                            c.members
+                                .iter()
+                                .map(|(name, hops)| {
+                                    let mut mm = Map::new();
+                                    mm.insert("component".into(), Value::String(name.clone()));
+                                    mm.insert("hops".into(), num(*hops));
+                                    Value::Object(mm)
+                                })
+                                .collect(),
+                        ),
+                    );
+                    Value::Object(m)
+                })
+                .collect(),
+        ),
+    );
     root.insert("critical_path".into(), Value::Object(cp));
 
     if let Some((handlers, ranks)) = tables {
@@ -514,6 +622,34 @@ pub fn render_text(
         for (name, hops) in analysis.attribution.iter().take(top) {
             let share = *hops as f64 / analysis.path.len().max(1) as f64;
             let _ = writeln!(out, "    {name:<28} {hops:>10} {:>6.1}%", share * 100.0);
+        }
+    }
+    if !analysis.chains.is_empty() {
+        let _ = writeln!(
+            out,
+            "  constant-latency chains on the path (fusable — see DESIGN.md §11):"
+        );
+        for c in &analysis.chains {
+            let mut names = c
+                .members
+                .iter()
+                .take(8)
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>()
+                .join(" ");
+            if c.members.len() > 8 {
+                let _ = write!(names, " …(+{} more)", c.members.len() - 8);
+            }
+            let _ = writeln!(
+                out,
+                "    {} member(s), {} hop(s), {} ps/hop, t=[{}..{}]: {}",
+                c.members.len(),
+                c.hops,
+                c.latency_ps,
+                c.start_ps,
+                c.end_ps,
+                names
+            );
         }
     }
     if let Some((handlers, ranks)) = tables {
@@ -778,6 +914,93 @@ mod tests {
         assert!((ranks[0].wait_share - 0.5).abs() < 1e-9);
     }
 
+    /// Trace of a 4-repeater forwarder chain (`a -> b -> c -> d -> a`,
+    /// 10 ps/hop) run for `laps` laps — the shape the specializer fuses.
+    fn chain_trace(laps: u64) -> String {
+        let comps = ["a", "b", "c", "d"];
+        let mut lines = vec![line_deliver(10, "env", "a", 0)];
+        let mut t = 10;
+        for _ in 0..laps {
+            for w in comps.windows(2) {
+                lines.push(line_sched(t, w[0], w[1], 0, t + 10));
+                lines.push(line_deliver(t + 10, w[0], w[1], 0));
+                t += 10;
+            }
+            lines.push(line_sched(t, "d", "a", 0, t + 10));
+            lines.push(line_deliver(t + 10, "d", "a", 0));
+            t += 10;
+        }
+        lines.join("\n")
+    }
+
+    #[test]
+    fn fused_chain_reports_per_member_hops() {
+        let a = analyze_trace_text(&chain_trace(3)).unwrap();
+        // 1 entry + 3 laps x 4 hops, every hop on the critical path.
+        assert_eq!(a.path.len(), 13);
+        assert_eq!(a.chains.len(), 1, "chains: {:?}", a.chains);
+        let c = &a.chains[0];
+        assert_eq!(c.latency_ps, 10);
+        assert_eq!(c.hops, 13);
+        assert_eq!((c.start_ps, c.end_ps), (10, 130));
+        // Per-member attribution, never one blob: each repeater is named
+        // with its own hop count.
+        let members: Vec<(&str, u64)> = c.members.iter().map(|(n, h)| (n.as_str(), *h)).collect();
+        assert_eq!(members, [("a", 4), ("b", 3), ("c", 3), ("d", 3)]);
+    }
+
+    #[test]
+    fn latency_change_splits_chain_runs() {
+        // a->b->c->d->e at 10 ps, then e->f->g->h->i at 25 ps: two runs
+        // sharing the boundary hop.
+        let comps = ["a", "b", "c", "d", "e", "f", "g", "h", "i"];
+        let mut lines = vec![line_deliver(0, "env", "a", 0)];
+        let mut t = 0;
+        for (k, w) in comps.windows(2).enumerate() {
+            let lat = if k < 4 { 10 } else { 25 };
+            lines.push(line_sched(t, w[0], w[1], 0, t + lat));
+            lines.push(line_deliver(t + lat, w[0], w[1], 0));
+            t += lat;
+        }
+        let a = analyze_trace_text(&lines.join("\n")).unwrap();
+        assert_eq!(a.chains.len(), 2);
+        assert_eq!(a.chains[0].latency_ps, 10);
+        assert_eq!(a.chains[0].members.len(), 5);
+        assert_eq!(a.chains[1].latency_ps, 25);
+        assert_eq!(a.chains[1].members.len(), 5);
+        assert_eq!(a.chains[0].end_ps, a.chains[1].start_ps);
+    }
+
+    #[test]
+    fn self_loops_and_short_runs_are_not_chains() {
+        // One component messaging itself at a constant period is a
+        // self-loop, not a forwarder chain.
+        let mut lines = vec![line_deliver(0, "env", "s", 0)];
+        for t in (0..50).step_by(10) {
+            lines.push(line_sched(t, "s", "s", 0, t + 10));
+            lines.push(line_deliver(t + 10, "s", "s", 0));
+        }
+        let a = analyze_trace_text(&lines.join("\n")).unwrap();
+        assert_eq!(a.path.len(), 6);
+        assert!(a.chains.is_empty(), "chains: {:?}", a.chains);
+
+        // A 3-hop constant-latency stretch is below the reporting
+        // threshold: too short to distinguish structure from coincidence.
+        let lines = [
+            line_deliver(0, "env", "x", 1),
+            line_sched(0, "x", "y", 1, 10),
+            line_deliver(10, "x", "y", 1),
+            line_sched(10, "y", "z", 1, 20),
+            line_deliver(20, "y", "z", 1),
+            line_sched(20, "z", "w", 1, 55),
+            line_deliver(55, "z", "w", 1),
+        ]
+        .join("\n");
+        let a = analyze_trace_text(&lines).unwrap();
+        assert_eq!(a.path.len(), 4);
+        assert!(a.chains.is_empty(), "chains: {:?}", a.chains);
+    }
+
     #[test]
     fn report_value_shape() {
         let text = [
@@ -796,6 +1019,10 @@ mod tests {
         let cp = v.get("critical_path").unwrap();
         assert_eq!(cp.get("length").and_then(Value::as_u64), Some(2));
         assert_eq!(cp.get("span_ps").and_then(Value::as_u64), Some(100));
+        assert_eq!(
+            cp.get("chains").and_then(Value::as_array).map(Vec::len),
+            Some(0)
+        );
         let b = v.get("bottlenecks").unwrap();
         assert!(b.get("handlers").and_then(Value::as_array).is_some());
         let txt = render_text(Path::new("t.jsonl"), &analysis, Some(&tables), 10);

@@ -125,6 +125,9 @@ pub enum Cmd {
         topo: Option<String>,
         /// `--topo-nodes N`: minimum component count for `--topo`.
         topo_nodes: Option<u32>,
+        /// `--no-specialize`: disable build-time graph specialization
+        /// (component fusion, chain flattening, queue auto-selection).
+        no_specialize: bool,
         telemetry: TelemetryCliOpts,
         checkpoint: CheckpointCliOpts,
         metrics: MetricsCliOpts,
@@ -136,6 +139,8 @@ pub enum Cmd {
         partition: PartitionCliOpts,
         transport: Option<TransportKind>,
         sync: Option<SyncMode>,
+        /// `--no-specialize`: disable build-time graph specialization.
+        no_specialize: bool,
         telemetry: TelemetryCliOpts,
         checkpoint: CheckpointCliOpts,
         metrics: MetricsCliOpts,
@@ -191,6 +196,7 @@ struct Parsed {
     sync: Option<SyncMode>,
     topo: Option<String>,
     topo_nodes: Option<u32>,
+    no_specialize: bool,
     checkpoint_every_ms: Option<f64>,
     checkpoint_dir: Option<PathBuf>,
     metrics_addr: Option<String>,
@@ -335,6 +341,10 @@ pub fn parse(args: &[String]) -> Result<Cmd, String> {
             "profile" => {
                 p.profile = true;
                 p.seen.push("profile");
+            }
+            "no-specialize" => {
+                p.no_specialize = true;
+                p.seen.push("no-specialize");
             }
             "fidelity" => {
                 p.fidelity = Some(value.unwrap().parse().map_err(|e| format!("{e}"))?);
@@ -517,6 +527,7 @@ pub fn parse(args: &[String]) -> Result<Cmd, String> {
                 "sync",
                 "topo",
                 "topo-nodes",
+                "no-specialize",
             ];
             allowed.extend_from_slice(TELEMETRY_FLAGS);
             allowed.extend_from_slice(CHECKPOINT_FLAGS);
@@ -533,6 +544,7 @@ pub fn parse(args: &[String]) -> Result<Cmd, String> {
                 sync: p.sync,
                 topo: p.topo.clone(),
                 topo_nodes: p.topo_nodes,
+                no_specialize: p.no_specialize,
                 telemetry: p.telemetry(),
                 checkpoint: p.checkpoint_opts()?,
                 metrics: p.metrics_opts()?,
@@ -547,6 +559,7 @@ pub fn parse(args: &[String]) -> Result<Cmd, String> {
                 "partition-profile",
                 "transport",
                 "sync",
+                "no-specialize",
             ];
             allowed.extend_from_slice(TELEMETRY_FLAGS);
             allowed.extend_from_slice(CHECKPOINT_FLAGS);
@@ -559,6 +572,7 @@ pub fn parse(args: &[String]) -> Result<Cmd, String> {
                 partition: p.partition_opts(),
                 transport: p.transport,
                 sync: p.sync,
+                no_specialize: p.no_specialize,
                 telemetry: p.telemetry(),
                 checkpoint: p.checkpoint_opts()?,
                 metrics: p.metrics_opts()?,
@@ -719,6 +733,7 @@ mod tests {
                 partition: PartitionCliOpts::default(),
                 transport: None,
                 sync: None,
+                no_specialize: false,
                 telemetry: TelemetryCliOpts {
                     profile: true,
                     ..Default::default()
@@ -735,6 +750,23 @@ mod tests {
                 chrome: Some("t.chrome.json".into()),
             }
         );
+    }
+
+    #[test]
+    fn no_specialize_parses_on_run_and_experiment() {
+        let cmd = parse(&args("experiment pdes --no-specialize")).unwrap();
+        let Cmd::Experiment { no_specialize, .. } = cmd else {
+            panic!("wrong command")
+        };
+        assert!(no_specialize);
+        let cmd = parse(&args("run cfg.json --no-specialize")).unwrap();
+        let Cmd::Run { no_specialize, .. } = cmd else {
+            panic!("wrong command")
+        };
+        assert!(no_specialize);
+        // Takes no value; restore does not accept it.
+        assert!(parse(&args("experiment pdes --no-specialize=yes")).is_err());
+        assert!(parse(&args("restore s.snap.json --no-specialize")).is_err());
     }
 
     #[test]

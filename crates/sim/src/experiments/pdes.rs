@@ -42,6 +42,13 @@ impl Component for Traffic {
             ctx.send(out, Token { ttl: tok.ttl - 1 });
         }
     }
+
+    fn fuse_key(&self) -> Option<FuseKey> {
+        Some(FuseKey::of::<Self>())
+    }
+    fn fuse_into(self: Box<Self>, group: &mut dyn FusedGroup) -> u32 {
+        sst_core::specialize::absorb(group, *self)
+    }
 }
 
 #[derive(Debug, Clone)]

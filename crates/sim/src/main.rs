@@ -23,6 +23,7 @@ fn usage() -> ExitCode {
                  [--partition-profile <run.profile.json>]
                  [--transport shm|tcp] [--sync fixed|adaptive]
                  [--topo torus|dragonfly|fat-tree] [--topo-nodes N]
+                 [--no-specialize]
                  [--trace <path.jsonl>] [--trace-comps <a,core*>]
                  [--trace-kinds deliver,sched,clock,mark]
                  [--stats-interval <ms>] [--profile]
@@ -41,6 +42,7 @@ fn usage() -> ExitCode {
                  [--partition block|round-robin|latency-cut]
                  [--partition-profile <run.profile.json>]
                  [--transport shm|tcp] [--sync fixed|adaptive]
+                 [--no-specialize]
                  [--trace <path.jsonl>] [--trace-comps ...]
                  [--trace-kinds ...] [--stats-interval <ms>] [--profile]
                  [--checkpoint-every <ms>] [--checkpoint-dir <dir>]
@@ -73,6 +75,9 @@ and every telemetry-enabled run writes a <path>.manifest.json run manifest.
 dir `checkpoints/`) whose canonical state hashes land in the manifest;
 `sst experiment pdes --checkpoint-every ...` checkpoints the scaling study
 (all its engines must agree on every hash).
+--no-specialize turns off build-time graph specialization (component
+fusion, constant-latency chain flattening, queue auto-selection); results
+are bit-identical either way — the flag exists for A/B timing and triage.
 --metrics-addr serves live Prometheus metrics at /metrics and a JSON run
 status at /status while the engines run (pdes/topo experiments and
 `sst run`); --watchdog-secs tunes how long a rank's GVT may sit still
@@ -103,31 +108,37 @@ fn main() -> ExitCode {
             sync,
             topo,
             topo_nodes,
+            no_specialize,
             telemetry,
             checkpoint,
             metrics,
-        } => cmd_experiment(
-            &args,
-            &id,
-            quick,
-            json,
-            fidelity,
-            EngineTuning {
-                ranks,
-                partition: partition.strategy,
-                profile: None,
-                transport,
-                sync,
-                topo,
-                topo_nodes,
-                checkpoint: None,
-                live: None,
-            },
-            &partition,
-            &telemetry,
-            &checkpoint,
-            &metrics,
-        ),
+        } => {
+            if no_specialize {
+                sst_core::specialize::set_default(false);
+            }
+            cmd_experiment(
+                &args,
+                &id,
+                quick,
+                json,
+                fidelity,
+                EngineTuning {
+                    ranks,
+                    partition: partition.strategy,
+                    profile: None,
+                    transport,
+                    sync,
+                    topo,
+                    topo_nodes,
+                    checkpoint: None,
+                    live: None,
+                },
+                &partition,
+                &telemetry,
+                &checkpoint,
+                &metrics,
+            )
+        }
         Cmd::Run {
             config,
             until_ms,
@@ -135,21 +146,27 @@ fn main() -> ExitCode {
             partition,
             transport,
             sync,
+            no_specialize,
             telemetry,
             checkpoint,
             metrics,
-        } => cmd_run(
-            &args,
-            &config,
-            until_ms,
-            ranks,
-            transport,
-            sync,
-            &partition,
-            &telemetry,
-            &checkpoint,
-            &metrics,
-        ),
+        } => {
+            if no_specialize {
+                sst_core::specialize::set_default(false);
+            }
+            cmd_run(
+                &args,
+                &config,
+                until_ms,
+                ranks,
+                transport,
+                sync,
+                &partition,
+                &telemetry,
+                &checkpoint,
+                &metrics,
+            )
+        }
         Cmd::Restore {
             snapshot,
             until_ms,
@@ -328,6 +345,7 @@ fn cmd_experiment(
         quick,
         checkpoints,
         final_hash,
+        None,
     )
 }
 
@@ -441,7 +459,10 @@ fn cmd_run(
             None => eng.run(limit),
         }
     } else {
-        let mut eng = Engine::with_telemetry(builder, spec.labeled("run"));
+        // The auto queue starts on the heap backend and migrates to the
+        // indexed ladder if the run's queue depth warrants it; the chosen
+        // backend lands in the run manifest.
+        let mut eng = AutoEngine::with_telemetry(builder, spec.labeled("run"));
         if let Some(m) = &live {
             eng.attach_live_metrics(m, "run");
         }
@@ -477,6 +498,7 @@ fn cmd_run(
         false,
         checkpoints,
         final_hash,
+        report.queue_backend,
     )
 }
 
@@ -696,6 +718,7 @@ fn cmd_restore(
         false,
         checkpoints,
         final_hash,
+        report.queue_backend,
     )
 }
 
@@ -730,6 +753,7 @@ fn finish_telemetry(
     quick: bool,
     checkpoints: Vec<CheckpointEntry>,
     final_state_hash: Option<String>,
+    queue_backend: Option<String>,
 ) -> ExitCode {
     let summary = match spec.finish() {
         Ok(Some(s)) => s,
@@ -804,6 +828,8 @@ fn finish_telemetry(
         profile_path: profile_path.as_ref().map(|p| p.display().to_string()),
         checkpoints,
         final_state_hash,
+        specialize: Some(sst_core::specialize::default_enabled()),
+        queue_backend,
         notes,
     };
     let manifest_path = with_ext(&base, "manifest.json");

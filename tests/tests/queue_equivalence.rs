@@ -192,14 +192,17 @@ proptest! {
 
     /// Same seed, same system: the engine over the indexed queue and the
     /// engine over the reference heap must produce reports that serialize
-    /// to the same bytes (wall-clock time excepted — it is a measurement,
-    /// not simulation output).
+    /// to the same bytes (wall-clock time and the queue-backend tag
+    /// excepted — one is a measurement, the other a record of the
+    /// configuration under test, not simulation output).
     #[test]
     fn reports_byte_identical_across_queues(seed in 0u64..1_000_000, n in 3u16..12) {
         let mut indexed = EngineOn::<IndexedQueue>::new(build(seed, n)).run(RunLimit::Exhaust);
         let mut heap = HeapEngine::new(build(seed, n)).run(RunLimit::Exhaust);
         indexed.wall_seconds = 0.0;
         heap.wall_seconds = 0.0;
+        indexed.queue_backend = None;
+        heap.queue_backend = None;
         let a = serde_json::to_string(&indexed).expect("serialize");
         let b = serde_json::to_string(&heap).expect("serialize");
         prop_assert_eq!(a, b);

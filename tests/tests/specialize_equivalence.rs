@@ -1,0 +1,240 @@
+//! Differential guarantees for build-time graph specialization: a
+//! specialized build (fused component arrays, flattened constant-latency
+//! chains, auto-selected queue backend) must be *bit-identical* to the
+//! plain build — same reports, same statistics, same canonical state
+//! hashes, same traces — on the serial engine, on parallel engines at
+//! every rank count and partition strategy, and through a mid-run
+//! checkpoint/restore that crosses a fused array. Also the analyze
+//! satellite: critical-path hop attribution over a fused chain's trace
+//! still names every member individually.
+
+use sst_bench::chain;
+use sst_core::prelude::*;
+use sst_core::telemetry::TelemetryOptions;
+use sst_sim::experiments::pdes;
+use std::path::PathBuf;
+
+fn pdes_params() -> pdes::Params {
+    let mut p = pdes::Params::quick();
+    p.side = 6;
+    p.tokens_per_node = 3;
+    p.ttl = 40;
+    p
+}
+
+/// The torus builder with the specialization knob pinned explicitly —
+/// never the process-global default, which other test threads may race on.
+fn torus(on: bool) -> SystemBuilder {
+    let mut b = pdes::build(&pdes_params());
+    b.specialize(on);
+    b
+}
+
+fn chain_sys(on: bool) -> SystemBuilder {
+    let mut b = chain(5, 40);
+    b.specialize(on);
+    b
+}
+
+/// Everything in a report except machine-dependent fields (wall clock,
+/// queue backend) and the specialization marker itself, with stats sorted
+/// by key. Bit-exact: floats go through their JSON rendering unrounded.
+fn fingerprint(report: &SimReport) -> (SimTime, u64, u64, Vec<String>, Option<String>) {
+    let mut stats: Vec<String> = report
+        .stats
+        .stats
+        .iter()
+        .map(|s| serde_json::to_string(s).expect("stat serializes"))
+        .collect();
+    stats.sort();
+    (
+        report.end_time,
+        report.events,
+        report.clock_ticks,
+        stats,
+        report.final_state_hash.clone(),
+    )
+}
+
+/// Run to completion, capturing checkpoints (so the fingerprint carries
+/// the canonical final state hash) and the snapshot documents themselves.
+fn run_capturing(b: SystemBuilder) -> (SimReport, Vec<Snapshot>) {
+    let mut snaps = Vec::new();
+    let report = Engine::with_telemetry(b, TelemetrySpec::disabled()).run_with_checkpoints(
+        RunLimit::Exhaust,
+        Some(SimTime(200_000)),
+        None,
+        &mut |s| snaps.push(s),
+    );
+    (report, snaps)
+}
+
+#[test]
+fn serial_fused_torus_matches_unfused() {
+    let (fused, fused_snaps) = run_capturing(torus(true));
+    let (plain, plain_snaps) = run_capturing(torus(false));
+    assert!(fused.specialized && !plain.specialized);
+    assert_eq!(fingerprint(&fused), fingerprint(&plain));
+    // Snapshot documents are byte-identical at every boundary: fusion may
+    // not leak into serialized state, order, or payload bytes.
+    assert!(fused_snaps.len() >= 2, "workload too short to checkpoint");
+    assert_eq!(fused_snaps.len(), plain_snaps.len());
+    for (f, p) in fused_snaps.iter().zip(&plain_snaps) {
+        assert_eq!(
+            f.to_json_pretty(),
+            p.to_json_pretty(),
+            "snapshot at t={} diverged",
+            f.time_ps
+        );
+    }
+}
+
+#[test]
+fn serial_fused_chain_matches_unfused() {
+    let (fused, fused_snaps) = run_capturing(chain_sys(true));
+    let (plain, plain_snaps) = run_capturing(chain_sys(false));
+    assert!(fused.specialized && !plain.specialized);
+    assert_eq!(fingerprint(&fused), fingerprint(&plain));
+    assert_eq!(fused_snaps.len(), plain_snaps.len());
+    for (f, p) in fused_snaps.iter().zip(&plain_snaps) {
+        assert_eq!(f.to_json_pretty(), p.to_json_pretty());
+    }
+}
+
+#[test]
+fn every_partition_strategy_and_rank_count_matches_serial_unfused() {
+    // The ground truth: a plain (unspecialized) serial run.
+    let (baseline, _) = run_capturing(torus(false));
+    for &strategy in PartitionStrategy::ALL {
+        for ranks in [2u32, 4] {
+            let eng = ParallelEngine::with_config(
+                torus(true),
+                ParallelConfig {
+                    ranks,
+                    partition: Some(strategy),
+                    ..ParallelConfig::default()
+                },
+            );
+            let mut snaps = Vec::new();
+            let par = eng.run_with_checkpoints(
+                RunLimit::Exhaust,
+                Some(SimTime(200_000)),
+                None,
+                &mut |s| snaps.push(s),
+            );
+            assert_eq!(
+                fingerprint(&par),
+                fingerprint(&baseline),
+                "{strategy} @ {ranks} ranks diverged from plain serial"
+            );
+        }
+    }
+}
+
+#[test]
+fn restore_crosses_fused_arrays_in_both_directions() {
+    let (baseline, snaps) = run_capturing(torus(false));
+    assert!(snaps.len() >= 2, "workload too short to checkpoint");
+    // A snapshot taken by the plain build restores into a fused build (and
+    // the other way around via the fused run's own snapshots below), and
+    // the resumed run finishes bit-identical to the uninterrupted one.
+    let mid = &snaps[snaps.len() / 2];
+    let resumed_fused = Engine::restore(torus(true), TelemetrySpec::disabled(), mid)
+        .run_with_checkpoints(RunLimit::Exhaust, None, None, &mut |_| {});
+    assert_eq!(
+        fingerprint(&resumed_fused),
+        fingerprint(&baseline),
+        "fused restore of a plain snapshot diverged"
+    );
+    let (_, fused_snaps) = run_capturing(torus(true));
+    let fmid = &fused_snaps[fused_snaps.len() / 2];
+    let resumed_plain = Engine::restore(torus(false), TelemetrySpec::disabled(), fmid)
+        .run_with_checkpoints(RunLimit::Exhaust, None, None, &mut |_| {});
+    assert_eq!(
+        resumed_plain.final_state_hash, baseline.final_state_hash,
+        "plain restore of a fused snapshot diverged"
+    );
+    // And a parallel engine picks up the same snapshot across rank counts.
+    for ranks in [2u32, 4] {
+        let par = ParallelEngine::with_telemetry(torus(true), ranks, TelemetrySpec::disabled())
+            .restore(fmid)
+            .run_with_checkpoints(RunLimit::Exhaust, None, None, &mut |_| {});
+        assert_eq!(
+            par.final_state_hash, baseline.final_state_hash,
+            "{ranks}-rank restore through a fused array diverged"
+        );
+    }
+}
+
+fn trace_spec(path: &std::path::Path) -> TelemetrySpec {
+    TelemetrySpec::new(TelemetryOptions {
+        trace_path: Some(path.to_path_buf()),
+        ..TelemetryOptions::default()
+    })
+    .expect("trace files open")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sst-specialize-{}-{name}", std::process::id()));
+    p
+}
+
+fn read_and_clean(path: &std::path::Path) -> String {
+    let text = std::fs::read_to_string(path).expect("trace readable");
+    std::fs::remove_file(path).ok();
+    std::fs::remove_file(sst_core::telemetry::chrome_trace_path(path)).ok();
+    text
+}
+
+#[test]
+fn traced_runs_are_byte_identical_fused_or_not() {
+    let fused_path = tmp("fused.trace.jsonl");
+    let plain_path = tmp("plain.trace.jsonl");
+    Engine::with_telemetry(chain_sys(true), trace_spec(&fused_path).labeled("run"))
+        .run(RunLimit::Exhaust);
+    Engine::with_telemetry(chain_sys(false), trace_spec(&plain_path).labeled("run"))
+        .run(RunLimit::Exhaust);
+    let fused = read_and_clean(&fused_path);
+    let plain = read_and_clean(&plain_path);
+    assert!(!fused.is_empty());
+    assert_eq!(fused, plain, "specialized trace diverged byte-for-byte");
+}
+
+#[test]
+fn analyze_attributes_fused_chain_hops_per_member() {
+    // A fused chain's trace still records one hop per *member*, so the
+    // critical path names every repeater individually — fusion never
+    // collapses attribution into one opaque group component.
+    let path = tmp("analyze.trace.jsonl");
+    Engine::with_telemetry(chain_sys(true), trace_spec(&path).labeled("run"))
+        .run(RunLimit::Exhaust);
+    let a = sst_sim::analyze::analyze_trace_text(&read_and_clean(&path)).expect("trace parses");
+    let comps: Vec<&str> = a.path.iter().map(|h| h.component.as_str()).collect();
+    for r in ["r0", "r1", "r2", "r3", "r4"] {
+        assert!(
+            comps.contains(&r),
+            "member {r} missing from path: {comps:?}"
+        );
+        assert!(
+            a.attribution.iter().any(|(c, n)| c == r && *n > 0),
+            "member {r} missing from attribution"
+        );
+    }
+    // Every lap crosses head -> r0..r4, so each member owns exactly as
+    // many path hops as the head.
+    let hops = |name: &str| a.attribution.iter().find(|(c, _)| c == name).unwrap().1;
+    let head = hops("head");
+    assert!(head > 1);
+    for r in ["r0", "r1", "r2", "r3", "r4"] {
+        assert_eq!(hops(r), head, "{r} hop count diverged from head");
+    }
+    // The analyzer also recognizes the structure the specializer folded:
+    // one constant-latency chain covering the whole path, reported with
+    // per-member hop counts.
+    assert_eq!(a.chains.len(), 1, "chains: {:?}", a.chains);
+    let c = &a.chains[0];
+    assert_eq!(c.latency_ps, 10_000);
+    assert_eq!(c.members.len(), 6);
+    assert!(c.members.iter().all(|(_, h)| *h >= head - 1));
+}
