@@ -246,6 +246,7 @@ fn main() {
         profile: None,
         checkpoint: None,
         live: None,
+        inject: None,
     };
     let (ring_tokens, ring_ttl) = if quick { (4, 60) } else { (8, 400) };
     let (hier_tokens, hier_ttl) = if quick { (4, 60) } else { (8, 400) };

@@ -434,6 +434,7 @@ fn main() {
         profile: None,
         checkpoint: None,
         live: None,
+        inject: None,
     };
     let ring_hops = if quick { 20_000 } else { 200_000 };
     let mut whole_engine = Vec::new();

@@ -1,0 +1,384 @@
+//! Fleet-level sweep throughput: the work-stealing scheduler, the
+//! content-addressed result cache, and fork-at-checkpoint prefix sharing,
+//! measured end to end through `sst_sim::sweep::run_sweep` — without the
+//! criterion harness, so it runs under the default feature set.
+//!
+//! Three sections:
+//!
+//! 1. **Worker scaling** — one cache-less sweep (>= 32 points at full
+//!    scale) at 1/2/4/8 workers. Results are asserted bit-identical to the
+//!    1-worker run before any row lands on disk, so every speedup number is
+//!    backed by a determinism check.
+//! 2. **Result cache** — the same sweep cold (empty cache directory) and
+//!    warm (rerun against the populated directory). The warm run must hit
+//!    on every point and, at full scale, finish >= 10x faster.
+//! 3. **Fork-at-checkpoint** — a sweep whose points share a long common
+//!    prefix, from scratch vs forked at the divergence instant. Reports are
+//!    asserted identical point-by-point; the fork run simulates the prefix
+//!    once instead of once per point.
+//!
+//! Results land in `BENCH_sweep.json` at the repo root (or the path given
+//! as the first argument). Pass `--quick` for a seconds-scale smoke run
+//! (CI) that still exercises every section and every assert.
+
+use serde::Serialize;
+use sst_sim::sweep::{run_sweep, ResultSource, SweepOptions, SweepSpec};
+use std::path::Path;
+
+/// Canonical JSON of every point report, for bit-identity assertions.
+fn fingerprints(out: &sst_sim::sweep::SweepOutcome) -> Vec<String> {
+    out.results
+        .iter()
+        .map(|r| r.report.to_value().to_json_string())
+        .collect()
+}
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sst_sweep_bench_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench scratch dir");
+    dir
+}
+
+#[derive(Serialize)]
+struct WorkerRow {
+    workers: usize,
+    /// Cache state for this row; worker scaling always runs cache-less.
+    cache: String,
+    points: usize,
+    steals: u64,
+    wall_seconds: f64,
+    configs_per_sec: f64,
+    speedup_vs_1_worker: f64,
+}
+
+#[derive(Serialize)]
+struct CacheRow {
+    /// `cold` (empty directory) or `warm` (rerun against the populated one).
+    cache: String,
+    workers: usize,
+    points: usize,
+    hits: u64,
+    misses: u64,
+    hit_rate: f64,
+    wall_seconds: f64,
+    configs_per_sec: f64,
+    speedup_vs_cold: f64,
+}
+
+#[derive(Serialize)]
+struct ForkRow {
+    mode: String,
+    workers: usize,
+    cache: String,
+    points: usize,
+    /// Distinct prefix simulations executed (0 in from-scratch mode).
+    prefix_runs: usize,
+    wall_seconds: f64,
+    configs_per_sec: f64,
+    speedup_vs_scratch: f64,
+}
+
+#[derive(Serialize)]
+struct WorkerSection {
+    host_cpus: u64,
+    rows: Vec<WorkerRow>,
+}
+
+#[derive(Serialize)]
+struct CacheSection {
+    host_cpus: u64,
+    rows: Vec<CacheRow>,
+}
+
+#[derive(Serialize)]
+struct ForkSection {
+    host_cpus: u64,
+    rows: Vec<ForkRow>,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: String,
+    worker_scaling: WorkerSection,
+    result_cache: CacheSection,
+    fork_at_checkpoint: ForkSection,
+    notes: Vec<String>,
+}
+
+fn main() {
+    let mut out_path = "BENCH_sweep.json".to_string();
+    let mut quick = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1);
+
+    // The benchmark sweep: a 4-axis grid, >= 32 points at full scale. Every
+    // point is an independent pdes torus, heavy enough (~ms each) that
+    // scheduling overhead is honest noise rather than the signal.
+    let (side, ttl, until_a, until_b) = if quick {
+        (4u32, 12u32, 1500u64, 2000u64)
+    } else {
+        (8, 200, 40_000, 48_000)
+    };
+    let spec_text = format!(
+        r#"{{
+  "schema": "sst-sweep-spec-v1",
+  "base": {{ "side": {side}, "ttl": {ttl}, "until_ns": {until_a} }},
+  "grid": {{
+    "tokens_per_node": [2, 3, 4, 5],
+    "ttl": [{ttl}, {}],
+    "seed": [1, 2],
+    "until_ns": [{until_a}, {until_b}]
+  }}
+}}"#,
+        ttl + 10
+    );
+    let spec = SweepSpec::parse(&spec_text).expect("bench spec parses");
+    let points = spec.points.len();
+    assert!(points >= 32, "bench sweep must cover >= 32 points");
+
+    // --- 1. worker scaling --------------------------------------------------
+    let mut worker_rows = Vec::new();
+    let mut base_fp: Vec<String> = Vec::new();
+    let mut base_wall = 0.0f64;
+    for workers in [1usize, 2, 4, 8] {
+        let out = run_sweep(
+            &spec,
+            &SweepOptions {
+                workers,
+                ..Default::default()
+            },
+        );
+        let fp = fingerprints(&out);
+        if workers == 1 {
+            base_fp = fp;
+            base_wall = out.wall_seconds;
+        } else {
+            assert_eq!(
+                fp, base_fp,
+                "sweep results changed between 1 and {workers} workers"
+            );
+        }
+        let r = WorkerRow {
+            workers,
+            cache: "disabled".to_string(),
+            points,
+            steals: out.sched.steals,
+            wall_seconds: out.wall_seconds,
+            configs_per_sec: out.configs_per_sec(),
+            speedup_vs_1_worker: base_wall / out.wall_seconds.max(1e-9),
+        };
+        eprintln!(
+            "[workers={}      ] {:>3} points   {:>8.1} configs/s   {:.2}x vs 1 worker   {} steals",
+            r.workers, r.points, r.configs_per_sec, r.speedup_vs_1_worker, r.steals
+        );
+        worker_rows.push(r);
+    }
+
+    // --- 2. result cache: cold vs warm --------------------------------------
+    let cache_dir = scratch_dir("cache");
+    let cache_workers = 4usize;
+    let open_cache = || sst_core::sweep::ResultCache::at(&cache_dir).expect("open bench cache dir");
+    let cold = run_sweep(
+        &spec,
+        &SweepOptions {
+            workers: cache_workers,
+            cache: open_cache(),
+            fork_at_ns: None,
+        },
+    );
+    assert_eq!(
+        cold.cache.hits, 0,
+        "cold run must start from an empty cache"
+    );
+    assert_eq!(cold.cache.stores as usize, points);
+    assert_eq!(fingerprints(&cold), base_fp, "cached run diverged");
+    let warm = run_sweep(
+        &spec,
+        &SweepOptions {
+            workers: cache_workers,
+            cache: open_cache(),
+            fork_at_ns: None,
+        },
+    );
+    assert_eq!(
+        warm.cache.hits as usize, points,
+        "warm rerun must hit on every point"
+    );
+    assert_eq!(warm.cache.misses, 0);
+    assert!(
+        warm.results.iter().all(|r| r.source == ResultSource::Cache),
+        "warm rerun must serve every point from the cache"
+    );
+    assert_eq!(
+        fingerprints(&warm),
+        base_fp,
+        "cache hit returned different bytes than the cold run"
+    );
+    let warm_speedup = cold.wall_seconds / warm.wall_seconds.max(1e-9);
+    assert!(
+        warm.configs_per_sec() >= cold.configs_per_sec(),
+        "warm rerun slower than cold: {:.1} vs {:.1} configs/s",
+        warm.configs_per_sec(),
+        cold.configs_per_sec()
+    );
+    if !quick {
+        assert!(
+            warm_speedup >= 10.0,
+            "warm cache rerun must be >= 10x faster than cold, got {warm_speedup:.1}x"
+        );
+    }
+    let mut cache_rows = Vec::new();
+    for (tag, out, speedup) in [("cold", &cold, 1.0), ("warm", &warm, warm_speedup)] {
+        let r = CacheRow {
+            cache: tag.to_string(),
+            workers: cache_workers,
+            points,
+            hits: out.cache.hits,
+            misses: out.cache.misses,
+            hit_rate: out.cache.hits as f64 / points as f64,
+            wall_seconds: out.wall_seconds,
+            configs_per_sec: out.configs_per_sec(),
+            speedup_vs_cold: speedup,
+        };
+        eprintln!(
+            "[cache {tag:<5}    ] {:>3} points   {:>8.1} configs/s   hit rate {:.0}%   {:.1}x vs cold",
+            r.points,
+            r.configs_per_sec,
+            100.0 * r.hit_rate,
+            r.speedup_vs_cold
+        );
+        cache_rows.push(r);
+    }
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    // --- 3. fork-at-checkpoint vs from-scratch ------------------------------
+    // Points share one long prefix (everything up to the injection instant)
+    // and diverge only in the injected burst and the run limit — the
+    // fork-friendliest shape, and the one a checkpoint-sharing DSE actually
+    // has. Fork legality: the injector fires strictly after the fork.
+    let (fside, fttl, fork_ns, inject_ns, funtil) = if quick {
+        (4u32, 12u32, 1200u64, 1400u64, 2000u64)
+    } else {
+        (8, 200, 30_000, 32_000, 40_000)
+    };
+    let fork_spec_text = format!(
+        r#"{{
+  "schema": "sst-sweep-spec-v1",
+  "base": {{ "side": {fside}, "ttl": {fttl}, "until_ns": {funtil},
+            "inject_at_ns": {inject_ns}, "inject_ttl": 10 }},
+  "grid": {{ "inject_tokens": [1, 2, 3, 4], "until_ns": [{funtil}, {}] }}
+}}"#,
+        funtil + 500
+    );
+    let fork_spec = SweepSpec::parse(&fork_spec_text).expect("fork spec parses");
+    let fork_points = fork_spec.points.len();
+    let fork_workers = 4usize;
+    let scratch = run_sweep(
+        &fork_spec,
+        &SweepOptions {
+            workers: fork_workers,
+            ..Default::default()
+        },
+    );
+    let forked = run_sweep(
+        &fork_spec,
+        &SweepOptions {
+            workers: fork_workers,
+            cache: sst_core::sweep::ResultCache::disabled(),
+            fork_at_ns: Some(fork_ns),
+        },
+    );
+    assert!(
+        forked
+            .results
+            .iter()
+            .all(|r| r.source == ResultSource::Fork),
+        "every point must resume from the shared prefix"
+    );
+    assert_eq!(
+        forked.prefix_runs, 1,
+        "the shared prefix must be simulated exactly once"
+    );
+    assert_eq!(
+        fingerprints(&forked),
+        fingerprints(&scratch),
+        "forked results diverged from from-scratch"
+    );
+    let fork_speedup = scratch.wall_seconds / forked.wall_seconds.max(1e-9);
+    if !quick {
+        assert!(
+            fork_speedup > 1.0,
+            "fork-at-checkpoint must beat from-scratch, got {fork_speedup:.2}x"
+        );
+    }
+    let mut fork_rows = Vec::new();
+    for (mode, out, speedup) in [("scratch", &scratch, 1.0), ("fork", &forked, fork_speedup)] {
+        let r = ForkRow {
+            mode: mode.to_string(),
+            workers: fork_workers,
+            cache: "disabled".to_string(),
+            points: fork_points,
+            prefix_runs: out.prefix_runs,
+            wall_seconds: out.wall_seconds,
+            configs_per_sec: out.configs_per_sec(),
+            speedup_vs_scratch: speedup,
+        };
+        eprintln!(
+            "[{mode:<7}        ] {:>3} points   {:>8.1} configs/s   {} prefix run(s)   {:.2}x vs scratch",
+            r.points, r.configs_per_sec, r.prefix_runs, r.speedup_vs_scratch
+        );
+        fork_rows.push(r);
+    }
+
+    let report = Report {
+        bench: "sweep".to_string(),
+        worker_scaling: WorkerSection {
+            host_cpus,
+            rows: worker_rows,
+        },
+        result_cache: CacheSection {
+            host_cpus,
+            rows: cache_rows,
+        },
+        fork_at_checkpoint: ForkSection {
+            host_cpus,
+            rows: fork_rows,
+        },
+        notes: vec![
+            format!(
+                "worker_scaling: one cache-less {points}-point pdes sweep at \
+                 1/2/4/8 workers on the work-stealing pool; results are \
+                 asserted bit-identical to the 1-worker run before any row is \
+                 recorded. On a host with fewer CPUs than workers the extra \
+                 workers time-slice and speedup flattens."
+            ),
+            "result_cache: the same sweep against an empty cache directory \
+             (cold) and again against the populated one (warm). The warm \
+             rerun must hit on every point, return byte-identical reports, \
+             and at full scale finish >= 10x faster (asserted)."
+                .to_string(),
+            "fork_at_checkpoint: points share the simulation prefix up to \
+             the fork instant; fork mode simulates it once, patches each \
+             branch's divergent injector parameters into the sealed \
+             snapshot, and resumes. Reports are asserted identical to \
+             from-scratch point by point."
+                .to_string(),
+            format!(
+                "host has {host_cpus} CPU(s); every row records its worker count and cache state."
+            ),
+        ],
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
+    let out_path = Path::new(&out_path);
+    std::fs::write(out_path, json + "\n").expect("write bench report");
+    eprintln!("wrote {}", out_path.display());
+}

@@ -1180,6 +1180,19 @@ impl<Q: SimQueue + EventSink> EngineOn<Q> {
         report
     }
 
+    /// Deliver every event at or before `at`, capture the sealed state, and
+    /// discard the engine without finalizing components. This is the sweep
+    /// engine's shared-prefix entry point: the returned snapshot restores N
+    /// times into branches that diverge only after `at`. The capture uses
+    /// the same un-clamped `now` semantics as an intermediate capture from
+    /// [`EngineOn::run_with_checkpoints`], so restored branches stay
+    /// bit-identical to uninterrupted runs.
+    pub fn run_to_snapshot(mut self, at: SimTime, origin: Option<&Value>) -> Snapshot {
+        self.start();
+        self.step_bounded(at);
+        self.checkpoint(origin)
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.kernel.now

@@ -56,6 +56,7 @@ pub mod rng;
 pub mod snapshot;
 pub mod specialize;
 pub mod stats;
+pub mod sweep;
 pub mod telemetry;
 pub mod time;
 
@@ -74,6 +75,7 @@ pub use queue::{AutoQueue, BinaryHeapQueue, EventQueue, IndexedQueue, SimQueue};
 pub use snapshot::{register_payload, Snapshot, SNAPSHOT_SCHEMA};
 pub use specialize::{ChainSpec, FuseKey, FusedGroup};
 pub use stats::{StatId, StatKind, StatsRegistry, StatsSnapshot};
+pub use sweep::{run_jobs, CacheStats, CachedResult, ResultCache, SchedStats};
 pub use telemetry::live::{LiveMetrics, MetricsServer, WatchdogCfg};
 pub use telemetry::{
     EngineProfile, ProfileDump, RunManifest, StatsSeries, TelemetryOptions, TelemetrySpec,
@@ -97,6 +99,7 @@ pub mod prelude {
     pub use crate::snapshot::{register_payload, Snapshot};
     pub use crate::specialize::{ChainSpec, FuseKey, FusedGroup};
     pub use crate::stats::StatId;
+    pub use crate::sweep::{run_jobs, CachedResult, ResultCache};
     pub use crate::telemetry::live::{LiveMetrics, MetricsServer, WatchdogCfg};
     pub use crate::telemetry::{TelemetryOptions, TelemetrySpec};
     pub use crate::time::{Frequency, SimTime};

@@ -1,0 +1,592 @@
+//! Fleet-level sweep machinery: a work-stealing scheduler for independent
+//! simulations plus a content-addressed, on-disk result cache.
+//!
+//! One simulation explores one point; an architecture study explores
+//! thousands. This module supplies the two pieces every sweep driver needs:
+//!
+//! * [`run_jobs`] — run N independent jobs over a fixed worker pool with
+//!   per-worker deques and work stealing. Results come back **in job
+//!   order** regardless of completion order, so a sweep's output is
+//!   bit-identical at any worker count.
+//! * [`ResultCache`] — a directory of versioned JSON entries addressed by
+//!   the canonical FNV-1a config hash
+//!   ([`config_hash_hex`](crate::telemetry::config_hash_hex), the same
+//!   helper run manifests use). A hit serves the stored [`SimReport`] —
+//!   with `wall_seconds` zeroed, so cached bytes are deterministic —
+//!   instead of re-simulating. Anything unreadable, truncated, or carrying
+//!   the wrong schema/key is a *miss* (recompute and overwrite) with a
+//!   structured stderr warning, never a panic.
+//!
+//! The cache also stores shared-prefix snapshots for fork-at-checkpoint
+//! sweeps: the prefix's sealed [`Snapshot`] lands at
+//! `<state_hash>.snap.json` (the state hash doubles as the content
+//! address) with a small `prefix-<config_hash>.json` index pointing at it,
+//! so identical prefixes are simulated once across sweeps.
+
+use crate::engine::SimReport;
+use crate::snapshot::Snapshot;
+use crate::stats::StatsSnapshot;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+// ---------------------------------------------------------------------------
+// Work-stealing scheduler
+
+/// What the scheduler did, for bench reporting and tuning.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SchedStats {
+    /// Workers actually used (requested count clamped to the job count).
+    pub workers: usize,
+    /// Jobs executed.
+    pub jobs: usize,
+    /// Jobs a worker took from another worker's deque.
+    pub steals: u64,
+}
+
+/// Run `jobs` over `workers` OS threads and return their results **in job
+/// order**, with scheduler counters.
+///
+/// Each worker owns a deque of job indices, seeded round-robin; it pops its
+/// own deque from the front and, when empty, steals from the back of the
+/// other deques in a fixed scan order. Jobs themselves live in take-once
+/// slots, so a job runs exactly once no matter how indices move between
+/// deques. Because results are scattered back by index, the output is
+/// independent of completion order — a sweep at 8 workers is bit-identical
+/// to the same sweep at 1.
+pub fn run_jobs<T, F>(jobs: Vec<F>, workers: usize) -> (Vec<T>, SchedStats)
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    let workers = workers.max(1).min(n.max(1));
+    // Take-once job slots: claiming a job empties its slot under a lock, so
+    // an index that lingers in some deque can never run the job twice.
+    let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w..n).step_by(workers).collect()))
+        .collect();
+    let steals = AtomicU64::new(0);
+    let mut collected: Vec<(usize, T)> = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|me| {
+                let slots = &slots;
+                let deques = &deques;
+                let steals = &steals;
+                s.spawn(move || {
+                    let mut ran: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let mut idx = deques[me].lock().unwrap().pop_front();
+                        let mut stolen = false;
+                        if idx.is_none() {
+                            for step in 1..workers {
+                                let victim = (me + step) % workers;
+                                if let Some(i) = deques[victim].lock().unwrap().pop_back() {
+                                    idx = Some(i);
+                                    stolen = true;
+                                    break;
+                                }
+                            }
+                        }
+                        // Every deque empty: no job can appear later (the
+                        // job set is fixed), so this worker is done.
+                        let Some(i) = idx else { break };
+                        let Some(job) = slots[i].lock().unwrap().take() else {
+                            continue;
+                        };
+                        if stolen {
+                            steals.fetch_add(1, Ordering::Relaxed);
+                        }
+                        ran.push((i, job()));
+                    }
+                    ran
+                })
+            })
+            .collect();
+        for h in handles {
+            collected.extend(h.join().expect("sweep worker panicked"));
+        }
+    });
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (i, r) in collected {
+        debug_assert!(results[i].is_none(), "job {i} ran twice");
+        results[i] = Some(r);
+    }
+    let ordered: Vec<T> = results
+        .into_iter()
+        .map(|r| r.expect("every job ran exactly once"))
+        .collect();
+    (
+        ordered,
+        SchedStats {
+            workers,
+            jobs: n,
+            steals: steals.load(Ordering::Relaxed),
+        },
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Content-addressed result cache
+
+/// Version tag carried by every cached sweep result.
+pub const SWEEP_RESULT_SCHEMA: &str = "sst-sweep-result-v1";
+/// Version tag carried by every prefix-index entry.
+pub const SWEEP_PREFIX_SCHEMA: &str = "sst-sweep-prefix-v1";
+
+/// One cached sweep result: the full [`SimReport`] plus the final state
+/// hash and stats snapshot surfaced at the top level for cheap inspection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CachedResult {
+    pub schema: String,
+    /// The canonical config hash this entry answers for (also its address).
+    pub config_hash: String,
+    /// The run's sealed final state hash.
+    pub final_state_hash: String,
+    /// The run's final statistics table.
+    pub stats: StatsSnapshot,
+    /// Wall-clock seconds the original simulation took. Kept *outside* the
+    /// report so the report's bytes stay deterministic.
+    pub wall_seconds: f64,
+    /// The report with `wall_seconds` zeroed — the one nondeterministic
+    /// field — so a cache hit is byte-identical to a cold run's
+    /// canonicalized report.
+    pub report: SimReport,
+}
+
+impl CachedResult {
+    /// Canonicalize `report` into a cache entry for `config_hash`: the
+    /// measured wallclock moves to [`CachedResult::wall_seconds`] and the
+    /// embedded report's is zeroed.
+    pub fn new(config_hash: &str, mut report: SimReport) -> CachedResult {
+        let wall = report.wall_seconds;
+        report.wall_seconds = 0.0;
+        CachedResult {
+            schema: SWEEP_RESULT_SCHEMA.to_string(),
+            config_hash: config_hash.to_string(),
+            final_state_hash: report.final_state_hash.clone().unwrap_or_default(),
+            stats: report.stats.clone(),
+            wall_seconds: wall,
+            report,
+        }
+    }
+}
+
+/// Index entry mapping a prefix *config* hash to the *state* hash (and thus
+/// file name) of its stored snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PrefixIndex {
+    schema: String,
+    config_hash: String,
+    state_hash: String,
+}
+
+/// Cache counters, for sweep summaries and the CI smoke assertion.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub stores: u64,
+    pub prefix_hits: u64,
+    pub prefix_misses: u64,
+}
+
+/// Why a lookup did not produce an entry.
+enum MissKind {
+    /// No file — the ordinary cold-cache case, not worth a warning.
+    Absent,
+    /// A file exists but is unusable; warned and treated as a miss.
+    Corrupt(String),
+}
+
+/// A directory of content-addressed sweep results and prefix snapshots.
+///
+/// All methods take `&self` and are safe to call from scheduler workers
+/// concurrently. Every failure mode — missing file, truncated JSON, wrong
+/// schema, entry keyed for a different config — degrades to a miss; the
+/// only I/O that can fail loudly is creating the directory in
+/// [`ResultCache::at`].
+pub struct ResultCache {
+    dir: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    prefix_hits: AtomicU64,
+    prefix_misses: AtomicU64,
+    tmp_seq: AtomicU64,
+}
+
+impl ResultCache {
+    /// A cache that never hits and never writes (`--no-cache`).
+    pub fn disabled() -> ResultCache {
+        ResultCache {
+            dir: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            prefix_hits: AtomicU64::new(0),
+            prefix_misses: AtomicU64::new(0),
+            tmp_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Open (creating if needed) the cache directory at `dir`.
+    pub fn at(dir: &Path) -> io::Result<ResultCache> {
+        std::fs::create_dir_all(dir)?;
+        let mut cache = ResultCache::disabled();
+        cache.dir = Some(dir.to_path_buf());
+        Ok(cache)
+    }
+
+    /// Whether lookups can ever hit (false for [`ResultCache::disabled`]).
+    pub fn is_enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// Snapshot of the hit/miss/store counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            prefix_hits: self.prefix_hits.load(Ordering::Relaxed),
+            prefix_misses: self.prefix_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn result_path(dir: &Path, config_hash: &str) -> PathBuf {
+        dir.join(format!("result-{config_hash}.json"))
+    }
+
+    fn prefix_path(dir: &Path, config_hash: &str) -> PathBuf {
+        dir.join(format!("prefix-{config_hash}.json"))
+    }
+
+    fn snap_path(dir: &Path, state_hash: &str) -> PathBuf {
+        dir.join(format!("{state_hash}.snap.json"))
+    }
+
+    /// Serve the result for `config_hash` from disk, or `None` on any kind
+    /// of miss (absent, unparseable, wrong schema, wrong key).
+    pub fn lookup(&self, config_hash: &str) -> Option<CachedResult> {
+        let Some(dir) = &self.dir else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        let path = Self::result_path(dir, config_hash);
+        match Self::read_result(&path, config_hash) {
+            Ok(entry) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry)
+            }
+            Err(kind) => {
+                if let MissKind::Corrupt(why) = kind {
+                    warn_miss(&path, &why);
+                }
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn read_result(path: &Path, config_hash: &str) -> Result<CachedResult, MissKind> {
+        let text = read_existing(path)?;
+        let entry: CachedResult =
+            serde_json::from_str(&text).map_err(|e| MissKind::Corrupt(format!("parse: {e}")))?;
+        if entry.schema != SWEEP_RESULT_SCHEMA {
+            return Err(MissKind::Corrupt(format!(
+                "schema `{}` (expected `{SWEEP_RESULT_SCHEMA}`)",
+                entry.schema
+            )));
+        }
+        if entry.config_hash != config_hash {
+            return Err(MissKind::Corrupt(format!(
+                "keyed for config {} (expected {config_hash})",
+                entry.config_hash
+            )));
+        }
+        Ok(entry)
+    }
+
+    /// Persist `entry` under its config hash. Write failures warn and drop
+    /// the entry — the sweep's results are already in memory.
+    pub fn store(&self, entry: &CachedResult) {
+        let Some(dir) = &self.dir else { return };
+        let path = Self::result_path(dir, &entry.config_hash);
+        let json = entry.to_value().to_json_string_pretty();
+        match self.write_atomic(&path, &json) {
+            Ok(()) => {
+                self.stores.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => eprintln!("[sst] sweep-cache: cannot write {}: {e}", path.display()),
+        }
+    }
+
+    /// Serve the shared-prefix snapshot recorded for `config_hash`, or
+    /// `None` on any kind of miss. The snapshot's recorded state hash must
+    /// match the index and the file name it was addressed by.
+    pub fn lookup_prefix(&self, config_hash: &str) -> Option<Snapshot> {
+        let Some(dir) = &self.dir else {
+            self.prefix_misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        let path = Self::prefix_path(dir, config_hash);
+        match Self::read_prefix(dir, &path, config_hash) {
+            Ok(snap) => {
+                self.prefix_hits.fetch_add(1, Ordering::Relaxed);
+                Some(snap)
+            }
+            Err(kind) => {
+                if let MissKind::Corrupt(why) = kind {
+                    warn_miss(&path, &why);
+                }
+                self.prefix_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn read_prefix(dir: &Path, path: &Path, config_hash: &str) -> Result<Snapshot, MissKind> {
+        let text = read_existing(path)?;
+        let index: PrefixIndex =
+            serde_json::from_str(&text).map_err(|e| MissKind::Corrupt(format!("parse: {e}")))?;
+        if index.schema != SWEEP_PREFIX_SCHEMA {
+            return Err(MissKind::Corrupt(format!(
+                "schema `{}` (expected `{SWEEP_PREFIX_SCHEMA}`)",
+                index.schema
+            )));
+        }
+        if index.config_hash != config_hash {
+            return Err(MissKind::Corrupt(format!(
+                "keyed for config {} (expected {config_hash})",
+                index.config_hash
+            )));
+        }
+        let snap_path = Self::snap_path(dir, &index.state_hash);
+        let snap_text = read_existing(&snap_path)?;
+        let snap = Snapshot::from_json(&snap_text)
+            .map_err(|e| MissKind::Corrupt(format!("snapshot {}: {e}", snap_path.display())))?;
+        if snap.state_hash != index.state_hash {
+            return Err(MissKind::Corrupt(format!(
+                "snapshot {} carries state hash {} (index says {})",
+                snap_path.display(),
+                snap.state_hash,
+                index.state_hash
+            )));
+        }
+        Ok(snap)
+    }
+
+    /// Persist a sealed shared-prefix snapshot: the snapshot itself at
+    /// `<state_hash>.snap.json` (content-addressed, shared across sweeps)
+    /// plus the `prefix-<config_hash>.json` index pointing at it.
+    pub fn store_prefix(&self, config_hash: &str, snap: &Snapshot) {
+        let Some(dir) = &self.dir else { return };
+        assert!(
+            !snap.state_hash.is_empty(),
+            "prefix snapshots must be sealed before caching"
+        );
+        let snap_path = Self::snap_path(dir, &snap.state_hash);
+        if !snap_path.exists() {
+            if let Err(e) = self.write_atomic(&snap_path, &snap.to_json_pretty()) {
+                eprintln!(
+                    "[sst] sweep-cache: cannot write {}: {e}",
+                    snap_path.display()
+                );
+                return;
+            }
+        }
+        let index = PrefixIndex {
+            schema: SWEEP_PREFIX_SCHEMA.to_string(),
+            config_hash: config_hash.to_string(),
+            state_hash: snap.state_hash.clone(),
+        };
+        let path = Self::prefix_path(dir, config_hash);
+        match self.write_atomic(&path, &index.to_value().to_json_string_pretty()) {
+            Ok(()) => {
+                self.stores.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => eprintln!("[sst] sweep-cache: cannot write {}: {e}", path.display()),
+        }
+    }
+
+    /// Write via a unique temp file + rename, so concurrent workers and
+    /// interrupted runs can never leave a half-written entry at the final
+    /// path (a torn entry would otherwise surface as a corruption warning
+    /// on the next lookup).
+    fn write_atomic(&self, path: &Path, text: &str) -> io::Result<()> {
+        let seq = self.tmp_seq.fetch_add(1, Ordering::Relaxed);
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(".tmp.{}.{seq}", std::process::id()));
+        let tmp = PathBuf::from(tmp);
+        std::fs::write(&tmp, text)?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+/// Read a file that may legitimately be absent (cold cache).
+fn read_existing(path: &Path) -> Result<String, MissKind> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => Ok(text),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Err(MissKind::Absent),
+        Err(e) => Err(MissKind::Corrupt(format!("read: {e}"))),
+    }
+}
+
+/// The structured corruption warning: one greppable line per bad entry.
+fn warn_miss(path: &Path, why: &str) {
+    eprintln!(
+        "[sst] sweep-cache: entry={} reason={why} — treating as miss, will recompute and overwrite",
+        path.display()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sst_sweep_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    fn report(events: u64) -> SimReport {
+        SimReport {
+            end_time: SimTime::ns(100),
+            events,
+            clock_ticks: 0,
+            wall_seconds: 1.25,
+            ranks: 1,
+            epochs: 0,
+            stats: StatsSnapshot::default(),
+            profile: None,
+            series: None,
+            final_state_hash: Some("deadbeefdeadbeef".to_string()),
+            queue_backend: Some("indexed".to_string()),
+            specialized: false,
+        }
+    }
+
+    #[test]
+    fn scheduler_orders_results_at_any_worker_count() {
+        let expect: Vec<usize> = (0..25).map(|i| i * 3).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let jobs: Vec<_> = (0..25)
+                .map(|i| {
+                    move || {
+                        // Uneven job sizes so completion order scrambles.
+                        std::thread::sleep(std::time::Duration::from_micros((i % 5) as u64 * 200));
+                        i * 3
+                    }
+                })
+                .collect();
+            let (results, stats) = run_jobs(jobs, workers);
+            assert_eq!(results, expect, "workers={workers}");
+            assert_eq!(stats.jobs, 25);
+            assert_eq!(stats.workers, workers.min(25));
+        }
+    }
+
+    #[test]
+    fn scheduler_handles_empty_and_single() {
+        let (results, stats) = run_jobs(Vec::<fn() -> u32>::new(), 4);
+        assert!(results.is_empty());
+        assert_eq!(stats.jobs, 0);
+        let (results, _) = run_jobs(vec![|| 7u32], 4);
+        assert_eq!(results, vec![7]);
+    }
+
+    #[test]
+    fn cache_roundtrip_preserves_canonical_bytes() {
+        let dir = tmp_dir("roundtrip");
+        let cache = ResultCache::at(&dir).unwrap();
+        let entry = CachedResult::new("00d1ce", report(42));
+        // Canonicalization zeroes the embedded wallclock but keeps it.
+        assert_eq!(entry.wall_seconds, 1.25);
+        assert_eq!(entry.report.wall_seconds, 0.0);
+        cache.store(&entry);
+        let hit = cache.lookup("00d1ce").expect("stored entry hits");
+        assert_eq!(
+            hit.report.to_value().to_json_string(),
+            entry.report.to_value().to_json_string()
+        );
+        assert_eq!(hit.final_state_hash, "deadbeefdeadbeef");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.stores), (1, 0, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn absent_and_disabled_are_quiet_misses() {
+        let dir = tmp_dir("absent");
+        let cache = ResultCache::at(&dir).unwrap();
+        assert!(cache.lookup("0000000000000000").is_none());
+        assert!(cache.lookup_prefix("0000000000000000").is_none());
+        let off = ResultCache::disabled();
+        assert!(!off.is_enabled());
+        assert!(off.lookup("0000000000000000").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_miss_instead_of_panicking() {
+        let dir = tmp_dir("corrupt");
+        let cache = ResultCache::at(&dir).unwrap();
+        // Truncated JSON.
+        std::fs::write(dir.join("result-aaaa.json"), "{\"schema\": \"sst-sw").unwrap();
+        assert!(cache.lookup("aaaa").is_none());
+        // Wrong schema.
+        let mut entry = CachedResult::new("bbbb", report(1));
+        entry.schema = "sst-sweep-result-v999".to_string();
+        std::fs::write(
+            dir.join("result-bbbb.json"),
+            entry.to_value().to_json_string_pretty(),
+        )
+        .unwrap();
+        assert!(cache.lookup("bbbb").is_none());
+        // Entry keyed for a different config hash.
+        let entry = CachedResult::new("cccc", report(1));
+        std::fs::write(
+            dir.join("result-dddd.json"),
+            entry.to_value().to_json_string_pretty(),
+        )
+        .unwrap();
+        assert!(cache.lookup("dddd").is_none());
+        // Recompute + overwrite path: storing over a corrupt entry heals it.
+        let fresh = CachedResult::new("aaaa", report(9));
+        cache.store(&fresh);
+        assert_eq!(cache.lookup("aaaa").unwrap().report.events, 9);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_prefix_entries_miss() {
+        let dir = tmp_dir("prefix");
+        let cache = ResultCache::at(&dir).unwrap();
+        // Index pointing at a snapshot that does not exist.
+        std::fs::write(
+            dir.join("prefix-eeee.json"),
+            PrefixIndex {
+                schema: SWEEP_PREFIX_SCHEMA.to_string(),
+                config_hash: "eeee".to_string(),
+                state_hash: "0123456789abcdef".to_string(),
+            }
+            .to_value()
+            .to_json_string_pretty(),
+        )
+        .unwrap();
+        assert!(cache.lookup_prefix("eeee").is_none());
+        // Garbage index.
+        std::fs::write(dir.join("prefix-ffff.json"), "not json at all").unwrap();
+        assert!(cache.lookup_prefix("ffff").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

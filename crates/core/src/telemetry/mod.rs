@@ -1218,6 +1218,26 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Canonical 16-hex-digit rendering of the FNV-1a config fingerprint.
+/// Every consumer of config-addressed storage — run manifests, the live
+/// `/status` endpoint, the sweep result cache — must derive keys through
+/// this one helper so the addressing scheme can never silently drift.
+pub fn config_hash_hex(bytes: &[u8]) -> String {
+    format!("{:016x}", fnv1a(bytes))
+}
+
+/// The config hash for a CLI invocation, in the canonical form
+/// `sst <command>|fidelity=<fidelity>|quick=<quick>`. Shared between the
+/// manifest written at exit and the hash published live on `/status`, so a
+/// scraper can correlate a running simulation with its manifest.
+pub fn manifest_config_hash(
+    command: &str,
+    fidelity: impl std::fmt::Display,
+    quick: bool,
+) -> String {
+    config_hash_hex(format!("sst {command}|fidelity={fidelity}|quick={quick}").as_bytes())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1416,6 +1436,24 @@ mod tests {
     fn fnv_hash_stable() {
         assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
         assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+
+    /// Golden hashes: cache keys and manifest hashes are derived from these
+    /// helpers, so any drift here silently invalidates every cache on disk.
+    /// The constants were computed once from the FNV-1a reference definition.
+    #[test]
+    fn config_hash_golden() {
+        assert_eq!(config_hash_hex(b""), "cbf29ce484222325");
+        assert_eq!(config_hash_hex(b"sweep-point"), "07e2a95d371127fc");
+        assert_eq!(
+            manifest_config_hash("run", "des", false),
+            "3cb2e466aa8a400a"
+        );
+        // The helper must agree with hashing the canonical string directly.
+        assert_eq!(
+            manifest_config_hash("run", "des", false),
+            config_hash_hex(b"sst run|fidelity=des|quick=false")
+        );
     }
 
     #[test]

@@ -162,6 +162,27 @@ pub enum Cmd {
         trace: PathBuf,
         chrome: Option<PathBuf>,
     },
+    /// Run a sweep spec (`sst-sweep-spec-v1`) over a work-stealing worker
+    /// pool, with a content-addressed result cache and optional
+    /// fork-at-checkpoint prefix sharing.
+    Sweep {
+        spec: PathBuf,
+        /// `--workers N`: worker-pool size (default: available parallelism).
+        workers: Option<usize>,
+        /// `--cache-dir <dir>`: result/prefix cache location (default
+        /// `sweep_cache/`).
+        cache_dir: Option<PathBuf>,
+        /// `--no-cache`: neither read nor write the cache.
+        no_cache: bool,
+        /// `--fork-at <ns>`: fork shared prefixes at this simulated
+        /// nanosecond (overrides the spec's `fork_at_ns`).
+        fork_at_ns: Option<u64>,
+        /// `--out-dir <dir>`: per-point manifests + summary destination
+        /// (default `sweep_out/`).
+        out_dir: Option<PathBuf>,
+        /// `--json`: print the summary JSON to stdout instead of the table.
+        json: bool,
+    },
     /// Post-hoc critical-path and bottleneck analysis over a trace JSONL
     /// (and, when present, its sibling profile dump).
     Analyze {
@@ -204,6 +225,11 @@ struct Parsed {
     profile_dump: Option<PathBuf>,
     report: Option<PathBuf>,
     top: Option<usize>,
+    workers: Option<usize>,
+    cache_dir: Option<PathBuf>,
+    no_cache: bool,
+    fork_at_ns: Option<u64>,
+    out_dir: Option<PathBuf>,
     seen: Vec<&'static str>,
 }
 
@@ -310,6 +336,10 @@ pub fn parse(args: &[String]) -> Result<Cmd, String> {
                 | "profile-dump"
                 | "report"
                 | "top"
+                | "workers"
+                | "cache-dir"
+                | "fork-at"
+                | "out-dir"
         );
         let value: Option<String> = if needs_value {
             match inline {
@@ -497,6 +527,40 @@ pub fn parse(args: &[String]) -> Result<Cmd, String> {
                 p.top = Some(n);
                 p.seen.push("top");
             }
+            "workers" => {
+                let n: usize = value
+                    .unwrap()
+                    .parse()
+                    .map_err(|_| "--workers needs an integer".to_string())?;
+                if n == 0 {
+                    return Err("--workers must be >= 1".into());
+                }
+                p.workers = Some(n);
+                p.seen.push("workers");
+            }
+            "cache-dir" => {
+                p.cache_dir = Some(PathBuf::from(value.unwrap()));
+                p.seen.push("cache-dir");
+            }
+            "no-cache" => {
+                p.no_cache = true;
+                p.seen.push("no-cache");
+            }
+            "fork-at" => {
+                let ns: u64 = value
+                    .unwrap()
+                    .parse()
+                    .map_err(|_| "--fork-at needs a nanosecond count".to_string())?;
+                if ns == 0 {
+                    return Err("--fork-at must be >= 1 ns".into());
+                }
+                p.fork_at_ns = Some(ns);
+                p.seen.push("fork-at");
+            }
+            "out-dir" => {
+                p.out_dir = Some(PathBuf::from(value.unwrap()));
+                p.seen.push("out-dir");
+            }
             other => return Err(format!("unknown flag `--{other}`")),
         }
         i += 1;
@@ -618,6 +682,32 @@ pub fn parse(args: &[String]) -> Result<Cmd, String> {
             Ok(Cmd::ValidateTrace {
                 trace: PathBuf::from(&pos[1]),
                 chrome: pos.get(2).map(PathBuf::from),
+            })
+        }
+        "sweep" => {
+            exactly(1, "sweep spec path")?;
+            if p.no_cache && p.cache_dir.is_some() {
+                return Err("--no-cache conflicts with --cache-dir".into());
+            }
+            p.reject_unless(
+                "sweep",
+                &[
+                    "workers",
+                    "cache-dir",
+                    "no-cache",
+                    "fork-at",
+                    "out-dir",
+                    "json",
+                ],
+            )?;
+            Ok(Cmd::Sweep {
+                spec: PathBuf::from(&pos[1]),
+                workers: p.workers,
+                cache_dir: p.cache_dir.clone(),
+                no_cache: p.no_cache,
+                fork_at_ns: p.fork_at_ns,
+                out_dir: p.out_dir.clone(),
+                json: p.json,
             })
         }
         "analyze" => {
@@ -959,6 +1049,53 @@ mod tests {
         let e = parse(&args("analyze t.jsonl --top 0")).unwrap_err();
         assert!(e.contains(">= 1"), "{e}");
         let e = parse(&args("analyze t.jsonl --ranks 2")).unwrap_err();
+        assert!(e.contains("does not accept"), "{e}");
+    }
+
+    #[test]
+    fn sweep_parses() {
+        let cmd = parse(&args(
+            "sweep grid.json --workers 4 --cache-dir cache --fork-at 1000 --out-dir out --json",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Cmd::Sweep {
+                spec: "grid.json".into(),
+                workers: Some(4),
+                cache_dir: Some("cache".into()),
+                no_cache: false,
+                fork_at_ns: Some(1000),
+                out_dir: Some("out".into()),
+                json: true,
+            }
+        );
+
+        let cmd = parse(&args("sweep grid.json --no-cache")).unwrap();
+        let Cmd::Sweep {
+            no_cache,
+            workers,
+            fork_at_ns,
+            ..
+        } = cmd
+        else {
+            panic!("wrong command")
+        };
+        assert!(no_cache);
+        assert_eq!(workers, None);
+        assert_eq!(fork_at_ns, None);
+
+        assert!(parse(&args("sweep")).is_err());
+        assert!(parse(&args("sweep a.json b.json")).is_err());
+        let e = parse(&args("sweep grid.json --workers 0")).unwrap_err();
+        assert!(e.contains(">= 1"), "{e}");
+        let e = parse(&args("sweep grid.json --fork-at 0")).unwrap_err();
+        assert!(e.contains(">= 1"), "{e}");
+        let e = parse(&args("sweep grid.json --no-cache --cache-dir c")).unwrap_err();
+        assert!(e.contains("conflicts"), "{e}");
+        let e = parse(&args("sweep grid.json --ranks 2")).unwrap_err();
+        assert!(e.contains("does not accept"), "{e}");
+        let e = parse(&args("run cfg.json --workers 2")).unwrap_err();
         assert!(e.contains("does not accept"), "{e}");
     }
 

@@ -85,6 +85,7 @@ fn lookahead_run(latency_ns: u64) -> (u64, f64) {
         profile: None,
         checkpoint: None,
         live: None,
+        inject: None,
     };
     let b = super::pdes::build_with_latency(&params, SimTime::ns(latency_ns));
     let report = ParallelEngine::new(b, 2).run(RunLimit::Exhaust);

@@ -11,6 +11,7 @@
 use crate::machines::{dse_memories, dse_node};
 use crate::table::Table;
 use sst_core::fidelity::Fidelity;
+use sst_core::sweep::run_jobs;
 use sst_core::telemetry::TelemetrySpec;
 use sst_cpu::isa::InstrStream;
 use sst_cpu::model::node_model_with;
@@ -70,31 +71,52 @@ pub struct Point {
     pub report: TechReport,
 }
 
-/// Run the full sweep.
+/// Run the full sweep over the work-stealing pool. Each design point is an
+/// independent job; results come back in enumeration order (app × memory ×
+/// width) whatever the worker count, so figs. 10–12 are bit-stable. Runs
+/// serially when telemetry is enabled — the trace sinks are per-run files
+/// and interleaving them would scramble record order.
 pub fn sweep(p: &Params) -> Vec<Point> {
-    let mut out = Vec::new();
+    let mut jobs: Vec<_> = Vec::new();
     for app in ["HPCCG", "LULESH"] {
         for mem in dse_memories() {
             for &w in &p.widths {
-                let cfg = dse_node(w, mem.clone()).with_fidelity(p.fidelity);
-                let label = format!("{app}/{}/{w}w", short_mem_name(&mem.name));
-                let mut node = node_model_with(cfg.clone(), p.telemetry.labeled(label));
-                let stream: Box<dyn InstrStream> = match app {
-                    "HPCCG" => sst_workloads::hpccg::solver(0, Problem::new(p.nx), p.hpccg_iters),
-                    _ => sst_workloads::lulesh::hydro(0, Problem::new(p.nx_lulesh), p.lulesh_steps),
-                };
-                let phase = node.run_phase(app, vec![stream]);
-                let report = evaluate(&cfg, &phase, &ProcessCost::n45());
-                out.push(Point {
-                    app,
-                    mem: short_mem_name(&mem.name),
-                    width: w,
-                    report,
+                let mem = mem.clone();
+                jobs.push(move || {
+                    let cfg = dse_node(w, mem.clone()).with_fidelity(p.fidelity);
+                    let label = format!("{app}/{}/{w}w", short_mem_name(&mem.name));
+                    let mut node = node_model_with(cfg.clone(), p.telemetry.labeled(label));
+                    let stream: Box<dyn InstrStream> = match app {
+                        "HPCCG" => {
+                            sst_workloads::hpccg::solver(0, Problem::new(p.nx), p.hpccg_iters)
+                        }
+                        _ => sst_workloads::lulesh::hydro(
+                            0,
+                            Problem::new(p.nx_lulesh),
+                            p.lulesh_steps,
+                        ),
+                    };
+                    let phase = node.run_phase(app, vec![stream]);
+                    let report = evaluate(&cfg, &phase, &ProcessCost::n45());
+                    Point {
+                        app,
+                        mem: short_mem_name(&mem.name),
+                        width: w,
+                        report,
+                    }
                 });
             }
         }
     }
-    out
+    let workers = if p.telemetry.is_enabled() {
+        1
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    let (points, _) = run_jobs(jobs, workers);
+    points
 }
 
 fn short_mem_name(full: &str) -> String {

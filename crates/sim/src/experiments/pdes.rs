@@ -51,6 +51,83 @@ impl Component for Traffic {
     }
 }
 
+/// A late token injection: at `at_ps`, the `injector` component pushes
+/// `tokens` fresh tokens with TTL `ttl` into the torus corner. Until that
+/// instant the injector is inert — its `tokens`/`ttl` fields are never
+/// read — which is exactly what makes them legal *divergent* parameters
+/// for fork-at-checkpoint sweeps: a shared prefix captured at or before
+/// `at_ps` can be patched per branch without perturbing the prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Inject {
+    pub at_ps: u64,
+    pub tokens: u32,
+    pub ttl: u32,
+}
+
+/// The wake-up marker the injector schedules to itself at setup.
+#[derive(Debug, Serialize, Deserialize)]
+struct Wake {
+    seq: u32,
+}
+
+/// Serialized injector state (component snapshot payload). The sweep
+/// driver patches `tokens`/`ttl` in this document when forking a shared
+/// prefix into divergent branches.
+#[derive(Debug, Serialize, Deserialize)]
+struct InjectorState {
+    at_ps: u64,
+    tokens: u32,
+    ttl: u32,
+    fired: bool,
+}
+
+/// The component behind [`Inject`]: sleeps until its wake-up, then emits
+/// the configured burst out port 0 (linked into the torus corner). Not
+/// fused — it is a singleton and its state must stay individually
+/// addressable in snapshots.
+struct Injector {
+    at: SimTime,
+    tokens: u32,
+    ttl: u32,
+    fired: bool,
+}
+
+impl Component for Injector {
+    fn setup(&mut self, ctx: &mut SimCtx<'_>) {
+        register_payload::<Token>("pdes.token");
+        register_payload::<Wake>("pdes.wake");
+        ctx.schedule_self(self.at, Wake { seq: 0 });
+    }
+
+    fn on_event(&mut self, _port: PortId, payload: PayloadSlot, ctx: &mut SimCtx<'_>) {
+        let _wake = downcast::<Wake>(payload);
+        if !self.fired {
+            self.fired = true;
+            for _ in 0..self.tokens {
+                ctx.send(PortId(0), Token { ttl: self.ttl });
+            }
+        }
+    }
+
+    fn save_state(&self) -> Value {
+        InjectorState {
+            at_ps: self.at.as_ps(),
+            tokens: self.tokens,
+            ttl: self.ttl,
+            fired: self.fired,
+        }
+        .to_value()
+    }
+
+    fn load_state(&mut self, state: &Value) {
+        let s = InjectorState::from_value(state).expect("malformed pdes.injector state");
+        self.at = SimTime::ps(s.at_ps);
+        self.tokens = s.tokens;
+        self.ttl = s.ttl;
+        self.fired = s.fired;
+    }
+}
+
 #[derive(Debug, Clone)]
 pub struct Params {
     /// Torus side (side*side components).
@@ -78,6 +155,8 @@ pub struct Params {
     /// Live metrics registry shared with a `--metrics-addr` endpoint; every
     /// engine run (serial and each rank count) reports into it in turn.
     pub live: Option<std::sync::Arc<LiveMetrics>>,
+    /// Optional late token injection (the sweep engine's divergence knob).
+    pub inject: Option<Inject>,
 }
 
 impl Default for Params {
@@ -94,6 +173,7 @@ impl Default for Params {
             profile: None,
             checkpoint: None,
             live: None,
+            inject: None,
         }
     }
 }
@@ -149,6 +229,21 @@ pub fn build_with_latency(p: &Params, south_latency: SimTime) -> SystemBuilder {
             b.link((me, PortId(2)), (south, PortId(3)), south_latency);
         }
     }
+    if let Some(inj) = &p.inject {
+        let injector = b.add(
+            "injector",
+            Injector {
+                at: SimTime::ps(inj.at_ps),
+                tokens: inj.tokens,
+                ttl: inj.ttl,
+                fired: false,
+            },
+        );
+        // Port 4 on the corner node is otherwise unused (tokens only ever
+        // forward out ports 0..3), so the burst enters without disturbing
+        // the torus wiring.
+        b.link((injector, PortId(0)), (ids[0], PortId(4)), SimTime::ns(1));
+    }
     b
 }
 
@@ -160,6 +255,10 @@ pub struct PdesOrigin {
     pub side: u32,
     pub tokens_per_node: u32,
     pub ttl: u32,
+    /// Injection recipe; absent in snapshots from before the sweep engine
+    /// (and in uninjected runs), so old documents still parse.
+    #[serde(default)]
+    pub inject: Option<Inject>,
 }
 
 /// `origin.kind` tag of pdes snapshots.
@@ -172,6 +271,7 @@ pub fn origin(p: &Params) -> Value {
         side: p.side,
         tokens_per_node: p.tokens_per_node,
         ttl: p.ttl,
+        inject: p.inject,
     }
     .to_value()
 }
@@ -183,6 +283,7 @@ pub fn params_from_origin(o: &PdesOrigin) -> Params {
         side: o.side,
         tokens_per_node: o.tokens_per_node,
         ttl: o.ttl,
+        inject: o.inject,
         ..Params::default()
     }
 }

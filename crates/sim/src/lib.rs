@@ -19,6 +19,7 @@ pub mod cli;
 pub mod experiments;
 pub mod machines;
 pub mod registry;
+pub mod sweep;
 pub mod table;
 pub mod validation;
 

@@ -3,14 +3,14 @@
 use serde::{Deserialize, Serialize, Value};
 use sst_core::prelude::*;
 use sst_core::telemetry::{
-    chrome_trace_path, fnv1a, live, CheckpointEntry, EngineProfile, ProfileDump, RunManifest,
-    TelemetrySummary, MANIFEST_SCHEMA, PROFILE_SCHEMA, SERIES_SCHEMA,
+    chrome_trace_path, live, manifest_config_hash, CheckpointEntry, EngineProfile, ProfileDump,
+    RunManifest, TelemetrySummary, MANIFEST_SCHEMA, PROFILE_SCHEMA, SERIES_SCHEMA,
 };
 use sst_sim::cli::{
     self, CheckpointCliOpts, Cmd, MetricsCliOpts, PartitionCliOpts, TelemetryCliOpts,
 };
 use sst_sim::experiments::{pdes, CheckpointPlan, EngineTuning};
-use sst_sim::{analyze, experiments, full_registry};
+use sst_sim::{analyze, experiments, full_registry, sweep, Table};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -53,6 +53,17 @@ fn usage() -> ExitCode {
                                                resume a checkpointed run; the
                                                resumed run is bit-identical
                                                to the uninterrupted one
+  sst sweep <spec.json> [--workers N] [--cache-dir <dir>] [--no-cache]
+                 [--fork-at <ns>] [--out-dir <dir>] [--json]
+                                               run a sweep spec
+                                               (sst-sweep-spec-v1: base +
+                                               grid/points) over a
+                                               work-stealing worker pool;
+                                               results are served from the
+                                               content-addressed cache when
+                                               present, and --fork-at shares
+                                               one simulated prefix across
+                                               points that agree on it
   sst validate-trace <trace.jsonl> [<trace.chrome.json>]
                                                check telemetry output parses
                                                (including any sibling
@@ -174,6 +185,23 @@ fn main() -> ExitCode {
             telemetry,
             checkpoint,
         } => cmd_restore(&args, &snapshot, until_ms, ranks, &telemetry, &checkpoint),
+        Cmd::Sweep {
+            spec,
+            workers,
+            cache_dir,
+            no_cache,
+            fork_at_ns,
+            out_dir,
+            json,
+        } => cmd_sweep(
+            &spec,
+            workers,
+            cache_dir.as_deref(),
+            no_cache,
+            fork_at_ns,
+            out_dir.as_deref(),
+            json,
+        ),
         Cmd::ValidateTrace { trace, chrome } => cmd_validate_trace(&trace, chrome.as_deref()),
         Cmd::Analyze {
             trace,
@@ -518,8 +546,7 @@ fn start_metrics(
         return Ok(None);
     };
     let m = Arc::new(LiveMetrics::new());
-    let canon = format!("sst {}|fidelity={fidelity}|quick={quick}", args.join(" "));
-    m.set_manifest_hash(&format!("{:016x}", fnv1a(canon.as_bytes())));
+    m.set_manifest_hash(&manifest_config_hash(&args.join(" "), fidelity, quick));
     let watchdog = match metrics.watchdog_secs {
         Some(s) => WatchdogCfg {
             stall_after: std::time::Duration::from_secs_f64(s),
@@ -722,6 +749,120 @@ fn cmd_restore(
     )
 }
 
+/// `sst sweep <spec>`: expand the spec, run every point over the
+/// work-stealing pool (cache hits served from disk, shared prefixes forked
+/// when `--fork-at`/`fork_at_ns` is set), write per-point manifests plus a
+/// sweep summary, and print the result table.
+fn cmd_sweep(
+    spec_path: &Path,
+    workers: Option<usize>,
+    cache_dir: Option<&Path>,
+    no_cache: bool,
+    fork_at_ns: Option<u64>,
+    out_dir: Option<&Path>,
+    json: bool,
+) -> ExitCode {
+    let text = match std::fs::read_to_string(spec_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", spec_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match sweep::SweepSpec::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{}: {e}", spec_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let workers = workers.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    let cache = if no_cache {
+        ResultCache::disabled()
+    } else {
+        let dir = cache_dir.unwrap_or(Path::new("sweep_cache"));
+        match ResultCache::at(dir) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("cannot open cache dir {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let outcome = sweep::run_sweep(
+        &spec,
+        &sweep::SweepOptions {
+            workers,
+            cache,
+            fork_at_ns,
+        },
+    );
+    let summary = sweep::SweepSummary::new(&outcome);
+    let out = out_dir.unwrap_or(Path::new("sweep_out"));
+    if let Err(e) = std::fs::create_dir_all(out) {
+        eprintln!("cannot create {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    for pm in &summary.results {
+        let path = out.join(format!("point-{:03}-{}.json", pm.index, pm.config_hash));
+        if let Err(e) = std::fs::write(&path, pm.to_value().to_json_string_pretty()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let summary_path = out.join("sweep_summary.json");
+    if let Err(e) = std::fs::write(&summary_path, summary.to_value().to_json_string_pretty()) {
+        eprintln!("cannot write {}: {e}", summary_path.display());
+        return ExitCode::FAILURE;
+    }
+    if json {
+        println!("{}", summary.to_value().to_json_string_pretty());
+    } else {
+        let mut t = Table::cols(
+            "sweep results (source: 0=cold 1=cache 2=fork)",
+            &["events", "end_us", "wall_ms", "source"],
+        );
+        for (i, r) in outcome.results.iter().enumerate() {
+            t.push(
+                format!("point-{i} {}", r.config_hash),
+                vec![
+                    r.report.events as f64,
+                    r.report.end_time.as_ps() as f64 / 1e6,
+                    r.wall_seconds * 1e3,
+                    match r.source {
+                        sweep::ResultSource::Cold => 0.0,
+                        sweep::ResultSource::Cache => 1.0,
+                        sweep::ResultSource::Fork => 2.0,
+                    },
+                ],
+            );
+        }
+        t.note(format!(
+            "{} points in {:.1} ms ({:.1} configs/s) on {} workers ({} steals)",
+            summary.points,
+            summary.wall_seconds * 1e3,
+            summary.configs_per_sec,
+            summary.workers,
+            summary.steals,
+        ));
+        t.note(format!(
+            "cache: {} hits, {} misses, {} stores; {} prefix run(s) shared",
+            summary.cache.hits, summary.cache.misses, summary.cache.stores, summary.prefix_runs,
+        ));
+        print!("{t}");
+    }
+    eprintln!(
+        "[sst] sweep: {} point manifest(s) + summary in {}",
+        summary.points,
+        out.display()
+    );
+    ExitCode::SUCCESS
+}
+
 /// Read a `<base>.profile.json` dump written by an earlier `--profile` run
 /// and merge its engine profiles into one weight source.
 fn load_partition_profile(path: &Path) -> Result<EngineProfile, String> {
@@ -792,7 +933,6 @@ fn finish_telemetry(
         );
     }
     let command = args.join(" ");
-    let canon = format!("sst {command}|fidelity={fidelity}|quick={quick}");
     // Per-rank adaptive-sync counters as greppable one-liners: the full
     // numbers live in the profile dump, but `grep sync: *.manifest.json`
     // answers "did adaptive sync do anything" without parsing it.
@@ -805,10 +945,11 @@ fn finish_telemetry(
             ));
         }
     }
+    let config_hash = manifest_config_hash(&command, fidelity, quick);
     let manifest = RunManifest {
         schema: MANIFEST_SCHEMA.to_string(),
         command,
-        config_hash: format!("{:016x}", fnv1a(canon.as_bytes())),
+        config_hash,
         fidelity: fidelity.to_string(),
         quick,
         seeds: summary.seeds.clone(),

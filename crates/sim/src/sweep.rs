@@ -1,0 +1,673 @@
+//! The sweep engine: run a grid of pdes configurations over a work-stealing
+//! worker pool, with a content-addressed result cache and fork-at-checkpoint
+//! prefix sharing.
+//!
+//! A sweep spec (`sst-sweep-spec-v1`) names a base configuration plus a
+//! `grid` (cartesian product over per-parameter value lists) and/or an
+//! explicit `points` list of overrides. Every expanded point is hashed —
+//! canonical JSON through [`config_hash_hex`], the same FNV-1a helper run
+//! manifests use — and that hash addresses the point's cache entry.
+//!
+//! With `fork_at_ns` set, points that agree on every *prefix* parameter
+//! share one prefix simulation: the prefix runs once to the fork instant,
+//! its sealed [`Snapshot`] is cached under its state hash, and each branch
+//! restores the snapshot with only its divergent parameters patched in.
+//! Legality: a parameter may diverge inside a prefix group only if the
+//! simulation provably never reads it before the fork instant — here
+//! `until_ns` (the run limit) always qualifies, and the injector's
+//! `inject_tokens`/`inject_ttl` qualify exactly when the injection fires
+//! strictly after the fork (`inject_at_ns > fork_at_ns`); otherwise they
+//! are folded into the prefix key and cannot diverge.
+
+use crate::experiments::pdes::{self, Inject};
+use serde::{Deserialize, Serialize, Value};
+use sst_core::prelude::*;
+use sst_core::sweep::{run_jobs, CacheStats, CachedResult, ResultCache, SchedStats};
+use sst_core::telemetry::config_hash_hex;
+
+/// Version tag of the sweep spec document.
+pub const SWEEP_SPEC_SCHEMA: &str = "sst-sweep-spec-v1";
+/// Version tag of the per-point manifest the driver writes.
+pub const SWEEP_POINT_SCHEMA: &str = "sst-sweep-point-v1";
+/// Version tag of the sweep-level summary document.
+pub const SWEEP_SUMMARY_SCHEMA: &str = "sst-sweep-summary-v1";
+
+/// One fully-resolved sweep point: the canonical configuration whose JSON
+/// rendering (declaration order, via the derive) is the cache key.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PointConfig {
+    /// Torus side (side*side traffic nodes).
+    pub side: u32,
+    pub tokens_per_node: u32,
+    pub ttl: u32,
+    /// Engine RNG seed.
+    pub seed: u64,
+    /// Run limit in simulated nanoseconds.
+    pub until_ns: u64,
+    /// Injection instant in simulated nanoseconds; 0 = no injector.
+    pub inject_at_ns: u64,
+    pub inject_tokens: u32,
+    pub inject_ttl: u32,
+}
+
+impl Default for PointConfig {
+    fn default() -> Self {
+        PointConfig {
+            side: 8,
+            tokens_per_node: 4,
+            ttl: 60,
+            seed: 0xC0DE_5EED,
+            until_ns: 2000,
+            inject_at_ns: 0,
+            inject_tokens: 0,
+            inject_ttl: 0,
+        }
+    }
+}
+
+impl PointConfig {
+    /// The point's canonical config hash — its cache address.
+    pub fn config_hash(&self) -> String {
+        config_hash_hex(self.to_value().to_json_string().as_bytes())
+    }
+}
+
+/// Apply one `key: value` override onto `cfg`.
+fn apply(cfg: &mut PointConfig, key: &str, value: &Value) -> Result<(), String> {
+    let num = |what: &str| {
+        value
+            .as_u64()
+            .ok_or_else(|| format!("sweep spec: `{what}` must be a non-negative integer"))
+    };
+    match key {
+        "side" => cfg.side = num(key)? as u32,
+        "tokens_per_node" => cfg.tokens_per_node = num(key)? as u32,
+        "ttl" => cfg.ttl = num(key)? as u32,
+        "seed" => cfg.seed = num(key)?,
+        "until_ns" => cfg.until_ns = num(key)?,
+        "inject_at_ns" => cfg.inject_at_ns = num(key)?,
+        "inject_tokens" => cfg.inject_tokens = num(key)? as u32,
+        "inject_ttl" => cfg.inject_ttl = num(key)? as u32,
+        other => return Err(format!("sweep spec: unknown parameter `{other}`")),
+    }
+    Ok(())
+}
+
+/// A parsed, fully-expanded sweep.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    pub points: Vec<PointConfig>,
+    /// Fork instant in simulated nanoseconds, when prefix sharing is on.
+    pub fork_at_ns: Option<u64>,
+}
+
+impl SweepSpec {
+    /// Parse and expand a spec document. Grid keys expand in sorted order
+    /// (later keys vary fastest), values in listed order, and explicit
+    /// `points` entries follow the grid — so the point order, and with it
+    /// the result order, is a pure function of the document.
+    pub fn parse(text: &str) -> Result<SweepSpec, String> {
+        let doc: Value = serde_json::from_str(text).map_err(|e| format!("sweep spec: {e}"))?;
+        let obj = doc
+            .as_object()
+            .ok_or("sweep spec: document must be a JSON object")?;
+        match obj.get("schema").and_then(|v| v.as_str()) {
+            Some(SWEEP_SPEC_SCHEMA) => {}
+            Some(other) => {
+                return Err(format!(
+                    "sweep spec: schema `{other}` (expected `{SWEEP_SPEC_SCHEMA}`)"
+                ))
+            }
+            None => return Err("sweep spec: missing `schema`".to_string()),
+        }
+        let mut base = PointConfig::default();
+        if let Some(b) = obj.get("base") {
+            let b = b
+                .as_object()
+                .ok_or("sweep spec: `base` must be an object")?;
+            for (k, v) in b.iter() {
+                apply(&mut base, k, v)?;
+            }
+        }
+        let mut points = Vec::new();
+        if let Some(grid) = obj.get("grid") {
+            let grid = grid
+                .as_object()
+                .ok_or("sweep spec: `grid` must be an object")?;
+            let mut axes: Vec<(&String, &Vec<Value>)> = Vec::new();
+            for (k, v) in grid.iter() {
+                let vals = v
+                    .as_array()
+                    .ok_or_else(|| format!("sweep spec: grid `{k}` must be an array"))?;
+                if vals.is_empty() {
+                    return Err(format!("sweep spec: grid `{k}` is empty"));
+                }
+                axes.push((k, vals));
+            }
+            axes.sort_by(|a, b| a.0.cmp(b.0));
+            let combos: usize = axes.iter().map(|(_, v)| v.len()).product();
+            for i in 0..combos {
+                let mut cfg = base.clone();
+                let mut rest = i;
+                // Last axis varies fastest: decompose from the right.
+                for (k, vals) in axes.iter().rev() {
+                    apply(&mut cfg, k, &vals[rest % vals.len()])?;
+                    rest /= vals.len();
+                }
+                points.push(cfg);
+            }
+        }
+        if let Some(list) = obj.get("points") {
+            let list = list
+                .as_array()
+                .ok_or("sweep spec: `points` must be an array")?;
+            for (i, entry) in list.iter().enumerate() {
+                let entry = entry
+                    .as_object()
+                    .ok_or_else(|| format!("sweep spec: points[{i}] must be an object"))?;
+                let mut cfg = base.clone();
+                for (k, v) in entry.iter() {
+                    apply(&mut cfg, k, v)?;
+                }
+                points.push(cfg);
+            }
+        }
+        if points.is_empty() {
+            points.push(base);
+        }
+        for (i, p) in points.iter().enumerate() {
+            if p.side == 0 || p.until_ns == 0 {
+                return Err(format!(
+                    "sweep spec: point {i} needs side >= 1 and until_ns >= 1"
+                ));
+            }
+        }
+        let fork_at_ns = match obj.get("fork_at_ns") {
+            None => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or("sweep spec: `fork_at_ns` must be a non-negative integer")?,
+            ),
+        };
+        Ok(SweepSpec { points, fork_at_ns })
+    }
+}
+
+/// How a point's result was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResultSource {
+    /// Simulated from scratch.
+    Cold,
+    /// Served from the result cache.
+    Cache,
+    /// Resumed from a shared prefix snapshot.
+    Fork,
+}
+
+impl std::fmt::Display for ResultSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ResultSource::Cold => "cold",
+            ResultSource::Cache => "cache",
+            ResultSource::Fork => "fork",
+        })
+    }
+}
+
+/// One point's outcome: the canonicalized report (wall-clock zeroed, so
+/// bytes are identical across worker counts, cache hits, and fork mode)
+/// plus the measured wall time for throughput accounting.
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    pub config: PointConfig,
+    pub config_hash: String,
+    pub source: ResultSource,
+    /// Measured seconds this point actually cost in this sweep.
+    pub wall_seconds: f64,
+    pub report: SimReport,
+}
+
+/// Sweep-wide outcome.
+pub struct SweepOutcome {
+    pub results: Vec<PointResult>,
+    pub sched: SchedStats,
+    pub cache: CacheStats,
+    /// Distinct prefix simulations executed (not served from cache).
+    pub prefix_runs: usize,
+    pub wall_seconds: f64,
+}
+
+impl SweepOutcome {
+    pub fn configs_per_sec(&self) -> f64 {
+        self.results.len() as f64 / self.wall_seconds.max(1e-9)
+    }
+}
+
+/// Execution options, lowered from the CLI flags.
+pub struct SweepOptions {
+    pub workers: usize,
+    pub cache: ResultCache,
+    /// Overrides the spec's `fork_at_ns` when set.
+    pub fork_at_ns: Option<u64>,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            workers: 1,
+            cache: ResultCache::disabled(),
+            fork_at_ns: None,
+        }
+    }
+}
+
+fn pdes_params(cfg: &PointConfig) -> pdes::Params {
+    pdes::Params {
+        side: cfg.side,
+        tokens_per_node: cfg.tokens_per_node,
+        ttl: cfg.ttl,
+        rank_counts: Vec::new(),
+        inject: (cfg.inject_at_ns > 0).then_some(Inject {
+            at_ps: cfg.inject_at_ns * 1000,
+            tokens: cfg.inject_tokens,
+            ttl: cfg.inject_ttl,
+        }),
+        ..pdes::Params::default()
+    }
+}
+
+fn build_point(cfg: &PointConfig) -> SystemBuilder {
+    let mut b = pdes::build(&pdes_params(cfg));
+    b.seed(cfg.seed);
+    b
+}
+
+/// Simulate one point from scratch. The checkpointing entry point is used
+/// (with no intermediate captures) so the report carries the sealed final
+/// state hash.
+pub fn run_point(cfg: &PointConfig) -> SimReport {
+    let limit = RunLimit::Until(SimTime::ns(cfg.until_ns));
+    Engine::with_telemetry(build_point(cfg), TelemetrySpec::disabled()).run_with_checkpoints(
+        limit,
+        None,
+        None,
+        &mut |_| {},
+    )
+}
+
+/// The prefix configuration a point belongs to under `fork_at_ns`: every
+/// divergence-legal parameter is canonicalized to zero so all group members
+/// hash to the same prefix key. `None` when the point cannot legally fork
+/// (the fork instant is not strictly inside the run).
+fn prefix_config(cfg: &PointConfig, fork_at_ns: u64) -> Option<PointConfig> {
+    if fork_at_ns == 0 || fork_at_ns >= cfg.until_ns {
+        return None;
+    }
+    let mut p = cfg.clone();
+    p.until_ns = 0;
+    // The injector reads `tokens`/`ttl` only at its firing instant; they
+    // are prefix-inert exactly when that instant is strictly after the
+    // fork (the prefix delivers every event at or before `fork_at_ns`).
+    if p.inject_at_ns > fork_at_ns {
+        p.inject_tokens = 0;
+        p.inject_ttl = 0;
+    }
+    Some(p)
+}
+
+/// The document hashed into a prefix cache key: the canonicalized prefix
+/// config plus the fork instant itself.
+#[derive(Serialize, Deserialize)]
+struct PrefixKey {
+    fork_at_ns: u64,
+    prefix: PointConfig,
+}
+
+fn prefix_hash(prefix: &PointConfig, fork_at_ns: u64) -> String {
+    let key = PrefixKey {
+        fork_at_ns,
+        prefix: prefix.clone(),
+    };
+    config_hash_hex(key.to_value().to_json_string().as_bytes())
+}
+
+/// Simulate a prefix config up to the fork instant and seal the state.
+fn run_prefix(prefix: &PointConfig, fork_at_ns: u64) -> Snapshot {
+    let eng: Engine = Engine::with_telemetry(build_point(prefix), TelemetrySpec::disabled());
+    eng.run_to_snapshot(SimTime::ns(fork_at_ns), None)
+}
+
+/// Patch a prefix snapshot into `cfg`'s branch: overwrite the injector's
+/// divergent fields in its serialized state — the only mutation fork mode
+/// ever makes — and reseal.
+fn patch_branch(snap: &mut Snapshot, prefix: &PointConfig, cfg: &PointConfig) {
+    if prefix.inject_tokens == cfg.inject_tokens && prefix.inject_ttl == cfg.inject_ttl {
+        return;
+    }
+    let comp = snap
+        .components
+        .iter_mut()
+        .find(|c| c.name == "injector")
+        .expect("prefix snapshot has no injector to patch");
+    let mut state = comp.state.as_object().cloned().unwrap_or_default();
+    state.insert("tokens".to_string(), Value::from(cfg.inject_tokens as u64));
+    state.insert("ttl".to_string(), Value::from(cfg.inject_ttl as u64));
+    comp.state = Value::Object(state);
+    snap.seal();
+}
+
+/// Resume `cfg` from its (already patched) prefix snapshot.
+fn run_branch(cfg: &PointConfig, snap: &Snapshot) -> SimReport {
+    let limit = RunLimit::Until(SimTime::ns(cfg.until_ns));
+    Engine::restore(build_point(cfg), TelemetrySpec::disabled(), snap).run_with_checkpoints(
+        limit,
+        None,
+        None,
+        &mut |_| {},
+    )
+}
+
+/// Run the sweep: cache lookups first, then shared prefixes, then every
+/// missing point — the latter two phases over the work-stealing pool.
+/// Results come back in point order whatever the worker count.
+pub fn run_sweep(spec: &SweepSpec, opts: &SweepOptions) -> SweepOutcome {
+    let t0 = std::time::Instant::now();
+    let fork_at_ns = opts.fork_at_ns.or(spec.fork_at_ns);
+    let hashes: Vec<String> = spec.points.iter().map(|p| p.config_hash()).collect();
+
+    // Phase 1: serve what the cache already has.
+    let mut results: Vec<Option<PointResult>> = Vec::with_capacity(spec.points.len());
+    for (cfg, hash) in spec.points.iter().zip(&hashes) {
+        results.push(opts.cache.lookup(hash).map(|entry| PointResult {
+            config: cfg.clone(),
+            config_hash: hash.clone(),
+            source: ResultSource::Cache,
+            wall_seconds: 0.0,
+            report: entry.report,
+        }));
+    }
+
+    // Phase 2: group the misses by prefix key and materialize each group's
+    // snapshot (cache first, simulate once on miss) over the worker pool.
+    let misses: Vec<usize> = (0..spec.points.len())
+        .filter(|&i| results[i].is_none())
+        .collect();
+    let mut prefix_of: Vec<Option<(String, PointConfig)>> = vec![None; spec.points.len()];
+    if let Some(fork_ns) = fork_at_ns {
+        for &i in &misses {
+            if let Some(prefix) = prefix_config(&spec.points[i], fork_ns) {
+                prefix_of[i] = Some((prefix_hash(&prefix, fork_ns), prefix));
+            }
+        }
+    }
+    let mut groups: Vec<(String, PointConfig)> = Vec::new();
+    for p in misses.iter().filter_map(|&i| prefix_of[i].as_ref()) {
+        if !groups.iter().any(|(h, _)| *h == p.0) {
+            groups.push(p.clone());
+        }
+    }
+    let mut prefix_runs = 0usize;
+    let mut snapshots: Vec<(String, Snapshot)> = Vec::new();
+    let mut sched = SchedStats {
+        workers: opts.workers.max(1),
+        jobs: 0,
+        steals: 0,
+    };
+    if !groups.is_empty() {
+        let fork_ns = fork_at_ns.expect("groups exist only when forking");
+        let cache = &opts.cache;
+        let jobs: Vec<_> = groups
+            .iter()
+            .map(|(hash, prefix)| {
+                move || match cache.lookup_prefix(hash) {
+                    Some(snap) => (snap, false),
+                    None => {
+                        let snap = run_prefix(prefix, fork_ns);
+                        cache.store_prefix(hash, &snap);
+                        (snap, true)
+                    }
+                }
+            })
+            .collect();
+        let (snaps, s) = run_jobs(jobs, opts.workers);
+        sched.jobs += s.jobs;
+        sched.steals += s.steals;
+        for ((hash, _), (snap, simulated)) in groups.iter().zip(snaps) {
+            prefix_runs += simulated as usize;
+            snapshots.push((hash.clone(), snap));
+        }
+    }
+
+    // Phase 3: every remaining point — forked from its prefix when one
+    // exists, from scratch otherwise — over the worker pool.
+    let cache = &opts.cache;
+    let snapshots = &snapshots;
+    let jobs: Vec<_> = misses
+        .iter()
+        .map(|&i| {
+            let cfg = &spec.points[i];
+            let hash = &hashes[i];
+            let prefix = &prefix_of[i];
+            move || {
+                let t = std::time::Instant::now();
+                let (report, source) = match prefix {
+                    Some((phash, pcfg)) => {
+                        let mut snap = snapshots
+                            .iter()
+                            .find(|(h, _)| h == phash)
+                            .expect("prefix snapshot materialized in phase 2")
+                            .1
+                            .clone();
+                        patch_branch(&mut snap, pcfg, cfg);
+                        (run_branch(cfg, &snap), ResultSource::Fork)
+                    }
+                    None => (run_point(cfg), ResultSource::Cold),
+                };
+                let entry = CachedResult::new(hash, report);
+                cache.store(&entry);
+                PointResult {
+                    config: cfg.clone(),
+                    config_hash: hash.clone(),
+                    source,
+                    wall_seconds: t.elapsed().as_secs_f64(),
+                    report: entry.report,
+                }
+            }
+        })
+        .collect();
+    let (computed, s) = run_jobs(jobs, opts.workers);
+    sched.jobs += s.jobs;
+    sched.steals += s.steals;
+    for (&i, r) in misses.iter().zip(computed) {
+        results[i] = Some(r);
+    }
+
+    SweepOutcome {
+        results: results
+            .into_iter()
+            .map(|r| r.expect("every point resolved"))
+            .collect(),
+        sched,
+        cache: opts.cache.stats(),
+        prefix_runs,
+        wall_seconds: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// The per-point manifest document (`sst-sweep-point-v1`).
+#[derive(Serialize, Deserialize)]
+pub struct PointManifest {
+    pub schema: String,
+    pub index: usize,
+    pub config: PointConfig,
+    pub config_hash: String,
+    pub source: String,
+    pub wall_seconds: f64,
+    pub events: u64,
+    pub end_time_ps: u64,
+    pub final_state_hash: Option<String>,
+}
+
+impl PointManifest {
+    pub fn new(index: usize, r: &PointResult) -> PointManifest {
+        PointManifest {
+            schema: SWEEP_POINT_SCHEMA.to_string(),
+            index,
+            config: r.config.clone(),
+            config_hash: r.config_hash.clone(),
+            source: r.source.to_string(),
+            wall_seconds: r.wall_seconds,
+            events: r.report.events,
+            end_time_ps: r.report.end_time.as_ps(),
+            final_state_hash: r.report.final_state_hash.clone(),
+        }
+    }
+}
+
+/// The sweep-level summary document (`sst-sweep-summary-v1`).
+#[derive(Serialize, Deserialize)]
+pub struct SweepSummary {
+    pub schema: String,
+    pub points: usize,
+    pub wall_seconds: f64,
+    pub configs_per_sec: f64,
+    pub workers: usize,
+    pub steals: u64,
+    pub prefix_runs: usize,
+    pub cache: CacheStats,
+    pub results: Vec<PointManifest>,
+}
+
+impl SweepSummary {
+    pub fn new(outcome: &SweepOutcome) -> SweepSummary {
+        SweepSummary {
+            schema: SWEEP_SUMMARY_SCHEMA.to_string(),
+            points: outcome.results.len(),
+            wall_seconds: outcome.wall_seconds,
+            configs_per_sec: outcome.configs_per_sec(),
+            workers: outcome.sched.workers,
+            steals: outcome.sched.steals,
+            prefix_runs: outcome.prefix_runs,
+            cache: outcome.cache.clone(),
+            results: outcome
+                .results
+                .iter()
+                .enumerate()
+                .map(|(i, r)| PointManifest::new(i, r))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec_text(points: usize) -> String {
+        format!(
+            r#"{{
+  "schema": "sst-sweep-spec-v1",
+  "base": {{ "side": 4, "tokens_per_node": 2, "ttl": 12, "until_ns": 1500 }},
+  "grid": {{ "tokens_per_node": [{}] }}
+}}"#,
+            (1..=points)
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }
+
+    #[test]
+    fn spec_expands_grid_in_sorted_cartesian_order() {
+        let text = r#"{
+  "schema": "sst-sweep-spec-v1",
+  "base": { "side": 4, "until_ns": 1000 },
+  "grid": { "ttl": [10, 20], "seed": [1, 2, 3] },
+  "points": [ { "side": 6 } ]
+}"#;
+        let spec = SweepSpec::parse(text).unwrap();
+        assert_eq!(spec.points.len(), 7);
+        // `seed` sorts before `ttl`, so ttl varies fastest.
+        let head: Vec<(u64, u32)> = spec.points[..6].iter().map(|p| (p.seed, p.ttl)).collect();
+        assert_eq!(
+            head,
+            vec![(1, 10), (1, 20), (2, 10), (2, 20), (3, 10), (3, 20)]
+        );
+        assert_eq!(spec.points[6].side, 6);
+    }
+
+    #[test]
+    fn spec_rejects_bad_documents() {
+        assert!(SweepSpec::parse("not json").is_err());
+        assert!(SweepSpec::parse(r#"{"schema": "sst-sweep-spec-v9"}"#).is_err());
+        assert!(SweepSpec::parse(
+            r#"{"schema": "sst-sweep-spec-v1", "grid": {"bogus_param": [1]}}"#
+        )
+        .is_err());
+        assert!(
+            SweepSpec::parse(r#"{"schema": "sst-sweep-spec-v1", "base": {"until_ns": 0}}"#)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn config_hash_is_stable_and_distinguishes_points() {
+        let a = PointConfig::default();
+        let mut b = PointConfig::default();
+        assert_eq!(a.config_hash(), b.config_hash());
+        b.ttl += 1;
+        assert_ne!(a.config_hash(), b.config_hash());
+    }
+
+    #[test]
+    fn fork_mode_matches_from_scratch() {
+        let text = r#"{
+  "schema": "sst-sweep-spec-v1",
+  "base": { "side": 4, "tokens_per_node": 2, "ttl": 12, "until_ns": 4000,
+            "inject_at_ns": 2000, "inject_ttl": 10 },
+  "grid": { "inject_tokens": [1, 3], "until_ns": [3000, 4000] }
+}"#;
+        let spec = SweepSpec::parse(text).unwrap();
+        let scratch = run_sweep(&spec, &SweepOptions::default());
+        let forked = run_sweep(
+            &spec,
+            &SweepOptions {
+                fork_at_ns: Some(1000),
+                ..Default::default()
+            },
+        );
+        assert!(forked
+            .results
+            .iter()
+            .all(|r| r.source == ResultSource::Fork));
+        for (a, b) in scratch.results.iter().zip(&forked.results) {
+            assert_eq!(
+                a.report.to_value().to_json_string(),
+                b.report.to_value().to_json_string(),
+                "fork diverged from scratch"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_results_are_worker_independent() {
+        let spec = SweepSpec::parse(&spec_text(6)).unwrap();
+        let base = run_sweep(&spec, &SweepOptions::default());
+        for workers in [2, 4] {
+            let out = run_sweep(
+                &spec,
+                &SweepOptions {
+                    workers,
+                    ..Default::default()
+                },
+            );
+            for (a, b) in base.results.iter().zip(&out.results) {
+                assert_eq!(
+                    a.report.to_value().to_json_string(),
+                    b.report.to_value().to_json_string(),
+                    "workers={workers} diverged"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Differential guarantees for the fleet-level sweep machinery: whatever
+//! the worker count, whatever the cache state, and whether a point was
+//! simulated from scratch or forked off a shared prefix snapshot, the
+//! per-point reports must be byte-identical. Plus the robustness
+//! satellite: garbage in the cache directory — truncated JSON, wrong
+//! schema, a mismatched config hash — is a miss and a warning, never a
+//! panic, and a rerun heals the entry. And the golden config-hash check
+//! that pins the FNV-1a helper the cache keys ride on.
+
+use serde::Serialize;
+use sst_core::sweep::{CachedResult, ResultCache, SWEEP_RESULT_SCHEMA};
+use sst_core::telemetry::config_hash_hex;
+use sst_sim::sweep::{run_sweep, PointConfig, ResultSource, SweepOptions, SweepSpec};
+use std::path::PathBuf;
+
+/// A fresh per-test scratch directory under the system temp dir.
+fn scratch(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sst_sweep_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    std::fs::create_dir_all(&p).expect("create scratch dir");
+    p
+}
+
+/// Canonical JSON of every point report — the byte-identity fingerprint.
+fn fingerprints(out: &sst_sim::sweep::SweepOutcome) -> Vec<String> {
+    out.results
+        .iter()
+        .map(|r| r.report.to_value().to_json_string())
+        .collect()
+}
+
+fn small_spec() -> SweepSpec {
+    SweepSpec::parse(
+        r#"{
+  "schema": "sst-sweep-spec-v1",
+  "base": { "side": 4, "tokens_per_node": 2, "ttl": 16, "until_ns": 2000 },
+  "grid": { "tokens_per_node": [1, 2, 3], "seed": [7, 8] }
+}"#,
+    )
+    .expect("spec parses")
+}
+
+#[test]
+fn results_identical_across_worker_counts() {
+    let spec = small_spec();
+    let base = run_sweep(&spec, &SweepOptions::default());
+    assert_eq!(base.results.len(), 6);
+    for workers in [2usize, 8] {
+        let out = run_sweep(
+            &spec,
+            &SweepOptions {
+                workers,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            fingerprints(&out),
+            fingerprints(&base),
+            "workers={workers} changed the results"
+        );
+        // Order too: config hashes must come back in spec order.
+        let hashes: Vec<&str> = out.results.iter().map(|r| r.config_hash.as_str()).collect();
+        let base_hashes: Vec<&str> = base
+            .results
+            .iter()
+            .map(|r| r.config_hash.as_str())
+            .collect();
+        assert_eq!(hashes, base_hashes);
+    }
+}
+
+#[test]
+fn cache_hit_is_byte_identical_to_cold_run() {
+    let dir = scratch("warm");
+    let spec = small_spec();
+    let cold = run_sweep(
+        &spec,
+        &SweepOptions {
+            workers: 2,
+            cache: ResultCache::at(&dir).expect("open cache"),
+            fork_at_ns: None,
+        },
+    );
+    assert!(cold.results.iter().all(|r| r.source == ResultSource::Cold));
+    let warm = run_sweep(
+        &spec,
+        &SweepOptions {
+            workers: 2,
+            cache: ResultCache::at(&dir).expect("open cache"),
+            fork_at_ns: None,
+        },
+    );
+    assert!(
+        warm.results.iter().all(|r| r.source == ResultSource::Cache),
+        "warm rerun must hit on every point"
+    );
+    assert_eq!(warm.cache.hits as usize, spec.points.len());
+    assert_eq!(warm.cache.misses, 0);
+    assert_eq!(fingerprints(&warm), fingerprints(&cold));
+    // The sealed final state hashes survive the disk round-trip too.
+    for (a, b) in cold.results.iter().zip(&warm.results) {
+        assert!(a.report.final_state_hash.is_some());
+        assert_eq!(a.report.final_state_hash, b.report.final_state_hash);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn garbage_cache_entries_are_misses_not_panics() {
+    let dir = scratch("garbage");
+    let spec = small_spec();
+    let hashes: Vec<String> = spec.points.iter().map(|p| p.config_hash()).collect();
+
+    // Poison the directory before the first run: a truncated document, a
+    // wrong-schema document, an entry whose embedded hash contradicts its
+    // file name, and an unrelated stray file.
+    std::fs::write(dir.join(format!("result-{}.json", hashes[0])), "{\"trunc").unwrap();
+    std::fs::write(
+        dir.join(format!("result-{}.json", hashes[1])),
+        r#"{"schema": "sst-sweep-result-v99", "config_hash": "x"}"#,
+    )
+    .unwrap();
+    {
+        // A structurally valid entry filed under the wrong address: it
+        // declares point 3's hash but sits at point 2's path, so the
+        // embedded-hash check must reject it.
+        let entry = CachedResult::new(&hashes[3], sst_sim::sweep::run_point(&spec.points[3]));
+        let doc = entry.to_value().to_json_string_pretty();
+        std::fs::write(dir.join(format!("result-{}.json", hashes[2])), doc).unwrap();
+    }
+    std::fs::write(dir.join("README.txt"), "not a cache entry").unwrap();
+
+    let baseline = run_sweep(&spec, &SweepOptions::default());
+    let out = run_sweep(
+        &spec,
+        &SweepOptions {
+            workers: 2,
+            cache: ResultCache::at(&dir).expect("open cache"),
+            fork_at_ns: None,
+        },
+    );
+    // Every poisoned entry misses, and the results still match a
+    // cache-less run byte for byte.
+    assert_eq!(fingerprints(&out), fingerprints(&baseline));
+    assert_eq!(out.cache.hits, 0, "no poisoned entry may serve a hit");
+
+    // The rerun heals: every entry was overwritten with a valid document.
+    let healed = run_sweep(
+        &spec,
+        &SweepOptions {
+            workers: 2,
+            cache: ResultCache::at(&dir).expect("open cache"),
+            fork_at_ns: None,
+        },
+    );
+    assert_eq!(healed.cache.hits as usize, spec.points.len());
+    assert_eq!(fingerprints(&healed), fingerprints(&baseline));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fork_at_checkpoint_matches_from_scratch() {
+    let spec = SweepSpec::parse(
+        r#"{
+  "schema": "sst-sweep-spec-v1",
+  "base": { "side": 4, "tokens_per_node": 2, "ttl": 16, "until_ns": 3000,
+            "inject_at_ns": 2000, "inject_ttl": 8 },
+  "grid": { "inject_tokens": [1, 2, 3], "until_ns": [2500, 3000] }
+}"#,
+    )
+    .expect("spec parses");
+    let scratch_run = run_sweep(
+        &spec,
+        &SweepOptions {
+            workers: 2,
+            ..Default::default()
+        },
+    );
+    let forked = run_sweep(
+        &spec,
+        &SweepOptions {
+            workers: 2,
+            cache: ResultCache::disabled(),
+            fork_at_ns: Some(1000),
+        },
+    );
+    assert!(
+        forked
+            .results
+            .iter()
+            .all(|r| r.source == ResultSource::Fork),
+        "every point shares the prefix, so every point must fork"
+    );
+    assert_eq!(forked.prefix_runs, 1, "one shared prefix, simulated once");
+    assert_eq!(fingerprints(&forked), fingerprints(&scratch_run));
+    for (a, b) in scratch_run.results.iter().zip(&forked.results) {
+        assert_eq!(a.report.final_state_hash, b.report.final_state_hash);
+        assert_eq!(a.report.events, b.report.events);
+    }
+}
+
+#[test]
+fn fork_prefix_snapshots_are_reused_from_disk() {
+    let dir = scratch("prefix");
+    let spec = SweepSpec::parse(
+        r#"{
+  "schema": "sst-sweep-spec-v1",
+  "base": { "side": 4, "tokens_per_node": 2, "ttl": 16, "until_ns": 2500,
+            "inject_at_ns": 1500, "inject_ttl": 8 },
+  "grid": { "inject_tokens": [1, 2] },
+  "fork_at_ns": 1000
+}"#,
+    )
+    .expect("spec parses");
+    let first = run_sweep(
+        &spec,
+        &SweepOptions {
+            workers: 1,
+            cache: ResultCache::at(&dir).expect("open cache"),
+            fork_at_ns: None,
+        },
+    );
+    assert_eq!(first.prefix_runs, 1);
+    // Drop the result entries but keep the prefix snapshot: the rerun must
+    // recompute both points yet simulate no prefix at all.
+    for f in std::fs::read_dir(&dir).unwrap() {
+        let f = f.unwrap().path();
+        if f.file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with("result-"))
+        {
+            std::fs::remove_file(f).unwrap();
+        }
+    }
+    let second = run_sweep(
+        &spec,
+        &SweepOptions {
+            workers: 1,
+            cache: ResultCache::at(&dir).expect("open cache"),
+            fork_at_ns: None,
+        },
+    );
+    assert_eq!(second.prefix_runs, 0, "prefix must come from disk");
+    assert!(second
+        .results
+        .iter()
+        .all(|r| r.source == ResultSource::Fork));
+    assert_eq!(fingerprints(&second), fingerprints(&first));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cached_result_schema_and_golden_hash() {
+    // The on-disk schema tag is load-bearing: bumping it invalidates every
+    // fleet's cache, so a change must be deliberate.
+    assert_eq!(SWEEP_RESULT_SCHEMA, "sst-sweep-result-v1");
+    // Golden FNV-1a vectors (offset basis, and one computed key) — the
+    // cache address function may never silently change.
+    assert_eq!(config_hash_hex(b""), "cbf29ce484222325");
+    let cfg = PointConfig::default();
+    assert_eq!(
+        cfg.config_hash(),
+        config_hash_hex(cfg.to_value().to_json_string().as_bytes())
+    );
+}
